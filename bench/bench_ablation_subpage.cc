@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation A3: the indirect cost of subpage protection (section
+ * 3.2.4). The direct cost — delivering a protected-subpage fault —
+ * is close to an ordinary protection fault (Table 2); the indirect
+ * cost is the kernel emulation of every access that lands on an
+ * *unprotected* logical subpage of a protected hardware page. This
+ * bench sweeps the fraction of traffic touching unrelated subpages,
+ * reproducing the paper's "could be expensive if there is a lot of
+ * activity on unrelated logical sub-pages".
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/env.h"
+#include "core/microbench.h"
+
+using namespace uexc;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+int
+main()
+{
+    banner("Ablation A3: subpage protection, direct and indirect "
+           "cost");
+
+    constexpr Addr kPage = 0x10000000;
+    constexpr unsigned kStores = 600;
+
+    auto run_mix = [&](unsigned percent_unrelated, bool subpage_mode) {
+        sim::Machine machine(rt::micro::paperMachineConfig());
+        os::Kernel kernel(machine);
+        kernel.boot();
+        rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+        env.install(0xffff);
+        env.allocate(kPage, os::kPageBytes);
+        env.setHandler([&](rt::Fault &) {
+            // protected-subpage touch: the kernel amplified; nothing
+            // to do (re-protection happens per iteration below)
+        });
+
+        Cycles start = env.cycles();
+        unsigned faults = 0;
+        for (unsigned i = 0; i < kStores; i++) {
+            if (subpage_mode)
+                env.subpageProtect(kPage + 0xc00, os::kSubpageBytes,
+                                   os::kProtRead);
+            bool unrelated = (i % 100) < percent_unrelated;
+            // unrelated traffic goes to subpage 0; related traffic
+            // writes the protected subpage 3
+            Addr target = unrelated ? kPage + 0x10 + 4 * (i % 64)
+                                    : kPage + 0xc04;
+            std::uint64_t before = env.stats().faultsDelivered;
+            env.store(target, i);
+            faults += env.stats().faultsDelivered - before;
+        }
+        struct R { Cycles cycles; unsigned faults;
+                   std::uint64_t emulations; };
+        return R{env.cycles() - start, faults,
+                 kernel.subpageEmulations()};
+    };
+
+    section("sweep: fraction of stores hitting unrelated subpages "
+            "of a protected page");
+    std::printf("  %-22s %12s %10s %12s\n", "unrelated traffic",
+                "cycles", "faults", "emulations");
+    for (unsigned pct : {0u, 25u, 50u, 75u, 100u}) {
+        auto r = run_mix(pct, true);
+        std::printf("  %19u%%  %12llu %10u %12llu\n", pct,
+                    static_cast<unsigned long long>(r.cycles),
+                    r.faults,
+                    static_cast<unsigned long long>(r.emulations));
+    }
+
+    section("reference: page-granularity protection (no subpages)");
+    {
+        // without subpage support, protecting 1 KB means protecting
+        // the whole 4 KB page: unrelated traffic faults at full cost
+        sim::Machine machine(rt::micro::paperMachineConfig());
+        os::Kernel kernel(machine);
+        kernel.boot();
+        rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+        env.install(0xffff);
+        env.allocate(kPage, os::kPageBytes);
+        env.setEagerAmplify(true);
+        env.setHandler([&](rt::Fault &) {});
+        Cycles start = env.cycles();
+        for (unsigned i = 0; i < kStores; i++) {
+            env.protect(kPage, os::kPageBytes, os::kProtRead);
+            env.store(kPage + 0x10 + 4 * (i % 64), i);  // "unrelated"
+        }
+        std::printf("  100%% unrelated, page granularity: %llu "
+                    "cycles (every store is a full user-level "
+                    "fault)\n",
+                    static_cast<unsigned long long>(env.cycles() -
+                                                    start));
+    }
+
+    section("notes");
+    noteLine("emulated unrelated accesses cost a kernel round trip "
+             "but never disturb the application: the paper's "
+             "'enable application writers to use it selectively'");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation A2: user-level TLB protection modification (section
+ * 3.2.3): the proposed TLBMP hardware (gated by the per-entry U bit)
+ * vs. the kernel's software emulation of the unused opcode vs. a
+ * full mprotect() system call.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/env.h"
+#include "core/microbench.h"
+
+using namespace uexc;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+namespace {
+
+Cycles
+measureOp(bool tlbmp_hw, bool use_mprotect)
+{
+    sim::MachineConfig cfg = rt::micro::paperMachineConfig();
+    cfg.cpu.tlbmpHw = tlbmp_hw;
+    sim::Machine machine(cfg);
+    os::Kernel kernel(machine);
+    kernel.boot();
+    rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+    env.install(0xffff);
+    constexpr Addr kPage = 0x10000000;
+    env.allocate(kPage, os::kPageBytes);
+    env.protect(kPage, os::kPageBytes, os::kProtRead);  // grants U
+    env.load(kPage);  // pull the mapping into the TLB
+
+    // warm one operation, measure the second
+    auto op = [&](bool writable) {
+        if (use_mprotect) {
+            env.protect(kPage, os::kPageBytes,
+                        os::kProtRead |
+                            (writable ? os::kProtWrite : 0u));
+        } else {
+            env.userTlbModify(kPage, writable, true);
+        }
+    };
+    op(true);
+    op(false);
+    env.load(kPage);
+    Cycles before = env.cycles();
+    op(true);
+    return env.cycles() - before;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation A2: protection change mechanisms "
+           "(section 3.2.3)");
+
+    Cycles hw = measureOp(true, false);
+    Cycles emul = measureOp(false, false);
+    Cycles mprotect_cost = measureOp(true, true);
+
+    sim::CostModel cost;
+    std::printf("  %-52s %8.2f us (%llu cycles)\n",
+                "TLBMP hardware (U bit set, entry resident)",
+                cost.toMicros(hw), static_cast<unsigned long long>(hw));
+    std::printf("  %-52s %8.2f us (%llu cycles)\n",
+                "kernel emulation of the unused opcode (RI trap)",
+                cost.toMicros(emul),
+                static_cast<unsigned long long>(emul));
+    std::printf("  %-52s %8.2f us (%llu cycles)\n",
+                "mprotect() system call",
+                cost.toMicros(mprotect_cost),
+                static_cast<unsigned long long>(mprotect_cost));
+
+    section("notes");
+    noteLine("with the hardware, a handler can amplify or restrict "
+             "page access in a few cycles, completing the paper's "
+             "goal of processing access-detection exceptions "
+             "entirely at user level");
+    noteLine("the software emulation is a full RI trap through the "
+             "stock path (the paper: 'a software approach may not "
+             "provide acceptable performance in this case')");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation A8: incremental collection (the paper's collector is
+ * "generational and incremental"). Two measurements:
+ *
+ *  1. pause control: max marking-slice pause versus the slice budget
+ *     (the reason to be incremental at all);
+ *  2. the consistency barrier's price: a mutation-heavy phase during
+ *     marking, where every store into scanned territory is a
+ *     protection fault — across all three delivery mechanisms.
+ */
+
+#include <cstdio>
+
+#include "apps/gc/incremental.h"
+#include "bench_util.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+namespace {
+
+struct Rig
+{
+    explicit Rig(rt::DeliveryMode mode, unsigned slice)
+        : machine(rt::micro::paperMachineConfig()), kernel(machine)
+    {
+        kernel.boot();
+        env = std::make_unique<rt::UserEnv>(kernel, mode);
+        env->install(0xffff);
+        IncrementalCollector::Config cfg;
+        cfg.sliceBudget = slice;
+        gc = std::make_unique<IncrementalCollector>(*env, cfg);
+    }
+
+    sim::Machine machine;
+    os::Kernel kernel;
+    std::unique_ptr<rt::UserEnv> env;
+    std::unique_ptr<IncrementalCollector> gc;
+};
+
+/** Build a linked structure of @p n cells; returns the head. */
+Addr
+buildChain(IncrementalCollector &gc, unsigned n)
+{
+    Addr prev = 0;
+    for (unsigned i = 0; i < n; i++) {
+        Addr cell = gc.alloc(3);
+        gc.writeWord(cell, 2, prev);
+        prev = cell;
+    }
+    return prev;
+}
+
+const char *
+name(rt::DeliveryMode m)
+{
+    switch (m) {
+      case rt::DeliveryMode::UltrixSignal: return "Ultrix signals";
+      case rt::DeliveryMode::FastSoftware: return "fast software";
+      default: return "hardware vector";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation A8: incremental collection pauses and the "
+           "retrace barrier");
+    sim::CostModel cost;
+
+    section("pause control: max slice pause vs slice budget "
+            "(fast software delivery)");
+    std::printf("  %-14s %16s %16s\n", "slice budget",
+                "max pause (us)", "total mark (us)");
+    for (unsigned slice : {8u, 32u, 128u, 512u, 4096u}) {
+        Rig rig(rt::DeliveryMode::FastSoftware, slice);
+        Addr head = buildChain(*rig.gc, 1500);
+        rig.gc->setRoot(0, head);
+        rig.gc->startCycle();
+        rig.gc->finishCycle();
+        std::printf("  %-14u %16.1f %16.1f\n", slice,
+                    cost.toMicros(rig.gc->stats().maxPauseCycles),
+                    cost.toMicros(rig.gc->stats().totalPauseCycles));
+    }
+    noteLine("the slice budget bounds the pause; the barrier is what "
+             "keeps bounded pauses *correct*");
+
+    section("barrier price: mutation during marking, by mechanism");
+    std::printf("  %-18s %14s %14s\n", "mechanism",
+                "cycles", "retrace faults");
+    for (auto mode : {rt::DeliveryMode::UltrixSignal,
+                      rt::DeliveryMode::FastSoftware,
+                      rt::DeliveryMode::FastHardwareVector}) {
+        Rig rig(mode, 16);
+        Addr head = buildChain(*rig.gc, 600);
+        rig.gc->setRoot(0, head);
+        rig.gc->startCycle();
+        // interleave marking with stores into already-scanned cells
+        Cycles before = rig.env->cycles();
+        Addr fresh = rig.gc->alloc(2);
+        for (unsigned i = 0; i < 150 && rig.gc->collecting(); i++) {
+            rig.gc->writeWord(head, 0, fresh);   // scanned territory
+            rig.gc->step();
+        }
+        rig.gc->finishCycle();
+        std::printf("  %-18s %14llu %14llu\n", name(mode),
+                    static_cast<unsigned long long>(rig.env->cycles() -
+                                                    before),
+                    static_cast<unsigned long long>(
+                        rig.gc->stats().retraceFaults));
+    }
+
+    section("notes");
+    noteLine("every retrace fault is a full delivery of the "
+             "configured mechanism; cheap exceptions are what make "
+             "VM-synchronized incremental collection competitive "
+             "(Appel-Ellis-Li style, which the paper's fast scheme "
+             "targets)");
+    return 0;
+}

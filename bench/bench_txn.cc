@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation A9: transaction support via write detection (Chang &
+ * Mergen, from the paper's motivating list). Measures the
+ * begin/store/commit cycle across delivery mechanisms and shows the
+ * dispatch fraction shrinking as the per-fault work (the 4 KB
+ * before-image copy) grows relative to the GC barrier's record-only
+ * handler.
+ */
+
+#include <cstdio>
+
+#include "apps/txn/txn.h"
+#include "bench_util.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+namespace {
+
+constexpr Addr kBase = 0x10000000;
+constexpr Word kBytes = 8 * os::kPageBytes;
+
+struct Rig
+{
+    explicit Rig(rt::DeliveryMode mode)
+        : machine(rt::micro::paperMachineConfig()), kernel(machine)
+    {
+        kernel.boot();
+        env = std::make_unique<rt::UserEnv>(kernel, mode);
+        env->install(0xffff);
+        region = std::make_unique<TxnRegion>(*env, kBase, kBytes);
+    }
+
+    sim::Machine machine;
+    os::Kernel kernel;
+    std::unique_ptr<rt::UserEnv> env;
+    std::unique_ptr<TxnRegion> region;
+};
+
+const char *
+name(rt::DeliveryMode m)
+{
+    switch (m) {
+      case rt::DeliveryMode::UltrixSignal: return "Ultrix signals";
+      case rt::DeliveryMode::FastSoftware: return "fast software";
+      default: return "hardware vector";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation A9: page-logging transactions");
+    sim::CostModel cost;
+
+    section("cost of one transaction touching N pages");
+    std::printf("  %-18s %12s %12s %12s\n", "mechanism", "1 page",
+                "4 pages", "8 pages");
+    for (auto mode : {rt::DeliveryMode::UltrixSignal,
+                      rt::DeliveryMode::FastSoftware,
+                      rt::DeliveryMode::FastHardwareVector}) {
+        double us[3];
+        int col = 0;
+        for (unsigned pages : {1u, 4u, 8u}) {
+            Rig rig(mode);
+            // warm
+            rig.region->begin();
+            rig.region->store(kBase, 0);
+            rig.region->commit();
+            Cycles before = rig.env->cycles();
+            rig.region->begin();
+            for (unsigned p = 0; p < pages; p++)
+                rig.region->store(kBase + p * os::kPageBytes, p);
+            rig.region->commit();
+            us[col++] = cost.toMicros(rig.env->cycles() - before);
+        }
+        std::printf("  %-18s %9.0f us %9.0f us %9.0f us\n",
+                    name(mode), us[0], us[1], us[2]);
+    }
+
+    section("abort: restoring before-images");
+    {
+        Rig rig(rt::DeliveryMode::FastSoftware);
+        rig.region->begin();
+        for (unsigned p = 0; p < 4; p++)
+            for (unsigned w = 0; w < 16; w++)
+                rig.region->store(kBase + p * os::kPageBytes + 4 * w,
+                                  w);
+        Cycles before = rig.env->cycles();
+        rig.region->abort();
+        std::printf("  4-page abort: %.0f us (restores full "
+                    "before-images through the simulated memory "
+                    "system)\n",
+                    cost.toMicros(rig.env->cycles() - before));
+    }
+
+    section("notes");
+    noteLine("per dirtied page the handler copies 4 KB: dispatch is "
+             "a minority of the fault cost, so the mechanism ratio "
+             "here is ~2x rather than the 10x of record-only "
+             "handlers — the cost structure the paper's tradeoff "
+             "formulas capture");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared output helpers for the table/figure benchmarks: aligned
+ * columns and paper-vs-measured rows, so every bench prints the same
+ * way EXPERIMENTS.md records them.
+ */
+
+#ifndef UEXC_BENCH_BENCH_UTIL_H
+#define UEXC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace uexc::bench {
+
+inline void
+banner(const char *title)
+{
+    std::printf("\n%s\n", title);
+    for (const char *p = title; *p; p++)
+        std::putchar('=');
+    std::printf("\n\n");
+}
+
+inline void
+section(const char *title)
+{
+    std::printf("\n-- %s --\n", title);
+}
+
+/** A "paper vs measured" row with a ratio column. */
+inline void
+paperRow(const char *label, double paper, double measured,
+         const char *unit)
+{
+    std::printf("  %-46s paper %8.1f %-4s  measured %8.1f %-4s"
+                "  (x%.2f)\n",
+                label, paper, unit, measured, unit,
+                paper > 0 ? measured / paper : 0.0);
+}
+
+inline void
+noteLine(const char *text)
+{
+    std::printf("  note: %s\n", text);
+}
+
+} // namespace uexc::bench
+
+#endif // UEXC_BENCH_BENCH_UTIL_H

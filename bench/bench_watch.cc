@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation A6: conditional watchpoints (the Wahbe '92 use case from
+ * the paper's introduction). Measures the per-write overhead of an
+ * armed watchpoint under each delivery mechanism, and the subpage
+ * granularity's effect on false-fault overhead when unrelated
+ * traffic shares the watched page.
+ */
+
+#include <cstdio>
+
+#include "apps/watch/watch.h"
+#include "bench_util.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+namespace {
+
+constexpr Addr kRegion = 0x10000000;
+
+struct Rig
+{
+    Rig(rt::DeliveryMode mode, bool subpages)
+        : machine(rt::micro::paperMachineConfig()), kernel(machine)
+    {
+        kernel.boot();
+        env = std::make_unique<rt::UserEnv>(kernel, mode);
+        env->install(0xffff);
+        env->allocate(kRegion, os::kPageBytes);
+        WatchpointEngine::Config cfg;
+        cfg.useSubpages = subpages;
+        engine = std::make_unique<WatchpointEngine>(*env, cfg);
+    }
+
+    sim::Machine machine;
+    os::Kernel kernel;
+    std::unique_ptr<rt::UserEnv> env;
+    std::unique_ptr<WatchpointEngine> engine;
+};
+
+const char *
+name(rt::DeliveryMode m)
+{
+    switch (m) {
+      case rt::DeliveryMode::UltrixSignal: return "Ultrix signals";
+      case rt::DeliveryMode::FastSoftware: return "fast software";
+      default: return "hardware vector";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation A6: conditional watchpoints via protection "
+           "faults");
+    sim::CostModel cost;
+    constexpr unsigned kWrites = 50;
+
+    section("cost per write to a *watched* word");
+    for (auto mode : {rt::DeliveryMode::UltrixSignal,
+                      rt::DeliveryMode::FastSoftware,
+                      rt::DeliveryMode::FastHardwareVector}) {
+        Rig rig(mode, false);
+        rig.engine->watch(kRegion, [](Addr, Word, Word) {});
+        rig.engine->store(kRegion, 0);   // warm
+        Cycles before = rig.env->cycles();
+        for (unsigned i = 0; i < kWrites; i++)
+            rig.engine->store(kRegion, i);
+        double us = cost.toMicros(rig.env->cycles() - before) / kWrites;
+        std::printf("  %-18s %8.2f us/write\n", name(mode), us);
+    }
+
+    section("unrelated traffic on the watched page "
+            "(the false-fault problem)");
+    for (bool subpages : {false, true}) {
+        Rig rig(rt::DeliveryMode::FastSoftware, subpages);
+        rig.engine->watch(kRegion, [](Addr, Word, Word) {});
+        rig.engine->store(kRegion + 0x900, 0);   // warm
+        Cycles before = rig.env->cycles();
+        for (unsigned i = 0; i < kWrites; i++)
+            rig.engine->store(kRegion + 0x900 + 4 * (i % 32), i);
+        double us = cost.toMicros(rig.env->cycles() - before) / kWrites;
+        std::printf("  %-34s %8.2f us/unrelated write "
+                    "(%llu user faults, %llu kernel emulations)\n",
+                    subpages ? "1 KB subpage granularity (3.2.4)"
+                             : "4 KB page granularity",
+                    us,
+                    static_cast<unsigned long long>(
+                        rig.engine->stats().falseFaults),
+                    static_cast<unsigned long long>(
+                        rig.kernel.subpageEmulations()));
+    }
+
+    section("notes");
+    noteLine("cheap exceptions are what make always-on data "
+             "watchpoints usable; subpage protection additionally "
+             "keeps unrelated same-page traffic out of the user "
+             "handler entirely");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Futures and full/empty-bit synchronization via unaligned pointers
+ * (section 4.2.1): the APRIL/Alewife future representation and
+ * Tera-style full/empty cells on a conventional processor, with the
+ * touch cost measured under each delivery mechanism.
+ *
+ *   $ ./examples/futures_demo
+ */
+
+#include <cstdio>
+
+#include "apps/lazy/lazy.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+
+int
+main()
+{
+    sim::Machine machine(rt::micro::paperMachineConfig());
+    os::Kernel kernel(machine);
+    kernel.boot();
+    rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+    env.install(0xffff);
+    LazyArena arena(env, 0x30000000, 1 << 20);
+
+    std::printf("futures via unaligned pointers\n\n");
+    {
+        FutureCell answer(arena, []() {
+            std::printf("  [producer runs inside the fault "
+                        "handler]\n");
+            return Word{42};
+        });
+        std::printf("  future created (unresolved: the cell holds an "
+                    "unaligned pointer)\n");
+        Cycles before = env.cycles();
+        Word v = answer.value();   // touch: fault, produce, resume
+        Cycles cost = env.cycles() - before;
+        std::printf("  first touch -> %u (forced resolution: %llu "
+                    "cycles)\n", v,
+                    static_cast<unsigned long long>(cost));
+        before = env.cycles();
+        v = answer.value();
+        std::printf("  second touch -> %u (%llu cycles: just a "
+                    "load)\n", v,
+                    static_cast<unsigned long long>(env.cycles() -
+                                                    before));
+    }
+
+    std::printf("\nfull/empty cell (Tera-style synchronization)\n\n");
+    {
+        int refills = 0;
+        FullEmptyCell cell(arena, [&]() {
+            refills++;
+            return Word(7 * refills);
+        });
+        std::printf("  read on empty -> %u (filler ran via the "
+                    "fault)\n", cell.read());
+        cell.write(99);
+        std::printf("  after write(99): read -> %u (no fault)\n",
+                    cell.read());
+        std::printf("  take() -> %u; cell is empty again\n",
+                    cell.take());
+        std::printf("  read on empty -> %u\n", cell.read());
+        std::printf("  total faults: %llu\n",
+                    static_cast<unsigned long long>(cell.faults()));
+    }
+    return 0;
+}

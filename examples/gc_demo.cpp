@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Generational garbage collection with a page-protection write
+ * barrier (section 4.1): builds cons structures, mutates old cells,
+ * and shows the barrier faults arriving through the fast exception
+ * path with eager amplification.
+ *
+ *   $ ./examples/gc_demo
+ */
+
+#include <cstdio>
+
+#include "apps/gc/gc.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+
+int
+main()
+{
+    sim::Machine machine(rt::micro::paperMachineConfig());
+    os::Kernel kernel(machine);
+    kernel.boot();
+    rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+    env.install(0xffff);
+
+    Collector::Config cfg;
+    cfg.barrier = BarrierKind::PageProtection;
+    cfg.youngBudgetBytes = 64 * 1024;
+    Collector gc(env, cfg);
+
+    std::printf("building a long-lived list and mutating it with "
+                "fresh cells...\n");
+
+    // a long-lived list (it will be tenured)
+    Addr persistent = 0;
+    for (int i = 0; i < 200; i++) {
+        Addr cell = gc.alloc(2);
+        gc.writeWord(cell, 0, i);
+        gc.writeWord(cell, 1, persistent);
+        persistent = cell;
+        gc.setRoot(0, persistent);
+    }
+    gc.collect();   // tenure it
+    std::printf("  after tenuring: %zu live objects, old? %s\n",
+                gc.liveObjects(),
+                gc.isOld(persistent) ? "yes" : "no");
+
+    // mutate old cells with young pointers: each first store to a
+    // protected old page is a write-barrier fault
+    for (int round = 0; round < 5; round++) {
+        for (int i = 0; i < 50; i++) {
+            Addr fresh = gc.alloc(2);
+            gc.writeWord(fresh, 0, 1000 + i);
+            gc.writeWord(persistent, 0, fresh);  // old <- young
+        }
+        // plenty of garbage
+        for (int i = 0; i < 2000; i++)
+            gc.alloc(2);
+        gc.collect();
+    }
+
+    const GcStats &s = gc.stats();
+    std::printf("\ncollector statistics:\n");
+    std::printf("  allocations:        %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(s.allocations),
+                static_cast<unsigned long long>(s.allocatedBytes));
+    std::printf("  collections:        %llu (%llu full)\n",
+                static_cast<unsigned long long>(s.collections),
+                static_cast<unsigned long long>(s.fullCollections));
+    std::printf("  objects swept:      %llu\n",
+                static_cast<unsigned long long>(s.objectsSwept));
+    std::printf("  blocks promoted:    %llu\n",
+                static_cast<unsigned long long>(s.blocksPromoted));
+    std::printf("  barrier faults:     %llu (each one a simulated "
+                "fast-path exception)\n",
+                static_cast<unsigned long long>(s.barrierFaults));
+    std::printf("  pages re-protected: %llu\n",
+                static_cast<unsigned long long>(s.pagesReprotected));
+    std::printf("  handler made %llu in-handler service calls "
+                "(eager amplification made re-protection from the "
+                "handler unnecessary)\n",
+                static_cast<unsigned long long>(
+                    env.stats().inHandlerServiceCalls));
+
+    // the data survived it all
+    unsigned count = 0;
+    for (Addr p = persistent; p != 0; p = gc.readWord(p, 1))
+        count++;
+    std::printf("\nlist intact: %u cells reachable\n", count);
+    return 0;
+}

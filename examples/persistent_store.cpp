@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pointer swizzling for a persistent object store (section 4.2.2):
+ * builds a small object graph "on disk", then traverses it three
+ * ways — lazy swizzling via unaligned-access exceptions, lazy
+ * swizzling via inline software checks, and eager swizzling with
+ * access-protected reservations — and compares their cost profiles.
+ *
+ *   $ ./examples/persistent_store
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/swizzle/ostore.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+
+namespace {
+
+/** A little database: a chain of "employee" records. */
+std::vector<Oid>
+populate(ObjectStore &store, unsigned n)
+{
+    std::vector<Oid> oids;
+    Oid prev_oid = 0;
+    bool have_prev = false;
+    for (unsigned i = 0; i < n; i++) {
+        std::vector<PField> fields;
+        fields.push_back({false, 1000 + i});           // employee id
+        fields.push_back({false, 40 + i % 20});        // hours
+        fields.push_back({true, have_prev ? prev_oid : kNullOid});
+        prev_oid = store.createObject(fields);
+        have_prev = true;
+        oids.push_back(prev_oid);
+    }
+    return oids;
+}
+
+void
+traverse(ObjectStore &store, Oid head, const char *label,
+         rt::UserEnv &env)
+{
+    Cycles before = env.cycles();
+    Addr obj = store.pin(head);
+    Word total_hours = 0;
+    unsigned count = 0;
+    while (obj != 0) {
+        total_hours += store.readData(obj, 1);
+        count++;
+        obj = store.deref(obj, 2);
+    }
+    Cycles cost = env.cycles() - before;
+    const StoreStats &s = store.stats();
+    std::printf("  %-16s %6u records, %6llu hours | %8llu cycles | "
+                "%llu faults, %llu checks, %llu swizzles\n",
+                label, count,
+                static_cast<unsigned long long>(total_hours),
+                static_cast<unsigned long long>(cost),
+                static_cast<unsigned long long>(s.swizzleFaults +
+                                                s.residencyFaults),
+                static_cast<unsigned long long>(s.residencyChecks),
+                static_cast<unsigned long long>(s.pointersSwizzled));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("persistent object store: the same traversal under "
+                "three swizzling strategies\n\n");
+
+    struct Mode
+    {
+        SwizzleMode mode;
+        const char *label;
+    };
+    const Mode modes[] = {
+        {SwizzleMode::LazyExceptions, "lazy/exceptions"},
+        {SwizzleMode::LazyChecks, "lazy/checks"},
+        {SwizzleMode::Eager, "eager"},
+    };
+
+    for (const Mode &m : modes) {
+        sim::Machine machine(rt::micro::paperMachineConfig());
+        os::Kernel kernel(machine);
+        kernel.boot();
+        rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+        env.install(0xffff);
+
+        ObjectStore::Config cfg;
+        cfg.mode = m.mode;
+        ObjectStore store(env, cfg);
+        auto oids = populate(store, 400);
+        traverse(store, oids.back(), m.label, env);
+    }
+
+    std::printf("\nwith fast exceptions the lazy/exception scheme "
+                "pays one cheap fault per first use and nothing "
+                "after; checks pay on every dereference (Figure 3)\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Conditional data watchpoints via protection faults — the debugging
+ * technique the paper's introduction cites (Wahbe '92) — over the
+ * fast user-level exception path.
+ *
+ *   $ ./examples/watchpoints
+ */
+
+#include <cstdio>
+
+#include "apps/watch/watch.h"
+#include "core/microbench.h"
+#include "os/kernel.h"
+
+using namespace uexc;
+using namespace uexc::apps;
+
+int
+main()
+{
+    sim::Machine machine(rt::micro::paperMachineConfig());
+    os::Kernel kernel(machine);
+    kernel.boot();
+    rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+    env.install(0xffff);
+
+    constexpr Addr kCounter = 0x10000040;
+    constexpr Addr kBalance = 0x10000080;
+    env.allocate(0x10000000, os::kPageBytes);
+
+    WatchpointEngine watch(env);
+
+    // an unconditional watch on a counter
+    watch.watch(kCounter, [](Addr a, Word oldv, Word newv) {
+        std::printf("  [watch] counter @0x%08x: %u -> %u\n", a, oldv,
+                    newv);
+    });
+
+    // a conditional watch: fire only when the balance goes "negative"
+    watch.watch(
+        kBalance,
+        [](Addr, Word oldv, Word newv) {
+            std::printf("  [watch] BALANCE WENT NEGATIVE: %d -> %d\n",
+                        static_cast<SWord>(oldv),
+                        static_cast<SWord>(newv));
+        },
+        [](Word v) { return static_cast<SWord>(v) < 0; });
+
+    std::printf("program runs; the debugger sleeps until the data "
+                "changes...\n\n");
+
+    watch.store(kBalance, 100);
+    for (int i = 1; i <= 3; i++)
+        watch.store(kCounter, i);
+    watch.store(kBalance, 40);           // predicate false: silent
+    watch.store(kBalance, static_cast<Word>(-20));  // fires
+
+    // unrelated data on the same page costs a fault per write at
+    // page granularity; the engine counts them
+    for (int i = 0; i < 4; i++)
+        watch.store(0x10000800 + 4 * i, i);
+
+    const WatchStats &s = watch.stats();
+    std::printf("\nstatistics: %llu faults, %llu hits, %llu triggers, "
+                "%llu false faults (unwatched words on watched "
+                "pages)\n",
+                static_cast<unsigned long long>(s.faults),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.triggers),
+                static_cast<unsigned long long>(s.falseFaults));
+    std::printf("run bench_watch for the cross-mechanism costs and "
+                "the subpage-granularity variant\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "apps/analysis/breakeven.h"
+
+#include "common/logging.h"
+
+namespace uexc::apps {
+
+double
+barrierBreakEvenUs(const BarrierAppProfile &app, double check_cycles,
+                   double clock_mhz)
+{
+    if (app.exceptions == 0 || clock_mhz <= 0)
+        UEXC_FATAL("barrier break-even needs exceptions > 0 and a "
+                   "positive clock");
+    // y < c*x / (f*t)
+    return static_cast<double>(app.softwareChecks) * check_cycles /
+           (clock_mhz * static_cast<double>(app.exceptions));
+}
+
+std::vector<BarrierAppProfile>
+hoskingMossProfiles()
+{
+    return {
+        // "Tree": synthetic tree creation/destruction; heavy
+        // allocation, moderate old-to-young store traffic
+        BarrierAppProfile{"Tree", 310'000, 2'700},
+        // "Interactive": the standard Smalltalk macro-benchmark
+        // suite; more checks relative to traps
+        BarrierAppProfile{"Interactive", 520'000, 2'100},
+    };
+}
+
+double
+swizzleBreakEvenUses(double check_cycles, double exception_us,
+                     double clock_mhz)
+{
+    if (check_cycles <= 0)
+        UEXC_FATAL("swizzle break-even needs positive check cost");
+    // c*u > f*y  =>  u* = f*y / c
+    return clock_mhz * exception_us / check_cycles;
+}
+
+double
+eagerLazyBreakEvenUsed(double exception_us, double swizzle_us,
+                       double pointers_per_page)
+{
+    if (exception_us + swizzle_us <= 0)
+        UEXC_FATAL("eager/lazy break-even needs positive costs");
+    // t + pn*s < pu*(t + s)  =>  pu* = (t + pn*s) / (t + s)
+    return (exception_us + pointers_per_page * swizzle_us) /
+           (exception_us + swizzle_us);
+}
+
+} // namespace uexc::apps

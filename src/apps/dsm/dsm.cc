@@ -1,0 +1,182 @@
+#include "apps/dsm/dsm.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "core/microbench.h"
+
+namespace uexc::apps {
+
+using namespace os;
+
+DsmCluster::DsmCluster(const Config &config)
+    : config_(config)
+{
+    if (!isAligned(config.base, kPageBytes) ||
+        !isAligned(config.bytes, kPageBytes) || config.nodes < 2) {
+        UEXC_FATAL("dsm: bad cluster configuration");
+    }
+
+    unsigned npages = config.bytes / kPageBytes;
+    pages_.resize(npages);
+    for (PageInfo &p : pages_)
+        p.states.assign(config.nodes, DsmPageState::Invalid);
+
+    sim::MachineConfig mcfg = rt::micro::paperMachineConfig();
+    mcfg.cpu.userVectorHw = config.hardwareExtensions;
+    mcfg.cpu.tlbmpHw = config.hardwareExtensions;
+
+    for (unsigned n = 0; n < config.nodes; n++) {
+        Node node;
+        node.machine = std::make_unique<sim::Machine>(mcfg);
+        node.kernel = std::make_unique<os::Kernel>(*node.machine);
+        node.kernel->boot();
+        node.env = std::make_unique<rt::UserEnv>(*node.kernel,
+                                                 config.mode);
+        node.env->install(0xffff);
+        node.env->allocate(config.base, config.bytes);
+        nodes_.push_back(std::move(node));
+    }
+
+    // initial ownership: node 0 holds every page writable; all other
+    // nodes start Invalid
+    for (unsigned i = 0; i < npages; i++) {
+        Addr page = config.base + i * kPageBytes;
+        pages_[i].owner = 0;
+        pages_[i].states[0] = DsmPageState::Writable;
+        for (unsigned n = 1; n < config.nodes; n++)
+            setProtection(n, page, DsmPageState::Invalid, false);
+    }
+
+    for (unsigned n = 0; n < config.nodes; n++) {
+        nodes_[n].env->setHandler(
+            [this, n](rt::Fault &f) { onFault(n, f); });
+    }
+}
+
+DsmCluster::~DsmCluster() = default;
+
+unsigned
+DsmCluster::pageIndex(Addr va) const
+{
+    if (va < config_.base || va >= config_.base + config_.bytes)
+        UEXC_FATAL("dsm: address 0x%08x outside the shared region", va);
+    return (va - config_.base) / kPageBytes;
+}
+
+void
+DsmCluster::setProtection(unsigned node, Addr page, DsmPageState state,
+                          bool in_handler)
+{
+    rt::UserEnv &env = *nodes_[node].env;
+    Word prot = 0;
+    switch (state) {
+      case DsmPageState::Invalid: prot = 0; break;
+      case DsmPageState::ReadShared: prot = kProtRead; break;
+      case DsmPageState::Writable: prot = kProtRead | kProtWrite; break;
+    }
+    // Protection changes on remote nodes are performed by their
+    // kernels on message receipt; the message cost is accounted by
+    // the caller, the VM work is applied directly here.
+    (void)in_handler;
+    env.process().as().protect(page, kPageBytes, prot);
+    pages_[pageIndex(page)].states[node] = state;
+}
+
+void
+DsmCluster::chargeMessage(unsigned node)
+{
+    nodes_[node].env->cpu().charge(config_.networkLatencyCycles);
+    stats_.messages++;
+}
+
+void
+DsmCluster::fetchPage(unsigned to_node, Addr page)
+{
+    unsigned from_node = pages_[pageIndex(page)].owner;
+    sim::Machine &src = *nodes_[from_node].machine;
+    sim::Machine &dst = *nodes_[to_node].machine;
+    Addr src_pa = nodes_[from_node].env->process().as().physOf(page);
+    Addr dst_pa = nodes_[to_node].env->process().as().physOf(page);
+    std::vector<Byte> buf(kPageBytes);
+    src.mem().readBlock(src_pa, buf.data(), kPageBytes);
+    dst.mem().writeBlock(dst_pa, buf.data(), kPageBytes);
+    nodes_[to_node].env->cpu().charge(
+        config_.copyPerWordCycles * (kPageBytes / 4));
+    stats_.pageTransfers++;
+}
+
+void
+DsmCluster::onFault(unsigned node, rt::Fault &fault)
+{
+    Addr page = roundDown(fault.badVaddr(), kPageBytes);
+    PageInfo &info = pages_[pageIndex(page)];
+    bool is_write = fault.code() == sim::ExcCode::TlbS ||
+                    fault.code() == sim::ExcCode::Mod;
+
+    if (!is_write) {
+        // read miss: request the page from the owner
+        stats_.readFaults++;
+        chargeMessage(node);            // request
+        fetchPage(node, page);
+        chargeMessage(node);            // reply
+        // the owner drops to read-shared
+        if (info.states[info.owner] == DsmPageState::Writable) {
+            setProtection(info.owner, page, DsmPageState::ReadShared,
+                          true);
+        }
+        setProtection(node, page, DsmPageState::ReadShared, true);
+        return;
+    }
+
+    // write miss: invalidate every other copy, take ownership
+    stats_.writeFaults++;
+    chargeMessage(node);                // ownership request
+    if (info.states[node] == DsmPageState::Invalid)
+        fetchPage(node, page);
+    for (unsigned n = 0; n < nodes(); n++) {
+        if (n == node)
+            continue;
+        if (info.states[n] != DsmPageState::Invalid) {
+            chargeMessage(node);        // invalidation message
+            setProtection(n, page, DsmPageState::Invalid, true);
+            stats_.invalidations++;
+        }
+    }
+    info.owner = node;
+    setProtection(node, page, DsmPageState::Writable, true);
+}
+
+Word
+DsmCluster::read(unsigned node, Addr va)
+{
+    return nodes_[node].env->load(va);
+}
+
+void
+DsmCluster::write(unsigned node, Addr va, Word value)
+{
+    nodes_[node].env->store(va, value);
+}
+
+DsmPageState
+DsmCluster::state(unsigned node, Addr va) const
+{
+    return pages_[pageIndex(va)].states[node];
+}
+
+unsigned
+DsmCluster::ownerOf(Addr va) const
+{
+    return pages_[pageIndex(va)].owner;
+}
+
+Cycles
+DsmCluster::totalCycles() const
+{
+    Cycles total = 0;
+    for (const Node &n : nodes_)
+        total += n.machine->cpu().cycles();
+    return total;
+}
+
+} // namespace uexc::apps

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Page-based distributed shared memory in the style of Li & Hudak's
+ * IVY — the "distributed virtual memory" use of exceptions the paper
+ * cites. Each node is a complete simulated machine (its own CPU,
+ * TLB, kernel, and exception runtime); a shared region is kept
+ * coherent with a single-manager write-invalidate protocol driven
+ * entirely by memory-protection faults:
+ *
+ *   - a read of an Invalid page faults; the handler fetches the page
+ *     from its owner (network latency + per-word copy charged), maps
+ *     it read-only, and joins the copyset;
+ *   - a write to a non-exclusive page faults; the handler invalidates
+ *     every other copy, takes ownership, and maps read-write.
+ *
+ * The DSM fault handler is where exception-delivery cost matters: on
+ * a slow 1994 network it is noise, but the faster the interconnect,
+ * the larger the fraction of a page miss the dispatch path becomes —
+ * bench_dsm sweeps exactly that.
+ */
+
+#ifndef UEXC_APPS_DSM_DSM_H
+#define UEXC_APPS_DSM_DSM_H
+
+#include <memory>
+#include <vector>
+
+#include "core/env.h"
+#include "os/kernel.h"
+
+namespace uexc::apps {
+
+/** Per-node page state. */
+enum class DsmPageState
+{
+    Invalid,
+    ReadShared,
+    Writable,
+};
+
+/** Cluster statistics. */
+struct DsmStats
+{
+    std::uint64_t readFaults = 0;
+    std::uint64_t writeFaults = 0;
+    std::uint64_t pageTransfers = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t messages = 0;
+};
+
+/**
+ * A cluster of simulated nodes sharing one coherent region.
+ */
+class DsmCluster
+{
+  public:
+    struct Config
+    {
+        unsigned nodes = 2;
+        Addr base = 0x40000000;
+        Word bytes = 16 * os::kPageBytes;
+        rt::DeliveryMode mode = rt::DeliveryMode::FastSoftware;
+        /** One-way message latency in cycles (1994 Ethernet at
+         *  25 MHz: ~25k cycles / 1 ms; modern fabrics far less). */
+        Cycles networkLatencyCycles = 25000;
+        /** Per-word page copy cost (DMA/wire time). */
+        Cycles copyPerWordCycles = 1;
+        bool hardwareExtensions = true;
+    };
+
+    explicit DsmCluster(const Config &config);
+    ~DsmCluster();
+
+    unsigned nodes() const { return static_cast<unsigned>(
+        nodes_.size()); }
+
+    /** Coherent word read on a node. */
+    Word read(unsigned node, Addr va);
+    /** Coherent word write on a node. */
+    void write(unsigned node, Addr va, Word value);
+
+    /** Page state as seen by a node (for tests). */
+    DsmPageState state(unsigned node, Addr va) const;
+    /** Current owner of the page containing @p va. */
+    unsigned ownerOf(Addr va) const;
+
+    const DsmStats &stats() const { return stats_; }
+    /** Total simulated cycles across all nodes. */
+    Cycles totalCycles() const;
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<sim::Machine> machine;
+        std::unique_ptr<os::Kernel> kernel;
+        std::unique_ptr<rt::UserEnv> env;
+    };
+
+    struct PageInfo
+    {
+        unsigned owner = 0;
+        std::vector<DsmPageState> states;   // per node
+    };
+
+    unsigned pageIndex(Addr va) const;
+    void onFault(unsigned node, rt::Fault &fault);
+    void fetchPage(unsigned to_node, Addr page);
+    void setProtection(unsigned node, Addr page, DsmPageState state,
+                       bool in_handler);
+    void chargeMessage(unsigned node);
+
+    Config config_;
+    std::vector<Node> nodes_;
+    std::vector<PageInfo> pages_;
+    DsmStats stats_;
+};
+
+} // namespace uexc::apps
+
+#endif // UEXC_APPS_DSM_DSM_H

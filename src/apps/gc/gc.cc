@@ -1,0 +1,383 @@
+#include "apps/gc/gc.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::apps {
+
+using namespace os;
+
+namespace {
+
+/** Host-side cycle charges for collector bookkeeping that has no
+ *  per-word heap traffic of its own (the traffic is charged by the
+ *  UserEnv accessors). Rough R3000 instruction estimates. */
+constexpr Cycles kAllocCycles = 12;       // size lookup, bump, header
+constexpr Cycles kMarkVisitCycles = 8;    // stack pop, header test, set
+constexpr Cycles kSweepCycles = 4;        // per young object at sweep
+constexpr Cycles kRootScanCycles = 3;     // per root slot
+
+} // namespace
+
+Collector::Collector(rt::UserEnv &env, const Config &config)
+    : env_(env), config_(config), heapBump_(config.heapBase)
+{
+    if (!isAligned(config.heapBase, kBlockBytes))
+        UEXC_FATAL("gc: heap base 0x%08x not block aligned",
+                   config.heapBase);
+    roots_.assign(config.numRoots, 0);
+
+    if (config_.barrier == BarrierKind::PageProtection) {
+        env_.setHandler([this](rt::Fault &f) { onFault(f); });
+        if (env_.mode() != rt::DeliveryMode::UltrixSignal)
+            env_.setEagerAmplify(config_.eagerAmplify);
+    }
+}
+
+Collector::Block &
+Collector::newBlock(bool old_gen)
+{
+    Block *block;
+    if (!old_gen && !freeBlocks_.empty()) {
+        block = freeBlocks_.back();
+        freeBlocks_.pop_back();
+        block->onFreeList = false;
+    } else {
+        if (heapBump_ + kBlockBytes > config_.heapBase + config_.heapBytes)
+            UEXC_FATAL("gc: heap exhausted (%u bytes)",
+                       config_.heapBytes);
+        blocks_.push_back(std::make_unique<Block>());
+        block = blocks_.back().get();
+        block->base = heapBump_;
+        heapBump_ += kBlockBytes;
+        env_.allocate(block->base, kBlockBytes);
+    }
+    block->old = old_gen;
+    block->bumpOffset = 0;
+    block->objects.clear();
+    return *block;
+}
+
+Addr
+Collector::allocInBlock(Block &block, unsigned payload_words)
+{
+    Word need = 4 * (payload_words + 1);
+    Addr header = block.base + block.bumpOffset;
+    block.bumpOffset += need;
+    Addr payload = header + 4;
+    // object header: size in words (realism: the sweep phase of a real
+    // collector walks these)
+    env_.store(header, payload_words);
+    // objects are returned zeroed (recycled blocks hold old bits)
+    for (unsigned i = 0; i < payload_words; i++)
+        env_.store(payload + 4 * i, 0);
+    Object obj;
+    obj.words = payload_words;
+    obj.block = &block;
+    objects_[payload] = obj;
+    block.objects.push_back(payload);
+    env_.cpu().charge(kAllocCycles);
+    stats_.allocations++;
+    stats_.allocatedBytes += need;
+    return payload;
+}
+
+Addr
+Collector::alloc(unsigned payload_words)
+{
+    Word need = 4 * (payload_words + 1);
+    if (need > kBlockBytes)
+        return allocOld(payload_words);
+
+    if (youngAllocated_ + need > config_.youngBudgetBytes) {
+        bool full = config_.fullCollectEvery != 0 &&
+                    youngCollectsSinceFull_ + 1 >=
+                        config_.fullCollectEvery;
+        collectImpl(full);
+    }
+
+    if (!allocBlock_ ||
+        allocBlock_->bumpOffset + need > kBlockBytes) {
+        allocBlock_ = &newBlock(false);
+    }
+    youngAllocated_ += need;
+    return allocInBlock(*allocBlock_, payload_words);
+}
+
+Addr
+Collector::allocOld(unsigned payload_words)
+{
+    Word need = 4 * (payload_words + 1);
+    unsigned nblocks = (need + kBlockBytes - 1) / kBlockBytes;
+    // old large objects take fresh contiguous blocks
+    Block *first = nullptr;
+    for (unsigned i = 0; i < nblocks; i++) {
+        Block &b = newBlock(true);
+        if (!first) {
+            first = &b;
+        } else if (b.base != first->base + i * kBlockBytes) {
+            UEXC_FATAL("gc: large object blocks not contiguous");
+        }
+    }
+    Addr header = first->base;
+    Addr payload = header + 4;
+    env_.store(header, payload_words);
+    Object obj;
+    obj.words = payload_words;
+    obj.block = first;
+    objects_[payload] = obj;
+    // register in every covered block so dirty-page scans find it
+    Addr end = payload + 4 * payload_words;
+    for (auto &bp : blocks_) {
+        if (bp->base >= first->base && bp->base < end)
+            if (bp.get() != first)
+                bp->objects.push_back(payload);
+    }
+    first->objects.push_back(payload);
+    env_.cpu().charge(kAllocCycles + nblocks);
+    stats_.allocations++;
+    stats_.allocatedBytes += need;
+    if (config_.barrier == BarrierKind::PageProtection)
+        reprotectOldBlocks();
+    return payload;
+}
+
+bool
+Collector::isOld(Addr payload) const
+{
+    auto it = objects_.find(payload);
+    return it != objects_.end() && it->second.block->old;
+}
+
+void
+Collector::writeWord(Addr payload, unsigned index, Word value)
+{
+    Addr addr = payload + 4 * index;
+    if (config_.barrier == BarrierKind::SoftwareCheck) {
+        // the inline check: is the stored-into object old and the
+        // stored value a young pointer? (exact remembered set)
+        stats_.barrierChecks++;
+        env_.cpu().charge(config_.softwareCheckCycles);
+        auto dst = objects_.find(payload);
+        if (dst != objects_.end() && dst->second.block->old) {
+            auto src = objects_.find(value);
+            if (src != objects_.end() && !src->second.block->old) {
+                if (remembered_.insert(payload).second)
+                    stats_.rememberedObjects++;
+            }
+        }
+    }
+    env_.store(addr, value);
+}
+
+Word
+Collector::readWord(Addr payload, unsigned index)
+{
+    return env_.load(payload + 4 * index);
+}
+
+void
+Collector::setRoot(unsigned slot, Addr payload)
+{
+    if (slot >= roots_.size())
+        UEXC_FATAL("gc: root slot %u out of range", slot);
+    roots_[slot] = payload;
+}
+
+Addr
+Collector::root(unsigned slot) const
+{
+    if (slot >= roots_.size())
+        UEXC_FATAL("gc: root slot %u out of range", slot);
+    return roots_[slot];
+}
+
+void
+Collector::onFault(rt::Fault &fault)
+{
+    Addr page = roundDown(fault.badVaddr(), kBlockBytes);
+    if (page < config_.heapBase || page >= heapBump_)
+        UEXC_FATAL("gc: unexpected fault at 0x%08x (%s)",
+                   fault.badVaddr(), sim::excName(fault.code()));
+    stats_.barrierFaults++;
+    dirtyPages_.insert(page);
+    if (env_.mode() == rt::DeliveryMode::FastHardwareVector) {
+        // no kernel ran: the handler re-enables access itself with
+        // the TLBMP instruction (sections 2.2/3.2.3 pair user-level
+        // delivery with user-level TLB protection modification)
+        env_.userTlbModify(page, /*writable=*/true, /*valid=*/true);
+    } else if (env_.mode() == rt::DeliveryMode::UltrixSignal ||
+               !config_.eagerAmplify) {
+        // Under Unix signals the handler must re-enable access with
+        // mprotect (a second kernel crossing); the fast software
+        // scheme with eager amplification already did it in-kernel.
+        env_.protect(page, kBlockBytes, kProtRead | kProtWrite);
+    }
+}
+
+void
+Collector::scanObject(Addr payload, const Object &obj, bool full)
+{
+    Addr end = payload + 4 * obj.words;
+    for (Addr addr = payload; addr < end; addr += 4) {
+        Word w = env_.load(addr);
+        auto it = objects_.find(w);
+        if (it != objects_.end() && !it->second.marked &&
+            (full || !it->second.block->old)) {
+            markStack_.push_back(w);
+        }
+    }
+}
+
+void
+Collector::collect()
+{
+    collectImpl(false);
+}
+
+void
+Collector::fullCollect()
+{
+    collectImpl(true);
+}
+
+void
+Collector::collectImpl(bool full)
+{
+    stats_.collections++;
+    if (full) {
+        stats_.fullCollections++;
+        youngCollectsSinceFull_ = 0;
+    } else {
+        youngCollectsSinceFull_++;
+    }
+    markStack_.clear();
+
+    // roots
+    for (Addr r : roots_) {
+        env_.cpu().charge(kRootScanCycles);
+        auto it = objects_.find(r);
+        if (it != objects_.end() &&
+            (full || !it->second.block->old)) {
+            markStack_.push_back(r);
+        }
+    }
+
+    // barrier sources: dirty old pages or the remembered set (a full
+    // collection traces through old objects and needs neither)
+    if (!full && config_.barrier == BarrierKind::PageProtection) {
+        for (Addr page : dirtyPages_) {
+            for (auto &bp : blocks_) {
+                if (bp->base != page || !bp->old)
+                    continue;
+                for (Addr obj_addr : bp->objects) {
+                    const Object &obj = objects_.at(obj_addr);
+                    // scan only the dirty-page window of the object
+                    Addr lo = std::max(obj_addr, page);
+                    Addr hi = std::min(obj_addr + 4 * obj.words,
+                                       page + kBlockBytes);
+                    for (Addr a = lo; a < hi; a += 4) {
+                        Word w = env_.load(a);
+                        auto it = objects_.find(w);
+                        if (it != objects_.end() &&
+                            !it->second.block->old &&
+                            !it->second.marked) {
+                            markStack_.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+    } else if (!full) {
+        for (Addr obj_addr : remembered_) {
+            auto it = objects_.find(obj_addr);
+            if (it != objects_.end())
+                scanObject(obj_addr, it->second, false);
+        }
+    }
+
+    // mark
+    while (!markStack_.empty()) {
+        Addr p = markStack_.back();
+        markStack_.pop_back();
+        Object &obj = objects_.at(p);
+        if (obj.marked || (!full && obj.block->old))
+            continue;
+        obj.marked = true;
+        stats_.objectsMarked++;
+        env_.cpu().charge(kMarkVisitCycles);
+        scanObject(p, obj, full);
+    }
+
+    // sweep; promote young blocks with survivors, recycle empty ones
+    for (auto &bp : blocks_) {
+        Block &b = *bp;
+        if (!full && b.old)
+            continue;
+        std::vector<Addr> survivors;
+        for (Addr obj_addr : b.objects) {
+            env_.cpu().charge(kSweepCycles);
+            auto it = objects_.find(obj_addr);
+            if (it == objects_.end())
+                continue;   // multi-block object already erased
+            Object &obj = it->second;
+            if (obj.marked) {
+                survivors.push_back(obj_addr);
+            } else {
+                objects_.erase(it);
+                stats_.objectsSwept++;
+            }
+        }
+        b.objects = std::move(survivors);
+        if (!b.objects.empty()) {
+            if (!b.old) {
+                b.old = true;
+                stats_.blocksPromoted++;
+            }
+        } else if (!b.onFreeList) {
+            b.old = false;
+            b.bumpOffset = 0;
+            b.onFreeList = true;
+            freeBlocks_.push_back(&b);
+        }
+    }
+    // clear mark bits on every survivor (old survivors of a full
+    // collection keep their entries)
+    for (auto &entry : objects_)
+        entry.second.marked = false;
+
+    allocBlock_ = nullptr;
+    youngAllocated_ = 0;
+    dirtyPages_.clear();
+    remembered_.clear();
+
+    if (config_.barrier == BarrierKind::PageProtection)
+        reprotectOldBlocks();
+}
+
+void
+Collector::reprotectOldBlocks()
+{
+    // write-protect the old generation in maximal contiguous runs
+    // (each run is one mprotect-style call, with its real cost)
+    std::vector<Addr> old_bases;
+    for (auto &bp : blocks_) {
+        if (bp->old)
+            old_bases.push_back(bp->base);
+    }
+    std::sort(old_bases.begin(), old_bases.end());
+    std::size_t i = 0;
+    while (i < old_bases.size()) {
+        std::size_t j = i + 1;
+        while (j < old_bases.size() &&
+               old_bases[j] == old_bases[j - 1] + kBlockBytes) {
+            j++;
+        }
+        Word len = static_cast<Word>((j - i) * kBlockBytes);
+        env_.protect(old_bases[i], len, kProtRead);
+        stats_.pagesReprotected += (j - i);
+        i = j;
+    }
+}
+
+} // namespace uexc::apps

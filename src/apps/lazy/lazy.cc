@@ -1,0 +1,183 @@
+#include "apps/lazy/lazy.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::apps {
+
+using sim::ExcCode;
+
+namespace {
+constexpr Word kTag = 2;
+} // namespace
+
+// -- LazyArena -----------------------------------------------------------------
+
+LazyArena::LazyArena(rt::UserEnv &env, Addr base, Word bytes)
+    : env_(env), bump_(base), limit_(base + bytes), mapped_(base)
+{
+    if (!isAligned(base, os::kPageBytes))
+        UEXC_FATAL("lazy arena base not page aligned");
+}
+
+Addr
+LazyArena::alloc(unsigned words)
+{
+    Addr addr = bump_;
+    bump_ += 4 * words;
+    if (bump_ > limit_)
+        UEXC_FATAL("lazy arena exhausted");
+    while (mapped_ < bump_) {
+        env_.allocate(mapped_, os::kPageBytes);
+        mapped_ += os::kPageBytes;
+    }
+    return addr;
+}
+
+// -- UnboundedList --------------------------------------------------------------
+
+UnboundedList::UnboundedList(LazyArena &arena, Generator generator)
+    : arena_(arena), generator_(std::move(generator))
+{
+    arena_.env().setHandler([this](rt::Fault &f) { onFault(f); });
+    head_ = makeCell(0);
+}
+
+Addr
+UnboundedList::makeCell(unsigned index)
+{
+    Addr cell = arena_.alloc(2);
+    arena_.env().store(cell, generator_(index));
+    // the tail is unevaluated: store the tagged continuation index
+    arena_.env().store(cell + 4, ((index + 1) << 2) | kTag);
+    count_++;
+    return cell;
+}
+
+Word
+UnboundedList::datum(Addr cell)
+{
+    return arena_.env().load(cell);
+}
+
+Addr
+UnboundedList::next(Addr cell)
+{
+    lastNextCell_ = cell + 4;
+    Word w = arena_.env().load(cell + 4);
+    // touch through the pointer: an unevaluated tail faults here and
+    // the handler extends the list
+    arena_.env().load(w);
+    return arena_.env().load(cell + 4);
+}
+
+void
+UnboundedList::onFault(rt::Fault &fault)
+{
+    if (fault.code() != ExcCode::AdEL || (fault.badVaddr() & 3) != kTag)
+        UEXC_FATAL("unbounded list: unexpected fault %s at 0x%08x",
+                   sim::excName(fault.code()), fault.badVaddr());
+    faults_++;
+    unsigned index = fault.badVaddr() >> 2;
+    Addr cell = makeCell(index);
+    arena_.env().store(lastNextCell_, cell);
+    fault.setReg(sim::T6, cell);
+}
+
+// -- FutureCell ------------------------------------------------------------------
+
+FutureCell::FutureCell(LazyArena &arena, Producer producer)
+    : arena_(arena), producer_(std::move(producer))
+{
+    arena_.env().setHandler([this](rt::Fault &f) { onFault(f); });
+    valueBox_ = arena_.alloc(1);
+    cell_ = arena_.alloc(1);
+    // unresolved: the cell points at the value box, tagged unaligned
+    arena_.env().store(cell_, valueBox_ | kTag);
+}
+
+void
+FutureCell::resolve()
+{
+    if (resolved_)
+        return;
+    arena_.env().store(valueBox_, producer_());
+    arena_.env().store(cell_, valueBox_);   // aligned: resolved
+    resolved_ = true;
+}
+
+Word
+FutureCell::value()
+{
+    Word w = arena_.env().load(cell_);
+    // touching through an unresolved (tagged) pointer faults; the
+    // handler runs the producer and repairs the pointer
+    return arena_.env().load(w);
+}
+
+void
+FutureCell::onFault(rt::Fault &fault)
+{
+    if (fault.code() != ExcCode::AdEL || (fault.badVaddr() & 3) != kTag)
+        UEXC_FATAL("future: unexpected fault %s at 0x%08x",
+                   sim::excName(fault.code()), fault.badVaddr());
+    faults_++;
+    // in a threaded system the consumer would block here; in this
+    // single-threaded reproduction the producer runs in the handler
+    arena_.env().store(valueBox_, producer_());
+    arena_.env().store(cell_, valueBox_);
+    resolved_ = true;
+    fault.setReg(sim::T6, valueBox_);
+}
+
+// -- FullEmptyCell ----------------------------------------------------------------
+
+FullEmptyCell::FullEmptyCell(LazyArena &arena, Filler on_empty_read)
+    : arena_(arena), filler_(std::move(on_empty_read))
+{
+    arena_.env().setHandler([this](rt::Fault &f) { onFault(f); });
+    valueBox_ = arena_.alloc(1);
+    cell_ = arena_.alloc(1);
+    arena_.env().store(cell_, valueBox_ | kTag);   // empty
+}
+
+Word
+FullEmptyCell::read()
+{
+    Word w = arena_.env().load(cell_);
+    return arena_.env().load(w);
+}
+
+void
+FullEmptyCell::write(Word value)
+{
+    arena_.env().store(valueBox_, value);
+    arena_.env().store(cell_, valueBox_);
+    full_ = true;
+}
+
+Word
+FullEmptyCell::take()
+{
+    Word v = read();
+    arena_.env().store(cell_, valueBox_ | kTag);
+    full_ = false;
+    return v;
+}
+
+void
+FullEmptyCell::onFault(rt::Fault &fault)
+{
+    if (fault.code() != ExcCode::AdEL || (fault.badVaddr() & 3) != kTag)
+        UEXC_FATAL("full/empty: unexpected fault %s at 0x%08x",
+                   sim::excName(fault.code()), fault.badVaddr());
+    faults_++;
+    // an empty read: the registered filler stands in for the blocked
+    // producer hand-off
+    arena_.env().store(valueBox_, filler_());
+    arena_.env().store(cell_, valueBox_);
+    full_ = true;
+    fault.setReg(sim::T6, valueBox_);
+}
+
+} // namespace uexc::apps

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unaligned-pointer language-runtime techniques (section 4.2.1):
+ *
+ *  - UnboundedList: an incrementally materialized (potentially
+ *    infinite) linked list. The unevaluated tail is denoted by an
+ *    unaligned pointer in the last cell; walking into it faults, and
+ *    the handler extends the list with the next element — no explicit
+ *    "force" calls in the consumer.
+ *
+ *  - FutureCell: a future represented as an unaligned pointer while
+ *    unresolved (the APRIL/Alewife representation the paper cites).
+ *    Touching an unresolved future faults; the handler runs the
+ *    producer, aligns the pointer, and the consumer proceeds.
+ *
+ *  - FullEmptyCell: full/empty-bit synchronization through a
+ *    potentially-unaligned indirection word, emulating Tera-style
+ *    tagged memory on conventional hardware.
+ *
+ * All structures live in simulated memory behind a rt::UserEnv; the
+ * faults run the configured delivery path, so the techniques'
+ * viability can be compared across Ultrix signals, the fast software
+ * scheme, and hardware vectoring.
+ */
+
+#ifndef UEXC_APPS_LAZY_LAZY_H
+#define UEXC_APPS_LAZY_LAZY_H
+
+#include <functional>
+
+#include "core/env.h"
+
+namespace uexc::apps {
+
+/**
+ * Arena allocator inside the simulated heap, shared by the lazy
+ * structures (plain bump allocation; no collection).
+ */
+class LazyArena
+{
+  public:
+    LazyArena(rt::UserEnv &env, Addr base, Word bytes);
+
+    /** Allocate @p words words (word-aligned, zeroed by mapping). */
+    Addr alloc(unsigned words);
+
+    rt::UserEnv &env() { return env_; }
+
+  private:
+    rt::UserEnv &env_;
+    Addr bump_;
+    Addr limit_;
+    Addr mapped_;
+};
+
+/**
+ * The unbounded list. Cell layout: [datum, next]; "next" is either an
+ * aligned cell address (evaluated) or (index << 2) | 2 (unevaluated
+ * continuation of the generator at that index).
+ */
+class UnboundedList
+{
+  public:
+    /** Produces the datum for element @p index. */
+    using Generator = std::function<Word(unsigned index)>;
+
+    /**
+     * The list's fault handler is installed on the environment;
+     * exactly one lazy structure can own the handler at a time.
+     */
+    UnboundedList(LazyArena &arena, Generator generator);
+
+    /** Head cell (element 0 is materialized on construction). */
+    Addr head() const { return head_; }
+
+    /** Element datum. */
+    Word datum(Addr cell);
+    /**
+     * Next cell; materializes it through the unaligned-access fault
+     * if it has not been evaluated yet.
+     */
+    Addr next(Addr cell);
+
+    /** Number of cells materialized so far. */
+    unsigned materialized() const { return count_; }
+    std::uint64_t faults() const { return faults_; }
+
+  private:
+    Addr makeCell(unsigned index);
+    void onFault(rt::Fault &fault);
+
+    LazyArena &arena_;
+    Generator generator_;
+    Addr head_ = 0;
+    unsigned count_ = 0;
+    std::uint64_t faults_ = 0;
+    Addr lastNextCell_ = 0;
+};
+
+/**
+ * A future: one word that is (addr | 2) while unresolved and a plain
+ * aligned address once resolved. Consumers call value(); if the
+ * producer has not run, the unaligned fault triggers it.
+ */
+class FutureCell
+{
+  public:
+    /** Producer computes the future's value. */
+    using Producer = std::function<Word()>;
+
+    FutureCell(LazyArena &arena, Producer producer);
+
+    /** Explicitly resolve (the producer side). */
+    void resolve();
+
+    /**
+     * Consume: returns the value, forcing resolution through the
+     * fault path if needed.
+     */
+    Word value();
+
+    bool resolved() const { return resolved_; }
+    std::uint64_t faults() const { return faults_; }
+
+  private:
+    void onFault(rt::Fault &fault);
+
+    LazyArena &arena_;
+    Producer producer_;
+    Addr cell_;       ///< holds the (possibly tagged) value pointer
+    Addr valueBox_;   ///< holds the value itself
+    bool resolved_ = false;
+    std::uint64_t faults_ = 0;
+};
+
+/**
+ * Full/empty-bit synchronization: read blocks (here: triggers the
+ * registered filler) when empty; write fills. The cell is an
+ * indirection word that is unaligned while empty.
+ */
+class FullEmptyCell
+{
+  public:
+    using Filler = std::function<Word()>;
+
+    FullEmptyCell(LazyArena &arena, Filler on_empty_read);
+
+    /** Synchronizing read: faults and fills if empty. */
+    Word read();
+    /** Write and mark full. */
+    void write(Word value);
+    /** Consume and mark empty again. */
+    Word take();
+
+    bool full() const { return full_; }
+    std::uint64_t faults() const { return faults_; }
+
+  private:
+    void onFault(rt::Fault &fault);
+
+    LazyArena &arena_;
+    Filler filler_;
+    Addr cell_;
+    Addr valueBox_;
+    bool full_ = false;
+    std::uint64_t faults_ = 0;
+};
+
+} // namespace uexc::apps
+
+#endif // UEXC_APPS_LAZY_LAZY_H

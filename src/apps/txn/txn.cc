@@ -1,0 +1,119 @@
+#include "apps/txn/txn.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::apps {
+
+using namespace os;
+
+TxnRegion::TxnRegion(rt::UserEnv &env, Addr base, Word bytes)
+    : env_(env), base_(base), bytes_(bytes)
+{
+    if (!isAligned(base, kPageBytes) || !isAligned(bytes, kPageBytes) ||
+        bytes == 0) {
+        UEXC_FATAL("txn: region must be page aligned and non-empty");
+    }
+    env_.allocate(base, bytes);
+    env_.setHandler([this](rt::Fault &f) { onFault(f); });
+    if (env_.mode() == rt::DeliveryMode::FastSoftware)
+        env_.setEagerAmplify(true);
+}
+
+void
+TxnRegion::checkInRegion(Addr addr) const
+{
+    if (addr < base_ || addr + 4 > base_ + bytes_)
+        UEXC_FATAL("txn: access at 0x%08x outside the region", addr);
+}
+
+void
+TxnRegion::begin()
+{
+    if (active_)
+        UEXC_FATAL("txn: begin with a transaction already active");
+    active_ = true;
+    stats_.begun++;
+    undoLog_.clear();
+    // arm write detection over the whole region
+    env_.protect(base_, bytes_, kProtRead);
+}
+
+void
+TxnRegion::commit()
+{
+    if (!active_)
+        UEXC_FATAL("txn: commit with no active transaction");
+    active_ = false;
+    stats_.committed++;
+    undoLog_.clear();
+    // leave the region writable until the next begin()
+    env_.protect(base_, bytes_, kProtRead | kProtWrite);
+}
+
+void
+TxnRegion::abort()
+{
+    if (!active_)
+        UEXC_FATAL("txn: abort with no active transaction");
+    active_ = false;
+    stats_.aborted++;
+    // restore before-images through the simulated memory system
+    for (const auto &[page, image] : undoLog_) {
+        for (unsigned i = 0; i < image.size(); i++)
+            env_.store(page + 4 * i, image[i]);
+        stats_.pagesRestored++;
+    }
+    undoLog_.clear();
+    env_.protect(base_, bytes_, kProtRead | kProtWrite);
+}
+
+void
+TxnRegion::store(Addr addr, Word value)
+{
+    checkInRegion(addr);
+    env_.store(addr, value);
+}
+
+Word
+TxnRegion::load(Addr addr)
+{
+    checkInRegion(addr);
+    return env_.load(addr);
+}
+
+void
+TxnRegion::onFault(rt::Fault &fault)
+{
+    Addr page = roundDown(fault.badVaddr(), kPageBytes);
+    if (!active_ || page < base_ || page >= base_ + bytes_)
+        UEXC_FATAL("txn: unexpected fault at 0x%08x (%s)",
+                   fault.badVaddr(), sim::excName(fault.code()));
+    stats_.pageFaults++;
+
+    // capture the before-image (4 KB of reads through the simulated
+    // memory system: this is the part exception dispatch does NOT
+    // dominate, unlike the GC barrier)
+    std::vector<Word> image(kPageBytes / 4);
+    for (unsigned i = 0; i < image.size(); i++)
+        image[i] = env_.load(page + 4 * i);
+    undoLog_.emplace(page, std::move(image));
+    stats_.pagesLogged++;
+
+    // re-enable write access for the rest of the transaction
+    switch (env_.mode()) {
+      case rt::DeliveryMode::UltrixSignal:
+        env_.protect(page, kPageBytes, kProtRead | kProtWrite);
+        break;
+      case rt::DeliveryMode::FastHardwareVector:
+        env_.userTlbModify(page, true, true);
+        break;
+      case rt::DeliveryMode::FastSoftware:
+        // eager amplification did it in-kernel; align the page table
+        // so later TLB refills do not re-arm detection mid-txn
+        env_.process().as().amplify(page);
+        break;
+    }
+}
+
+} // namespace uexc::apps

@@ -1,0 +1,151 @@
+#include "apps/watch/watch.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::apps {
+
+using namespace os;
+
+WatchpointEngine::WatchpointEngine(rt::UserEnv &env)
+    : WatchpointEngine(env, Config())
+{
+}
+
+WatchpointEngine::WatchpointEngine(rt::UserEnv &env, const Config &config)
+    : env_(env), config_(config)
+{
+    env_.setHandler([this](rt::Fault &f) { onFault(f); });
+    if (env_.mode() == rt::DeliveryMode::FastSoftware)
+        env_.setEagerAmplify(true);
+}
+
+Word
+WatchpointEngine::regionBytes() const
+{
+    return config_.useSubpages ? kSubpageBytes : kPageBytes;
+}
+
+Addr
+WatchpointEngine::regionOf(Addr addr) const
+{
+    return roundDown(addr, regionBytes());
+}
+
+void
+WatchpointEngine::armRegion(Addr region)
+{
+    if (config_.useSubpages)
+        env_.subpageProtect(region, kSubpageBytes, kProtRead);
+    else
+        env_.protect(region, kPageBytes, kProtRead);
+}
+
+void
+WatchpointEngine::disarmRegion(Addr region)
+{
+    if (config_.useSubpages)
+        env_.subpageProtect(region, kSubpageBytes,
+                            kProtRead | kProtWrite);
+    else
+        env_.protect(region, kPageBytes, kProtRead | kProtWrite);
+}
+
+int
+WatchpointEngine::watch(Addr addr, Callback callback,
+                        Predicate predicate)
+{
+    if (!isAligned(addr, 4))
+        UEXC_FATAL("watchpoint address 0x%08x not word aligned", addr);
+    int id = nextId_++;
+    watchpoints_[id] = Watchpoint{addr, std::move(callback),
+                                  std::move(predicate)};
+    Addr region = regionOf(addr);
+    if (regions_[region]++ == 0)
+        armRegion(region);
+    return id;
+}
+
+void
+WatchpointEngine::unwatch(int id)
+{
+    auto it = watchpoints_.find(id);
+    if (it == watchpoints_.end())
+        UEXC_FATAL("unwatch of unknown watchpoint %d", id);
+    Addr region = regionOf(it->second.addr);
+    watchpoints_.erase(it);
+    auto rit = regions_.find(region);
+    if (rit == regions_.end() || rit->second == 0)
+        UEXC_PANIC("watch region bookkeeping out of sync");
+    if (--rit->second == 0) {
+        regions_.erase(rit);
+        disarmRegion(region);
+    }
+}
+
+void
+WatchpointEngine::store(Addr addr, Word value)
+{
+    env_.store(addr, value);
+    if (pendingRearm_) {
+        Addr region = pendingRearm_;
+        pendingRearm_ = 0;
+        if (regions_.count(region))
+            armRegion(region);
+    }
+}
+
+Word
+WatchpointEngine::load(Addr addr)
+{
+    return env_.load(addr);
+}
+
+void
+WatchpointEngine::onFault(rt::Fault &fault)
+{
+    stats_.faults++;
+    Addr word_addr = fault.badVaddr() & ~Addr(3);
+    Addr region = regionOf(fault.badVaddr());
+
+    // old value straight from the (readable) memory; incoming value
+    // from the faulting store's value register (the engine's store()
+    // shim contract)
+    Word old_value =
+        env_.kernel().machine().mem().readWord(
+            env_.process().as().physOf(word_addr));
+    Word new_value = fault.reg(sim::T7);
+
+    bool any_hit = false;
+    for (const auto &[id, wp] : watchpoints_) {
+        (void)id;
+        if (wp.addr != word_addr)
+            continue;
+        any_hit = true;
+        stats_.hits++;
+        if (!wp.predicate || wp.predicate(new_value)) {
+            stats_.triggers++;
+            if (wp.callback)
+                wp.callback(word_addr, old_value, new_value);
+        }
+    }
+    if (!any_hit)
+        stats_.falseFaults++;
+
+    // let the store complete; store() re-arms afterwards
+    switch (env_.mode()) {
+      case rt::DeliveryMode::UltrixSignal:
+        disarmRegion(region);
+        break;
+      case rt::DeliveryMode::FastHardwareVector:
+        env_.userTlbModify(roundDown(fault.badVaddr(), kPageBytes),
+                           /*writable=*/true, /*valid=*/true);
+        break;
+      case rt::DeliveryMode::FastSoftware:
+        // eager amplification already re-enabled access in-kernel
+        break;
+    }
+    pendingRearm_ = region;
+}
+
+} // namespace uexc::apps

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the ISA encoder/decoder and
+ * the TLB/CP0 implementations.
+ */
+
+#ifndef UEXC_COMMON_BITS_H
+#define UEXC_COMMON_BITS_H
+
+#include <cassert>
+
+#include "common/types.h"
+
+namespace uexc {
+
+/**
+ * Extract bits [hi:lo] (inclusive, hi >= lo) from a word.
+ *
+ * @param value word to extract from
+ * @param hi    most significant bit of the field
+ * @param lo    least significant bit of the field
+ * @return the field, right justified
+ */
+constexpr Word
+bits(Word value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    Word mask = (width >= 32) ? ~Word(0) : ((Word(1) << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit from a word. */
+constexpr Word
+bit(Word value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/**
+ * Insert a field into bits [hi:lo] of a word, returning the new word.
+ */
+constexpr Word
+insertBits(Word value, unsigned hi, unsigned lo, Word field)
+{
+    unsigned width = hi - lo + 1;
+    Word mask = (width >= 32) ? ~Word(0) : ((Word(1) << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign extend the low @p width bits of @p value to 32 bits. */
+constexpr Word
+signExtend(Word value, unsigned width)
+{
+    unsigned shift = 32 - width;
+    return static_cast<Word>(
+        static_cast<SWord>(value << shift) >> shift);
+}
+
+/** Whether @p addr is aligned to a power-of-two @p size. */
+constexpr bool
+isAligned(Addr addr, unsigned size)
+{
+    return (addr & (size - 1)) == 0;
+}
+
+/** Round @p addr down to a power-of-two @p size boundary. */
+constexpr Addr
+roundDown(Addr addr, unsigned size)
+{
+    return addr & ~static_cast<Addr>(size - 1);
+}
+
+/** Round @p addr up to a power-of-two @p size boundary. */
+constexpr Addr
+roundUp(Addr addr, unsigned size)
+{
+    return (addr + size - 1) & ~static_cast<Addr>(size - 1);
+}
+
+} // namespace uexc
+
+#endif // UEXC_COMMON_BITS_H

@@ -1,0 +1,81 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace uexc {
+
+namespace {
+bool g_logging_enabled = true;
+} // namespace
+
+void
+setLoggingEnabled(bool enabled)
+{
+    g_logging_enabled = enabled;
+}
+
+bool
+loggingEnabled()
+{
+    return g_logging_enabled;
+}
+
+namespace detail {
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = formatString("panic: %s (%s:%d)", msg.c_str(),
+                                    file, line);
+    if (g_logging_enabled)
+        std::fprintf(stderr, "%s\n", full.c_str());
+    throw PanicError(full);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = formatString("fatal: %s (%s:%d)", msg.c_str(),
+                                    file, line);
+    if (g_logging_enabled)
+        std::fprintf(stderr, "%s\n", full.c_str());
+    throw FatalError(full);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_logging_enabled)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_logging_enabled)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace uexc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated; a bug in uexc itself.
+ *            Throws PanicError (so tests can assert on it) carrying the
+ *            formatted message.
+ * fatal()  - the user asked for something the system cannot do (bad
+ *            configuration, invalid arguments). Throws FatalError.
+ * warn()   - something is off but the simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef UEXC_COMMON_LOGGING_H
+#define UEXC_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace uexc {
+
+/** Thrown by panic(): an internal uexc bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Whether warn()/inform() write to stderr/stdout (on by default). */
+void setLoggingEnabled(bool enabled);
+bool loggingEnabled();
+
+} // namespace uexc
+
+/** Report an internal bug and throw PanicError. */
+#define UEXC_PANIC(...)                                                     \
+    ::uexc::detail::panicImpl(__FILE__, __LINE__,                           \
+                              ::uexc::detail::formatString(__VA_ARGS__))
+
+/** Report a user error and throw FatalError. */
+#define UEXC_FATAL(...)                                                     \
+    ::uexc::detail::fatalImpl(__FILE__, __LINE__,                           \
+                              ::uexc::detail::formatString(__VA_ARGS__))
+
+/** Emit a warning; execution continues. */
+#define UEXC_WARN(...)                                                      \
+    ::uexc::detail::warnImpl(::uexc::detail::formatString(__VA_ARGS__))
+
+/** Emit an informational message. */
+#define UEXC_INFORM(...)                                                    \
+    ::uexc::detail::informImpl(::uexc::detail::formatString(__VA_ARGS__))
+
+#endif // UEXC_COMMON_LOGGING_H

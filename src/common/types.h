@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental integer types shared by the simulator, the simulated
+ * operating system, and the runtime library.
+ */
+
+#ifndef UEXC_COMMON_TYPES_H
+#define UEXC_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace uexc {
+
+/** A 32-bit virtual or physical address in the simulated machine. */
+using Addr = std::uint32_t;
+
+/** A 32-bit machine word (register width of the simulated CPU). */
+using Word = std::uint32_t;
+
+/** Signed view of a machine word, used for arithmetic semantics. */
+using SWord = std::int32_t;
+
+/** A half word (16 bits). */
+using Half = std::uint16_t;
+
+/** A byte. */
+using Byte = std::uint8_t;
+
+/** Simulated time, measured in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Count of dynamic instructions executed. */
+using InstCount = std::uint64_t;
+
+} // namespace uexc
+
+#endif // UEXC_COMMON_TYPES_H

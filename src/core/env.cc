@@ -1,0 +1,529 @@
+#include "core/env.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "sim/cp0.h"
+
+namespace uexc::rt {
+
+using namespace sim;
+using namespace os;
+
+// -- Fault ---------------------------------------------------------------------
+
+Word
+Fault::reg(unsigned r) const
+{
+    return env_.contextReg(r);
+}
+
+void
+Fault::setReg(unsigned r, Word value)
+{
+    env_.setContextReg(r, value);
+}
+
+void
+Fault::resumeAt(Addr pc)
+{
+    switch (env_.mode()) {
+      case DeliveryMode::UltrixSignal:
+        env_.kernel().machine().debugWriteWord(
+            env_.sigctxKva() + sigctx::Pc * 4, pc);
+        break;
+      case DeliveryMode::FastSoftware:
+        env_.kernel().machine().debugWriteWord(
+            env_.frameKva() + uframe::Epc, pc);
+        break;
+      case DeliveryMode::FastHardwareVector:
+        env_.cpu().cp0().setUxReg(UxReg::Epc, pc);
+        break;
+    }
+}
+
+// -- UserEnv ----------------------------------------------------------------------
+
+UserEnv::UserEnv(Kernel &kernel, DeliveryMode mode, SavePolicy policy)
+    : kernel_(kernel), mode_(mode), policy_(policy)
+{
+    if (mode == DeliveryMode::FastHardwareVector &&
+        !kernel.machine().cpu().config().userVectorHw) {
+        UEXC_FATAL("FastHardwareVector mode needs "
+                   "CpuConfig::userVectorHw");
+    }
+}
+
+void
+UserEnv::buildShim()
+{
+    Assembler a(kUserTextBase);
+
+    // parking loop: the CPU sits here, in user mode, between
+    // host-driven operations
+    a.label("shim_idle");
+    a.j("shim_idle");
+    a.nop();
+
+    // fault sites: single-instruction load/store used to inject
+    // application memory accesses into the real machine pipeline
+    a.label("fault_lw");
+    a.lw(T7, 0, T6);
+    a.label("fault_lw_done");
+    a.nop();
+    a.nop();
+    a.label("fault_sw");
+    a.sw(T7, 0, T6);
+    a.label("fault_sw_done");
+    a.nop();
+    a.nop();
+
+    // raw syscall site: v0/a0-a2 are set by the host
+    a.label("do_syscall");
+    a.syscall();
+    a.label("do_syscall_ret");
+    a.nop();
+    a.nop();
+
+    // user-level TLB protection modification site (section 3.2.3)
+    a.label("tlbmp_site");
+    a.tlbmp(T6, T7);
+    a.label("tlbmp_done");
+    a.nop();
+    a.nop();
+
+    // fast software stub: body bridges to the host handler
+    emitFastStub(a, "fast_stub", policy_,
+                 [](Assembler &as) { as.hcall(svc::Upcall); });
+
+    // hardware-vectored stub
+    if (kernel_.machine().cpu().config().userVectorHw) {
+        emitUserVectorStub(a, "hw_stub", [](Assembler &as) {
+            as.hcall(svc::Upcall);
+        });
+    }
+
+    // Unix signal handler (called by the trampoline) + trampoline
+    a.label("unix_handler");
+    a.hcall(svc::Upcall);
+    a.jr(RA);
+    a.nop();
+    emitTrampoline(a, "sigtramp");
+
+    Program p = a.finalize();
+    kernel_.loadProgram(*proc_, p);
+
+    shimIdle_ = p.symbol("shim_idle");
+    faultLw_ = p.symbol("fault_lw");
+    faultLwDone_ = p.symbol("fault_lw_done");
+    faultSw_ = p.symbol("fault_sw");
+    faultSwDone_ = p.symbol("fault_sw_done");
+    doSyscall_ = p.symbol("do_syscall");
+    doSyscallRet_ = p.symbol("do_syscall_ret");
+    tlbmpSite_ = p.symbol("tlbmp_site");
+    tlbmpDone_ = p.symbol("tlbmp_done");
+    stub_ = p.symbol(mode_ == DeliveryMode::FastHardwareVector
+                         ? "hw_stub"
+                         : "fast_stub");
+    trampoline_ = p.symbol("sigtramp");
+
+    unixHandler_ = p.symbol("unix_handler");
+}
+
+void
+UserEnv::install(Word exc_mask)
+{
+    if (installed_)
+        UEXC_FATAL("UserEnv installed twice");
+    if (kernel_.hasUpcallHandler())
+        UEXC_FATAL("another UserEnv is already installed on this "
+                   "kernel; one machine per environment (env.h)");
+    proc_ = &kernel_.createProcess();
+    buildShim();
+    kernel_.activate(*proc_);
+
+    kernel_.setUpcallHandler([this](Kernel &) { onUpcall(); });
+
+    // Unix signal state is always set up: it is the fallback for
+    // recursive exceptions and the primary path in UltrixSignal mode
+    proc_->setField(proc::TrampolineU, trampoline_);
+    for (unsigned sig : {kSigill, kSigtrap, kSigfpe, kSigbus, kSigsegv})
+        proc_->setField(proc::SigHandlers + 4 * sig, unixHandler_);
+
+    switch (mode_) {
+      case DeliveryMode::UltrixSignal:
+        break;
+      case DeliveryMode::FastSoftware:
+        kernel_.svcUexcEnable(*proc_, exc_mask, stub_, kUexcFramePage);
+        break;
+      case DeliveryMode::FastHardwareVector:
+        kernel_.svcUexcEnable(*proc_, exc_mask, stub_, kUexcFramePage);
+        cpu().cp0().setUxReg(UxReg::Target, stub_);
+        break;
+    }
+
+    kernel_.enterUser(*proc_, shimIdle_,
+                      mode_ == DeliveryMode::FastHardwareVector);
+    installed_ = true;
+}
+
+void
+UserEnv::allocate(Addr va, Word len, Word prot)
+{
+    proc_->as().allocate(va, len, prot);
+}
+
+void
+UserEnv::runGuest(Addr entry, Addr stop, InstCount limit)
+{
+    Cpu &c = cpu();
+    c.setPc(entry);
+    c.addBreakpoint(stop);
+    RunResult r = c.run(limit);
+    c.removeBreakpoint(stop);
+    if (r.reason != StopReason::Breakpoint) {
+        UEXC_FATAL("guest execution from 0x%08x did not reach 0x%08x "
+                   "(%s after %llu instructions)", entry, stop,
+                   r.reason == StopReason::Halted ? "halted"
+                                                  : "instruction limit",
+                   static_cast<unsigned long long>(r.instsExecuted));
+    }
+}
+
+bool
+UserEnv::hostRefill(Addr va, AccessType type)
+{
+    // Emulate the TLB refill handler host-side: used when a quiet
+    // translation misses only because the entry was shot down, which
+    // must not surface as a fault to in-handler code. Charges what
+    // the 8-instruction guest refill costs.
+    Word pte = proc_->as().pte(va);
+    if (!(pte & sim::entrylo::V))
+        return false;
+    if (type == AccessType::Store && !(pte & sim::entrylo::D))
+        return false;
+    Word hi = (va & sim::entryhi::VpnMask) |
+              (proc_->asid() << sim::entryhi::AsidShift);
+    cpu().tlb().setEntry(cpu().cp0().randomIndex(), hi, pte);
+    cpu().charge(12);
+    return true;
+}
+
+Word
+UserEnv::load(Addr va)
+{
+    stats_.loads++;
+    if (isAligned(va, 4)) {
+        TranslateResult tr = cpu().translateQuiet(va, AccessType::Load);
+        if (!tr.ok && tr.refill && inHandler_ &&
+            hostRefill(va, AccessType::Load)) {
+            tr = cpu().translateQuiet(va, AccessType::Load);
+        }
+        if (tr.ok) {
+            cpu().charge(cpu().config().cost.baseCost +
+                         cpu().config().cost.loadExtra);
+            cpu().chargeDataAccess(tr.paddr, tr.cacheable);
+            return kernel_.machine().mem().readWord(tr.paddr);
+        }
+    }
+    if (inHandler_)
+        UEXC_FATAL("fault on load 0x%08x from inside a fault handler "
+                   "(recursive faults on the host bridge are not "
+                   "supported; see DESIGN.md)", va);
+    cpu().setReg(T6, va);
+    runGuest(faultLw_, faultLwDone_, 1'000'000);
+    return cpu().reg(T7);
+}
+
+void
+UserEnv::store(Addr va, Word value)
+{
+    stats_.stores++;
+    if (isAligned(va, 4)) {
+        TranslateResult tr = cpu().translateQuiet(va, AccessType::Store);
+        if (!tr.ok && tr.refill && inHandler_ &&
+            hostRefill(va, AccessType::Store)) {
+            tr = cpu().translateQuiet(va, AccessType::Store);
+        }
+        if (tr.ok) {
+            cpu().charge(cpu().config().cost.baseCost +
+                         cpu().config().cost.storeExtra);
+            cpu().chargeDataAccess(tr.paddr, tr.cacheable);
+            kernel_.machine().mem().writeWord(tr.paddr, value);
+            return;
+        }
+    }
+    if (inHandler_)
+        UEXC_FATAL("fault on store 0x%08x from inside a fault handler",
+                   va);
+    cpu().setReg(T6, va);
+    cpu().setReg(T7, value);
+    runGuest(faultSw_, faultSwDone_, 1'000'000);
+}
+
+void
+UserEnv::setHandler(sim::ExcCode code, FaultHandler handler)
+{
+    typedHandlers_[static_cast<unsigned>(code)] = std::move(handler);
+}
+
+Word
+UserEnv::guestSyscall(Word num, Word a0, Word a1, Word a2)
+{
+    if (inHandler_)
+        UEXC_PANIC("guestSyscall from inside a fault handler");
+    Cpu &c = cpu();
+    c.setReg(V0, num);
+    c.setReg(A0, a0);
+    c.setReg(A1, a1);
+    c.setReg(A2, a2);
+    runGuest(doSyscall_, doSyscallRet_, 1'000'000);
+    stats_.guestSyscalls++;
+    return c.reg(V0);
+}
+
+void
+UserEnv::protect(Addr va, Word len, Word prot)
+{
+    Word call = (mode_ == DeliveryMode::UltrixSignal) ? sys::Mprotect
+                                                      : sys::UexcProtect;
+    if (inHandler_) {
+        cpu().charge(syscallOverhead_);
+        stats_.inHandlerServiceCalls++;
+        if (mode_ == DeliveryMode::UltrixSignal)
+            kernel_.svcMprotect(*proc_, va, len, prot);
+        else
+            kernel_.svcUexcProtect(*proc_, va, len, prot);
+        return;
+    }
+    guestSyscall(call, va, len, prot);
+}
+
+void
+UserEnv::subpageProtect(Addr va, Word len, Word prot)
+{
+    if (inHandler_) {
+        cpu().charge(syscallOverhead_);
+        stats_.inHandlerServiceCalls++;
+        kernel_.svcSubpageProtect(*proc_, va, len, prot);
+        return;
+    }
+    guestSyscall(sys::SubpageProtect, va, len, prot);
+}
+
+void
+UserEnv::userTlbModify(Addr va, bool writable, bool valid)
+{
+    if (inHandler_) {
+        // A handler executing TLBMP: with the hardware present this
+        // is a register-file-speed operation, which is exactly what
+        // makes user-level fault handling self-sufficient (section
+        // 2.2). We apply the instruction's semantics directly.
+        if (!cpu().config().tlbmpHw)
+            UEXC_PANIC("in-handler userTlbModify requires TLBMP "
+                       "hardware (the software emulation re-enters "
+                       "the kernel)");
+        auto hit = cpu().tlb().probeQuiet(va, proc_->asid());
+        if (!hit || !cpu().tlb().entry(*hit).userModifiable()) {
+            // miss or no U bit: the hardware would trap to the
+            // kernel's emulation; model that cost and do it there
+            cpu().charge(syscallOverhead_);
+            Word pte = proc_->as().pte(va);
+            pte = writable ? (pte | sim::entrylo::D)
+                           : (pte & ~sim::entrylo::D);
+            pte = valid ? (pte | sim::entrylo::V)
+                        : (pte & ~sim::entrylo::V);
+            proc_->as().setPte(va, pte);
+            return;
+        }
+        const sim::TlbEntry &e = cpu().tlb().entry(*hit);
+        Word lo = e.lo;
+        lo = writable ? (lo | sim::entrylo::D) : (lo & ~sim::entrylo::D);
+        lo = valid ? (lo | sim::entrylo::V) : (lo & ~sim::entrylo::V);
+        cpu().tlb().setEntry(*hit, e.hi, lo);
+        cpu().charge(2);
+        return;
+    }
+    Word ctl = (writable ? 1u : 0u) | (valid ? 2u : 0u);
+    cpu().setReg(T6, va);
+    cpu().setReg(T7, ctl);
+    runGuest(tlbmpSite_, tlbmpDone_, 1'000'000);
+}
+
+void
+UserEnv::setEagerAmplify(bool enable)
+{
+    Word flags = enable ? kPfEagerAmplify : 0;
+    if (inHandler_) {
+        cpu().charge(syscallOverhead_);
+        kernel_.svcUexcSetFlags(*proc_, flags);
+        return;
+    }
+    guestSyscall(sys::UexcSetFlags, flags);
+}
+
+// -- upcall dispatch -----------------------------------------------------------------
+
+Addr
+UserEnv::frameKva() const
+{
+    Word frame_u_base = proc_->field(proc::UexcFrameU);
+    Word frame_k_base = proc_->field(proc::UexcFrameK);
+    return frame_k_base + (curFrameU_ - frame_u_base);
+}
+
+Addr
+UserEnv::sigctxKva() const
+{
+    return Cpu::Kseg0Base + proc_->as().physOf(curSigctxU_);
+}
+
+void
+UserEnv::onUpcall()
+{
+    stats_.faultsDelivered++;
+    Machine &m = kernel_.machine();
+    ExcCode code;
+    Addr pc, badva;
+    bool bd;
+
+    switch (mode_) {
+      case DeliveryMode::FastSoftware: {
+        curFrameU_ = cpu().reg(T3);
+        Addr fk = frameKva();
+        Word cause_word = m.debugReadWord(fk + uframe::Cause);
+        code = static_cast<ExcCode>((cause_word & cause::ExcCodeMask) >>
+                                    cause::ExcCodeShift);
+        bd = cause_word & cause::BD;
+        pc = m.debugReadWord(fk + uframe::Epc);
+        badva = m.debugReadWord(fk + uframe::BadVA);
+        break;
+      }
+      case DeliveryMode::FastHardwareVector: {
+        Word cond = cpu().cp0().uxReg(UxReg::Cond);
+        code = static_cast<ExcCode>(cond >> 2);
+        bd = cond & 1u;
+        pc = cpu().cp0().uxReg(UxReg::Epc);
+        badva = cpu().cp0().uxReg(UxReg::BadAddr);
+        break;
+      }
+      case DeliveryMode::UltrixSignal:
+      default: {
+        curSigctxU_ = cpu().reg(A2);
+        Addr sk = sigctxKva();
+        Word cause_word = m.debugReadWord(sk + sigctx::Cause * 4);
+        code = static_cast<ExcCode>((cause_word & cause::ExcCodeMask) >>
+                                    cause::ExcCodeShift);
+        bd = cause_word & cause::BD;
+        pc = m.debugReadWord(sk + sigctx::Pc * 4);
+        badva = m.debugReadWord(sk + sigctx::BadVA * 4);
+        break;
+      }
+    }
+
+    const FaultHandler &handler =
+        typedHandlers_[static_cast<unsigned>(code)]
+            ? typedHandlers_[static_cast<unsigned>(code)]
+            : handler_;
+    if (!handler)
+        UEXC_FATAL("fault (%s at pc=0x%08x badva=0x%08x) delivered "
+                   "with no handler installed", excName(code), pc,
+                   badva);
+
+    curCode_ = code;
+    bool was = inHandler_;
+    inHandler_ = true;
+    Fault fault(*this, code, pc, badva, bd);
+    handler(fault);
+    inHandler_ = was;
+}
+
+Word
+UserEnv::contextReg(unsigned r) const
+{
+    if (r == 0)
+        return 0;
+    Machine &m = kernel_.machine();
+    switch (mode_) {
+      case DeliveryMode::UltrixSignal:
+        return m.debugReadWord(sigctxKva() + (sigctx::Regs + r - 1) * 4);
+      case DeliveryMode::FastSoftware: {
+        Addr fk = frameKva();
+        switch (r) {
+          case AT: return m.debugReadWord(fk + uframe::At);
+          case T0: return m.debugReadWord(fk + uframe::T0);
+          case T1: return m.debugReadWord(fk + uframe::T1);
+          case T2: return m.debugReadWord(fk + uframe::T2);
+          case T3: return m.debugReadWord(fk + uframe::T3);
+          case T4: return m.debugReadWord(fk + uframe::T4);
+          case T5: return m.debugReadWord(fk + uframe::T5);
+          default: break;
+        }
+        if (policy_ == SavePolicy::UltrixEquivalent) {
+            int slot = spillSlot(r);
+            if (slot >= 0)
+                return m.debugReadWord(fk + uframe::Spill + 4 * slot);
+        }
+        return cpu().reg(r);
+      }
+      case DeliveryMode::FastHardwareVector:
+      default:
+        switch (r) {
+          case AT: return cpu().cp0().uxReg(UxReg::Scratch0);
+          case T0: return cpu().cp0().uxReg(UxReg::Scratch1);
+          case T1: return cpu().cp0().uxReg(UxReg::Scratch2);
+          case T2: return cpu().cp0().uxReg(UxReg::Scratch3);
+          case T3: return cpu().cp0().uxReg(UxReg::Scratch4);
+          case RA: return cpu().cp0().uxReg(UxReg::Scratch5);
+          default: return cpu().reg(r);
+        }
+    }
+}
+
+void
+UserEnv::setContextReg(unsigned r, Word value)
+{
+    if (r == 0)
+        return;
+    Machine &m = kernel_.machine();
+    switch (mode_) {
+      case DeliveryMode::UltrixSignal:
+        m.debugWriteWord(sigctxKva() + (sigctx::Regs + r - 1) * 4,
+                         value);
+        return;
+      case DeliveryMode::FastSoftware: {
+        Addr fk = frameKva();
+        switch (r) {
+          case AT: m.debugWriteWord(fk + uframe::At, value); return;
+          case T0: m.debugWriteWord(fk + uframe::T0, value); return;
+          case T1: m.debugWriteWord(fk + uframe::T1, value); return;
+          case T2: m.debugWriteWord(fk + uframe::T2, value); return;
+          case T3: m.debugWriteWord(fk + uframe::T3, value); return;
+          case T4: m.debugWriteWord(fk + uframe::T4, value); return;
+          case T5: m.debugWriteWord(fk + uframe::T5, value); return;
+          default: break;
+        }
+        if (policy_ == SavePolicy::UltrixEquivalent) {
+            int slot = spillSlot(r);
+            if (slot >= 0) {
+                m.debugWriteWord(fk + uframe::Spill + 4 * slot, value);
+                return;
+            }
+        }
+        cpu().setReg(r, value);
+        return;
+      }
+      case DeliveryMode::FastHardwareVector:
+      default:
+        switch (r) {
+          case AT: cpu().cp0().setUxReg(UxReg::Scratch0, value); return;
+          case T0: cpu().cp0().setUxReg(UxReg::Scratch1, value); return;
+          case T1: cpu().cp0().setUxReg(UxReg::Scratch2, value); return;
+          case T2: cpu().cp0().setUxReg(UxReg::Scratch3, value); return;
+          case T3: cpu().cp0().setUxReg(UxReg::Scratch4, value); return;
+          case RA: cpu().cp0().setUxReg(UxReg::Scratch5, value); return;
+          default: cpu().setReg(r, value); return;
+        }
+    }
+}
+
+} // namespace uexc::rt

@@ -1,0 +1,390 @@
+#include "core/microbench.h"
+
+#include "common/logging.h"
+#include "os/kernel.h"
+#include "sim/cp0.h"
+
+namespace uexc::rt::micro {
+
+using namespace sim;
+using namespace os;
+
+namespace {
+
+constexpr Addr kHeap = 0x10000000;
+/** Exception mask enabled for fast scenarios. */
+constexpr Word kFastMask =
+    (1u << static_cast<unsigned>(ExcCode::Mod)) |
+    (1u << static_cast<unsigned>(ExcCode::TlbL)) |
+    (1u << static_cast<unsigned>(ExcCode::TlbS)) |
+    (1u << static_cast<unsigned>(ExcCode::AdEL)) |
+    (1u << static_cast<unsigned>(ExcCode::AdES)) |
+    (1u << static_cast<unsigned>(ExcCode::Bp)) |
+    (1u << static_cast<unsigned>(ExcCode::Ov));
+
+/** The fast-stub body used by Table 2: call the null C handler, then
+ *  advance the saved EPC when the scenario must skip the faulting
+ *  instruction (@p skip_fault). */
+void
+emitTable2Body(Assembler &a, bool skip_fault)
+{
+    a.jal("null_handler");
+    a.nop();
+    if (skip_fault) {
+        a.lw(T0, static_cast<SWord>(uframe::Epc), T3);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, static_cast<SWord>(uframe::Epc), T3);
+    }
+}
+
+/** Emit the common benchmark loop skeleton. The caller provides the
+ *  faulting instruction and the per-iteration post-resume work. */
+void
+emitLoop(Assembler &a,
+         const std::function<void(Assembler &)> &emit_fault,
+         const std::function<void(Assembler &)> &emit_post)
+{
+    a.label("user_main");
+    a.label("bench_loop");
+    // distinct warm-up breakpoint site: handler resumption re-arrives
+    // at fault_site, so the loop top must be a different address
+    a.nop();
+    a.label("fault_site");
+    emit_fault(a);
+    a.label("resume_point");
+    emit_post(a);
+    a.addiu(S1, S1, -1);
+    a.bgtz(S1, "bench_loop");
+    a.nop();
+    a.label("park");
+    a.j("park");
+    a.nop();
+
+    a.label("null_handler");
+    a.jr(RA);
+    a.nop();
+}
+
+/** Emit a guest syscall with up to three register-copied args. */
+void
+emitSyscall3(Assembler &a, Word num, unsigned a0_src)
+{
+    a.move(A0, a0_src);
+    // a1/a2 set by the caller right before
+    a.li(V0, num);
+    a.syscall();
+}
+
+struct Harness
+{
+    explicit Harness(const MachineConfig &cfg)
+        : machine(cfg), kernel(machine)
+    {
+        kernel.boot();
+        proc = &kernel.createProcess();
+    }
+
+    void
+    finish(Assembler &a, Scenario scenario)
+    {
+        prog = a.finalize();
+        kernel.loadProgram(*proc, prog);
+        proc->as().allocate(kHeap, kPageBytes,
+                            kProtRead | kProtWrite);
+        bool uv = scenario == Scenario::HwVectorSimple ||
+                  scenario == Scenario::HwVectorTableSimple;
+        kernel.enterUser(*proc, prog.symbol("user_main"), uv);
+    }
+
+    Machine machine;
+    Kernel kernel;
+    Process *proc = nullptr;
+    Program prog;
+};
+
+std::unique_ptr<Harness>
+buildScenario(Scenario scenario, const MachineConfig &config)
+{
+    auto h = std::make_unique<Harness>(config);
+    Assembler a(kUserTextBase);
+
+    switch (scenario) {
+      case Scenario::FastSimple:
+      case Scenario::FastSpecialized: {
+        emitLoop(a,
+                 [](Assembler &as) { as.lw(T7, 2, T6); },
+                 [](Assembler &) {});
+        if (scenario == Scenario::FastSimple) {
+            emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
+                         [](Assembler &as) { emitTable2Body(as, true); });
+        } else {
+            // the specialized handler of section 4.2.2: saves only ra
+            emitFastStub(a, "stub", SavePolicy::Minimal,
+                         [](Assembler &as) {
+                             as.sw(RA, static_cast<SWord>(uframe::Spill),
+                                   T3);
+                             emitTable2Body(as, true);
+                             as.lw(RA, static_cast<SWord>(uframe::Spill),
+                                   T3);
+                         });
+        }
+        h->finish(a, scenario);
+        h->kernel.svcUexcEnable(*h->proc, kFastMask,
+                                h->prog.symbol("stub"), kUexcFramePage);
+        break;
+      }
+
+      case Scenario::FastWriteProt: {
+        emitLoop(a,
+                 [](Assembler &as) { as.sw(T7, 0, T6); },
+                 [](Assembler &as) {
+                     // re-protect the page for the next iteration
+                     as.li(A1, kPageBytes);
+                     as.li(A2, kProtRead);
+                     emitSyscall3(as, sys::UexcProtect, T6);
+                 });
+        emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
+                     [](Assembler &as) { emitTable2Body(as, false); });
+        h->finish(a, scenario);
+        h->kernel.svcUexcEnable(*h->proc, kFastMask,
+                                h->prog.symbol("stub"), kUexcFramePage);
+        h->kernel.svcUexcSetFlags(*h->proc, kPfEagerAmplify);
+        h->kernel.svcUexcProtect(*h->proc, kHeap, kPageBytes,
+                                 kProtRead);
+        break;
+      }
+
+      case Scenario::FastSubpage: {
+        emitLoop(a,
+                 [](Assembler &as) { as.sw(T7, 0, T6); },
+                 [](Assembler &as) {
+                     as.li(A1, kSubpageBytes);
+                     as.li(A2, kProtRead);
+                     emitSyscall3(as, sys::SubpageProtect, T6);
+                 });
+        emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
+                     [](Assembler &as) { emitTable2Body(as, false); });
+        h->finish(a, scenario);
+        h->kernel.svcUexcEnable(*h->proc, kFastMask,
+                                h->prog.symbol("stub"), kUexcFramePage);
+        h->kernel.svcSubpageProtect(*h->proc, kHeap + 0x800,
+                                    kSubpageBytes, kProtRead);
+        break;
+      }
+
+      case Scenario::UltrixSimple: {
+        emitLoop(a,
+                 [](Assembler &as) { as.lw(T7, 2, T6); },
+                 [](Assembler &) {});
+        // signal handler: advance sc_pc past the faulting load
+        a.label("sig_handler");
+        a.lw(T0, sigctx::Pc * 4, A2);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, sigctx::Pc * 4, A2);
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+        h->finish(a, scenario);
+        h->proc->setField(proc::TrampolineU, h->prog.symbol("tramp"));
+        h->proc->setField(proc::SigHandlers + 4 * kSigbus,
+                          h->prog.symbol("sig_handler"));
+        break;
+      }
+
+      case Scenario::UltrixWriteProt: {
+        emitLoop(a,
+                 [](Assembler &as) { as.sw(T7, 0, T6); },
+                 [](Assembler &as) {
+                     as.li(A1, kPageBytes);
+                     as.li(A2, kProtRead);
+                     emitSyscall3(as, sys::Mprotect, T6);
+                 });
+        // SIGSEGV handler: mprotect the faulting page writable again
+        a.label("sig_handler");
+        a.lw(A0, sigctx::BadVA * 4, A2);
+        a.srl(A0, A0, kPageShift);
+        a.sll(A0, A0, kPageShift);
+        a.li(A1, kPageBytes);
+        a.li(A2, kProtRead | kProtWrite);
+        a.li(V0, sys::Mprotect);
+        a.syscall();
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+        h->finish(a, scenario);
+        h->proc->setField(proc::TrampolineU, h->prog.symbol("tramp"));
+        h->proc->setField(proc::SigHandlers + 4 * kSigsegv,
+                          h->prog.symbol("sig_handler"));
+        h->kernel.svcMprotect(*h->proc, kHeap, kPageBytes, kProtRead);
+        break;
+      }
+
+      case Scenario::HwVectorSimple:
+      case Scenario::HwVectorTableSimple: {
+        emitLoop(a,
+                 [](Assembler &as) { as.lw(T7, 2, T6); },
+                 [](Assembler &) {});
+        emitUserVectorStub(a, "stub", [](Assembler &as) {
+            as.jal("null_handler");
+            as.nop();
+            as.mfux(T0, UxReg::Epc);
+            as.addiu(T0, T0, 4);
+            as.mtux(T0, UxReg::Epc);
+        });
+        if (scenario == Scenario::HwVectorTableSimple) {
+            // process-local vector table: 16 entries, all the stub
+            a.align(64);
+            a.label("uvtable");
+            for (unsigned i = 0; i < NumExcCodes; i++)
+                a.wordAddr("stub");
+        }
+        h->finish(a, scenario);
+        h->machine.cpu().cp0().setUxReg(
+            UxReg::Target,
+            h->prog.symbol(scenario == Scenario::HwVectorTableSimple
+                               ? "uvtable"
+                               : "stub"));
+        break;
+      }
+
+      case Scenario::NullSyscall: {
+        emitLoop(a,
+                 [](Assembler &as) {
+                     as.li(V0, sys::Getpid);
+                     as.syscall();
+                 },
+                 [](Assembler &) {});
+        h->finish(a, scenario);
+        break;
+      }
+    }
+
+    // loop counter and fault operands
+    Cpu &cpu = h->machine.cpu();
+    cpu.setReg(S1, 1'000'000);  // effectively unbounded
+    cpu.setReg(T6, scenario == Scenario::FastSubpage ? kHeap + 0x800
+                                                     : kHeap);
+    cpu.setReg(T7, 1);
+    return h;
+}
+
+Addr
+handlerEntry(const Harness &h, Scenario scenario)
+{
+    switch (scenario) {
+      case Scenario::UltrixSimple:
+      case Scenario::UltrixWriteProt:
+        return h.prog.symbol("sig_handler");
+      case Scenario::NullSyscall:
+        return 0;
+      default:
+        return h.prog.symbol("null_handler");
+    }
+}
+
+void
+runTo(Cpu &cpu, Addr stop)
+{
+    cpu.addBreakpoint(stop);
+    RunResult r = cpu.run(10'000'000);
+    cpu.removeBreakpoint(stop);
+    if (r.reason != StopReason::Breakpoint)
+        UEXC_FATAL("microbench: run did not reach 0x%08x", stop);
+}
+
+} // namespace
+
+MachineConfig
+paperMachineConfig()
+{
+    MachineConfig cfg;
+    cfg.cpu.cachesEnabled = true;
+    // hardware extensions are present but cost nothing unless used
+    cfg.cpu.userVectorHw = true;
+    cfg.cpu.tlbmpHw = true;
+    return cfg;
+}
+
+Timing
+measure(Scenario scenario, const MachineConfig &config,
+        unsigned warm_iters)
+{
+    MachineConfig cfg = config;
+    if (scenario == Scenario::HwVectorTableSimple)
+        cfg.cpu.userVectorTable = true;
+    auto h = buildScenario(scenario, cfg);
+    Cpu &cpu = h->machine.cpu();
+    Addr fault_site = h->prog.symbol("fault_site");
+    Addr resume_point = h->prog.symbol("resume_point");
+    Addr handler = handlerEntry(*h, scenario);
+
+    // warm TLB, caches and the loop's steady state; the loop-top
+    // breakpoint is distinct from fault_site because re-execute-style
+    // handlers revisit fault_site mid-iteration
+    Addr loop_top = h->prog.symbol("bench_loop");
+    for (unsigned i = 0; i <= warm_iters; i++)
+        runTo(cpu, loop_top);
+    runTo(cpu, fault_site);
+
+    // attribute kernel instructions during the measured exception
+    PhaseProfiler prof;
+    prof.addPhase("kernel", Cpu::RefillVector,
+                  h->machine.symbol(ksym::StockEnd));
+    cpu.setObserver(&prof);
+
+    Timing t;
+    const CostModel &cost = config.cpu.cost;
+    Cycles c0 = cpu.cycles();
+    if (handler != 0) {
+        runTo(cpu, handler);
+        Cycles c1 = cpu.cycles();
+        runTo(cpu, resume_point);
+        Cycles c2 = cpu.cycles();
+        t.deliverCycles = c1 - c0;
+        t.returnCycles = c2 - c1;
+    } else {
+        runTo(cpu, resume_point);
+        t.deliverCycles = cpu.cycles() - c0;
+        t.returnCycles = 0;
+    }
+    cpu.setObserver(nullptr);
+
+    t.roundTripCycles = t.deliverCycles + t.returnCycles;
+    t.deliverUs = cost.toMicros(t.deliverCycles);
+    t.returnUs = cost.toMicros(t.returnCycles);
+    t.roundTripUs = cost.toMicros(t.roundTripCycles);
+    t.kernelInsts = prof.phases()[0].instructions;
+    return t;
+}
+
+std::vector<PhaseStats>
+profileFastPath(const MachineConfig &config)
+{
+    auto h = buildScenario(Scenario::FastSimple, config);
+    Cpu &cpu = h->machine.cpu();
+
+    for (unsigned i = 0; i <= 4; i++)
+        runTo(cpu, h->prog.symbol("bench_loop"));
+    runTo(cpu, h->prog.symbol("fault_site"));
+
+    PhaseProfiler prof;
+    const Machine &m = h->machine;
+    prof.addPhase("Decode Exception", m.symbol(ksym::FastDecode),
+                  m.symbol(ksym::FastCompat));
+    prof.addPhase("Compatibility Check", m.symbol(ksym::FastCompat),
+                  m.symbol(ksym::FastSave));
+    prof.addPhase("Save Partial State", m.symbol(ksym::FastSave),
+                  m.symbol(ksym::FastFp));
+    prof.addPhase("Floating Point Check", m.symbol(ksym::FastFp),
+                  m.symbol(ksym::FastTlbCheck));
+    prof.addPhase("Check for TLB Fault", m.symbol(ksym::FastTlbCheck),
+                  m.symbol(ksym::FastVector));
+    prof.addPhase("Vector to User", m.symbol(ksym::FastVector),
+                  m.symbol(ksym::FastEnd));
+    cpu.setObserver(&prof);
+    runTo(cpu, h->prog.symbol("null_handler"));
+    cpu.setObserver(nullptr);
+    return prof.phases();
+}
+
+} // namespace uexc::rt::micro

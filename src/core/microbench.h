@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Guest-code microbenchmarks for exception delivery cost — the
+ * measurements behind Tables 1, 2 and 3 of the paper.
+ *
+ * Each scenario builds a complete machine (kernel image + a user
+ * program written in guest assembly), warms caches and TLB with a few
+ * iterations, and then measures one steady-state exception with
+ * breakpoints at three points: the faulting instruction, the entry of
+ * the null C handler, and the resumption point. "Deliver" and
+ * "return" match the paper's Table 2 row definitions.
+ */
+
+#ifndef UEXC_CORE_MICROBENCH_H
+#define UEXC_CORE_MICROBENCH_H
+
+#include <vector>
+
+#include "core/stubs.h"
+#include "sim/machine.h"
+#include "sim/profile.h"
+
+namespace uexc::rt::micro {
+
+/** Measured scenarios. */
+enum class Scenario
+{
+    /** Unaligned load, fast path, null handler (Table 2 rows 1/4/5). */
+    FastSimple,
+    /** Write-protection fault, fast path + eager amplification
+     *  (Table 2 row 2). */
+    FastWriteProt,
+    /** Write into a protected 1 KB subpage (Table 2 row 3). */
+    FastSubpage,
+    /** Unaligned load through the stock Ultrix signal machinery
+     *  (Table 1 / Table 2 baseline column). */
+    UltrixSimple,
+    /** Write-protection fault through SIGSEGV + mprotect. */
+    UltrixWriteProt,
+    /** Unaligned load with direct hardware user vectoring
+     *  (section 2; the claimed extra 2-3x). */
+    HwVectorSimple,
+    /** Hardware vectoring through a process-local vector table (the
+     *  section 2.2 alternative the paper judges "little likely
+     *  performance gain"). */
+    HwVectorTableSimple,
+    /** Null system call (getpid), for the paper's 12 us reference. */
+    NullSyscall,
+    /** Unaligned load, fast path, *specialized* handler that saves
+     *  only what it needs (section 4.2.2's 6 us figure). */
+    FastSpecialized,
+};
+
+/** One scenario's measured costs. */
+struct Timing
+{
+    Cycles deliverCycles = 0;   ///< fault -> null handler entry
+    Cycles returnCycles = 0;    ///< handler entry -> resumption
+    Cycles roundTripCycles = 0; ///< sum
+    double deliverUs = 0;
+    double returnUs = 0;
+    double roundTripUs = 0;
+    /** Dynamic instructions spent inside the kernel (fast path). */
+    InstCount kernelInsts = 0;
+};
+
+/** Measure one scenario on a machine configuration. */
+Timing measure(Scenario scenario, const sim::MachineConfig &config,
+               unsigned warm_iters = 8);
+
+/**
+ * Run the FastSimple scenario with a phase profiler attached to the
+ * kernel fast handler and return the per-phase dynamic instruction
+ * counts — the regeneration of Table 3.
+ */
+std::vector<sim::PhaseStats>
+profileFastPath(const sim::MachineConfig &config);
+
+/** Convenience: the DECstation 5000/200-like default configuration
+ *  used by the paper's tables (25 MHz, caches modeled). */
+sim::MachineConfig paperMachineConfig();
+
+} // namespace uexc::rt::micro
+
+#endif // UEXC_CORE_MICROBENCH_H

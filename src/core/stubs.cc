@@ -1,0 +1,119 @@
+#include "core/stubs.h"
+
+#include "sim/isa.h"
+
+namespace uexc::rt {
+
+using namespace sim;
+using namespace os;
+
+namespace {
+
+/** The 19 registers the UltrixEquivalent policy spills. */
+constexpr unsigned kSpillRegs[] = {
+    V0, V1, A0, A1, A2, A3, T6, T7, T8, T9,
+    S0, S1, S2, S3, S4, S5, S6, S7, RA,
+};
+constexpr unsigned kNumSpillRegs =
+    sizeof(kSpillRegs) / sizeof(kSpillRegs[0]);
+static_assert(kNumSpillRegs == 19, "spill area holds 19 words");
+
+} // namespace
+
+void
+emitFastStub(Assembler &a, const std::string &name, SavePolicy policy,
+             const std::function<void(Assembler &)> &emit_body)
+{
+    a.label(name);
+    if (policy == SavePolicy::UltrixEquivalent) {
+        for (unsigned i = 0; i < kNumSpillRegs; i++) {
+            a.sw(kSpillRegs[i],
+                 static_cast<SWord>(uframe::Spill + 4 * i), T3);
+        }
+    }
+
+    emit_body(a);
+
+    if (policy == SavePolicy::UltrixEquivalent) {
+        for (unsigned i = 0; i < kNumSpillRegs; i++) {
+            a.lw(kSpillRegs[i],
+                 static_cast<SWord>(uframe::Spill + 4 * i), T3);
+        }
+    }
+
+    // restore the kernel-saved scratch set and resume. k0 carries the
+    // resume address: it is dead in user code by ABI, which is what
+    // makes a sigreturn-free resume possible (file comment).
+    a.lw(K0, static_cast<SWord>(uframe::Epc), T3);
+    a.lw(AT, static_cast<SWord>(uframe::At), T3);
+    a.lw(T0, static_cast<SWord>(uframe::T0), T3);
+    a.lw(T1, static_cast<SWord>(uframe::T1), T3);
+    a.lw(T2, static_cast<SWord>(uframe::T2), T3);
+    a.lw(T4, static_cast<SWord>(uframe::T4), T3);
+    a.lw(T5, static_cast<SWord>(uframe::T5), T3);
+    a.lw(T3, static_cast<SWord>(uframe::T3), T3);   // last: frees base
+    a.jr(K0);
+    a.nop();
+}
+
+void
+emitUserVectorStub(Assembler &a, const std::string &name,
+                   const std::function<void(Assembler &)> &emit_body)
+{
+    a.label(name);
+    // The hardware scheme needs no memory spill for scratch: the six
+    // user exception scratch registers hold whatever the handler
+    // needs saved (Tera's design, section 2.1). Stash the registers
+    // the body may clobber.
+    a.mtux(AT, UxReg::Scratch0);
+    a.mtux(T0, UxReg::Scratch1);
+    a.mtux(T1, UxReg::Scratch2);
+    a.mtux(T2, UxReg::Scratch3);
+    a.mtux(T3, UxReg::Scratch4);
+    a.mtux(RA, UxReg::Scratch5);
+
+    emit_body(a);
+
+    a.mfux(AT, UxReg::Scratch0);
+    a.mfux(T0, UxReg::Scratch1);
+    a.mfux(T1, UxReg::Scratch2);
+    a.mfux(T2, UxReg::Scratch3);
+    a.mfux(T3, UxReg::Scratch4);
+    a.mfux(RA, UxReg::Scratch5);
+    a.xret();
+}
+
+void
+emitTrampoline(Assembler &a, const std::string &name)
+{
+    a.label(name);
+    a.addiu(SP, SP, -24);
+    a.sw(A2, 16, SP);           // keep &sigcontext across the call
+    a.jalr(RA, T9);
+    a.nop();
+    a.lw(A0, 16, SP);
+    a.addiu(SP, SP, 24);
+    emitSyscall(a, os::sys::Sigreturn);
+    // sigreturn does not return; trap hard if it ever does
+    a.break_(0x5a);
+    a.nop();
+}
+
+void
+emitSyscall(Assembler &a, Word num)
+{
+    a.li(V0, num);
+    a.syscall();
+}
+
+int
+spillSlot(unsigned reg)
+{
+    for (unsigned i = 0; i < kNumSpillRegs; i++) {
+        if (kSpillRegs[i] == reg)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace uexc::rt

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * User-level guest code emitters for the exception runtime: the
+ * low-level fast-exception stub (section 3.2 of the paper), the
+ * Tera-style user-vectored stub (section 2), the Unix signal
+ * trampoline, and syscall wrappers. Shared by the host-facing
+ * UserEnv facade, the guest microbenchmarks, and the examples.
+ *
+ * Fast-stub ABI (software scheme):
+ *  - the kernel enters the stub with t3 = frame address (user va)
+ *    for the exception type; at,t0-t5 and EPC/Cause/BadVAddr/Status/
+ *    HI/LO are stored in the frame;
+ *  - the stub may spill more registers into the frame's 19-word
+ *    spill area, according to its SavePolicy;
+ *  - resumption restores the kernel-saved registers and jumps to the
+ *    frame's EPC through k0, which is architecturally dead in user
+ *    code (the MIPS ABI reserves k0/k1 for the kernel).
+ */
+
+#ifndef UEXC_CORE_STUBS_H
+#define UEXC_CORE_STUBS_H
+
+#include <functional>
+#include <string>
+
+#include "os/layout.h"
+#include "sim/assembler.h"
+
+namespace uexc::rt {
+
+/** How much state the user-level stub saves before its body runs. */
+enum class SavePolicy
+{
+    /**
+     * Save the full Ultrix-equivalent register state (19 additional
+     * registers into the spill area). This is what the paper's
+     * measurements use "to make the comparison fair" (section 3.3).
+     */
+    UltrixEquivalent,
+    /**
+     * Save nothing beyond the kernel-saved scratch set. Legal when
+     * the handler body clobbers only at/t0-t5/k0/k1 (e.g. a body
+     * that is a single host upcall). This is the paper's
+     * "specialized handler" configuration (section 4.2.2: 6 us
+     * round trip instead of 8).
+     */
+    Minimal,
+};
+
+/**
+ * Emit the fast-exception user stub.
+ *
+ * The body is whatever the caller emits via @p emit_body (e.g. an
+ * hcall to a host handler, or a jal to a guest C-style handler). The
+ * body runs after the policy spill with t3 = frame address; it must
+ * preserve t3 and the s-registers, and may rely on the spill policy
+ * for everything else.
+ *
+ * @param a         assembler positioned in user text
+ * @param name      label for the stub entry (exported)
+ * @param policy    spill policy
+ * @param emit_body emits the handler body
+ */
+void emitFastStub(sim::Assembler &a, const std::string &name,
+                  SavePolicy policy,
+                  const std::function<void(sim::Assembler &)> &emit_body);
+
+/**
+ * Emit the Tera-style stub for hardware user vectoring: the CPU
+ * transfers directly here (no kernel); exception state is in the
+ * user exception registers; xret resumes.
+ */
+void emitUserVectorStub(
+    sim::Assembler &a, const std::string &name,
+    const std::function<void(sim::Assembler &)> &emit_body);
+
+/**
+ * Emit the Unix signal trampoline (the "user runtime" code the
+ * kernel's sendsig() returns through). Expects the kernel ABI:
+ * a0 = signal, a1 = code, a2 = &sigcontext, t9 = handler.
+ */
+void emitTrampoline(sim::Assembler &a, const std::string &name);
+
+/** Emit "li v0, num; syscall" with up to 3 args already in a0-a2. */
+void emitSyscall(sim::Assembler &a, Word num);
+
+/**
+ * Spill-area slot index of @p reg under SavePolicy::UltrixEquivalent,
+ * or -1 if that policy does not spill the register. Used by the
+ * host-side Fault accessor to find interrupted register values.
+ */
+int spillSlot(unsigned reg);
+
+} // namespace uexc::rt
+
+#endif // UEXC_CORE_STUBS_H

@@ -1,0 +1,224 @@
+#include "os/addrspace.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "sim/cp0.h"
+#include "sim/tlb.h"
+
+namespace uexc::os {
+
+using namespace sim;
+
+Addr
+FrameAllocator::alloc(PhysMemory &mem)
+{
+    if (next_ + kPageBytes > limit_)
+        UEXC_FATAL("frame allocator exhausted (limit 0x%08x)", limit_);
+    Addr frame = next_;
+    next_ += kPageBytes;
+    mem.clearRange(frame, kPageBytes);
+    return frame;
+}
+
+AddressSpace::AddressSpace(Machine &machine, unsigned asid, Addr pt_kva,
+                           FrameAllocator &frames)
+    : machine_(machine), asid_(asid), ptKva_(pt_kva), frames_(frames)
+{
+    if (!isAligned(pt_kva, kPageTableBytes))
+        UEXC_FATAL("page table base 0x%08x not 2MB aligned", pt_kva);
+    if (asid >= 64)
+        UEXC_FATAL("asid %u out of range", asid);
+    // zero the whole linear table (covers all of kuseg)
+    machine_.mem().clearRange(Machine::unmappedToPhys(pt_kva),
+                              kPageTableBytes);
+}
+
+Word
+AddressSpace::pte(Addr va) const
+{
+    if (va >= Cpu::Kseg0Base)
+        UEXC_PANIC("pte lookup for kernel address 0x%08x", va);
+    Addr slot = ptKva_ + ((va >> kPageShift) << 2);
+    return machine_.debugReadWord(slot);
+}
+
+void
+AddressSpace::setPte(Addr va, Word pte_value)
+{
+    if (va >= Cpu::Kseg0Base)
+        UEXC_PANIC("pte store for kernel address 0x%08x", va);
+    Addr slot = ptKva_ + ((va >> kPageShift) << 2);
+    machine_.debugWriteWord(slot, pte_value);
+}
+
+bool
+AddressSpace::present(Addr va) const
+{
+    return pte(va) & kPtePresent;
+}
+
+Addr
+AddressSpace::frameOf(Addr va) const
+{
+    Word p = pte(va);
+    if (!(p & kPtePresent))
+        UEXC_FATAL("no frame mapped at 0x%08x", va);
+    return p & entrylo::PfnMask;
+}
+
+Addr
+AddressSpace::physOf(Addr va) const
+{
+    return frameOf(va) | (va & (kPageBytes - 1));
+}
+
+Word
+AddressSpace::hwBitsForProt(Word prot) const
+{
+    Word bits = 0;
+    if (prot & kProtRead)
+        bits |= entrylo::V;
+    if (prot & kProtWrite)
+        bits |= entrylo::V | entrylo::D;
+    return bits;
+}
+
+void
+AddressSpace::syncTlbEntry(Addr va, Word pte_value)
+{
+    // Kernel TLB shootdown: drop any cached translation so the next
+    // access refills from the updated PTE.
+    (void)pte_value;
+    machine_.cpu().tlb().invalidate(va, asid_);
+}
+
+void
+AddressSpace::allocate(Addr va, Word len, Word prot)
+{
+    Addr first = roundDown(va, kPageBytes);
+    Addr last = roundUp(va + len, kPageBytes);
+    for (Addr page = first; page < last; page += kPageBytes) {
+        if (present(page))
+            continue;
+        Addr frame = frames_.alloc(machine_.mem());
+        mapFrame(page, frame, prot);
+    }
+}
+
+void
+AddressSpace::mapFrame(Addr va, Addr paddr, Word prot)
+{
+    if (!isAligned(va, kPageBytes) || !isAligned(paddr, kPageBytes))
+        UEXC_FATAL("mapFrame: unaligned va 0x%08x or pa 0x%08x", va,
+                   paddr);
+    Word p = (paddr & entrylo::PfnMask) | hwBitsForProt(prot) |
+             kPtePresent;
+    setPte(va, p);
+    syncTlbEntry(va, p);
+}
+
+unsigned
+AddressSpace::protect(Addr va, Word len, Word prot)
+{
+    Addr first = roundDown(va, kPageBytes);
+    Addr last = roundUp(va + len, kPageBytes);
+    unsigned pages = 0;
+    for (Addr page = first; page < last; page += kPageBytes) {
+        Word p = pte(page);
+        if (!(p & kPtePresent))
+            UEXC_FATAL("protect of unmapped page 0x%08x", page);
+        p &= ~(entrylo::V | entrylo::D | kPteSubpage | kPteSubMaskBits);
+        p |= hwBitsForProt(prot);
+        setPte(page, p);
+        syncTlbEntry(page, p);
+        pages++;
+    }
+    return pages;
+}
+
+unsigned
+AddressSpace::subpageProtect(Addr va, Word len, Word prot)
+{
+    if (!isAligned(va, kSubpageBytes) || !isAligned(len, kSubpageBytes))
+        UEXC_FATAL("subpage protect must be 1KB aligned: 0x%08x+0x%x",
+                   va, len);
+    unsigned subpages = 0;
+    for (Addr sub = va; sub < va + len; sub += kSubpageBytes) {
+        Addr page = roundDown(sub, kPageBytes);
+        Word p = pte(page);
+        if (!(p & kPtePresent))
+            UEXC_FATAL("subpage protect of unmapped page 0x%08x", page);
+        unsigned index = (sub >> kSubpageShift) & (kSubpagesPerPage - 1);
+        Word mask_bit = Word(1) << (kPteSubMaskShift + index);
+        bool protecting = (prot & kProtWrite) == 0;
+        if (protecting)
+            p |= mask_bit;
+        else
+            p &= ~mask_bit;
+        // recompute page state
+        if (p & kPteSubMaskBits) {
+            p |= kPteSubpage;
+            // hardware must trap protected-subpage writes: clear D.
+            // reads remain allowed (V set): the paper's subpage
+            // mechanism targets write detection.
+            p |= entrylo::V;
+            p &= ~entrylo::D;
+        } else {
+            p &= ~kPteSubpage;
+            p |= entrylo::V | entrylo::D;
+        }
+        setPte(page, p);
+        syncTlbEntry(page, p);
+        subpages++;
+    }
+    return subpages;
+}
+
+unsigned
+AddressSpace::subpageMask(Addr va) const
+{
+    return (pte(va) & kPteSubMaskBits) >> kPteSubMaskShift;
+}
+
+bool
+AddressSpace::subpageActive(Addr va) const
+{
+    return pte(va) & kPteSubpage;
+}
+
+void
+AddressSpace::amplify(Addr va)
+{
+    Word p = pte(va);
+    if (!(p & kPtePresent))
+        UEXC_FATAL("amplify of unmapped page 0x%08x", va);
+    p |= entrylo::V | entrylo::D;
+    setPte(va, p);
+    syncTlbEntry(va, p);
+}
+
+void
+AddressSpace::reprotectFromSubpages(Addr va)
+{
+    Word p = pte(va);
+    if (p & kPteSubMaskBits) {
+        p |= kPteSubpage | entrylo::V;
+        p &= ~entrylo::D;
+    }
+    setPte(va, p);
+    syncTlbEntry(va, p);
+}
+
+void
+AddressSpace::setUserModifiable(Addr va, bool enable)
+{
+    Word p = pte(va);
+    if (enable)
+        p |= entrylo::U;
+    else
+        p &= ~entrylo::U;
+    setPte(va, p);
+    syncTlbEntry(va, p);
+}
+
+} // namespace uexc::os

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Host-side management of a process address space: the linear page
+ * table that lives *in guest memory* (walked by the guest TLB refill
+ * handler), frame allocation, protection changes, and the subpage
+ * protection state of section 3.2.4.
+ *
+ * PTE format: EntryLo-compatible hardware bits (PFN, N, D, V, G, U)
+ * plus kernel software bits in [6:0]:
+ *   bit 0      - kPteSubpage: subpage protection active
+ *   bit 1      - kPtePresent: a frame is allocated
+ *   bits [6:3] - subpage protection mask (bit per 1 KB subpage;
+ *                set = user-protected)
+ * The single-lw refill handler loads PTEs unmasked; the TLB ignores
+ * the software bits.
+ */
+
+#ifndef UEXC_OS_ADDRSPACE_H
+#define UEXC_OS_ADDRSPACE_H
+
+#include "common/types.h"
+#include "os/layout.h"
+#include "sim/machine.h"
+
+namespace uexc::os {
+
+/** Subpage mask field position inside a PTE. */
+constexpr unsigned kPteSubMaskShift = 3;
+constexpr Word kPteSubMaskBits = 0xfu << kPteSubMaskShift;
+
+/** Bump allocator for user physical frames. */
+class FrameAllocator
+{
+  public:
+    FrameAllocator(Addr base, Addr limit)
+        : next_(base), limit_(limit) {}
+
+    /** Allocate one zeroed 4 KB frame; returns its physical address. */
+    Addr alloc(sim::PhysMemory &mem);
+
+    Addr remainingBytes() const { return limit_ - next_; }
+
+  private:
+    Addr next_;
+    Addr limit_;
+};
+
+/**
+ * One process address space. All mutations write through to the page
+ * table in guest memory and shoot down stale TLB entries, exactly as
+ * the kernel's VM layer would.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param machine  the machine whose memory holds the page table
+     * @param asid     hardware address space id
+     * @param pt_kva   page table base, kseg0 virtual, 2 MB aligned
+     * @param frames   allocator for user frames (shared, kernel-owned)
+     */
+    AddressSpace(sim::Machine &machine, unsigned asid, Addr pt_kva,
+                 FrameAllocator &frames);
+
+    unsigned asid() const { return asid_; }
+    /** Page table base as a kseg0 virtual address. */
+    Addr ptKva() const { return ptKva_; }
+
+    // -- page table access --------------------------------------------
+
+    /** Raw PTE for the page containing @p va. */
+    Word pte(Addr va) const;
+    void setPte(Addr va, Word pte_value);
+
+    /** Whether a frame is allocated at @p va. */
+    bool present(Addr va) const;
+    /** Physical frame of @p va; fatal if not present. */
+    Addr frameOf(Addr va) const;
+    /** Physical address of @p va; fatal if not present. */
+    Addr physOf(Addr va) const;
+
+    // -- mapping -----------------------------------------------------------
+
+    /**
+     * Allocate frames and map [va, va+len) with protection @p prot
+     * (kProtRead|kProtWrite). Pages already present are left alone.
+     */
+    void allocate(Addr va, Word len, Word prot);
+
+    /** Map one page to an existing frame. */
+    void mapFrame(Addr va, Addr paddr, Word prot);
+
+    // -- protection ------------------------------------------------------------
+
+    /**
+     * Change page-level protection of [va, va+len); clears subpage
+     * mode on those pages. Shoots down TLB entries.
+     *
+     * @return number of pages touched
+     */
+    unsigned protect(Addr va, Word len, Word prot);
+
+    /**
+     * Set subpage-level protection (section 3.2.4) over
+     * [va, va+len), at 1 KB granularity: the named subpages become
+     * user-protected; hardware page protection is recomputed as the
+     * conjunction the MMU can express. @p prot applies to the touched
+     * subpages (kProtRead|kProtWrite to clear their protection).
+     *
+     * @return number of subpages touched
+     */
+    unsigned subpageProtect(Addr va, Word len, Word prot);
+
+    /** The 4-bit protected-subpage mask of a page. */
+    unsigned subpageMask(Addr va) const;
+    /** Whether subpage mode is active on the page. */
+    bool subpageActive(Addr va) const;
+
+    /**
+     * Amplify the page to full user access in both the PTE and any
+     * live TLB entry (eager amplification, section 3.2.3, and the
+     * subpage upcall path). Subpage mask is preserved so a later
+     * re-protect call can restore checks.
+     */
+    void amplify(Addr va);
+
+    /** Restore hardware protection from the stored subpage mask. */
+    void reprotectFromSubpages(Addr va);
+
+    /** Mark the page's TLB entry user-modifiable (U bit). */
+    void setUserModifiable(Addr va, bool enable);
+
+  private:
+    Word hwBitsForProt(Word prot) const;
+    void syncTlbEntry(Addr va, Word pte_value);
+
+    sim::Machine &machine_;
+    unsigned asid_;
+    Addr ptKva_;
+    FrameAllocator &frames_;
+};
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_ADDRSPACE_H

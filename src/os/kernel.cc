@@ -1,0 +1,503 @@
+#include "os/kernel.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "sim/cp0.h"
+#include "sim/isa.h"
+
+namespace uexc::os {
+
+using namespace sim;
+
+// -- Process ------------------------------------------------------------------
+
+Process::Process(Kernel &kernel, unsigned pid, unsigned asid,
+                 Addr proc_kva, Addr uarea_kva,
+                 std::unique_ptr<AddressSpace> as)
+    : kernel_(kernel), pid_(pid), asid_(asid), procKva_(proc_kva),
+      uareaKva_(uarea_kva), as_(std::move(as))
+{
+}
+
+Word
+Process::field(Word offset) const
+{
+    return kernel_.machine().debugReadWord(procKva_ + offset);
+}
+
+void
+Process::setField(Word offset, Word value)
+{
+    kernel_.machine().debugWriteWord(procKva_ + offset, value);
+}
+
+Word
+Process::tfWord(unsigned word_index) const
+{
+    return kernel_.machine().debugReadWord(
+        uareaKva_ + uarea::TrapFrame + 4 * word_index);
+}
+
+void
+Process::setTfWord(unsigned word_index, Word value)
+{
+    kernel_.machine().debugWriteWord(
+        uareaKva_ + uarea::TrapFrame + 4 * word_index, value);
+}
+
+// -- Kernel -------------------------------------------------------------------
+
+Kernel::Kernel(Machine &machine)
+    : machine_(machine),
+      frames_(kUserFrameBase,
+              static_cast<Addr>(machine.config().memBytes))
+{
+}
+
+void
+Kernel::boot()
+{
+    if (booted_)
+        UEXC_FATAL("kernel: boot() called twice");
+    machine_.load(buildKernelImage());
+    machine_.cpu().setHcallHandler(
+        [this](Cpu &cpu, Word service) { onHcall(cpu, service); });
+    booted_ = true;
+}
+
+Addr
+Kernel::sym(const std::string &name) const
+{
+    return machine_.symbol(name);
+}
+
+Addr
+Kernel::allocKernelData(Word bytes, Word align)
+{
+    kdataBump_ = roundUp(kdataBump_, align);
+    Addr addr = kdataBump_;
+    kdataBump_ += bytes;
+    if (kdataBump_ >= kPageTableArena)
+        UEXC_FATAL("kernel data region exhausted");
+    return addr;
+}
+
+Process &
+Kernel::createProcess()
+{
+    if (!booted_)
+        UEXC_FATAL("kernel: createProcess before boot");
+    unsigned asid = nextAsid_++;
+    Addr pt_kva = kPageTableArena + (asid - 1) * kPageTableBytes;
+    if (Machine::unmappedToPhys(pt_kva) + kPageTableBytes >
+        machine_.config().memBytes) {
+        UEXC_FATAL("out of room for page tables (asid %u); raise "
+                   "MachineConfig::memBytes", asid);
+    }
+    auto as = std::make_unique<AddressSpace>(machine_, asid, pt_kva,
+                                             frames_);
+
+    Addr proc_kva = allocKernelData(proc::StructBytes, 64);
+    Addr uarea_kva = allocKernelData(uarea::Bytes, 256);
+
+    auto p = std::unique_ptr<Process>(
+        new Process(*this, procs_.size() + 1, asid, proc_kva,
+                    uarea_kva, std::move(as)));
+    Process &proc_ref = *p;
+    procs_.push_back(std::move(p));
+
+    proc_ref.setField(proc::Asid, asid);
+    proc_ref.setField(proc::PtBase, pt_kva);
+    proc_ref.setField(proc::Pid, proc_ref.pid());
+    proc_ref.setField(proc::UArea, uarea_kva);
+    proc_ref.setField(proc::Flags, 0);
+    proc_ref.setField(proc::FpUsed, 0);
+
+    // map a user stack (8 pages)
+    proc_ref.as().allocate(kUserStackTop - 8 * kPageBytes,
+                           8 * kPageBytes, kProtRead | kProtWrite);
+    return proc_ref;
+}
+
+void
+Kernel::loadProgram(Process &p, const Program &program)
+{
+    Addr base = program.origin;
+    Word len = static_cast<Word>(4 * program.words.size());
+    if (base >= Cpu::Kseg0Base)
+        UEXC_FATAL("user program loaded at kernel address 0x%08x", base);
+    p.as().allocate(base, len, kProtRead | kProtWrite);
+    for (Word i = 0; i < program.words.size(); i++) {
+        Addr va = base + 4 * i;
+        machine_.mem().writeWord(p.as().physOf(va), program.words[i]);
+    }
+}
+
+void
+Kernel::activate(Process &p)
+{
+    machine_.debugWriteWord(sym(ksym::Curproc), p.procKva());
+    Cp0 &cp0 = machine_.cpu().cp0();
+    cp0.write(cp0reg::EntryHi,
+              p.asid() << sim::entryhi::AsidShift);
+    cp0.write(cp0reg::Context, p.as().ptKva() & 0xffe00000u);
+    current_ = &p;
+}
+
+void
+Kernel::enterUser(Process &p, Addr entry, bool user_vectoring)
+{
+    activate(p);
+    Cpu &cpu = machine_.cpu();
+    Word st = status::KUc;
+    if (user_vectoring)
+        st |= status::UV;
+    cpu.cp0().setStatusReg(st);
+    cpu.setReg(SP, kUserStackTop - 64);
+    cpu.setReg(FP, kUserStackTop - 64);
+    cpu.setPc(entry);
+}
+
+// -- services ------------------------------------------------------------------
+
+void
+Kernel::svcMprotect(Process &p, Addr addr, Word len, Word prot)
+{
+    unsigned pages = p.as().protect(addr, len, prot);
+    machine_.cpu().charge(charge::MprotectBase +
+                          pages * charge::MprotectPerPage);
+}
+
+void
+Kernel::svcUexcEnable(Process &p, Word mask, Addr handler, Addr frame_va)
+{
+    // The paper (section 3.2): "a user process can choose to handle
+    // any synchronous exception ... with the exception of system
+    // calls, co-processor unusable exceptions, and page faults."
+    // Interrupts are asynchronous and likewise excluded; Reserved
+    // Instruction stays with the kernel because it carries the
+    // software emulation of TLBMP and other unused opcodes (section
+    // 3.2.3), which user-level delivery would starve. True page
+    // faults are filtered in the fast path's TLB-fault check (the
+    // kPtePresent test), not here.
+    mask &= ~((1u << static_cast<unsigned>(ExcCode::Int)) |
+              (1u << static_cast<unsigned>(ExcCode::Sys)) |
+              (1u << static_cast<unsigned>(ExcCode::CpU)) |
+              (1u << static_cast<unsigned>(ExcCode::Ri)));
+    if (!isAligned(frame_va, kPageBytes))
+        UEXC_FATAL("uexc_enable: frame page 0x%08x not page aligned",
+                   frame_va);
+    p.as().allocate(frame_va, kPageBytes, kProtRead | kProtWrite);
+    Addr frame_kva = Cpu::Kseg0Base + p.as().frameOf(frame_va);
+    p.setField(proc::UexcMask, mask);
+    p.setField(proc::UexcHandler, handler);
+    p.setField(proc::UexcFrameK, frame_kva);
+    p.setField(proc::UexcFrameU, frame_va);
+    machine_.cpu().charge(charge::UexcEnable);
+}
+
+void
+Kernel::svcUexcProtect(Process &p, Addr addr, Word len, Word prot)
+{
+    unsigned pages = p.as().protect(addr, len, prot);
+    // Mark the pages user-protection-managed (the U bit): the TLBMP
+    // hardware checks it in the TLB entry, and the kernel's software
+    // emulation checks it in the PTE (section 3.2.3).
+    for (Addr page = roundDown(addr, kPageBytes);
+         page < roundUp(addr + len, kPageBytes); page += kPageBytes) {
+        p.as().setUserModifiable(page, true);
+    }
+    machine_.cpu().charge(charge::MprotectBase +
+                          pages * charge::MprotectPerPage);
+}
+
+void
+Kernel::svcSubpageProtect(Process &p, Addr addr, Word len, Word prot)
+{
+    unsigned subs = p.as().subpageProtect(addr, len, prot);
+    machine_.cpu().charge(charge::SubpageBase +
+                          subs * charge::SubpagePerSub);
+}
+
+void
+Kernel::svcUexcSetFlags(Process &p, Word flags)
+{
+    p.setField(proc::Flags, flags);
+    machine_.cpu().charge(charge::SetFlags);
+}
+
+// -- hcall bridge ---------------------------------------------------------------
+
+void
+Kernel::onHcall(Cpu &cpu, Word service)
+{
+    (void)cpu;
+    switch (service) {
+      case svc::SyscallComplex:
+        doComplexSyscall();
+        break;
+      case svc::SubpageEmulate:
+        doSubpageEmulate();
+        break;
+      case svc::RiEmulate:
+        doRiEmulate();
+        break;
+      case svc::Upcall:
+        if (!upcall_)
+            UEXC_FATAL("guest upcall with no host handler installed");
+        upcall_(*this);
+        break;
+      case svc::PanicBadTrap:
+        doBadTrap();
+      default:
+        UEXC_FATAL("unknown hcall service %u", service);
+    }
+}
+
+void
+Kernel::doComplexSyscall()
+{
+    Process *p = current_;
+    if (!p)
+        UEXC_FATAL("complex syscall with no current process");
+    Word num = p->tfWord(tf::Regs + V0 - 1);
+    Word a0 = p->tfWord(tf::Regs + A0 - 1);
+    Word a1 = p->tfWord(tf::Regs + A1 - 1);
+    Word a2 = p->tfWord(tf::Regs + A2 - 1);
+    Word result = 0;
+
+    switch (num) {
+      case sys::Mprotect:
+        svcMprotect(*p, a0, a1, a2);
+        break;
+      case sys::UexcEnable:
+        svcUexcEnable(*p, a0, a1, a2);
+        break;
+      case sys::UexcProtect:
+        svcUexcProtect(*p, a0, a1, a2);
+        break;
+      case sys::SubpageProtect:
+        svcSubpageProtect(*p, a0, a1, a2);
+        break;
+      case sys::UexcSetFlags:
+        svcUexcSetFlags(*p, a0);
+        break;
+      case sys::Exit:
+        exited_ = true;
+        exitCode_ = a0;
+        machine_.cpu().requestHalt();
+        break;
+      default:
+        result = static_cast<Word>(-1);
+        break;
+    }
+    p->setTfWord(tf::Regs + V0 - 1, result);
+}
+
+Word
+Kernel::faultedReg(Process &p, unsigned reg, Addr frame_kva) const
+{
+    // at and t0-t5 were stashed in the exception frame by the fast
+    // path's save phase; everything else is still live in the CPU.
+    switch (reg) {
+      case AT: return machine_.debugReadWord(frame_kva + uframe::At);
+      case T0: return machine_.debugReadWord(frame_kva + uframe::T0);
+      case T1: return machine_.debugReadWord(frame_kva + uframe::T1);
+      case T2: return machine_.debugReadWord(frame_kva + uframe::T2);
+      case T3: return machine_.debugReadWord(frame_kva + uframe::T3);
+      case T4: return machine_.debugReadWord(frame_kva + uframe::T4);
+      case T5: return machine_.debugReadWord(frame_kva + uframe::T5);
+      default: return machine_.cpu().reg(reg);
+    }
+    (void)p;
+}
+
+void
+Kernel::setFaultedReg(Process &p, unsigned reg, Addr frame_kva,
+                      Word value)
+{
+    (void)p;
+    switch (reg) {
+      case Zero: return;
+      case AT: machine_.debugWriteWord(frame_kva + uframe::At, value);
+               return;
+      case T0: machine_.debugWriteWord(frame_kva + uframe::T0, value);
+               return;
+      case T1: machine_.debugWriteWord(frame_kva + uframe::T1, value);
+               return;
+      case T2: machine_.debugWriteWord(frame_kva + uframe::T2, value);
+               return;
+      case T3: machine_.debugWriteWord(frame_kva + uframe::T3, value);
+               return;
+      case T4: machine_.debugWriteWord(frame_kva + uframe::T4, value);
+               return;
+      case T5: machine_.debugWriteWord(frame_kva + uframe::T5, value);
+               return;
+      default: machine_.cpu().setReg(reg, value); return;
+    }
+}
+
+void
+Kernel::doSubpageEmulate()
+{
+    // Emulate the access that faulted into an *unprotected* logical
+    // subpage (section 3.2.4): perform the load/store with kernel
+    // rights, emulate the branch if the access sat in a delay slot,
+    // and point EPC at the resume address.
+    Process *p = current_;
+    if (!p)
+        UEXC_FATAL("subpage emulation with no current process");
+    Cpu &cpu = machine_.cpu();
+    Cp0 &cp0 = cpu.cp0();
+    Addr epc = cp0.epc();
+    bool bd = cp0.causeReg() & cause::BD;
+    Word cause_code = (cp0.causeReg() & cause::ExcCodeMask) >>
+                      cause::ExcCodeShift;
+    Addr frame_kva = p->field(proc::UexcFrameK) +
+                     (cause_code << uframe::FrameShift);
+
+    Addr access_pc = bd ? epc + 4 : epc;
+    Word raw = machine_.mem().readWord(p->as().physOf(access_pc));
+    DecodedInst inst = decode(raw);
+    if (!inst.isMemory()) {
+        UEXC_FATAL("subpage emulation of non-memory instruction "
+                   "'%s' at 0x%08x (jumps into protected pages are "
+                   "not handled, as in the paper's prototype)",
+                   disassemble(inst).c_str(), access_pc);
+    }
+
+    Addr ea = faultedReg(*p, inst.rs, frame_kva) + inst.simm;
+    Addr pa = p->as().physOf(ea);
+    switch (inst.op) {
+      case Op::Lw:
+        setFaultedReg(*p, inst.rt, frame_kva, machine_.mem().readWord(pa));
+        break;
+      case Op::Lh:
+        setFaultedReg(*p, inst.rt, frame_kva,
+                      signExtend(machine_.mem().readHalf(pa), 16));
+        break;
+      case Op::Lhu:
+        setFaultedReg(*p, inst.rt, frame_kva, machine_.mem().readHalf(pa));
+        break;
+      case Op::Lb:
+        setFaultedReg(*p, inst.rt, frame_kva,
+                      signExtend(machine_.mem().readByte(pa), 8));
+        break;
+      case Op::Lbu:
+        setFaultedReg(*p, inst.rt, frame_kva, machine_.mem().readByte(pa));
+        break;
+      case Op::Sw:
+        machine_.mem().writeWord(pa, faultedReg(*p, inst.rt, frame_kva));
+        break;
+      case Op::Sh:
+        machine_.mem().writeHalf(
+            pa, static_cast<Half>(faultedReg(*p, inst.rt, frame_kva)));
+        break;
+      case Op::Sb:
+        machine_.mem().writeByte(
+            pa, static_cast<Byte>(faultedReg(*p, inst.rt, frame_kva)));
+        break;
+      default:
+        UEXC_PANIC("unexpected memory op in subpage emulation");
+    }
+
+    // resume address: trivial unless the access was in a delay slot,
+    // in which case the kernel must emulate the branch as well
+    Addr resume;
+    if (!bd) {
+        resume = epc + 4;
+    } else {
+        Word braw = machine_.mem().readWord(p->as().physOf(epc));
+        DecodedInst br = decode(braw);
+        Word rs = faultedReg(*p, br.rs, frame_kva);
+        Word rt = faultedReg(*p, br.rt, frame_kva);
+        Addr taken = epc + 4 + (br.simm << 2);
+        Addr fallthrough = epc + 8;
+        switch (br.op) {
+          case Op::Beq:  resume = (rs == rt) ? taken : fallthrough; break;
+          case Op::Bne:  resume = (rs != rt) ? taken : fallthrough; break;
+          case Op::Blez:
+            resume = (static_cast<SWord>(rs) <= 0) ? taken : fallthrough;
+            break;
+          case Op::Bgtz:
+            resume = (static_cast<SWord>(rs) > 0) ? taken : fallthrough;
+            break;
+          case Op::Bltz:
+            resume = (static_cast<SWord>(rs) < 0) ? taken : fallthrough;
+            break;
+          case Op::Bgez:
+            resume = (static_cast<SWord>(rs) >= 0) ? taken : fallthrough;
+            break;
+          case Op::J:
+          case Op::Jal:
+            resume = ((epc + 4) & 0xf0000000u) | (br.target << 2);
+            if (br.op == Op::Jal)
+                setFaultedReg(*p, RA, frame_kva, epc + 8);
+            break;
+          case Op::Jr:
+            resume = rs;
+            break;
+          case Op::Jalr:
+            resume = rs;
+            setFaultedReg(*p, br.rd, frame_kva, epc + 8);
+            break;
+          default:
+            UEXC_PANIC("subpage emulation: BD set but 0x%08x is not a "
+                       "branch", epc);
+        }
+    }
+    cp0.write(cp0reg::Epc, resume);
+    cpu.charge(charge::SubpageEmulate);
+    subpageEmuls_++;
+}
+
+void
+Kernel::doRiEmulate()
+{
+    // The stock path asks whether this Reserved Instruction fault is
+    // a TLBMP to emulate (section 3.2.3's software fallback). Sets
+    // guest k1 = 1 when handled (saved EPC advanced), 0 otherwise.
+    Process *p = current_;
+    Cpu &cpu = machine_.cpu();
+    cpu.setReg(K1, 0);
+    if (!p)
+        return;
+    Addr epc = p->tfWord(tf::Epc);
+    if (!p->as().present(epc))
+        return;
+    Word raw = machine_.mem().readWord(p->as().physOf(epc));
+    DecodedInst inst = decode(raw);
+    if (inst.op != Op::Tlbmp)
+        return;
+    Addr va = p->tfWord(tf::Regs + inst.rs - 1);
+    Word ctl = p->tfWord(tf::Regs + inst.rt - 1);
+    if (!p->as().present(va))
+        return;  // unmapped: let the signal path handle it
+    Word pte = p->as().pte(va);
+    if (!(pte & entrylo::U))
+        return;  // policy: not user-modifiable -> SIGILL
+    pte = (ctl & 1u) ? (pte | entrylo::D) : (pte & ~entrylo::D);
+    pte = (ctl & 2u) ? (pte | entrylo::V) : (pte & ~entrylo::V);
+    p->as().setPte(va, pte);
+    machine_.cpu().tlb().invalidate(va, p->asid());
+    // skip the TLBMP instruction on return
+    p->setTfWord(tf::Epc, epc + 4);
+    cpu.setReg(K1, 1);
+    cpu.charge(charge::RiEmulate);
+    riEmuls_++;
+}
+
+void
+Kernel::doBadTrap()
+{
+    const Cp0 &cp0 = machine_.cpu().cp0();
+    UEXC_FATAL("bad trap: cause=0x%08x (%s) epc=0x%08x badvaddr=0x%08x "
+               "status=0x%08x",
+               cp0.causeReg(),
+               excName(static_cast<ExcCode>(
+                   (cp0.causeReg() & cause::ExcCodeMask) >>
+                   cause::ExcCodeShift)),
+               cp0.epc(), cp0.badVAddr(), cp0.statusReg());
+}
+
+} // namespace uexc::os

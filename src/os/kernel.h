@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The host side of the simulated operating system.
+ *
+ * The guest image (kernelimage.cc) contains every dispatch path as
+ * real machine code; this class provides what a kernel's C layer
+ * provides — process and address-space management, the VM syscalls,
+ * and the few complex services the guest code reaches through the
+ * HCALL bridge (complex syscalls, subpage instruction emulation,
+ * TLBMP software emulation). Each bridged service charges simulated
+ * cycles for the work the guest code does not itself execute; the
+ * charge constants are documented where they are defined.
+ */
+
+#ifndef UEXC_OS_KERNEL_H
+#define UEXC_OS_KERNEL_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "os/addrspace.h"
+#include "os/kernelimage.h"
+#include "os/layout.h"
+#include "sim/machine.h"
+
+namespace uexc::os {
+
+class Kernel;
+
+/**
+ * One simulated process: an address space plus the guest-resident
+ * proc structure and u-area the kernel code operates on.
+ */
+class Process
+{
+  public:
+    unsigned pid() const { return pid_; }
+    unsigned asid() const { return asid_; }
+    AddressSpace &as() { return *as_; }
+    const AddressSpace &as() const { return *as_; }
+
+    /** Guest (kseg0) address of the proc structure. */
+    Addr procKva() const { return procKva_; }
+    /** Guest (kseg0) address of the u-area / trapframe. */
+    Addr uareaKva() const { return uareaKva_; }
+
+    /** Read/write a proc-structure field by byte offset. */
+    Word field(Word offset) const;
+    void setField(Word offset, Word value);
+
+    /** Read/write a trapframe slot (word index, see os::tf). */
+    Word tfWord(unsigned word_index) const;
+    void setTfWord(unsigned word_index, Word value);
+
+  private:
+    friend class Kernel;
+    Process(Kernel &kernel, unsigned pid, unsigned asid, Addr proc_kva,
+            Addr uarea_kva, std::unique_ptr<AddressSpace> as);
+
+    Kernel &kernel_;
+    unsigned pid_;
+    unsigned asid_;
+    Addr procKva_;
+    Addr uareaKva_;
+    std::unique_ptr<AddressSpace> as_;
+};
+
+/**
+ * The kernel. Construct over a Machine; boot() loads the guest image
+ * and installs the host-call bridge.
+ */
+class Kernel
+{
+  public:
+    explicit Kernel(sim::Machine &machine);
+
+    /** Build and load the kernel image, hook hcall dispatch. */
+    void boot();
+
+    sim::Machine &machine() { return machine_; }
+
+    /** Guest address of a kernel symbol. */
+    Addr sym(const std::string &name) const;
+
+    // -- processes -----------------------------------------------------
+
+    /**
+     * Create a process: address space, proc struct, u-area, and a
+     * mapped user stack.
+     */
+    Process &createProcess();
+
+    /** Make @p p the current process (curproc, ASID, PTEBase). */
+    void activate(Process &p);
+
+    Process *current() { return current_; }
+
+    /**
+     * Arrange for the CPU to be in user mode in @p p at @p entry.
+     * Stack pointer and gp are initialized; status gains KUc (and UV
+     * when @p user_vectoring).
+     */
+    void enterUser(Process &p, Addr entry, bool user_vectoring = false);
+
+    /** Number of processes created. */
+    unsigned numProcesses() const { return procs_.size(); }
+
+    /**
+     * Load a user program into @p p: maps the covered pages
+     * read-write and copies the image through the page tables.
+     */
+    void loadProgram(Process &p, const sim::Program &program);
+
+    // -- kernel services (also the hcall-bridged syscalls) ------------------
+
+    /** mprotect(): page-granularity protection change. */
+    void svcMprotect(Process &p, Addr addr, Word len, Word prot);
+
+    /**
+     * Enable fast user-level exceptions (the paper's new syscall):
+     * @p mask is an ExcCode bitmask (Int and Sys are silently
+     * cleared), @p handler the user handler entry, @p frame_va the
+     * user page to pin as the exception frame page.
+     */
+    void svcUexcEnable(Process &p, Word mask, Addr handler,
+                       Addr frame_va);
+
+    /**
+     * Protection change for fast-exception users: like mprotect, and
+     * additionally marks the pages' TLB entries user-modifiable when
+     * the machine has TLBMP hardware.
+     */
+    void svcUexcProtect(Process &p, Addr addr, Word len, Word prot);
+
+    /** Subpage (1 KB) protection (section 3.2.4). */
+    void svcSubpageProtect(Process &p, Addr addr, Word len, Word prot);
+
+    /** Set proc flags (eager amplification). */
+    void svcUexcSetFlags(Process &p, Word flags);
+
+    // -- app upcall bridge -------------------------------------------------
+
+    /**
+     * Host callback invoked when guest code executes
+     * hcall svc::Upcall; used by host-side applications to run their
+     * handler logic at user level.
+     */
+    using UpcallFn = std::function<void(Kernel &)>;
+    void setUpcallHandler(UpcallFn fn) { upcall_ = std::move(fn); }
+    bool hasUpcallHandler() const { return static_cast<bool>(upcall_); }
+
+    /** Exit code recorded by sys::Exit (process exit halts the CPU). */
+    Word exitCode() const { return exitCode_; }
+    bool exited() const { return exited_; }
+
+    // -- statistics ---------------------------------------------------------
+
+    std::uint64_t subpageEmulations() const { return subpageEmuls_; }
+    std::uint64_t riEmulations() const { return riEmuls_; }
+
+  private:
+    void onHcall(sim::Cpu &cpu, Word service);
+    void doComplexSyscall();
+    void doSubpageEmulate();
+    void doRiEmulate();
+    [[noreturn]] void doBadTrap();
+
+    /** User register value as the faulted instruction saw it, taking
+     *  the fast path's frame-saved scratch registers into account. */
+    Word faultedReg(Process &p, unsigned reg, Addr frame_kva) const;
+    void setFaultedReg(Process &p, unsigned reg, Addr frame_kva,
+                       Word value);
+
+    Addr allocKernelData(Word bytes, Word align);
+
+    sim::Machine &machine_;
+    bool booted_ = false;
+    std::vector<std::unique_ptr<Process>> procs_;
+    Process *current_ = nullptr;
+    FrameAllocator frames_;
+    Addr kdataBump_ = kKernelDataBase;
+    unsigned nextAsid_ = 1;
+    UpcallFn upcall_;
+    bool exited_ = false;
+    Word exitCode_ = 0;
+    std::uint64_t subpageEmuls_ = 0;
+    std::uint64_t riEmuls_ = 0;
+};
+
+/**
+ * Cycle charges for host-bridged kernel services. These stand in for
+ * kernel C code we do not execute as guest instructions; values are
+ * rough R3000 instruction-count estimates for the corresponding
+ * Ultrix code paths and are documented in DESIGN.md.
+ */
+namespace charge {
+constexpr Cycles MprotectBase = 60;      ///< vm_map lookup, validation
+constexpr Cycles MprotectPerPage = 40;   ///< PTE rewrite + TLB probe
+constexpr Cycles UexcEnable = 80;        ///< validate + pin frame page
+constexpr Cycles SubpageBase = 40;
+constexpr Cycles SubpagePerSub = 15;
+constexpr Cycles SubpageEmulate = 30;    ///< decode + EA + access
+constexpr Cycles RiEmulate = 40;         ///< decode + PTE/TLB update
+constexpr Cycles SetFlags = 10;
+} // namespace charge
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_KERNEL_H

@@ -1,0 +1,1140 @@
+#include "os/kernelimage.h"
+
+#include "common/logging.h"
+#include "os/addrspace.h"
+#include "os/layout.h"
+#include "sim/cp0.h"
+#include "sim/cpu.h"
+
+namespace uexc::os {
+
+using namespace sim;
+
+namespace {
+
+/** Trapframe slot (byte offset) of general register @p r (1..31). */
+constexpr SWord
+tfReg(unsigned r)
+{
+    return static_cast<SWord>((r - 1) * 4);
+}
+
+constexpr SWord kTfMdlo = tf::Mdlo * 4;
+constexpr SWord kTfMdhi = tf::Mdhi * 4;
+constexpr SWord kTfEpc = tf::Epc * 4;
+constexpr SWord kTfCause = tf::Cause * 4;
+constexpr SWord kTfBadVA = tf::BadVA * 4;
+constexpr SWord kTfStatus = tf::Status * 4;
+
+/** Signal context slot (byte offset) of general register @p r. */
+constexpr SWord
+scReg(unsigned r)
+{
+    return static_cast<SWord>((sigctx::Regs + r - 1) * 4);
+}
+
+/**
+ * Emit the TLB refill handler: the classic R3000 single-lw linear
+ * page table refill. Context holds PTEBase | (BadVPN << 2); EntryHi
+ * was loaded by hardware. PTEs whose V bit is clear are written
+ * anyway; the retried access then faults to the general vector where
+ * protection processing happens (two-step fault, as on real R3000).
+ */
+void
+emitRefillHandler(Assembler &a)
+{
+    a.label(ksym::RefillHandler);
+    a.mfc0(K1, cp0reg::Context);
+    a.lw(K0, 0, K1);
+    a.mtc0(K0, cp0reg::EntryLo);
+    a.nop();                       // mtc0 hazard slot
+    a.tlbwr();
+    a.mfc0(K0, cp0reg::Epc);
+    a.jr(K0);
+    a.rfe();
+    a.label(ksym::RefillEnd);
+}
+
+/**
+ * Emit the fast user-level exception dispatch (paper section 3.2,
+ * Table 3). The six phases are delimited by exported symbols and hold
+ * the paper's exact instruction counts: 6 / 11 / 31 / 6 / 8 / 3 = 65.
+ *
+ * Register state on the vector-to-user handoff:
+ *   t3       = frame address (user virtual) for this exception type
+ *   at,t0-t5 = saved in the frame; the user stub restores them
+ *   k0,k1    = dead (kernel-reserved)
+ * All frame stores go through the frame page's kseg0 alias, so the
+ * handler itself can take no TLB miss (the paper's pinning argument).
+ */
+void
+emitFastPath(Assembler &a)
+{
+    // ---- phase 1: decode (6 instructions) --------------------------
+    // Is this a synchronous exception from user mode at all?
+    a.label(ksym::FastDecode);
+    a.mfc0(K0, cp0reg::Cause);
+    a.mfc0(K1, cp0reg::Status);
+    a.andi(K0, K0, 0x7c);             // ExcCode << 2
+    a.andi(K1, K1, status::KUp);      // faulted from user mode?
+    a.beq(K1, Zero, "kernel_fault");
+    a.srl(K0, K0, 2);                 // delay slot: k0 = ExcCode
+
+    // ---- phase 2: Ultrix compatibility check (11 instructions) -----
+    // Has this process enabled fast delivery of this exception type?
+    a.label(ksym::FastCompat);
+    a.luiHi(K1, ksym::Curproc);
+    a.lwLo(K1, ksym::Curproc, K1);
+    a.nop();                          // load delay (R3000)
+    a.beq(K1, Zero, "stock_path");    // no process context
+    a.nop();                          // delay slot
+    a.lw(K1, proc::UexcMask, K1);
+    a.nop();                          // load delay
+    a.srlv(K1, K1, K0);
+    a.andi(K1, K1, 1);
+    a.beq(K1, Zero, "stock_path");
+    a.nop();                          // delay slot
+
+    // ---- phase 3: save partial state (31 instructions) --------------
+    a.label(ksym::FastSave);
+    a.luiHi(K1, ksym::Curproc);
+    a.lwLo(K1, ksym::Curproc, K1);
+    a.nop();
+    a.lw(K1, proc::UexcFrameK, K1);   // frame page, kseg0 alias
+    a.sll(K0, K0, uframe::FrameShift);
+    a.addu(K1, K1, K0);               // k1 = frame (kseg0)
+    a.sw(AT, uframe::At, K1);
+    a.sw(T0, uframe::T0, K1);
+    a.sw(T1, uframe::T1, K1);
+    a.sw(T2, uframe::T2, K1);
+    a.sw(T3, uframe::T3, K1);
+    a.sw(T4, uframe::T4, K1);
+    a.sw(T5, uframe::T5, K1);
+    a.mfc0(T0, cp0reg::Epc);
+    a.mfc0(T1, cp0reg::Cause);
+    a.mfc0(T2, cp0reg::BadVAddr);
+    a.mfc0(T3, cp0reg::Status);
+    a.sw(T0, uframe::Epc, K1);
+    a.sw(T1, uframe::Cause, K1);
+    a.sw(T2, uframe::BadVA, K1);
+    a.sw(T3, uframe::Status, K1);
+    a.mfhi(T1);
+    a.mflo(T2);
+    a.sw(T1, uframe::Mdhi, K1);
+    a.sw(T2, uframe::Mdlo, K1);
+    a.luiHi(T0, ksym::Curproc);
+    a.lwLo(T0, ksym::Curproc, T0);  // t0 = proc
+    a.nop();
+    a.lw(T3, proc::UexcFrameU, T0);
+    a.nop();
+    a.addu(T3, T3, K0);               // t3 = frame (user va)
+
+    // ---- phase 4: floating point check (6 instructions) --------------
+    a.label(ksym::FastFp);
+    a.lw(T1, proc::FpUsed, T0);
+    a.nop();
+    a.beq(T1, Zero, "fast_fp_done");
+    a.nop();
+    a.j("fp_save_path");
+    a.nop();
+    a.label("fast_fp_done");
+
+    // ---- phase 5: check for TLB fault (8 instructions) ----------------
+    a.label(ksym::FastTlbCheck);
+    a.lw(T1, uframe::Cause, K1);
+    a.nop();
+    a.srl(T1, T1, 2);
+    a.andi(T1, T1, 0x1f);
+    a.sltiu(T2, T1, 4);               // Mod/TLBL/TLBS are codes 1..3
+    a.bne(T2, Zero, ksym::TlbFault);
+    a.nop();
+    a.nop();
+
+    // ---- phase 6: vector to user (3 instructions) ----------------------
+    a.label(ksym::FastVector);
+    a.lw(K0, proc::UexcHandler, T0);
+    a.jr(K0);
+    a.rfe();
+    a.label(ksym::FastEnd);
+}
+
+/**
+ * Emit the fast path's TLB-fault sub-handler: validate the fault
+ * against the page table (this is the paper's "additional call into a
+ * C language routine" that makes protection delivery slower), apply
+ * eager amplification when the process asked for it, and dispatch
+ * subpage faults.
+ *
+ * Entry state: t0 = proc, k1 = frame (kseg0), t3 = frame (user va),
+ * at/t0-t5 saved in the frame.
+ */
+void
+emitTlbFaultPath(Assembler &a)
+{
+    a.label(ksym::TlbFault);
+    a.lw(T1, proc::PtBase, T0);
+    a.lw(T2, uframe::BadVA, K1);
+    a.srl(T4, T2, kPageShift);
+    a.sll(T4, T4, 2);
+    a.addu(T4, T1, T4);               // t4 = &pte
+    a.lw(T5, 0, T4);                  // t5 = pte
+    a.nop();
+    a.andi(T1, T5, kPtePresent);
+    a.beq(T1, Zero, "stock_from_fast");  // true page fault -> Unix
+    a.nop();
+
+    // The paper: "the presence of Unix shared memory implies that the
+    // handler must perform additional checks before an exception can
+    // be correctly dismissed. Consequently, our emulation requires an
+    // additional call into a C language routine, which in turn
+    // necessitates more state to be saved" (section 3.2.2). The C
+    // routine needs more registers, so spill t6-t8 to kernel scratch,
+    // scan the per-process share-map list, and validate the pmap view
+    // against the PTE. This block is why write-protection delivery is
+    // three times the simple-exception cost (Table 2 rows 1 vs 2).
+    a.la(T1, "ktemp");
+    a.sw(T6, 0, T1);
+    a.sw(T7, 4, T1);
+    a.sw(T8, 8, T1);
+    a.la(T6, "share_map_data");
+    a.lw(T7, 0, T6);                  // entry count
+    a.nop();
+    a.label("fast_share_scan");
+    a.lw(T8, 4, T6);                  // entry: region base
+    a.lw(T1, 8, T6);                  // entry: region end
+    a.sltu(T8, T2, T8);
+    a.bne(T8, Zero, "fast_share_next");
+    a.sltu(T1, T2, T1);
+    a.beq(T1, Zero, "fast_share_next");
+    a.nop();
+    a.lw(T8, 12, T6);                 // shared-region ref count
+    a.nop();
+    a.label("fast_share_next");
+    a.addiu(T6, T6, 16);
+    a.addiu(T7, T7, -1);
+    a.bgtz(T7, "fast_share_scan");
+    a.nop();
+    // pmap consistency: the cached TLB view must agree with the PTE
+    a.mtc0(T5, cp0reg::EntryLo);
+    a.tlbp();
+    a.nop();
+    a.mfc0(T1, cp0reg::Index);
+    a.nop();
+    a.bltz(T1, "fast_pmap_ok");
+    a.nop();
+    a.tlbr();
+    a.mfc0(T1, cp0reg::EntryLo);
+    a.nop();
+    a.xor_(T1, T1, T5);
+    a.andi(T1, T1, 0xf00);            // N/D/V/G disagreement is fatal
+    a.bne(T1, Zero, "bad_trap");
+    a.nop();
+    a.label("fast_pmap_ok");
+    // pmap_page_protect()-style reverse-map check: scan the frame's
+    // pv-list head and validate the mapping count
+    a.la(T1, "pv_head_data");
+    a.srl(T6, T5, 12);
+    a.andi(T6, T6, 0x1f);
+    a.sll(T6, T6, 3);
+    a.addu(T1, T1, T6);
+    a.lw(T6, 0, T1);                  // pv entry: mapping count
+    a.lw(T7, 4, T1);                  // pv entry: flags
+    a.addiu(T6, T6, 0);
+    a.or_(T7, T7, T6);
+    a.sw(T7, 4, T1);
+    // second pass: each pv mapping's attribute word is folded into
+    // the page's modify/reference summary (Ultrix pmap keeps these
+    // per-frame attributes coherent on every protection event)
+    a.lw(T6, 0, T1);
+    a.li(T7, 3);
+    a.label("fast_pv_walk");
+    a.lw(T8, 4, T1);
+    a.andi(T8, T8, 0xff);
+    a.addiu(T7, T7, -1);
+    a.bgtz(T7, "fast_pv_walk");
+    a.nop();
+    a.lw(T8, 4, T1);
+    a.ori(T8, T8, 0x100);
+    a.sw(T8, 4, T1);
+    // EntryHi is architecturally preserved across tlbp/tlbr here
+    // (same VPN/ASID); reload EntryLo working value and the spills
+    a.la(T1, "ktemp");
+    a.lw(T6, 0, T1);
+    a.lw(T7, 4, T1);
+    a.lw(T8, 8, T1);
+    a.lw(T1, 0, T4);                  // re-fetch pte after checks
+    a.move(T5, T1);
+
+    a.andi(T1, T5, kPteSubpage);
+    a.bne(T1, Zero, ksym::SubpagePath);
+    a.nop();
+    a.lw(T1, proc::Flags, T0);
+    a.nop();
+    a.andi(T1, T1, kPfEagerAmplify);
+    a.beq(T1, Zero, "fast_vector_2");
+    a.nop();
+
+    // eager amplification (section 3.2.3): grant access in the PTE
+    // and patch any live TLB entry so the retry cannot re-fault.
+    a.label("amplify_and_vector");
+    a.ori(T5, T5, entrylo::V | entrylo::D);
+    a.sw(T5, 0, T4);
+    a.mtc0(T5, cp0reg::EntryLo);      // EntryHi = faulting VPN|ASID
+    a.nop();
+    a.tlbp();
+    a.nop();
+    a.mfc0(T1, cp0reg::Index);
+    a.nop();
+    a.bltz(T1, "fast_vector_2");      // not resident in the TLB
+    a.nop();
+    a.tlbwi();
+
+    a.label("fast_vector_2");
+    a.lw(K0, proc::UexcHandler, T0);
+    a.jr(K0);
+    a.rfe();
+    a.label(ksym::TlbFaultEnd);
+
+    // restore the fast-path's scratch saves, then take the stock path
+    // so Unix sees unmodified user state
+    a.label("stock_from_fast");
+    a.lw(AT, uframe::At, K1);
+    a.lw(T0, uframe::T0, K1);
+    a.lw(T1, uframe::T1, K1);
+    a.lw(T2, uframe::T2, K1);
+    a.lw(T3, uframe::T3, K1);
+    a.lw(T4, uframe::T4, K1);
+    a.lw(T5, uframe::T5, K1);
+    a.j("stock_path");
+    a.nop();
+}
+
+/**
+ * Emit the subpage dispatch of section 3.2.4. Entry state as for the
+ * TLB fault path, plus t2 = faulting va, t4 = &pte, t5 = pte.
+ */
+void
+emitSubpagePath(Assembler &a)
+{
+    a.label(ksym::SubpagePath);
+    // recompute the logical page bounds and cross-check the stored
+    // mask against the hardware protection state before trusting it
+    // (the kernel's defensive checks; part of why subpage delivery
+    // costs more than a plain protection fault, Table 2 row 3)
+    a.srl(T1, T2, kPageShift);
+    a.sll(T1, T1, kPageShift);        // hardware page base
+    a.subu(T1, T2, T1);               // page offset
+    a.srl(T1, T1, kSubpageShift);     // logical subpage index
+    a.andi(T1, T1, kSubpagesPerPage - 1);
+    a.andi(AT, T5, entrylo::D);
+    a.bne(AT, Zero, "bad_trap");      // writable page cannot subfault
+    a.nop();
+    a.andi(AT, T5, kPteSubMaskBits);
+    a.beq(AT, Zero, "bad_trap");      // mode bit without mask: bug
+    a.nop();
+    // recompute the page's aggregate protection from all four
+    // subpage bits (the conjunction the MMU can express), updating
+    // the kernel's subpage accounting table
+    a.la(AT, "subpage_acct");
+    a.andi(T7, T5, kPteSubMaskBits);
+    a.srl(T7, T7, kPteSubMaskShift);
+    a.li(T6, kSubpagesPerPage);
+    a.label("subpage_recompute");
+    a.andi(T8, T7, 1);
+    a.lw(T9, 0, AT);
+    a.addu(T9, T9, T8);
+    a.sw(T9, 0, AT);
+    a.srl(T7, T7, 1);
+    a.addiu(T6, T6, -1);
+    a.bgtz(T6, "subpage_recompute");
+    a.nop();
+    // update the logical-page table: Ultrix-style per-subpage
+    // attribute words (reference, modify, protection) for all four
+    // logical pages of this hardware page
+    a.la(AT, "subpage_acct");
+    a.li(T6, kSubpagesPerPage);
+    a.label("subpage_lpt_update");
+    a.lw(T7, 4, AT);
+    a.srl(T8, T2, kSubpageShift);
+    a.xor_(T7, T7, T8);
+    a.andi(T7, T7, 0xfff);
+    a.sw(T7, 4, AT);
+    a.lw(T7, 8, AT);
+    a.addiu(T7, T7, 1);
+    a.sw(T7, 8, AT);
+    a.addiu(T6, T6, -1);
+    a.bgtz(T6, "subpage_lpt_update");
+    a.nop();
+
+    a.la(AT, "ktemp");
+    a.lw(T6, 0, AT);
+    a.lw(T7, 4, AT);
+    a.lw(T8, 8, AT);
+
+    a.addiu(T1, T1, kPteSubMaskShift);
+    a.srlv(T1, T5, T1);
+    a.andi(T1, T1, 1);
+    a.bne(T1, Zero, "subpage_protected");
+    a.nop();
+
+    // Access in an unprotected logical subpage: the kernel emulates
+    // the load/store (and the branch, if the access sat in a delay
+    // slot) and the user program never notices. The emulation itself
+    // is a kernel C routine: host service, cycle-charged.
+    a.hcall(svc::SubpageEmulate);
+    a.lw(AT, uframe::At, K1);
+    a.lw(T0, uframe::T0, K1);
+    a.lw(T1, uframe::T1, K1);
+    a.lw(T2, uframe::T2, K1);
+    a.lw(T3, uframe::T3, K1);
+    a.lw(T4, uframe::T4, K1);
+    a.lw(T5, uframe::T5, K1);
+    a.mfc0(K0, cp0reg::Epc);
+    a.jr(K0);
+    a.rfe();
+
+    // Protected subpage: amplify the page and vector to the user
+    // handler (the user re-protects later via subpage_protect).
+    a.label("subpage_protected");
+    a.j("amplify_and_vector");
+    a.nop();
+    a.label(ksym::SubpageEnd);
+}
+
+/**
+ * Emit the FP-state save loop taken by the fast path when the
+ * process has live floating point state (32 words into the pcb).
+ */
+void
+emitFpSavePath(Assembler &a)
+{
+    a.label("fp_save_path");
+    a.lw(T1, proc::UArea, T0);
+    a.li(T2, 32);
+    a.addiu(T1, T1, static_cast<SWord>(uarea::FpFrame));
+    a.label("fp_save_loop");
+    a.lw(T4, 0, T1);
+    a.sw(T4, 0x80, T1);
+    a.addiu(T1, T1, 4);
+    a.addiu(T2, T2, -1);
+    a.bne(T2, Zero, "fp_save_loop");
+    a.nop();
+    a.j("fast_fp_done");
+    a.nop();
+}
+
+/**
+ * Emit the stock Ultrix-style path: full state save into the u-area
+ * trapframe, then dispatch to the syscall handler or the signal
+ * machinery.
+ */
+void
+emitStockEntry(Assembler &a)
+{
+    a.label(ksym::StockPath);
+    a.luiHi(K1, ksym::Curproc);
+    a.lwLo(K1, ksym::Curproc, K1);
+    a.nop();
+    a.beq(K1, Zero, "bad_trap");
+    a.nop();
+    a.lw(K1, proc::UArea, K1);        // k1 = u-area = trapframe base
+    a.nop();
+
+    // save every general register except k0/k1 (29 stores), exactly
+    // the "saves all user registers" behaviour the paper describes
+    for (unsigned r = 1; r < 32; r++) {
+        if (r == K0 || r == K1)
+            continue;
+        a.sw(r, tfReg(r), K1);
+    }
+    a.mfhi(T0);
+    a.sw(T0, kTfMdhi, K1);
+    a.mflo(T0);
+    a.sw(T0, kTfMdlo, K1);
+    a.mfc0(T0, cp0reg::Epc);
+    a.sw(T0, kTfEpc, K1);
+    a.mfc0(T0, cp0reg::Cause);
+    a.sw(T0, kTfCause, K1);
+    a.mfc0(T0, cp0reg::BadVAddr);
+    a.sw(T0, kTfBadVA, K1);
+    a.mfc0(T0, cp0reg::Status);
+    a.sw(T0, kTfStatus, K1);
+
+    // dispatch: syscalls to the syscall path, all else to trap()
+    a.mfc0(T0, cp0reg::Cause);
+    a.srl(T0, T0, 2);
+    a.andi(T0, T0, 0x1f);
+    a.li(T1, static_cast<Word>(ExcCode::Sys));
+    a.beq(T0, T1, "syscall_path");
+    a.nop();
+    a.j("trap_path");
+    a.nop();
+}
+
+/**
+ * Emit trap(): exception-to-signal translation, posting, the u-area
+ * bookkeeping Ultrix performs on every trap, signal recognition
+ * (ffs over pending&~blocked), and sendsig()'s sigcontext
+ * construction on the user stack.
+ */
+void
+emitTrapPath(Assembler &a)
+{
+    a.label("trap_path");
+    // Ultrix attempts to fix up unaligned accesses before signalling
+    // (the paper notes this explicitly and ignores the fixup itself;
+    // the *check* — fetching and partially decoding the faulting
+    // instruction — still runs on every AdEL/AdES)
+    a.li(T1, static_cast<Word>(ExcCode::AdEL));
+    a.beq(T0, T1, "unaligned_check");
+    a.li(T1, static_cast<Word>(ExcCode::AdES));
+    a.beq(T0, T1, "unaligned_check");
+    a.nop();
+    a.j("after_unaligned_check");
+    a.nop();
+    a.label("unaligned_check");
+    a.lw(T2, kTfEpc, K1);
+    a.lw(T3, kTfCause, K1);
+    a.bltz(T3, "after_unaligned_check");  // BD: fixup not attempted
+    a.andi(T4, T2, 3);
+    a.bne(T4, Zero, "after_unaligned_check");  // unaligned fetch EPC
+    a.nop();
+    // fetch the user instruction; the text page is necessarily still
+    // in the TLB (it was just fetched from, and this handler runs
+    // unmapped), so k1 stays safe across the user-space load
+    a.lw(T2, 0, T2);
+    a.nop();
+    a.srl(T3, T2, 26);                // opcode
+    a.andi(T4, T2, 0xffff);           // displacement
+    a.srl(T5, T2, 21);
+    a.andi(T5, T5, 0x1f);             // base register index
+    a.sltiu(T3, T3, 0x20);            // is it even a memory opcode?
+    a.lw(T4, static_cast<SWord>(uarea::AstFlags) + 8, K1);
+    a.nop();
+    a.andi(T4, T4, 1);                // fixup globally enabled?
+    // (fixup disabled, as in the paper's measurements: fall through)
+    a.label("after_unaligned_check");
+
+    // vm_fault(): protection faults and page faults go through the
+    // VM system before they can become signals — map entry lookup,
+    // object chain walk, and pmap update. This is the bulk of the
+    // Ultrix write-protection delivery cost (Table 1 row 2).
+    a.sltiu(T1, T0, 4);
+    a.beq(T1, Zero, "after_vm_fault");  // codes 1..3 only
+    a.nop();
+    a.la(T2, "vm_map_data");
+    a.lw(T3, 0, T2);                  // map entry count
+    a.lw(T4, kTfBadVA, K1);
+    a.label("vm_map_scan");
+    a.lw(T5, 4, T2);                  // entry start
+    a.lw(T6, 8, T2);                  // entry end
+    a.sltu(T5, T4, T5);
+    a.bne(T5, Zero, "vm_map_next");
+    a.sltu(T6, T4, T6);
+    a.beq(T6, Zero, "vm_map_next");
+    a.nop();
+    // found the map entry: walk the shadow object chain
+    a.lw(T5, 12, T2);                 // object chain depth
+    a.nop();
+    a.label("vm_obj_walk");
+    a.lw(T6, 16, T2);                 // object "lock" word
+    a.addiu(T6, T6, 1);
+    a.sw(T6, 16, T2);
+    a.lw(T6, 20, T2);                 // resident page lookup hash
+    a.srl(T7, T4, kPageShift);
+    a.xor_(T6, T6, T7);
+    a.andi(T6, T6, 0x3ff);
+    a.lw(T7, 16, T2);                 // page busy/wanted flags
+    a.nop();
+    a.andi(T7, T7, 0x3);
+    a.lw(T7, 8, T2);                  // object size check
+    a.nop();
+    a.sltu(T7, T4, T7);
+    a.lw(T7, 16, T2);                 // unlock
+    a.addiu(T7, T7, -1);
+    a.sw(T7, 16, T2);
+    a.addiu(T5, T5, -1);
+    a.bgtz(T5, "vm_obj_walk");
+    a.nop();
+    a.j("vm_fault_done");
+    a.nop();
+    a.label("vm_map_next");
+    a.addiu(T2, T2, 24);
+    a.addiu(T3, T3, -1);
+    a.bgtz(T3, "vm_map_scan");
+    a.nop();
+    a.label("vm_fault_done");
+    // pmap_enter(): walk the frame's pv list to keep the per-frame
+    // attribute summary coherent before updating the hardware view
+    a.la(T2, "pv_head_data");
+    a.li(T5, 12);
+    a.label("vm_pv_scan");
+    a.lw(T6, 0, T2);
+    a.lw(T7, 4, T2);
+    a.or_(T6, T6, T7);
+    a.sw(T6, 4, T2);
+    a.addiu(T2, T2, 8);
+    a.addiu(T5, T5, -1);
+    a.bgtz(T5, "vm_pv_scan");
+    a.nop();
+    // pmap_enter(): revalidate the hardware view. EntryHi carries the
+    // live ASID and must be restored after the probe.
+    a.mfc0(T3, cp0reg::EntryHi);
+    a.lw(T2, kTfBadVA, K1);
+    a.srl(T2, T2, kPageShift);
+    a.sll(T2, T2, kPageShift);
+    a.andi(T5, T3, entryhi::AsidMask);
+    a.or_(T2, T2, T5);
+    a.mtc0(T2, cp0reg::EntryHi);
+    a.tlbp();
+    a.nop();
+    a.mfc0(T2, cp0reg::Index);
+    a.mtc0(T3, cp0reg::EntryHi);
+    a.nop();
+    a.label("after_vm_fault");
+
+    // RI may be a TLBMP instruction to emulate (section 3.2.3's
+    // "emulation of unused opcodes in the kernel")
+    a.li(T1, static_cast<Word>(ExcCode::Ri));
+    a.bne(T0, T1, "no_ri_emulation");
+    a.nop();
+    a.hcall(svc::RiEmulate);          // host sets k1=1 when handled
+    a.bne(K1, Zero, "restore_all");
+    a.nop();
+    // reload trapframe base clobbered by the branch above
+    a.luiHi(K1, ksym::Curproc);
+    a.lwLo(K1, ksym::Curproc, K1);
+    a.nop();
+    a.lw(K1, proc::UArea, K1);
+    a.nop();
+    a.label("no_ri_emulation");
+
+    // "saves all user registers, some of them twice" (the paper on
+    // Ultrix): trap()'s C prologue re-saves the caller-saved set
+    // from the locore trapframe into its own frame area
+    for (unsigned r : {AT, V0, V1, A0, A1, A2, A3,
+                       T0, T1, T2, T3, T4, T5, T6, T7, RA}) {
+        a.lw(T8, tfReg(r), K1);
+        a.sw(T8, static_cast<SWord>(0x100 + 4 * r), K1);
+    }
+
+    // translate ExcCode -> signal number
+    a.la(T1, ksym::SigXlate);
+    a.sll(T2, T0, 2);
+    a.addu(T1, T1, T2);
+    a.lw(T3, 0, T1);
+    a.nop();
+    a.beq(T3, Zero, "bad_trap");
+    a.nop();
+
+    // s0 = proc, s1 = u-area, s2 = trapframe, s4 = signal
+    a.luiHi(S0, ksym::Curproc);
+    a.lwLo(S0, ksym::Curproc, S0);
+    a.nop();
+    a.lw(S1, proc::UArea, S0);
+    a.nop();
+    a.move(S2, S1);
+    a.move(S4, T3);
+
+    // no handler installed? the process would be killed; in the
+    // simulation that is a fatal condition surfaced to the host
+    a.sll(T1, S4, 2);
+    a.addu(T1, S0, T1);
+    a.lw(T4, proc::SigHandlers, T1);
+    a.nop();
+    a.beq(T4, Zero, "bad_trap");
+    a.nop();
+
+    // psignal(): post the signal bit
+    a.lw(T1, proc::SigPending, S0);
+    a.li(T2, 1);
+    a.sllv(T2, T2, S4);
+    a.or_(T1, T1, T2);
+    a.sw(T1, proc::SigPending, S0);
+
+    // Ultrix per-trap bookkeeping: resource accounting, AST flags,
+    // and alternate-stack checks touch scattered u-area lines
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase), S1);
+    a.addiu(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase), S1);
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x20, S1);
+    a.addiu(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x20, S1);
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x40, S1);
+    a.addiu(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x40, S1);
+    a.lw(T1, static_cast<SWord>(uarea::AstFlags), S1);
+    a.ori(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::AstFlags), S1);
+    a.lw(T1, static_cast<SWord>(uarea::SigAltStack), S1);
+    a.nop();
+
+    // psig() preliminaries: sigaction flags, job-control state, core
+    // dump eligibility, and the sigmask recomputation loop over the
+    // 32-signal mask word (the generality the paper calls "overkill
+    // for simple synchronous exceptions")
+    a.lw(T1, static_cast<SWord>(uarea::SigAltStack) + 8, S1);
+    a.lw(T2, proc::Flags, S0);
+    a.andi(T2, T2, 0xff);
+    a.lw(T4, static_cast<SWord>(uarea::SigAltStack) + 16, S1);
+    a.nop();
+    a.or_(T1, T1, T4);
+    a.sw(T1, static_cast<SWord>(uarea::SigAltStack) + 24, S1);
+    a.lw(T1, proc::SigMask, S0);
+    a.li(T2, 8);                       // recompute held-signal summary
+    a.li(T4, 0);
+    a.label("sigmask_recompute");
+    a.andi(T5, T1, 0xf);
+    a.addu(T4, T4, T5);
+    a.srl(T1, T1, 4);
+    a.addiu(T2, T2, -1);
+    a.bgtz(T2, "sigmask_recompute");
+    a.nop();
+    a.sw(T4, static_cast<SWord>(uarea::SigAltStack) + 32, S1);
+
+    // issig()/psig(): find the lowest pending unblocked signal
+    a.lw(T1, proc::SigPending, S0);
+    a.lw(T2, proc::SigMask, S0);
+    a.nor(T2, T2, Zero);
+    a.and_(T1, T1, T2);
+    a.beq(T1, Zero, "restore_all");
+    a.li(T5, 0);
+    a.label("ffs_loop");
+    a.andi(T6, T1, 1);
+    a.bne(T6, Zero, "ffs_done");
+    a.nop();
+    a.srl(T1, T1, 1);
+    a.j("ffs_loop");
+    a.addiu(T5, T5, 1);
+    a.label("ffs_done");
+    a.move(S4, T5);
+
+    // clear the pending bit
+    a.lw(T1, proc::SigPending, S0);
+    a.li(T2, 1);
+    a.sllv(T2, T2, S4);
+    a.nor(T2, T2, Zero);
+    a.and_(T1, T1, T2);
+    a.sw(T1, proc::SigPending, S0);
+
+    // ---- sendsig(): build the sigcontext on the user stack ---------
+    // s3 = sigcontext base = (user sp - size - 32) & ~7
+    a.lw(T1, tfReg(SP), S2);
+    a.addiu(T1, T1, -static_cast<SWord>(sigctx::Bytes + 32));
+    a.li(T2, ~Word(7));
+    a.and_(S3, T1, T2);
+
+    // sc_pc
+    a.lw(T1, kTfEpc, S2);
+    a.sw(T1, sigctx::Pc * 4, S3);
+    // 31 general registers (user-stack stores may TLB-miss; k0/k1
+    // are not live here, so the refill handler is safe)
+    a.li(T0, 0);
+    a.label("sendsig_copy");
+    a.sll(T1, T0, 2);
+    a.addu(T2, S2, T1);
+    a.lw(T4, 0, T2);                  // trapframe[reg]
+    a.addu(T2, S3, T1);
+    a.sw(T4, sigctx::Regs * 4, T2);   // sigcontext[reg]
+    a.addiu(T0, T0, 1);
+    a.li(T1, tf::NumRegSlots);
+    a.bne(T0, T1, "sendsig_copy");
+    a.nop();
+    // machine state words
+    a.lw(T1, kTfMdlo, S2);
+    a.sw(T1, sigctx::Mdlo * 4, S3);
+    a.lw(T1, kTfMdhi, S2);
+    a.sw(T1, sigctx::Mdhi * 4, S3);
+    a.lw(T1, kTfCause, S2);
+    a.sw(T1, sigctx::Cause * 4, S3);
+    a.lw(T1, kTfBadVA, S2);
+    a.sw(T1, sigctx::BadVA * 4, S3);
+    a.lw(T1, kTfStatus, S2);
+    a.sw(T1, sigctx::Status * 4, S3);
+    a.lw(T1, proc::SigMask, S0);
+    a.sw(T1, sigctx::Mask * 4, S3);
+
+    // FP state: Ultrix builds the full sigcontext including the 32
+    // floating point registers ("saves all user registers, some of
+    // them twice")
+    a.li(T0, 0);
+    a.addiu(T1, S1, static_cast<SWord>(uarea::FpFrame));
+    a.addiu(T2, S3, sigctx::FpRegs * 4);
+    a.label("sendsig_fp_copy");
+    a.lw(T4, 0, T1);
+    a.sw(T4, 0, T2);
+    a.addiu(T1, T1, 4);
+    a.addiu(T2, T2, 4);
+    a.addiu(T0, T0, 1);
+    a.li(T5, 32);
+    a.bne(T0, T5, "sendsig_fp_copy");
+    a.nop();
+    a.sw(Zero, sigctx::FpCsr * 4, S3);
+
+    // block the signal while its handler runs (Unix semantics)
+    a.lw(T1, proc::SigMask, S0);
+    a.li(T2, 1);
+    a.sllv(T2, T2, S4);
+    a.or_(T1, T1, T2);
+    a.sw(T1, proc::SigMask, S0);
+
+    // rewrite the trapframe so the exception return lands in the
+    // user trampoline with the signal-handler arguments in place
+    a.lw(T1, proc::TrampolineU, S0);
+    a.sw(T1, kTfEpc, S2);
+    a.sw(S4, tfReg(A0), S2);          // a0 = signal
+    a.lw(T1, kTfCause, S2);
+    a.sw(T1, tfReg(A1), S2);          // a1 = code
+    a.sw(S3, tfReg(A2), S2);          // a2 = &sigcontext
+    a.addiu(T1, S3, -32);
+    a.sw(T1, tfReg(SP), S2);          // sp below the context
+    a.sll(T1, S4, 2);
+    a.addu(T1, S0, T1);
+    a.lw(T1, proc::SigHandlers, T1);
+    a.nop();
+    a.sw(T1, tfReg(T9), S2);          // t9 = handler for the trampoline
+    a.j("restore_all");
+    a.nop();
+}
+
+/**
+ * Emit the syscall path: EPC advance, dispatch table, the pure-guest
+ * syscalls (getpid, sigaction, sigreturn, set-trampoline), and the
+ * host-service bridge for VM / uexc control calls.
+ */
+void
+emitSyscallPath(Assembler &a)
+{
+    a.label("syscall_path");
+    // a syscall in a branch delay slot is not supported (Cause.BD)
+    a.lw(T0, kTfCause, K1);
+    a.nop();
+    a.bltz(T0, "bad_trap");
+    a.nop();
+    // resume past the syscall instruction
+    a.lw(T0, kTfEpc, K1);
+    a.addiu(T0, T0, 4);
+    a.sw(T0, kTfEpc, K1);
+
+    // Unix syscall preliminaries: u_error reset, argument copyin into
+    // the u-area argument block (Ultrix fetches the maximum argument
+    // count for the generic dispatcher), and accounting
+    a.sw(Zero, static_cast<SWord>(uarea::AstFlags) + 16, K1);
+    a.addiu(T2, K1, static_cast<SWord>(uarea::AstFlags) + 32);
+    a.li(T1, 10);
+    a.label("syscall_copyin");
+    a.lw(T4, tfReg(A0), K1);          // args live in the trapframe
+    a.sw(T4, 0, T2);
+    a.addiu(T2, T2, 4);
+    a.addiu(T1, T1, -1);
+    a.bgtz(T1, "syscall_copyin");
+    a.nop();
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x60, K1);
+    a.addiu(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x60, K1);
+    // process priority recomputation at kernel entry (sched_cpu)
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x70, K1);
+    a.lw(T2, static_cast<SWord>(uarea::RusageBase) + 0x74, K1);
+    a.addu(T1, T1, T2);
+    a.sra(T1, T1, 2);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x78, K1);
+    a.lw(T1, static_cast<SWord>(uarea::AstFlags) + 4, K1);
+    a.nop();
+    a.andi(T1, T1, 0x7);
+    a.sw(T1, static_cast<SWord>(uarea::AstFlags) + 12, K1);
+    // signal-pending check at kernel entry (issig() is consulted on
+    // every syscall, not only on traps)
+    a.luiHi(T1, ksym::Curproc);
+    a.lwLo(T1, ksym::Curproc, T1);
+    a.nop();
+    a.lw(T2, proc::SigPending, T1);
+    a.lw(T4, proc::SigMask, T1);
+    a.nor(T4, T4, Zero);
+    a.and_(T2, T2, T4);
+    a.sw(T2, static_cast<SWord>(uarea::AstFlags) + 20, K1);
+    // resource-limit and profiling-tick bookkeeping
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x80, K1);
+    a.addiu(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x80, K1);
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x90, K1);
+    a.nop();
+    a.sltiu(T1, T1, 0x7fff);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x94, K1);
+    a.lw(T1, static_cast<SWord>(uarea::RusageBase) + 0x98, K1);
+    a.addiu(T1, T1, 1);
+    a.sw(T1, static_cast<SWord>(uarea::RusageBase) + 0x98, K1);
+
+    // dispatch on v0
+    a.lw(T0, tfReg(V0), K1);
+    a.nop();
+    a.sltiu(T1, T0, 16);
+    a.beq(T1, Zero, "bad_syscall");
+    a.nop();
+    a.sll(T1, T0, 2);
+    a.la(T2, "sys_table");
+    a.addu(T2, T2, T1);
+    a.lw(T2, 0, T2);
+    a.nop();
+    a.jr(T2);
+    a.nop();
+
+    a.label("sys_getpid");
+    a.luiHi(T0, ksym::Curproc);
+    a.lwLo(T0, ksym::Curproc, T0);
+    a.nop();
+    a.lw(T1, proc::Pid, T0);
+    a.nop();
+    a.sw(T1, tfReg(V0), K1);
+    a.j("restore_all");
+    a.nop();
+
+    a.label("sys_sigaction");
+    a.luiHi(T0, ksym::Curproc);
+    a.lwLo(T0, ksym::Curproc, T0);
+    a.lw(T1, tfReg(A0), K1);          // signum
+    a.lw(T2, tfReg(A1), K1);          // handler
+    a.sltiu(T3, T1, kNumSignals);
+    a.beq(T3, Zero, "bad_syscall");
+    a.nop();
+    a.sll(T1, T1, 2);
+    a.addu(T0, T0, T1);
+    a.sw(T2, proc::SigHandlers, T0);
+    a.sw(Zero, tfReg(V0), K1);
+    a.j("restore_all");
+    a.nop();
+
+    a.label("sys_settramp");
+    a.luiHi(T0, ksym::Curproc);
+    a.lwLo(T0, ksym::Curproc, T0);
+    a.lw(T1, tfReg(A0), K1);
+    a.nop();
+    a.sw(T1, proc::TrampolineU, T0);
+    a.sw(Zero, tfReg(V0), K1);
+    a.j("restore_all");
+    a.nop();
+
+    // sigreturn(a0 = &sigcontext): copy the (possibly modified)
+    // context back into the trapframe, restore the signal mask, and
+    // return through the common restore path
+    a.label("sys_sigreturn");
+    a.lw(S3, tfReg(A0), K1);          // sc base (user va)
+    a.move(S2, K1);                   // trapframe
+    a.luiHi(S0, ksym::Curproc);
+    a.lwLo(S0, ksym::Curproc, S0);
+    a.nop();
+    // pc
+    a.lw(T1, sigctx::Pc * 4, S3);
+    a.sw(T1, kTfEpc, S2);
+    // general registers
+    a.li(T0, 0);
+    a.label("sigret_copy");
+    a.sll(T1, T0, 2);
+    a.addu(T2, S3, T1);
+    a.lw(T4, sigctx::Regs * 4, T2);
+    a.addu(T2, S2, T1);
+    a.sw(T4, 0, T2);
+    a.addiu(T0, T0, 1);
+    a.li(T1, tf::NumRegSlots);
+    a.bne(T0, T1, "sigret_copy");
+    a.nop();
+    // machine state
+    a.lw(T1, sigctx::Mdlo * 4, S3);
+    a.sw(T1, kTfMdlo, S2);
+    a.lw(T1, sigctx::Mdhi * 4, S3);
+    a.sw(T1, kTfMdhi, S2);
+    // signal mask (unblocks the delivered signal again)
+    a.lw(T1, sigctx::Mask * 4, S3);
+    a.sw(T1, proc::SigMask, S0);
+    // FP state back into the pcb
+    a.lw(S1, proc::UArea, S0);
+    a.li(T0, 0);
+    a.addiu(T2, S3, sigctx::FpRegs * 4);
+    a.nop();
+    a.addiu(T1, S1, static_cast<SWord>(uarea::FpFrame));
+    a.label("sigret_fp_copy");
+    a.lw(T4, 0, T2);
+    a.sw(T4, 0, T1);
+    a.addiu(T1, T1, 4);
+    a.addiu(T2, T2, 4);
+    a.addiu(T0, T0, 1);
+    a.li(T5, 32);
+    a.bne(T0, T5, "sigret_fp_copy");
+    a.nop();
+    a.j("restore_all");
+    a.nop();
+
+    a.label("sys_complex");
+    a.hcall(svc::SyscallComplex);
+    a.j("restore_all");
+    a.nop();
+
+    a.label("bad_syscall");
+    a.li(T0, static_cast<Word>(-1));
+    a.sw(T0, tfReg(V0), K1);
+    a.j("restore_all");
+    a.nop();
+
+    a.align(8);
+    a.label("sys_table");
+    a.wordAddr("bad_syscall");        // 0
+    a.wordAddr("sys_getpid");         // 1
+    a.wordAddr("sys_sigaction");      // 2
+    a.wordAddr("sys_sigreturn");      // 3
+    a.wordAddr("sys_complex");        // 4 mprotect
+    a.wordAddr("sys_complex");        // 5 uexc_enable
+    a.wordAddr("sys_complex");        // 6 uexc_protect
+    a.wordAddr("sys_complex");        // 7 subpage_protect
+    a.wordAddr("sys_complex");        // 8 exit
+    a.wordAddr("sys_complex");        // 9 uexc_setflags
+    a.wordAddr("sys_settramp");       // 10
+    a.wordAddr("bad_syscall");        // 11
+    a.wordAddr("bad_syscall");        // 12
+    a.wordAddr("bad_syscall");        // 13
+    a.wordAddr("bad_syscall");        // 14
+    a.wordAddr("bad_syscall");        // 15
+}
+
+/**
+ * Emit the common exception-return path: reload every register from
+ * the trapframe and return to the saved EPC.
+ */
+void
+emitRestorePath(Assembler &a)
+{
+    a.label("restore_all");
+    a.luiHi(K1, ksym::Curproc);
+    a.lwLo(K1, ksym::Curproc, K1);
+    a.nop();
+    a.lw(K1, proc::UArea, K1);
+    a.nop();
+    a.lw(K0, kTfMdhi, K1);
+    a.mthi(K0);
+    a.lw(K0, kTfMdlo, K1);
+    a.mtlo(K0);
+    for (unsigned r = 1; r < 32; r++) {
+        if (r == K0 || r == K1)
+            continue;
+        a.lw(r, tfReg(r), K1);
+    }
+    a.lw(K0, kTfEpc, K1);
+    a.jr(K0);
+    a.rfe();
+    a.label(ksym::StockEnd);
+
+    a.label("kernel_fault");
+    a.label("bad_trap");
+    a.hcall(svc::PanicBadTrap);
+    a.j("bad_trap");
+    a.nop();
+}
+
+/** Emit kernel data: curproc cell and the signal translation table. */
+void
+emitKernelData(Assembler &a)
+{
+    a.align(64);
+    a.label(ksym::Curproc);
+    a.word(0);
+    // kernel scratch used by handler spills
+    a.align(64);
+    a.label("ktemp");
+    a.space(16);
+
+    // the process share-map list scanned by the fast TLB-fault path:
+    // count, then (base, end, refcount, pad) per region
+    a.align(64);
+    a.label("share_map_data");
+    a.word(8);
+    const Word share_regions[8][3] = {
+        {0x00400000u, 0x00480000u, 1},   // text
+        {0x00380000u, 0x00381000u, 1},   // exception frame page
+        {0x00600000u, 0x00700000u, 1},   // shared text segments
+        {0x08000000u, 0x0c000000u, 1},   // shared libraries
+        {0x0c000000u, 0x0e000000u, 2},   // System V shared memory
+        {0x0e000000u, 0x10000000u, 1},   // mmap region
+        {0x7ff00000u, 0x80000000u, 1},   // stack
+        {0x10000000u, 0x60000000u, 1},   // heap (matches app faults)
+    };
+    for (const auto &r : share_regions) {
+        a.word(r[0]);
+        a.word(r[1]);
+        a.word(r[2]);
+        a.word(0);
+    }
+
+    // the vm_map entry list walked by the stock path's vm_fault():
+    // count, then (start, end, shadow-depth, lock, hash, pad)
+    a.align(64);
+    a.label("pv_head_data");
+    a.space(32 * 8);
+
+    a.align(64);
+    a.label("subpage_acct");
+    a.space(16);
+
+    a.align(64);
+    a.label("vm_map_data");
+    a.word(6);
+    const Word vm_entries[6][3] = {
+        {0x00400000u, 0x00480000u, 1},
+        {0x00380000u, 0x00381000u, 1},
+        {0x7ff00000u, 0x80000000u, 2},
+        {0x08000000u, 0x0c000000u, 1},   // shared libraries region
+        {0x0c000000u, 0x10000000u, 1},   // mmap region
+        {0x10000000u, 0x60000000u, 14},  // heap: deepest shadow chain
+    };
+    for (const auto &e : vm_entries) {
+        a.word(e[0]);
+        a.word(e[1]);
+        a.word(e[2]);
+        a.word(0);
+        a.word(0);
+        a.word(0);
+    }
+
+    a.align(64);
+    a.align(64);
+    a.label(ksym::SigXlate);
+    const Word xlate[16] = {
+        0,         // Int: never a signal here
+        kSigsegv,  // Mod
+        kSigsegv,  // TLBL
+        kSigsegv,  // TLBS
+        kSigbus,   // AdEL
+        kSigbus,   // AdES
+        kSigbus,   // IBE
+        kSigbus,   // DBE
+        0,         // Sys: handled by the syscall path
+        kSigtrap,  // Bp
+        kSigill,   // RI
+        kSigill,   // CpU
+        kSigfpe,   // Ov
+        0, 0, 0,
+    };
+    for (Word w : xlate)
+        a.word(w);
+}
+
+} // namespace
+
+Program
+buildKernelImage()
+{
+    Assembler a(Cpu::RefillVector);
+    emitRefillHandler(a);
+    a.align(0x80);
+    if (a.here() != Cpu::GeneralVector)
+        UEXC_PANIC("refill handler overflowed the vector slot");
+    emitFastPath(a);
+    emitTlbFaultPath(a);
+    emitSubpagePath(a);
+    emitFpSavePath(a);
+    emitStockEntry(a);
+    emitTrapPath(a);
+    emitSyscallPath(a);
+    emitRestorePath(a);
+    emitKernelData(a);
+    return a.finalize();
+}
+
+} // namespace uexc::os

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Builder for the simulated kernel's guest-code image.
+ *
+ * The image contains, as real machine code executed by the simulator:
+ *
+ *  - the TLB refill handler at 0x80000000 (classic R3000 single-lw
+ *    linear page table refill);
+ *  - the general exception vector at 0x80000080, which begins with
+ *    the paper's *fast user-level exception dispatch* structured into
+ *    the exact phases of Table 3 (decode / compatibility check / save
+ *    partial state / FP check / TLB-fault check / vector to user);
+ *  - the TLB-fault sub-path: protection fault validation against the
+ *    page tables, eager amplification (section 3.2.3), and subpage
+ *    dispatch (section 3.2.4);
+ *  - the stock Ultrix-style path: full register save into the u-area
+ *    trapframe, trap() signal translation and posting, Ultrix
+ *    bookkeeping traffic, sendsig sigcontext construction on the user
+ *    stack, trampoline hand-off, and the sigreturn syscall;
+ *  - the syscall path with a dispatch table (getpid, sigaction,
+ *    sigreturn, set-trampoline in pure guest code; VM and uexc
+ *    control syscalls bridged to host kernel services via hcall).
+ *
+ * Phase boundaries are exported as symbols (fast_decode, fast_compat,
+ * ...) so the PhaseProfiler can regenerate Table 3 from execution.
+ */
+
+#ifndef UEXC_OS_KERNELIMAGE_H
+#define UEXC_OS_KERNELIMAGE_H
+
+#include "sim/assembler.h"
+
+namespace uexc::os {
+
+/** Symbol names exported by the kernel image. */
+namespace ksym {
+constexpr const char *Curproc = "curproc";
+constexpr const char *SigXlate = "sig_xlate";
+constexpr const char *FastDecode = "fast_decode";
+constexpr const char *FastCompat = "fast_compat";
+constexpr const char *FastSave = "fast_save";
+constexpr const char *FastFp = "fast_fp";
+constexpr const char *FastTlbCheck = "fast_tlbcheck";
+constexpr const char *FastVector = "fast_vector";
+constexpr const char *FastEnd = "fast_end";
+constexpr const char *TlbFault = "fast_tlb_fault";
+constexpr const char *TlbFaultEnd = "fast_tlb_fault_end";
+constexpr const char *SubpagePath = "subpage_path";
+constexpr const char *SubpageEnd = "subpage_path_end";
+constexpr const char *StockPath = "stock_path";
+constexpr const char *StockEnd = "stock_end";
+constexpr const char *RefillHandler = "tlb_refill";
+constexpr const char *RefillEnd = "tlb_refill_end";
+} // namespace ksym
+
+/**
+ * Build the kernel image (vectors + handlers + kernel data labels).
+ * Load the result into a Machine before creating processes.
+ */
+sim::Program buildKernelImage();
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_KERNELIMAGE_H

@@ -1,0 +1,117 @@
+#include "os/pathmodel.h"
+
+namespace uexc::os {
+
+double
+DispatchPathModel::roundTripUs() const
+{
+    double total = 0;
+    for (const DispatchPhase &p : phases)
+        total += p.us;
+    return total;
+}
+
+std::vector<DispatchPathModel>
+table1Models(double ultrix_deliver_us, double ultrix_return_us,
+             double ultrix_write_prot_us)
+{
+    std::vector<DispatchPathModel> models;
+
+    {
+        DispatchPathModel m;
+        m.system = "Ultrix 4.2A";
+        m.hardware = "DECstation 5000/200 (25 MHz R3000)";
+        m.clockMhz = 25;
+        m.measured = true;
+        m.phases = {
+            {"trap, save, signal post + sendsig (measured)",
+             ultrix_deliver_us},
+            {"handler return via sigreturn (measured)",
+             ultrix_return_us},
+        };
+        m.writeProtUs = ultrix_write_prot_us;
+        models.push_back(m);
+    }
+    {
+        // Mach with the Unix server: the exception travels
+        // kernel -> exception port -> UX server -> application and
+        // back (the paper: ~2 ms)
+        DispatchPathModel m;
+        m.system = "Mach/UX (MK83/UX41)";
+        m.hardware = "DECstation 5000/200 (25 MHz R3000)";
+        m.clockMhz = 25;
+        m.phases = {
+            {"trap + kernel state save", 18},
+            {"exception IPC to UX server port", 230},
+            {"UX server: signal emulation + u-area work", 760},
+            {"signal IPC back to the application", 680},
+            {"application handler + resume path", 312},
+        };
+        m.writeProtUs = 1850;
+        models.push_back(m);
+    }
+    {
+        // raw Mach exception handling, no Unix server (paper: 256 us)
+        DispatchPathModel m;
+        m.system = "Mach (raw kernel)";
+        m.hardware = "DECstation 5000/200 (25 MHz R3000)";
+        m.clockMhz = 25;
+        m.phases = {
+            {"trap + kernel state save", 18},
+            {"exception IPC to task port", 112},
+            {"reply IPC + state restore", 104},
+            {"resume", 22},
+        };
+        m.writeProtUs = 210;
+        models.push_back(m);
+    }
+    {
+        // SunOS 4.1.3 (paper: 69 us, the best of the measured set)
+        DispatchPathModel m;
+        m.system = "SunOS 4.1.3";
+        m.hardware = "SPARCstation 10 (36 MHz SuperSPARC)";
+        m.clockMhz = 36;
+        m.phases = {
+            {"trap + register-window save", 21},
+            {"signal translation + posting", 11},
+            {"sendsig: sigcontext on user stack", 19},
+            {"handler + sigreturn", 18},
+        };
+        m.writeProtUs = 52;
+        models.push_back(m);
+    }
+    {
+        // Windows NT on MIPS: most exceptions handled in the NT
+        // kernel proper despite the micro-kernel structure
+        DispatchPathModel m;
+        m.system = "Windows NT (modeled)";
+        m.hardware = "40 MHz MIPS R4000";
+        m.clockMhz = 40;
+        m.phases = {
+            {"trap + trap frame build", 12},
+            {"KiDispatchException", 34},
+            {"user-mode dispatcher + SEH frame search", 41},
+            {"NtContinue resume", 24},
+        };
+        m.writeProtUs = 92;
+        models.push_back(m);
+    }
+    {
+        // DEC OSF/1 V1.3 on Alpha: fast hardware, long path
+        DispatchPathModel m;
+        m.system = "OSF/1 V1.3 (modeled)";
+        m.hardware = "DEC 3000/500X (200 MHz Alpha 21064)";
+        m.clockMhz = 200;
+        m.phases = {
+            {"PALcode trap entry", 3},
+            {"kernel trap() + signal post", 16},
+            {"sendsig: sigcontext build", 13},
+            {"handler + sigreturn", 14},
+        };
+        m.writeProtUs = 38;
+        models.push_back(m);
+    }
+    return models;
+}
+
+} // namespace uexc::os

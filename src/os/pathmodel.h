@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dispatch-path models for Table 1 of the paper: the cost of
+ * delivering a simple exception to a null user-level handler on five
+ * contemporary (1994) OS/hardware combinations.
+ *
+ * The Ultrix/DECstation column is *measured* on this repository's
+ * simulator (the whole point of the reproduction); the other systems
+ * are not simulated — rebuilding Mach, SunOS, Windows NT and OSF/1
+ * is out of scope — and are instead modeled as phase sequences whose
+ * totals anchor to the figures the paper's text states (SunOS 69 us
+ * best case, Mach/UX ~2 ms, raw Mach 256 us) and to era-typical
+ * values where the source text's table is unreadable (NT, OSF/1;
+ * flagged `modeled`). The decomposition captures the *structural*
+ * story of Table 1: micro-kernel double-hops dwarf monolithic paths,
+ * which dwarf the raw hardware cost. See EXPERIMENTS.md.
+ */
+
+#ifndef UEXC_OS_PATHMODEL_H
+#define UEXC_OS_PATHMODEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uexc::os {
+
+/** One phase of an exception delivery path. */
+struct DispatchPhase
+{
+    std::string name;
+    double us;
+};
+
+/** One OS/hardware column of Table 1. */
+struct DispatchPathModel
+{
+    std::string system;
+    std::string hardware;
+    double clockMhz = 0;
+    /** Phases of the simple-exception round trip. */
+    std::vector<DispatchPhase> phases;
+    /** Write-protection exception delivery time (us). */
+    double writeProtUs = 0;
+    /** True when the numbers come from simulation, not modeling. */
+    bool measured = false;
+
+    /** Simple-exception round-trip total (us). */
+    double roundTripUs() const;
+};
+
+/**
+ * Build the Table 1 column set.
+ *
+ * @param ultrix_round_trip_us   measured Ultrix round trip
+ * @param ultrix_deliver_us      measured Ultrix delivery
+ * @param ultrix_return_us       measured Ultrix handler return
+ * @param ultrix_write_prot_us   measured Ultrix write-prot delivery
+ */
+std::vector<DispatchPathModel>
+table1Models(double ultrix_deliver_us, double ultrix_return_us,
+             double ultrix_write_prot_us);
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_PATHMODEL_H

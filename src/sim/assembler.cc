@@ -1,0 +1,393 @@
+#include "sim/assembler.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        UEXC_FATAL("program: unknown symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+Assembler::Assembler(Addr origin)
+    : origin_(origin)
+{
+    if (!isAligned(origin, 4))
+        UEXC_FATAL("assembler: origin 0x%08x not word aligned", origin);
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (symbols_.count(name) != 0)
+        UEXC_FATAL("assembler: duplicate label '%s'", name.c_str());
+    symbols_[name] = here();
+}
+
+Addr
+Assembler::here() const
+{
+    return origin_ + 4 * static_cast<Addr>(words_.size());
+}
+
+void
+Assembler::word(Word w)
+{
+    words_.push_back(w);
+}
+
+void
+Assembler::words(const std::vector<Word> &ws)
+{
+    words_.insert(words_.end(), ws.begin(), ws.end());
+}
+
+void
+Assembler::wordAddr(const std::string &label_name)
+{
+    addFixup(FixKind::Word32, label_name);
+    words_.push_back(0);
+}
+
+void
+Assembler::space(unsigned bytes)
+{
+    if (bytes % 4 != 0)
+        UEXC_FATAL("assembler: space of %u bytes not a word multiple",
+                   bytes);
+    words_.insert(words_.end(), bytes / 4, 0);
+}
+
+void
+Assembler::align(unsigned bytes)
+{
+    if (bytes == 0 || (bytes & (bytes - 1)) != 0)
+        UEXC_FATAL("assembler: alignment %u not a power of two", bytes);
+    while (!isAligned(here(), bytes))
+        nop();
+}
+
+void
+Assembler::emit(Word encoded)
+{
+    words_.push_back(encoded);
+}
+
+void
+Assembler::addFixup(FixKind kind, const std::string &label_name)
+{
+    fixups_.push_back(Fixup{kind, words_.size(), label_name});
+}
+
+// arithmetic / logic -------------------------------------------------------
+
+void Assembler::sll(unsigned rd, unsigned rt, unsigned shamt)
+{ emit(enc::sll(rd, rt, shamt)); }
+void Assembler::srl(unsigned rd, unsigned rt, unsigned shamt)
+{ emit(enc::srl(rd, rt, shamt)); }
+void Assembler::sra(unsigned rd, unsigned rt, unsigned shamt)
+{ emit(enc::sra(rd, rt, shamt)); }
+void Assembler::sllv(unsigned rd, unsigned rt, unsigned rs)
+{ emit(enc::sllv(rd, rt, rs)); }
+void Assembler::srlv(unsigned rd, unsigned rt, unsigned rs)
+{ emit(enc::srlv(rd, rt, rs)); }
+void Assembler::srav(unsigned rd, unsigned rt, unsigned rs)
+{ emit(enc::srav(rd, rt, rs)); }
+void Assembler::add(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::add(rd, rs, rt)); }
+void Assembler::addu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::addu(rd, rs, rt)); }
+void Assembler::sub(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::sub(rd, rs, rt)); }
+void Assembler::subu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::subu(rd, rs, rt)); }
+void Assembler::and_(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::and_(rd, rs, rt)); }
+void Assembler::or_(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::or_(rd, rs, rt)); }
+void Assembler::xor_(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::xor_(rd, rs, rt)); }
+void Assembler::nor(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::nor(rd, rs, rt)); }
+void Assembler::slt(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::slt(rd, rs, rt)); }
+void Assembler::sltu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(enc::sltu(rd, rs, rt)); }
+void Assembler::mult(unsigned rs, unsigned rt)
+{ emit(enc::mult(rs, rt)); }
+void Assembler::multu(unsigned rs, unsigned rt)
+{ emit(enc::multu(rs, rt)); }
+void Assembler::div(unsigned rs, unsigned rt)
+{ emit(enc::div(rs, rt)); }
+void Assembler::divu(unsigned rs, unsigned rt)
+{ emit(enc::divu(rs, rt)); }
+void Assembler::mfhi(unsigned rd) { emit(enc::mfhi(rd)); }
+void Assembler::mthi(unsigned rs) { emit(enc::mthi(rs)); }
+void Assembler::mflo(unsigned rd) { emit(enc::mflo(rd)); }
+void Assembler::mtlo(unsigned rs) { emit(enc::mtlo(rs)); }
+void Assembler::addi(unsigned rt, unsigned rs, SWord imm)
+{ emit(enc::addi(rt, rs, imm)); }
+void Assembler::addiu(unsigned rt, unsigned rs, SWord imm)
+{ emit(enc::addiu(rt, rs, imm)); }
+void Assembler::slti(unsigned rt, unsigned rs, SWord imm)
+{ emit(enc::slti(rt, rs, imm)); }
+void Assembler::sltiu(unsigned rt, unsigned rs, SWord imm)
+{ emit(enc::sltiu(rt, rs, imm)); }
+void Assembler::andi(unsigned rt, unsigned rs, Word imm)
+{ emit(enc::andi(rt, rs, imm)); }
+void Assembler::ori(unsigned rt, unsigned rs, Word imm)
+{ emit(enc::ori(rt, rs, imm)); }
+void Assembler::xori(unsigned rt, unsigned rs, Word imm)
+{ emit(enc::xori(rt, rs, imm)); }
+void Assembler::lui(unsigned rt, Word imm)
+{ emit(enc::lui(rt, imm)); }
+
+// control transfer ----------------------------------------------------------
+
+void
+Assembler::j(const std::string &label_name)
+{
+    addFixup(FixKind::Jump26, label_name);
+    emit(enc::j(0));
+}
+
+void
+Assembler::jal(const std::string &label_name)
+{
+    addFixup(FixKind::Jump26, label_name);
+    emit(enc::jal(0));
+}
+
+void Assembler::jr(unsigned rs) { emit(enc::jr(rs)); }
+void Assembler::jalr(unsigned rd, unsigned rs)
+{ emit(enc::jalr(rd, rs)); }
+
+void
+Assembler::beq(unsigned rs, unsigned rt, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::beq(rs, rt, 0));
+}
+
+void
+Assembler::bne(unsigned rs, unsigned rt, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::bne(rs, rt, 0));
+}
+
+void
+Assembler::blez(unsigned rs, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::blez(rs, 0));
+}
+
+void
+Assembler::bgtz(unsigned rs, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::bgtz(rs, 0));
+}
+
+void
+Assembler::bltz(unsigned rs, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::bltz(rs, 0));
+}
+
+void
+Assembler::bgez(unsigned rs, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::bgez(rs, 0));
+}
+
+void
+Assembler::bltzal(unsigned rs, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::bltzal(rs, 0));
+}
+
+void
+Assembler::bgezal(unsigned rs, const std::string &label_name)
+{
+    addFixup(FixKind::Branch16, label_name);
+    emit(enc::bgezal(rs, 0));
+}
+
+// memory --------------------------------------------------------------------
+
+void Assembler::lb(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::lb(rt, offset, base)); }
+void Assembler::lbu(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::lbu(rt, offset, base)); }
+void Assembler::lh(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::lh(rt, offset, base)); }
+void Assembler::lhu(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::lhu(rt, offset, base)); }
+void Assembler::lw(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::lw(rt, offset, base)); }
+void Assembler::sb(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::sb(rt, offset, base)); }
+void Assembler::sh(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::sh(rt, offset, base)); }
+void Assembler::sw(unsigned rt, SWord offset, unsigned base)
+{ emit(enc::sw(rt, offset, base)); }
+
+// traps, CP0, extensions ------------------------------------------------------
+
+void Assembler::syscall() { emit(enc::syscall()); }
+void Assembler::break_(Word code) { emit(enc::break_(code)); }
+void Assembler::mfc0(unsigned rt, unsigned cp0_reg)
+{ emit(enc::mfc0(rt, cp0_reg)); }
+void Assembler::mtc0(unsigned rt, unsigned cp0_reg)
+{ emit(enc::mtc0(rt, cp0_reg)); }
+void Assembler::tlbr() { emit(enc::tlbr()); }
+void Assembler::tlbwi() { emit(enc::tlbwi()); }
+void Assembler::tlbwr() { emit(enc::tlbwr()); }
+void Assembler::tlbp() { emit(enc::tlbp()); }
+void Assembler::rfe() { emit(enc::rfe()); }
+void Assembler::mfux(unsigned rt, UxReg ux_reg)
+{ emit(enc::mfux(rt, ux_reg)); }
+void Assembler::mtux(unsigned rt, UxReg ux_reg)
+{ emit(enc::mtux(rt, ux_reg)); }
+void Assembler::xret() { emit(enc::xret()); }
+void Assembler::tlbmp(unsigned rs, unsigned rt)
+{ emit(enc::tlbmp(rs, rt)); }
+void Assembler::hcall(Word service) { emit(enc::hcall(service)); }
+
+// pseudo-instructions ----------------------------------------------------------
+
+void Assembler::nop() { emit(enc::nop()); }
+void Assembler::move(unsigned rd, unsigned rs)
+{ emit(enc::move(rd, rs)); }
+
+void
+Assembler::li(unsigned rd, Word value)
+{
+    SWord sval = static_cast<SWord>(value);
+    if (sval >= -32768 && sval <= 32767) {
+        addiu(rd, Zero, sval);
+    } else if ((value & 0xffffu) == 0) {
+        lui(rd, value >> 16);
+    } else {
+        lui(rd, value >> 16);
+        ori(rd, rd, value & 0xffffu);
+    }
+}
+
+void
+Assembler::li32(unsigned rd, Word value)
+{
+    lui(rd, value >> 16);
+    ori(rd, rd, value & 0xffffu);
+}
+
+void
+Assembler::la(unsigned rd, const std::string &label_name)
+{
+    addFixup(FixKind::Hi16, label_name);
+    lui(rd, 0);
+    addFixup(FixKind::Lo16, label_name);
+    ori(rd, rd, 0);
+}
+
+void
+Assembler::luiHi(unsigned rt, const std::string &label_name)
+{
+    addFixup(FixKind::HiAdj16, label_name);
+    lui(rt, 0);
+}
+
+void
+Assembler::lwLo(unsigned rt, const std::string &label_name, unsigned base)
+{
+    addFixup(FixKind::Lo16, label_name);
+    lw(rt, 0, base);
+}
+
+void
+Assembler::swLo(unsigned rt, const std::string &label_name, unsigned base)
+{
+    addFixup(FixKind::Lo16, label_name);
+    sw(rt, 0, base);
+}
+
+void
+Assembler::addiuLo(unsigned rt, unsigned base,
+                   const std::string &label_name)
+{
+    addFixup(FixKind::Lo16, label_name);
+    addiu(rt, base, 0);
+}
+
+// finalization -----------------------------------------------------------------
+
+Program
+Assembler::finalize()
+{
+    for (const Fixup &fix : fixups_) {
+        auto it = symbols_.find(fix.labelName);
+        if (it == symbols_.end())
+            UEXC_FATAL("assembler: undefined label '%s'",
+                       fix.labelName.c_str());
+        Addr target = it->second;
+        Addr site = origin_ + 4 * static_cast<Addr>(fix.index);
+        Word &w = words_[fix.index];
+
+        switch (fix.kind) {
+          case FixKind::Branch16: {
+            SWord off = (static_cast<SWord>(target) -
+                         static_cast<SWord>(site + 4)) / 4;
+            if (off < -32768 || off > 32767)
+                UEXC_FATAL("assembler: branch to '%s' out of range",
+                           fix.labelName.c_str());
+            w = insertBits(w, 15, 0, static_cast<Word>(off));
+            break;
+          }
+          case FixKind::Jump26: {
+            if (((site + 4) & 0xf0000000u) != (target & 0xf0000000u))
+                UEXC_FATAL("assembler: jump to '%s' crosses 256MB "
+                           "segment", fix.labelName.c_str());
+            w = insertBits(w, 25, 0, target >> 2);
+            break;
+          }
+          case FixKind::Hi16:
+            w = insertBits(w, 15, 0, target >> 16);
+            break;
+          case FixKind::HiAdj16:
+            // carry-adjusted high half, pairing with a sign-extended
+            // 16-bit %lo displacement in lw/sw/addiu
+            w = insertBits(w, 15, 0, (target + 0x8000u) >> 16);
+            break;
+          case FixKind::Lo16:
+            w = insertBits(w, 15, 0, target & 0xffffu);
+            break;
+          case FixKind::Word32:
+            w = target;
+            break;
+        }
+    }
+
+    Program prog;
+    prog.origin = origin_;
+    prog.words = words_;
+    prog.symbols = symbols_;
+    return prog;
+}
+
+} // namespace uexc::sim

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * A programmatic assembler for the simulated ISA.
+ *
+ * Guest programs — the simulated kernel's exception vectors, the
+ * Ultrix-style signal path, the paper's 65-instruction fast handler,
+ * and user-level benchmark loops — are written against this builder.
+ * It supports named labels with forward references (branches, jumps,
+ * lui/ori address materialization, and data words), data emission, and
+ * alignment. finalize() resolves all fixups and returns the image.
+ *
+ * Instruction-emitting methods mirror the encoders in sim/encoding.h;
+ * control-flow variants taking a label string are provided for
+ * branches and jumps. Delay slots are NOT filled automatically: every
+ * emitted instruction is exactly one machine word, so the generated
+ * code has deterministic, auditable instruction counts (this matters
+ * for reproducing Table 3 of the paper).
+ */
+
+#ifndef UEXC_SIM_ASSEMBLER_H
+#define UEXC_SIM_ASSEMBLER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/encoding.h"
+#include "sim/isa.h"
+
+namespace uexc::sim {
+
+/** A finalized guest-code image: words to be placed at an origin. */
+struct Program
+{
+    Addr origin = 0;                 ///< load address of words[0]
+    std::vector<Word> words;         ///< the image
+    std::map<std::string, Addr> symbols; ///< label name -> address
+
+    /** Address of a label; fatal if absent. */
+    Addr symbol(const std::string &name) const;
+    /** Whether a label exists. */
+    bool hasSymbol(const std::string &name) const;
+    /** End address (origin + 4 * words.size()). */
+    Addr end() const { return origin + 4 * static_cast<Addr>(words.size()); }
+};
+
+/**
+ * The assembler / program builder. See file comment.
+ */
+class Assembler
+{
+  public:
+    /** Start building a program at virtual address @p origin. */
+    explicit Assembler(Addr origin);
+
+    // -- labels and layout --------------------------------------------
+
+    /** Bind @p name to the current location. Names must be unique. */
+    void label(const std::string &name);
+    /** Current emission address. */
+    Addr here() const;
+    /** Emit raw data word(s). */
+    void word(Word w);
+    void words(const std::vector<Word> &ws);
+    /** Emit a data word that will hold the address of @p label_name. */
+    void wordAddr(const std::string &label_name);
+    /** Reserve @p bytes of zeroed space (must be word multiple). */
+    void space(unsigned bytes);
+    /** Align to a power-of-two byte boundary, padding with nops. */
+    void align(unsigned bytes);
+
+    // -- raw emission ---------------------------------------------------
+
+    /** Emit an already-encoded instruction word. */
+    void emit(Word encoded);
+
+    // -- arithmetic / logic ----------------------------------------------
+
+    void sll(unsigned rd, unsigned rt, unsigned shamt);
+    void srl(unsigned rd, unsigned rt, unsigned shamt);
+    void sra(unsigned rd, unsigned rt, unsigned shamt);
+    void sllv(unsigned rd, unsigned rt, unsigned rs);
+    void srlv(unsigned rd, unsigned rt, unsigned rs);
+    void srav(unsigned rd, unsigned rt, unsigned rs);
+    void add(unsigned rd, unsigned rs, unsigned rt);
+    void addu(unsigned rd, unsigned rs, unsigned rt);
+    void sub(unsigned rd, unsigned rs, unsigned rt);
+    void subu(unsigned rd, unsigned rs, unsigned rt);
+    void and_(unsigned rd, unsigned rs, unsigned rt);
+    void or_(unsigned rd, unsigned rs, unsigned rt);
+    void xor_(unsigned rd, unsigned rs, unsigned rt);
+    void nor(unsigned rd, unsigned rs, unsigned rt);
+    void slt(unsigned rd, unsigned rs, unsigned rt);
+    void sltu(unsigned rd, unsigned rs, unsigned rt);
+    void mult(unsigned rs, unsigned rt);
+    void multu(unsigned rs, unsigned rt);
+    void div(unsigned rs, unsigned rt);
+    void divu(unsigned rs, unsigned rt);
+    void mfhi(unsigned rd);
+    void mthi(unsigned rs);
+    void mflo(unsigned rd);
+    void mtlo(unsigned rs);
+    void addi(unsigned rt, unsigned rs, SWord imm);
+    void addiu(unsigned rt, unsigned rs, SWord imm);
+    void slti(unsigned rt, unsigned rs, SWord imm);
+    void sltiu(unsigned rt, unsigned rs, SWord imm);
+    void andi(unsigned rt, unsigned rs, Word imm);
+    void ori(unsigned rt, unsigned rs, Word imm);
+    void xori(unsigned rt, unsigned rs, Word imm);
+    void lui(unsigned rt, Word imm);
+
+    // -- control transfer -------------------------------------------------
+
+    void j(const std::string &label_name);
+    void jal(const std::string &label_name);
+    void jr(unsigned rs);
+    void jalr(unsigned rd, unsigned rs);
+    void beq(unsigned rs, unsigned rt, const std::string &label_name);
+    void bne(unsigned rs, unsigned rt, const std::string &label_name);
+    void blez(unsigned rs, const std::string &label_name);
+    void bgtz(unsigned rs, const std::string &label_name);
+    void bltz(unsigned rs, const std::string &label_name);
+    void bgez(unsigned rs, const std::string &label_name);
+    void bltzal(unsigned rs, const std::string &label_name);
+    void bgezal(unsigned rs, const std::string &label_name);
+
+    // -- memory ------------------------------------------------------------
+
+    void lb(unsigned rt, SWord offset, unsigned base);
+    void lbu(unsigned rt, SWord offset, unsigned base);
+    void lh(unsigned rt, SWord offset, unsigned base);
+    void lhu(unsigned rt, SWord offset, unsigned base);
+    void lw(unsigned rt, SWord offset, unsigned base);
+    void sb(unsigned rt, SWord offset, unsigned base);
+    void sh(unsigned rt, SWord offset, unsigned base);
+    void sw(unsigned rt, SWord offset, unsigned base);
+
+    // -- traps, CP0, extensions --------------------------------------------
+
+    void syscall();
+    void break_(Word code = 0);
+    void mfc0(unsigned rt, unsigned cp0_reg);
+    void mtc0(unsigned rt, unsigned cp0_reg);
+    void tlbr();
+    void tlbwi();
+    void tlbwr();
+    void tlbp();
+    void rfe();
+    void mfux(unsigned rt, UxReg ux_reg);
+    void mtux(unsigned rt, UxReg ux_reg);
+    void xret();
+    void tlbmp(unsigned rs, unsigned rt);
+    void hcall(Word service);
+
+    // -- pseudo-instructions -------------------------------------------------
+
+    /** No-operation (sll zero, zero, 0). */
+    void nop();
+    /** rd := rs. */
+    void move(unsigned rd, unsigned rs);
+    /**
+     * Load a 32-bit constant. Emits 1 instruction when the constant
+     * fits addiu/lui/ori forms, else 2 (lui+ori).
+     */
+    void li(unsigned rd, Word value);
+    /** Load a 32-bit constant, always as exactly lui+ori (2 words). */
+    void li32(unsigned rd, Word value);
+    /** Load a label's address, always as exactly lui+ori (2 words). */
+    void la(unsigned rd, const std::string &label_name);
+    /**
+     * lui rt, %hi(label) — the carry-adjusted high half, for pairing
+     * with the sign-extending %lo displacement of lwLo/swLo/addiuLo.
+     */
+    void luiHi(unsigned rt, const std::string &label_name);
+    /** lw rt, %lo(label)(base). */
+    void lwLo(unsigned rt, const std::string &label_name, unsigned base);
+    /** sw rt, %lo(label)(base). */
+    void swLo(unsigned rt, const std::string &label_name, unsigned base);
+    /** addiu rt, base, %lo(label). */
+    void addiuLo(unsigned rt, unsigned base,
+                 const std::string &label_name);
+
+    // -- finalization -----------------------------------------------------
+
+    /**
+     * Resolve all fixups and return the built program. Fatal if any
+     * referenced label was never bound.
+     */
+    Program finalize();
+
+    /** Number of instructions/words emitted so far. */
+    size_t size() const { return words_.size(); }
+
+  private:
+    enum class FixKind { Branch16, Jump26, Hi16, HiAdj16, Lo16, Word32 };
+
+    struct Fixup
+    {
+        FixKind kind;
+        size_t index;       ///< index into words_
+        std::string labelName;
+    };
+
+    void addFixup(FixKind kind, const std::string &label_name);
+
+    Addr origin_;
+    std::vector<Word> words_;
+    std::map<std::string, Addr> symbols_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_ASSEMBLER_H

@@ -1,0 +1,77 @@
+#include "sim/cache.h"
+
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+namespace {
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::size_t size_bytes, std::size_t line_bytes)
+    : lineBytes_(line_bytes)
+{
+    if (!isPow2(size_bytes) || !isPow2(line_bytes) ||
+        line_bytes < 4 || size_bytes < line_bytes) {
+        UEXC_FATAL("cache: invalid geometry %zu/%zu", size_bytes,
+                   line_bytes);
+    }
+    std::size_t lines = size_bytes / line_bytes;
+    valid_.assign(lines, false);
+    tags_.assign(lines, 0);
+}
+
+std::size_t
+Cache::lineFor(Addr paddr) const
+{
+    return (paddr / lineBytes_) % valid_.size();
+}
+
+Addr
+Cache::tagFor(Addr paddr) const
+{
+    return static_cast<Addr>(paddr / lineBytes_ / valid_.size());
+}
+
+bool
+Cache::access(Addr paddr)
+{
+    stats_.accesses++;
+    std::size_t line = lineFor(paddr);
+    Addr tag = tagFor(paddr);
+    if (valid_[line] && tags_[line] == tag)
+        return true;
+    stats_.misses++;
+    valid_[line] = true;
+    tags_[line] = tag;
+    return false;
+}
+
+bool
+Cache::probe(Addr paddr) const
+{
+    std::size_t line = lineFor(paddr);
+    return valid_[line] && tags_[line] == tagFor(paddr);
+}
+
+void
+Cache::flush()
+{
+    valid_.assign(valid_.size(), false);
+}
+
+void
+Cache::invalidate(Addr paddr)
+{
+    std::size_t line = lineFor(paddr);
+    if (valid_[line] && tags_[line] == tagFor(paddr))
+        valid_[line] = false;
+}
+
+} // namespace uexc::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A simple direct-mapped cache cost model.
+ *
+ * The DECstation 5000/200 of the paper has separate direct-mapped
+ * 64 KB instruction and data caches with 4-byte (I) / 16-byte (D)
+ * lines and a write-through, write-around data cache. We model tags
+ * only — data always comes from PhysMemory — because the cache exists
+ * purely to attribute miss cycles. This is what separates the paper's
+ * 65-instruction fast handler from the data-heavy Ultrix signal path
+ * organically rather than by fiat.
+ */
+
+#ifndef UEXC_SIM_CACHE_H
+#define UEXC_SIM_CACHE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uexc::sim {
+
+/** Statistics for one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * Direct-mapped, physically-indexed tag store.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity (power of two)
+     * @param line_bytes line size (power of two)
+     */
+    Cache(std::size_t size_bytes, std::size_t line_bytes);
+
+    /**
+     * Access @p paddr; updates tags and stats.
+     * @return true on hit, false on miss (line is filled)
+     */
+    bool access(Addr paddr);
+
+    /** Probe without updating state. */
+    bool probe(Addr paddr) const;
+
+    /** Invalidate all lines (cold cache). */
+    void flush();
+
+    /** Invalidate any line holding @p paddr. */
+    void invalidate(Addr paddr);
+
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats(); }
+
+    std::size_t numLines() const { return valid_.size(); }
+    std::size_t lineBytes() const { return lineBytes_; }
+
+  private:
+    std::size_t lineFor(Addr paddr) const;
+    Addr tagFor(Addr paddr) const;
+
+    std::size_t lineBytes_;
+    std::vector<bool> valid_;
+    std::vector<Addr> tags_;
+    CacheStats stats_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_CACHE_H

@@ -1,0 +1,141 @@
+#include "sim/cp0.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+const char *
+excName(ExcCode code)
+{
+    switch (code) {
+      case ExcCode::Int:  return "Int";
+      case ExcCode::Mod:  return "Mod";
+      case ExcCode::TlbL: return "TLBL";
+      case ExcCode::TlbS: return "TLBS";
+      case ExcCode::AdEL: return "AdEL";
+      case ExcCode::AdES: return "AdES";
+      case ExcCode::Ibe:  return "IBE";
+      case ExcCode::Dbe:  return "DBE";
+      case ExcCode::Sys:  return "Sys";
+      case ExcCode::Bp:   return "Bp";
+      case ExcCode::Ri:   return "RI";
+      case ExcCode::CpU:  return "CpU";
+      case ExcCode::Ov:   return "Ov";
+    }
+    return "?";
+}
+
+Cp0::Cp0()
+{
+    regs_.fill(0);
+    uxRegs_.fill(0);
+    // Processor revision id: arbitrary but stable value identifying
+    // this simulated implementation.
+    regs_[cp0reg::PrId] = 0x00000220;
+}
+
+Word
+Cp0::read(unsigned reg) const
+{
+    if (reg >= regs_.size())
+        UEXC_PANIC("cp0: read of register %u out of range", reg);
+    if (reg == cp0reg::Random)
+        return static_cast<Word>(random_) << 8;
+    return regs_[reg];
+}
+
+void
+Cp0::write(unsigned reg, Word value)
+{
+    if (reg >= regs_.size())
+        UEXC_PANIC("cp0: write of register %u out of range", reg);
+    switch (reg) {
+      case cp0reg::Random:
+      case cp0reg::BadVAddr:
+      case cp0reg::PrId:
+        // read-only registers; writes are ignored (R3000 behaviour)
+        return;
+      case cp0reg::Context:
+        // BadVPN field [20:2] is hardware-written; only PTEBase sticks
+        regs_[reg] = (value & 0xffe00000u) | (regs_[reg] & 0x001ffffcu);
+        return;
+      case cp0reg::Index:
+        regs_[reg] = value & 0x00003f00u;
+        return;
+      default:
+        regs_[reg] = value;
+        return;
+    }
+}
+
+void
+Cp0::enterException(Addr epc, ExcCode code, bool branch_delay)
+{
+    Word st = regs_[cp0reg::Status];
+    Word stack = st & status::KuIeMask;
+    // push: old <- previous <- current <- (kernel mode, ints disabled)
+    stack = ((stack << 2) & status::KuIeMask);
+    regs_[cp0reg::Status] = (st & ~status::KuIeMask) | stack;
+
+    Word cause = regs_[cp0reg::Cause] & ~(cause::ExcCodeMask | cause::BD);
+    cause |= static_cast<Word>(code) << cause::ExcCodeShift;
+    if (branch_delay)
+        cause |= cause::BD;
+    regs_[cp0reg::Cause] = cause;
+    regs_[cp0reg::Epc] = epc;
+}
+
+void
+Cp0::returnFromException()
+{
+    Word st = regs_[cp0reg::Status];
+    Word stack = st & status::KuIeMask;
+    // pop: current <- previous <- old (old is left in place)
+    stack = (stack >> 2) | (stack & 0x30u);
+    regs_[cp0reg::Status] = (st & ~status::KuIeMask) | stack;
+}
+
+void
+Cp0::setFaultAddress(Addr vaddr)
+{
+    regs_[cp0reg::BadVAddr] = vaddr;
+    // Context.BadVPN [20:2] = vaddr [30:12]
+    Word ctx = regs_[cp0reg::Context] & 0xffe00000u;
+    ctx |= (bits(vaddr, 30, 12) << 2);
+    regs_[cp0reg::Context] = ctx;
+    // EntryHi gets the faulting VPN, keeps the current ASID
+    Word hi = regs_[cp0reg::EntryHi] & entryhi::AsidMask;
+    hi |= (vaddr & entryhi::VpnMask);
+    regs_[cp0reg::EntryHi] = hi;
+}
+
+unsigned
+Cp0::randomIndex()
+{
+    unsigned idx = random_;
+    tickRandom();
+    return idx;
+}
+
+void
+Cp0::tickRandom()
+{
+    // R3000 Random cycles through [8, 63]; entries 0-7 are "wired"
+    // and never victims of tlbwr.
+    random_ = (random_ <= 8) ? 63 : random_ - 1;
+}
+
+Word
+Cp0::uxReg(UxReg reg) const
+{
+    return uxRegs_[static_cast<unsigned>(reg)];
+}
+
+void
+Cp0::setUxReg(UxReg reg, Word value)
+{
+    uxRegs_[static_cast<unsigned>(reg)] = value;
+}
+
+} // namespace uexc::sim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * System coprocessor (CP0) state: R3000-style status/cause/EPC and TLB
+ * index registers, plus this project's architectural extensions (the
+ * user-vectoring status bits and the Tera-style user exception
+ * register file of Thekkath & Levy section 2).
+ */
+
+#ifndef UEXC_SIM_CP0_H
+#define UEXC_SIM_CP0_H
+
+#include <array>
+
+#include "common/types.h"
+#include "sim/isa.h"
+
+namespace uexc::sim {
+
+/** CP0 register numbers (R3000 assignments). */
+namespace cp0reg {
+constexpr unsigned Index    = 0;
+constexpr unsigned Random   = 1;
+constexpr unsigned EntryLo  = 2;
+constexpr unsigned Context  = 4;
+constexpr unsigned BadVAddr = 8;
+constexpr unsigned EntryHi  = 10;
+constexpr unsigned Status   = 12;
+constexpr unsigned Cause    = 13;
+constexpr unsigned Epc      = 14;
+constexpr unsigned PrId     = 15;
+} // namespace cp0reg
+
+/** Status register bits. */
+namespace status {
+constexpr Word IEc = 1u << 0;  ///< current interrupt enable
+constexpr Word KUc = 1u << 1;  ///< current mode: 1 = user
+constexpr Word IEp = 1u << 2;  ///< previous interrupt enable
+constexpr Word KUp = 1u << 3;  ///< previous mode
+constexpr Word IEo = 1u << 4;  ///< old interrupt enable
+constexpr Word KUo = 1u << 5;  ///< old mode
+/**
+ * Extension (unused bits 6/7 of the R3000 status word): UX is set by
+ * hardware while a user-vectored exception is being serviced, so a
+ * recursive exception demotes to the kernel (paper section 2.2); UV
+ * enables direct user-mode exception vectoring for this process.
+ * Both bits are kernel-writable only, like the rest of the register;
+ * UX is also set/cleared by the user-vectoring hardware itself.
+ */
+constexpr Word UX = 1u << 6;
+constexpr Word UV = 1u << 7;
+/** Mask of the six-bit KU/IE stack. */
+constexpr Word KuIeMask = 0x3fu;
+} // namespace status
+
+/** Cause register fields. */
+namespace cause {
+constexpr unsigned ExcCodeShift = 2;
+constexpr Word ExcCodeMask = 0x1fu << ExcCodeShift;
+constexpr Word BD = 1u << 31;   ///< exception in branch delay slot
+} // namespace cause
+
+/** Exception codes (R3000 ExcCode values). */
+enum class ExcCode : unsigned
+{
+    Int  = 0,   ///< interrupt (asynchronous; unchanged by this work)
+    Mod  = 1,   ///< TLB modification (store to clean/write-protected)
+    TlbL = 2,   ///< TLB miss or invalid on load/fetch
+    TlbS = 3,   ///< TLB miss or invalid on store
+    AdEL = 4,   ///< address error on load/fetch (incl. unaligned)
+    AdES = 5,   ///< address error on store
+    Ibe  = 6,   ///< bus error (instruction)
+    Dbe  = 7,   ///< bus error (data)
+    Sys  = 8,   ///< syscall instruction
+    Bp   = 9,   ///< breakpoint instruction
+    Ri   = 10,  ///< reserved instruction
+    CpU  = 11,  ///< coprocessor unusable
+    Ov   = 12,  ///< arithmetic overflow
+};
+
+/** Number of distinct exception codes. */
+constexpr unsigned NumExcCodes = 16;
+
+/** Human-readable name of an exception code. */
+const char *excName(ExcCode code);
+
+/** EntryHi fields: VPN [31:12], ASID [11:6]. */
+namespace entryhi {
+constexpr Word VpnMask = 0xfffff000u;
+constexpr unsigned AsidShift = 6;
+constexpr Word AsidMask = 0x3fu << AsidShift;
+} // namespace entryhi
+
+/** EntryLo fields: PFN [31:12], N, D, V, G, and the extension U bit. */
+namespace entrylo {
+constexpr Word PfnMask = 0xfffff000u;
+constexpr Word N = 1u << 11;  ///< non-cacheable
+constexpr Word D = 1u << 10;  ///< dirty = write-enabled
+constexpr Word V = 1u << 9;   ///< valid
+constexpr Word G = 1u << 8;   ///< global (ignore ASID)
+/**
+ * Extension (paper section 2.2): when set by the kernel, user-mode
+ * code may amplify or restrict the V/D protection bits of this entry
+ * with the TLBMP instruction. Translation (PFN) remains immutable
+ * from user mode.
+ */
+constexpr Word U = 1u << 7;
+} // namespace entrylo
+
+/**
+ * The CP0 register file plus the user exception register file.
+ * Contains no behaviour beyond field packing; sequencing (status
+ * stack push/pop, vectoring) lives in the Cpu.
+ */
+class Cp0
+{
+  public:
+    Cp0();
+
+    /** Raw register read (mfc0 semantics). */
+    Word read(unsigned reg) const;
+    /** Raw register write (mtc0 semantics; read-only regs masked). */
+    void write(unsigned reg, Word value);
+
+    // convenience accessors -------------------------------------------
+
+    Word statusReg() const { return regs_[cp0reg::Status]; }
+    void setStatusReg(Word v) { regs_[cp0reg::Status] = v; }
+    Word causeReg() const { return regs_[cp0reg::Cause]; }
+    Word epc() const { return regs_[cp0reg::Epc]; }
+    Word badVAddr() const { return regs_[cp0reg::BadVAddr]; }
+    Word entryHi() const { return regs_[cp0reg::EntryHi]; }
+    Word entryLo() const { return regs_[cp0reg::EntryLo]; }
+    Word index() const { return regs_[cp0reg::Index]; }
+
+    /**
+     * Set the Index register including the probe-failure bit 31,
+     * which mtc0 cannot write (tlbp hardware path only).
+     */
+    void setIndexRaw(Word v) { regs_[cp0reg::Index] = v; }
+    Word context() const { return regs_[cp0reg::Context]; }
+
+    /** Whether the processor is currently in user mode. */
+    bool userMode() const { return statusReg() & status::KUc; }
+
+    /** Current address space id, from EntryHi. */
+    unsigned asid() const
+    {
+        return (entryHi() & entryhi::AsidMask) >> entryhi::AsidShift;
+    }
+
+    /**
+     * Push the KU/IE stack and record exception state (the hardware
+     * side of exception entry).
+     *
+     * @param epc        PC to restart at (branch PC if in delay slot)
+     * @param code       exception code for Cause
+     * @param branch_delay whether the faulting instruction was in a
+     *                   delay slot (sets Cause.BD)
+     */
+    void enterException(Addr epc, ExcCode code, bool branch_delay);
+
+    /** Pop the KU/IE stack (rfe semantics). */
+    void returnFromException();
+
+    /** Record the faulting VA in BadVAddr, Context and EntryHi. */
+    void setFaultAddress(Addr vaddr);
+
+    /** Random register read-and-advance (for tlbwr). */
+    unsigned randomIndex();
+    /** Advance the random register (called once per instruction). */
+    void tickRandom();
+
+    // user exception register file --------------------------------------
+
+    Word uxReg(UxReg reg) const;
+    void setUxReg(UxReg reg, Word value);
+
+  private:
+    std::array<Word, 32> regs_;
+    std::array<Word, NumUxRegs> uxRegs_;
+    unsigned random_ = 63;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_CP0_H

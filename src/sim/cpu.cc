@@ -1,0 +1,763 @@
+#include "sim/cpu.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+Cpu::Cpu(PhysMemory &mem, const CpuConfig &config)
+    : mem_(mem), config_(config)
+{
+    regs_.fill(0);
+    if (config_.cachesEnabled) {
+        icache_ = std::make_unique<Cache>(config_.icacheBytes,
+                                          config_.icacheLineBytes);
+        dcache_ = std::make_unique<Cache>(config_.dcacheBytes,
+                                          config_.dcacheLineBytes);
+    }
+}
+
+void
+Cpu::setPc(Addr pc)
+{
+    pc_ = pc;
+    npc_ = pc + 4;
+    prevWasControl_ = false;
+}
+
+void
+Cpu::clearStats()
+{
+    stats_ = CpuStats();
+    tlb_.clearStats();
+    if (icache_)
+        icache_->clearStats();
+    if (dcache_)
+        dcache_->clearStats();
+}
+
+// translation ----------------------------------------------------------------
+
+namespace {
+
+TranslateResult
+faultResult(AccessType type, ExcCode load_code, ExcCode store_code,
+            bool refill)
+{
+    TranslateResult r;
+    r.ok = false;
+    r.exc = (type == AccessType::Store) ? store_code : load_code;
+    r.refill = refill;
+    return r;
+}
+
+} // namespace
+
+TranslateResult
+Cpu::translate(Addr vaddr, AccessType type)
+{
+    bool user = cp0_.userMode();
+    if (vaddr >= Kseg0Base) {
+        if (user)
+            return faultResult(type, ExcCode::AdEL, ExcCode::AdES, false);
+        TranslateResult r;
+        if (vaddr < Kseg1Base) {
+            r.ok = true;
+            r.paddr = vaddr - Kseg0Base;
+            r.cacheable = true;
+            return r;
+        }
+        if (vaddr < Kseg2Base) {
+            r.ok = true;
+            r.paddr = vaddr - Kseg1Base;
+            r.cacheable = false;
+            return r;
+        }
+        // kseg2: mapped kernel space; misses use the general vector
+        auto hit = tlb_.probe(vaddr, cp0_.asid());
+        if (!hit)
+            return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
+        const TlbEntry &e = tlb_.entry(*hit);
+        if (!e.valid())
+            return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
+        if (type == AccessType::Store && !e.dirty())
+            return faultResult(type, ExcCode::Mod, ExcCode::Mod, false);
+        r.ok = true;
+        r.paddr = e.pfn() | (vaddr & 0xfffu);
+        r.cacheable = e.cacheable();
+        return r;
+    }
+
+    // kuseg: mapped, refill misses use the dedicated UTLB vector
+    auto hit = tlb_.probe(vaddr, cp0_.asid());
+    if (!hit)
+        return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, true);
+    const TlbEntry &e = tlb_.entry(*hit);
+    if (!e.valid())
+        return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
+    if (type == AccessType::Store && !e.dirty())
+        return faultResult(type, ExcCode::Mod, ExcCode::Mod, false);
+    TranslateResult r;
+    r.ok = true;
+    r.paddr = e.pfn() | (vaddr & 0xfffu);
+    r.cacheable = e.cacheable();
+    return r;
+}
+
+TranslateResult
+Cpu::translateQuiet(Addr vaddr, AccessType type) const
+{
+    // A const clone of translate() that neither updates TLB stats nor
+    // can be observed by the guest. Used by host-side services.
+    bool user = cp0_.userMode();
+    if (vaddr >= Kseg0Base) {
+        if (user)
+            return faultResult(type, ExcCode::AdEL, ExcCode::AdES, false);
+        TranslateResult r;
+        if (vaddr < Kseg1Base) {
+            r.ok = true;
+            r.paddr = vaddr - Kseg0Base;
+            return r;
+        }
+        if (vaddr < Kseg2Base) {
+            r.ok = true;
+            r.paddr = vaddr - Kseg1Base;
+            r.cacheable = false;
+            return r;
+        }
+    }
+    auto hit = tlb_.probeQuiet(vaddr, cp0_.asid());
+    bool kuseg = vaddr < Kseg0Base;
+    if (!hit)
+        return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, kuseg);
+    const TlbEntry &e = tlb_.entry(*hit);
+    if (!e.valid())
+        return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
+    if (type == AccessType::Store && !e.dirty())
+        return faultResult(type, ExcCode::Mod, ExcCode::Mod, false);
+    TranslateResult r;
+    r.ok = true;
+    r.paddr = e.pfn() | (vaddr & 0xfffu);
+    r.cacheable = e.cacheable();
+    return r;
+}
+
+// exceptions ----------------------------------------------------------------
+
+bool
+Cpu::tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
+                   bool branch_delay)
+{
+    if (!config_.userVectorHw)
+        return false;
+    Word st = cp0_.statusReg();
+    if (!(st & status::UV) || !(st & status::KUc))
+        return false;
+    if (st & status::UX)
+        return false;  // recursive: demote to the kernel
+    switch (code) {
+      case ExcCode::Mod:
+      case ExcCode::TlbL:
+      case ExcCode::TlbS:
+      case ExcCode::AdEL:
+      case ExcCode::AdES:
+      case ExcCode::Bp:
+      case ExcCode::Ov:
+        break;
+      default:
+        return false;  // syscalls, interrupts, RI etc. go to the kernel
+    }
+    Addr target = cp0_.uxReg(UxReg::Target);
+    if (config_.userVectorTable) {
+        // the per-process vector table: one memory access during
+        // vectoring; an unmapped table entry demotes to the kernel
+        Addr slot = target + 4 * static_cast<Word>(code);
+        TranslateResult tr = translateQuiet(slot, AccessType::Load);
+        if (!tr.ok)
+            return false;
+        target = mem_.readWord(tr.paddr);
+        charge(config_.cost.loadExtra + 1);
+        if (config_.cachesEnabled && dcache_ && tr.cacheable &&
+            !dcache_->access(tr.paddr)) {
+            charge(config_.cost.dcacheMissPenalty);
+        }
+    }
+    cp0_.setUxReg(UxReg::Epc, epc);
+    cp0_.setUxReg(UxReg::Cond,
+                  (static_cast<Word>(code) << 2) |
+                  (branch_delay ? 1u : 0u));
+    cp0_.setUxReg(UxReg::BadAddr, bad_vaddr);
+    cp0_.setStatusReg(st | status::UX);
+    if (observer_)
+        observer_->onException(code, epc, target);
+    pc_ = target;
+    npc_ = target + 4;
+    prevWasControl_ = false;
+    return true;
+}
+
+void
+Cpu::takeException(ExcCode code, Addr bad_vaddr, bool has_bad_vaddr,
+                   bool refill)
+{
+    excRaised_ = true;
+    stats_.exceptionsTaken++;
+    stats_.perExcCode[static_cast<unsigned>(code)]++;
+    if (refill)
+        stats_.tlbRefillFaults++;
+
+    bool bd = prevWasControl_;
+    Addr epc = bd ? pc_ - 4 : pc_;
+
+    if (has_bad_vaddr)
+        cp0_.setFaultAddress(bad_vaddr);
+
+    // TLB refill misses always enter the kernel: there is nothing a
+    // user handler could do without the page tables.
+    if (!refill && tryUserVector(code, epc, bad_vaddr, bd)) {
+        stats_.userVectoredExceptions++;
+        return;
+    }
+
+    cp0_.enterException(epc, code, bd);
+    Addr vector = refill ? RefillVector : GeneralVector;
+    if (observer_)
+        observer_->onException(code, epc, vector);
+    pc_ = vector;
+    npc_ = vector + 4;
+    prevWasControl_ = false;
+}
+
+Addr
+Cpu::injectException(ExcCode code, Addr fault_pc, Addr bad_vaddr,
+                     bool refill)
+{
+    pc_ = fault_pc;
+    npc_ = fault_pc + 4;
+    prevWasControl_ = false;
+    takeException(code, bad_vaddr, true, refill);
+    excRaised_ = false;
+    return pc_;
+}
+
+Cycles
+Cpu::chargeDataAccess(Addr paddr, bool cacheable)
+{
+    Cycles before = stats_.cycles;
+    if (config_.cachesEnabled) {
+        if (cacheable && dcache_) {
+            if (!dcache_->access(paddr))
+                charge(config_.cost.dcacheMissPenalty);
+        } else if (!cacheable) {
+            charge(config_.cost.dcacheMissPenalty);
+        }
+    }
+    return stats_.cycles - before;
+}
+
+// execution ------------------------------------------------------------------
+
+void
+Cpu::doBranch(bool taken, Addr target)
+{
+    stats_.branches++;
+    if (taken) {
+        stagedNpc_ = target;
+        branchTaken_ = true;
+        charge(config_.cost.takenBranchExtra);
+    }
+}
+
+void
+Cpu::doJump(Addr target)
+{
+    stats_.branches++;
+    stagedNpc_ = target;
+    branchTaken_ = true;
+    charge(config_.cost.takenBranchExtra);
+}
+
+bool
+Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
+                Addr &paddr_out)
+{
+    Addr ea = regs_[inst.rs] + inst.simm;
+    if (!isAligned(ea, size)) {
+        takeException(type == AccessType::Store ? ExcCode::AdES
+                                                : ExcCode::AdEL,
+                      ea, true, false);
+        return false;
+    }
+    TranslateResult tr = translate(ea, type);
+    if (!tr.ok) {
+        takeException(tr.exc, ea, true, tr.refill);
+        return false;
+    }
+    charge(type == AccessType::Store ? config_.cost.storeExtra
+                                     : config_.cost.loadExtra);
+    if (config_.cachesEnabled) {
+        if (tr.cacheable && dcache_) {
+            if (!dcache_->access(tr.paddr))
+                charge(config_.cost.dcacheMissPenalty);
+        } else if (!tr.cacheable) {
+            charge(config_.cost.dcacheMissPenalty);
+        }
+    }
+    if (type == AccessType::Store) {
+        stats_.stores++;
+        consecutiveStores_++;
+        if (consecutiveStores_ >= 2 && config_.cost.writeBufferStall)
+            charge(config_.cost.writeBufferStall);
+    } else {
+        stats_.loads++;
+        consecutiveStores_ = 0;
+    }
+    paddr_out = tr.paddr;
+    return true;
+}
+
+void
+Cpu::step()
+{
+    if (halted_)
+        return;
+
+    cp0_.tickRandom();
+    excRaised_ = false;
+    branchTaken_ = false;
+    stagedNpc_ = npc_ + 4;
+
+    Cycles cycles_before = stats_.cycles;
+
+    // fetch
+    if (!isAligned(pc_, 4)) {
+        takeException(ExcCode::AdEL, pc_, true, false);
+        return;
+    }
+    TranslateResult tr = translate(pc_, AccessType::Fetch);
+    if (!tr.ok) {
+        takeException(tr.exc, pc_, true, tr.refill);
+        return;
+    }
+    if (config_.cachesEnabled && tr.cacheable && icache_) {
+        if (!icache_->access(tr.paddr))
+            charge(config_.cost.icacheMissPenalty);
+    }
+    Word raw = mem_.readWord(tr.paddr);
+    DecodedInst inst = decode(raw);
+
+    stats_.instructions++;
+    charge(config_.cost.baseCost);
+
+    Addr inst_pc = pc_;
+    execute(inst);
+
+    if (excRaised_)
+        return;
+
+    if (!inst.isMemory())
+        consecutiveStores_ = 0;
+
+    if (observer_)
+        observer_->onInst(inst_pc, inst, stats_.cycles - cycles_before);
+
+    if (redirect_) {
+        redirect_ = false;
+        return;
+    }
+
+    prevWasControl_ = inst.isControl();
+    pc_ = npc_;
+    npc_ = stagedNpc_;
+}
+
+RunResult
+Cpu::run(InstCount max_insts)
+{
+    RunResult result;
+    bool first = true;
+    while (result.instsExecuted < max_insts) {
+        if (halted_) {
+            result.reason = StopReason::Halted;
+            return result;
+        }
+        if (!first && !breakpoints_.empty() &&
+            breakpoints_.count(pc_) != 0) {
+            result.reason = StopReason::Breakpoint;
+            return result;
+        }
+        first = false;
+        InstCount before = stats_.instructions;
+        step();
+        result.instsExecuted += stats_.instructions - before;
+        if (halted_) {
+            result.reason = StopReason::Halted;
+            return result;
+        }
+    }
+    result.reason = StopReason::InstLimit;
+    return result;
+}
+
+void
+Cpu::execute(const DecodedInst &inst)
+{
+    const Word rs = regs_[inst.rs];
+    const Word rt = regs_[inst.rt];
+    const CostModel &cost = config_.cost;
+    bool user = cp0_.userMode();
+
+    switch (inst.op) {
+      // -- shifts ------------------------------------------------------
+      case Op::Sll:  setReg(inst.rd, rt << inst.shamt); break;
+      case Op::Srl:  setReg(inst.rd, rt >> inst.shamt); break;
+      case Op::Sra:
+        setReg(inst.rd,
+               static_cast<Word>(static_cast<SWord>(rt) >> inst.shamt));
+        break;
+      case Op::Sllv: setReg(inst.rd, rt << (rs & 31)); break;
+      case Op::Srlv: setReg(inst.rd, rt >> (rs & 31)); break;
+      case Op::Srav:
+        setReg(inst.rd,
+               static_cast<Word>(static_cast<SWord>(rt) >> (rs & 31)));
+        break;
+
+      // -- arithmetic ---------------------------------------------------
+      case Op::Add: {
+        Word sum = rs + rt;
+        // signed overflow: operands same sign, result different
+        if (~(rs ^ rt) & (rs ^ sum) & 0x80000000u) {
+            takeException(ExcCode::Ov, 0, false, false);
+            return;
+        }
+        setReg(inst.rd, sum);
+        break;
+      }
+      case Op::Addu: setReg(inst.rd, rs + rt); break;
+      case Op::Sub: {
+        Word diff = rs - rt;
+        if ((rs ^ rt) & (rs ^ diff) & 0x80000000u) {
+            takeException(ExcCode::Ov, 0, false, false);
+            return;
+        }
+        setReg(inst.rd, diff);
+        break;
+      }
+      case Op::Subu: setReg(inst.rd, rs - rt); break;
+      case Op::And:  setReg(inst.rd, rs & rt); break;
+      case Op::Or:   setReg(inst.rd, rs | rt); break;
+      case Op::Xor:  setReg(inst.rd, rs ^ rt); break;
+      case Op::Nor:  setReg(inst.rd, ~(rs | rt)); break;
+      case Op::Slt:
+        setReg(inst.rd, static_cast<SWord>(rs) < static_cast<SWord>(rt));
+        break;
+      case Op::Sltu: setReg(inst.rd, rs < rt); break;
+
+      case Op::Mult: {
+        std::int64_t prod = static_cast<std::int64_t>(
+            static_cast<SWord>(rs)) * static_cast<SWord>(rt);
+        lo_ = static_cast<Word>(prod);
+        hi_ = static_cast<Word>(prod >> 32);
+        charge(cost.multCost - cost.baseCost);
+        break;
+      }
+      case Op::Multu: {
+        std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
+        lo_ = static_cast<Word>(prod);
+        hi_ = static_cast<Word>(prod >> 32);
+        charge(cost.multCost - cost.baseCost);
+        break;
+      }
+      case Op::Div:
+        if (rt == 0) {
+            // architecturally UNPREDICTABLE; we define a stable result
+            lo_ = 0xffffffffu;
+            hi_ = rs;
+        } else if (rs == 0x80000000u && rt == 0xffffffffu) {
+            lo_ = 0x80000000u;  // INT_MIN / -1 wraps
+            hi_ = 0;
+        } else {
+            lo_ = static_cast<Word>(static_cast<SWord>(rs) /
+                                    static_cast<SWord>(rt));
+            hi_ = static_cast<Word>(static_cast<SWord>(rs) %
+                                    static_cast<SWord>(rt));
+        }
+        charge(cost.divCost - cost.baseCost);
+        break;
+      case Op::Divu:
+        if (rt == 0) {
+            lo_ = 0xffffffffu;
+            hi_ = rs;
+        } else {
+            lo_ = rs / rt;
+            hi_ = rs % rt;
+        }
+        charge(cost.divCost - cost.baseCost);
+        break;
+      case Op::Mfhi: setReg(inst.rd, hi_); break;
+      case Op::Mthi: hi_ = rs; break;
+      case Op::Mflo: setReg(inst.rd, lo_); break;
+      case Op::Mtlo: lo_ = rs; break;
+
+      // -- immediate arithmetic -------------------------------------------
+      case Op::Addi: {
+        Word sum = rs + inst.simm;
+        if (~(rs ^ inst.simm) & (rs ^ sum) & 0x80000000u) {
+            takeException(ExcCode::Ov, 0, false, false);
+            return;
+        }
+        setReg(inst.rt, sum);
+        break;
+      }
+      case Op::Addiu: setReg(inst.rt, rs + inst.simm); break;
+      case Op::Slti:
+        setReg(inst.rt, static_cast<SWord>(rs) <
+                        static_cast<SWord>(inst.simm));
+        break;
+      case Op::Sltiu: setReg(inst.rt, rs < inst.simm); break;
+      case Op::Andi:  setReg(inst.rt, rs & inst.imm); break;
+      case Op::Ori:   setReg(inst.rt, rs | inst.imm); break;
+      case Op::Xori:  setReg(inst.rt, rs ^ inst.imm); break;
+      case Op::Lui:   setReg(inst.rt, inst.imm << 16); break;
+
+      // -- control ----------------------------------------------------------
+      case Op::J:
+        doJump(((pc_ + 4) & 0xf0000000u) | (inst.target << 2));
+        break;
+      case Op::Jal:
+        setReg(RA, pc_ + 8);
+        doJump(((pc_ + 4) & 0xf0000000u) | (inst.target << 2));
+        break;
+      case Op::Jr:
+        doJump(rs);
+        break;
+      case Op::Jalr:
+        setReg(inst.rd, pc_ + 8);
+        doJump(rs);
+        break;
+      case Op::Beq:
+        doBranch(rs == rt, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Bne:
+        doBranch(rs != rt, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Blez:
+        doBranch(static_cast<SWord>(rs) <= 0, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Bgtz:
+        doBranch(static_cast<SWord>(rs) > 0, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Bltz:
+        doBranch(static_cast<SWord>(rs) < 0, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Bgez:
+        doBranch(static_cast<SWord>(rs) >= 0, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Bltzal:
+        setReg(RA, pc_ + 8);
+        doBranch(static_cast<SWord>(rs) < 0, pc_ + 4 + (inst.simm << 2));
+        break;
+      case Op::Bgezal:
+        setReg(RA, pc_ + 8);
+        doBranch(static_cast<SWord>(rs) >= 0, pc_ + 4 + (inst.simm << 2));
+        break;
+
+      // -- memory --------------------------------------------------------------
+      case Op::Lb: {
+        Addr pa;
+        if (!memAddress(inst, 1, AccessType::Load, pa))
+            return;
+        setReg(inst.rt, signExtend(mem_.readByte(pa), 8));
+        break;
+      }
+      case Op::Lbu: {
+        Addr pa;
+        if (!memAddress(inst, 1, AccessType::Load, pa))
+            return;
+        setReg(inst.rt, mem_.readByte(pa));
+        break;
+      }
+      case Op::Lh: {
+        Addr pa;
+        if (!memAddress(inst, 2, AccessType::Load, pa))
+            return;
+        setReg(inst.rt, signExtend(mem_.readHalf(pa), 16));
+        break;
+      }
+      case Op::Lhu: {
+        Addr pa;
+        if (!memAddress(inst, 2, AccessType::Load, pa))
+            return;
+        setReg(inst.rt, mem_.readHalf(pa));
+        break;
+      }
+      case Op::Lw: {
+        Addr pa;
+        if (!memAddress(inst, 4, AccessType::Load, pa))
+            return;
+        setReg(inst.rt, mem_.readWord(pa));
+        break;
+      }
+      case Op::Sb: {
+        Addr pa;
+        if (!memAddress(inst, 1, AccessType::Store, pa))
+            return;
+        mem_.writeByte(pa, static_cast<Byte>(rt));
+        break;
+      }
+      case Op::Sh: {
+        Addr pa;
+        if (!memAddress(inst, 2, AccessType::Store, pa))
+            return;
+        mem_.writeHalf(pa, static_cast<Half>(rt));
+        break;
+      }
+      case Op::Sw: {
+        Addr pa;
+        if (!memAddress(inst, 4, AccessType::Store, pa))
+            return;
+        mem_.writeWord(pa, rt);
+        break;
+      }
+
+      // -- traps ------------------------------------------------------------------
+      case Op::Syscall:
+        takeException(ExcCode::Sys, 0, false, false);
+        return;
+      case Op::Break:
+        takeException(ExcCode::Bp, 0, false, false);
+        return;
+
+      // -- CP0 / TLB -----------------------------------------------------------------
+      case Op::Mfc0:
+      case Op::Mtc0:
+      case Op::Tlbr:
+      case Op::Tlbwi:
+      case Op::Tlbwr:
+      case Op::Tlbp:
+      case Op::Rfe:
+        if (user) {
+            takeException(ExcCode::CpU, 0, false, false);
+            return;
+        }
+        switch (inst.op) {
+          case Op::Mfc0:
+            setReg(inst.rt, cp0_.read(inst.rd));
+            break;
+          case Op::Mtc0:
+            cp0_.write(inst.rd, rt);
+            break;
+          case Op::Tlbr: {
+            unsigned idx = (cp0_.index() >> 8) & 0x3f;
+            const TlbEntry &e = tlb_.entry(idx);
+            cp0_.write(cp0reg::EntryHi, e.hi);
+            cp0_.write(cp0reg::EntryLo, e.lo);
+            break;
+          }
+          case Op::Tlbwi: {
+            unsigned idx = (cp0_.index() >> 8) & 0x3f;
+            tlb_.setEntry(idx, cp0_.entryHi(), cp0_.entryLo());
+            break;
+          }
+          case Op::Tlbwr: {
+            unsigned idx = cp0_.randomIndex();
+            tlb_.setEntry(idx, cp0_.entryHi(), cp0_.entryLo());
+            break;
+          }
+          case Op::Tlbp: {
+            Word hi = cp0_.entryHi();
+            auto hit = tlb_.probeQuiet(
+                hi & entryhi::VpnMask,
+                (hi & entryhi::AsidMask) >> entryhi::AsidShift);
+            cp0_.setIndexRaw(hit ? (*hit << 8) : 0x80000000u);
+            break;
+          }
+          case Op::Rfe:
+            cp0_.returnFromException();
+            break;
+          default:
+            break;
+        }
+        break;
+
+      // -- extensions: user exception architecture ------------------------------------
+      case Op::Mfux:
+      case Op::Mtux:
+      case Op::Xret:
+        if (!config_.userVectorHw) {
+            takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        if (inst.op == Op::Xret) {
+            if (!(cp0_.statusReg() & status::UX)) {
+                takeException(ExcCode::Ri, 0, false, false);
+                return;
+            }
+            cp0_.setStatusReg(cp0_.statusReg() & ~status::UX);
+            // Tera-style return: control moves to the (possibly
+            // updated) saved exception PC, with no delay slot.
+            pc_ = cp0_.uxReg(UxReg::Epc);
+            npc_ = pc_ + 4;
+            prevWasControl_ = false;
+            redirect_ = true;
+            return;
+        }
+        if (inst.rd >= NumUxRegs) {
+            takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        if (inst.op == Op::Mfux) {
+            setReg(inst.rt, cp0_.uxReg(static_cast<UxReg>(inst.rd)));
+        } else {
+            cp0_.setUxReg(static_cast<UxReg>(inst.rd), rt);
+        }
+        break;
+
+      // -- extensions: user TLB protection modification ----------------------------------
+      case Op::Tlbmp: {
+        if (!config_.tlbmpHw) {
+            takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        auto hit = tlb_.probeQuiet(rs, cp0_.asid());
+        if (!hit) {
+            // No resident translation: the kernel must do it via the
+            // page tables, so fall back to the emulation path.
+            takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        const TlbEntry &e = tlb_.entry(*hit);
+        if (user && !e.userModifiable()) {
+            takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        Word lo = e.lo;
+        lo = (rt & 1u) ? (lo | entrylo::D) : (lo & ~entrylo::D);
+        lo = (rt & 2u) ? (lo | entrylo::V) : (lo & ~entrylo::V);
+        tlb_.setEntry(*hit, e.hi, lo);
+        break;
+      }
+
+      // -- extensions: host call ------------------------------------------------------------
+      case Op::Hcall:
+        if (inst.target == 0) {
+            halted_ = true;
+            break;
+        }
+        if (!hcallHandler_) {
+            takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        hcallHandler_(*this, inst.target);
+        // the handler may have redirected or halted us
+        if (halted_)
+            return;
+        break;
+
+      case Op::Invalid:
+        takeException(ExcCode::Ri, 0, false, false);
+        return;
+    }
+}
+
+} // namespace uexc::sim

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The simulated CPU: a functional, cycle-costed interpreter for the
+ * MIPS-I-like ISA with the R3000 trap architecture.
+ *
+ * Faithfully modeled:
+ *  - precise exceptions with the R3000 status-word KU/IE stack,
+ *    Cause/EPC/BadVAddr/Context updates, branch-delay (BD) attribution
+ *    and branch re-execution semantics;
+ *  - a software-managed 64-entry tagged TLB with separate refill
+ *    (0x80000000) and general (0x80000080) vectors;
+ *  - branch delay slots, including exceptions raised *in* delay slots;
+ *  - kuseg/kseg0/kseg1 segmentation with user-mode access checks.
+ *
+ * Extensions (sections 2.1-2.2 of Thekkath & Levy '94), enabled by
+ * configuration flags so every benchmark can compare with/without:
+ *  - direct user-mode exception vectoring through the user exception
+ *    register file (COP3), with recursive-exception demotion to the
+ *    kernel via the Status.UX bit;
+ *  - the TLBMP instruction for user-level TLB protection modification
+ *    gated on the per-entry U bit.
+ */
+
+#ifndef UEXC_SIM_CPU_H
+#define UEXC_SIM_CPU_H
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "sim/cache.h"
+#include "sim/costmodel.h"
+#include "sim/cp0.h"
+#include "sim/isa.h"
+#include "sim/memory.h"
+#include "sim/tlb.h"
+
+namespace uexc::sim {
+
+/** Memory access intent, for translation. */
+enum class AccessType { Fetch, Load, Store };
+
+/** Result of a virtual-to-physical translation attempt. */
+struct TranslateResult
+{
+    bool ok = false;
+    Addr paddr = 0;
+    bool cacheable = true;
+    /** When !ok: the exception to raise. */
+    ExcCode exc = ExcCode::TlbL;
+    /** When !ok: whether this is a TLB *miss* (refill vector). */
+    bool refill = false;
+};
+
+/** Why run() returned. */
+enum class StopReason
+{
+    Halted,      ///< guest executed hcall 0 or host called requestHalt
+    Breakpoint,  ///< pc reached an address registered as a breakpoint
+    InstLimit,   ///< the instruction budget was exhausted
+};
+
+/** Result of a run() call. */
+struct RunResult
+{
+    StopReason reason = StopReason::InstLimit;
+    InstCount instsExecuted = 0;
+};
+
+/** Machine configuration. */
+struct CpuConfig
+{
+    CostModel cost;
+    /** COP3 user-mode exception vectoring implemented in hardware. */
+    bool userVectorHw = false;
+    /**
+     * Vector-table variant of user vectoring (paper section 2.2's
+     * alternative): the exception target register holds the base of
+     * a process-local, pinned table of handler addresses indexed by
+     * ExcCode; the hardware loads table[code] while vectoring. A
+     * translation miss on the table entry demotes the exception to
+     * the kernel (the table page must be pinned, like the frame
+     * page). Requires userVectorHw.
+     */
+    bool userVectorTable = false;
+    /** TLBMP executes in hardware (else it raises RI for emulation). */
+    bool tlbmpHw = false;
+    /** Model I/D cache miss cycles. */
+    bool cachesEnabled = false;
+    std::size_t icacheBytes = 64 * 1024;
+    std::size_t icacheLineBytes = 16;
+    std::size_t dcacheBytes = 64 * 1024;
+    std::size_t dcacheLineBytes = 16;
+};
+
+/** Aggregate execution statistics. */
+struct CpuStats
+{
+    InstCount instructions = 0;
+    Cycles cycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t exceptionsTaken = 0;
+    std::uint64_t tlbRefillFaults = 0;
+    std::uint64_t userVectoredExceptions = 0;
+    std::array<std::uint64_t, NumExcCodes> perExcCode{};
+};
+
+class Cpu;
+
+/**
+ * Per-instruction observation hook, used by the phase profiler that
+ * regenerates Table 3. Only consulted when installed.
+ */
+class InstObserver
+{
+  public:
+    virtual ~InstObserver() = default;
+    /** Called after each retired instruction. */
+    virtual void onInst(Addr pc, const DecodedInst &inst,
+                        Cycles cost) = 0;
+    /** Called when an exception is taken. */
+    virtual void onException(ExcCode code, Addr epc, Addr vector) = 0;
+};
+
+/** Host service callback for the HCALL extension. */
+using HcallHandler = std::function<void(Cpu &, Word service)>;
+
+/**
+ * The CPU. See file comment.
+ */
+class Cpu
+{
+  public:
+    /** Exception vector addresses (R3000). */
+    static constexpr Addr RefillVector = 0x80000000u;
+    static constexpr Addr GeneralVector = 0x80000080u;
+    /** Segment bases. */
+    static constexpr Addr Kseg0Base = 0x80000000u;
+    static constexpr Addr Kseg1Base = 0xa0000000u;
+    static constexpr Addr Kseg2Base = 0xc0000000u;
+
+    Cpu(PhysMemory &mem, const CpuConfig &config);
+
+    // -- architectural state ----------------------------------------------
+
+    Word reg(unsigned r) const { return regs_[r]; }
+    void setReg(unsigned r, Word v) { if (r != 0) regs_[r] = v; }
+
+    Addr pc() const { return pc_; }
+    /** Set the PC (clears any in-flight delay slot). */
+    void setPc(Addr pc);
+
+    Cp0 &cp0() { return cp0_; }
+    const Cp0 &cp0() const { return cp0_; }
+    Tlb &tlb() { return tlb_; }
+    const Tlb &tlb() const { return tlb_; }
+    PhysMemory &mem() { return mem_; }
+
+    const CpuConfig &config() const { return config_; }
+
+    // -- execution ---------------------------------------------------------
+
+    /** Execute one instruction (or take one exception). */
+    void step();
+
+    /**
+     * Run until halt, breakpoint, or @p max_insts instructions.
+     */
+    RunResult run(InstCount max_insts);
+
+    /** Stop the next run()/step(). */
+    void requestHalt() { halted_ = true; }
+    bool halted() const { return halted_; }
+    /** Allow execution again after a halt. */
+    void clearHalt() { halted_ = false; }
+
+    /** Stop run() when the PC reaches @p addr (before executing it). */
+    void addBreakpoint(Addr addr) { breakpoints_.insert(addr); }
+    void removeBreakpoint(Addr addr) { breakpoints_.erase(addr); }
+    void clearBreakpoints() { breakpoints_.clear(); }
+
+    // -- host integration ----------------------------------------------------
+
+    void setHcallHandler(HcallHandler handler)
+    {
+        hcallHandler_ = std::move(handler);
+    }
+
+    /** Account extra simulated cycles (host-side kernel services). */
+    void charge(Cycles cycles) { stats_.cycles += cycles; }
+
+    /** Observer for profiling; may be null. */
+    void setObserver(InstObserver *obs) { observer_ = obs; }
+
+    // -- services for the OS / VM facade ------------------------------------
+
+    /**
+     * Translate @p vaddr for @p type in the *current* processor mode.
+     * Performs a real TLB lookup (updates TLB stats) but raises no
+     * exception; the caller decides.
+     */
+    TranslateResult translate(Addr vaddr, AccessType type);
+
+    /** translate() without perturbing statistics. */
+    TranslateResult translateQuiet(Addr vaddr, AccessType type) const;
+
+    /**
+     * Enter an exception exactly as the hardware would for a fault at
+     * @p fault_pc (not in a delay slot) touching @p bad_vaddr. Used by
+     * the VM facade to inject faults on behalf of host-side
+     * application code. Returns the vector address now in the PC.
+     */
+    Addr injectException(ExcCode code, Addr fault_pc, Addr bad_vaddr,
+                         bool refill);
+
+    /** Model a data-cache access (for host-side app memory traffic). */
+    Cycles chargeDataAccess(Addr paddr, bool cacheable);
+
+    // -- statistics -------------------------------------------------------
+
+    const CpuStats &stats() const { return stats_; }
+    void clearStats();
+    Cycles cycles() const { return stats_.cycles; }
+    InstCount instret() const { return stats_.instructions; }
+
+    Cache *icache() { return icache_.get(); }
+    Cache *dcache() { return dcache_.get(); }
+
+  private:
+    // execution helpers
+    void execute(const DecodedInst &inst);
+    bool memAddress(const DecodedInst &inst, unsigned size,
+                    AccessType type, Addr &paddr_out);
+    void takeException(ExcCode code, Addr bad_vaddr, bool has_bad_vaddr,
+                       bool refill);
+    bool tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
+                       bool branch_delay);
+    void doBranch(bool taken, Addr target);
+    void doJump(Addr target);
+    void raiseOnPrivileged(const DecodedInst &inst);
+
+    PhysMemory &mem_;
+    CpuConfig config_;
+    Cp0 cp0_;
+    Tlb tlb_;
+    std::unique_ptr<Cache> icache_;
+    std::unique_ptr<Cache> dcache_;
+
+    std::array<Word, NumRegs> regs_{};
+    Addr pc_ = 0;
+    Addr npc_ = 4;
+    Word hi_ = 0;
+    Word lo_ = 0;
+
+    /** Previous retired instruction was a branch/jump. */
+    bool prevWasControl_ = false;
+    /** Set by execute() when the instruction raised an exception. */
+    bool excRaised_ = false;
+    /** Next-NPC staged by the current instruction. */
+    Addr stagedNpc_ = 0;
+    bool branchTaken_ = false;
+    /** xret (or an hcall) moved the PC directly, bypassing npc. */
+    bool redirect_ = false;
+    unsigned consecutiveStores_ = 0;
+
+    bool halted_ = false;
+    std::unordered_set<Addr> breakpoints_;
+    HcallHandler hcallHandler_;
+    InstObserver *observer_ = nullptr;
+
+    CpuStats stats_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_CPU_H

@@ -1,0 +1,256 @@
+#include "sim/encoding.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::sim::enc {
+
+namespace {
+
+constexpr Word
+opField(Opcode op)
+{
+    return static_cast<Word>(op) << 26;
+}
+
+Word
+checkReg(unsigned reg)
+{
+    if (reg >= NumRegs)
+        UEXC_PANIC("encoder: register %u out of range", reg);
+    return reg;
+}
+
+Word
+imm16(Word imm)
+{
+    return imm & 0xffffu;
+}
+
+Word
+branch(Opcode op, unsigned rs, unsigned rt, SWord word_offset)
+{
+    if (word_offset < -32768 || word_offset > 32767)
+        UEXC_PANIC("encoder: branch offset %d out of range", word_offset);
+    return iType(op, rt, rs, static_cast<Word>(word_offset));
+}
+
+Word
+regImmBranch(RegImmOp rt_op, unsigned rs, SWord word_offset)
+{
+    if (word_offset < -32768 || word_offset > 32767)
+        UEXC_PANIC("encoder: branch offset %d out of range", word_offset);
+    return opField(Opcode::RegImm) | (checkReg(rs) << 21) |
+           (static_cast<Word>(rt_op) << 16) |
+           imm16(static_cast<Word>(word_offset));
+}
+
+} // namespace
+
+Word
+rType(Funct funct, unsigned rd, unsigned rs, unsigned rt, unsigned shamt)
+{
+    if (shamt >= 32)
+        UEXC_PANIC("encoder: shamt %u out of range", shamt);
+    return (checkReg(rs) << 21) | (checkReg(rt) << 16) |
+           (checkReg(rd) << 11) | (shamt << 6) |
+           static_cast<Word>(funct);
+}
+
+Word
+iType(Opcode op, unsigned rt, unsigned rs, Word imm)
+{
+    return opField(op) | (checkReg(rs) << 21) | (checkReg(rt) << 16) |
+           imm16(imm);
+}
+
+Word
+jType(Opcode op, Word target26)
+{
+    return opField(op) | (target26 & 0x03ffffffu);
+}
+
+Word sll(unsigned rd, unsigned rt, unsigned shamt)
+{ return rType(Funct::Sll, rd, 0, rt, shamt); }
+Word srl(unsigned rd, unsigned rt, unsigned shamt)
+{ return rType(Funct::Srl, rd, 0, rt, shamt); }
+Word sra(unsigned rd, unsigned rt, unsigned shamt)
+{ return rType(Funct::Sra, rd, 0, rt, shamt); }
+Word sllv(unsigned rd, unsigned rt, unsigned rs)
+{ return rType(Funct::Sllv, rd, rs, rt); }
+Word srlv(unsigned rd, unsigned rt, unsigned rs)
+{ return rType(Funct::Srlv, rd, rs, rt); }
+Word srav(unsigned rd, unsigned rt, unsigned rs)
+{ return rType(Funct::Srav, rd, rs, rt); }
+
+Word add(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Add, rd, rs, rt); }
+Word addu(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Addu, rd, rs, rt); }
+Word sub(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Sub, rd, rs, rt); }
+Word subu(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Subu, rd, rs, rt); }
+Word and_(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::And, rd, rs, rt); }
+Word or_(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Or, rd, rs, rt); }
+Word xor_(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Xor, rd, rs, rt); }
+Word nor(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Nor, rd, rs, rt); }
+Word slt(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Slt, rd, rs, rt); }
+Word sltu(unsigned rd, unsigned rs, unsigned rt)
+{ return rType(Funct::Sltu, rd, rs, rt); }
+
+Word mult(unsigned rs, unsigned rt)
+{ return rType(Funct::Mult, 0, rs, rt); }
+Word multu(unsigned rs, unsigned rt)
+{ return rType(Funct::Multu, 0, rs, rt); }
+Word div(unsigned rs, unsigned rt)
+{ return rType(Funct::Div, 0, rs, rt); }
+Word divu(unsigned rs, unsigned rt)
+{ return rType(Funct::Divu, 0, rs, rt); }
+Word mfhi(unsigned rd) { return rType(Funct::Mfhi, rd, 0, 0); }
+Word mthi(unsigned rs) { return rType(Funct::Mthi, 0, rs, 0); }
+Word mflo(unsigned rd) { return rType(Funct::Mflo, rd, 0, 0); }
+Word mtlo(unsigned rs) { return rType(Funct::Mtlo, 0, rs, 0); }
+
+Word addi(unsigned rt, unsigned rs, SWord imm)
+{ return iType(Opcode::Addi, rt, rs, static_cast<Word>(imm)); }
+Word addiu(unsigned rt, unsigned rs, SWord imm)
+{ return iType(Opcode::Addiu, rt, rs, static_cast<Word>(imm)); }
+Word slti(unsigned rt, unsigned rs, SWord imm)
+{ return iType(Opcode::Slti, rt, rs, static_cast<Word>(imm)); }
+Word sltiu(unsigned rt, unsigned rs, SWord imm)
+{ return iType(Opcode::Sltiu, rt, rs, static_cast<Word>(imm)); }
+Word andi(unsigned rt, unsigned rs, Word imm)
+{ return iType(Opcode::Andi, rt, rs, imm); }
+Word ori(unsigned rt, unsigned rs, Word imm)
+{ return iType(Opcode::Ori, rt, rs, imm); }
+Word xori(unsigned rt, unsigned rs, Word imm)
+{ return iType(Opcode::Xori, rt, rs, imm); }
+Word lui(unsigned rt, Word imm)
+{ return iType(Opcode::Lui, rt, 0, imm); }
+
+Word j(Word target26) { return jType(Opcode::J, target26); }
+Word jal(Word target26) { return jType(Opcode::Jal, target26); }
+Word jr(unsigned rs) { return rType(Funct::Jr, 0, rs, 0); }
+Word jalr(unsigned rd, unsigned rs) { return rType(Funct::Jalr, rd, rs, 0); }
+
+Word beq(unsigned rs, unsigned rt, SWord word_offset)
+{ return branch(Opcode::Beq, rs, rt, word_offset); }
+Word bne(unsigned rs, unsigned rt, SWord word_offset)
+{ return branch(Opcode::Bne, rs, rt, word_offset); }
+Word blez(unsigned rs, SWord word_offset)
+{ return branch(Opcode::Blez, rs, 0, word_offset); }
+Word bgtz(unsigned rs, SWord word_offset)
+{ return branch(Opcode::Bgtz, rs, 0, word_offset); }
+Word bltz(unsigned rs, SWord word_offset)
+{ return regImmBranch(RegImmOp::Bltz, rs, word_offset); }
+Word bgez(unsigned rs, SWord word_offset)
+{ return regImmBranch(RegImmOp::Bgez, rs, word_offset); }
+Word bltzal(unsigned rs, SWord word_offset)
+{ return regImmBranch(RegImmOp::Bltzal, rs, word_offset); }
+Word bgezal(unsigned rs, SWord word_offset)
+{ return regImmBranch(RegImmOp::Bgezal, rs, word_offset); }
+
+Word lb(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Lb, rt, base, static_cast<Word>(offset)); }
+Word lbu(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Lbu, rt, base, static_cast<Word>(offset)); }
+Word lh(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Lh, rt, base, static_cast<Word>(offset)); }
+Word lhu(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Lhu, rt, base, static_cast<Word>(offset)); }
+Word lw(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Lw, rt, base, static_cast<Word>(offset)); }
+Word sb(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Sb, rt, base, static_cast<Word>(offset)); }
+Word sh(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Sh, rt, base, static_cast<Word>(offset)); }
+Word sw(unsigned rt, SWord offset, unsigned base)
+{ return iType(Opcode::Sw, rt, base, static_cast<Word>(offset)); }
+
+Word syscall() { return rType(Funct::Syscall, 0, 0, 0); }
+
+Word
+break_(Word code)
+{
+    return rType(Funct::Break, 0, 0, 0) | ((code & 0xfffffu) << 6);
+}
+
+Word
+mfc0(unsigned rt, unsigned cp0_reg)
+{
+    return opField(Opcode::Cop0) |
+           (static_cast<Word>(Cop0Rs::Mfc0) << 21) |
+           (checkReg(rt) << 16) | (checkReg(cp0_reg) << 11);
+}
+
+Word
+mtc0(unsigned rt, unsigned cp0_reg)
+{
+    return opField(Opcode::Cop0) |
+           (static_cast<Word>(Cop0Rs::Mtc0) << 21) |
+           (checkReg(rt) << 16) | (checkReg(cp0_reg) << 11);
+}
+
+namespace {
+constexpr Word kCoBit = Word(1) << 25;
+} // namespace
+
+Word tlbr() { return opField(Opcode::Cop0) | kCoBit |
+                     static_cast<Word>(Cop0Funct::Tlbr); }
+Word tlbwi() { return opField(Opcode::Cop0) | kCoBit |
+                      static_cast<Word>(Cop0Funct::Tlbwi); }
+Word tlbwr() { return opField(Opcode::Cop0) | kCoBit |
+                      static_cast<Word>(Cop0Funct::Tlbwr); }
+Word tlbp() { return opField(Opcode::Cop0) | kCoBit |
+                     static_cast<Word>(Cop0Funct::Tlbp); }
+Word rfe() { return opField(Opcode::Cop0) | kCoBit |
+                    static_cast<Word>(Cop0Funct::Rfe); }
+
+Word
+mfux(unsigned rt, UxReg ux_reg)
+{
+    return opField(Opcode::Cop3) |
+           (static_cast<Word>(Cop3Rs::Mfux) << 21) |
+           (checkReg(rt) << 16) |
+           (static_cast<Word>(ux_reg) << 11);
+}
+
+Word
+mtux(unsigned rt, UxReg ux_reg)
+{
+    return opField(Opcode::Cop3) |
+           (static_cast<Word>(Cop3Rs::Mtux) << 21) |
+           (checkReg(rt) << 16) |
+           (static_cast<Word>(ux_reg) << 11);
+}
+
+Word
+xret()
+{
+    return opField(Opcode::Cop3) | kCoBit |
+           static_cast<Word>(Cop3Funct::Xret);
+}
+
+Word
+tlbmp(unsigned rs, unsigned rt)
+{
+    return opField(Opcode::Tlbmp) | (checkReg(rs) << 21) |
+           (checkReg(rt) << 16);
+}
+
+Word
+hcall(Word service26)
+{
+    return jType(Opcode::Hcall, service26);
+}
+
+Word nop() { return 0; }
+Word move(unsigned rd, unsigned rs) { return addu(rd, rs, Zero); }
+
+} // namespace uexc::sim::enc

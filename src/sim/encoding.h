@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Instruction encoders: one free function per mnemonic, each returning
+ * the 32-bit machine word. These are the inverse of sim::decode() and
+ * are exercised by round-trip property tests.
+ *
+ * Branch encoders take the *signed word offset* (the value that goes
+ * in the immediate field); the Assembler provides the label-based
+ * interface on top of these.
+ */
+
+#ifndef UEXC_SIM_ENCODING_H
+#define UEXC_SIM_ENCODING_H
+
+#include "common/types.h"
+#include "sim/isa.h"
+
+namespace uexc::sim::enc {
+
+// R-format helpers ---------------------------------------------------------
+
+Word rType(Funct funct, unsigned rd, unsigned rs, unsigned rt,
+           unsigned shamt = 0);
+Word iType(Opcode op, unsigned rt, unsigned rs, Word imm16);
+Word jType(Opcode op, Word target26);
+
+// shifts
+Word sll(unsigned rd, unsigned rt, unsigned shamt);
+Word srl(unsigned rd, unsigned rt, unsigned shamt);
+Word sra(unsigned rd, unsigned rt, unsigned shamt);
+Word sllv(unsigned rd, unsigned rt, unsigned rs);
+Word srlv(unsigned rd, unsigned rt, unsigned rs);
+Word srav(unsigned rd, unsigned rt, unsigned rs);
+
+// three-register arithmetic / logic
+Word add(unsigned rd, unsigned rs, unsigned rt);
+Word addu(unsigned rd, unsigned rs, unsigned rt);
+Word sub(unsigned rd, unsigned rs, unsigned rt);
+Word subu(unsigned rd, unsigned rs, unsigned rt);
+Word and_(unsigned rd, unsigned rs, unsigned rt);
+Word or_(unsigned rd, unsigned rs, unsigned rt);
+Word xor_(unsigned rd, unsigned rs, unsigned rt);
+Word nor(unsigned rd, unsigned rs, unsigned rt);
+Word slt(unsigned rd, unsigned rs, unsigned rt);
+Word sltu(unsigned rd, unsigned rs, unsigned rt);
+
+// multiply / divide
+Word mult(unsigned rs, unsigned rt);
+Word multu(unsigned rs, unsigned rt);
+Word div(unsigned rs, unsigned rt);
+Word divu(unsigned rs, unsigned rt);
+Word mfhi(unsigned rd);
+Word mthi(unsigned rs);
+Word mflo(unsigned rd);
+Word mtlo(unsigned rs);
+
+// immediate arithmetic / logic
+Word addi(unsigned rt, unsigned rs, SWord imm);
+Word addiu(unsigned rt, unsigned rs, SWord imm);
+Word slti(unsigned rt, unsigned rs, SWord imm);
+Word sltiu(unsigned rt, unsigned rs, SWord imm);
+Word andi(unsigned rt, unsigned rs, Word imm);
+Word ori(unsigned rt, unsigned rs, Word imm);
+Word xori(unsigned rt, unsigned rs, Word imm);
+Word lui(unsigned rt, Word imm);
+
+// control transfer
+Word j(Word target26);
+Word jal(Word target26);
+Word jr(unsigned rs);
+Word jalr(unsigned rd, unsigned rs);
+Word beq(unsigned rs, unsigned rt, SWord word_offset);
+Word bne(unsigned rs, unsigned rt, SWord word_offset);
+Word blez(unsigned rs, SWord word_offset);
+Word bgtz(unsigned rs, SWord word_offset);
+Word bltz(unsigned rs, SWord word_offset);
+Word bgez(unsigned rs, SWord word_offset);
+Word bltzal(unsigned rs, SWord word_offset);
+Word bgezal(unsigned rs, SWord word_offset);
+
+// memory
+Word lb(unsigned rt, SWord offset, unsigned base);
+Word lbu(unsigned rt, SWord offset, unsigned base);
+Word lh(unsigned rt, SWord offset, unsigned base);
+Word lhu(unsigned rt, SWord offset, unsigned base);
+Word lw(unsigned rt, SWord offset, unsigned base);
+Word sb(unsigned rt, SWord offset, unsigned base);
+Word sh(unsigned rt, SWord offset, unsigned base);
+Word sw(unsigned rt, SWord offset, unsigned base);
+
+// traps
+Word syscall();
+Word break_(Word code = 0);
+
+// CP0 / TLB
+Word mfc0(unsigned rt, unsigned cp0_reg);
+Word mtc0(unsigned rt, unsigned cp0_reg);
+Word tlbr();
+Word tlbwi();
+Word tlbwr();
+Word tlbp();
+Word rfe();
+
+// extensions
+Word mfux(unsigned rt, UxReg ux_reg);
+Word mtux(unsigned rt, UxReg ux_reg);
+Word xret();
+Word tlbmp(unsigned rs, unsigned rt);
+Word hcall(Word service26);
+
+// convenience pseudo-instructions
+Word nop();
+/** move rd := rs (encoded as addu rd, rs, zero). */
+Word move(unsigned rd, unsigned rs);
+
+} // namespace uexc::sim::enc
+
+#endif // UEXC_SIM_ENCODING_H

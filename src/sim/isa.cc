@@ -1,0 +1,313 @@
+#include "sim/isa.h"
+
+#include <cstdio>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+namespace {
+
+const char *const kRegNames[NumRegs] = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+Op
+decodeSpecial(Word raw)
+{
+    switch (static_cast<Funct>(bits(raw, 5, 0))) {
+      case Funct::Sll:     return Op::Sll;
+      case Funct::Srl:     return Op::Srl;
+      case Funct::Sra:     return Op::Sra;
+      case Funct::Sllv:    return Op::Sllv;
+      case Funct::Srlv:    return Op::Srlv;
+      case Funct::Srav:    return Op::Srav;
+      case Funct::Jr:      return Op::Jr;
+      case Funct::Jalr:    return Op::Jalr;
+      case Funct::Syscall: return Op::Syscall;
+      case Funct::Break:   return Op::Break;
+      case Funct::Mfhi:    return Op::Mfhi;
+      case Funct::Mthi:    return Op::Mthi;
+      case Funct::Mflo:    return Op::Mflo;
+      case Funct::Mtlo:    return Op::Mtlo;
+      case Funct::Mult:    return Op::Mult;
+      case Funct::Multu:   return Op::Multu;
+      case Funct::Div:     return Op::Div;
+      case Funct::Divu:    return Op::Divu;
+      case Funct::Add:     return Op::Add;
+      case Funct::Addu:    return Op::Addu;
+      case Funct::Sub:     return Op::Sub;
+      case Funct::Subu:    return Op::Subu;
+      case Funct::And:     return Op::And;
+      case Funct::Or:      return Op::Or;
+      case Funct::Xor:     return Op::Xor;
+      case Funct::Nor:     return Op::Nor;
+      case Funct::Slt:     return Op::Slt;
+      case Funct::Sltu:    return Op::Sltu;
+      default:             return Op::Invalid;
+    }
+}
+
+Op
+decodeRegImm(Word raw)
+{
+    switch (static_cast<RegImmOp>(bits(raw, 20, 16))) {
+      case RegImmOp::Bltz:   return Op::Bltz;
+      case RegImmOp::Bgez:   return Op::Bgez;
+      case RegImmOp::Bltzal: return Op::Bltzal;
+      case RegImmOp::Bgezal: return Op::Bgezal;
+      default:               return Op::Invalid;
+    }
+}
+
+Op
+decodeCop0(Word raw)
+{
+    if (bit(raw, 25)) {
+        switch (static_cast<Cop0Funct>(bits(raw, 5, 0))) {
+          case Cop0Funct::Tlbr:  return Op::Tlbr;
+          case Cop0Funct::Tlbwi: return Op::Tlbwi;
+          case Cop0Funct::Tlbwr: return Op::Tlbwr;
+          case Cop0Funct::Tlbp:  return Op::Tlbp;
+          case Cop0Funct::Rfe:   return Op::Rfe;
+          default:               return Op::Invalid;
+        }
+    }
+    switch (static_cast<Cop0Rs>(bits(raw, 25, 21))) {
+      case Cop0Rs::Mfc0: return Op::Mfc0;
+      case Cop0Rs::Mtc0: return Op::Mtc0;
+      default:           return Op::Invalid;
+    }
+}
+
+Op
+decodeCop3(Word raw)
+{
+    if (bit(raw, 25)) {
+        switch (static_cast<Cop3Funct>(bits(raw, 5, 0))) {
+          case Cop3Funct::Xret: return Op::Xret;
+          default:              return Op::Invalid;
+        }
+    }
+    switch (static_cast<Cop3Rs>(bits(raw, 25, 21))) {
+      case Cop3Rs::Mfux: return Op::Mfux;
+      case Cop3Rs::Mtux: return Op::Mtux;
+      default:           return Op::Invalid;
+    }
+}
+
+} // namespace
+
+bool
+DecodedInst::isControl() const
+{
+    switch (op) {
+      case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
+      case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz:
+      case Op::Bltz: case Op::Bgez: case Op::Bltzal: case Op::Bgezal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::isMemory() const
+{
+    switch (op) {
+      case Op::Lb: case Op::Lbu: case Op::Lh: case Op::Lhu: case Op::Lw:
+      case Op::Sb: case Op::Sh: case Op::Sw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::isStore() const
+{
+    switch (op) {
+      case Op::Sb: case Op::Sh: case Op::Sw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::isPrivileged() const
+{
+    switch (op) {
+      case Op::Mfc0: case Op::Mtc0:
+      case Op::Tlbr: case Op::Tlbwi: case Op::Tlbwr: case Op::Tlbp:
+      case Op::Rfe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+DecodedInst
+decode(Word raw)
+{
+    DecodedInst inst;
+    inst.raw = raw;
+    inst.rs = bits(raw, 25, 21);
+    inst.rt = bits(raw, 20, 16);
+    inst.rd = bits(raw, 15, 11);
+    inst.shamt = bits(raw, 10, 6);
+    inst.imm = bits(raw, 15, 0);
+    inst.simm = signExtend(inst.imm, 16);
+    inst.target = bits(raw, 25, 0);
+
+    switch (static_cast<Opcode>(bits(raw, 31, 26))) {
+      case Opcode::Special: inst.op = decodeSpecial(raw); break;
+      case Opcode::RegImm:  inst.op = decodeRegImm(raw); break;
+      case Opcode::J:       inst.op = Op::J; break;
+      case Opcode::Jal:     inst.op = Op::Jal; break;
+      case Opcode::Beq:     inst.op = Op::Beq; break;
+      case Opcode::Bne:     inst.op = Op::Bne; break;
+      case Opcode::Blez:    inst.op = Op::Blez; break;
+      case Opcode::Bgtz:    inst.op = Op::Bgtz; break;
+      case Opcode::Addi:    inst.op = Op::Addi; break;
+      case Opcode::Addiu:   inst.op = Op::Addiu; break;
+      case Opcode::Slti:    inst.op = Op::Slti; break;
+      case Opcode::Sltiu:   inst.op = Op::Sltiu; break;
+      case Opcode::Andi:    inst.op = Op::Andi; break;
+      case Opcode::Ori:     inst.op = Op::Ori; break;
+      case Opcode::Xori:    inst.op = Op::Xori; break;
+      case Opcode::Lui:     inst.op = Op::Lui; break;
+      case Opcode::Cop0:    inst.op = decodeCop0(raw); break;
+      case Opcode::Cop3:    inst.op = decodeCop3(raw); break;
+      case Opcode::Lb:      inst.op = Op::Lb; break;
+      case Opcode::Lh:      inst.op = Op::Lh; break;
+      case Opcode::Lw:      inst.op = Op::Lw; break;
+      case Opcode::Lbu:     inst.op = Op::Lbu; break;
+      case Opcode::Lhu:     inst.op = Op::Lhu; break;
+      case Opcode::Sb:      inst.op = Op::Sb; break;
+      case Opcode::Sh:      inst.op = Op::Sh; break;
+      case Opcode::Sw:      inst.op = Op::Sw; break;
+      case Opcode::Tlbmp:   inst.op = Op::Tlbmp; break;
+      case Opcode::Hcall:   inst.op = Op::Hcall; break;
+      default:              inst.op = Op::Invalid; break;
+    }
+    return inst;
+}
+
+const char *
+regName(unsigned reg)
+{
+    if (reg >= NumRegs)
+        UEXC_PANIC("register number %u out of range", reg);
+    return kRegNames[reg];
+}
+
+std::string
+disassemble(const DecodedInst &inst)
+{
+    return disassemble(inst, 0);
+}
+
+std::string
+disassemble(const DecodedInst &inst, Addr pc)
+{
+    using detail::formatString;
+    const char *rs = regName(inst.rs);
+    const char *rt = regName(inst.rt);
+    const char *rd = regName(inst.rd);
+    SWord simm = static_cast<SWord>(inst.simm);
+    Addr btarget = pc + 4 + (inst.simm << 2);
+    Addr jtarget = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+
+    switch (inst.op) {
+      case Op::Sll:
+        if (inst.raw == 0)
+            return "nop";
+        return formatString("sll %s, %s, %u", rd, rt, inst.shamt);
+      case Op::Srl:  return formatString("srl %s, %s, %u", rd, rt,
+                                         inst.shamt);
+      case Op::Sra:  return formatString("sra %s, %s, %u", rd, rt,
+                                         inst.shamt);
+      case Op::Sllv: return formatString("sllv %s, %s, %s", rd, rt, rs);
+      case Op::Srlv: return formatString("srlv %s, %s, %s", rd, rt, rs);
+      case Op::Srav: return formatString("srav %s, %s, %s", rd, rt, rs);
+      case Op::Add:  return formatString("add %s, %s, %s", rd, rs, rt);
+      case Op::Addu: return formatString("addu %s, %s, %s", rd, rs, rt);
+      case Op::Sub:  return formatString("sub %s, %s, %s", rd, rs, rt);
+      case Op::Subu: return formatString("subu %s, %s, %s", rd, rs, rt);
+      case Op::And:  return formatString("and %s, %s, %s", rd, rs, rt);
+      case Op::Or:   return formatString("or %s, %s, %s", rd, rs, rt);
+      case Op::Xor:  return formatString("xor %s, %s, %s", rd, rs, rt);
+      case Op::Nor:  return formatString("nor %s, %s, %s", rd, rs, rt);
+      case Op::Slt:  return formatString("slt %s, %s, %s", rd, rs, rt);
+      case Op::Sltu: return formatString("sltu %s, %s, %s", rd, rs, rt);
+      case Op::Mult: return formatString("mult %s, %s", rs, rt);
+      case Op::Multu:return formatString("multu %s, %s", rs, rt);
+      case Op::Div:  return formatString("div %s, %s", rs, rt);
+      case Op::Divu: return formatString("divu %s, %s", rs, rt);
+      case Op::Mfhi: return formatString("mfhi %s", rd);
+      case Op::Mthi: return formatString("mthi %s", rs);
+      case Op::Mflo: return formatString("mflo %s", rd);
+      case Op::Mtlo: return formatString("mtlo %s", rs);
+      case Op::Addi: return formatString("addi %s, %s, %d", rt, rs, simm);
+      case Op::Addiu:return formatString("addiu %s, %s, %d", rt, rs, simm);
+      case Op::Slti: return formatString("slti %s, %s, %d", rt, rs, simm);
+      case Op::Sltiu:return formatString("sltiu %s, %s, %d", rt, rs, simm);
+      case Op::Andi: return formatString("andi %s, %s, 0x%x", rt, rs,
+                                         inst.imm);
+      case Op::Ori:  return formatString("ori %s, %s, 0x%x", rt, rs,
+                                         inst.imm);
+      case Op::Xori: return formatString("xori %s, %s, 0x%x", rt, rs,
+                                         inst.imm);
+      case Op::Lui:  return formatString("lui %s, 0x%x", rt, inst.imm);
+      case Op::J:    return formatString("j 0x%08x", jtarget);
+      case Op::Jal:  return formatString("jal 0x%08x", jtarget);
+      case Op::Jr:   return formatString("jr %s", rs);
+      case Op::Jalr: return formatString("jalr %s, %s", rd, rs);
+      case Op::Beq:  return formatString("beq %s, %s, 0x%08x", rs, rt,
+                                         btarget);
+      case Op::Bne:  return formatString("bne %s, %s, 0x%08x", rs, rt,
+                                         btarget);
+      case Op::Blez: return formatString("blez %s, 0x%08x", rs, btarget);
+      case Op::Bgtz: return formatString("bgtz %s, 0x%08x", rs, btarget);
+      case Op::Bltz: return formatString("bltz %s, 0x%08x", rs, btarget);
+      case Op::Bgez: return formatString("bgez %s, 0x%08x", rs, btarget);
+      case Op::Bltzal: return formatString("bltzal %s, 0x%08x", rs,
+                                           btarget);
+      case Op::Bgezal: return formatString("bgezal %s, 0x%08x", rs,
+                                           btarget);
+      case Op::Lb:   return formatString("lb %s, %d(%s)", rt, simm, rs);
+      case Op::Lbu:  return formatString("lbu %s, %d(%s)", rt, simm, rs);
+      case Op::Lh:   return formatString("lh %s, %d(%s)", rt, simm, rs);
+      case Op::Lhu:  return formatString("lhu %s, %d(%s)", rt, simm, rs);
+      case Op::Lw:   return formatString("lw %s, %d(%s)", rt, simm, rs);
+      case Op::Sb:   return formatString("sb %s, %d(%s)", rt, simm, rs);
+      case Op::Sh:   return formatString("sh %s, %d(%s)", rt, simm, rs);
+      case Op::Sw:   return formatString("sw %s, %d(%s)", rt, simm, rs);
+      case Op::Syscall: return "syscall";
+      case Op::Break:
+        return formatString("break 0x%x", bits(inst.raw, 25, 6));
+      case Op::Mfc0: return formatString("mfc0 %s, $%u", rt, inst.rd);
+      case Op::Mtc0: return formatString("mtc0 %s, $%u", rt, inst.rd);
+      case Op::Tlbr:  return "tlbr";
+      case Op::Tlbwi: return "tlbwi";
+      case Op::Tlbwr: return "tlbwr";
+      case Op::Tlbp:  return "tlbp";
+      case Op::Rfe:   return "rfe";
+      case Op::Mfux:  return formatString("mfux %s, $ux%u", rt, inst.rd);
+      case Op::Mtux:  return formatString("mtux %s, $ux%u", rt, inst.rd);
+      case Op::Xret:  return "xret";
+      case Op::Tlbmp: return formatString("tlbmp %s, %s", rs, rt);
+      case Op::Hcall:
+        return formatString("hcall 0x%x", inst.target);
+      case Op::Invalid:
+        return formatString(".word 0x%08x", inst.raw);
+    }
+    return formatString(".word 0x%08x", inst.raw);
+}
+
+} // namespace uexc::sim

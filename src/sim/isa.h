@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Instruction-set definition for the simulated CPU.
+ *
+ * The ISA is a faithful subset of MIPS-I (R3000): real 32-bit
+ * encodings, the standard three formats (R/I/J), branch delay slots,
+ * and the CP0/TLB management instructions (mfc0, mtc0, tlbr, tlbwi,
+ * tlbwr, tlbp, rfe).
+ *
+ * Three extensions, all in opcode slots unused by MIPS-I, implement
+ * the architectural proposals of Thekkath & Levy (ASPLOS '94):
+ *
+ *  - TLBMP (opcode 0x3a): user-level TLB protection modification.
+ *    Modifies only the V/D protection bits of the matching TLB entry,
+ *    and only if the kernel set that entry's U (user-modifiable) bit.
+ *    When the machine is configured without this hardware feature the
+ *    instruction raises Reserved Instruction and the kernel emulates
+ *    it (the paper's software fallback, section 3.2.3).
+ *
+ *  - COP3 (opcode 0x13): the Tera-style user exception architecture
+ *    (section 2.1/2.2): mfux/mtux move between general registers and
+ *    the user exception register file (exception target, condition,
+ *    saved PC, and six scratch registers), and xret returns from a
+ *    user-vectored exception.
+ *
+ *  - HCALL (opcode 0x3b): a simulator pseudo-op (gem5 m5op style) that
+ *    invokes a registered host service; used to bridge guest code to
+ *    host-side kernel services and application handlers with an
+ *    explicit simulated-cycle charge.
+ */
+
+#ifndef UEXC_SIM_ISA_H
+#define UEXC_SIM_ISA_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace uexc::sim {
+
+/** Architectural general-purpose register numbers (MIPS ABI names). */
+enum Reg : unsigned
+{
+    Zero = 0, AT = 1,
+    V0 = 2, V1 = 3,
+    A0 = 4, A1 = 5, A2 = 6, A3 = 7,
+    T0 = 8, T1 = 9, T2 = 10, T3 = 11,
+    T4 = 12, T5 = 13, T6 = 14, T7 = 15,
+    S0 = 16, S1 = 17, S2 = 18, S3 = 19,
+    S4 = 20, S5 = 21, S6 = 22, S7 = 23,
+    T8 = 24, T9 = 25,
+    K0 = 26, K1 = 27,
+    GP = 28, SP = 29, FP = 30, RA = 31,
+};
+
+/** Number of general-purpose registers. */
+constexpr unsigned NumRegs = 32;
+
+/** Primary opcode field values (instruction bits [31:26]). */
+enum class Opcode : unsigned
+{
+    Special = 0x00,
+    RegImm  = 0x01,
+    J       = 0x02,
+    Jal     = 0x03,
+    Beq     = 0x04,
+    Bne     = 0x05,
+    Blez    = 0x06,
+    Bgtz    = 0x07,
+    Addi    = 0x08,
+    Addiu   = 0x09,
+    Slti    = 0x0a,
+    Sltiu   = 0x0b,
+    Andi    = 0x0c,
+    Ori     = 0x0d,
+    Xori    = 0x0e,
+    Lui     = 0x0f,
+    Cop0    = 0x10,
+    Cop3    = 0x13,   ///< extension: user exception architecture
+    Lb      = 0x20,
+    Lh      = 0x21,
+    Lw      = 0x23,
+    Lbu     = 0x24,
+    Lhu     = 0x25,
+    Sb      = 0x28,
+    Sh      = 0x29,
+    Sw      = 0x2b,
+    Tlbmp   = 0x3a,   ///< extension: user TLB protection modify
+    Hcall   = 0x3b,   ///< extension: host service call
+};
+
+/** SPECIAL-opcode function field values (bits [5:0]). */
+enum class Funct : unsigned
+{
+    Sll     = 0x00,
+    Srl     = 0x02,
+    Sra     = 0x03,
+    Sllv    = 0x04,
+    Srlv    = 0x06,
+    Srav    = 0x07,
+    Jr      = 0x08,
+    Jalr    = 0x09,
+    Syscall = 0x0c,
+    Break   = 0x0d,
+    Mfhi    = 0x10,
+    Mthi    = 0x11,
+    Mflo    = 0x12,
+    Mtlo    = 0x13,
+    Mult    = 0x18,
+    Multu   = 0x19,
+    Div     = 0x1a,
+    Divu    = 0x1b,
+    Add     = 0x20,
+    Addu    = 0x21,
+    Sub     = 0x22,
+    Subu    = 0x23,
+    And     = 0x24,
+    Or      = 0x25,
+    Xor     = 0x26,
+    Nor     = 0x27,
+    Slt     = 0x2a,
+    Sltu    = 0x2b,
+};
+
+/** REGIMM rt-field values. */
+enum class RegImmOp : unsigned
+{
+    Bltz   = 0x00,
+    Bgez   = 0x01,
+    Bltzal = 0x10,
+    Bgezal = 0x11,
+};
+
+/** COP0 rs-field values (when bit 25, CO, is clear). */
+enum class Cop0Rs : unsigned
+{
+    Mfc0 = 0x00,
+    Mtc0 = 0x04,
+};
+
+/** COP0 function field values (when the CO bit is set). */
+enum class Cop0Funct : unsigned
+{
+    Tlbr  = 0x01,
+    Tlbwi = 0x02,
+    Tlbwr = 0x06,
+    Tlbp  = 0x08,
+    Rfe   = 0x10,
+};
+
+/** COP3 rs-field values (extension, CO clear): user-exception moves. */
+enum class Cop3Rs : unsigned
+{
+    Mfux = 0x00,  ///< rt := user-exception register rd
+    Mtux = 0x04,  ///< user-exception register rd := rt
+};
+
+/** COP3 function field values (CO set). */
+enum class Cop3Funct : unsigned
+{
+    Xret = 0x01,  ///< return from user-vectored exception
+};
+
+/**
+ * User exception register file indices (the Tera-style per-thread
+ * exception state of section 2.1).
+ */
+enum class UxReg : unsigned
+{
+    Target  = 0,  ///< handler entry point, loaded by user software
+    Cond    = 1,  ///< exception condition (cause code, BD flag)
+    Epc     = 2,  ///< PC at the time of the exception
+    BadAddr = 3,  ///< faulting address for memory exceptions
+    Scratch0 = 4, ///< six scratch registers the handler may use
+    Scratch1 = 5,
+    Scratch2 = 6,
+    Scratch3 = 7,
+    Scratch4 = 8,
+    Scratch5 = 9,
+};
+
+/** Number of user exception registers. */
+constexpr unsigned NumUxRegs = 10;
+
+/**
+ * Symbolic operation kind, resolved from the opcode/funct fields by
+ * decode(). One enumerator per executable operation.
+ */
+enum class Op : unsigned
+{
+    Invalid,
+    // arithmetic / logical, register form
+    Sll, Srl, Sra, Sllv, Srlv, Srav,
+    Add, Addu, Sub, Subu,
+    And, Or, Xor, Nor, Slt, Sltu,
+    Mult, Multu, Div, Divu, Mfhi, Mthi, Mflo, Mtlo,
+    // arithmetic / logical, immediate form
+    Addi, Addiu, Slti, Sltiu, Andi, Ori, Xori, Lui,
+    // control transfer
+    J, Jal, Jr, Jalr,
+    Beq, Bne, Blez, Bgtz, Bltz, Bgez, Bltzal, Bgezal,
+    // memory
+    Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw,
+    // traps
+    Syscall, Break,
+    // CP0 / TLB
+    Mfc0, Mtc0, Tlbr, Tlbwi, Tlbwr, Tlbp, Rfe,
+    // extensions
+    Mfux, Mtux, Xret, Tlbmp, Hcall,
+};
+
+/**
+ * A decoded instruction: the raw word plus all fields and the resolved
+ * operation kind.
+ */
+struct DecodedInst
+{
+    Word raw = 0;       ///< original instruction word
+    Op op = Op::Invalid;
+    unsigned rs = 0;    ///< bits [25:21]
+    unsigned rt = 0;    ///< bits [20:16]
+    unsigned rd = 0;    ///< bits [15:11]
+    unsigned shamt = 0; ///< bits [10:6]
+    Word imm = 0;       ///< bits [15:0], zero-extended
+    Word simm = 0;      ///< bits [15:0], sign-extended to 32 bits
+    Word target = 0;    ///< bits [25:0] (J-format target field)
+
+    /** Whether this instruction is a branch or jump (has a delay slot). */
+    bool isControl() const;
+    /** Whether this instruction reads or writes memory. */
+    bool isMemory() const;
+    /** Whether this instruction writes memory. */
+    bool isStore() const;
+    /** Whether this instruction is privileged (kernel-mode only). */
+    bool isPrivileged() const;
+};
+
+/**
+ * Decode a raw instruction word.
+ *
+ * Unrecognized encodings decode to Op::Invalid; executing them raises
+ * a Reserved Instruction exception, which is itself meaningful (the
+ * kernel-emulated TLBMP path relies on it).
+ */
+DecodedInst decode(Word raw);
+
+/** Render a decoded instruction as human-readable assembly text. */
+std::string disassemble(const DecodedInst &inst);
+
+/** Render the instruction at @p pc (for PC-relative branch targets). */
+std::string disassemble(const DecodedInst &inst, Addr pc);
+
+/** The canonical ABI name ("v0", "sp", ...) of a register. */
+const char *regName(unsigned reg);
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_ISA_H

@@ -1,0 +1,68 @@
+#include "sim/machine.h"
+
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      mem_(std::make_unique<PhysMemory>(config.memBytes)),
+      cpu_(std::make_unique<Cpu>(*mem_, config.cpu))
+{
+}
+
+Addr
+Machine::unmappedToPhys(Addr vaddr)
+{
+    if (vaddr >= Cpu::Kseg0Base && vaddr < Cpu::Kseg1Base)
+        return vaddr - Cpu::Kseg0Base;
+    if (vaddr >= Cpu::Kseg1Base && vaddr < Cpu::Kseg2Base)
+        return vaddr - Cpu::Kseg1Base;
+    return vaddr;
+}
+
+void
+Machine::load(const Program &program)
+{
+    Addr paddr = unmappedToPhys(program.origin);
+    if (paddr + 4 * program.words.size() > mem_->size())
+        UEXC_FATAL("program at 0x%08x (%zu words) exceeds physical "
+                   "memory", program.origin, program.words.size());
+    mem_->writeBlock(paddr, program.words.data(),
+                     4 * program.words.size());
+    for (const auto &[name, addr] : program.symbols) {
+        if (symbols_.count(name) && symbols_[name] != addr)
+            UEXC_FATAL("machine: conflicting definitions of symbol "
+                       "'%s'", name.c_str());
+        symbols_[name] = addr;
+    }
+}
+
+Addr
+Machine::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        UEXC_FATAL("machine: unknown symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Machine::hasSymbol(const std::string &name) const
+{
+    return symbols_.count(name) != 0;
+}
+
+Word
+Machine::debugReadWord(Addr addr) const
+{
+    return mem_->readWord(unmappedToPhys(addr));
+}
+
+void
+Machine::debugWriteWord(Addr addr, Word value)
+{
+    mem_->writeWord(unmappedToPhys(addr), value);
+}
+
+} // namespace uexc::sim

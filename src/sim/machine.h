@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Machine composition: physical memory plus CPU, with program-loading
+ * and symbol lookup conveniences. Everything above the sim layer (the
+ * simulated OS, the runtime, the applications) talks to a Machine.
+ */
+
+#ifndef UEXC_SIM_MACHINE_H
+#define UEXC_SIM_MACHINE_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "sim/assembler.h"
+#include "sim/cpu.h"
+#include "sim/memory.h"
+
+namespace uexc::sim {
+
+/** Machine-wide configuration. */
+struct MachineConfig
+{
+    /** Physical memory size in bytes. */
+    std::size_t memBytes = 32 * 1024 * 1024;
+    CpuConfig cpu;
+};
+
+/**
+ * A complete simulated machine.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig());
+
+    Cpu &cpu() { return *cpu_; }
+    const Cpu &cpu() const { return *cpu_; }
+    PhysMemory &mem() { return *mem_; }
+    const MachineConfig &config() const { return config_; }
+
+    /**
+     * Load a finalized program image. The program's origin may be a
+     * kseg0/kseg1 virtual address (translated to physical directly)
+     * or a physical address below the memory size.
+     *
+     * The program's symbols are merged into the machine symbol table.
+     */
+    void load(const Program &program);
+
+    /** Look up a loaded symbol; fatal if absent. */
+    Addr symbol(const std::string &name) const;
+    bool hasSymbol(const std::string &name) const;
+
+    /** Convert a kseg0/kseg1 virtual address to physical. */
+    static Addr unmappedToPhys(Addr vaddr);
+
+    /**
+     * Direct (host) read/write of memory by kseg0/kseg1/physical
+     * address, bypassing translation and cost modeling. For loaders
+     * and test assertions only.
+     */
+    Word debugReadWord(Addr addr) const;
+    void debugWriteWord(Addr addr, Word value);
+
+  private:
+    MachineConfig config_;
+    std::unique_ptr<PhysMemory> mem_;
+    std::unique_ptr<Cpu> cpu_;
+    std::map<std::string, Addr> symbols_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_MACHINE_H

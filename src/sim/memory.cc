@@ -1,0 +1,103 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+PhysMemory::PhysMemory(std::size_t size)
+    : data_(size, 0)
+{
+    if (size == 0 || size % 4 != 0)
+        UEXC_FATAL("physical memory size %zu is not a positive word "
+                   "multiple", size);
+}
+
+void
+PhysMemory::check(Addr paddr, unsigned access_size) const
+{
+    if (paddr + access_size > data_.size() || paddr + access_size < paddr)
+        UEXC_PANIC("physical access at 0x%08x size %u out of range "
+                   "(memory is %zu bytes)", paddr, access_size,
+                   data_.size());
+    if (!isAligned(paddr, access_size))
+        UEXC_PANIC("unaligned physical access at 0x%08x size %u "
+                   "(CPU must raise AdEL/AdES before memory access)",
+                   paddr, access_size);
+}
+
+Word
+PhysMemory::readWord(Addr paddr) const
+{
+    check(paddr, 4);
+    Word value;
+    std::memcpy(&value, &data_[paddr], 4);
+    return value;
+}
+
+Half
+PhysMemory::readHalf(Addr paddr) const
+{
+    check(paddr, 2);
+    Half value;
+    std::memcpy(&value, &data_[paddr], 2);
+    return value;
+}
+
+Byte
+PhysMemory::readByte(Addr paddr) const
+{
+    check(paddr, 1);
+    return data_[paddr];
+}
+
+void
+PhysMemory::writeWord(Addr paddr, Word value)
+{
+    check(paddr, 4);
+    std::memcpy(&data_[paddr], &value, 4);
+}
+
+void
+PhysMemory::writeHalf(Addr paddr, Half value)
+{
+    check(paddr, 2);
+    std::memcpy(&data_[paddr], &value, 2);
+}
+
+void
+PhysMemory::writeByte(Addr paddr, Byte value)
+{
+    check(paddr, 1);
+    data_[paddr] = value;
+}
+
+void
+PhysMemory::writeBlock(Addr paddr, const void *src, std::size_t bytes)
+{
+    if (paddr + bytes > data_.size())
+        UEXC_PANIC("block write at 0x%08x size %zu out of range",
+                   paddr, bytes);
+    std::memcpy(&data_[paddr], src, bytes);
+}
+
+void
+PhysMemory::readBlock(Addr paddr, void *dst, std::size_t bytes) const
+{
+    if (paddr + bytes > data_.size())
+        UEXC_PANIC("block read at 0x%08x size %zu out of range",
+                   paddr, bytes);
+    std::memcpy(dst, &data_[paddr], bytes);
+}
+
+void
+PhysMemory::clearRange(Addr paddr, std::size_t bytes)
+{
+    if (paddr + bytes > data_.size())
+        UEXC_PANIC("clear at 0x%08x size %zu out of range", paddr, bytes);
+    std::memset(&data_[paddr], 0, bytes);
+}
+
+} // namespace uexc::sim

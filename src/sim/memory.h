@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical memory of the simulated machine: a flat byte array with
+ * word/half/byte accessors. All addresses here are *physical*; the CPU
+ * performs virtual-to-physical translation (segment decoding and TLB
+ * lookup) before touching this object.
+ */
+
+#ifndef UEXC_SIM_MEMORY_H
+#define UEXC_SIM_MEMORY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uexc::sim {
+
+/**
+ * Flat physical memory. Accesses must be in range and naturally
+ * aligned; violations are uexc bugs (the CPU checks alignment and
+ * raises guest exceptions before calling in here).
+ */
+class PhysMemory
+{
+  public:
+    /** Construct @p size bytes of zeroed memory (word multiple). */
+    explicit PhysMemory(std::size_t size);
+
+    std::size_t size() const { return data_.size(); }
+
+    Word readWord(Addr paddr) const;
+    Half readHalf(Addr paddr) const;
+    Byte readByte(Addr paddr) const;
+
+    void writeWord(Addr paddr, Word value);
+    void writeHalf(Addr paddr, Half value);
+    void writeByte(Addr paddr, Byte value);
+
+    /** Bulk copy into memory (for program loading). */
+    void writeBlock(Addr paddr, const void *src, std::size_t bytes);
+    /** Bulk copy out of memory. */
+    void readBlock(Addr paddr, void *dst, std::size_t bytes) const;
+
+    /** Zero a range. */
+    void clearRange(Addr paddr, std::size_t bytes);
+
+  private:
+    void check(Addr paddr, unsigned access_size) const;
+
+    std::vector<Byte> data_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_MEMORY_H

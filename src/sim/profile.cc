@@ -1,0 +1,53 @@
+#include "sim/profile.h"
+
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+void
+PhaseProfiler::addPhase(const std::string &name, Addr begin, Addr end)
+{
+    if (end < begin)
+        UEXC_FATAL("profiler: phase '%s' has end < begin", name.c_str());
+    PhaseStats ps;
+    ps.name = name;
+    ps.begin = begin;
+    ps.end = end;
+    phases_.push_back(ps);
+}
+
+void
+PhaseProfiler::onInst(Addr pc, const DecodedInst &inst, Cycles cost)
+{
+    (void)inst;
+    for (PhaseStats &ps : phases_) {
+        if (pc >= ps.begin && pc < ps.end) {
+            ps.instructions++;
+            ps.cycles += cost;
+            return;
+        }
+    }
+    unattributed_++;
+}
+
+void
+PhaseProfiler::onException(ExcCode code, Addr epc, Addr vector)
+{
+    (void)code;
+    (void)epc;
+    (void)vector;
+    exceptions_++;
+}
+
+void
+PhaseProfiler::clearCounts()
+{
+    for (PhaseStats &ps : phases_) {
+        ps.instructions = 0;
+        ps.cycles = 0;
+    }
+    unattributed_ = 0;
+    exceptions_ = 0;
+}
+
+} // namespace uexc::sim

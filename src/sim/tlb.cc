@@ -1,0 +1,88 @@
+#include "sim/tlb.h"
+
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+Tlb::Tlb()
+{
+    flush();
+}
+
+std::optional<unsigned>
+Tlb::probe(Addr vaddr, unsigned asid)
+{
+    stats_.lookups++;
+    auto hit = probeQuiet(vaddr, asid);
+    if (!hit)
+        stats_.misses++;
+    return hit;
+}
+
+std::optional<unsigned>
+Tlb::probeQuiet(Addr vaddr, unsigned asid) const
+{
+    Word vpn = vaddr & entryhi::VpnMask;
+    for (unsigned i = 0; i < NumEntries; i++) {
+        const TlbEntry &e = entries_[i];
+        if (e.vpn() == vpn && (e.global() || e.asid() == asid))
+            return i;
+    }
+    return std::nullopt;
+}
+
+const TlbEntry &
+Tlb::entry(unsigned index) const
+{
+    if (index >= NumEntries)
+        UEXC_PANIC("tlb: index %u out of range", index);
+    return entries_[index];
+}
+
+void
+Tlb::setEntry(unsigned index, Word hi, Word lo)
+{
+    if (index >= NumEntries)
+        UEXC_PANIC("tlb: index %u out of range", index);
+    entries_[index].hi = hi;
+    entries_[index].lo = lo;
+}
+
+void
+Tlb::invalidate(Addr vaddr, unsigned asid)
+{
+    // Remove the entry entirely (park it on an impossible VPN) so the
+    // next access takes the refill path and reloads the page table
+    // entry, rather than hitting a stale valid/dirty combination.
+    auto hit = probeQuiet(vaddr, asid);
+    if (hit) {
+        entries_[*hit].hi = 0x80000000u | (*hit << 12);
+        entries_[*hit].lo = 0;
+    }
+}
+
+void
+Tlb::invalidateAsid(unsigned asid)
+{
+    for (unsigned i = 0; i < NumEntries; i++) {
+        TlbEntry &e = entries_[i];
+        if (!e.global() && e.asid() == asid) {
+            e.hi = 0x80000000u | (i << 12);
+            e.lo = 0;
+        }
+    }
+}
+
+void
+Tlb::flush()
+{
+    unsigned i = 0;
+    for (TlbEntry &e : entries_) {
+        // Park each invalid entry on a distinct impossible VPN (in
+        // kseg space) so flushed entries never alias a kuseg lookup.
+        e.hi = 0x80000000u | (i++ << 12);
+        e.lo = 0;
+    }
+}
+
+} // namespace uexc::sim

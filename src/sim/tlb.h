@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The software-managed translation lookaside buffer.
+ *
+ * 64 fully-associative entries in R3000 EntryHi/EntryLo format, with
+ * ASID tags and the extension U ("user protection modifiable") bit in
+ * EntryLo. Entries 0-7 are wired (never chosen by tlbwr); the kernel
+ * uses them for pinned mappings such as the user exception frame page
+ * (paper section 3.2).
+ */
+
+#ifndef UEXC_SIM_TLB_H
+#define UEXC_SIM_TLB_H
+
+#include <array>
+#include <optional>
+
+#include "common/types.h"
+#include "sim/cp0.h"
+
+namespace uexc::sim {
+
+/** One TLB entry, exactly the two architectural words. */
+struct TlbEntry
+{
+    Word hi = 0;   ///< VPN | ASID
+    Word lo = 0;   ///< PFN | N | D | V | G | U
+
+    Word vpn() const { return hi & entryhi::VpnMask; }
+    unsigned asid() const
+    {
+        return (hi & entryhi::AsidMask) >> entryhi::AsidShift;
+    }
+    Word pfn() const { return lo & entrylo::PfnMask; }
+    bool valid() const { return lo & entrylo::V; }
+    bool dirty() const { return lo & entrylo::D; }
+    bool global() const { return lo & entrylo::G; }
+    bool userModifiable() const { return lo & entrylo::U; }
+    bool cacheable() const { return !(lo & entrylo::N); }
+};
+
+/** TLB statistics. */
+struct TlbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * The TLB proper. The CPU drives it for translation and for the
+ * tlbr/tlbwi/tlbwr/tlbp instructions; the kernel manipulates it only
+ * through those instructions (plus invalidation helpers used by the
+ * host-side kernel services, standing in for the handful of kernel
+ * TLB loops we do not write in guest assembly).
+ */
+class Tlb
+{
+  public:
+    /** Number of entries (R3000). */
+    static constexpr unsigned NumEntries = 64;
+    /** Entries below this index are never replaced by tlbwr. */
+    static constexpr unsigned WiredEntries = 8;
+
+    Tlb();
+
+    /**
+     * Find the entry matching @p vaddr under @p asid (VPN match and
+     * ASID match-or-global).
+     *
+     * @return entry index, or nullopt on miss
+     */
+    std::optional<unsigned> probe(Addr vaddr, unsigned asid);
+
+    /** probe() without statistics update (for tlbp and host peeks). */
+    std::optional<unsigned> probeQuiet(Addr vaddr, unsigned asid) const;
+
+    const TlbEntry &entry(unsigned index) const;
+    void setEntry(unsigned index, Word hi, Word lo);
+
+    /**
+     * Clear the valid bit of any entry mapping @p vaddr under
+     * @p asid (kernel shootdown after a protection change).
+     */
+    void invalidate(Addr vaddr, unsigned asid);
+
+    /** Invalidate every non-global entry with the given ASID. */
+    void invalidateAsid(unsigned asid);
+
+    /** Invalidate everything. */
+    void flush();
+
+    const TlbStats &stats() const { return stats_; }
+    void clearStats() { stats_ = TlbStats(); }
+
+  private:
+    std::array<TlbEntry, NumEntries> entries_;
+    TlbStats stats_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_TLB_H

@@ -1,0 +1,42 @@
+#include "sim/trace.h"
+
+#include "common/logging.h"
+
+namespace uexc::sim {
+
+TraceObserver::TraceObserver(const Cpu &cpu, Sink sink)
+    : cpu_(cpu), sink_(std::move(sink))
+{
+    if (!sink_)
+        UEXC_FATAL("trace observer needs a sink");
+}
+
+void
+TraceObserver::onInst(Addr pc, const DecodedInst &inst, Cycles cost)
+{
+    bool kernel_pc = pc >= Cpu::Kseg0Base;
+    if (kernelOnly_ && !kernel_pc)
+        return;
+    if (userOnly_ && kernel_pc)
+        return;
+    if (limit_ && lines_ >= limit_)
+        return;
+    lines_++;
+    sink_(detail::formatString("[%c] %08x  %-32s ; %llu cyc",
+                               kernel_pc ? 'K' : 'U', pc,
+                               disassemble(inst, pc).c_str(),
+                               static_cast<unsigned long long>(cost)));
+}
+
+void
+TraceObserver::onException(ExcCode code, Addr epc, Addr vector)
+{
+    if (limit_ && lines_ >= limit_)
+        return;
+    lines_++;
+    sink_(detail::formatString("== exception %s epc=%08x -> "
+                               "vector %08x", excName(code), epc,
+                               vector));
+}
+
+} // namespace uexc::sim

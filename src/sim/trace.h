@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Instruction tracing: an InstObserver that renders every retired
+ * instruction (and every exception) to a stream, with mode
+ * annotation and optional kernel/user filtering. The debugging
+ * companion to the PhaseProfiler — this is how the kernel dispatch
+ * paths in this repository were brought up.
+ */
+
+#ifndef UEXC_SIM_TRACE_H
+#define UEXC_SIM_TRACE_H
+
+#include <functional>
+#include <string>
+
+#include "sim/cpu.h"
+
+namespace uexc::sim {
+
+/**
+ * Streaming trace observer. Install with Cpu::setObserver(); every
+ * retired instruction produces one line:
+ *
+ *     [K] 80000080  mfc0 k0, $13
+ *     [U] 00400010  lw t7, 2(t6)
+ *     == exception AdEL epc=00400010 -> vector 80000080
+ */
+class TraceObserver : public InstObserver
+{
+  public:
+    /** Receives one formatted line per event (no newline). */
+    using Sink = std::function<void(const std::string &line)>;
+
+    /**
+     * @param cpu   the CPU being observed (for mode annotation)
+     * @param sink  line consumer
+     */
+    TraceObserver(const Cpu &cpu, Sink sink);
+
+    /** Trace only kernel-space (kseg) instructions. */
+    void setKernelOnly(bool enable) { kernelOnly_ = enable; }
+    /** Trace only user-space instructions. */
+    void setUserOnly(bool enable) { userOnly_ = enable; }
+    /** Stop emitting after @p n lines (0 = unlimited). */
+    void setLimit(std::uint64_t n) { limit_ = n; }
+
+    std::uint64_t linesEmitted() const { return lines_; }
+
+    void onInst(Addr pc, const DecodedInst &inst, Cycles cost) override;
+    void onException(ExcCode code, Addr epc, Addr vector) override;
+
+  private:
+    const Cpu &cpu_;
+    Sink sink_;
+    bool kernelOnly_ = false;
+    bool userOnly_ = false;
+    std::uint64_t limit_ = 0;
+    std::uint64_t lines_ = 0;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_TRACE_H

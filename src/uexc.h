@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Umbrella header for the uexc library: everything a downstream user
+ * needs to build on fast user-level exception handling.
+ *
+ * The layering, bottom to top:
+ *
+ *   sim::Machine        the R3000-like machine (CPU, TLB, caches)
+ *   os::Kernel          the simulated operating system (boot() it)
+ *   rt::UserEnv         the exception runtime facade: delivery modes,
+ *                       fault handlers, protection and subpage
+ *                       control, user-level TLB modification
+ *   apps::*             exception-driven runtime systems built on the
+ *                       facade: garbage collectors, a persistent
+ *                       object store, lazy structures, watchpoints,
+ *                       distributed shared memory
+ *
+ * Minimal program:
+ * @code
+ *   sim::Machine machine(rt::micro::paperMachineConfig());
+ *   os::Kernel kernel(machine);
+ *   kernel.boot();
+ *   rt::UserEnv env(kernel, rt::DeliveryMode::FastSoftware);
+ *   env.install(0xffff);
+ *   env.setHandler([](rt::Fault &f) { ... });
+ * @endcode
+ */
+
+#ifndef UEXC_UEXC_H
+#define UEXC_UEXC_H
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "common/types.h"
+
+#include "sim/assembler.h"
+#include "sim/machine.h"
+#include "sim/profile.h"
+
+#include "os/kernel.h"
+#include "os/pathmodel.h"
+
+#include "core/env.h"
+#include "core/microbench.h"
+#include "core/stubs.h"
+
+#include "apps/analysis/breakeven.h"
+#include "apps/dsm/dsm.h"
+#include "apps/gc/gc.h"
+#include "apps/gc/incremental.h"
+#include "apps/gc/workloads.h"
+#include "apps/lazy/lazy.h"
+#include "apps/swizzle/swizzler.h"
+#include "apps/txn/txn.h"
+#include "apps/watch/watch.h"
+
+#endif // UEXC_UEXC_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared fixtures for OS-layer and runtime-layer tests: a booted
+ * machine+kernel, optionally with the paper's hardware extensions.
+ */
+
+#ifndef UEXC_TESTS_OS_TEST_UTIL_H
+#define UEXC_TESTS_OS_TEST_UTIL_H
+
+#include "core/env.h"
+#include "os/kernel.h"
+#include "sim/machine.h"
+
+namespace uexc::os::testutil {
+
+inline sim::MachineConfig
+osMachineConfig(bool hw_extensions = false, bool caches = false)
+{
+    sim::MachineConfig cfg;
+    cfg.cpu.userVectorHw = hw_extensions;
+    cfg.cpu.tlbmpHw = hw_extensions;
+    cfg.cpu.cachesEnabled = caches;
+    return cfg;
+}
+
+/** A booted machine + kernel. */
+struct BootedKernel
+{
+    explicit BootedKernel(const sim::MachineConfig &cfg =
+                              osMachineConfig())
+        : machine(cfg), kernel(machine)
+    {
+        kernel.boot();
+    }
+
+    sim::Machine machine;
+    Kernel kernel;
+};
+
+/** The default fast-exception mask used by tests: everything the
+ *  kernel permits (Int and Sys are stripped by uexc_enable). */
+constexpr Word kAllExcMask = 0xffff;
+
+} // namespace uexc::os::testutil
+
+#endif // UEXC_TESTS_OS_TEST_UTIL_H

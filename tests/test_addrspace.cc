@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for AddressSpace: page table writes in guest memory,
+ * protection changes with TLB shootdown, subpage masks, eager
+ * amplification, and the U bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "os/addrspace.h"
+#include "sim/cp0.h"
+
+namespace uexc::os {
+namespace {
+
+using namespace sim;
+
+class AddrSpaceTest : public ::testing::Test
+{
+  protected:
+    AddrSpaceTest()
+        : machine_(), frames_(kUserFrameBase, 0x01000000),
+          as_(machine_, 1, kPageTableArena, frames_)
+    {
+    }
+
+    Machine machine_;
+    FrameAllocator frames_;
+    AddressSpace as_;
+};
+
+TEST_F(AddrSpaceTest, FreshSpaceIsEmpty)
+{
+    EXPECT_FALSE(as_.present(0x00400000));
+    EXPECT_EQ(as_.pte(0x00400000), 0u);
+}
+
+TEST_F(AddrSpaceTest, AllocateMapsPresentWritablePages)
+{
+    as_.allocate(0x00400000, 2 * kPageBytes, kProtRead | kProtWrite);
+    EXPECT_TRUE(as_.present(0x00400000));
+    EXPECT_TRUE(as_.present(0x00401000));
+    EXPECT_FALSE(as_.present(0x00402000));
+    Word pte = as_.pte(0x00400000);
+    EXPECT_TRUE(pte & entrylo::V);
+    EXPECT_TRUE(pte & entrylo::D);
+    EXPECT_TRUE(pte & kPtePresent);
+}
+
+TEST_F(AddrSpaceTest, AllocateUnalignedRangeCoversWholePages)
+{
+    as_.allocate(0x00400ffc, 8, kProtRead | kProtWrite);
+    EXPECT_TRUE(as_.present(0x00400000));
+    EXPECT_TRUE(as_.present(0x00401000));
+}
+
+TEST_F(AddrSpaceTest, FramesAreDistinctAndZeroed)
+{
+    as_.allocate(0x00400000, 2 * kPageBytes, kProtRead | kProtWrite);
+    Addr f0 = as_.frameOf(0x00400000);
+    Addr f1 = as_.frameOf(0x00401000);
+    EXPECT_NE(f0, f1);
+    EXPECT_EQ(machine_.mem().readWord(f0), 0u);
+    EXPECT_EQ(as_.physOf(0x00400abc) & 0xfffu, 0xabcu);
+}
+
+TEST_F(AddrSpaceTest, PageTableLivesInGuestMemoryAtContextSlot)
+{
+    as_.allocate(0x00403000, kPageBytes, kProtRead | kProtWrite);
+    // the refill handler loads PTEBase | (va[30:12] << 2)
+    Addr slot = kPageTableArena + ((0x00403000u >> 12) << 2);
+    EXPECT_EQ(machine_.debugReadWord(slot), as_.pte(0x00403000));
+    EXPECT_NE(machine_.debugReadWord(slot), 0u);
+}
+
+TEST_F(AddrSpaceTest, ProtectReadOnlyClearsDirty)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    unsigned pages = as_.protect(0x00400000, kPageBytes, kProtRead);
+    EXPECT_EQ(pages, 1u);
+    Word pte = as_.pte(0x00400000);
+    EXPECT_TRUE(pte & entrylo::V);
+    EXPECT_FALSE(pte & entrylo::D);
+}
+
+TEST_F(AddrSpaceTest, ProtectNoneClearsValid)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    as_.protect(0x00400000, kPageBytes, 0);
+    Word pte = as_.pte(0x00400000);
+    EXPECT_FALSE(pte & entrylo::V);
+    EXPECT_TRUE(pte & kPtePresent);  // the frame is still there
+}
+
+TEST_F(AddrSpaceTest, ProtectShootsDownTlbEntry)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    // simulate a refill having cached the translation
+    machine_.cpu().tlb().setEntry(
+        9, (0x00400000u & entryhi::VpnMask) | (1u << entryhi::AsidShift),
+        as_.pte(0x00400000));
+    ASSERT_TRUE(machine_.cpu().tlb().probeQuiet(0x00400000, 1));
+    as_.protect(0x00400000, kPageBytes, kProtRead);
+    EXPECT_FALSE(machine_.cpu().tlb().probeQuiet(0x00400000, 1));
+}
+
+TEST_F(AddrSpaceTest, SubpageProtectSetsMaskAndHardwareBits)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    unsigned subs = as_.subpageProtect(0x00400400, kSubpageBytes,
+                                       kProtRead);
+    EXPECT_EQ(subs, 1u);
+    EXPECT_TRUE(as_.subpageActive(0x00400000));
+    EXPECT_EQ(as_.subpageMask(0x00400000), 0b0010u);
+    Word pte = as_.pte(0x00400000);
+    EXPECT_TRUE(pte & entrylo::V);
+    EXPECT_FALSE(pte & entrylo::D);  // writes must trap
+}
+
+TEST_F(AddrSpaceTest, SubpageUnprotectRestoresFullAccess)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    as_.subpageProtect(0x00400400, 2 * kSubpageBytes, kProtRead);
+    EXPECT_EQ(as_.subpageMask(0x00400000), 0b0110u);
+    as_.subpageProtect(0x00400400, 2 * kSubpageBytes,
+                       kProtRead | kProtWrite);
+    EXPECT_FALSE(as_.subpageActive(0x00400000));
+    EXPECT_TRUE(as_.pte(0x00400000) & entrylo::D);
+}
+
+TEST_F(AddrSpaceTest, SubpageSpansPages)
+{
+    as_.allocate(0x00400000, 2 * kPageBytes, kProtRead | kProtWrite);
+    unsigned subs = as_.subpageProtect(0x00400c00, 2 * kSubpageBytes,
+                                       kProtRead);
+    EXPECT_EQ(subs, 2u);
+    EXPECT_EQ(as_.subpageMask(0x00400000), 0b1000u);
+    EXPECT_EQ(as_.subpageMask(0x00401000), 0b0001u);
+}
+
+TEST_F(AddrSpaceTest, SubpageMisalignedIsFatal)
+{
+    setLoggingEnabled(false);
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    EXPECT_THROW(as_.subpageProtect(0x00400401, 4, kProtRead),
+                 FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST_F(AddrSpaceTest, AmplifyGrantsAccessAndKeepsSubpageMask)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    as_.subpageProtect(0x00400000, kSubpageBytes, kProtRead);
+    as_.amplify(0x00400000);
+    Word pte = as_.pte(0x00400000);
+    EXPECT_TRUE(pte & entrylo::V);
+    EXPECT_TRUE(pte & entrylo::D);
+    EXPECT_EQ(as_.subpageMask(0x00400000), 0b0001u);
+    // and re-protection restores hardware checks
+    as_.reprotectFromSubpages(0x00400000);
+    EXPECT_FALSE(as_.pte(0x00400000) & entrylo::D);
+}
+
+TEST_F(AddrSpaceTest, UserModifiableBit)
+{
+    as_.allocate(0x00400000, kPageBytes, kProtRead | kProtWrite);
+    as_.setUserModifiable(0x00400000, true);
+    EXPECT_TRUE(as_.pte(0x00400000) & entrylo::U);
+    as_.setUserModifiable(0x00400000, false);
+    EXPECT_FALSE(as_.pte(0x00400000) & entrylo::U);
+}
+
+TEST_F(AddrSpaceTest, ProtectUnmappedIsFatal)
+{
+    setLoggingEnabled(false);
+    EXPECT_THROW(as_.protect(0x00500000, kPageBytes, kProtRead),
+                 FatalError);
+    EXPECT_THROW(as_.frameOf(0x00500000), FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(FrameAllocatorTest, ExhaustionIsFatal)
+{
+    setLoggingEnabled(false);
+    Machine m;
+    FrameAllocator tiny(kUserFrameBase, kUserFrameBase + 2 * kPageBytes);
+    EXPECT_NE(tiny.alloc(m.mem()), tiny.alloc(m.mem()));
+    EXPECT_THROW(tiny.alloc(m.mem()), FatalError);
+    setLoggingEnabled(true);
+}
+
+} // namespace
+} // namespace uexc::os

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for common/bits.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace uexc {
+namespace {
+
+TEST(Bits, ExtractBasic)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeefu, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeefu, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffffu, 31, 0), 0xffffffffu);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0x80000000u, 31), 1u);
+    EXPECT_EQ(bit(0x80000000u, 0), 0u);
+    EXPECT_EQ(bit(0x00000001u, 0), 1u);
+}
+
+TEST(Bits, InsertPreservesOthers)
+{
+    Word w = insertBits(0xffffffffu, 15, 8, 0);
+    EXPECT_EQ(w, 0xffff00ffu);
+    w = insertBits(0, 31, 26, 0x2b);
+    EXPECT_EQ(w >> 26, 0x2bu);
+    EXPECT_EQ(w & 0x03ffffffu, 0u);
+}
+
+TEST(Bits, InsertMasksField)
+{
+    // field wider than hi-lo is truncated
+    Word w = insertBits(0, 3, 0, 0xffu);
+    EXPECT_EQ(w, 0xfu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xffffu, 16), 0xffffffffu);
+    EXPECT_EQ(signExtend(0x7fffu, 16), 0x00007fffu);
+    EXPECT_EQ(signExtend(0x80u, 8), 0xffffff80u);
+    EXPECT_EQ(signExtend(0x7fu, 8), 0x7fu);
+    EXPECT_EQ(signExtend(0, 16), 0u);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_TRUE(isAligned(0x1000, 4096));
+    EXPECT_FALSE(isAligned(0x1001, 4096));
+    EXPECT_TRUE(isAligned(0, 4));
+    EXPECT_EQ(roundDown(0x1fff, 4096), 0x1000u);
+    EXPECT_EQ(roundUp(0x1001, 4096), 0x2000u);
+    EXPECT_EQ(roundUp(0x1000, 4096), 0x1000u);
+}
+
+class SignExtendWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SignExtendWidths, RoundTripsNonNegative)
+{
+    unsigned width = GetParam();
+    Word max_pos = (Word(1) << (width - 1)) - 1;
+    EXPECT_EQ(signExtend(max_pos, width), max_pos);
+    EXPECT_EQ(signExtend(0, width), 0u);
+}
+
+TEST_P(SignExtendWidths, NegativeHasHighBitsSet)
+{
+    unsigned width = GetParam();
+    Word min_neg = Word(1) << (width - 1);
+    Word extended = signExtend(min_neg, width);
+    EXPECT_EQ(extended >> (width - 1),
+              (~Word(0)) >> (width - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignExtendWidths,
+                         ::testing::Values(1u, 4u, 8u, 12u, 16u, 20u,
+                                           24u, 31u));
+
+} // namespace
+} // namespace uexc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the analytical break-even models (Table 5, Figures 3-4)
+ * and the Table 1 dispatch-path models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/analysis/breakeven.h"
+#include "common/logging.h"
+#include "os/pathmodel.h"
+
+namespace uexc::apps {
+namespace {
+
+TEST(Table5, BreakEvenFormula)
+{
+    // y* = c*x / (f*t)
+    BarrierAppProfile app{"x", 250'000, 2'000};
+    EXPECT_DOUBLE_EQ(barrierBreakEvenUs(app, 5.0, 25.0),
+                     250'000.0 * 5.0 / (25.0 * 2'000.0));
+}
+
+TEST(Table5, PaperConclusionHolds)
+{
+    // the paper: an 18 us exception+reprotect cost is competitive
+    // with 5-cycle software checks for the Hosking & Moss apps
+    for (const auto &app : hoskingMossProfiles()) {
+        double y = barrierBreakEvenUs(app, 5.0, 25.0);
+        EXPECT_GT(y, 18.0) << app.name;
+    }
+}
+
+TEST(Table5, MoreTrapsLowerBreakEven)
+{
+    BarrierAppProfile few{"few", 100'000, 500};
+    BarrierAppProfile many{"many", 100'000, 5'000};
+    EXPECT_GT(barrierBreakEvenUs(few, 5, 25),
+              barrierBreakEvenUs(many, 5, 25));
+}
+
+TEST(Table5, ZeroTrapsIsFatal)
+{
+    setLoggingEnabled(false);
+    BarrierAppProfile bad{"bad", 1, 0};
+    EXPECT_THROW(barrierBreakEvenUs(bad, 5, 25), FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(Figure3, BreakEvenUses)
+{
+    // u* = f*y / c; the paper's worked example: y = 6 us on the fast
+    // scheme at 25 MHz -> c*u > 150 cycles
+    EXPECT_DOUBLE_EQ(swizzleBreakEvenUses(1.0, 6.0, 25.0), 150.0);
+    EXPECT_DOUBLE_EQ(swizzleBreakEvenUses(5.0, 6.0, 25.0), 30.0);
+    // with Ultrix-cost exceptions the break-even is far higher
+    EXPECT_GT(swizzleBreakEvenUses(5.0, 70.0, 25.0), 300.0);
+}
+
+TEST(Figure3, FastExceptionsShiftTheCurveDown)
+{
+    for (double c = 1; c <= 10; c += 1) {
+        double fast = swizzleBreakEvenUses(c, 6.0, 25.0);
+        double ultrix = swizzleBreakEvenUses(c, 70.0, 25.0);
+        EXPECT_LT(fast, ultrix);
+        EXPECT_NEAR(ultrix / fast, 70.0 / 6.0, 1e-9);
+    }
+}
+
+TEST(Figure4, BreakEvenUsedPointers)
+{
+    // pu* = (t + pn*s) / (t + s); at pn = 50:
+    double t_fast = 6.0, s = 0.8;
+    double pu = eagerLazyBreakEvenUsed(t_fast, s, 50);
+    EXPECT_NEAR(pu, (6.0 + 50 * 0.8) / (6.0 + 0.8), 1e-12);
+    // cheaper exceptions RAISE the eager/lazy break-even: lazy pays
+    // one exception per used pointer, so cheap exceptions favor lazy
+    double pu_ultrix = eagerLazyBreakEvenUsed(70.0, s, 50);
+    EXPECT_GT(pu, pu_ultrix);
+}
+
+TEST(Figure4, DegenerateCases)
+{
+    // free swizzling: eager always wins beyond one used pointer
+    EXPECT_NEAR(eagerLazyBreakEvenUsed(10.0, 0.0, 50), 1.0, 1e-12);
+    setLoggingEnabled(false);
+    EXPECT_THROW(eagerLazyBreakEvenUsed(0.0, 0.0, 50), FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(Table1, ModelsAnchorToThePaperText)
+{
+    auto models = os::table1Models(38.0, 32.0, 46.0);
+    ASSERT_EQ(models.size(), 6u);
+
+    // Ultrix is the measured column
+    EXPECT_TRUE(models[0].measured);
+    EXPECT_NEAR(models[0].roundTripUs(), 70.0, 1e-9);
+    EXPECT_NEAR(models[0].writeProtUs, 46.0, 1e-9);
+
+    // the paper's stated anchors
+    EXPECT_NEAR(models[1].roundTripUs(), 2000.0, 50.0);  // Mach/UX
+    EXPECT_NEAR(models[2].roundTripUs(), 256.0, 10.0);   // raw Mach
+    EXPECT_NEAR(models[3].roundTripUs(), 69.0, 2.0);     // SunOS
+
+    // structural ordering: micro-kernel double hop >> raw Mach >>
+    // monolithic paths
+    EXPECT_GT(models[1].roundTripUs(), 5 * models[2].roundTripUs());
+    EXPECT_GT(models[2].roundTripUs(), 2 * models[3].roundTripUs());
+    for (const auto &m : models) {
+        EXPECT_FALSE(m.phases.empty());
+        EXPECT_GT(m.writeProtUs, 0.0);
+    }
+}
+
+} // namespace
+} // namespace uexc::apps

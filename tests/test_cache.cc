@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the direct-mapped cache cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/cache.h"
+
+namespace uexc::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 16);
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x10c));  // same line
+    EXPECT_FALSE(c.access(0x110)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, ConflictEviction)
+{
+    Cache c(1024, 16);  // 64 lines
+    EXPECT_FALSE(c.access(0x000));
+    EXPECT_FALSE(c.access(0x400));  // same index, different tag
+    EXPECT_FALSE(c.access(0x000));  // evicted
+    EXPECT_EQ(c.stats().misses, 3u);
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache c(1024, 16);
+    EXPECT_FALSE(c.probe(0x200));
+    EXPECT_FALSE(c.access(0x200));  // still a miss: probe didn't fill
+    EXPECT_TRUE(c.probe(0x200));
+    EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c(1024, 16);
+    c.access(0x100);
+    c.access(0x200);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_FALSE(c.probe(0x200));
+}
+
+TEST(Cache, InvalidateSingleLine)
+{
+    Cache c(1024, 16);
+    c.access(0x100);
+    c.access(0x200);
+    c.invalidate(0x100);
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x200));
+    // invalidate of a non-resident address is a no-op
+    c.invalidate(0x700);
+    EXPECT_TRUE(c.probe(0x200));
+}
+
+TEST(Cache, Geometry)
+{
+    Cache c(64 * 1024, 16);
+    EXPECT_EQ(c.numLines(), 4096u);
+    EXPECT_EQ(c.lineBytes(), 16u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(1024, 16);
+    EXPECT_EQ(c.stats().missRate(), 0.0);
+    c.access(0x0);
+    c.access(0x0);
+    c.access(0x0);
+    c.access(0x0);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.25);
+}
+
+TEST(Cache, InvalidGeometryIsFatal)
+{
+    setLoggingEnabled(false);
+    EXPECT_THROW(Cache(1000, 16), FatalError);   // not a power of two
+    EXPECT_THROW(Cache(1024, 12), FatalError);   // line not pow2
+    EXPECT_THROW(Cache(8, 16), FatalError);      // smaller than a line
+    EXPECT_THROW(Cache(1024, 2), FatalError);    // line < 4 bytes
+    setLoggingEnabled(true);
+}
+
+class CacheSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(CacheSweep, SequentialScanMissRateMatchesLineSize)
+{
+    auto [size, line] = GetParam();
+    Cache c(size, line);
+    // one full sequential pass over 2x the cache: every line-sized
+    // block misses exactly once
+    size_t span = 2 * size;
+    for (Addr a = 0; a < span; a += 4)
+        c.access(a);
+    EXPECT_EQ(c.stats().misses, span / line);
+    // second pass over the *second* half hits entirely
+    c.clearStats();
+    for (Addr a = static_cast<Addr>(size); a < span; a += 4)
+        c.access(a);
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(std::make_pair(size_t{1024}, size_t{16}),
+                      std::make_pair(size_t{4096}, size_t{4}),
+                      std::make_pair(size_t{65536}, size_t{16}),
+                      std::make_pair(size_t{65536}, size_t{32}),
+                      std::make_pair(size_t{16384}, size_t{64})));
+
+} // namespace
+} // namespace uexc::sim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for CP0: status stack semantics, cause packing, fault
+ * address registers, random register, and the user exception file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cp0.h"
+
+namespace uexc::sim {
+namespace {
+
+TEST(Cp0, ResetState)
+{
+    Cp0 cp0;
+    EXPECT_EQ(cp0.statusReg(), 0u);      // kernel mode
+    EXPECT_FALSE(cp0.userMode());
+    EXPECT_EQ(cp0.asid(), 0u);
+    EXPECT_NE(cp0.read(cp0reg::PrId), 0u);
+}
+
+TEST(Cp0, ExceptionPushesKuIeStack)
+{
+    Cp0 cp0;
+    // start in user mode with interrupts enabled
+    cp0.setStatusReg(status::KUc | status::IEc);
+    cp0.enterException(0x1234, ExcCode::AdEL, false);
+
+    Word st = cp0.statusReg();
+    EXPECT_FALSE(st & status::KUc);  // now kernel
+    EXPECT_FALSE(st & status::IEc);  // interrupts off
+    EXPECT_TRUE(st & status::KUp);   // previous was user
+    EXPECT_TRUE(st & status::IEp);
+    EXPECT_EQ(cp0.epc(), 0x1234u);
+    EXPECT_EQ((cp0.causeReg() & cause::ExcCodeMask) >> cause::ExcCodeShift,
+              static_cast<Word>(ExcCode::AdEL));
+    EXPECT_FALSE(cp0.causeReg() & cause::BD);
+}
+
+TEST(Cp0, BranchDelaySetsBd)
+{
+    Cp0 cp0;
+    cp0.enterException(0x1000, ExcCode::Bp, true);
+    EXPECT_TRUE(cp0.causeReg() & cause::BD);
+}
+
+TEST(Cp0, RfePopsStack)
+{
+    Cp0 cp0;
+    cp0.setStatusReg(status::KUc | status::IEc);
+    cp0.enterException(0x1000, ExcCode::Sys, false);
+    cp0.returnFromException();
+    Word st = cp0.statusReg();
+    EXPECT_TRUE(st & status::KUc);
+    EXPECT_TRUE(st & status::IEc);
+}
+
+TEST(Cp0, DoubleExceptionPreservesOldMode)
+{
+    Cp0 cp0;
+    cp0.setStatusReg(status::KUc | status::IEc);
+    cp0.enterException(0x1000, ExcCode::Sys, false);   // user -> kernel
+    cp0.enterException(0x2000, ExcCode::TlbL, false);  // kernel -> kernel
+    // two pops restore the original user state
+    cp0.returnFromException();
+    cp0.returnFromException();
+    Word st = cp0.statusReg();
+    EXPECT_TRUE(st & status::KUc);
+    EXPECT_TRUE(st & status::IEc);
+}
+
+TEST(Cp0, ExtensionBitsSurviveStackOps)
+{
+    Cp0 cp0;
+    cp0.setStatusReg(status::KUc | status::UV);
+    cp0.enterException(0x1000, ExcCode::Sys, false);
+    EXPECT_TRUE(cp0.statusReg() & status::UV);
+    cp0.returnFromException();
+    EXPECT_TRUE(cp0.statusReg() & status::UV);
+}
+
+TEST(Cp0, FaultAddressUpdatesBadVAddrContextEntryHi)
+{
+    Cp0 cp0;
+    cp0.write(cp0reg::Context, 0x80200000u);  // PTEBase
+    cp0.write(cp0reg::EntryHi, 5u << entryhi::AsidShift);
+    cp0.setFaultAddress(0x00403004u);
+
+    EXPECT_EQ(cp0.badVAddr(), 0x00403004u);
+    // Context = PTEBase | (va[30:12] << 2)
+    EXPECT_EQ(cp0.context(), 0x80200000u | ((0x00403004u >> 12) << 2));
+    // EntryHi holds the faulting VPN and keeps the ASID
+    EXPECT_EQ(cp0.entryHi() & entryhi::VpnMask, 0x00403000u);
+    EXPECT_EQ(cp0.asid(), 5u);
+}
+
+TEST(Cp0, ContextPteBaseWritableBadVpnNot)
+{
+    Cp0 cp0;
+    cp0.setFaultAddress(0x00001000u);
+    Word badvpn = cp0.context() & 0x001ffffcu;
+    cp0.write(cp0reg::Context, 0xffe00000u);
+    EXPECT_EQ(cp0.context() & 0x001ffffcu, badvpn);
+    EXPECT_EQ(cp0.context() & 0xffe00000u, 0xffe00000u);
+}
+
+TEST(Cp0, ReadOnlyRegistersIgnoreWrites)
+{
+    Cp0 cp0;
+    Word prid = cp0.read(cp0reg::PrId);
+    cp0.write(cp0reg::PrId, 0xdead);
+    EXPECT_EQ(cp0.read(cp0reg::PrId), prid);
+    cp0.setFaultAddress(0xabc000u);
+    cp0.write(cp0reg::BadVAddr, 0);
+    EXPECT_EQ(cp0.badVAddr(), 0xabc000u);
+}
+
+TEST(Cp0, RandomStaysInWiredFreeRange)
+{
+    Cp0 cp0;
+    for (int i = 0; i < 200; i++) {
+        unsigned idx = cp0.randomIndex();
+        EXPECT_GE(idx, 8u);
+        EXPECT_LE(idx, 63u);
+    }
+}
+
+TEST(Cp0, RandomRegisterReadMatchesHardwareFormat)
+{
+    Cp0 cp0;
+    Word raw = cp0.read(cp0reg::Random);
+    EXPECT_EQ(raw & 0xffu, 0u);       // value is in bits [13:8]
+    EXPECT_GE(raw >> 8, 8u);
+}
+
+TEST(Cp0, IndexWriteMasked)
+{
+    Cp0 cp0;
+    cp0.write(cp0reg::Index, 0xffffffffu);
+    EXPECT_EQ(cp0.index(), 0x3f00u);
+    cp0.setIndexRaw(0x80000000u);
+    EXPECT_EQ(cp0.index(), 0x80000000u);
+}
+
+TEST(Cp0, UxRegisterFile)
+{
+    Cp0 cp0;
+    cp0.setUxReg(UxReg::Target, 0x00400100u);
+    cp0.setUxReg(UxReg::Scratch3, 77u);
+    EXPECT_EQ(cp0.uxReg(UxReg::Target), 0x00400100u);
+    EXPECT_EQ(cp0.uxReg(UxReg::Scratch3), 77u);
+    EXPECT_EQ(cp0.uxReg(UxReg::Cond), 0u);
+}
+
+} // namespace
+} // namespace uexc::sim

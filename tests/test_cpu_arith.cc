@@ -1,0 +1,250 @@
+/**
+ * @file
+ * CPU tests: arithmetic, logical, shift, and multiply/divide
+ * instruction semantics, executed as guest code in kseg0.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace uexc::sim {
+namespace {
+
+using testutil::BareMachine;
+
+/** Run a 3-register op with given inputs; return rd. */
+Word
+runRRR(Word (*encode)(unsigned, unsigned, unsigned), Word a, Word b)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, a);
+        as.li32(T1, b);
+        as.emit(encode(V0, T0, T1));
+        as.hcall(0);
+    });
+    m.runToHalt();
+    return m.cpu().reg(V0);
+}
+
+TEST(CpuArith, AdduSubu)
+{
+    EXPECT_EQ(runRRR(enc::addu, 2, 3), 5u);
+    EXPECT_EQ(runRRR(enc::addu, 0xffffffffu, 1), 0u);  // wraps silently
+    EXPECT_EQ(runRRR(enc::subu, 5, 7), 0xfffffffeu);
+}
+
+TEST(CpuArith, Logical)
+{
+    EXPECT_EQ(runRRR(enc::and_, 0xff00ff00u, 0x0ff00ff0u), 0x0f000f00u);
+    EXPECT_EQ(runRRR(enc::or_, 0xff00ff00u, 0x0ff00ff0u), 0xfff0fff0u);
+    EXPECT_EQ(runRRR(enc::xor_, 0xff00ff00u, 0x0ff00ff0u), 0xf0f0f0f0u);
+    EXPECT_EQ(runRRR(enc::nor, 0xff00ff00u, 0x0ff00ff0u), 0x000f000fu);
+}
+
+TEST(CpuArith, SetLessThan)
+{
+    EXPECT_EQ(runRRR(enc::slt, 0xffffffffu, 0), 1u);   // -1 < 0 signed
+    EXPECT_EQ(runRRR(enc::sltu, 0xffffffffu, 0), 0u);  // max > 0 unsigned
+    EXPECT_EQ(runRRR(enc::slt, 3, 3), 0u);
+    EXPECT_EQ(runRRR(enc::sltu, 2, 3), 1u);
+}
+
+TEST(CpuArith, ImmediateForms)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li(T0, 10);
+        as.addiu(V0, T0, -3);
+        as.slti(V1, T0, 11);
+        as.andi(A0, T0, 0x3);
+        as.ori(A1, T0, 0x100);
+        as.xori(A2, T0, 0xf);
+        as.sltiu(A3, T0, 5);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 7u);
+    EXPECT_EQ(m.cpu().reg(V1), 1u);
+    EXPECT_EQ(m.cpu().reg(A0), 2u);
+    EXPECT_EQ(m.cpu().reg(A1), 0x10au);
+    EXPECT_EQ(m.cpu().reg(A2), 5u);
+    EXPECT_EQ(m.cpu().reg(A3), 0u);
+}
+
+TEST(CpuArith, Lui)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.lui(V0, 0x1234);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 0x12340000u);
+}
+
+TEST(CpuArith, Shifts)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x80000001u);
+        as.sll(V0, T0, 1);
+        as.srl(V1, T0, 1);
+        as.sra(A0, T0, 1);
+        as.li(T1, 4);
+        as.sllv(A1, T0, T1);
+        as.srlv(A2, T0, T1);
+        as.srav(A3, T0, T1);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 0x00000002u);
+    EXPECT_EQ(m.cpu().reg(V1), 0x40000000u);
+    EXPECT_EQ(m.cpu().reg(A0), 0xc0000000u);
+    EXPECT_EQ(m.cpu().reg(A1), 0x00000010u);
+    EXPECT_EQ(m.cpu().reg(A2), 0x08000000u);
+    EXPECT_EQ(m.cpu().reg(A3), 0xf8000000u);
+}
+
+TEST(CpuArith, ShiftAmountFromRegisterIsMasked)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li(T0, 1);
+        as.li(T1, 33);  // 33 & 31 == 1
+        as.sllv(V0, T0, T1);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 2u);
+}
+
+TEST(CpuArith, MultiplySignedUnsigned)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0xffffffffu);  // -1
+        as.li(T1, 2);
+        as.mult(T0, T1);
+        as.mfhi(V0);
+        as.mflo(V1);
+        as.multu(T0, T1);
+        as.mfhi(A0);
+        as.mflo(A1);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    // signed: -1 * 2 = -2
+    EXPECT_EQ(m.cpu().reg(V0), 0xffffffffu);
+    EXPECT_EQ(m.cpu().reg(V1), 0xfffffffeu);
+    // unsigned: 0xffffffff * 2 = 0x1_fffffffe
+    EXPECT_EQ(m.cpu().reg(A0), 1u);
+    EXPECT_EQ(m.cpu().reg(A1), 0xfffffffeu);
+}
+
+TEST(CpuArith, DivideSignedUnsigned)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li(T0, -7);
+        as.li(T1, 2);
+        as.div(T0, T1);
+        as.mflo(V0);  // quotient -3 (truncating)
+        as.mfhi(V1);  // remainder -1
+        as.li32(T2, 0xfffffff9u);
+        as.li(T3, 2);
+        as.divu(T2, T3);
+        as.mflo(A0);
+        as.mfhi(A1);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(static_cast<SWord>(m.cpu().reg(V0)), -3);
+    EXPECT_EQ(static_cast<SWord>(m.cpu().reg(V1)), -1);
+    EXPECT_EQ(m.cpu().reg(A0), 0x7ffffffcu);
+    EXPECT_EQ(m.cpu().reg(A1), 1u);
+}
+
+TEST(CpuArith, DivideByZeroHasDefinedResult)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li(T0, 42);
+        as.li(T1, 0);
+        as.div(T0, T1);
+        as.mflo(V0);
+        as.mfhi(V1);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    // no exception; our defined UNPREDICTABLE result
+    EXPECT_EQ(m.cpu().reg(V0), 0xffffffffu);
+    EXPECT_EQ(m.cpu().reg(V1), 42u);
+    EXPECT_EQ(m.cpu().stats().exceptionsTaken, 0u);
+}
+
+TEST(CpuArith, MtHiLo)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li(T0, 11);
+        as.li(T1, 22);
+        as.mthi(T0);
+        as.mtlo(T1);
+        as.mfhi(V0);
+        as.mflo(V1);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 11u);
+    EXPECT_EQ(m.cpu().reg(V1), 22u);
+}
+
+TEST(CpuArith, RegisterZeroIsHardwiredZero)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.li(T0, 99);
+        as.addu(Zero, T0, T0);  // writes to $zero are discarded
+        as.move(V0, Zero);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 0u);
+    EXPECT_EQ(m.cpu().reg(Zero), 0u);
+}
+
+TEST(CpuArith, MultDivCostsAreCharged)
+{
+    BareMachine a_mult, a_add;
+    a_mult.loadAsm([&](Assembler &as) {
+        as.mult(T0, T1);
+        as.hcall(0);
+    });
+    a_add.loadAsm([&](Assembler &as) {
+        as.addu(V0, T0, T1);
+        as.hcall(0);
+    });
+    a_mult.runToHalt();
+    a_add.runToHalt();
+    CostModel cost;
+    EXPECT_EQ(a_mult.cpu().cycles() - a_add.cpu().cycles(),
+              cost.multCost - cost.baseCost);
+}
+
+TEST(CpuArith, CyclesAndInstructionsAdvance)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        for (int i = 0; i < 10; i++)
+            as.nop();
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().instret(), 11u);
+    EXPECT_GE(m.cpu().cycles(), 11u);
+}
+
+} // namespace
+} // namespace uexc::sim

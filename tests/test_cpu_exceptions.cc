@@ -1,0 +1,410 @@
+/**
+ * @file
+ * CPU tests: the R3000 trap architecture. Exception vectoring, EPC
+ * and Cause/BadVAddr recording, the status-word mode stack, rfe,
+ * branch-delay attribution, TLB refill vs. general vectoring, and
+ * privilege enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace uexc::sim {
+namespace {
+
+using testutil::BareMachine;
+using testutil::enterUserMode;
+using testutil::mapPage;
+
+/** Marker values the stub vectors leave in K0. */
+constexpr Word kRefillMark = 0x1111;
+constexpr Word kGeneralMark = 0x2222;
+
+/**
+ * Install stub vectors: each records its marker in K0 and halts.
+ * CP0 state (EPC, Cause, BadVAddr) is inspected directly by tests.
+ */
+void
+installHaltingVectors(Machine &m)
+{
+    Assembler v(Cpu::RefillVector);
+    v.li32(K0, kRefillMark);
+    v.hcall(0);
+    v.align(0x80);
+    // general vector is at +0x80
+    v.li32(K0, kGeneralMark);
+    v.hcall(0);
+    m.load(v.finalize());
+}
+
+/**
+ * Install a general vector that skips the faulting instruction:
+ * EPC += 4, then rfe-return. Lets tests observe execution resuming.
+ */
+void
+installSkippingGeneralVector(Machine &m)
+{
+    Assembler v(Cpu::RefillVector);
+    v.li32(K0, kRefillMark);
+    v.hcall(0);
+    v.align(0x80);
+    v.mfc0(K0, cp0reg::Epc);
+    v.addiu(K0, K0, 4);
+    v.jr(K0);
+    v.rfe();
+    m.load(v.finalize());
+}
+
+ExcCode
+causeCode(const Cpu &cpu)
+{
+    return static_cast<ExcCode>(
+        (cpu.cp0().causeReg() & cause::ExcCodeMask) >>
+        cause::ExcCodeShift);
+}
+
+TEST(CpuExceptions, SyscallVectorsToGeneral)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    Program p = m.loadAsm([&](Assembler &as) {
+        as.nop();
+        as.label("sc");
+        as.syscall();
+        as.nop();
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Sys);
+    EXPECT_EQ(m.cpu().cp0().epc(), p.symbol("sc"));
+    EXPECT_FALSE(m.cpu().cp0().causeReg() & cause::BD);
+}
+
+TEST(CpuExceptions, BreakVectorsToGeneral)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.break_(3);
+        as.nop();
+    });
+    m.runToHalt();
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Bp);
+}
+
+TEST(CpuExceptions, UnalignedLoadRaisesAdELWithBadVAddr)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.la(T0, "buf");
+        as.lw(V0, 2, T0);  // word load at offset 2: unaligned
+        as.hcall(0);
+        as.align(8);
+        as.label("buf");
+        as.space(8);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::AdEL);
+    EXPECT_EQ(m.cpu().cp0().badVAddr(),
+              m.machine.symbol("buf") + 2);
+}
+
+TEST(CpuExceptions, UnalignedStoreRaisesAdES)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.la(T0, "buf");
+        as.sh(V0, 1, T0);  // halfword store at odd address
+        as.hcall(0);
+        as.align(8);
+        as.label("buf");
+        as.space(8);
+    });
+    m.runToHalt();
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::AdES);
+    EXPECT_EQ(m.cpu().cp0().badVAddr(), m.machine.symbol("buf") + 1);
+}
+
+TEST(CpuExceptions, OverflowOnAddAndAddi)
+{
+    BareMachine m;
+    installSkippingGeneralVector(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x7fffffffu);
+        as.li(T1, 1);
+        as.li(V0, 0);
+        as.add(V0, T0, T1);    // overflows: skipped, V0 stays 0
+        as.addi(V1, T0, 1);    // overflows too
+        as.addu(A0, T0, T1);   // addu never traps
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 0u);
+    EXPECT_EQ(m.cpu().reg(V1), 0u);
+    EXPECT_EQ(m.cpu().reg(A0), 0x80000000u);
+    EXPECT_EQ(m.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::Ov)], 2u);
+}
+
+TEST(CpuExceptions, SubOverflow)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x80000000u);
+        as.li(T1, 1);
+        as.sub(V0, T0, T1);  // INT_MIN - 1 overflows
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Ov);
+}
+
+TEST(CpuExceptions, ReservedInstructionRaisesRi)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.word(0xf0000000u);  // unassigned opcode
+        as.nop();
+    });
+    m.runToHalt();
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Ri);
+}
+
+TEST(CpuExceptions, ExceptionInBranchDelaySlotSetsBdAndBranchEpc)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    Program p = m.loadAsm([&](Assembler &as) {
+        as.label("br");
+        as.beq(Zero, Zero, "target");
+        as.syscall();          // delay slot faults
+        as.label("target");
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_TRUE(m.cpu().cp0().causeReg() & cause::BD);
+    EXPECT_EQ(m.cpu().cp0().epc(), p.symbol("br"));
+}
+
+TEST(CpuExceptions, ResumeAfterDelaySlotFaultReexecutesBranch)
+{
+    // A TLB miss in a branch delay slot must resume at the *branch*
+    // (EPC = branch, BD set); after the refill handler maps the page,
+    // re-execution runs branch + slot and lands on the branch target.
+    BareMachine m;
+    Assembler v(Cpu::RefillVector);
+    // refill handler: record EPC, map the faulting page to phys
+    // 0x00200000 (EntryHi was loaded by hardware), resume at EPC
+    v.la(K0, "saved_epc");
+    v.mfc0(K1, cp0reg::Epc);
+    v.sw(K1, 0, K0);
+    v.li32(K0, 0x00200000u | entrylo::V | entrylo::D);
+    v.mtc0(K0, cp0reg::EntryLo);
+    v.tlbwi();                   // Index register is 0 at reset
+    v.mfc0(K0, cp0reg::Epc);
+    v.jr(K0);
+    v.rfe();
+    v.label("saved_epc");
+    v.space(4);
+    v.align(0x80);
+    v.li32(K0, kGeneralMark);
+    v.hcall(0);
+    m.machine.load(v.finalize());
+    m.machine.mem().writeWord(0x00200000, 1234);
+
+    Program p = m.loadAsm([&](Assembler &as) {
+        as.li32(T2, 0x00400000u);
+        as.label("br");
+        as.beq(Zero, Zero, "past");
+        as.lw(V1, 0, T2);       // delay slot: TLB refill miss
+        as.li(V0, 99);          // skipped by the taken branch
+        as.label("past");
+        as.li(V0, 42);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 42u);
+    EXPECT_EQ(m.cpu().reg(V1), 1234u);
+    // the handler saw EPC pointing at the branch, not the slot
+    EXPECT_EQ(m.machine.debugReadWord(m.machine.symbol("saved_epc")),
+              p.symbol("br"));
+    EXPECT_EQ(m.cpu().stats().tlbRefillFaults, 1u);
+}
+
+TEST(CpuExceptions, StatusStackPushedOnExceptionPoppedOnRfe)
+{
+    BareMachine m;
+    installSkippingGeneralVector(m.machine);
+    // start in kernel mode; the exception pushes (kernel,kernel)
+    m.loadAsm([&](Assembler &as) {
+        as.syscall();
+        as.mfc0(V0, cp0reg::Status);  // after return: stack popped
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0) & status::KuIeMask, 0u);
+}
+
+TEST(CpuExceptions, TlbMissInKusegUsesRefillVector)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x00400000u);  // unmapped user address
+        as.lw(V0, 0, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kRefillMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::TlbL);
+    EXPECT_EQ(m.cpu().cp0().badVAddr(), 0x00400000u);
+    EXPECT_EQ(m.cpu().stats().tlbRefillFaults, 1u);
+}
+
+TEST(CpuExceptions, TlbInvalidEntryUsesGeneralVector)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    // entry present but V=0
+    m.cpu().tlb().setEntry(0, 0x00400000u, 0x00200000u /* no V bit */);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x00400000u);
+        as.lw(V0, 0, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::TlbL);
+}
+
+TEST(CpuExceptions, WriteToCleanPageRaisesModAtGeneralVector)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    mapPage(m.machine, 0x00400000, 0x00200000, 0, 0,
+            /*writable=*/false);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x00400000u);
+        as.sw(Zero, 0x24, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Mod);
+    EXPECT_EQ(m.cpu().cp0().badVAddr(), 0x00400024u);
+}
+
+TEST(CpuExceptions, ReadOfCleanPageIsAllowed)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    mapPage(m.machine, 0x00400000, 0x00200000, 0, 0,
+            /*writable=*/false);
+    m.machine.mem().writeWord(0x00200010, 77);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x00400000u);
+        as.lw(V0, 0x10, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 77u);
+    EXPECT_EQ(m.cpu().stats().exceptionsTaken, 0u);
+}
+
+TEST(CpuExceptions, FaultAddressLoadsContextForRefillHandler)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.cpu().cp0().write(cp0reg::Context, 0x80600000u);  // PTEBase
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x00403000u);
+        as.lw(V0, 0, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().cp0().context(),
+              0x80600000u | ((0x00403000u >> 12) << 2));
+    // EntryHi has the faulting VPN ready for tlbwr
+    EXPECT_EQ(m.cpu().cp0().entryHi() & entryhi::VpnMask, 0x00403000u);
+}
+
+TEST(CpuExceptions, UserModeCannotTouchCp0)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    // map a user code page and run mtc0 from user mode
+    Assembler ua(0x00400000);
+    ua.mtc0(Zero, cp0reg::Status);
+    ua.nop();
+    Program up = ua.finalize();
+    m.machine.mem().writeBlock(0x00200000, up.words.data(),
+                               4 * up.words.size());
+    mapPage(m.machine, 0x00400000, 0x00200000, 1, 0);
+    enterUserMode(m.machine, 1);
+    m.cpu().setPc(0x00400000);
+    m.cpu().run(100);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::CpU);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+}
+
+TEST(CpuExceptions, UserModeKernelSegmentAccessIsAddressError)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    Assembler ua(0x00400000);
+    ua.lui(T0, 0x8001);
+    ua.lw(V0, 0, T0);  // kseg0 from user mode
+    ua.nop();
+    Program up = ua.finalize();
+    m.machine.mem().writeBlock(0x00200000, up.words.data(),
+                               4 * up.words.size());
+    mapPage(m.machine, 0x00400000, 0x00200000, 1, 0);
+    enterUserMode(m.machine, 1);
+    m.cpu().setPc(0x00400000);
+    m.cpu().run(100);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::AdEL);
+    // back in kernel mode at the vector
+    EXPECT_FALSE(m.cpu().cp0().userMode());
+    EXPECT_TRUE(m.cpu().cp0().statusReg() & status::KUp);
+}
+
+TEST(CpuExceptions, InjectExceptionEntersKernelPath)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) { as.nop(); });
+    Addr vec = m.cpu().injectException(ExcCode::Mod, 0x00401008,
+                                       0x00405678, false);
+    EXPECT_EQ(vec, Cpu::GeneralVector);
+    EXPECT_EQ(m.cpu().cp0().epc(), 0x00401008u);
+    EXPECT_EQ(m.cpu().cp0().badVAddr(), 0x00405678u);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Mod);
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+}
+
+TEST(CpuExceptions, PerCodeStatsAccumulate)
+{
+    BareMachine m;
+    installSkippingGeneralVector(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.syscall();
+        as.syscall();
+        as.break_();
+        as.hcall(0);
+    });
+    m.runToHalt();
+    const CpuStats &s = m.cpu().stats();
+    EXPECT_EQ(s.perExcCode[static_cast<unsigned>(ExcCode::Sys)], 2u);
+    EXPECT_EQ(s.perExcCode[static_cast<unsigned>(ExcCode::Bp)], 1u);
+    EXPECT_EQ(s.exceptionsTaken, 3u);
+}
+
+} // namespace
+} // namespace uexc::sim

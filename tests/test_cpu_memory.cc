@@ -1,0 +1,198 @@
+/**
+ * @file
+ * CPU tests: loads and stores in kseg0, TLB-mapped kuseg accesses,
+ * and the cache/cost accounting on the memory path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace uexc::sim {
+namespace {
+
+using testutil::BareMachine;
+using testutil::mapPage;
+
+TEST(CpuMemory, WordLoadStoreKseg0)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.la(T0, "buf");
+        as.li32(T1, 0xcafef00du);
+        as.sw(T1, 0, T0);
+        as.lw(V0, 0, T0);
+        as.hcall(0);
+        as.align(8);
+        as.label("buf");
+        as.space(8);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 0xcafef00du);
+}
+
+TEST(CpuMemory, ByteAndHalfSemantics)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.la(T0, "buf");
+        as.li32(T1, 0x818283f4u);
+        as.sw(T1, 0, T0);
+        as.lb(V0, 3, T0);    // 0x81 sign-extended
+        as.lbu(V1, 3, T0);   // 0x81 zero-extended
+        as.lh(A0, 2, T0);    // 0x8182 sign-extended
+        as.lhu(A1, 2, T0);   // 0x8182 zero-extended
+        as.lb(A2, 0, T0);    // 0xf4 sign-extended
+        as.li(T2, 0x55);
+        as.sb(T2, 1, T0);
+        as.lw(A3, 0, T0);
+        as.hcall(0);
+        as.align(8);
+        as.label("buf");
+        as.space(8);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 0xffffff81u);
+    EXPECT_EQ(m.cpu().reg(V1), 0x00000081u);
+    EXPECT_EQ(m.cpu().reg(A0), 0xffff8182u);
+    EXPECT_EQ(m.cpu().reg(A1), 0x00008182u);
+    EXPECT_EQ(m.cpu().reg(A2), 0xfffffff4u);
+    EXPECT_EQ(m.cpu().reg(A3), 0x818255f4u);
+}
+
+TEST(CpuMemory, NegativeDisplacement)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.la(T0, "buf_end");
+        as.li(T1, 42);
+        as.sw(T1, -4, T0);
+        as.lw(V0, -4, T0);
+        as.hcall(0);
+        as.align(8);
+        as.label("buf");
+        as.space(8);
+        as.label("buf_end");
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 42u);
+}
+
+TEST(CpuMemory, KusegMappedAccessThroughTlb)
+{
+    BareMachine m;
+    // map user page 0x00400000 -> phys 0x00200000
+    mapPage(m.machine, 0x00400000, 0x00200000, 0, 0);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x00400000u);
+        as.li(T1, 1234);
+        as.sw(T1, 0x10, T0);
+        as.lw(V0, 0x10, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(V0), 1234u);
+    // the store really landed in the mapped physical frame
+    EXPECT_EQ(m.machine.mem().readWord(0x00200010), 1234u);
+}
+
+TEST(CpuMemory, LoadsAndStoresCounted)
+{
+    BareMachine m;
+    m.loadAsm([&](Assembler &as) {
+        as.la(T0, "buf");
+        as.sw(Zero, 0, T0);
+        as.sw(Zero, 4, T0);
+        as.lw(V0, 0, T0);
+        as.hcall(0);
+        as.align(8);
+        as.label("buf");
+        as.space(8);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().stats().stores, 2u);
+    EXPECT_EQ(m.cpu().stats().loads, 1u);
+}
+
+TEST(CpuMemory, CacheModelChargesMissPenalties)
+{
+    MachineConfig cold, hot;
+    cold.cpu.cachesEnabled = true;
+    hot.cpu.cachesEnabled = false;
+
+    auto body = [](Assembler &as) {
+        as.la(T0, "buf");
+        as.li(T1, 64);
+        as.label("loop");
+        as.sw(T1, 0, T0);
+        as.addiu(T0, T0, 4);
+        as.addiu(T1, T1, -1);
+        as.bne(T1, Zero, "loop");
+        as.nop();
+        as.hcall(0);
+        as.align(16);
+        as.label("buf");
+        as.space(64 * 4);
+    };
+
+    BareMachine with_cache{cold}, without_cache{hot};
+    with_cache.loadAsm(body);
+    without_cache.loadAsm(body);
+    with_cache.runToHalt();
+    without_cache.runToHalt();
+
+    EXPECT_EQ(with_cache.cpu().instret(), without_cache.cpu().instret());
+    EXPECT_GT(with_cache.cpu().cycles(), without_cache.cpu().cycles());
+    ASSERT_NE(with_cache.cpu().dcache(), nullptr);
+    EXPECT_GT(with_cache.cpu().dcache()->stats().misses, 0u);
+    EXPECT_GT(with_cache.cpu().icache()->stats().misses, 0u);
+}
+
+TEST(CpuMemory, WarmLoopIsCheaperThanColdLoop)
+{
+    MachineConfig cfg;
+    cfg.cpu.cachesEnabled = true;
+    BareMachine m{cfg};
+    Program p = m.loadAsm([&](Assembler &as) {
+        as.label("iter");
+        as.la(T0, "buf");
+        as.lw(V0, 0, T0);
+        as.lw(V0, 4, T0);
+        as.lw(V0, 8, T0);
+        as.label("iter_end");
+        as.nop();
+        as.align(16);
+        as.label("buf");
+        as.space(16);
+    });
+    // run one cold iteration then one warm one, measuring cycles via
+    // breakpoints at "iter_end"
+    Addr iter = p.symbol("iter");
+    Addr end = p.symbol("iter_end");
+    m.cpu().setPc(iter);
+    m.cpu().addBreakpoint(end);
+    m.cpu().run(1000);
+    Cycles cold_cycles = m.cpu().cycles();
+    m.cpu().setPc(iter);
+    Cycles before = m.cpu().cycles();
+    m.cpu().run(1000);
+    Cycles warm_cycles = m.cpu().cycles() - before;
+    EXPECT_LT(warm_cycles, cold_cycles);
+}
+
+TEST(CpuMemory, ChargeDataAccessModelsDcache)
+{
+    MachineConfig cfg;
+    cfg.cpu.cachesEnabled = true;
+    BareMachine m{cfg};
+    Cycles first = m.cpu().chargeDataAccess(0x1000, true);
+    Cycles second = m.cpu().chargeDataAccess(0x1000, true);
+    EXPECT_GT(first, second);
+    EXPECT_EQ(second, 0u);
+    // uncacheable accesses always pay
+    Cycles unc = m.cpu().chargeDataAccess(0x2000, false);
+    EXPECT_GT(unc, 0u);
+}
+
+} // namespace
+} // namespace uexc::sim

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * CPU tests for the paper's architectural extensions: direct
+ * user-mode exception vectoring (COP3 / user exception registers) and
+ * user-level TLB protection modification (TLBMP with the U bit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace uexc::sim {
+namespace {
+
+using testutil::enterUserMode;
+using testutil::mapPage;
+
+constexpr Addr kUserText = 0x00400000;
+constexpr Addr kUserTextPhys = 0x00210000;
+constexpr Addr kUserData = 0x00401000;
+constexpr Addr kUserDataPhys = 0x00211000;
+constexpr Word kGeneralMark = 0x2222;
+
+MachineConfig
+hwConfig()
+{
+    MachineConfig cfg;
+    cfg.cpu.userVectorHw = true;
+    cfg.cpu.tlbmpHw = true;
+    return cfg;
+}
+
+void
+installHaltingVectors(Machine &m)
+{
+    Assembler v(Cpu::RefillVector);
+    v.li32(K0, 0x1111);
+    v.hcall(0);
+    v.align(0x80);
+    v.li32(K0, kGeneralMark);
+    v.hcall(0);
+    m.load(v.finalize());
+}
+
+/** Load user-mode guest code at kUserText and map text+data pages. */
+void
+loadUser(Machine &m, const std::function<void(Assembler &)> &body,
+         bool data_writable = true, bool data_user_modifiable = false)
+{
+    Assembler a(kUserText);
+    body(a);
+    Program p = a.finalize();
+    m.mem().writeBlock(kUserTextPhys, p.words.data(),
+                       4 * p.words.size());
+    mapPage(m, kUserText, kUserTextPhys, 1, 0);
+    mapPage(m, kUserData, kUserDataPhys, 1, 1, data_writable,
+            data_user_modifiable);
+    enterUserMode(m, 1);
+    m.cpu().setPc(kUserText);
+}
+
+TEST(UserVector, ExceptionDeliveredDirectlyToUserHandler)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    // enable user vectoring for this "process"
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);        // unaligned: AdEL
+        a.label("resume");
+        a.li(V1, 7);            // reached only after handler return
+        a.hcall(0);
+
+        a.label("handler");
+        a.mfux(T2, UxReg::Cond);      // condition register
+        a.mfux(T3, UxReg::BadAddr);
+        a.mfux(T4, UxReg::Epc);
+        a.addiu(T4, T4, 4);           // skip the faulting load
+        a.mtux(T4, UxReg::Epc);
+        a.xret();
+    });
+
+    RunResult r = m.cpu().run(1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.cpu().reg(V1), 7u);
+    // handler observed the right condition info
+    EXPECT_EQ(m.cpu().reg(T2) >> 2,
+              static_cast<Word>(ExcCode::AdEL));
+    EXPECT_EQ(m.cpu().reg(T3), kUserData + 2);
+    // the kernel was never entered
+    EXPECT_EQ(m.cpu().reg(K0), 0u);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 1u);
+    // UX cleared again after xret
+    EXPECT_FALSE(m.cpu().cp0().statusReg() & status::UX);
+}
+
+TEST(UserVector, DisabledUvBitFallsBackToKernel)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    // UV not set: exceptions go to the kernel as usual
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);
+        a.hcall(0);
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 0u);
+}
+
+TEST(UserVector, RecursiveExceptionDemotesToKernel)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);        // first exception -> user handler
+        a.hcall(0);
+
+        a.label("handler");
+        a.lw(V0, 1, T1);        // second exception while UX set
+        a.xret();
+    });
+
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 1u);
+    // the kernel sees the recursive exception with UX still set
+    EXPECT_TRUE(m.cpu().cp0().statusReg() & status::UX);
+}
+
+TEST(UserVector, SyscallsNeverUserVector)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.syscall();
+        a.hcall(0);
+        a.label("handler");
+        a.xret();
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 0u);
+}
+
+TEST(UserVector, TlbRefillMissStillEntersKernel)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, 0x00500000u);  // unmapped page
+        a.lw(V0, 0, T1);
+        a.hcall(0);
+        a.label("handler");
+        a.xret();
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), 0x1111u);  // refill vector
+}
+
+TEST(UserVector, BreakpointUserVectored)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li(V1, 0);
+        a.break_();
+        a.li(V0, 5);
+        a.hcall(0);
+        a.label("handler");
+        a.addiu(V1, V1, 1);
+        a.mfux(T4, UxReg::Epc);
+        a.addiu(T4, T4, 4);
+        a.mtux(T4, UxReg::Epc);
+        a.xret();
+    });
+    RunResult r = m.cpu().run(1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.cpu().reg(V0), 5u);
+    EXPECT_EQ(m.cpu().reg(V1), 1u);
+    EXPECT_EQ(m.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::Bp)], 1u);
+}
+
+TEST(UserVector, DelaySlotFaultReportsBdInCond)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.label("br");
+        a.beq(Zero, Zero, "past");
+        a.lw(V0, 2, T1);        // delay slot: unaligned
+        a.label("past");
+        a.li(V1, 3);
+        a.hcall(0);
+        a.label("handler");
+        a.mfux(T2, UxReg::Cond);
+        // resume past the whole branch pair: Epc (=branch) + 8
+        a.mfux(T4, UxReg::Epc);
+        a.addiu(T4, T4, 8);
+        a.mtux(T4, UxReg::Epc);
+        a.xret();
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(V1), 3u);
+    EXPECT_EQ(m.cpu().reg(T2) & 1u, 1u);  // BD flag in Cond bit 0
+}
+
+TEST(UserVector, Cop3WithoutHardwareRaisesRi)
+{
+    Machine m;  // default: no user-vector hardware
+    installHaltingVectors(m);
+    loadUser(m, [&](Assembler &a) {
+        a.mtux(T0, UxReg::Target);
+        a.hcall(0);
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::Ri)], 1u);
+}
+
+TEST(UserVector, ScratchRegistersHoldValues)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    loadUser(m, [&](Assembler &a) {
+        a.li(T0, 11);
+        a.mtux(T0, UxReg::Scratch0);
+        a.li(T0, 22);
+        a.mtux(T0, UxReg::Scratch5);
+        a.mfux(V0, UxReg::Scratch0);
+        a.mfux(V1, UxReg::Scratch5);
+        a.hcall(0);
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(V0), 11u);
+    EXPECT_EQ(m.cpu().reg(V1), 22u);
+}
+
+TEST(UserVector, VectorTableDispatchesByExceptionType)
+{
+    MachineConfig cfg = hwConfig();
+    cfg.cpu.userVectorTable = true;
+    Machine m(cfg);
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+
+    loadUser(m, [&](Assembler &a) {
+        // a table whose AdEL and Bp entries go to distinct stubs
+        a.la(T0, "table");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);         // AdEL -> adel_stub
+        a.break_();              // Bp -> bp_stub
+        a.li(V1, 5);
+        a.hcall(0);
+
+        a.label("adel_stub");
+        a.li(S0, 0xad);
+        a.mfux(T4, UxReg::Epc);
+        a.addiu(T4, T4, 4);
+        a.mtux(T4, UxReg::Epc);
+        a.xret();
+        a.label("bp_stub");
+        a.li(S1, 0xb9);
+        a.mfux(T4, UxReg::Epc);
+        a.addiu(T4, T4, 4);
+        a.mtux(T4, UxReg::Epc);
+        a.xret();
+
+        a.align(64);
+        a.label("table");
+        for (unsigned i = 0; i < NumExcCodes; i++) {
+            if (i == static_cast<unsigned>(ExcCode::AdEL))
+                a.wordAddr("adel_stub");
+            else if (i == static_cast<unsigned>(ExcCode::Bp))
+                a.wordAddr("bp_stub");
+            else
+                a.wordAddr("adel_stub");
+        }
+    });
+    RunResult r = m.cpu().run(1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.cpu().reg(S0), 0xadu);
+    EXPECT_EQ(m.cpu().reg(S1), 0xb9u);
+    EXPECT_EQ(m.cpu().reg(V1), 5u);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 2u);
+}
+
+TEST(UserVector, UnmappedVectorTableDemotesToKernel)
+{
+    MachineConfig cfg = hwConfig();
+    cfg.cpu.userVectorTable = true;
+    Machine m(cfg);
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T0, 0x00600000);   // unmapped page as "table"
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);          // AdEL, table slot unmapped
+        a.hcall(0);
+    });
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);   // kernel got it
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 0u);
+}
+
+// -- TLBMP ---------------------------------------------------------------
+
+TEST(Tlbmp, UserAmplifiesWritePermissionWithUBit)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    // data page write-protected but user-modifiable
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T1, kUserData);
+        a.li(T2, 3);            // D=1 (bit0), V=1 (bit1)
+        a.tlbmp(T1, T2);
+        a.li(T3, 88);
+        a.sw(T3, 0, T1);        // now succeeds
+        a.lw(V0, 0, T1);
+        a.hcall(0);
+    }, /*data_writable=*/false, /*data_user_modifiable=*/true);
+    RunResult r = m.cpu().run(1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.cpu().reg(V0), 88u);
+    EXPECT_EQ(m.cpu().stats().exceptionsTaken, 0u);
+}
+
+TEST(Tlbmp, UserRestrictsProtection)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T1, kUserData);
+        a.li(T2, 2);            // D=0, V=1: revoke write
+        a.tlbmp(T1, T2);
+        a.sw(Zero, 0, T1);      // Mod fault -> kernel
+        a.hcall(0);
+    }, /*data_writable=*/true, /*data_user_modifiable=*/true);
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::Mod)], 1u);
+}
+
+TEST(Tlbmp, WithoutUBitRaisesRiForKernelEmulation)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T1, kUserData);
+        a.li(T2, 3);
+        a.tlbmp(T1, T2);        // U bit clear: RI
+        a.hcall(0);
+    }, /*data_writable=*/false, /*data_user_modifiable=*/false);
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::Ri)], 1u);
+}
+
+TEST(Tlbmp, WithoutHardwareRaisesRi)
+{
+    MachineConfig cfg;
+    cfg.cpu.userVectorHw = false;
+    cfg.cpu.tlbmpHw = false;
+    Machine m(cfg);
+    installHaltingVectors(m);
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T1, kUserData);
+        a.li(T2, 3);
+        a.tlbmp(T1, T2);
+        a.hcall(0);
+    }, false, true);
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::Ri)], 1u);
+}
+
+TEST(Tlbmp, CannotChangeTranslation)
+{
+    // TLBMP only touches V/D: the PFN is unchanged afterwards.
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    loadUser(m, [&](Assembler &a) {
+        a.li32(T1, kUserData);
+        a.li(T2, 3);
+        a.tlbmp(T1, T2);
+        a.hcall(0);
+    }, false, true);
+    m.cpu().run(1000);
+    auto hit = m.cpu().tlb().probeQuiet(kUserData, 1);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(m.cpu().tlb().entry(*hit).pfn(), kUserDataPhys);
+    EXPECT_TRUE(m.cpu().tlb().entry(*hit).dirty());
+    EXPECT_TRUE(m.cpu().tlb().entry(*hit).userModifiable());
+}
+
+} // namespace
+} // namespace uexc::sim

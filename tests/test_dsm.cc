@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the page-based DSM cluster: coherence of the
+ * write-invalidate protocol (reads see the latest write, ownership
+ * migrates, copysets invalidate), fault accounting, and the
+ * exception-cost contribution to page-miss latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dsm/dsm.h"
+
+namespace uexc::apps {
+namespace {
+
+using rt::DeliveryMode;
+
+constexpr Addr kBase = 0x40000000;
+
+DsmCluster::Config
+smallCluster(DeliveryMode mode = DeliveryMode::FastSoftware,
+             unsigned nodes = 2)
+{
+    DsmCluster::Config cfg;
+    cfg.nodes = nodes;
+    cfg.bytes = 4 * os::kPageBytes;
+    cfg.mode = mode;
+    cfg.networkLatencyCycles = 1000;   // fast fabric for tests
+    return cfg;
+}
+
+TEST(Dsm, InitialOwnerReadsAndWritesWithoutFaults)
+{
+    DsmCluster dsm(smallCluster());
+    dsm.write(0, kBase, 42);
+    EXPECT_EQ(dsm.read(0, kBase), 42u);
+    EXPECT_EQ(dsm.stats().readFaults, 0u);
+    EXPECT_EQ(dsm.stats().writeFaults, 0u);
+}
+
+TEST(Dsm, RemoteReadFetchesPageAndSeesData)
+{
+    DsmCluster dsm(smallCluster());
+    dsm.write(0, kBase + 0x10, 1234);
+    EXPECT_EQ(dsm.read(1, kBase + 0x10), 1234u);
+    EXPECT_EQ(dsm.stats().readFaults, 1u);
+    EXPECT_EQ(dsm.stats().pageTransfers, 1u);
+    EXPECT_EQ(dsm.state(1, kBase), DsmPageState::ReadShared);
+    // the former owner dropped to read-shared
+    EXPECT_EQ(dsm.state(0, kBase), DsmPageState::ReadShared);
+    // further reads on node 1 are local
+    EXPECT_EQ(dsm.read(1, kBase + 0x10), 1234u);
+    EXPECT_EQ(dsm.stats().readFaults, 1u);
+}
+
+TEST(Dsm, RemoteWriteTakesOwnershipAndInvalidates)
+{
+    DsmCluster dsm(smallCluster());
+    dsm.write(0, kBase, 1);
+    EXPECT_EQ(dsm.read(1, kBase), 1u);       // node 1 joins copyset
+    dsm.write(1, kBase, 2);                  // node 1 takes ownership
+    EXPECT_EQ(dsm.ownerOf(kBase), 1u);
+    EXPECT_EQ(dsm.state(0, kBase), DsmPageState::Invalid);
+    EXPECT_EQ(dsm.state(1, kBase), DsmPageState::Writable);
+    EXPECT_GE(dsm.stats().invalidations, 1u);
+    // node 0 reading again sees node 1's write
+    EXPECT_EQ(dsm.read(0, kBase), 2u);
+}
+
+TEST(Dsm, SequentialConsistencyUnderPingPong)
+{
+    DsmCluster dsm(smallCluster());
+    for (Word i = 0; i < 20; i++) {
+        unsigned writer = i % 2;
+        unsigned reader = 1 - writer;
+        dsm.write(writer, kBase + 0x20, i);
+        EXPECT_EQ(dsm.read(reader, kBase + 0x20), i) << "iteration " << i;
+    }
+}
+
+TEST(Dsm, IndependentPagesDoNotInterfere)
+{
+    DsmCluster dsm(smallCluster());
+    dsm.write(0, kBase, 10);                     // page 0
+    dsm.write(1, kBase + os::kPageBytes, 20);    // page 1
+    EXPECT_EQ(dsm.ownerOf(kBase), 0u);
+    EXPECT_EQ(dsm.ownerOf(kBase + os::kPageBytes), 1u);
+    EXPECT_EQ(dsm.read(0, kBase), 10u);
+    EXPECT_EQ(dsm.read(1, kBase + os::kPageBytes), 20u);
+}
+
+TEST(Dsm, ThreeNodeCopysetInvalidation)
+{
+    DsmCluster dsm(smallCluster(DeliveryMode::FastSoftware, 3));
+    dsm.write(0, kBase, 5);
+    EXPECT_EQ(dsm.read(1, kBase), 5u);
+    EXPECT_EQ(dsm.read(2, kBase), 5u);
+    // all three share the page read-only now
+    dsm.write(2, kBase, 6);
+    EXPECT_EQ(dsm.state(0, kBase), DsmPageState::Invalid);
+    EXPECT_EQ(dsm.state(1, kBase), DsmPageState::Invalid);
+    EXPECT_EQ(dsm.state(2, kBase), DsmPageState::Writable);
+    EXPECT_EQ(dsm.read(0, kBase), 6u);
+    EXPECT_EQ(dsm.read(1, kBase), 6u);
+}
+
+TEST(Dsm, WholePageContentTransfers)
+{
+    DsmCluster dsm(smallCluster());
+    for (unsigned i = 0; i < 32; i++)
+        dsm.write(0, kBase + 4 * i, 100 + i);
+    // one read miss transfers the whole page
+    EXPECT_EQ(dsm.read(1, kBase), 100u);
+    for (unsigned i = 1; i < 32; i++)
+        EXPECT_EQ(dsm.read(1, kBase + 4 * i), 100 + i);
+    EXPECT_EQ(dsm.stats().pageTransfers, 1u);
+}
+
+TEST(Dsm, ExceptionMechanismMattersOnFastNetworks)
+{
+    // with a fast interconnect, the dispatch path is a visible
+    // fraction of a page miss: the fast mechanism beats signals
+    auto pingpong = [](DeliveryMode mode, Cycles latency) {
+        DsmCluster::Config cfg = smallCluster(mode);
+        cfg.networkLatencyCycles = latency;
+        DsmCluster dsm(cfg);
+        dsm.write(0, kBase, 0);   // establish ownership
+        Cycles before = dsm.totalCycles();
+        for (Word i = 0; i < 10; i++)
+            dsm.write(i % 2, kBase, i);
+        return dsm.totalCycles() - before;
+    };
+
+    Cycles fast_net_fast_exc =
+        pingpong(DeliveryMode::FastSoftware, 500);
+    Cycles fast_net_ultrix =
+        pingpong(DeliveryMode::UltrixSignal, 500);
+    EXPECT_LT(fast_net_fast_exc, fast_net_ultrix);
+
+    // on a slow 1994 network the mechanism matters relatively less
+    double slow_ratio =
+        static_cast<double>(pingpong(DeliveryMode::UltrixSignal, 50000)) /
+        pingpong(DeliveryMode::FastSoftware, 50000);
+    double fast_ratio = static_cast<double>(fast_net_ultrix) /
+                        fast_net_fast_exc;
+    EXPECT_GT(fast_ratio, slow_ratio);
+}
+
+} // namespace
+} // namespace uexc::apps

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * End-to-end tests of the exception runtime through the UserEnv
+ * facade, parameterized over all three delivery mechanisms: stock
+ * Ultrix signals, the paper's fast software scheme, and the proposed
+ * hardware user vectoring. Each test drives the complete simulated
+ * path: MMU fault -> vectoring -> kernel or direct delivery ->
+ * user-level stub -> host handler -> resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "os_test_util.h"
+
+namespace uexc::rt {
+namespace {
+
+using namespace os;
+using namespace os::testutil;
+using sim::ExcCode;
+
+constexpr Addr kHeap = 0x10000000;
+
+const char *
+modeName(DeliveryMode m)
+{
+    switch (m) {
+      case DeliveryMode::UltrixSignal: return "UltrixSignal";
+      case DeliveryMode::FastSoftware: return "FastSoftware";
+      case DeliveryMode::FastHardwareVector: return "FastHardwareVector";
+    }
+    return "?";
+}
+
+class EnvModes : public ::testing::TestWithParam<DeliveryMode>
+{
+  protected:
+    EnvModes()
+        : booted_(osMachineConfig(/*hw_extensions=*/true)),
+          env_(booted_.kernel, GetParam())
+    {
+        env_.install(kAllExcMask);
+    }
+
+    BootedKernel booted_;
+    UserEnv env_;
+};
+
+TEST_P(EnvModes, PlainLoadStoreRoundTrip)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.store(kHeap + 0x40, 0xfeedface);
+    EXPECT_EQ(env_.load(kHeap + 0x40), 0xfeedfaceu);
+    EXPECT_EQ(env_.stats().faultsDelivered, 0u);
+}
+
+TEST_P(EnvModes, FirstTouchTakesTlbRefillTransparently)
+{
+    env_.allocate(kHeap, 16 * kPageBytes);
+    for (unsigned i = 0; i < 16; i++)
+        env_.store(kHeap + i * kPageBytes, i);
+    for (unsigned i = 0; i < 16; i++)
+        EXPECT_EQ(env_.load(kHeap + i * kPageBytes), i);
+    EXPECT_EQ(env_.stats().faultsDelivered, 0u);
+    EXPECT_GT(env_.cpu().stats().tlbRefillFaults, 0u);
+}
+
+TEST_P(EnvModes, WriteProtectionFaultDelivered)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.protect(kHeap, kPageBytes, kProtRead);
+
+    ExcCode seen_code{};
+    Addr seen_badva = 0;
+    env_.setHandler([&](Fault &f) {
+        seen_code = f.code();
+        seen_badva = f.badVaddr();
+        env_.protect(kHeap, kPageBytes, kProtRead | kProtWrite);
+    });
+
+    env_.store(kHeap + 0x24, 77);
+    EXPECT_EQ(env_.stats().faultsDelivered, 1u);
+    EXPECT_EQ(seen_code, ExcCode::Mod);
+    EXPECT_EQ(seen_badva, kHeap + 0x24);
+    EXPECT_EQ(env_.load(kHeap + 0x24), 77u);
+    // no further faults now that the page is writable again
+    env_.store(kHeap + 0x28, 78);
+    EXPECT_EQ(env_.stats().faultsDelivered, 1u);
+}
+
+TEST_P(EnvModes, NoAccessProtectionFaultOnLoad)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.store(kHeap, 1234);
+    env_.protect(kHeap, kPageBytes, 0);
+
+    env_.setHandler([&](Fault &f) {
+        EXPECT_EQ(f.code(), ExcCode::TlbL);
+        env_.protect(kHeap, kPageBytes, kProtRead | kProtWrite);
+    });
+    EXPECT_EQ(env_.load(kHeap), 1234u);
+    EXPECT_EQ(env_.stats().faultsDelivered, 1u);
+}
+
+TEST_P(EnvModes, UnalignedLoadDeliveredAndRepaired)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.store(kHeap + 0x40, 0xabcd0123);
+
+    env_.setHandler([&](Fault &f) {
+        EXPECT_EQ(f.code(), ExcCode::AdEL);
+        EXPECT_EQ(f.badVaddr(), kHeap + 0x42);
+        // repair the pointer register, as a swizzling handler would
+        EXPECT_EQ(f.reg(sim::T6), kHeap + 0x42);
+        f.setReg(sim::T6, kHeap + 0x40);
+    });
+    EXPECT_EQ(env_.load(kHeap + 0x42), 0xabcd0123u);
+    EXPECT_EQ(env_.stats().faultsDelivered, 1u);
+}
+
+TEST_P(EnvModes, UnalignedStoreDelivered)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.setHandler([&](Fault &f) {
+        EXPECT_EQ(f.code(), ExcCode::AdES);
+        f.setReg(sim::T6, kHeap + 0x10);
+    });
+    env_.store(kHeap + 0x13, 99);
+    EXPECT_EQ(env_.load(kHeap + 0x10), 99u);
+}
+
+TEST_P(EnvModes, ResumeAtSkipsFaultingInstruction)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.store(kHeap, 1);
+    env_.protect(kHeap, kPageBytes, kProtRead);
+
+    env_.setHandler([&](Fault &f) {
+        // suppress the store entirely
+        f.resumeAt(f.pc() + 4);
+    });
+    env_.store(kHeap, 42);
+    EXPECT_EQ(env_.stats().faultsDelivered, 1u);
+    env_.protect(kHeap, kPageBytes, kProtRead | kProtWrite);
+    EXPECT_EQ(env_.load(kHeap), 1u);  // unchanged
+}
+
+TEST_P(EnvModes, HandlerSeesStoredValueRegister)
+{
+    env_.allocate(kHeap, kPageBytes);
+    env_.protect(kHeap, kPageBytes, kProtRead);
+    Word seen = 0;
+    env_.setHandler([&](Fault &f) {
+        seen = f.reg(sim::T7);
+        env_.protect(kHeap, kPageBytes, kProtRead | kProtWrite);
+    });
+    env_.store(kHeap, 0x5151);
+    EXPECT_EQ(seen, 0x5151u);
+}
+
+TEST_P(EnvModes, GetpidSyscall)
+{
+    EXPECT_EQ(env_.guestSyscall(sys::Getpid),
+              env_.process().pid());
+}
+
+TEST_P(EnvModes, UnknownSyscallReturnsError)
+{
+    EXPECT_EQ(env_.guestSyscall(14), static_cast<Word>(-1));
+    EXPECT_EQ(env_.guestSyscall(99), static_cast<Word>(-1));
+}
+
+TEST_P(EnvModes, RepeatedFaultsAllDelivered)
+{
+    env_.allocate(kHeap, 4 * kPageBytes);
+    unsigned count = 0;
+    env_.setHandler([&](Fault &f) {
+        count++;
+        Addr page = f.badVaddr() & ~(kPageBytes - 1);
+        env_.protect(page, kPageBytes, kProtRead | kProtWrite);
+    });
+    for (unsigned round = 0; round < 3; round++) {
+        env_.protect(kHeap, 4 * kPageBytes, kProtRead);
+        for (unsigned i = 0; i < 4; i++)
+            env_.store(kHeap + i * kPageBytes + 8, round * 10 + i);
+    }
+    EXPECT_EQ(count, 12u);
+    EXPECT_EQ(env_.load(kHeap + 3 * kPageBytes + 8), 23u);
+}
+
+TEST_P(EnvModes, CyclesAdvanceWithWork)
+{
+    env_.allocate(kHeap, kPageBytes);
+    Cycles before = env_.cycles();
+    for (int i = 0; i < 100; i++)
+        env_.store(kHeap + 4 * i, i);
+    Cycles after = env_.cycles();
+    EXPECT_GE(after - before, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, EnvModes,
+    ::testing::Values(DeliveryMode::UltrixSignal,
+                      DeliveryMode::FastSoftware,
+                      DeliveryMode::FastHardwareVector),
+    [](const ::testing::TestParamInfo<DeliveryMode> &info) {
+        return modeName(info.param);
+    });
+
+// -- mode-specific behaviour -------------------------------------------------
+
+TEST(EnvOrdering, FaultRoundTripCostOrdering)
+{
+    // the paper's central claim, end to end: hardware vectoring <
+    // fast software scheme < stock Unix signals
+    auto measure = [](DeliveryMode mode) {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, mode);
+        env.install(kAllExcMask);
+        env.allocate(kHeap, kPageBytes);
+        env.setHandler([&](Fault &f) { f.resumeAt(f.pc() + 4); });
+        env.protect(kHeap, kPageBytes, kProtRead);
+        // warm one fault, then measure the second
+        env.store(kHeap, 1);
+        Cycles before = env.cycles();
+        env.store(kHeap, 2);
+        return env.cycles() - before;
+    };
+
+    Cycles ultrix = measure(DeliveryMode::UltrixSignal);
+    Cycles fast_sw = measure(DeliveryMode::FastSoftware);
+    Cycles fast_hw = measure(DeliveryMode::FastHardwareVector);
+
+    EXPECT_LT(fast_hw, fast_sw);
+    EXPECT_LT(fast_sw, ultrix);
+    // order of magnitude between stock and fast software (paper: 10x
+    // on the round trip; protection faults are ~4x)
+    EXPECT_GT(ultrix, 3 * fast_sw);
+}
+
+TEST(EnvEager, EagerAmplificationSkipsHandlerReprotect)
+{
+    BootedKernel bk;
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    env.setEagerAmplify(true);
+
+    unsigned faults = 0;
+    env.setHandler([&](Fault &) {
+        faults++;
+        // note: no unprotect call — the kernel already amplified
+    });
+    env.protect(kHeap, kPageBytes, kProtRead);
+    env.store(kHeap, 7);
+    EXPECT_EQ(faults, 1u);
+    EXPECT_EQ(env.load(kHeap), 7u);
+    // page stays amplified until re-protected
+    env.store(kHeap, 8);
+    EXPECT_EQ(faults, 1u);
+    EXPECT_EQ(env.stats().inHandlerServiceCalls, 0u);
+}
+
+TEST(EnvSubpage, UnprotectedSubpageAccessIsEmulatedSilently)
+{
+    BootedKernel bk;
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    unsigned faults = 0;
+    env.setHandler([&](Fault &) { faults++; });
+
+    // protect only subpage 2 ([0x800, 0xc00))
+    env.subpageProtect(kHeap + 0x800, kSubpageBytes, kProtRead);
+    // a store into subpage 0 traps to the kernel but is emulated
+    env.store(kHeap + 0x10, 123);
+    EXPECT_EQ(env.load(kHeap + 0x10), 123u);
+    EXPECT_EQ(faults, 0u);
+    EXPECT_EQ(bk.kernel.subpageEmulations(), 1u);
+}
+
+TEST(EnvSubpage, ProtectedSubpageAccessVectorsToUser)
+{
+    BootedKernel bk;
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    unsigned faults = 0;
+    Addr seen = 0;
+    env.setHandler([&](Fault &f) {
+        faults++;
+        seen = f.badVaddr();
+    });
+
+    env.subpageProtect(kHeap + 0x800, kSubpageBytes, kProtRead);
+    env.store(kHeap + 0x804, 55);  // protected subpage
+    EXPECT_EQ(faults, 1u);
+    EXPECT_EQ(seen, kHeap + 0x804);
+    // the kernel amplified the page before vectoring: the retried
+    // store completed and further stores are free
+    EXPECT_EQ(env.load(kHeap + 0x804), 55u);
+    env.store(kHeap + 0x808, 56);
+    EXPECT_EQ(faults, 1u);
+}
+
+TEST(EnvSubpage, ReprotectRestoresChecksAfterAmplify)
+{
+    BootedKernel bk;
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    unsigned faults = 0;
+    env.setHandler([&](Fault &) { faults++; });
+
+    env.subpageProtect(kHeap + 0x800, kSubpageBytes, kProtRead);
+    env.store(kHeap + 0x804, 1);   // fault 1, page amplified
+    // user re-arms the checks (the paper's "subsequent call ...
+    // re-enables protection checks on the logical page")
+    env.subpageProtect(kHeap + 0x800, kSubpageBytes, kProtRead);
+    env.store(kHeap + 0x80c, 2);   // fault 2
+    EXPECT_EQ(faults, 2u);
+}
+
+TEST(EnvTlbmp, HardwareModifiesProtectionWithoutKernel)
+{
+    BootedKernel bk(osMachineConfig(/*hw_extensions=*/true));
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    env.setHandler([&](Fault &) { FAIL() << "no fault expected"; });
+
+    // write-protect via the kernel (grants the U bit), then
+    // re-enable writes entirely at user level with TLBMP
+    env.protect(kHeap, kPageBytes, kProtRead);
+    // touch to get the entry into the TLB (read is allowed)
+    env.load(kHeap);
+    std::uint64_t ri_before = bk.kernel.riEmulations();
+    env.userTlbModify(kHeap, /*writable=*/true, /*valid=*/true);
+    EXPECT_EQ(bk.kernel.riEmulations(), ri_before);  // pure hardware
+    env.store(kHeap, 9);
+    EXPECT_EQ(env.load(kHeap), 9u);
+}
+
+TEST(EnvTlbmp, SoftwareEmulationViaReservedInstruction)
+{
+    BootedKernel bk(osMachineConfig(/*hw_extensions=*/false));
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    env.setHandler([&](Fault &) { FAIL() << "no fault expected"; });
+
+    env.protect(kHeap, kPageBytes, kProtRead);
+    env.userTlbModify(kHeap, true, true);
+    EXPECT_EQ(bk.kernel.riEmulations(), 1u);
+    env.store(kHeap, 10);
+    EXPECT_EQ(env.load(kHeap), 10u);
+}
+
+TEST(EnvTlbmp, HardwarePathIsCheaperThanEmulation)
+{
+    auto measure = [](bool hw) {
+        BootedKernel bk(osMachineConfig(hw));
+        UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+        env.install(kAllExcMask);
+        env.allocate(kHeap, kPageBytes);
+        env.protect(kHeap, kPageBytes, kProtRead);
+        env.load(kHeap);  // pull the mapping into the TLB
+        Cycles before = env.cycles();
+        env.userTlbModify(kHeap, true, true);
+        return env.cycles() - before;
+    };
+    Cycles hw = measure(true);
+    Cycles sw = measure(false);
+    EXPECT_LT(hw, sw / 4);
+}
+
+TEST(EnvPolicy, KernelStripsNonDeliverableTypesFromTheMask)
+{
+    // section 3.2: syscalls, coprocessor-unusable (and interrupts,
+    // and RI for opcode emulation) can never be delivered fast
+    BootedKernel bk;
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(0xffff);
+    Word mask = env.process().field(os::proc::UexcMask);
+    EXPECT_EQ(mask & (1u << static_cast<unsigned>(ExcCode::Sys)), 0u);
+    EXPECT_EQ(mask & (1u << static_cast<unsigned>(ExcCode::Int)), 0u);
+    EXPECT_EQ(mask & (1u << static_cast<unsigned>(ExcCode::CpU)), 0u);
+    EXPECT_EQ(mask & (1u << static_cast<unsigned>(ExcCode::Ri)), 0u);
+    EXPECT_NE(mask & (1u << static_cast<unsigned>(ExcCode::Mod)), 0u);
+    EXPECT_NE(mask & (1u << static_cast<unsigned>(ExcCode::AdEL)), 0u);
+}
+
+TEST(EnvErrors, FaultWithoutHandlerIsFatal)
+{
+    setLoggingEnabled(false);
+    BootedKernel bk;
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(kHeap, kPageBytes);
+    env.protect(kHeap, kPageBytes, kProtRead);
+    EXPECT_THROW(env.store(kHeap, 1), FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(EnvErrors, SecondEnvOnSameKernelIsFatal)
+{
+    setLoggingEnabled(false);
+    BootedKernel bk;
+    UserEnv first(bk.kernel, DeliveryMode::FastSoftware);
+    first.install(kAllExcMask);
+    UserEnv second(bk.kernel, DeliveryMode::FastSoftware);
+    EXPECT_THROW(second.install(kAllExcMask), FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(EnvErrors, HardwareModeRequiresHardware)
+{
+    setLoggingEnabled(false);
+    BootedKernel bk(osMachineConfig(false));
+    EXPECT_THROW(UserEnv(bk.kernel, DeliveryMode::FastHardwareVector),
+                 FatalError);
+    setLoggingEnabled(true);
+}
+
+} // namespace
+} // namespace uexc::rt

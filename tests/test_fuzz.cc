@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Differential (shadow-model) randomized tests:
+ *
+ *  - the generational collector against a host-side reference heap:
+ *    after arbitrary interleavings of allocation, mutation and
+ *    collection, every object reachable in the reference model must
+ *    survive with identical contents;
+ *  - the DSM cluster against a flat shadow memory: sequential
+ *    consistency of random reads/writes across nodes;
+ *  - the object store: all three swizzling strategies must return
+ *    identical data for an identical random workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/dsm/dsm.h"
+#include "apps/gc/gc.h"
+#include "apps/swizzle/swizzler.h"
+#include "os_test_util.h"
+
+namespace uexc::apps {
+namespace {
+
+using namespace os::testutil;
+using rt::DeliveryMode;
+using rt::UserEnv;
+
+// -- GC vs reference heap ----------------------------------------------------
+
+struct ShadowHeap
+{
+    struct Obj
+    {
+        std::vector<Word> words;
+    };
+    std::unordered_map<Addr, Obj> objects;
+    std::vector<Addr> roots = std::vector<Addr>(8, 0);
+
+    std::unordered_set<Addr>
+    reachable() const
+    {
+        std::unordered_set<Addr> seen;
+        std::vector<Addr> stack;
+        for (Addr r : roots) {
+            if (objects.count(r) && seen.insert(r).second)
+                stack.push_back(r);
+        }
+        while (!stack.empty()) {
+            Addr p = stack.back();
+            stack.pop_back();
+            for (Word w : objects.at(p).words) {
+                if (objects.count(w) && seen.insert(w).second)
+                    stack.push_back(w);
+            }
+        }
+        return seen;
+    }
+};
+
+class GcFuzz : public ::testing::TestWithParam<
+                   std::pair<unsigned, DeliveryMode>> {};
+
+TEST_P(GcFuzz, CollectorAgreesWithReferenceModel)
+{
+    BootedKernel bk(osMachineConfig(true));
+    UserEnv env(bk.kernel, GetParam().second);
+    env.install(kAllExcMask);
+    Collector::Config cfg;
+    cfg.youngBudgetBytes = 8 * 1024;   // frequent collections
+    cfg.numRoots = 8;
+    Collector gc(env, cfg);
+
+    ShadowHeap shadow;
+    std::vector<Addr> live;   // candidates for mutation
+    std::mt19937 rng(GetParam().first);
+
+    for (unsigned op = 0; op < 1500; op++) {
+        unsigned kind = rng() % 100;
+        if (kind < 45 || live.empty()) {
+            // allocate and root it somewhere (or leak it as garbage)
+            unsigned words = 1 + rng() % 4;
+            Addr obj = gc.alloc(words);
+            shadow.objects[obj].words.assign(words, 0);
+            live.push_back(obj);
+            if (rng() % 3 != 0) {
+                unsigned slot = rng() % shadow.roots.size();
+                gc.setRoot(slot, obj);
+                shadow.roots[slot] = obj;
+            }
+        } else if (kind < 85) {
+            // mutate: store a pointer or a datum into a live object
+            Addr dst = live[rng() % live.size()];
+            auto it = shadow.objects.find(dst);
+            if (it == shadow.objects.end())
+                continue;
+            unsigned index = rng() % it->second.words.size();
+            Word value;
+            if (rng() % 2 && !live.empty()) {
+                value = live[rng() % live.size()];
+                if (!shadow.objects.count(value))
+                    value = 0x1000 + (rng() % 1000) * 4;
+            } else {
+                value = 0x1000 + (rng() % 1000) * 4;  // plain datum
+            }
+            if (gc.isObject(dst)) {
+                gc.writeWord(dst, index, value);
+                it->second.words[index] = value;
+            }
+        } else if (kind < 92) {
+            // drop a root
+            unsigned slot = rng() % shadow.roots.size();
+            gc.setRoot(slot, 0);
+            shadow.roots[slot] = 0;
+        } else {
+            gc.collect();
+            // prune the shadow and the candidate list to the
+            // reference-reachable set (the collector may keep more
+            // via conservative block promotion, never less)
+            auto keep = shadow.reachable();
+            for (auto it = shadow.objects.begin();
+                 it != shadow.objects.end();) {
+                if (!keep.count(it->first))
+                    it = shadow.objects.erase(it);
+                else
+                    ++it;
+            }
+            live.assign(keep.begin(), keep.end());
+        }
+    }
+
+    gc.collect();
+    auto keep = shadow.reachable();
+    for (Addr p : keep) {
+        ASSERT_TRUE(gc.isObject(p))
+            << "reachable object 0x" << std::hex << p << " was lost";
+        const auto &words = shadow.objects.at(p).words;
+        for (unsigned i = 0; i < words.size(); i++) {
+            EXPECT_EQ(gc.readWord(p, i), words[i])
+                << "content diverged at 0x" << std::hex << p << "+"
+                << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GcFuzz,
+    ::testing::Values(
+        std::make_pair(7u, DeliveryMode::FastSoftware),
+        std::make_pair(42u, DeliveryMode::FastSoftware),
+        std::make_pair(1999u, DeliveryMode::UltrixSignal),
+        std::make_pair(31337u, DeliveryMode::FastHardwareVector),
+        std::make_pair(64738u, DeliveryMode::UltrixSignal),
+        std::make_pair(8128u, DeliveryMode::FastHardwareVector)));
+
+// -- DSM vs flat shadow memory --------------------------------------------------
+
+class DsmFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DsmFuzz, SequentiallyConsistentUnderRandomTraffic)
+{
+    constexpr Addr kBase = 0x40000000;
+    DsmCluster::Config cfg;
+    cfg.nodes = 3;
+    cfg.bytes = 4 * os::kPageBytes;
+    cfg.networkLatencyCycles = 500;
+    DsmCluster dsm(cfg);
+
+    std::unordered_map<Addr, Word> shadow;
+    std::mt19937 rng(GetParam());
+
+    for (unsigned op = 0; op < 600; op++) {
+        unsigned node = rng() % cfg.nodes;
+        Addr addr = kBase + 4 * (rng() % (cfg.bytes / 4));
+        if (rng() % 2) {
+            Word value = rng();
+            dsm.write(node, addr, value);
+            shadow[addr] = value;
+        } else {
+            Word expect = shadow.count(addr) ? shadow[addr] : 0;
+            ASSERT_EQ(dsm.read(node, addr), expect)
+                << "node " << node << " addr 0x" << std::hex << addr;
+        }
+    }
+    // final sweep: every node sees the final state everywhere
+    for (unsigned node = 0; node < cfg.nodes; node++) {
+        for (const auto &[addr, value] : shadow)
+            ASSERT_EQ(dsm.read(node, addr), value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsmFuzz,
+                         ::testing::Values(11u, 222u, 3333u));
+
+// -- swizzling strategy equivalence ------------------------------------------------
+
+class SwizzleFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SwizzleFuzz, AllStrategiesReturnIdenticalData)
+{
+    std::mt19937 graph_rng(GetParam());
+    const unsigned n = 40;
+    // a fixed random object graph description
+    struct Desc
+    {
+        std::vector<PField> fields;
+    };
+    std::vector<Desc> descs(n);
+    for (unsigned i = 0; i < n; i++) {
+        for (unsigned d = 0; d < 3; d++)
+            descs[i].fields.push_back(PField{false, graph_rng()});
+        for (unsigned p = 0; p < 4; p++)
+            descs[i].fields.push_back(
+                PField{true, graph_rng() % n});
+    }
+
+    auto run = [&](SwizzleMode mode) {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+        env.install(kAllExcMask);
+        ObjectStore::Config cfg;
+        cfg.mode = mode;
+        ObjectStore store(env, cfg);
+        for (const Desc &d : descs)
+            store.createObject(d.fields);
+
+        // a deterministic random walk reading data along the way
+        std::mt19937 walk_rng(GetParam() ^ 0x5555);
+        std::vector<Word> observed;
+        Addr obj = store.pin(0);
+        for (unsigned step = 0; step < 200; step++) {
+            unsigned field = walk_rng() % 3;
+            observed.push_back(store.readData(obj, field));
+            obj = store.deref(obj, 3 + walk_rng() % 4);
+        }
+        return observed;
+    };
+
+    auto lazy_exc = run(SwizzleMode::LazyExceptions);
+    auto lazy_chk = run(SwizzleMode::LazyChecks);
+    auto eager = run(SwizzleMode::Eager);
+    EXPECT_EQ(lazy_exc, lazy_chk);
+    EXPECT_EQ(lazy_chk, eager);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwizzleFuzz,
+                         ::testing::Values(5u, 77u, 901u));
+
+} // namespace
+} // namespace uexc::apps

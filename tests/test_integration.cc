@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Whole-system integration tests: several exception-driven runtime
+ * systems exercised back to back, with machine-level invariants
+ * checked afterwards (TLB entries must agree with the page tables,
+ * cycle accounting must be monotonic and attributed), plus the
+ * umbrella header's compile coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uexc.h"
+
+#include "os_test_util.h"
+
+namespace uexc {
+namespace {
+
+using namespace os::testutil;
+using apps::BarrierKind;
+using apps::Collector;
+using apps::ObjectStore;
+using apps::Oid;
+using apps::PField;
+using apps::SwizzleMode;
+using apps::WatchpointEngine;
+using rt::DeliveryMode;
+using rt::UserEnv;
+
+/**
+ * Invariant: every valid TLB entry for the process maps the same
+ * frame with no more rights than its PTE grants. (Eager amplification
+ * updates PTE and TLB together; TLBMP can make the TLB *more*
+ * restrictive than the PTE, never the opposite direction for V/D
+ * amplification without the PTE update — the kernel's design.)
+ */
+void
+expectTlbCoherent(os::Kernel &kernel, os::Process &proc)
+{
+    const sim::Tlb &tlb = kernel.machine().cpu().tlb();
+    for (unsigned i = 0; i < sim::Tlb::NumEntries; i++) {
+        const sim::TlbEntry &e = tlb.entry(i);
+        if (!e.valid() || e.vpn() >= sim::Cpu::Kseg0Base)
+            continue;
+        if (e.asid() != proc.asid() && !e.global())
+            continue;
+        ASSERT_TRUE(proc.as().present(e.vpn()))
+            << "TLB maps unbacked page 0x" << std::hex << e.vpn();
+        EXPECT_EQ(e.pfn(), proc.as().frameOf(e.vpn()))
+            << "TLB/PTE frame mismatch at 0x" << std::hex << e.vpn();
+    }
+}
+
+TEST(Integration, GcWorkloadLeavesMachineCoherent)
+{
+    BootedKernel bk(osMachineConfig(true));
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    apps::GcWorkloadParams params;
+    params.lispIterations = 40;
+    params.lispTreeDepth = 8;
+    params.youngBudgetBytes = 32 * 1024;
+    apps::GcRunResult r =
+        apps::runLispOps(env, BarrierKind::PageProtection, params);
+    EXPECT_GT(r.gc.collections, 2u);
+    EXPECT_GT(r.gc.barrierFaults, 10u);
+    expectTlbCoherent(bk.kernel, env.process());
+}
+
+TEST(Integration, CycleAccountingIsMonotonicAcrossSubsystems)
+{
+    BootedKernel bk(osMachineConfig(true));
+    UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+
+    Cycles c0 = env.cycles();
+    env.allocate(0x10000000, os::kPageBytes);
+    env.store(0x10000000, 1);
+    Cycles c1 = env.cycles();
+    EXPECT_GT(c1, c0);
+
+    env.setHandler([&](rt::Fault &f) { f.resumeAt(f.pc() + 4); });
+    env.protect(0x10000000, os::kPageBytes, os::kProtRead);
+    Cycles c2 = env.cycles();
+    EXPECT_GT(c2, c1);
+    env.store(0x10000000, 2);
+    Cycles c3 = env.cycles();
+    EXPECT_GT(c3, c2);
+    // the fault cost far exceeds a plain store
+    EXPECT_GT(c3 - c2, 10 * (c1 - c0));
+}
+
+TEST(Integration, SequentialRuntimesOnFreshKernels)
+{
+    // GC, then object store, then watchpoints: each on a fresh
+    // machine; all complete and agree on their own invariants
+    {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+        env.install(kAllExcMask);
+        Collector::Config cfg;
+        Collector gc(env, cfg);
+        Addr keep = gc.alloc(2);
+        gc.setRoot(0, keep);
+        for (int i = 0; i < 500; i++)
+            gc.alloc(4);
+        gc.collect();
+        EXPECT_TRUE(gc.isObject(keep));
+        expectTlbCoherent(bk.kernel, env.process());
+    }
+    {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+        env.install(kAllExcMask);
+        ObjectStore::Config cfg;
+        cfg.mode = SwizzleMode::LazyExceptions;
+        ObjectStore store(env, cfg);
+        Oid b = store.createObject({{false, 9}});
+        Oid a = store.createObject({{true, b}});
+        Addr pa = store.pin(a);
+        Addr pb = store.deref(pa, 0);
+        EXPECT_EQ(store.readData(pb, 0), 9u);
+        expectTlbCoherent(bk.kernel, env.process());
+    }
+    {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+        env.install(kAllExcMask);
+        env.allocate(0x10000000, os::kPageBytes);
+        WatchpointEngine watch(env);
+        unsigned hits = 0;
+        watch.watch(0x10000000, [&](Addr, Word, Word) { hits++; });
+        for (int i = 0; i < 3; i++)
+            watch.store(0x10000000, i);
+        EXPECT_EQ(hits, 3u);
+        expectTlbCoherent(bk.kernel, env.process());
+    }
+}
+
+TEST(Integration, HardwareAndSoftwareModesProduceIdenticalResults)
+{
+    // functional equivalence: the same GC workload produces the same
+    // allocation/collection/fault counts regardless of mechanism —
+    // only the cycle cost differs
+    apps::GcWorkloadParams params;
+    params.lispIterations = 25;
+    params.lispTreeDepth = 7;
+    params.youngBudgetBytes = 16 * 1024;
+
+    auto run = [&](DeliveryMode mode) {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, mode);
+        env.install(kAllExcMask);
+        return apps::runLispOps(env, BarrierKind::PageProtection,
+                                params);
+    };
+    apps::GcRunResult ultrix = run(DeliveryMode::UltrixSignal);
+    apps::GcRunResult fast = run(DeliveryMode::FastSoftware);
+    apps::GcRunResult hw = run(DeliveryMode::FastHardwareVector);
+
+    EXPECT_EQ(ultrix.gc.allocations, fast.gc.allocations);
+    EXPECT_EQ(fast.gc.allocations, hw.gc.allocations);
+    EXPECT_EQ(ultrix.gc.collections, fast.gc.collections);
+    EXPECT_EQ(ultrix.gc.objectsSwept, fast.gc.objectsSwept);
+    EXPECT_EQ(fast.gc.objectsSwept, hw.gc.objectsSwept);
+    EXPECT_LT(hw.cycles, fast.cycles);
+    EXPECT_LT(fast.cycles, ultrix.cycles);
+}
+
+TEST(Integration, Table1ModelsConsumeMeasuredUltrixNumbers)
+{
+    // the pipeline the bench uses, end to end
+    auto cfg = rt::micro::paperMachineConfig();
+    auto ultrix = rt::micro::measure(rt::micro::Scenario::UltrixSimple,
+                                     cfg);
+    auto wp = rt::micro::measure(rt::micro::Scenario::UltrixWriteProt,
+                                 cfg);
+    auto models = os::table1Models(ultrix.deliverUs, ultrix.returnUs,
+                                   wp.deliverUs);
+    ASSERT_FALSE(models.empty());
+    EXPECT_TRUE(models[0].measured);
+    EXPECT_NEAR(models[0].roundTripUs(), ultrix.roundTripUs, 0.01);
+}
+
+} // namespace
+} // namespace uexc

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Static properties of the generated kernel image: vector placement,
+ * exported symbols, and — the reproduction of Table 3's structure —
+ * the per-phase instruction counts of the fast exception handler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/kernelimage.h"
+#include "os/layout.h"
+#include "sim/cpu.h"
+#include "sim/isa.h"
+
+namespace uexc::os {
+namespace {
+
+using sim::Program;
+using uexc::Addr;
+using uexc::Word;
+
+class KernelImage : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { image_ = new Program(buildKernelImage()); }
+    static void TearDownTestSuite()
+    {
+        delete image_;
+        image_ = nullptr;
+    }
+
+    static Program *image_;
+
+    unsigned
+    phaseInsts(const char *begin, const char *end) const
+    {
+        return (image_->symbol(end) - image_->symbol(begin)) / 4;
+    }
+};
+
+Program *KernelImage::image_ = nullptr;
+
+TEST_F(KernelImage, RefillHandlerAtRefillVector)
+{
+    EXPECT_EQ(image_->origin, sim::Cpu::RefillVector);
+    EXPECT_EQ(image_->symbol(ksym::RefillHandler),
+              sim::Cpu::RefillVector);
+    // it must fit in the 0x80-byte slot before the general vector
+    EXPECT_LE(image_->symbol(ksym::RefillEnd),
+              sim::Cpu::GeneralVector);
+}
+
+TEST_F(KernelImage, FastPathBeginsAtGeneralVector)
+{
+    EXPECT_EQ(image_->symbol(ksym::FastDecode),
+              sim::Cpu::GeneralVector);
+}
+
+TEST_F(KernelImage, Table3PhaseInstructionCounts)
+{
+    // Table 3 of the paper: the kernel fast handler's phase breakdown
+    EXPECT_EQ(phaseInsts(ksym::FastDecode, ksym::FastCompat), 6u)
+        << "decode exception";
+    EXPECT_EQ(phaseInsts(ksym::FastCompat, ksym::FastSave), 11u)
+        << "compatibility check";
+    EXPECT_EQ(phaseInsts(ksym::FastSave, ksym::FastFp), 31u)
+        << "save partial state";
+    EXPECT_EQ(phaseInsts(ksym::FastFp, ksym::FastTlbCheck), 6u)
+        << "floating point check";
+    EXPECT_EQ(phaseInsts(ksym::FastTlbCheck, ksym::FastVector), 8u)
+        << "check for TLB fault";
+    EXPECT_EQ(phaseInsts(ksym::FastVector, ksym::FastEnd), 3u)
+        << "vector to user";
+    EXPECT_EQ(phaseInsts(ksym::FastDecode, ksym::FastEnd), 65u)
+        << "total (paper: 65 instructions)";
+}
+
+TEST_F(KernelImage, ExportedSymbolsPresent)
+{
+    for (const char *name :
+         {ksym::Curproc, ksym::SigXlate, ksym::StockPath,
+          ksym::StockEnd, ksym::TlbFault, ksym::SubpagePath}) {
+        EXPECT_TRUE(image_->hasSymbol(name)) << name;
+    }
+}
+
+TEST_F(KernelImage, SignalTranslationTable)
+{
+    auto xlate_at = [&](unsigned code) {
+        Addr addr = image_->symbol(ksym::SigXlate) + 4 * code;
+        return image_->words[(addr - image_->origin) / 4];
+    };
+    EXPECT_EQ(xlate_at(1), kSigsegv);   // Mod
+    EXPECT_EQ(xlate_at(4), kSigbus);    // AdEL
+    EXPECT_EQ(xlate_at(9), kSigtrap);   // Bp
+    EXPECT_EQ(xlate_at(10), kSigill);   // RI
+    EXPECT_EQ(xlate_at(12), kSigfpe);   // Ov
+    EXPECT_EQ(xlate_at(0), 0u);         // Int: no signal
+    EXPECT_EQ(xlate_at(8), 0u);         // Sys: syscall path
+}
+
+TEST_F(KernelImage, AllWordsDecodeOrAreData)
+{
+    // every word in the text region (before kernel data) decodes to a
+    // valid instruction
+    Addr text_end = image_->symbol(ksym::Curproc);
+    unsigned invalid = 0;
+    for (Addr a = image_->origin; a < text_end; a += 4) {
+        Word w = image_->words[(a - image_->origin) / 4];
+        if (sim::decode(w).op == sim::Op::Invalid) {
+            // the syscall dispatch table is data inside text
+            invalid++;
+        }
+    }
+    // allow only the 16-entry syscall table to look like data
+    EXPECT_LE(invalid, 16u);
+}
+
+} // namespace
+} // namespace uexc::os

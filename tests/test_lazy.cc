@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the unaligned-pointer runtime techniques: unbounded
+ * lists, futures, and full/empty-bit synchronization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/lazy/lazy.h"
+#include "os_test_util.h"
+
+namespace uexc::apps {
+namespace {
+
+using namespace os::testutil;
+using rt::DeliveryMode;
+using rt::UserEnv;
+
+constexpr Addr kArena = 0x30000000;
+
+struct LazySetup
+{
+    explicit LazySetup(DeliveryMode mode = DeliveryMode::FastSoftware)
+        : booted(osMachineConfig(true)), env(booted.kernel, mode),
+          arena((env.install(kAllExcMask), env), kArena, 1 << 20)
+    {
+    }
+
+    BootedKernel booted;
+    UserEnv env;
+    LazyArena arena;
+};
+
+TEST(UnboundedList, ElementsMaterializeOnDemand)
+{
+    LazySetup s;
+    UnboundedList squares(s.arena,
+                          [](unsigned i) { return i * i; });
+    EXPECT_EQ(squares.materialized(), 1u);
+
+    Addr cell = squares.head();
+    for (unsigned i = 0; i < 20; i++) {
+        EXPECT_EQ(squares.datum(cell), i * i);
+        cell = squares.next(cell);
+    }
+    EXPECT_EQ(squares.materialized(), 21u);
+    EXPECT_EQ(squares.faults(), 20u);
+}
+
+TEST(UnboundedList, RewalkingUsesNoFaults)
+{
+    LazySetup s;
+    UnboundedList list(s.arena, [](unsigned i) { return i; });
+    Addr cell = list.head();
+    for (int i = 0; i < 10; i++)
+        cell = list.next(cell);
+    std::uint64_t faults = list.faults();
+    // second walk over the materialized prefix: no new faults
+    cell = list.head();
+    for (int i = 0; i < 10; i++)
+        cell = list.next(cell);
+    EXPECT_EQ(list.faults(), faults);
+}
+
+TEST(UnboundedList, WorksUnderUltrixSignalsToo)
+{
+    LazySetup s(DeliveryMode::UltrixSignal);
+    UnboundedList list(s.arena, [](unsigned i) { return 2 * i; });
+    Addr cell = list.head();
+    for (unsigned i = 0; i < 5; i++) {
+        EXPECT_EQ(list.datum(cell), 2 * i);
+        cell = list.next(cell);
+    }
+    EXPECT_EQ(list.faults(), 5u);
+}
+
+TEST(Future, TouchForcesProducer)
+{
+    LazySetup s;
+    int runs = 0;
+    FutureCell fut(s.arena, [&]() {
+        runs++;
+        return Word{4242};
+    });
+    EXPECT_FALSE(fut.resolved());
+    EXPECT_EQ(fut.value(), 4242u);
+    EXPECT_TRUE(fut.resolved());
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(fut.faults(), 1u);
+    // subsequent reads are plain loads
+    EXPECT_EQ(fut.value(), 4242u);
+    EXPECT_EQ(fut.faults(), 1u);
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(Future, ExplicitResolveAvoidsFaults)
+{
+    LazySetup s;
+    FutureCell fut(s.arena, []() { return Word{7}; });
+    fut.resolve();
+    EXPECT_EQ(fut.value(), 7u);
+    EXPECT_EQ(fut.faults(), 0u);
+}
+
+TEST(FullEmpty, EmptyReadTriggersFiller)
+{
+    LazySetup s;
+    int fills = 0;
+    FullEmptyCell cell(s.arena, [&]() {
+        fills++;
+        return Word{11};
+    });
+    EXPECT_FALSE(cell.full());
+    EXPECT_EQ(cell.read(), 11u);
+    EXPECT_TRUE(cell.full());
+    EXPECT_EQ(fills, 1);
+    EXPECT_EQ(cell.faults(), 1u);
+}
+
+TEST(FullEmpty, WriteThenReadNoFault)
+{
+    LazySetup s;
+    FullEmptyCell cell(s.arena, []() { return Word{0}; });
+    cell.write(99);
+    EXPECT_EQ(cell.read(), 99u);
+    EXPECT_EQ(cell.faults(), 0u);
+}
+
+TEST(FullEmpty, TakeEmptiesTheCell)
+{
+    LazySetup s;
+    int fills = 0;
+    FullEmptyCell cell(s.arena, [&]() { return Word(++fills); });
+    cell.write(5);
+    EXPECT_EQ(cell.take(), 5u);
+    EXPECT_FALSE(cell.full());
+    // next read refills through the fault path
+    EXPECT_EQ(cell.read(), 1u);
+    EXPECT_EQ(cell.faults(), 1u);
+}
+
+TEST(LazyCost, FaultCostDependsOnDeliveryMechanism)
+{
+    auto walk_cycles = [](DeliveryMode mode) {
+        LazySetup s(mode);
+        UnboundedList list(s.arena, [](unsigned i) { return i; });
+        Cycles before = s.env.cycles();
+        Addr cell = list.head();
+        for (int i = 0; i < 50; i++)
+            cell = list.next(cell);
+        return s.env.cycles() - before;
+    };
+    Cycles fast = walk_cycles(DeliveryMode::FastSoftware);
+    Cycles ultrix = walk_cycles(DeliveryMode::UltrixSignal);
+    EXPECT_LT(fast, ultrix / 2);
+}
+
+} // namespace
+} // namespace uexc::apps

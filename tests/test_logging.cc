@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for common/logging.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace uexc {
+namespace {
+
+class LoggingQuiet : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLoggingEnabled(false); }
+    void TearDown() override { setLoggingEnabled(true); }
+};
+
+TEST_F(LoggingQuiet, PanicThrowsPanicError)
+{
+    EXPECT_THROW(UEXC_PANIC("boom %d", 42), PanicError);
+}
+
+TEST_F(LoggingQuiet, FatalThrowsFatalError)
+{
+    EXPECT_THROW(UEXC_FATAL("bad config %s", "x"), FatalError);
+}
+
+TEST_F(LoggingQuiet, PanicMessageContainsTextAndLocation)
+{
+    try {
+        UEXC_PANIC("value was %d", 7);
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("value was 7"), std::string::npos);
+        EXPECT_NE(msg.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingQuiet, FatalIsNotPanic)
+{
+    try {
+        UEXC_FATAL("user error");
+        FAIL() << "expected FatalError";
+    } catch (const PanicError &) {
+        FAIL() << "FatalError must not be a PanicError";
+    } catch (const FatalError &) {
+        SUCCEED();
+    }
+}
+
+TEST_F(LoggingQuiet, FormatStringHandlesLongOutput)
+{
+    std::string big(500, 'x');
+    std::string out = detail::formatString("%s", big.c_str());
+    EXPECT_EQ(out, big);
+}
+
+TEST_F(LoggingQuiet, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(UEXC_WARN("warning %d", 1));
+    EXPECT_NO_THROW(UEXC_INFORM("info %d", 2));
+}
+
+} // namespace
+} // namespace uexc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for PhysMemory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/memory.h"
+
+namespace uexc::sim {
+namespace {
+
+class QuietMemory : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLoggingEnabled(false); }
+    void TearDown() override { setLoggingEnabled(true); }
+};
+
+TEST(PhysMemory, StartsZeroed)
+{
+    PhysMemory mem(4096);
+    for (Addr a = 0; a < 4096; a += 4)
+        EXPECT_EQ(mem.readWord(a), 0u);
+}
+
+TEST(PhysMemory, WordRoundTrip)
+{
+    PhysMemory mem(4096);
+    mem.writeWord(0x100, 0xdeadbeefu);
+    EXPECT_EQ(mem.readWord(0x100), 0xdeadbeefu);
+}
+
+TEST(PhysMemory, SubWordAccess)
+{
+    PhysMemory mem(4096);
+    mem.writeWord(0x10, 0x11223344u);
+    // little-endian host layout (simulated machine is little-endian)
+    EXPECT_EQ(mem.readByte(0x10), 0x44u);
+    EXPECT_EQ(mem.readByte(0x13), 0x11u);
+    EXPECT_EQ(mem.readHalf(0x10), 0x3344u);
+    EXPECT_EQ(mem.readHalf(0x12), 0x1122u);
+
+    mem.writeByte(0x10, 0xffu);
+    EXPECT_EQ(mem.readWord(0x10), 0x112233ffu);
+    mem.writeHalf(0x12, 0xaabbu);
+    EXPECT_EQ(mem.readWord(0x10), 0xaabb33ffu);
+}
+
+TEST(PhysMemory, BlockCopy)
+{
+    PhysMemory mem(4096);
+    Word data[3] = {1, 2, 3};
+    mem.writeBlock(0x40, data, sizeof(data));
+    EXPECT_EQ(mem.readWord(0x40), 1u);
+    EXPECT_EQ(mem.readWord(0x48), 3u);
+
+    Word out[3] = {};
+    mem.readBlock(0x40, out, sizeof(out));
+    EXPECT_EQ(out[1], 2u);
+}
+
+TEST(PhysMemory, ClearRange)
+{
+    PhysMemory mem(4096);
+    mem.writeWord(0x20, 0xffffffffu);
+    mem.writeWord(0x24, 0xffffffffu);
+    mem.clearRange(0x20, 8);
+    EXPECT_EQ(mem.readWord(0x20), 0u);
+    EXPECT_EQ(mem.readWord(0x24), 0u);
+}
+
+TEST_F(QuietMemory, OutOfRangeIsPanic)
+{
+    PhysMemory mem(4096);
+    EXPECT_THROW(mem.readWord(4096), PanicError);
+    EXPECT_THROW(mem.writeWord(4096, 0), PanicError);
+    EXPECT_THROW(mem.readWord(0xfffffffcu), PanicError);
+}
+
+TEST_F(QuietMemory, UnalignedPhysicalAccessIsPanic)
+{
+    // unaligned accesses must be caught by the CPU as guest
+    // exceptions before reaching physical memory
+    PhysMemory mem(4096);
+    EXPECT_THROW(mem.readWord(2), PanicError);
+    EXPECT_THROW(mem.readHalf(1), PanicError);
+    EXPECT_THROW(mem.writeWord(6, 0), PanicError);
+}
+
+TEST_F(QuietMemory, ZeroOrOddSizeIsFatal)
+{
+    EXPECT_THROW(PhysMemory(0), FatalError);
+    EXPECT_THROW(PhysMemory(4095), FatalError);
+}
+
+} // namespace
+} // namespace uexc::sim

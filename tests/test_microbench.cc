@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Regression tests over the exception-cost microbenchmarks: these
+ * pin the reproduction's headline numbers (Table 2's rows and
+ * ratios, Table 3's counts) so that refactoring the kernel image or
+ * the cost model cannot silently drift away from the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/microbench.h"
+
+namespace uexc::rt::micro {
+namespace {
+
+class MicroTimings : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        sim::MachineConfig cfg = paperMachineConfig();
+        fastSimple_ = new Timing(measure(Scenario::FastSimple, cfg));
+        fastWp_ = new Timing(measure(Scenario::FastWriteProt, cfg));
+        fastSub_ = new Timing(measure(Scenario::FastSubpage, cfg));
+        ultrix_ = new Timing(measure(Scenario::UltrixSimple, cfg));
+        ultrixWp_ = new Timing(measure(Scenario::UltrixWriteProt, cfg));
+        syscall_ = new Timing(measure(Scenario::NullSyscall, cfg));
+        hw_ = new Timing(measure(Scenario::HwVectorSimple, cfg));
+        special_ = new Timing(measure(Scenario::FastSpecialized, cfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        for (Timing **t : {&fastSimple_, &fastWp_, &fastSub_, &ultrix_,
+                           &ultrixWp_, &syscall_, &hw_, &special_}) {
+            delete *t;
+            *t = nullptr;
+        }
+    }
+
+    static Timing *fastSimple_, *fastWp_, *fastSub_, *ultrix_,
+        *ultrixWp_, *syscall_, *hw_, *special_;
+};
+
+Timing *MicroTimings::fastSimple_;
+Timing *MicroTimings::fastWp_;
+Timing *MicroTimings::fastSub_;
+Timing *MicroTimings::ultrix_;
+Timing *MicroTimings::ultrixWp_;
+Timing *MicroTimings::syscall_;
+Timing *MicroTimings::hw_;
+Timing *MicroTimings::special_;
+
+TEST_F(MicroTimings, FastSimpleDeliveryNearPaper)
+{
+    // paper: 5 us
+    EXPECT_GE(fastSimple_->deliverUs, 4.0);
+    EXPECT_LE(fastSimple_->deliverUs, 7.0);
+}
+
+TEST_F(MicroTimings, FastRoundTripNearPaper)
+{
+    // paper: 8 us
+    EXPECT_GE(fastSimple_->roundTripUs, 6.0);
+    EXPECT_LE(fastSimple_->roundTripUs, 10.0);
+}
+
+TEST_F(MicroTimings, OrderOfMagnitudeOverUltrix)
+{
+    // the paper's central result: 10x on the round trip
+    double ratio = ultrix_->roundTripUs / fastSimple_->roundTripUs;
+    EXPECT_GE(ratio, 8.0);
+    EXPECT_LE(ratio, 13.0);
+}
+
+TEST_F(MicroTimings, WriteProtRatioNearPaper)
+{
+    // paper: 60 vs 15 us = 4x
+    double ratio = ultrixWp_->deliverUs / fastWp_->deliverUs;
+    EXPECT_GE(ratio, 3.0);
+    EXPECT_LE(ratio, 5.5);
+}
+
+TEST_F(MicroTimings, FastRoundTripBeatsNullSyscall)
+{
+    // paper: "33% faster than a simple null Ultrix system call"
+    EXPECT_LT(fastSimple_->roundTripUs, syscall_->roundTripUs);
+}
+
+TEST_F(MicroTimings, CostOrderingAcrossMechanisms)
+{
+    EXPECT_LT(hw_->roundTripUs, special_->roundTripUs);
+    EXPECT_LT(special_->roundTripUs, fastSimple_->roundTripUs);
+    EXPECT_LT(fastSimple_->roundTripUs, ultrix_->roundTripUs);
+}
+
+TEST_F(MicroTimings, ProtectionCostsOrdered)
+{
+    // simple < write-prot < subpage (Table 2's rows 1-3)
+    EXPECT_LT(fastSimple_->deliverUs, fastWp_->deliverUs);
+    EXPECT_LT(fastWp_->deliverUs, fastSub_->deliverUs);
+}
+
+TEST_F(MicroTimings, HardwareVectoringBeyondPaperEstimate)
+{
+    // the paper estimated 2-3x over the software scheme
+    EXPECT_GE(fastSimple_->roundTripUs / hw_->roundTripUs, 2.0);
+}
+
+TEST_F(MicroTimings, SpecializedHandlerCheaperThanGeneric)
+{
+    // section 4.2.2: saving less state buys ~2 us
+    EXPECT_LT(special_->roundTripUs, fastSimple_->roundTripUs - 1.0);
+}
+
+TEST_F(MicroTimings, KernelPathIs65InstructionsMinusUntakenFp)
+{
+    EXPECT_EQ(fastSimple_->kernelInsts, 63u);  // 65 static - 2 untaken
+}
+
+TEST(MicroProfile, Table3DynamicPhases)
+{
+    auto phases = profileFastPath(paperMachineConfig());
+    ASSERT_EQ(phases.size(), 6u);
+    EXPECT_EQ(phases[0].instructions, 6u);    // decode
+    EXPECT_EQ(phases[1].instructions, 11u);   // compat
+    EXPECT_EQ(phases[2].instructions, 31u);   // save
+    EXPECT_EQ(phases[3].instructions, 4u);    // FP (2 untaken)
+    EXPECT_EQ(phases[4].instructions, 8u);    // TLB check
+    EXPECT_EQ(phases[5].instructions, 3u);    // vector
+}
+
+TEST(MicroConfig, CachelessMachineStillShowsTheOrderOfMagnitude)
+{
+    // the result does not depend on the cache model: with fixed
+    // 1-cycle memory the instruction-count gap alone is ~10x
+    sim::MachineConfig cfg = paperMachineConfig();
+    cfg.cpu.cachesEnabled = false;
+    Timing fast = measure(Scenario::FastSimple, cfg);
+    Timing ultrix = measure(Scenario::UltrixSimple, cfg);
+    double ratio = ultrix.roundTripUs / fast.roundTripUs;
+    EXPECT_GE(ratio, 7.0);
+}
+
+TEST(MicroConfig, FasterClockScalesMicroseconds)
+{
+    sim::MachineConfig cfg = paperMachineConfig();
+    Timing at25 = measure(Scenario::FastSimple, cfg);
+    cfg.cpu.cost.clockMhz = 100.0;
+    Timing at100 = measure(Scenario::FastSimple, cfg);
+    EXPECT_EQ(at25.roundTripCycles, at100.roundTripCycles);
+    EXPECT_NEAR(at25.roundTripUs / at100.roundTripUs, 4.0, 0.01);
+}
+
+class MissPenaltySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MissPenaltySweep, HeadlineRatioRobustToMemorySystem)
+{
+    // the order-of-magnitude result must not hinge on one cache
+    // parameter: sweep the miss penalty across a realistic range
+    sim::MachineConfig cfg = paperMachineConfig();
+    cfg.cpu.cost.icacheMissPenalty = GetParam();
+    cfg.cpu.cost.dcacheMissPenalty = GetParam();
+    Timing fast = measure(Scenario::FastSimple, cfg);
+    Timing ultrix = measure(Scenario::UltrixSimple, cfg);
+    double ratio = ultrix.roundTripUs / fast.roundTripUs;
+    EXPECT_GE(ratio, 7.0) << "penalty " << GetParam();
+    EXPECT_LE(ratio, 16.0) << "penalty " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Penalties, MissPenaltySweep,
+                         ::testing::Values(4u, 10u, 14u, 22u, 30u));
+
+TEST(MicroConfig, MeasurementIsDeterministic)
+{
+    sim::MachineConfig cfg = paperMachineConfig();
+    Timing a = measure(Scenario::FastWriteProt, cfg);
+    Timing b = measure(Scenario::FastWriteProt, cfg);
+    EXPECT_EQ(a.deliverCycles, b.deliverCycles);
+    EXPECT_EQ(a.returnCycles, b.returnCycles);
+}
+
+} // namespace
+} // namespace uexc::rt::micro

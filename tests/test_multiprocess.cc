@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Multi-process tests: distinct address spaces behind distinct ASIDs
+ * on one machine, TLB tagging across context switches without
+ * flushes, and per-process fast-exception state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/stubs.h"
+#include "os_test_util.h"
+
+namespace uexc::os {
+namespace {
+
+using namespace sim;
+using namespace testutil;
+using uexc::FatalError;
+using uexc::setLoggingEnabled;
+
+constexpr Addr kSharedVa = 0x10000000;
+
+/** A tiny program: store S0 to kSharedVa, then spin at "park". */
+Program
+storeProgram()
+{
+    Assembler a(kUserTextBase);
+    a.label("main");
+    a.li32(T6, kSharedVa);
+    a.sw(S0, 0, T6);
+    a.lw(S1, 0, T6);
+    a.label("park");
+    a.j("park");
+    a.nop();
+    return a.finalize();
+}
+
+void
+runToPark(sim::Machine &m, const Program &p)
+{
+    m.cpu().addBreakpoint(p.symbol("park"));
+    RunResult r = m.cpu().run(100000);
+    m.cpu().removeBreakpoint(p.symbol("park"));
+    ASSERT_EQ(r.reason, StopReason::Breakpoint);
+}
+
+TEST(MultiProcess, SameVaDifferentPhysicalFrames)
+{
+    BootedKernel bk;
+    Process &p1 = bk.kernel.createProcess();
+    Process &p2 = bk.kernel.createProcess();
+    Program prog = storeProgram();
+    bk.kernel.loadProgram(p1, prog);
+    bk.kernel.loadProgram(p2, prog);
+    p1.as().allocate(kSharedVa, kPageBytes, kProtRead | kProtWrite);
+    p2.as().allocate(kSharedVa, kPageBytes, kProtRead | kProtWrite);
+
+    ASSERT_NE(p1.as().frameOf(kSharedVa), p2.as().frameOf(kSharedVa));
+    ASSERT_NE(p1.asid(), p2.asid());
+
+    bk.kernel.enterUser(p1, prog.symbol("main"));
+    bk.machine.cpu().setReg(S0, 111);
+    runToPark(bk.machine, prog);
+
+    bk.kernel.enterUser(p2, prog.symbol("main"));
+    bk.machine.cpu().setReg(S0, 222);
+    runToPark(bk.machine, prog);
+
+    EXPECT_EQ(bk.machine.mem().readWord(p1.as().physOf(kSharedVa)),
+              111u);
+    EXPECT_EQ(bk.machine.mem().readWord(p2.as().physOf(kSharedVa)),
+              222u);
+}
+
+TEST(MultiProcess, TlbTaggingIsolatesWithoutFlush)
+{
+    // after p1 runs, its TLB entries are resident; switching to p2
+    // (different ASID) must not let p2 read through p1's entries
+    BootedKernel bk;
+    Process &p1 = bk.kernel.createProcess();
+    Process &p2 = bk.kernel.createProcess();
+    Program prog = storeProgram();
+    bk.kernel.loadProgram(p1, prog);
+    bk.kernel.loadProgram(p2, prog);
+    p1.as().allocate(kSharedVa, kPageBytes, kProtRead | kProtWrite);
+    p2.as().allocate(kSharedVa, kPageBytes, kProtRead | kProtWrite);
+
+    bk.kernel.enterUser(p1, prog.symbol("main"));
+    bk.machine.cpu().setReg(S0, 0xaaaa);
+    runToPark(bk.machine, prog);
+    // p1's translation for kSharedVa is now cached
+    ASSERT_TRUE(bk.machine.cpu().tlb().probeQuiet(kSharedVa,
+                                                  p1.asid()));
+
+    std::uint64_t refills_before =
+        bk.machine.cpu().stats().tlbRefillFaults;
+    bk.kernel.enterUser(p2, prog.symbol("main"));
+    bk.machine.cpu().setReg(S0, 0xbbbb);
+    runToPark(bk.machine, prog);
+
+    // p2 loaded its own value back: no cross-ASID leakage
+    EXPECT_EQ(bk.machine.cpu().reg(S1), 0xbbbbu);
+    // and it took its own refills rather than reusing p1's entries
+    EXPECT_GT(bk.machine.cpu().stats().tlbRefillFaults,
+              refills_before);
+    EXPECT_EQ(bk.machine.mem().readWord(p1.as().physOf(kSharedVa)),
+              0xaaaau);
+}
+
+TEST(MultiProcess, FastExceptionStateIsPerProcess)
+{
+    // p1 enables fast exceptions; p2 does not: the same fault type
+    // takes the fast path in p1 and the stock Unix path in p2
+    BootedKernel bk;
+    Process &p1 = bk.kernel.createProcess();
+    Process &p2 = bk.kernel.createProcess();
+
+    Assembler a(kUserTextBase);
+    a.label("main");
+    a.li32(T6, kSharedVa + 2);   // unaligned
+    a.lw(T7, 0, T6);
+    a.label("park");
+    a.j("park");
+    a.nop();
+    rt::emitFastStub(a, "stub", rt::SavePolicy::Minimal,
+                     [](Assembler &as) {
+                         as.lw(T0, SWord(uframe::Epc), T3);
+                         as.addiu(T0, T0, 4);
+                         as.sw(T0, SWord(uframe::Epc), T3);
+                         as.li(T1, 0x0fa0);
+                         as.sw(T1, SWord(uframe::Spill), T3);
+                     });
+    a.label("sig_handler");
+    a.lw(T0, sigctx::Pc * 4, A2);
+    a.addiu(T0, T0, 4);
+    a.sw(T0, sigctx::Pc * 4, A2);
+    a.jr(RA);
+    a.nop();
+    rt::emitTrampoline(a, "tramp");
+    Program prog = a.finalize();
+
+    for (Process *p : {&p1, &p2}) {
+        bk.kernel.loadProgram(*p, prog);
+        p->as().allocate(kSharedVa, kPageBytes,
+                         kProtRead | kProtWrite);
+        p->setField(proc::TrampolineU, prog.symbol("tramp"));
+        p->setField(proc::SigHandlers + 4 * kSigbus,
+                    prog.symbol("sig_handler"));
+    }
+    bk.kernel.svcUexcEnable(p1,
+                            1u << static_cast<unsigned>(ExcCode::AdEL),
+                            prog.symbol("stub"), kUexcFramePage);
+
+    // p1: the fast stub leaves its marker in the frame spill area
+    bk.kernel.enterUser(p1, prog.symbol("main"));
+    runToPark(bk.machine, prog);
+    Addr frame_k = p1.field(proc::UexcFrameK) +
+                   (static_cast<Word>(ExcCode::AdEL)
+                    << uframe::FrameShift);
+    EXPECT_EQ(bk.machine.debugReadWord(frame_k + uframe::Spill),
+              0x0fa0u);
+
+    // p2: the stock path delivered SIGBUS via the trampoline (no
+    // frame page exists at all)
+    Cycles before = bk.machine.cpu().cycles();
+    bk.kernel.enterUser(p2, prog.symbol("main"));
+    runToPark(bk.machine, prog);
+    Cycles p2_cost = bk.machine.cpu().cycles() - before;
+    EXPECT_EQ(p2.field(proc::UexcFrameK), 0u);
+    // and it cost an order of magnitude more
+    EXPECT_GT(p2_cost, 800u);
+}
+
+TEST(MultiProcess, ManyProcessesUntilPageTableArenaFills)
+{
+    setLoggingEnabled(false);
+    sim::MachineConfig cfg;
+    cfg.memBytes = 16 * 1024 * 1024;   // room for ~5 page tables
+    BootedKernel bk(cfg);
+    unsigned created = 0;
+    try {
+        for (int i = 0; i < 64; i++) {
+            bk.kernel.createProcess();
+            created++;
+        }
+        FAIL() << "expected page-table arena exhaustion";
+    } catch (const FatalError &) {
+        EXPECT_GE(created, 3u);
+    }
+    setLoggingEnabled(true);
+}
+
+} // namespace
+} // namespace uexc::os

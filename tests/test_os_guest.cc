@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Guest-level tests of the simulated kernel's dispatch paths: these
+ * drive hand-written guest programs (not the UserEnv facade) to
+ * verify the machine-code behaviour of the Ultrix signal machinery,
+ * the fast path's register contract, recursive-exception semantics,
+ * and the subpage emulation corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/stubs.h"
+#include "os_test_util.h"
+#include "sim/cp0.h"
+
+namespace uexc::os {
+namespace {
+
+using namespace sim;
+using namespace testutil;
+using rt::SavePolicy;
+using rt::emitFastStub;
+using rt::emitTrampoline;
+using uexc::FatalError;
+using uexc::setLoggingEnabled;
+
+constexpr Word kFastMask =
+    (1u << static_cast<unsigned>(ExcCode::Mod)) |
+    (1u << static_cast<unsigned>(ExcCode::TlbL)) |
+    (1u << static_cast<unsigned>(ExcCode::TlbS)) |
+    (1u << static_cast<unsigned>(ExcCode::AdEL)) |
+    (1u << static_cast<unsigned>(ExcCode::AdES)) |
+    (1u << static_cast<unsigned>(ExcCode::Bp));
+
+struct GuestRig
+{
+    explicit GuestRig(const sim::MachineConfig &cfg = osMachineConfig())
+        : bk(cfg), proc(&bk.kernel.createProcess())
+    {
+    }
+
+    /** Build, load and start a user program at its "main" label. */
+    void
+    start(const std::function<void(Assembler &)> &body)
+    {
+        Assembler a(kUserTextBase);
+        body(a);
+        prog = a.finalize();
+        bk.kernel.loadProgram(*proc, prog);
+        proc->as().allocate(0x10000000, kPageBytes,
+                            kProtRead | kProtWrite);
+        bk.kernel.enterUser(*proc, prog.symbol("main"));
+    }
+
+    /** Run until the guest reaches a label. */
+    void
+    runTo(const std::string &label, InstCount limit = 200000)
+    {
+        Cpu &cpu = bk.machine.cpu();
+        cpu.addBreakpoint(prog.symbol(label));
+        RunResult r = cpu.run(limit);
+        cpu.removeBreakpoint(prog.symbol(label));
+        ASSERT_EQ(r.reason, StopReason::Breakpoint)
+            << "guest did not reach " << label;
+    }
+
+    Cpu &cpu() { return bk.machine.cpu(); }
+
+    BootedKernel bk;
+    Process *proc;
+    Program prog;
+};
+
+TEST(GuestSignals, SigreturnRestoresEveryRegister)
+{
+    // load distinctive values into all callee/caller registers, take
+    // a signal whose handler runs arbitrary code, verify every value
+    // survives the full deliver + sigreturn cycle
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        // fill s0-s7, t6-t9, gp with patterns
+        for (unsigned i = 0; i < 8; i++)
+            a.li(S0 + i, 0x5000 + i);
+        a.li(T6, 0x6006);
+        a.li(T7, 0x7007);
+        a.li(T8, 0x8008);
+        a.li(T9, 0x9009);
+        a.li(GP, 0xa00a);
+        a.li(T0, 0x1234);
+        a.mthi(T0);
+        a.li(T0, 0x4321);
+        a.mtlo(T0);
+        a.break_();            // SIGTRAP
+        a.label("after");
+        a.j("after");
+        a.nop();
+
+        a.label("handler");
+        // clobber registers liberally; sigreturn must restore the
+        // interrupted context regardless
+        for (unsigned i = 0; i < 8; i++)
+            a.li(S0 + i, 0xdead);
+        a.li(T6, 0xdead);
+        a.li(GP, 0xdead);
+        // advance sc_pc past the break
+        a.lw(T0, sigctx::Pc * 4, A2);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, sigctx::Pc * 4, A2);
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+    });
+    rig.proc->setField(proc::TrampolineU, rig.prog.symbol("tramp"));
+    rig.proc->setField(proc::SigHandlers + 4 * kSigtrap,
+                       rig.prog.symbol("handler"));
+    rig.runTo("after");
+
+    for (unsigned i = 0; i < 8; i++)
+        EXPECT_EQ(rig.cpu().reg(S0 + i), 0x5000 + i) << "s" << i;
+    EXPECT_EQ(rig.cpu().reg(T6), 0x6006u);
+    EXPECT_EQ(rig.cpu().reg(T7), 0x7007u);
+    EXPECT_EQ(rig.cpu().reg(T8), 0x8008u);
+    EXPECT_EQ(rig.cpu().reg(T9), 0x9009u);
+    EXPECT_EQ(rig.cpu().reg(GP), 0xa00au);
+}
+
+TEST(GuestSignals, HandlerCanRewriteContextRegisters)
+{
+    // the handler modifies a register in the sigcontext; sigreturn
+    // materializes the change in the resumed context
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(S0, 1);
+        a.break_();
+        a.label("after");
+        a.j("after");
+        a.nop();
+
+        a.label("handler");
+        a.li(T0, 777);
+        a.sw(T0, (sigctx::Regs + S0 - 1) * 4, A2);  // sc->s0 = 777
+        a.lw(T0, sigctx::Pc * 4, A2);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, sigctx::Pc * 4, A2);
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+    });
+    rig.proc->setField(proc::TrampolineU, rig.prog.symbol("tramp"));
+    rig.proc->setField(proc::SigHandlers + 4 * kSigtrap,
+                       rig.prog.symbol("handler"));
+    rig.runTo("after");
+    EXPECT_EQ(rig.cpu().reg(S0), 777u);
+}
+
+TEST(GuestSignals, SignalBlockedDuringHandlerUnblockedAfter)
+{
+    // Unix semantics: the delivered signal is added to the mask while
+    // its handler runs; sigreturn restores the saved mask
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.break_();
+        a.label("between");
+        a.break_();            // a second one, after sigreturn
+        a.label("after");
+        a.j("after");
+        a.nop();
+
+        a.label("handler");
+        a.lw(T0, sigctx::Pc * 4, A2);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, sigctx::Pc * 4, A2);
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+    });
+    rig.proc->setField(proc::TrampolineU, rig.prog.symbol("tramp"));
+    rig.proc->setField(proc::SigHandlers + 4 * kSigtrap,
+                       rig.prog.symbol("handler"));
+
+    rig.runTo("between");
+    // after the first delivery completes, the mask must be clear
+    EXPECT_EQ(rig.proc->field(proc::SigMask), 0u);
+    rig.runTo("after");
+    EXPECT_EQ(rig.proc->field(proc::SigMask), 0u);
+}
+
+TEST(GuestFast, StubRestoresScratchRegistersExactly)
+{
+    // at/t0-t5 are kernel-saved and stub-restored; verify the full
+    // contract with live values in every one of them
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(AT, 0x0a0a);
+        a.li(T0, 0x1010);
+        a.li(T1, 0x1111);
+        a.li(T2, 0x1212);
+        a.li(T3, 0x1313);
+        a.li(T4, 0x1414);
+        a.li(T5, 0x1515);
+        a.li32(T6, 0x10000002);  // unaligned target
+        a.lw(T7, 0, T6);         // AdEL
+        a.label("after");
+        a.j("after");
+        a.nop();
+        emitFastStub(a, "stub", rt::SavePolicy::UltrixEquivalent,
+                     [](Assembler &as) {
+                         // skip the faulting instruction
+                         as.lw(T0, static_cast<SWord>(uframe::Epc), T3);
+                         as.addiu(T0, T0, 4);
+                         as.sw(T0, static_cast<SWord>(uframe::Epc), T3);
+                     });
+    });
+    rig.bk.kernel.svcUexcEnable(*rig.proc, kFastMask,
+                                rig.prog.symbol("stub"),
+                                kUexcFramePage);
+    rig.runTo("after");
+    EXPECT_EQ(rig.cpu().reg(AT), 0x0a0au);
+    EXPECT_EQ(rig.cpu().reg(T0), 0x1010u);
+    EXPECT_EQ(rig.cpu().reg(T1), 0x1111u);
+    EXPECT_EQ(rig.cpu().reg(T2), 0x1212u);
+    EXPECT_EQ(rig.cpu().reg(T3), 0x1313u);
+    EXPECT_EQ(rig.cpu().reg(T4), 0x1414u);
+    EXPECT_EQ(rig.cpu().reg(T5), 0x1515u);
+    EXPECT_EQ(rig.cpu().stats().userVectoredExceptions, 0u);
+}
+
+TEST(GuestFast, NestedSameTypeExceptionOverwritesFrame)
+{
+    // the paper, section 3.2: "a nested exception of the same type
+    // will overwrite the information saved by the kernel on the
+    // first exception of that type" — demonstrate the overwrite and
+    // that a handler which remembered the first EPC still recovers
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(S0, 0);               // nesting depth
+        a.li32(T6, 0x10000002);
+        a.label("first_fault");
+        a.lw(T7, 0, T6);           // first AdEL
+        a.label("after");
+        a.j("after");
+        a.nop();
+
+        a.label("stub");
+        a.addiu(S0, S0, 1);
+        a.li(T0, 2);
+        a.beq(S0, T0, "second_level");
+        a.nop();
+        // depth 1: remember the original EPC, then fault again
+        a.lw(S1, static_cast<SWord>(uframe::Epc), T3);
+        a.li32(T6, 0x10000006);
+        a.label("nested_fault");
+        a.lw(T7, 0, T6);           // nested AdEL: overwrites frame
+        // back from depth 2: the frame's EPC is now the nested one
+        a.lw(S4, static_cast<SWord>(uframe::Epc), T3);
+        a.addiu(K0, S1, 4);        // recover via the remembered EPC
+        a.jr(K0);
+        a.nop();
+        a.label("second_level");
+        a.lw(S2, static_cast<SWord>(uframe::Epc), T3);
+        a.addiu(K0, S2, 4);        // resume just past the nested lw
+        a.jr(K0);
+        a.nop();
+    });
+    rig.bk.kernel.svcUexcEnable(*rig.proc, kFastMask,
+                                rig.prog.symbol("stub"),
+                                kUexcFramePage);
+    rig.runTo("after");
+    EXPECT_EQ(rig.cpu().reg(S0), 2u);
+    EXPECT_EQ(rig.cpu().reg(S1), rig.prog.symbol("first_fault"));
+    EXPECT_EQ(rig.cpu().reg(S2), rig.prog.symbol("nested_fault"));
+    // the overwrite the paper documents:
+    EXPECT_EQ(rig.cpu().reg(S4), rig.cpu().reg(S2));
+    EXPECT_NE(rig.cpu().reg(S4), rig.cpu().reg(S1));
+}
+
+TEST(GuestSubpage, EmulationHandlesBranchDelaySlot)
+{
+    // a store into an *unprotected* subpage sitting in a branch delay
+    // slot: the kernel must emulate the store AND the branch
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li32(T6, 0x10000010);    // subpage 0: unprotected
+        a.li(T7, 4242);
+        a.li(S0, 1);
+        a.label("br");
+        a.bne(S0, Zero, "taken");  // taken branch
+        a.sw(T7, 0, T6);           // delay slot: trapped + emulated
+        a.li(V0, 111);             // skipped
+        a.label("after_nottaken");
+        a.j("park");
+        a.nop();
+        a.label("taken");
+        a.li(V0, 222);
+        a.label("park");
+        a.j("park");
+        a.nop();
+        emitFastStub(a, "stub", rt::SavePolicy::UltrixEquivalent,
+                     [](Assembler &) {});
+    });
+    rig.bk.kernel.svcUexcEnable(*rig.proc, kFastMask,
+                                rig.prog.symbol("stub"),
+                                kUexcFramePage);
+    // protect subpage 2 so the hardware page traps writes, but the
+    // store targets subpage 0 (emulated invisibly)
+    rig.bk.kernel.svcSubpageProtect(*rig.proc, 0x10000800,
+                                    kSubpageBytes, kProtRead);
+    rig.runTo("park");
+    EXPECT_EQ(rig.cpu().reg(V0), 222u) << "branch must be honored";
+    EXPECT_EQ(rig.bk.machine.mem().readWord(
+                  rig.proc->as().physOf(0x10000010)), 4242u);
+    EXPECT_EQ(rig.bk.kernel.subpageEmulations(), 1u);
+}
+
+TEST(GuestSubpage, EmulationHandlesNotTakenBranchDelaySlot)
+{
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li32(T6, 0x10000020);
+        a.li(T7, 77);
+        a.label("br");
+        a.bne(Zero, Zero, "taken");   // never taken
+        a.sw(T7, 0, T6);              // delay slot, emulated
+        a.li(V0, 111);                // fall-through path
+        a.j("park");
+        a.nop();
+        a.label("taken");
+        a.li(V0, 222);
+        a.label("park");
+        a.j("park");
+        a.nop();
+        emitFastStub(a, "stub", rt::SavePolicy::UltrixEquivalent,
+                     [](Assembler &) {});
+    });
+    rig.bk.kernel.svcUexcEnable(*rig.proc, kFastMask,
+                                rig.prog.symbol("stub"),
+                                kUexcFramePage);
+    rig.bk.kernel.svcSubpageProtect(*rig.proc, 0x10000800,
+                                    kSubpageBytes, kProtRead);
+    rig.runTo("park");
+    EXPECT_EQ(rig.cpu().reg(V0), 111u);
+    EXPECT_EQ(rig.bk.machine.mem().readWord(
+                  rig.proc->as().physOf(0x10000020)), 77u);
+}
+
+TEST(GuestSubpage, EmulatedStoreReadsKernelSavedValueRegister)
+{
+    // the faulting store's value register is t0, which the fast path
+    // stashed in the frame before the kernel emulation ran: the
+    // emulation must fetch the value from the frame, not from the
+    // (clobbered) live register
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li32(T6, 0x10000040);
+        a.li(T0, 31337);           // value in a kernel-saved register
+        a.sw(T0, 0, T6);           // unprotected subpage: emulated
+        a.label("park");
+        a.j("park");
+        a.nop();
+        emitFastStub(a, "stub", rt::SavePolicy::UltrixEquivalent,
+                     [](Assembler &) {});
+    });
+    rig.bk.kernel.svcUexcEnable(*rig.proc, kFastMask,
+                                rig.prog.symbol("stub"),
+                                kUexcFramePage);
+    rig.bk.kernel.svcSubpageProtect(*rig.proc, 0x10000800,
+                                    kSubpageBytes, kProtRead);
+    rig.runTo("park");
+    EXPECT_EQ(rig.bk.machine.mem().readWord(
+                  rig.proc->as().physOf(0x10000040)), 31337u);
+    EXPECT_EQ(rig.bk.kernel.subpageEmulations(), 1u);
+}
+
+TEST(GuestSyscall, SyscallInBranchDelaySlotIsFatal)
+{
+    setLoggingEnabled(false);
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(V0, sys::Getpid);
+        a.beq(Zero, Zero, "next");
+        a.syscall();               // syscall in a delay slot
+        a.label("next");
+        a.j("next");
+        a.nop();
+    });
+    EXPECT_THROW(rig.cpu().run(10000), FatalError);
+    setLoggingEnabled(true);
+}
+
+TEST(GuestSyscall, GetpidReturnsPidToGuest)
+{
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(V0, sys::Getpid);
+        a.syscall();
+        a.move(S3, V0);
+        a.label("park");
+        a.j("park");
+        a.nop();
+    });
+    rig.runTo("park");
+    EXPECT_EQ(rig.cpu().reg(S3), rig.proc->pid());
+}
+
+TEST(GuestSyscall, SigactionSyscallInstallsHandler)
+{
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(A0, kSigtrap);
+        a.la(A1, "handler");
+        a.li(V0, sys::Sigaction);
+        a.syscall();
+        a.la(A0, "tramp");
+        a.li(V0, sys::SetTrampoline);
+        a.syscall();
+        a.li(S5, 0);
+        a.break_();
+        a.label("after");
+        a.j("after");
+        a.nop();
+        a.label("handler");
+        a.li(T0, 1);
+        a.sw(T0, (sigctx::Regs + S5 - 1) * 4, A2);  // sc->s5 = 1
+        a.lw(T0, sigctx::Pc * 4, A2);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, sigctx::Pc * 4, A2);
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+    });
+    rig.runTo("after");
+    EXPECT_EQ(rig.cpu().reg(S5), 1u);
+}
+
+TEST(GuestRi, TlbmpEmulationAdvancesPastInstruction)
+{
+    // software TLBMP emulation on a machine without the hardware:
+    // executing tlbmp raises RI, the kernel performs the protection
+    // change, and execution continues after the instruction
+    GuestRig rig{osMachineConfig(/*hw_extensions=*/false)};
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li32(T6, 0x10000000);
+        a.li(T7, 3);               // make writable + valid
+        a.tlbmp(T6, T7);
+        a.li(T0, 55);
+        a.sw(T0, 0, T6);           // must succeed afterwards
+        a.label("park");
+        a.j("park");
+        a.nop();
+    });
+    // write-protect via the kernel, granting the U bit
+    rig.bk.kernel.svcUexcProtect(*rig.proc, 0x10000000, kPageBytes,
+                                 kProtRead);
+    rig.runTo("park");
+    EXPECT_EQ(rig.bk.kernel.riEmulations(), 1u);
+    EXPECT_EQ(rig.bk.machine.mem().readWord(
+                  rig.proc->as().physOf(0x10000000)), 55u);
+}
+
+TEST(GuestRi, NonTlbmpReservedInstructionRaisesSigill)
+{
+    GuestRig rig{osMachineConfig(false)};
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.word(0xf0000000u);       // garbage opcode: RI -> SIGILL
+        a.label("after");
+        a.j("after");
+        a.nop();
+        a.label("handler");
+        a.li(T0, 0xaa);
+        a.sw(T0, (sigctx::Regs + S6 - 1) * 4, A2);  // sc->s6 = 0xaa
+        a.lw(T0, sigctx::Pc * 4, A2);
+        a.addiu(T0, T0, 4);
+        a.sw(T0, sigctx::Pc * 4, A2);
+        a.jr(RA);
+        a.nop();
+        emitTrampoline(a, "tramp");
+    });
+    rig.proc->setField(proc::TrampolineU, rig.prog.symbol("tramp"));
+    rig.proc->setField(proc::SigHandlers + 4 * kSigill,
+                       rig.prog.symbol("handler"));
+    rig.runTo("after");
+    EXPECT_EQ(rig.cpu().reg(S6), 0xaau);
+    EXPECT_EQ(rig.bk.kernel.riEmulations(), 0u);
+}
+
+TEST(GuestSyscall, ExitSyscallHaltsWithCode)
+{
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(A0, 42);
+        a.li(V0, sys::Exit);
+        a.syscall();
+        a.label("park");
+        a.j("park");
+        a.nop();
+    });
+    RunResult r = rig.cpu().run(100000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_TRUE(rig.bk.kernel.exited());
+    EXPECT_EQ(rig.bk.kernel.exitCode(), 42u);
+}
+
+TEST(GuestSyscall, UexcEnableViaGuestSyscall)
+{
+    // the paper's new system call, invoked from guest code rather
+    // than the host-side setup helper
+    GuestRig rig;
+    rig.start([](Assembler &a) {
+        a.label("main");
+        a.li(A0, 1u << static_cast<unsigned>(ExcCode::AdEL));
+        a.la(A1, "stub");
+        a.li32(A2, kUexcFramePage);
+        a.li(V0, sys::UexcEnable);
+        a.syscall();
+        a.move(S2, V0);
+        // now take a fast exception
+        a.li32(T6, 0x10000002);
+        a.lw(T7, 0, T6);
+        a.label("park");
+        a.j("park");
+        a.nop();
+        rt::emitFastStub(a, "stub", rt::SavePolicy::Minimal,
+                         [](Assembler &as) {
+                             as.lw(T0, SWord(uframe::Epc), T3);
+                             as.addiu(T0, T0, 4);
+                             as.sw(T0, SWord(uframe::Epc), T3);
+                         });
+    });
+    rig.runTo("park");
+    EXPECT_EQ(rig.cpu().reg(S2), 0u);   // syscall success
+    EXPECT_EQ(rig.proc->field(proc::UexcHandler),
+              rig.prog.symbol("stub"));
+    EXPECT_EQ(rig.cpu().stats().perExcCode[
+                  static_cast<unsigned>(ExcCode::AdEL)], 1u);
+}
+
+} // namespace
+} // namespace uexc::os

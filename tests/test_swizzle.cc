@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the persistent object store and its three swizzling
+ * strategies. The key invariant: all three modes produce identical
+ * traversal results; they differ only in cost structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/swizzle/swizzler.h"
+#include "os_test_util.h"
+
+namespace uexc::apps {
+namespace {
+
+using namespace os::testutil;
+using rt::DeliveryMode;
+using rt::UserEnv;
+
+struct StoreSetup
+{
+    explicit StoreSetup(SwizzleMode mode,
+                        DeliveryMode delivery = DeliveryMode::FastSoftware)
+        : booted(osMachineConfig(true)), env(booted.kernel, delivery)
+    {
+        env.install(kAllExcMask);
+        ObjectStore::Config cfg;
+        cfg.mode = mode;
+        store = std::make_unique<ObjectStore>(env, cfg);
+    }
+
+    BootedKernel booted;
+    UserEnv env;
+    std::unique_ptr<ObjectStore> store;
+};
+
+class SwizzleModes : public ::testing::TestWithParam<SwizzleMode> {};
+
+TEST_P(SwizzleModes, TraversalSeesConsistentData)
+{
+    StoreSetup s(GetParam());
+    Oid b = s.store->createObject({{false, 300}, {false, 301}});
+    Oid a = s.store->createObject({{false, 200}, {true, b}});
+    Oid root = s.store->createObject({{false, 100}, {true, a},
+                                      {true, b}});
+
+    Addr r = s.store->pin(root);
+    EXPECT_EQ(s.store->readData(r, 0), 100u);
+    Addr pa = s.store->deref(r, 1);
+    EXPECT_EQ(s.store->readData(pa, 0), 200u);
+    Addr pb1 = s.store->deref(r, 2);
+    Addr pb2 = s.store->deref(pa, 1);
+    EXPECT_EQ(pb1, pb2) << "both paths reach the same resident copy";
+    EXPECT_EQ(s.store->readData(pb1, 0), 300u);
+    EXPECT_EQ(s.store->readData(pb1, 1), 301u);
+    EXPECT_TRUE(s.store->isResident(b));
+}
+
+TEST_P(SwizzleModes, RepeatedDerefIsStable)
+{
+    StoreSetup s(GetParam());
+    Oid b = s.store->createObject({{false, 1}});
+    Oid root = s.store->createObject({{true, b}});
+    Addr r = s.store->pin(root);
+    Addr first = s.store->deref(r, 0);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(s.store->deref(r, 0), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SwizzleModes,
+    ::testing::Values(SwizzleMode::LazyExceptions,
+                      SwizzleMode::LazyChecks, SwizzleMode::Eager),
+    [](const ::testing::TestParamInfo<SwizzleMode> &info) {
+        switch (info.param) {
+          case SwizzleMode::LazyExceptions: return "LazyExceptions";
+          case SwizzleMode::LazyChecks: return "LazyChecks";
+          default: return "Eager";
+        }
+    });
+
+TEST(Swizzle, LazyExceptionsFaultOncePerPointer)
+{
+    StoreSetup s(SwizzleMode::LazyExceptions);
+    Oid b = s.store->createObject({{false, 1}});
+    Oid root = s.store->createObject({{true, b}});
+    Addr r = s.store->pin(root);
+    s.store->deref(r, 0);
+    EXPECT_EQ(s.store->stats().swizzleFaults, 1u);
+    s.store->deref(r, 0);
+    s.store->deref(r, 0);
+    EXPECT_EQ(s.store->stats().swizzleFaults, 1u);  // repaired cell
+    EXPECT_EQ(s.store->stats().residencyChecks, 0u);
+}
+
+TEST(Swizzle, LazyChecksNeverFault)
+{
+    StoreSetup s(SwizzleMode::LazyChecks);
+    Oid b = s.store->createObject({{false, 1}});
+    Oid root = s.store->createObject({{true, b}});
+    Addr r = s.store->pin(root);
+    for (int i = 0; i < 5; i++)
+        s.store->deref(r, 0);
+    EXPECT_EQ(s.store->stats().swizzleFaults, 0u);
+    EXPECT_EQ(s.store->stats().residencyChecks, 5u);
+    EXPECT_EQ(s.env.stats().faultsDelivered, 0u);
+}
+
+TEST(Swizzle, EagerSwizzlesAllPointersOnLoad)
+{
+    StoreSetup s(SwizzleMode::Eager);
+    Oid t1 = s.store->createObject({{false, 1}});
+    Oid t2 = s.store->createObject({{false, 2}});
+    Oid t3 = s.store->createObject({{false, 3}});
+    Oid root = s.store->createObject({{true, t1}, {true, t2},
+                                      {true, t3}});
+    s.store->pin(root);
+    // all three pointers swizzled at load although none dereferenced
+    EXPECT_EQ(s.store->stats().pointersSwizzled, 3u);
+    EXPECT_FALSE(s.store->isResident(t1));  // reserved, not loaded
+}
+
+TEST(Swizzle, EagerResidencyFaultLoadsObject)
+{
+    StoreSetup s(SwizzleMode::Eager);
+    Oid b = s.store->createObject({{false, 77}});
+    Oid root = s.store->createObject({{true, b}});
+    Addr r = s.store->pin(root);
+    EXPECT_FALSE(s.store->isResident(b));
+    Addr pb = s.store->deref(r, 0);    // touches the reserved page
+    EXPECT_TRUE(s.store->isResident(b));
+    EXPECT_EQ(s.store->stats().residencyFaults, 1u);
+    EXPECT_EQ(s.store->readData(pb, 0), 77u);
+    // second touch: no fault
+    s.store->deref(r, 0);
+    EXPECT_EQ(s.store->stats().residencyFaults, 1u);
+}
+
+TEST(SwizzleTraversal, AllModesAgreeOnWorkDone)
+{
+    TraversalParams params;
+    params.numObjects = 60;
+    params.pointersPerObject = 6;
+    params.useFraction = 0.5;
+    params.usesPerPointer = 2;
+
+    std::uint64_t derefs[3];
+    int i = 0;
+    for (SwizzleMode mode : {SwizzleMode::LazyExceptions,
+                             SwizzleMode::LazyChecks,
+                             SwizzleMode::Eager}) {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
+        env.install(kAllExcMask);
+        TraversalResult r = runTraversal(env, mode, params);
+        derefs[i++] = r.derefs;
+        EXPECT_GT(r.cycles, 0u);
+    }
+    EXPECT_EQ(derefs[0], derefs[1]);
+    EXPECT_EQ(derefs[1], derefs[2]);
+}
+
+TEST(SwizzleTraversal, FastExceptionsShiftLazyVsChecksBalance)
+{
+    // Figure 3: the break-even is u* = f*y/c uses per pointer. With
+    // the fast scheme (y ~ 7 us) and c = 5 cycles, u* ~ 35: at u = 60
+    // exceptions win; with Ultrix-cost exceptions (y ~ 70 us,
+    // u* ~ 350) the checks win.
+    TraversalParams params;
+    params.numObjects = 80;
+    params.pointersPerObject = 6;
+    params.useFraction = 0.6;
+    params.usesPerPointer = 60;
+    params.store.checkCycles = 5;
+
+    auto run = [&](SwizzleMode mode, DeliveryMode delivery) {
+        BootedKernel bk(osMachineConfig(true));
+        UserEnv env(bk.kernel, delivery);
+        env.install(kAllExcMask);
+        return runTraversal(env, mode, params).cycles;
+    };
+
+    Cycles exc_fast = run(SwizzleMode::LazyExceptions,
+                          DeliveryMode::FastSoftware);
+    Cycles exc_ultrix = run(SwizzleMode::LazyExceptions,
+                            DeliveryMode::UltrixSignal);
+    Cycles checks = run(SwizzleMode::LazyChecks,
+                        DeliveryMode::FastSoftware);
+
+    EXPECT_LT(exc_fast, exc_ultrix);
+    EXPECT_LT(exc_fast, checks);
+    EXPECT_LT(checks, exc_ultrix);
+}
+
+} // namespace
+} // namespace uexc::apps

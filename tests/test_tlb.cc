@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the TLB: probing, ASID tagging, global entries,
+ * invalidation, and the U (user-modifiable) extension bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/tlb.h"
+
+namespace uexc::sim {
+namespace {
+
+Word
+makeHi(Addr vaddr, unsigned asid)
+{
+    return (vaddr & entryhi::VpnMask) | (asid << entryhi::AsidShift);
+}
+
+Word
+makeLo(Addr paddr, Word flags)
+{
+    return (paddr & entrylo::PfnMask) | flags;
+}
+
+TEST(Tlb, EmptyTlbMissesEverywhere)
+{
+    Tlb tlb;
+    EXPECT_FALSE(tlb.probe(0x00400000, 0));
+    EXPECT_FALSE(tlb.probe(0x00000000, 0));
+    EXPECT_EQ(tlb.stats().lookups, 2u);
+    EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(Tlb, HitAfterFill)
+{
+    Tlb tlb;
+    tlb.setEntry(0, makeHi(0x00400000, 3),
+                 makeLo(0x00100000, entrylo::V | entrylo::D));
+    auto hit = tlb.probe(0x00400abc, 3);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, 0u);
+    const TlbEntry &e = tlb.entry(*hit);
+    EXPECT_EQ(e.pfn(), 0x00100000u);
+    EXPECT_TRUE(e.valid());
+    EXPECT_TRUE(e.dirty());
+    EXPECT_FALSE(e.global());
+    EXPECT_FALSE(e.userModifiable());
+    EXPECT_TRUE(e.cacheable());
+}
+
+TEST(Tlb, AsidMismatchMisses)
+{
+    Tlb tlb;
+    tlb.setEntry(0, makeHi(0x00400000, 3), makeLo(0x00100000, entrylo::V));
+    EXPECT_FALSE(tlb.probe(0x00400000, 4));
+    EXPECT_TRUE(tlb.probe(0x00400000, 3));
+}
+
+TEST(Tlb, GlobalEntryIgnoresAsid)
+{
+    Tlb tlb;
+    tlb.setEntry(1, makeHi(0x00400000, 3),
+                 makeLo(0x00100000, entrylo::V | entrylo::G));
+    EXPECT_TRUE(tlb.probe(0x00400000, 7));
+    EXPECT_TRUE(tlb.probe(0x00400000, 3));
+}
+
+TEST(Tlb, DifferentPagesDoNotAlias)
+{
+    Tlb tlb;
+    tlb.setEntry(0, makeHi(0x00400000, 0), makeLo(0x00100000, entrylo::V));
+    EXPECT_FALSE(tlb.probe(0x00401000, 0));
+    EXPECT_TRUE(tlb.probe(0x00400ffc, 0));  // same page, high offset
+}
+
+TEST(Tlb, InvalidateRemovesMapping)
+{
+    Tlb tlb;
+    tlb.setEntry(5, makeHi(0x00400000, 2),
+                 makeLo(0x00100000, entrylo::V | entrylo::D));
+    tlb.invalidate(0x00400000, 2);
+    EXPECT_FALSE(tlb.probe(0x00400000, 2));
+    // invalidate of an absent page is a no-op
+    tlb.invalidate(0x00999000, 2);
+}
+
+TEST(Tlb, InvalidateAsidSparesGlobalAndOtherAsids)
+{
+    Tlb tlb;
+    tlb.setEntry(0, makeHi(0x00400000, 2), makeLo(0x00100000, entrylo::V));
+    tlb.setEntry(1, makeHi(0x00401000, 3), makeLo(0x00101000, entrylo::V));
+    tlb.setEntry(2, makeHi(0x00402000, 2),
+                 makeLo(0x00102000, entrylo::V | entrylo::G));
+    tlb.invalidateAsid(2);
+    EXPECT_FALSE(tlb.probe(0x00400000, 2));
+    EXPECT_TRUE(tlb.probe(0x00401000, 3));
+    EXPECT_TRUE(tlb.probe(0x00402000, 2));  // global survives
+}
+
+TEST(Tlb, FlushClearsAll)
+{
+    Tlb tlb;
+    for (unsigned i = 0; i < Tlb::NumEntries; i++)
+        tlb.setEntry(i, makeHi(0x00400000 + (i << 12), 0),
+                     makeLo(0x00100000 + (i << 12), entrylo::V));
+    tlb.flush();
+    for (unsigned i = 0; i < Tlb::NumEntries; i++)
+        EXPECT_FALSE(tlb.probe(0x00400000 + (i << 12), 0));
+}
+
+TEST(Tlb, UserModifiableBit)
+{
+    Tlb tlb;
+    tlb.setEntry(0, makeHi(0x00400000, 0),
+                 makeLo(0x00100000, entrylo::V | entrylo::U));
+    EXPECT_TRUE(tlb.entry(0).userModifiable());
+    tlb.setEntry(1, makeHi(0x00401000, 0), makeLo(0x00101000, entrylo::V));
+    EXPECT_FALSE(tlb.entry(1).userModifiable());
+}
+
+TEST(Tlb, NonCacheableBit)
+{
+    Tlb tlb;
+    tlb.setEntry(0, makeHi(0x00400000, 0),
+                 makeLo(0x00100000, entrylo::V | entrylo::N));
+    EXPECT_FALSE(tlb.entry(0).cacheable());
+}
+
+TEST(Tlb, ProbeQuietDoesNotTouchStats)
+{
+    Tlb tlb;
+    tlb.probeQuiet(0x00400000, 0);
+    EXPECT_EQ(tlb.stats().lookups, 0u);
+}
+
+class TlbFillSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TlbFillSweep, EveryIndexIsUsable)
+{
+    unsigned index = GetParam();
+    Tlb tlb;
+    Addr va = 0x01000000 + (index << 12);
+    tlb.setEntry(index, makeHi(va, 1),
+                 makeLo(0x00200000, entrylo::V | entrylo::D));
+    auto hit = tlb.probe(va, 1);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, index);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, TlbFillSweep,
+                         ::testing::Range(0u, Tlb::NumEntries, 7u));
+
+} // namespace
+} // namespace uexc::sim

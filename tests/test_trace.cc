@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the trace observer and the typed-handler dispatch of the
+ * UserEnv facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os_test_util.h"
+#include "sim/trace.h"
+#include "sim_test_util.h"
+
+namespace uexc {
+namespace {
+
+using namespace sim;
+using namespace os::testutil;
+using sim::testutil::BareMachine;
+
+TEST(Trace, EmitsOneLinePerInstruction)
+{
+    BareMachine m;
+    m.loadAsm([](Assembler &a) {
+        a.li(T0, 1);
+        a.addu(T1, T0, T0);
+        a.hcall(0);
+    });
+    std::vector<std::string> lines;
+    TraceObserver trace(m.cpu(), [&](const std::string &l) {
+        lines.push_back(l);
+    });
+    m.cpu().setObserver(&trace);
+    m.runToHalt();
+    m.cpu().setObserver(nullptr);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("addiu t0, zero, 1"), std::string::npos);
+    EXPECT_NE(lines[1].find("addu t1, t0, t0"), std::string::npos);
+    EXPECT_EQ(lines[0].rfind("[K]", 0), 0u) << "kseg0 code is kernel";
+}
+
+TEST(Trace, ExceptionLinesAndFiltering)
+{
+    BareMachine m;
+    // halting vectors
+    Assembler v(Cpu::RefillVector);
+    v.hcall(0);
+    v.align(0x80);
+    v.hcall(0);
+    m.machine.load(v.finalize());
+    m.loadAsm([](Assembler &a) {
+        a.syscall();
+        a.nop();
+    });
+    std::vector<std::string> lines;
+    TraceObserver trace(m.cpu(), [&](const std::string &l) {
+        lines.push_back(l);
+    });
+    m.cpu().setObserver(&trace);
+    m.runToHalt();
+    m.cpu().setObserver(nullptr);
+    bool saw_exception = false;
+    for (const auto &l : lines)
+        if (l.find("exception Sys") != std::string::npos)
+            saw_exception = true;
+    EXPECT_TRUE(saw_exception);
+}
+
+TEST(Trace, LimitStopsEmission)
+{
+    BareMachine m;
+    m.loadAsm([](Assembler &a) {
+        for (int i = 0; i < 50; i++)
+            a.nop();
+        a.hcall(0);
+    });
+    unsigned count = 0;
+    TraceObserver trace(m.cpu(), [&](const std::string &) { count++; });
+    trace.setLimit(10);
+    m.cpu().setObserver(&trace);
+    m.runToHalt();
+    m.cpu().setObserver(nullptr);
+    EXPECT_EQ(count, 10u);
+    EXPECT_EQ(trace.linesEmitted(), 10u);
+}
+
+TEST(TypedHandlers, DispatchByExceptionType)
+{
+    BootedKernel bk(osMachineConfig(true));
+    rt::UserEnv env(bk.kernel, rt::DeliveryMode::FastSoftware);
+    env.install(kAllExcMask);
+    env.allocate(0x10000000, os::kPageBytes);
+
+    unsigned mod_hits = 0, adel_hits = 0, default_hits = 0;
+    env.setHandler([&](rt::Fault &f) {
+        default_hits++;
+        f.setReg(T6, f.badVaddr() & ~Addr(3));
+    });
+    env.setHandler(ExcCode::Mod, [&](rt::Fault &) {
+        mod_hits++;
+        env.protect(0x10000000, os::kPageBytes,
+                    os::kProtRead | os::kProtWrite);
+    });
+    env.setHandler(ExcCode::AdEL, [&](rt::Fault &f) {
+        adel_hits++;
+        f.setReg(T6, f.badVaddr() & ~Addr(3));
+    });
+
+    env.protect(0x10000000, os::kPageBytes, os::kProtRead);
+    env.store(0x10000000, 1);      // Mod -> typed handler
+    env.load(0x10000002);          // AdEL -> typed handler
+    env.store(0x10000006, 2);      // AdES -> default handler
+
+    EXPECT_EQ(mod_hits, 1u);
+    EXPECT_EQ(adel_hits, 1u);
+    EXPECT_EQ(default_hits, 1u);
+    EXPECT_EQ(env.load(0x10000004), 2u);
+}
+
+} // namespace
+} // namespace uexc

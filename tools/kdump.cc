@@ -1,0 +1,52 @@
+/**
+ * @file
+ * kdump: disassemble the generated kernel image with symbol and
+ * phase annotations. The printed listing is the authoritative
+ * reference for what actually executes on each dispatch path (the
+ * paper's Figure 1/Figure 2 flows, as real code).
+ *
+ *   $ ./tools/kdump            # whole kernel text
+ *   $ ./tools/kdump fast       # only the fast path (Table 3 region)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "os/kernelimage.h"
+#include "sim/isa.h"
+
+using namespace uexc;
+using namespace uexc::sim;
+using namespace uexc::os;
+
+int
+main(int argc, char **argv)
+{
+    bool fast_only = argc > 1 && std::strcmp(argv[1], "fast") == 0;
+
+    Program image = buildKernelImage();
+    // invert the symbol table for annotation
+    std::map<Addr, std::string> by_addr;
+    for (const auto &[name, addr] : image.symbols)
+        by_addr[addr] = name;
+
+    Addr begin = fast_only ? image.symbol(ksym::FastDecode)
+                           : image.origin;
+    Addr end = fast_only ? image.symbol(ksym::FastEnd)
+                         : image.symbol(ksym::Curproc);
+
+    std::printf("kernel image: %zu words, text 0x%08x..0x%08x\n\n",
+                image.words.size(), image.origin, end);
+
+    for (Addr addr = begin; addr < end; addr += 4) {
+        auto sym = by_addr.find(addr);
+        if (sym != by_addr.end())
+            std::printf("\n%s:\n", sym->second.c_str());
+        Word raw = image.words[(addr - image.origin) / 4];
+        DecodedInst inst = decode(raw);
+        std::printf("  %08x:  %08x  %s\n", addr, raw,
+                    disassemble(inst, addr).c_str());
+    }
+    return 0;
+}

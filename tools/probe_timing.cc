@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "core/microbench.h"
+using namespace uexc;
+using namespace uexc::rt::micro;
+int main() {
+    auto cfg = paperMachineConfig();
+    struct { const char* name; Scenario s; } cases[] = {
+        {"FastSimple", Scenario::FastSimple},
+        {"FastSpecialized", Scenario::FastSpecialized},
+        {"FastWriteProt", Scenario::FastWriteProt},
+        {"FastSubpage", Scenario::FastSubpage},
+        {"UltrixSimple", Scenario::UltrixSimple},
+        {"UltrixWriteProt", Scenario::UltrixWriteProt},
+        {"HwVectorSimple", Scenario::HwVectorSimple},
+        {"NullSyscall", Scenario::NullSyscall},
+    };
+    for (auto& c : cases) {
+        auto t = measure(c.s, cfg);
+        std::printf("%-18s deliver %6.1f us (%5llu cyc)  return %5.1f us  rt %6.1f us  kinsts %llu\n",
+            c.name, t.deliverUs, (unsigned long long)t.deliverCycles,
+            t.returnUs, t.roundTripUs, (unsigned long long)t.kernelInsts);
+    }
+    auto phases = profileFastPath(cfg);
+    for (auto& p : phases)
+        std::printf("phase %-22s %llu insts\n", p.name.c_str(), (unsigned long long)p.instructions);
+    return 0;
+}
