@@ -24,6 +24,7 @@ DsmCluster::DsmCluster(const Config &config)
     sim::MachineConfig mcfg = rt::micro::paperMachineConfig();
     mcfg.cpu.userVectorHw = config.hardwareExtensions;
     mcfg.cpu.tlbmpHw = config.hardwareExtensions;
+    mcfg.cpu.fastInterpreter = config.fastInterpreter;
 
     for (unsigned n = 0; n < config.nodes; n++) {
         Node node;

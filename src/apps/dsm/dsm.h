@@ -66,6 +66,8 @@ class DsmCluster
         /** Per-word page copy cost (DMA/wire time). */
         Cycles copyPerWordCycles = 1;
         bool hardwareExtensions = true;
+        /** Run every node on the predecoded fast interpreter. */
+        bool fastInterpreter = false;
     };
 
     explicit DsmCluster(const Config &config);

@@ -131,11 +131,20 @@ Kernel::loadProgram(Process &p, const Program &program)
         Addr va = base + 4 * i;
         machine_.mem().writeWord(p.as().physOf(va), program.words[i]);
     }
+    // The per-page write versions already force the fast interpreter
+    // to re-decode these pages, but a fresh program image invalidates
+    // any stale predecoded state wholesale, so drop it eagerly rather
+    // than letting dead pages linger in the host-side cache.
+    machine_.cpu().flushHostCaches();
 }
 
 void
 Kernel::activate(Process &p)
 {
+    // No host-cache invalidation needed on context switch: the fast
+    // interpreter's micro-TLB and fetch cache key on (VPN, ASID,
+    // mode), so the EntryHi write below makes the old process's
+    // entries unreachable rather than stale.
     machine_.debugWriteWord(sym(ksym::Curproc), p.procKva());
     Cp0 &cp0 = machine_.cpu().cp0();
     cp0.write(cp0reg::EntryHi,

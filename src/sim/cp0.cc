@@ -118,14 +118,6 @@ Cp0::randomIndex()
     return idx;
 }
 
-void
-Cp0::tickRandom()
-{
-    // R3000 Random cycles through [8, 63]; entries 0-7 are "wired"
-    // and never victims of tlbwr.
-    random_ = (random_ <= 8) ? 63 : random_ - 1;
-}
-
 Word
 Cp0::uxReg(UxReg reg) const
 {

@@ -167,8 +167,13 @@ class Cp0
 
     /** Random register read-and-advance (for tlbwr). */
     unsigned randomIndex();
-    /** Advance the random register (called once per instruction). */
-    void tickRandom();
+    /**
+     * Advance the random register (called once per instruction).
+     * R3000 Random cycles through [8, 63]; entries 0-7 are "wired"
+     * and never victims of tlbwr. Inline: this is on the interpreter's
+     * per-instruction path.
+     */
+    void tickRandom() { random_ = (random_ <= 8) ? 63 : random_ - 1; }
 
     // user exception register file --------------------------------------
 

@@ -53,8 +53,82 @@ faultResult(AccessType type, ExcCode load_code, ExcCode store_code,
 
 } // namespace
 
+Word
+Cpu::translationKey(Addr vaddr) const
+{
+    // Virtual page | ASID | mode: everything a translation outcome
+    // depends on besides the TLB contents (covered by generation).
+    return (vaddr & 0xfffff000u) |
+           (cp0_.asid() << 1) |
+           (cp0_.userMode() ? 1u : 0u);
+}
+
+bool
+Cpu::microDtlbLookup(Addr vaddr, AccessType type, TranslateResult &out)
+{
+    if (tlbGenSeen_ != tlb_.generation()) {
+        flushMicroTlb();
+        return false;
+    }
+    const MicroTlbEntry &e = dtlb_[(vaddr >> 12) & (kMicroTlbSize - 1)];
+    if (e.key != translationKey(vaddr))
+        return false;
+    if (type == AccessType::Store && !e.writable)
+        return false;   // may be a clean page: let the full path decide
+    if (e.mapped)
+        tlb_.recordMicroHit();
+    out.ok = true;
+    out.paddr = e.pbase | (vaddr & 0xfffu);
+    out.cacheable = e.cacheable;
+    return true;
+}
+
+void
+Cpu::microDtlbFill(Addr vaddr, AccessType type, const TranslateResult &tr)
+{
+    MicroTlbEntry &e = dtlb_[(vaddr >> 12) & (kMicroTlbSize - 1)];
+    e.key = translationKey(vaddr);
+    e.pbase = tr.paddr & ~0xfffu;
+    e.mapped = vaddr < Kseg0Base || vaddr >= Kseg2Base;
+    e.cacheable = tr.cacheable;
+    // A store-filled entry proved the page writable; a load-filled one
+    // leaves stores to the full path (which raises Mod on clean pages).
+    e.writable = type == AccessType::Store;
+}
+
+void
+Cpu::flushMicroTlb()
+{
+    dtlb_.fill(MicroTlbEntry{});
+    fetchKey_ = kInvalidKey;
+    fetchPage_ = nullptr;
+    tlbGenSeen_ = tlb_.generation();
+}
+
+void
+Cpu::flushHostCaches()
+{
+    decodedPages_.clear();
+    flushMicroTlb();
+}
+
 TranslateResult
 Cpu::translate(Addr vaddr, AccessType type)
+{
+    if (config_.fastInterpreter && type != AccessType::Fetch) {
+        TranslateResult r;
+        if (microDtlbLookup(vaddr, type, r))
+            return r;
+        r = translateSlow(vaddr, type);
+        if (r.ok)
+            microDtlbFill(vaddr, type, r);
+        return r;
+    }
+    return translateSlow(vaddr, type);
+}
+
+TranslateResult
+Cpu::translateSlow(Addr vaddr, AccessType type)
 {
     bool user = cp0_.userMode();
     if (vaddr >= Kseg0Base) {
@@ -316,36 +390,77 @@ Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
     return true;
 }
 
-void
-Cpu::step()
+/**
+ * Fetch through the one-entry predecoded-page cache. Returns null on
+ * any miss (page change, write to the page, TLB mutation, ASID/mode
+ * change, unaligned PC); the caller then runs the reference fetch
+ * sequence, which both raises the right exception and refills the
+ * cache. On a hit, replays exactly the statistics and cycle charges
+ * the reference fetch would have produced.
+ */
+inline const DecodedInst *
+Cpu::fetchFast()
 {
-    if (halted_)
-        return;
-
-    cp0_.tickRandom();
-    excRaised_ = false;
-    branchTaken_ = false;
-    stagedNpc_ = npc_ + 4;
-
-    Cycles cycles_before = stats_.cycles;
-
-    // fetch
-    if (!isAligned(pc_, 4)) {
-        takeException(ExcCode::AdEL, pc_, true, false);
-        return;
+    if (tlbGenSeen_ != tlb_.generation()) {
+        flushMicroTlb();
+        return nullptr;
     }
-    TranslateResult tr = translate(pc_, AccessType::Fetch);
-    if (!tr.ok) {
-        takeException(tr.exc, pc_, true, tr.refill);
-        return;
+    if (translationKey(pc_) != fetchKey_ ||
+        *fetchMemVer_ != fetchVersion_ || !isAligned(pc_, 4)) {
+        return nullptr;
     }
-    if (config_.cachesEnabled && tr.cacheable && icache_) {
-        if (!icache_->access(tr.paddr))
+    if (fetchMapped_)
+        tlb_.recordMicroHit();
+    if (config_.cachesEnabled && fetchCacheable_ && icache_) {
+        if (!icache_->access(fetchPaBase_ | (pc_ & 0xfffu)))
             charge(config_.cost.icacheMissPenalty);
     }
-    Word raw = mem_.readWord(tr.paddr);
-    DecodedInst inst = decode(raw);
+    return &fetchPage_->insts[(pc_ & 0xfffu) >> 2];
+}
 
+/**
+ * Install the fetch cache for the page a slow fetch just translated
+ * to @p tr, (re)decoding the whole physical page if it has never been
+ * seen or was written since. Returns null when the page does not lie
+ * entirely inside physical memory (the reference path's word-at-a-
+ * time bounds behaviour must be preserved for partial tail pages).
+ */
+const DecodedInst *
+Cpu::refillFetchFast(const TranslateResult &tr)
+{
+    Addr base = tr.paddr & ~(PhysMemory::PageBytes - 1);
+    if (base + PhysMemory::PageBytes > mem_.size())
+        return nullptr;
+    Word ppn = tr.paddr >> PhysMemory::PageShift;
+    auto &slot = decodedPages_[ppn];
+    const std::uint32_t *ver = mem_.pageVersionPtr(tr.paddr);
+    if (!slot || slot->version != *ver) {
+        if (!slot)
+            slot = std::make_unique<DecodedPage>();
+        for (unsigned i = 0; i < DecodedPage::NumInsts; i++)
+            slot->insts[i] = decode(mem_.readWord(base + 4 * i));
+        slot->version = *ver;
+    }
+    tlbGenSeen_ = tlb_.generation();
+    fetchKey_ = translationKey(pc_);
+    fetchPage_ = slot.get();
+    fetchPaBase_ = base;
+    fetchVbase_ = pc_ & 0xfffff000u;
+    fetchMemVer_ = ver;
+    fetchVersion_ = slot->version;
+    fetchMapped_ = pc_ < Kseg0Base || pc_ >= Kseg2Base;
+    fetchCacheable_ = tr.cacheable;
+    return &fetchPage_->insts[(pc_ & 0xfffu) >> 2];
+}
+
+/**
+ * Everything after fetch: retire accounting, execution, observer
+ * callback and PC sequencing. Shared verbatim by the reference and
+ * fast paths so the two cannot drift.
+ */
+inline void
+Cpu::executeTail(const DecodedInst &inst, Cycles cycles_before)
+{
     stats_.instructions++;
     charge(config_.cost.baseCost);
 
@@ -371,9 +486,368 @@ Cpu::step()
     npc_ = stagedNpc_;
 }
 
+void
+Cpu::step()
+{
+    if (halted_)
+        return;
+
+    cp0_.tickRandom();
+    excRaised_ = false;
+    branchTaken_ = false;
+    stagedNpc_ = npc_ + 4;
+
+    Cycles cycles_before = stats_.cycles;
+
+    if (config_.fastInterpreter) {
+        if (const DecodedInst *inst = fetchFast()) {
+            executeTail(*inst, cycles_before);
+            return;
+        }
+        // miss: fall through to the reference fetch, which raises any
+        // fetch exception and then refills the fast-path caches
+    }
+
+    // fetch
+    if (!isAligned(pc_, 4)) {
+        takeException(ExcCode::AdEL, pc_, true, false);
+        return;
+    }
+    TranslateResult tr = translate(pc_, AccessType::Fetch);
+    if (!tr.ok) {
+        takeException(tr.exc, pc_, true, tr.refill);
+        return;
+    }
+    if (config_.cachesEnabled && tr.cacheable && icache_) {
+        if (!icache_->access(tr.paddr))
+            charge(config_.cost.icacheMissPenalty);
+    }
+    if (config_.fastInterpreter) {
+        if (const DecodedInst *inst = refillFetchFast(tr)) {
+            executeTail(*inst, cycles_before);
+            return;
+        }
+    }
+    Word raw = mem_.readWord(tr.paddr);
+    DecodedInst inst = decode(raw);
+    executeTail(inst, cycles_before);
+}
+
+/**
+ * Block-execution run loop for the fast interpreter: while the fetch
+ * cache stays valid, dispatch instructions straight off the decoded
+ * page without going back through step()'s per-instruction call
+ * chain. Any miss (page change, self-modifying store, TLB or mode
+ * change, exception, redirect) drops to one reference step() that
+ * raises the right exception and refills the caches, then the block
+ * loop resumes. Every statistics update and cycle charge below is an
+ * exact replay of what step() performs, in the same order, so the two
+ * paths stay bit-identical.
+ */
+RunResult
+Cpu::runFast(InstCount max_insts)
+{
+    RunResult result;
+    while (result.instsExecuted < max_insts) {
+        if (halted_) {
+            result.reason = StopReason::Halted;
+            return result;
+        }
+        if (tlbGenSeen_ != tlb_.generation())
+            flushMicroTlb();
+        if (translationKey(pc_) != fetchKey_ ||
+            *fetchMemVer_ != fetchVersion_ || (pc_ & 3) != 0) {
+            // miss: one reference step raises any fetch exception and
+            // refills the fetch cache
+            InstCount before = stats_.instructions;
+            step();
+            result.instsExecuted += stats_.instructions - before;
+            continue;
+        }
+        InstCount limit = max_insts - result.instsExecuted;
+        InstCount done = 0;
+        // PC sequencing lives in host registers inside the block loop:
+        // the member round trip (store pc_, reload it next iteration)
+        // is the interpreter's longest serial dependence chain. The
+        // members are synced on every loop exit and before any
+        // instruction that can observe them (exceptions, jump links,
+        // CP0, memory - everything outside the inline subset below).
+        Addr pc = pc_;
+        Addr npc = npc_;
+        bool sync = true;
+        while (true) {
+            const DecodedInst &inst = fetchPage_->insts[(pc & 0xfffu) >> 2];
+            cp0_.tickRandom();
+            Cycles cycles_before = stats_.cycles;
+            if (fetchMapped_)
+                tlb_.recordMicroHit();
+            if (config_.cachesEnabled && fetchCacheable_ && icache_ &&
+                !icache_->access(fetchPaBase_ | (pc & 0xfffu)))
+                charge(config_.cost.icacheMissPenalty);
+            stats_.instructions++;
+            charge(config_.cost.baseCost);
+            done++;
+            Addr staged = npc + 4;
+            const Word rs = regs_[inst.rs];
+            const Word rt = regs_[inst.rt];
+            const CostModel &cost = config_.cost;
+            // Inline subset: instructions that cannot raise exceptions,
+            // touch memory, or reach CP0/TLB state. Each case is a
+            // transliteration of the corresponding execute() case with
+            // pc_/stagedNpc_ replaced by the locals; doBranch()/doJump()
+            // are expanded in place.
+            switch (inst.op) {
+              case Op::Sll:  setReg(inst.rd, rt << inst.shamt); break;
+              case Op::Srl:  setReg(inst.rd, rt >> inst.shamt); break;
+              case Op::Sra:
+                setReg(inst.rd,
+                       static_cast<Word>(static_cast<SWord>(rt) >>
+                                         inst.shamt));
+                break;
+              case Op::Sllv: setReg(inst.rd, rt << (rs & 31)); break;
+              case Op::Srlv: setReg(inst.rd, rt >> (rs & 31)); break;
+              case Op::Srav:
+                setReg(inst.rd,
+                       static_cast<Word>(static_cast<SWord>(rt) >>
+                                         (rs & 31)));
+                break;
+              case Op::Addu: setReg(inst.rd, rs + rt); break;
+              case Op::Subu: setReg(inst.rd, rs - rt); break;
+              case Op::And:  setReg(inst.rd, rs & rt); break;
+              case Op::Or:   setReg(inst.rd, rs | rt); break;
+              case Op::Xor:  setReg(inst.rd, rs ^ rt); break;
+              case Op::Nor:  setReg(inst.rd, ~(rs | rt)); break;
+              case Op::Slt:
+                setReg(inst.rd,
+                       static_cast<SWord>(rs) < static_cast<SWord>(rt));
+                break;
+              case Op::Sltu: setReg(inst.rd, rs < rt); break;
+              case Op::Mult: {
+                std::int64_t prod = static_cast<std::int64_t>(
+                    static_cast<SWord>(rs)) * static_cast<SWord>(rt);
+                lo_ = static_cast<Word>(prod);
+                hi_ = static_cast<Word>(prod >> 32);
+                charge(cost.multCost - cost.baseCost);
+                break;
+              }
+              case Op::Multu: {
+                std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
+                lo_ = static_cast<Word>(prod);
+                hi_ = static_cast<Word>(prod >> 32);
+                charge(cost.multCost - cost.baseCost);
+                break;
+              }
+              case Op::Div:
+                if (rt == 0) {
+                    lo_ = 0xffffffffu;
+                    hi_ = rs;
+                } else if (rs == 0x80000000u && rt == 0xffffffffu) {
+                    lo_ = 0x80000000u;
+                    hi_ = 0;
+                } else {
+                    lo_ = static_cast<Word>(static_cast<SWord>(rs) /
+                                            static_cast<SWord>(rt));
+                    hi_ = static_cast<Word>(static_cast<SWord>(rs) %
+                                            static_cast<SWord>(rt));
+                }
+                charge(cost.divCost - cost.baseCost);
+                break;
+              case Op::Divu:
+                if (rt == 0) {
+                    lo_ = 0xffffffffu;
+                    hi_ = rs;
+                } else {
+                    lo_ = rs / rt;
+                    hi_ = rs % rt;
+                }
+                charge(cost.divCost - cost.baseCost);
+                break;
+              case Op::Mfhi: setReg(inst.rd, hi_); break;
+              case Op::Mthi: hi_ = rs; break;
+              case Op::Mflo: setReg(inst.rd, lo_); break;
+              case Op::Mtlo: lo_ = rs; break;
+              case Op::Addiu: setReg(inst.rt, rs + inst.simm); break;
+              case Op::Slti:
+                setReg(inst.rt, static_cast<SWord>(rs) <
+                                static_cast<SWord>(inst.simm));
+                break;
+              case Op::Sltiu: setReg(inst.rt, rs < inst.simm); break;
+              case Op::Andi:  setReg(inst.rt, rs & inst.imm); break;
+              case Op::Ori:   setReg(inst.rt, rs | inst.imm); break;
+              case Op::Xori:  setReg(inst.rt, rs ^ inst.imm); break;
+              case Op::Lui:   setReg(inst.rt, inst.imm << 16); break;
+              case Op::J:
+                stats_.branches++;
+                staged = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+                branchTaken_ = true;
+                charge(cost.takenBranchExtra);
+                break;
+              case Op::Jal:
+                setReg(RA, pc + 8);
+                stats_.branches++;
+                staged = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+                branchTaken_ = true;
+                charge(cost.takenBranchExtra);
+                break;
+              case Op::Jr:
+                stats_.branches++;
+                staged = rs;
+                branchTaken_ = true;
+                charge(cost.takenBranchExtra);
+                break;
+              case Op::Jalr:
+                setReg(inst.rd, pc + 8);
+                stats_.branches++;
+                staged = rs;
+                branchTaken_ = true;
+                charge(cost.takenBranchExtra);
+                break;
+              case Op::Beq:
+                stats_.branches++;
+                if (rs == rt) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Bne:
+                stats_.branches++;
+                if (rs != rt) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Blez:
+                stats_.branches++;
+                if (static_cast<SWord>(rs) <= 0) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Bgtz:
+                stats_.branches++;
+                if (static_cast<SWord>(rs) > 0) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Bltz:
+                stats_.branches++;
+                if (static_cast<SWord>(rs) < 0) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Bgez:
+                stats_.branches++;
+                if (static_cast<SWord>(rs) >= 0) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Bltzal:
+                setReg(RA, pc + 8);
+                stats_.branches++;
+                if (static_cast<SWord>(rs) < 0) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              case Op::Bgezal:
+                setReg(RA, pc + 8);
+                stats_.branches++;
+                if (static_cast<SWord>(rs) >= 0) {
+                    staged = pc + 4 + (inst.simm << 2);
+                    branchTaken_ = true;
+                    charge(cost.takenBranchExtra);
+                }
+                break;
+              default:
+                goto general;
+            }
+            // tail for the inline subset: never memory, never an
+            // exception, never a redirect, never invalidates the
+            // fetch cache
+            consecutiveStores_ = 0;
+            if (observer_)
+                observer_->onInst(pc, inst, stats_.cycles - cycles_before);
+            prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
+            pc = npc;
+            npc = staged;
+            if (done >= limit)
+                break;
+            // one compare covers "still in the cached page" and "still
+            // word-aligned" (fetchVbase_ has zero low bits)
+            if ((pc ^ fetchVbase_) & 0xfffff003u)
+                break;
+            continue;
+
+          general:
+            // everything else goes through the reference execute() on
+            // synced member state, replaying executeTail() exactly
+            pc_ = pc;
+            npc_ = npc;
+            stagedNpc_ = staged;
+            excRaised_ = false;
+            branchTaken_ = false;
+            execute(inst);
+            if (excRaised_) {
+                // takeException already redirected pc_/npc_
+                sync = false;
+                break;
+            }
+            if (!(inst.flags & DecodedInst::FlagMemory))
+                consecutiveStores_ = 0;
+            if (observer_)
+                observer_->onInst(pc, inst, stats_.cycles - cycles_before);
+            if (redirect_) {
+                redirect_ = false;
+                sync = false;
+                break;
+            }
+            prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
+            pc_ = npc_;
+            npc_ = stagedNpc_;
+            pc = pc_;
+            npc = npc_;
+            if (halted_ || done >= limit)
+                break;
+            if ((pc ^ fetchVbase_) & 0xfffff003u)
+                break;
+            // the cached translation and decoded page can only go
+            // stale behind our back via a store (page write version)
+            // or a fence-class instruction (TLB/CP0 write, host call);
+            // anything else leaves them valid by construction
+            if (inst.flags &
+                (DecodedInst::FlagStore | DecodedInst::FlagFence)) {
+                if (inst.flags & DecodedInst::FlagFence)
+                    break;
+                if (*fetchMemVer_ != fetchVersion_)
+                    break;
+            }
+        }
+        if (sync) {
+            pc_ = pc;
+            npc_ = npc;
+        }
+        result.instsExecuted += done;
+    }
+    result.reason = StopReason::InstLimit;
+    return result;
+}
+
 RunResult
 Cpu::run(InstCount max_insts)
 {
+    if (config_.fastInterpreter && breakpoints_.empty())
+        return runFast(max_insts);
+
     RunResult result;
     bool first = true;
     while (result.instsExecuted < max_insts) {

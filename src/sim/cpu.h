@@ -27,6 +27,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/types.h"
@@ -73,6 +74,21 @@ struct RunResult
 struct CpuConfig
 {
     CostModel cost;
+    /**
+     * Host-side fast interpreter: predecoded per-physical-page
+     * instruction arrays plus micro i/d translation caches, so
+     * straight-line code skips the full TLB probe and decode on every
+     * instruction. Guest-visible behaviour — architectural state,
+     * cycle and cost accounting, cache/TLB statistics, observer
+     * callbacks — is bit-identical to the reference interpreter (the
+     * differential suite in tests/test_differential.cc enforces
+     * this); only host wall-clock speed changes. The caches
+     * invalidate on stores to a decoded page (PhysMemory page
+     * versions) and on any TLB mutation (Tlb::generation), and are
+     * keyed by ASID and processor mode so context switches and
+     * Status/EntryHi writes cannot alias.
+     */
+    bool fastInterpreter = false;
     /** COP3 user-mode exception vectoring implemented in hardware. */
     bool userVectorHw = false;
     /**
@@ -150,7 +166,13 @@ class Cpu
     Word reg(unsigned r) const { return regs_[r]; }
     void setReg(unsigned r, Word v) { if (r != 0) regs_[r] = v; }
 
+    /** Multiply/divide result registers (for state comparison). */
+    Word hi() const { return hi_; }
+    Word lo() const { return lo_; }
+
     Addr pc() const { return pc_; }
+    /** The next-PC latch (delay-slot sequencing state). */
+    Addr npc() const { return npc_; }
     /** Set the PC (clears any in-flight delay slot). */
     void setPc(Addr pc);
 
@@ -220,6 +242,18 @@ class Cpu
     /** Model a data-cache access (for host-side app memory traffic). */
     Cycles chargeDataAccess(Addr paddr, bool cacheable);
 
+    /**
+     * Drop every host-side interpreter cache (predecoded pages and
+     * micro-TLBs). Never required for correctness — the page-version
+     * and TLB-generation checks already invalidate stale entries on
+     * the next fetch — but kernel services that rewrite guest code or
+     * page tables wholesale (program load, context switch) call it to
+     * make the shootdown protocol explicit and to release the decoded
+     * pages of the outgoing image. A no-op on the reference
+     * interpreter.
+     */
+    void flushHostCaches();
+
     // -- statistics -------------------------------------------------------
 
     const CpuStats &stats() const { return stats_; }
@@ -231,10 +265,56 @@ class Cpu
     Cache *dcache() { return dcache_.get(); }
 
   private:
+    /**
+     * One physical page of predecoded instructions. Valid while
+     * @c version still equals the PhysMemory page version captured at
+     * decode time; any store into the page (guest or host side)
+     * advances that version and forces a whole-page redecode on the
+     * next fetch, which is what keeps self-modifying code correct.
+     */
+    struct DecodedPage
+    {
+        static constexpr unsigned NumInsts = PhysMemory::PageBytes / 4;
+        std::uint32_t version = 0;
+        std::array<DecodedInst, NumInsts> insts;
+    };
+
+    /**
+     * Micro-TLB entry: one cached successful translation. The key
+     * packs (virtual page | ASID << 1 | user-mode bit), so ASID and
+     * processor-mode changes miss instead of aliasing; TLB content
+     * changes are caught by comparing Tlb::generation before lookup.
+     * Bits [11:7] of a real key are always zero (ASID is 6 bits),
+     * so kInvalidKey can never match.
+     */
+    static constexpr Word kInvalidKey = 0x80u;
+    static constexpr unsigned kMicroTlbSize = 16;  // direct-mapped
+
+    struct MicroTlbEntry
+    {
+        Word key = kInvalidKey;
+        Addr pbase = 0;
+        bool mapped = false;     ///< reference path would probe the TLB
+        bool cacheable = true;
+        bool writable = false;   ///< filled from a store (or dirty page)
+    };
+
     // execution helpers
     void execute(const DecodedInst &inst);
+    void executeTail(const DecodedInst &inst, Cycles cycles_before);
     bool memAddress(const DecodedInst &inst, unsigned size,
                     AccessType type, Addr &paddr_out);
+    // fast-interpreter helpers
+    Word translationKey(Addr vaddr) const;
+    TranslateResult translateSlow(Addr vaddr, AccessType type);
+    bool microDtlbLookup(Addr vaddr, AccessType type,
+                         TranslateResult &out);
+    void microDtlbFill(Addr vaddr, AccessType type,
+                       const TranslateResult &tr);
+    const DecodedInst *fetchFast();
+    const DecodedInst *refillFetchFast(const TranslateResult &tr);
+    void flushMicroTlb();
+    RunResult runFast(InstCount max_insts);
     void takeException(ExcCode code, Addr bad_vaddr, bool has_bad_vaddr,
                        bool refill);
     bool tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
@@ -273,6 +353,24 @@ class Cpu
     InstObserver *observer_ = nullptr;
 
     CpuStats stats_;
+
+    // -- fast-interpreter caches (host-side only, never architectural) --
+
+    /** Predecoded pages, keyed by physical page number. */
+    std::unordered_map<Word, std::unique_ptr<DecodedPage>> decodedPages_;
+    /** One-entry fetch cache: the page the PC is streaming through. */
+    Word fetchKey_ = kInvalidKey;
+    const DecodedPage *fetchPage_ = nullptr;
+    Addr fetchPaBase_ = 0;
+    Addr fetchVbase_ = 0;
+    const std::uint32_t *fetchMemVer_ = nullptr;
+    std::uint32_t fetchVersion_ = 0;
+    bool fetchMapped_ = false;
+    bool fetchCacheable_ = true;
+    /** Micro-dTLB for load/store translation. */
+    std::array<MicroTlbEntry, kMicroTlbSize> dtlb_;
+    /** Tlb::generation the caches were filled under. */
+    std::uint64_t tlbGenSeen_ = 0;
 };
 
 } // namespace uexc::sim

@@ -102,55 +102,6 @@ decodeCop3(Word raw)
 
 } // namespace
 
-bool
-DecodedInst::isControl() const
-{
-    switch (op) {
-      case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
-      case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz:
-      case Op::Bltz: case Op::Bgez: case Op::Bltzal: case Op::Bgezal:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-DecodedInst::isMemory() const
-{
-    switch (op) {
-      case Op::Lb: case Op::Lbu: case Op::Lh: case Op::Lhu: case Op::Lw:
-      case Op::Sb: case Op::Sh: case Op::Sw:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-DecodedInst::isStore() const
-{
-    switch (op) {
-      case Op::Sb: case Op::Sh: case Op::Sw:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-DecodedInst::isPrivileged() const
-{
-    switch (op) {
-      case Op::Mfc0: case Op::Mtc0:
-      case Op::Tlbr: case Op::Tlbwi: case Op::Tlbwr: case Op::Tlbp:
-      case Op::Rfe:
-        return true;
-      default:
-        return false;
-    }
-}
-
 DecodedInst
 decode(Word raw)
 {
@@ -195,6 +146,15 @@ decode(Word raw)
       case Opcode::Hcall:   inst.op = Op::Hcall; break;
       default:              inst.op = Op::Invalid; break;
     }
+    inst.flags = static_cast<std::uint8_t>(
+        (inst.isControl() ? DecodedInst::FlagControl : 0) |
+        (inst.isMemory() ? DecodedInst::FlagMemory : 0) |
+        (inst.isStore() ? DecodedInst::FlagStore : 0) |
+        (inst.isPrivileged() ? DecodedInst::FlagPrivileged : 0) |
+        (inst.isPrivileged() || inst.op == Op::Tlbmp ||
+                 inst.op == Op::Hcall
+             ? DecodedInst::FlagFence
+             : 0));
     return inst;
 }
 

@@ -215,6 +215,25 @@ enum class Op : unsigned
  */
 struct DecodedInst
 {
+    /**
+     * Decode-time classification bits mirroring the predicate methods
+     * below, filled in by decode(). The block interpreter tests these
+     * instead of re-running the switch per retired instruction.
+     */
+    enum Flag : std::uint8_t {
+        FlagControl = 1u << 0,    ///< isControl()
+        FlagMemory = 1u << 1,     ///< isMemory()
+        FlagStore = 1u << 2,      ///< isStore()
+        FlagPrivileged = 1u << 3, ///< isPrivileged()
+        /**
+         * May invalidate the fast interpreter's host-side caches
+         * without being a store: TLB/CP0 writes (mode, ASID, mappings)
+         * and host calls (kernel services may rewrite guest memory or
+         * shoot down the TLB). The block loop revalidates after these.
+         */
+        FlagFence = 1u << 4,
+    };
+
     Word raw = 0;       ///< original instruction word
     Op op = Op::Invalid;
     unsigned rs = 0;    ///< bits [25:21]
@@ -224,15 +243,53 @@ struct DecodedInst
     Word imm = 0;       ///< bits [15:0], zero-extended
     Word simm = 0;      ///< bits [15:0], sign-extended to 32 bits
     Word target = 0;    ///< bits [25:0] (J-format target field)
+    std::uint8_t flags = 0; ///< Flag bits, valid only from decode()
 
     /** Whether this instruction is a branch or jump (has a delay slot). */
-    bool isControl() const;
+    bool isControl() const
+    {
+        switch (op) {
+          case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
+          case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz:
+          case Op::Bltz: case Op::Bgez: case Op::Bltzal: case Op::Bgezal:
+            return true;
+          default:
+            return false;
+        }
+    }
     /** Whether this instruction reads or writes memory. */
-    bool isMemory() const;
+    bool isMemory() const
+    {
+        switch (op) {
+          case Op::Lb: case Op::Lbu: case Op::Lh: case Op::Lhu:
+          case Op::Lw: case Op::Sb: case Op::Sh: case Op::Sw:
+            return true;
+          default:
+            return false;
+        }
+    }
     /** Whether this instruction writes memory. */
-    bool isStore() const;
+    bool isStore() const
+    {
+        switch (op) {
+          case Op::Sb: case Op::Sh: case Op::Sw:
+            return true;
+          default:
+            return false;
+        }
+    }
     /** Whether this instruction is privileged (kernel-mode only). */
-    bool isPrivileged() const;
+    bool isPrivileged() const
+    {
+        switch (op) {
+          case Op::Mfc0: case Op::Mtc0:
+          case Op::Tlbr: case Op::Tlbwi: case Op::Tlbwr: case Op::Tlbp:
+          case Op::Rfe:
+            return true;
+          default:
+            return false;
+        }
+    }
 };
 
 /**

@@ -8,7 +8,7 @@
 namespace uexc::sim {
 
 PhysMemory::PhysMemory(std::size_t size)
-    : data_(size, 0)
+    : data_(size, 0), pageVersions_((size + PageBytes - 1) / PageBytes, 0)
 {
     if (size == 0 || size % 4 != 0)
         UEXC_FATAL("physical memory size %zu is not a positive word "
@@ -58,6 +58,7 @@ PhysMemory::writeWord(Addr paddr, Word value)
 {
     check(paddr, 4);
     std::memcpy(&data_[paddr], &value, 4);
+    pageVersions_[paddr >> PageShift]++;
 }
 
 void
@@ -65,6 +66,7 @@ PhysMemory::writeHalf(Addr paddr, Half value)
 {
     check(paddr, 2);
     std::memcpy(&data_[paddr], &value, 2);
+    pageVersions_[paddr >> PageShift]++;
 }
 
 void
@@ -72,6 +74,7 @@ PhysMemory::writeByte(Addr paddr, Byte value)
 {
     check(paddr, 1);
     data_[paddr] = value;
+    pageVersions_[paddr >> PageShift]++;
 }
 
 void
@@ -81,6 +84,7 @@ PhysMemory::writeBlock(Addr paddr, const void *src, std::size_t bytes)
         UEXC_PANIC("block write at 0x%08x size %zu out of range",
                    paddr, bytes);
     std::memcpy(&data_[paddr], src, bytes);
+    touchPages(paddr, bytes);
 }
 
 void
@@ -98,6 +102,7 @@ PhysMemory::clearRange(Addr paddr, std::size_t bytes)
     if (paddr + bytes > data_.size())
         UEXC_PANIC("clear at 0x%08x size %zu out of range", paddr, bytes);
     std::memset(&data_[paddr], 0, bytes);
+    touchPages(paddr, bytes);
 }
 
 } // namespace uexc::sim

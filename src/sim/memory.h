@@ -24,6 +24,10 @@ namespace uexc::sim {
 class PhysMemory
 {
   public:
+    /** Page granularity of write versioning (matches the VM page). */
+    static constexpr unsigned PageShift = 12;
+    static constexpr std::size_t PageBytes = std::size_t(1) << PageShift;
+
     /** Construct @p size bytes of zeroed memory (word multiple). */
     explicit PhysMemory(std::size_t size);
 
@@ -45,10 +49,40 @@ class PhysMemory
     /** Zero a range. */
     void clearRange(Addr paddr, std::size_t bytes);
 
+    /**
+     * Write version of the page containing @p paddr: bumped by every
+     * store into the page, whichever side (guest store, host kernel
+     * service, debug write) performed it. The CPU's predecoded-
+     * instruction cache snapshots this at decode time and revalidates
+     * on every fetch, which is what makes self-modifying code safe
+     * under the fast interpreter. Not architectural state.
+     */
+    std::uint32_t pageVersion(Addr paddr) const
+    {
+        return pageVersions_[paddr >> PageShift];
+    }
+
+    /** Stable pointer to a page's version word (hot-path polling). */
+    const std::uint32_t *pageVersionPtr(Addr paddr) const
+    {
+        return &pageVersions_[paddr >> PageShift];
+    }
+
   private:
     void check(Addr paddr, unsigned access_size) const;
 
+    void touchPages(Addr paddr, std::size_t bytes)
+    {
+        if (bytes == 0)
+            return;
+        for (Addr p = paddr >> PageShift;
+             p <= (paddr + bytes - 1) >> PageShift; p++) {
+            pageVersions_[p]++;
+        }
+    }
+
     std::vector<Byte> data_;
+    std::vector<std::uint32_t> pageVersions_;
 };
 
 } // namespace uexc::sim

@@ -46,6 +46,7 @@ Tlb::setEntry(unsigned index, Word hi, Word lo)
         UEXC_PANIC("tlb: index %u out of range", index);
     entries_[index].hi = hi;
     entries_[index].lo = lo;
+    generation_++;
 }
 
 void
@@ -58,6 +59,7 @@ Tlb::invalidate(Addr vaddr, unsigned asid)
     if (hit) {
         entries_[*hit].hi = 0x80000000u | (*hit << 12);
         entries_[*hit].lo = 0;
+        generation_++;
     }
 }
 
@@ -71,6 +73,7 @@ Tlb::invalidateAsid(unsigned asid)
             e.lo = 0;
         }
     }
+    generation_++;
 }
 
 void
@@ -83,6 +86,7 @@ Tlb::flush()
         e.hi = 0x80000000u | (i++ << 12);
         e.lo = 0;
     }
+    generation_++;
 }
 
 } // namespace uexc::sim

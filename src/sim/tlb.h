@@ -92,9 +92,28 @@ class Tlb
     const TlbStats &stats() const { return stats_; }
     void clearStats() { stats_ = TlbStats(); }
 
+    /**
+     * Monotonic count of TLB content mutations (setEntry, invalidate,
+     * invalidateAsid, flush). Host-side translation caches (the CPU's
+     * micro-TLBs and predecoded-page map) compare this against the
+     * value they captured at fill time and drop themselves when it
+     * moved; it is not architectural state.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
+     * Account a lookup that the CPU's host-side micro-TLB resolved
+     * without probing: statistics must not depend on whether the fast
+     * interpreter is enabled, so a micro-TLB hit records the lookup
+     * the full probe would have performed (a micro-TLB entry is only
+     * ever filled from a successful probe, so it cannot mask a miss).
+     */
+    void recordMicroHit() { stats_.lookups++; }
+
   private:
     std::array<TlbEntry, NumEntries> entries_;
     TlbStats stats_;
+    std::uint64_t generation_ = 0;
 };
 
 } // namespace uexc::sim

@@ -62,13 +62,16 @@ struct ShadowHeap
     }
 };
 
+/** (seed, delivery mode, fast interpreter) */
 class GcFuzz : public ::testing::TestWithParam<
-                   std::pair<unsigned, DeliveryMode>> {};
+                   std::tuple<unsigned, DeliveryMode, bool>> {};
 
 TEST_P(GcFuzz, CollectorAgreesWithReferenceModel)
 {
-    BootedKernel bk(osMachineConfig(true));
-    UserEnv env(bk.kernel, GetParam().second);
+    sim::MachineConfig mcfg = osMachineConfig(true);
+    mcfg.cpu.fastInterpreter = std::get<2>(GetParam());
+    BootedKernel bk(mcfg);
+    UserEnv env(bk.kernel, std::get<1>(GetParam()));
     env.install(kAllExcMask);
     Collector::Config cfg;
     cfg.youngBudgetBytes = 8 * 1024;   // frequent collections
@@ -77,7 +80,7 @@ TEST_P(GcFuzz, CollectorAgreesWithReferenceModel)
 
     ShadowHeap shadow;
     std::vector<Addr> live;   // candidates for mutation
-    std::mt19937 rng(GetParam().first);
+    std::mt19937 rng(std::get<0>(GetParam()));
 
     for (unsigned op = 0; op < 1500; op++) {
         unsigned kind = rng() % 100;
@@ -150,16 +153,22 @@ TEST_P(GcFuzz, CollectorAgreesWithReferenceModel)
 INSTANTIATE_TEST_SUITE_P(
     Seeds, GcFuzz,
     ::testing::Values(
-        std::make_pair(7u, DeliveryMode::FastSoftware),
-        std::make_pair(42u, DeliveryMode::FastSoftware),
-        std::make_pair(1999u, DeliveryMode::UltrixSignal),
-        std::make_pair(31337u, DeliveryMode::FastHardwareVector),
-        std::make_pair(64738u, DeliveryMode::UltrixSignal),
-        std::make_pair(8128u, DeliveryMode::FastHardwareVector)));
+        std::make_tuple(7u, DeliveryMode::FastSoftware, false),
+        std::make_tuple(42u, DeliveryMode::FastSoftware, false),
+        std::make_tuple(1999u, DeliveryMode::UltrixSignal, false),
+        std::make_tuple(31337u, DeliveryMode::FastHardwareVector, false),
+        std::make_tuple(64738u, DeliveryMode::UltrixSignal, false),
+        std::make_tuple(8128u, DeliveryMode::FastHardwareVector, false),
+        // same workloads again on the predecoded fast interpreter
+        std::make_tuple(7u, DeliveryMode::FastSoftware, true),
+        std::make_tuple(1999u, DeliveryMode::UltrixSignal, true),
+        std::make_tuple(31337u, DeliveryMode::FastHardwareVector, true)));
 
 // -- DSM vs flat shadow memory --------------------------------------------------
 
-class DsmFuzz : public ::testing::TestWithParam<unsigned> {};
+/** (seed, fast interpreter) */
+class DsmFuzz : public ::testing::TestWithParam<
+                    std::pair<unsigned, bool>> {};
 
 TEST_P(DsmFuzz, SequentiallyConsistentUnderRandomTraffic)
 {
@@ -168,10 +177,11 @@ TEST_P(DsmFuzz, SequentiallyConsistentUnderRandomTraffic)
     cfg.nodes = 3;
     cfg.bytes = 4 * os::kPageBytes;
     cfg.networkLatencyCycles = 500;
+    cfg.fastInterpreter = GetParam().second;
     DsmCluster dsm(cfg);
 
     std::unordered_map<Addr, Word> shadow;
-    std::mt19937 rng(GetParam());
+    std::mt19937 rng(GetParam().first);
 
     for (unsigned op = 0; op < 600; op++) {
         unsigned node = rng() % cfg.nodes;
@@ -194,15 +204,21 @@ TEST_P(DsmFuzz, SequentiallyConsistentUnderRandomTraffic)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DsmFuzz,
-                         ::testing::Values(11u, 222u, 3333u));
+                         ::testing::Values(std::make_pair(11u, false),
+                                           std::make_pair(222u, false),
+                                           std::make_pair(3333u, false),
+                                           std::make_pair(11u, true),
+                                           std::make_pair(3333u, true)));
 
 // -- swizzling strategy equivalence ------------------------------------------------
 
-class SwizzleFuzz : public ::testing::TestWithParam<unsigned> {};
+/** (seed, fast interpreter) */
+class SwizzleFuzz : public ::testing::TestWithParam<
+                        std::pair<unsigned, bool>> {};
 
 TEST_P(SwizzleFuzz, AllStrategiesReturnIdenticalData)
 {
-    std::mt19937 graph_rng(GetParam());
+    std::mt19937 graph_rng(GetParam().first);
     const unsigned n = 40;
     // a fixed random object graph description
     struct Desc
@@ -219,7 +235,9 @@ TEST_P(SwizzleFuzz, AllStrategiesReturnIdenticalData)
     }
 
     auto run = [&](SwizzleMode mode) {
-        BootedKernel bk(osMachineConfig(true));
+        sim::MachineConfig mcfg = osMachineConfig(true);
+        mcfg.cpu.fastInterpreter = GetParam().second;
+        BootedKernel bk(mcfg);
         UserEnv env(bk.kernel, DeliveryMode::FastSoftware);
         env.install(kAllExcMask);
         ObjectStore::Config cfg;
@@ -229,7 +247,7 @@ TEST_P(SwizzleFuzz, AllStrategiesReturnIdenticalData)
             store.createObject(d.fields);
 
         // a deterministic random walk reading data along the way
-        std::mt19937 walk_rng(GetParam() ^ 0x5555);
+        std::mt19937 walk_rng(GetParam().first ^ 0x5555);
         std::vector<Word> observed;
         Addr obj = store.pin(0);
         for (unsigned step = 0; step < 200; step++) {
@@ -248,7 +266,11 @@ TEST_P(SwizzleFuzz, AllStrategiesReturnIdenticalData)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SwizzleFuzz,
-                         ::testing::Values(5u, 77u, 901u));
+                         ::testing::Values(std::make_pair(5u, false),
+                                           std::make_pair(77u, false),
+                                           std::make_pair(901u, false),
+                                           std::make_pair(5u, true),
+                                           std::make_pair(901u, true)));
 
 } // namespace
 } // namespace uexc::apps

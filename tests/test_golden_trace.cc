@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Golden-trace regression tests for the kernel's fast exception
+ * handler (paper Table 3: 65 instructions across six phases).
+ *
+ * Three layers of pinning:
+ *
+ *  - the static code layout: word counts between the fast-path
+ *    kernel symbols must match Table 3 exactly (6/11/31/6/8/3);
+ *  - the dynamic execution: one delivered fault must retire the
+ *    Table 3 dynamic profile (the FP check falls through after two
+ *    instructions when the process has no FP state);
+ *  - the interpreter: the per-instruction (pc, cost) trace of a
+ *    full fault delivery must be bit-identical between the reference
+ *    interpreter and the predecoded fast path, so any future fast-path
+ *    change that perturbs fetch, decode or cost accounting fails here
+ *    with the first diverging instruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/env.h"
+#include "core/microbench.h"
+#include "os/kernelimage.h"
+#include "os_test_util.h"
+#include "sim/profile.h"
+
+namespace uexc {
+namespace {
+
+using os::ksym::FastCompat;
+using os::ksym::FastDecode;
+using os::ksym::FastEnd;
+using os::ksym::FastFp;
+using os::ksym::FastSave;
+using os::ksym::FastTlbCheck;
+using os::ksym::FastVector;
+using os::testutil::BootedKernel;
+using os::testutil::kAllExcMask;
+using rt::DeliveryMode;
+using rt::UserEnv;
+
+constexpr Addr kDataVa = 0x10000000;
+
+/** One retired instruction as the observer saw it. */
+struct TraceEntry
+{
+    Addr pc = 0;
+    Cycles cost = 0;
+
+    bool operator==(const TraceEntry &o) const
+    {
+        return pc == o.pc && cost == o.cost;
+    }
+};
+
+/** Records (pc, cost) for every retired instruction in [begin, end). */
+class TraceRecorder : public sim::InstObserver
+{
+  public:
+    TraceRecorder(Addr begin, Addr end) : begin_(begin), end_(end) {}
+
+    void onInst(Addr pc, const sim::DecodedInst &, Cycles cost) override
+    {
+        if (pc >= begin_ && pc < end_)
+            trace_.push_back({pc, cost});
+    }
+
+    void onException(sim::ExcCode, Addr, Addr) override { exceptions_++; }
+
+    const std::vector<TraceEntry> &trace() const { return trace_; }
+    std::uint64_t exceptions() const { return exceptions_; }
+
+  private:
+    Addr begin_;
+    Addr end_;
+    std::vector<TraceEntry> trace_;
+    std::uint64_t exceptions_ = 0;
+};
+
+/**
+ * Booted kernel + fast-software environment with one read/write data
+ * page. fault() executes a guest load at an unaligned address, which
+ * raises AdEL and takes the whole delivery path: fast kernel handler,
+ * vector to the user stub, upcall bridge, and resume.
+ */
+struct GoldenHarness
+{
+    explicit GoldenHarness(bool fast)
+        : bk(makeConfig(fast)), env(bk.kernel, DeliveryMode::FastSoftware)
+    {
+        env.install(kAllExcMask);
+        env.allocate(kDataVa, os::kPageBytes);
+        env.setHandler([this](rt::Fault &f) {
+            faults++;
+            f.resumeAt(f.pc() + 4); // skip the faulting load
+        });
+    }
+
+    static sim::MachineConfig makeConfig(bool fast)
+    {
+        sim::MachineConfig cfg = rt::micro::paperMachineConfig();
+        cfg.cpu.fastInterpreter = fast;
+        return cfg;
+    }
+
+    Addr sym(const char *name) const { return bk.machine.symbol(name); }
+
+    void fault() { (void)env.load(kDataVa + 2); }
+
+    BootedKernel bk;
+    UserEnv env;
+    unsigned faults = 0;
+};
+
+TEST(GoldenTrace, StaticPhaseWordCountsMatchTable3)
+{
+    GoldenHarness h(false);
+    auto words = [&](const char *begin, const char *end) {
+        return (h.sym(end) - h.sym(begin)) / 4;
+    };
+    EXPECT_EQ(words(FastDecode, FastCompat), 6u);
+    EXPECT_EQ(words(FastCompat, FastSave), 11u);
+    EXPECT_EQ(words(FastSave, FastFp), 31u);
+    EXPECT_EQ(words(FastFp, FastTlbCheck), 6u);
+    EXPECT_EQ(words(FastTlbCheck, FastVector), 8u);
+    EXPECT_EQ(words(FastVector, FastEnd), 3u);
+    EXPECT_EQ(words(FastDecode, FastEnd), 65u);
+}
+
+/** Dynamic per-phase instruction counts for one delivered fault, in
+ *  both interpreter modes. */
+class GoldenTraceDynamic : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GoldenTraceDynamic, PhaseCountsMatchTable3)
+{
+    GoldenHarness h(GetParam());
+    h.fault(); // warm: uframe mapped, stub paged in, TLB primed
+    ASSERT_EQ(h.faults, 1u);
+
+    sim::PhaseProfiler prof;
+    prof.addPhase("Decode Exception", h.sym(FastDecode), h.sym(FastCompat));
+    prof.addPhase("Compatibility Check", h.sym(FastCompat), h.sym(FastSave));
+    prof.addPhase("Save Partial State", h.sym(FastSave), h.sym(FastFp));
+    prof.addPhase("Floating Point Check", h.sym(FastFp),
+                  h.sym(FastTlbCheck));
+    prof.addPhase("Check for TLB Fault", h.sym(FastTlbCheck),
+                  h.sym(FastVector));
+    prof.addPhase("Vector to User", h.sym(FastVector), h.sym(FastEnd));
+
+    h.bk.machine.cpu().setObserver(&prof);
+    h.fault();
+    h.bk.machine.cpu().setObserver(nullptr);
+    ASSERT_EQ(h.faults, 2u);
+
+    const auto &p = prof.phases();
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p[0].instructions, 6u);
+    EXPECT_EQ(p[1].instructions, 11u);
+    // The save phase stores the Ultrix-equivalent partial state: all
+    // 31 instructions retire.
+    EXPECT_EQ(p[2].instructions, 31u);
+    // No FP state in the test process: the check branches out after
+    // two of its six instructions.
+    EXPECT_EQ(p[3].instructions, 4u);
+    EXPECT_EQ(p[4].instructions, 8u);
+    EXPECT_EQ(p[5].instructions, 3u);
+
+    InstCount total = 0;
+    for (const auto &ph : p)
+        total += ph.instructions;
+    EXPECT_EQ(total, 63u);
+}
+
+TEST_P(GoldenTraceDynamic, HandlerTraceWalksForwardOnce)
+{
+    GoldenHarness h(GetParam());
+    h.fault();
+
+    TraceRecorder rec(h.sym(FastDecode), h.sym(FastEnd));
+    h.bk.machine.cpu().setObserver(&rec);
+    h.fault();
+    h.bk.machine.cpu().setObserver(nullptr);
+
+    const auto &t = rec.trace();
+    ASSERT_EQ(t.size(), 63u);
+    EXPECT_EQ(t.front().pc, h.sym(FastDecode));
+    for (std::size_t i = 1; i < t.size(); i++) {
+        EXPECT_LT(t[i - 1].pc, t[i].pc)
+            << "fast handler trace not monotonic at entry " << i;
+    }
+    // Exactly the two untaken FP-check words are skipped.
+    EXPECT_EQ((h.sym(FastEnd) - h.sym(FastDecode)) / 4 - t.size(), 2u);
+    EXPECT_EQ(rec.exceptions(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothInterpreters, GoldenTraceDynamic,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "Fast" : "Reference";
+                         });
+
+TEST(GoldenTrace, FullDeliveryTraceIdenticalAcrossInterpreters)
+{
+    GoldenHarness ref(false);
+    GoldenHarness fst(true);
+    ref.fault();
+    fst.fault();
+
+    // Record everything the CPU retires — kernel fast path, refills,
+    // user stub, upcall bridge — over three further deliveries.
+    TraceRecorder ref_rec(0, 0xffffffffu);
+    TraceRecorder fst_rec(0, 0xffffffffu);
+    ref.bk.machine.cpu().setObserver(&ref_rec);
+    fst.bk.machine.cpu().setObserver(&fst_rec);
+    for (int i = 0; i < 3; i++) {
+        ref.fault();
+        fst.fault();
+    }
+    ref.bk.machine.cpu().setObserver(nullptr);
+    fst.bk.machine.cpu().setObserver(nullptr);
+
+    const auto &a = ref_rec.trace();
+    const auto &b = fst_rec.trace();
+    ASSERT_GT(a.size(), 3u * 63u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a[i].pc, b[i].pc)
+            << "pc divergence at retired instruction " << i;
+        ASSERT_EQ(a[i].cost, b[i].cost)
+            << "cycle-cost divergence at pc " << std::hex << a[i].pc;
+    }
+    EXPECT_EQ(ref_rec.exceptions(), fst_rec.exceptions());
+    EXPECT_EQ(ref.bk.machine.cpu().stats().cycles,
+              fst.bk.machine.cpu().stats().cycles);
+    EXPECT_EQ(ref.bk.machine.cpu().stats().instructions,
+              fst.bk.machine.cpu().stats().instructions);
+}
+
+} // namespace
+} // namespace uexc
