@@ -1,0 +1,93 @@
+#include "analysis/dataflow.h"
+
+namespace uexc::analysis {
+
+using sim::DecodedInst;
+using sim::Op;
+
+std::vector<Word>
+liveInMasks(const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    std::vector<Word> live_in(blocks.size(), 0);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned i = blocks.size(); i-- > 0;) {
+            const BasicBlock &b = blocks[i];
+            Word live = 0;
+            for (unsigned s : b.succs)
+                live |= live_in[s];
+            for (Addr a = b.end; a > b.begin;) {
+                a -= 4;
+                const DecodedInst &inst = cfg.inst(a);
+                live &= ~sim::regWriteSet(inst);
+                live |= sim::regReadSet(inst);
+            }
+            if (live != live_in[i]) {
+                live_in[i] = live;
+                changed = true;
+            }
+        }
+    }
+    return live_in;
+}
+
+Word
+savedTransfer(const DecodedInst &inst, Word saved)
+{
+    if ((sim::opFlags(inst.op) & sim::opf::Store) ||
+        inst.op == Op::Mtux) {
+        saved |= (Word{1} << inst.rt) & ~Word{1};
+    }
+    return saved;
+}
+
+std::vector<Word>
+savedInMasks(const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    constexpr Word kTop = ~Word{0};
+    std::vector<Word> saved_in(blocks.size(), kTop);
+
+    std::vector<std::vector<unsigned>> preds(blocks.size());
+    for (unsigned i = 0; i < blocks.size(); i++) {
+        for (unsigned s : blocks[i].succs)
+            preds[s].push_back(i);
+    }
+    for (Addr e : cfg.region().entries) {
+        int bi = cfg.blockIndexAt(e);
+        if (bi >= 0)
+            saved_in[bi] = 0;
+    }
+    for (Addr e : cfg.minedEntries()) {
+        int bi = cfg.blockIndexAt(e);
+        if (bi >= 0)
+            saved_in[bi] = 0;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned i = 0; i < blocks.size(); i++) {
+            Word in = saved_in[i];
+            for (unsigned p : preds[i]) {
+                Word out = saved_in[p];
+                if (out != kTop) {
+                    const BasicBlock &pb = blocks[p];
+                    for (Addr a = pb.begin; a < pb.end; a += 4)
+                        out = savedTransfer(cfg.inst(a), out);
+                }
+                in &= out;
+            }
+            if (in != saved_in[i]) {
+                saved_in[i] = in;
+                changed = true;
+            }
+        }
+    }
+    return saved_in;
+}
+
+} // namespace uexc::analysis

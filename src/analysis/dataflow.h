@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bit-vector register dataflow over the guest-code CFG.
+ *
+ * Both analyses use 32-bit masks (bit n = GPR n) as the lattice
+ * elements, with transfer functions derived from the declarative
+ * read/write sets in sim/isa (regReadSet / regWriteSet):
+ *
+ *  - liveInMasks: backward may-analysis (union meet). A register is
+ *    live-in to a block if some path from the block entry reads it
+ *    before writing it. This is classic liveness over the delay-slot
+ *    aware CFG.
+ *
+ *  - savedInMasks: forward must-analysis (intersection meet) used by
+ *    the handler register-discipline check. A register counts as
+ *    "saved" once the handler stores it (sw/sh/sb) or stashes it in a
+ *    user-exception scratch register (mtux); savedIn is the set of
+ *    registers saved on EVERY path from the region entries. A handler
+ *    may freely clobber its scratch set plus whatever is saved; any
+ *    other write destroys interrupted-context state.
+ */
+
+#ifndef UEXC_ANALYSIS_DATAFLOW_H
+#define UEXC_ANALYSIS_DATAFLOW_H
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace uexc::analysis {
+
+/** Live-in register mask per basic block (parallel to cfg.blocks()). */
+std::vector<Word> liveInMasks(const Cfg &cfg);
+
+/** Must-be-saved register mask at entry of each basic block. */
+std::vector<Word> savedInMasks(const Cfg &cfg);
+
+/**
+ * One instruction's effect on the saved-register set: stores and mtux
+ * add their source register. Walk a block from its savedInMasks value
+ * with this to know the saved set at each instruction.
+ */
+Word savedTransfer(const sim::DecodedInst &inst, Word saved);
+
+} // namespace uexc::analysis
+
+#endif // UEXC_ANALYSIS_DATAFLOW_H

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "core/lintspec.h"
 #include "sim/cp0.h"
 
 namespace uexc::rt {
@@ -53,8 +54,8 @@ UserEnv::UserEnv(Kernel &kernel, DeliveryMode mode, SavePolicy policy)
     }
 }
 
-void
-UserEnv::buildShim()
+Program
+UserEnv::buildShimProgram(SavePolicy policy, bool user_vector_hw)
 {
     Assembler a(kUserTextBase);
 
@@ -92,11 +93,11 @@ UserEnv::buildShim()
     a.nop();
 
     // fast software stub: body bridges to the host handler
-    emitFastStub(a, "fast_stub", policy_,
+    emitFastStub(a, "fast_stub", policy,
                  [](Assembler &as) { as.hcall(svc::Upcall); });
 
     // hardware-vectored stub
-    if (kernel_.machine().cpu().config().userVectorHw) {
+    if (user_vector_hw) {
         emitUserVectorStub(a, "hw_stub", [](Assembler &as) {
             as.hcall(svc::Upcall);
         });
@@ -109,7 +110,23 @@ UserEnv::buildShim()
     a.nop();
     emitTrampoline(a, "sigtramp");
 
-    Program p = a.finalize();
+    return a.finalize();
+}
+
+void
+UserEnv::buildShim()
+{
+    Program p = buildShimProgram(
+        policy_, kernel_.machine().cpu().config().userVectorHw);
+#ifndef NDEBUG
+    // Debug builds refuse to install a shim that fails the analyzer.
+    std::vector<analysis::Finding> findings =
+        analysis::lint(p, userProgramLintConfig(p));
+    if (analysis::hasErrors(findings)) {
+        UEXC_PANIC("user shim fails uexc-lint:\n%s",
+                   analysis::formatFindings(findings).c_str());
+    }
+#endif
     kernel_.loadProgram(*proc_, p);
 
     shimIdle_ = p.symbol("shim_idle");

@@ -178,6 +178,15 @@ class UserEnv
     /** Execute a raw guest syscall (v0=num, a0-a2 args); returns v0. */
     Word guestSyscall(Word num, Word a0 = 0, Word a1 = 0, Word a2 = 0);
 
+    /**
+     * Assemble the user-side shim program (parking loop, fault sites,
+     * stubs, trampoline) without needing a machine. This is what
+     * install() loads — exposed so the static analyzer (uexc-lint)
+     * and tests can inspect the exact code that would run.
+     */
+    static sim::Program buildShimProgram(SavePolicy policy,
+                                         bool user_vector_hw);
+
   private:
     friend class Fault;
 

@@ -1,0 +1,96 @@
+#include "core/lintspec.h"
+
+#include "sim/cp0.h"
+#include "sim/isa.h"
+
+namespace uexc::rt {
+
+using namespace sim;
+
+namespace {
+
+constexpr const char *kEndSuffix = "__end";
+
+Word
+regBit(unsigned r)
+{
+    return Word{1} << r;
+}
+
+DecodedInst
+instAt(const Program &prog, Addr a)
+{
+    Addr off = a - prog.origin;
+    Word w = (a >= prog.origin && off / 4 < prog.words.size())
+                 ? prog.words[off / 4]
+                 : 0;
+    return decode(w);
+}
+
+} // namespace
+
+Word
+fastStubScratchMask()
+{
+    return regBit(AT) | regBit(T0) | regBit(T1) | regBit(T2) |
+           regBit(T3) | regBit(T4) | regBit(T5) | regBit(K0) |
+           regBit(K1);
+}
+
+Word
+hwStubScratchMask()
+{
+    return regBit(K0) | regBit(K1);
+}
+
+analysis::LintConfig
+userProgramLintConfig(const Program &prog)
+{
+    analysis::LintConfig config;
+
+    std::vector<analysis::AddrRange> data;
+    if (prog.hasSymbol("uvtable")) {
+        Addr t = prog.symbol("uvtable");
+        data.push_back({t, t + NumExcCodes * 4});
+    }
+
+    analysis::RegionSpec text;
+    text.name = "user-text";
+    text.begin = prog.origin;
+    text.end = prog.end();
+    text.userMode = true;
+    text.dataRanges = data;
+    for (const auto &[name, addr] : prog.symbols) {
+        if (name.ends_with(kEndSuffix))
+            continue;
+        if (addr >= text.begin && addr < text.end)
+            text.entries.push_back(addr);
+    }
+    config.regions.push_back(std::move(text));
+
+    // One handler region per X / X__end stub pair.
+    for (const auto &[name, addr] : prog.symbols) {
+        if (name.ends_with(kEndSuffix))
+            continue;
+        if (!prog.hasSymbol(name + kEndSuffix))
+            continue;
+        analysis::RegionSpec h;
+        h.name = name;
+        h.begin = addr;
+        h.end = prog.symbol(name + kEndSuffix);
+        h.userMode = true;
+        h.handler = true;
+        h.entries = {addr};
+        h.dataRanges = data;
+        // The hardware-vectored stub opens by stashing registers in
+        // the user exception scratch registers; the software stub is
+        // entered with at/t0-t5 already frame-saved by the kernel.
+        h.scratchMask = instAt(prog, addr).op == Op::Mtux
+                            ? hwStubScratchMask()
+                            : fastStubScratchMask();
+        config.regions.push_back(std::move(h));
+    }
+    return config;
+}
+
+} // namespace uexc::rt

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * uexc-lint analyzer configurations for user-side guest programs
+ * (the UserEnv shim, the microbenchmark scenarios, example apps).
+ *
+ * A user program is linted as one whole-text user-mode region rooted
+ * at every exported symbol, plus one handler sub-region per stub: the
+ * stub emitters (core/stubs.cc) export a `<name>__end` marker label,
+ * and any symbol pair `X` / `X__end` is analyzed as an exception
+ * handler under the paper's register discipline. The scratch set is
+ * inferred from the stub kind: a stub beginning with mtux is the
+ * hardware-vectored flavor (only k0/k1 are architecturally free);
+ * anything else is the software fast stub, entered with at/t0-t5
+ * already saved in the frame by the kernel.
+ */
+
+#ifndef UEXC_CORE_LINTSPEC_H
+#define UEXC_CORE_LINTSPEC_H
+
+#include "analysis/lint.h"
+#include "sim/assembler.h"
+
+namespace uexc::rt {
+
+/** Registers the software fast stub may clobber freely: the
+ *  kernel-saved at/t0-t5 plus the kernel-reserved k0/k1. */
+Word fastStubScratchMask();
+
+/** Registers the hardware-vectored stub may clobber freely: k0/k1. */
+Word hwStubScratchMask();
+
+/**
+ * Build the analyzer configuration for a user guest program: the
+ * whole-text user-mode region plus a handler region per `X`/`X__end`
+ * symbol pair. A `uvtable` symbol, if present, is declared as data
+ * (the process-local hardware vector table) and its targets are mined
+ * as entry points.
+ */
+analysis::LintConfig userProgramLintConfig(const sim::Program &prog);
+
+} // namespace uexc::rt
+
+#endif // UEXC_CORE_LINTSPEC_H

@@ -85,9 +85,9 @@ struct Harness
     }
 
     void
-    finish(Assembler &a, Scenario scenario)
+    finish(Program p, Scenario scenario)
     {
-        prog = a.finalize();
+        prog = std::move(p);
         kernel.loadProgram(*proc, prog);
         proc->as().allocate(kHeap, kPageBytes,
                             kProtRead | kProtWrite);
@@ -102,15 +102,33 @@ struct Harness
     Program prog;
 };
 
-std::unique_ptr<Harness>
-buildScenario(Scenario scenario, const MachineConfig &config)
+} // namespace
+
+const char *
+scenarioName(Scenario scenario)
 {
-    auto h = std::make_unique<Harness>(config);
+    switch (scenario) {
+      case Scenario::FastSimple:          return "fast-simple";
+      case Scenario::FastWriteProt:       return "fast-writeprot";
+      case Scenario::FastSubpage:         return "fast-subpage";
+      case Scenario::UltrixSimple:        return "ultrix-simple";
+      case Scenario::UltrixWriteProt:     return "ultrix-writeprot";
+      case Scenario::HwVectorSimple:      return "hwvector-simple";
+      case Scenario::HwVectorTableSimple: return "hwvector-table";
+      case Scenario::NullSyscall:         return "null-syscall";
+      case Scenario::FastSpecialized:     return "fast-specialized";
+    }
+    return "?";
+}
+
+Program
+buildScenarioProgram(Scenario scenario)
+{
     Assembler a(kUserTextBase);
 
     switch (scenario) {
       case Scenario::FastSimple:
-      case Scenario::FastSpecialized: {
+      case Scenario::FastSpecialized:
         emitLoop(a,
                  [](Assembler &as) { as.lw(T7, 2, T6); },
                  [](Assembler &) {});
@@ -128,13 +146,9 @@ buildScenario(Scenario scenario, const MachineConfig &config)
                                    T3);
                          });
         }
-        h->finish(a, scenario);
-        h->kernel.svcUexcEnable(*h->proc, kFastMask,
-                                h->prog.symbol("stub"), kUexcFramePage);
         break;
-      }
 
-      case Scenario::FastWriteProt: {
+      case Scenario::FastWriteProt:
         emitLoop(a,
                  [](Assembler &as) { as.sw(T7, 0, T6); },
                  [](Assembler &as) {
@@ -145,16 +159,9 @@ buildScenario(Scenario scenario, const MachineConfig &config)
                  });
         emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
                      [](Assembler &as) { emitTable2Body(as, false); });
-        h->finish(a, scenario);
-        h->kernel.svcUexcEnable(*h->proc, kFastMask,
-                                h->prog.symbol("stub"), kUexcFramePage);
-        h->kernel.svcUexcSetFlags(*h->proc, kPfEagerAmplify);
-        h->kernel.svcUexcProtect(*h->proc, kHeap, kPageBytes,
-                                 kProtRead);
         break;
-      }
 
-      case Scenario::FastSubpage: {
+      case Scenario::FastSubpage:
         emitLoop(a,
                  [](Assembler &as) { as.sw(T7, 0, T6); },
                  [](Assembler &as) {
@@ -164,15 +171,9 @@ buildScenario(Scenario scenario, const MachineConfig &config)
                  });
         emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
                      [](Assembler &as) { emitTable2Body(as, false); });
-        h->finish(a, scenario);
-        h->kernel.svcUexcEnable(*h->proc, kFastMask,
-                                h->prog.symbol("stub"), kUexcFramePage);
-        h->kernel.svcSubpageProtect(*h->proc, kHeap + 0x800,
-                                    kSubpageBytes, kProtRead);
         break;
-      }
 
-      case Scenario::UltrixSimple: {
+      case Scenario::UltrixSimple:
         emitLoop(a,
                  [](Assembler &as) { as.lw(T7, 2, T6); },
                  [](Assembler &) {});
@@ -184,14 +185,9 @@ buildScenario(Scenario scenario, const MachineConfig &config)
         a.jr(RA);
         a.nop();
         emitTrampoline(a, "tramp");
-        h->finish(a, scenario);
-        h->proc->setField(proc::TrampolineU, h->prog.symbol("tramp"));
-        h->proc->setField(proc::SigHandlers + 4 * kSigbus,
-                          h->prog.symbol("sig_handler"));
         break;
-      }
 
-      case Scenario::UltrixWriteProt: {
+      case Scenario::UltrixWriteProt:
         emitLoop(a,
                  [](Assembler &as) { as.sw(T7, 0, T6); },
                  [](Assembler &as) {
@@ -211,16 +207,10 @@ buildScenario(Scenario scenario, const MachineConfig &config)
         a.jr(RA);
         a.nop();
         emitTrampoline(a, "tramp");
-        h->finish(a, scenario);
-        h->proc->setField(proc::TrampolineU, h->prog.symbol("tramp"));
-        h->proc->setField(proc::SigHandlers + 4 * kSigsegv,
-                          h->prog.symbol("sig_handler"));
-        h->kernel.svcMprotect(*h->proc, kHeap, kPageBytes, kProtRead);
         break;
-      }
 
       case Scenario::HwVectorSimple:
-      case Scenario::HwVectorTableSimple: {
+      case Scenario::HwVectorTableSimple:
         emitLoop(a,
                  [](Assembler &as) { as.lw(T7, 2, T6); },
                  [](Assembler &) {});
@@ -238,25 +228,74 @@ buildScenario(Scenario scenario, const MachineConfig &config)
             for (unsigned i = 0; i < NumExcCodes; i++)
                 a.wordAddr("stub");
         }
-        h->finish(a, scenario);
-        h->machine.cpu().cp0().setUxReg(
-            UxReg::Target,
-            h->prog.symbol(scenario == Scenario::HwVectorTableSimple
-                               ? "uvtable"
-                               : "stub"));
         break;
-      }
 
-      case Scenario::NullSyscall: {
+      case Scenario::NullSyscall:
         emitLoop(a,
                  [](Assembler &as) {
                      as.li(V0, sys::Getpid);
                      as.syscall();
                  },
                  [](Assembler &) {});
-        h->finish(a, scenario);
         break;
-      }
+    }
+    return a.finalize();
+}
+
+namespace {
+
+std::unique_ptr<Harness>
+buildScenario(Scenario scenario, const MachineConfig &config)
+{
+    auto h = std::make_unique<Harness>(config);
+    h->finish(buildScenarioProgram(scenario), scenario);
+
+    switch (scenario) {
+      case Scenario::FastSimple:
+      case Scenario::FastSpecialized:
+        h->kernel.svcUexcEnable(*h->proc, kFastMask,
+                                h->prog.symbol("stub"), kUexcFramePage);
+        break;
+
+      case Scenario::FastWriteProt:
+        h->kernel.svcUexcEnable(*h->proc, kFastMask,
+                                h->prog.symbol("stub"), kUexcFramePage);
+        h->kernel.svcUexcSetFlags(*h->proc, kPfEagerAmplify);
+        h->kernel.svcUexcProtect(*h->proc, kHeap, kPageBytes,
+                                 kProtRead);
+        break;
+
+      case Scenario::FastSubpage:
+        h->kernel.svcUexcEnable(*h->proc, kFastMask,
+                                h->prog.symbol("stub"), kUexcFramePage);
+        h->kernel.svcSubpageProtect(*h->proc, kHeap + 0x800,
+                                    kSubpageBytes, kProtRead);
+        break;
+
+      case Scenario::UltrixSimple:
+        h->proc->setField(proc::TrampolineU, h->prog.symbol("tramp"));
+        h->proc->setField(proc::SigHandlers + 4 * kSigbus,
+                          h->prog.symbol("sig_handler"));
+        break;
+
+      case Scenario::UltrixWriteProt:
+        h->proc->setField(proc::TrampolineU, h->prog.symbol("tramp"));
+        h->proc->setField(proc::SigHandlers + 4 * kSigsegv,
+                          h->prog.symbol("sig_handler"));
+        h->kernel.svcMprotect(*h->proc, kHeap, kPageBytes, kProtRead);
+        break;
+
+      case Scenario::HwVectorSimple:
+      case Scenario::HwVectorTableSimple:
+        h->machine.cpu().cp0().setUxReg(
+            UxReg::Target,
+            h->prog.symbol(scenario == Scenario::HwVectorTableSimple
+                               ? "uvtable"
+                               : "stub"));
+        break;
+
+      case Scenario::NullSyscall:
+        break;
     }
 
     // loop counter and fault operands

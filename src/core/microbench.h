@@ -64,6 +64,25 @@ struct Timing
     InstCount kernelInsts = 0;
 };
 
+/** All scenarios, for iteration (tools, lint gates, tests). */
+inline constexpr Scenario kAllScenarios[] = {
+    Scenario::FastSimple,      Scenario::FastWriteProt,
+    Scenario::FastSubpage,     Scenario::UltrixSimple,
+    Scenario::UltrixWriteProt, Scenario::HwVectorSimple,
+    Scenario::HwVectorTableSimple, Scenario::NullSyscall,
+    Scenario::FastSpecialized,
+};
+
+/** Stable kebab-case name of @p scenario (CLI/report use). */
+const char *scenarioName(Scenario scenario);
+
+/**
+ * Assemble a scenario's user program (benchmark loop + handlers +
+ * stubs) without building a machine. This is what buildScenario loads
+ * and what the static analyzer lints.
+ */
+sim::Program buildScenarioProgram(Scenario scenario);
+
 /** Measure one scenario on a machine configuration. */
 Timing measure(Scenario scenario, const sim::MachineConfig &config,
                unsigned warm_iters = 8);

@@ -54,6 +54,7 @@ emitFastStub(Assembler &a, const std::string &name, SavePolicy policy,
     a.lw(T3, static_cast<SWord>(uframe::T3), T3);   // last: frees base
     a.jr(K0);
     a.nop();
+    a.label(name + "__end");
 }
 
 void
@@ -81,6 +82,7 @@ emitUserVectorStub(Assembler &a, const std::string &name,
     a.mfux(T3, UxReg::Scratch4);
     a.mfux(RA, UxReg::Scratch5);
     a.xret();
+    a.label(name + "__end");
 }
 
 void

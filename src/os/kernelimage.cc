@@ -1134,7 +1134,68 @@ buildKernelImage()
     emitSyscallPath(a);
     emitRestorePath(a);
     emitKernelData(a);
-    return a.finalize();
+    Program prog = a.finalize();
+#ifndef NDEBUG
+    // Refuse to boot a malformed image: debug builds run the full
+    // static analyzer over the freshly assembled kernel.
+    std::vector<analysis::Finding> findings = lintKernelImage(prog);
+    if (analysis::hasErrors(findings)) {
+        UEXC_PANIC("kernel image fails uexc-lint:\n%s",
+                   analysis::formatFindings(findings).c_str());
+    }
+#endif
+    return prog;
+}
+
+analysis::LintConfig
+kernelLintConfig(const Program &prog)
+{
+    analysis::RegionSpec spec;
+    spec.name = "kernel";
+    spec.begin = prog.origin;
+    // Everything from curproc on is kernel data, not code.
+    spec.end = prog.symbol(ksym::Curproc);
+    spec.userMode = false;
+    spec.entries = {prog.symbol(ksym::RefillHandler),
+                    prog.symbol(ksym::FastDecode)};
+    Addr sys_table = prog.symbol("sys_table");
+    spec.dataRanges = {{sys_table, sys_table + 16 * 4}};
+    return {{spec}};
+}
+
+analysis::FastPathSpec
+kernelFastPathSpec(const Program &prog)
+{
+    analysis::FastPathSpec spec;
+    auto phase = [&](const char *name, const char *b, const char *e,
+                     unsigned words) {
+        spec.phases.push_back(
+            {name, prog.symbol(b), prog.symbol(e), words});
+    };
+    // The paper's Table 3: 6 / 11 / 31 / 6 / 8 / 3 = 65.
+    phase("decode", ksym::FastDecode, ksym::FastCompat, 6);
+    phase("compat", ksym::FastCompat, ksym::FastSave, 11);
+    phase("save", ksym::FastSave, ksym::FastFp, 31);
+    phase("fp", ksym::FastFp, ksym::FastTlbCheck, 6);
+    phase("tlbcheck", ksym::FastTlbCheck, ksym::FastVector, 8);
+    phase("vector", ksym::FastVector, ksym::FastEnd, 3);
+    // Stores must hit the pinned frame's kseg0 alias (base k1);
+    // loads may also read the proc structure via t0.
+    spec.storeBaseMask = Word{1} << K1;
+    spec.loadBaseMask = (Word{1} << K1) | (Word{1} << T0);
+    return spec;
+}
+
+std::vector<analysis::Finding>
+lintKernelImage(const Program &prog)
+{
+    std::vector<analysis::Finding> findings =
+        analysis::lint(prog, kernelLintConfig(prog));
+    std::vector<analysis::Finding> structural =
+        analysis::verifyFastPath(prog, kernelFastPathSpec(prog));
+    findings.insert(findings.end(), structural.begin(),
+                    structural.end());
+    return findings;
 }
 
 } // namespace uexc::os

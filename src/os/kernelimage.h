@@ -28,6 +28,9 @@
 #ifndef UEXC_OS_KERNELIMAGE_H
 #define UEXC_OS_KERNELIMAGE_H
 
+#include <vector>
+
+#include "analysis/lint.h"
 #include "sim/assembler.h"
 
 namespace uexc::os {
@@ -55,9 +58,28 @@ constexpr const char *RefillEnd = "tlb_refill_end";
 
 /**
  * Build the kernel image (vectors + handlers + kernel data labels).
- * Load the result into a Machine before creating processes.
+ * Load the result into a Machine before creating processes. Debug
+ * builds run uexc-lint over the image and panic on any Error finding.
  */
 sim::Program buildKernelImage();
+
+/**
+ * The analyzer configuration for a kernel image: one privileged code
+ * region from the refill vector up to the kernel data labels, rooted
+ * at both exception vectors, with sys_table declared as data (its
+ * targets are mined as entry points).
+ */
+analysis::LintConfig kernelLintConfig(const sim::Program &prog);
+
+/**
+ * The structural spec of the fast path: the paper's Table 3 phase
+ * word counts (6/11/31/6/8/3 = 65) and the pinned-save-area base
+ * register whitelists.
+ */
+analysis::FastPathSpec kernelFastPathSpec(const sim::Program &prog);
+
+/** lint() + verifyFastPath() over a built kernel image. */
+std::vector<analysis::Finding> lintKernelImage(const sim::Program &prog);
 
 } // namespace uexc::os
 

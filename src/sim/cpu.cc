@@ -470,7 +470,7 @@ Cpu::executeTail(const DecodedInst &inst, Cycles cycles_before)
     if (excRaised_)
         return;
 
-    if (!inst.isMemory())
+    if (!(inst.flags & DecodedInst::FlagMemory))
         consecutiveStores_ = 0;
 
     if (observer_)
@@ -481,7 +481,7 @@ Cpu::executeTail(const DecodedInst &inst, Cycles cycles_before)
         return;
     }
 
-    prevWasControl_ = inst.isControl();
+    prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
     pc_ = npc_;
     npc_ = stagedNpc_;
 }

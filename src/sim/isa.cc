@@ -16,6 +16,113 @@ const char *const kRegNames[NumRegs] = {
     "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
 };
 
+// Shorthand for the metadata table below.
+constexpr std::uint16_t kRRR = opf::ReadsRs | opf::ReadsRt | opf::WritesRd;
+constexpr std::uint16_t kImm = opf::ReadsRs | opf::WritesRt;
+constexpr std::uint16_t kLoad =
+    opf::Memory | opf::Load | opf::ReadsRs | opf::WritesRt;
+constexpr std::uint16_t kStore =
+    opf::Memory | opf::Store | opf::ReadsRs | opf::ReadsRt;
+constexpr std::uint16_t kBr2 = opf::Control | opf::Branch | opf::ReadsRs |
+                               opf::ReadsRt;
+constexpr std::uint16_t kBr1 = opf::Control | opf::Branch | opf::ReadsRs;
+constexpr std::uint16_t kPriv = opf::Privileged | opf::Fence;
+
+/**
+ * The declarative per-operation metadata table, indexed by Op. This is
+ * the single source of truth for instruction classification; the
+ * DecodedInst predicates, decode()'s flag byte, and regReadSet() /
+ * regWriteSet() are all views of it.
+ */
+constexpr std::uint16_t kOpFlags[NumOps] = {
+    /* Invalid */ 0,
+    /* Sll    */ opf::ReadsRt | opf::WritesRd,
+    /* Srl    */ opf::ReadsRt | opf::WritesRd,
+    /* Sra    */ opf::ReadsRt | opf::WritesRd,
+    /* Sllv   */ kRRR,
+    /* Srlv   */ kRRR,
+    /* Srav   */ kRRR,
+    /* Add    */ kRRR,
+    /* Addu   */ kRRR,
+    /* Sub    */ kRRR,
+    /* Subu   */ kRRR,
+    /* And    */ kRRR,
+    /* Or     */ kRRR,
+    /* Xor    */ kRRR,
+    /* Nor    */ kRRR,
+    /* Slt    */ kRRR,
+    /* Sltu   */ kRRR,
+    /* Mult   */ opf::ReadsRs | opf::ReadsRt,
+    /* Multu  */ opf::ReadsRs | opf::ReadsRt,
+    /* Div    */ opf::ReadsRs | opf::ReadsRt,
+    /* Divu   */ opf::ReadsRs | opf::ReadsRt,
+    /* Mfhi   */ opf::WritesRd,
+    /* Mthi   */ opf::ReadsRs,
+    /* Mflo   */ opf::WritesRd,
+    /* Mtlo   */ opf::ReadsRs,
+    /* Addi   */ kImm,
+    /* Addiu  */ kImm,
+    /* Slti   */ kImm,
+    /* Sltiu  */ kImm,
+    /* Andi   */ kImm,
+    /* Ori    */ kImm,
+    /* Xori   */ kImm,
+    /* Lui    */ opf::WritesRt,
+    /* J      */ opf::Control | opf::Jump,
+    /* Jal    */ opf::Control | opf::Jump | opf::WritesRA,
+    /* Jr     */ opf::Control | opf::Jump | opf::ReadsRs,
+    /* Jalr   */ opf::Control | opf::Jump | opf::ReadsRs | opf::WritesRd,
+    /* Beq    */ kBr2,
+    /* Bne    */ kBr2,
+    /* Blez   */ kBr1,
+    /* Bgtz   */ kBr1,
+    /* Bltz   */ kBr1,
+    /* Bgez   */ kBr1,
+    /* Bltzal */ kBr1 | opf::WritesRA,
+    /* Bgezal */ kBr1 | opf::WritesRA,
+    /* Lb     */ kLoad,
+    /* Lbu    */ kLoad,
+    /* Lh     */ kLoad,
+    /* Lhu    */ kLoad,
+    /* Lw     */ kLoad,
+    /* Sb     */ kStore,
+    /* Sh     */ kStore,
+    /* Sw     */ kStore,
+    /* Syscall*/ opf::Trap,
+    /* Break  */ opf::Trap,
+    /* Mfc0   */ kPriv | opf::WritesRt,
+    /* Mtc0   */ kPriv | opf::ReadsRt,
+    /* Tlbr   */ kPriv,
+    /* Tlbwi  */ kPriv,
+    /* Tlbwr  */ kPriv,
+    /* Tlbp   */ kPriv,
+    /* Rfe    */ kPriv | opf::Return,
+    /* Mfux   */ opf::WritesRt,
+    /* Mtux   */ opf::ReadsRt,
+    /* Xret   */ opf::Return,
+    /* Tlbmp  */ opf::Fence | opf::ReadsRs | opf::ReadsRt,
+    /* Hcall  */ opf::Fence,
+};
+
+constexpr std::uint16_t
+flagsOf(Op op)
+{
+    return kOpFlags[static_cast<unsigned>(op)];
+}
+
+// Spot-check the table ordering against the Op enum; a misaligned
+// entry would silently misclassify instructions.
+static_assert(flagsOf(Op::Invalid) == 0);
+static_assert(flagsOf(Op::Sltu) == kRRR);
+static_assert(flagsOf(Op::Lui) == opf::WritesRt);
+static_assert(flagsOf(Op::Jal) & opf::WritesRA);
+static_assert(flagsOf(Op::Bgezal) & opf::WritesRA);
+static_assert(flagsOf(Op::Lw) & opf::Load);
+static_assert(flagsOf(Op::Sw) & opf::Store);
+static_assert(flagsOf(Op::Break) & opf::Trap);
+static_assert(flagsOf(Op::Rfe) == (kPriv | opf::Return));
+static_assert(flagsOf(Op::Hcall) == opf::Fence);
+
 Op
 decodeSpecial(Word raw)
 {
@@ -102,6 +209,38 @@ decodeCop3(Word raw)
 
 } // namespace
 
+std::uint16_t
+opFlags(Op op)
+{
+    return kOpFlags[static_cast<unsigned>(op)];
+}
+
+Word
+regReadSet(const DecodedInst &inst)
+{
+    std::uint16_t f = opFlags(inst.op);
+    Word mask = 0;
+    if (f & opf::ReadsRs)
+        mask |= Word{1} << inst.rs;
+    if (f & opf::ReadsRt)
+        mask |= Word{1} << inst.rt;
+    return mask & ~Word{1}; // $zero reads are vacuous
+}
+
+Word
+regWriteSet(const DecodedInst &inst)
+{
+    std::uint16_t f = opFlags(inst.op);
+    Word mask = 0;
+    if (f & opf::WritesRd)
+        mask |= Word{1} << inst.rd;
+    if (f & opf::WritesRt)
+        mask |= Word{1} << inst.rt;
+    if (f & opf::WritesRA)
+        mask |= Word{1} << RA;
+    return mask & ~Word{1}; // writes to $zero are discarded
+}
+
 DecodedInst
 decode(Word raw)
 {
@@ -146,15 +285,14 @@ decode(Word raw)
       case Opcode::Hcall:   inst.op = Op::Hcall; break;
       default:              inst.op = Op::Invalid; break;
     }
-    inst.flags = static_cast<std::uint8_t>(
-        (inst.isControl() ? DecodedInst::FlagControl : 0) |
-        (inst.isMemory() ? DecodedInst::FlagMemory : 0) |
-        (inst.isStore() ? DecodedInst::FlagStore : 0) |
-        (inst.isPrivileged() ? DecodedInst::FlagPrivileged : 0) |
-        (inst.isPrivileged() || inst.op == Op::Tlbmp ||
-                 inst.op == Op::Hcall
-             ? DecodedInst::FlagFence
-             : 0));
+    // The low five opf:: bits coincide with DecodedInst::Flag.
+    static_assert(unsigned{opf::Control} == DecodedInst::FlagControl);
+    static_assert(unsigned{opf::Memory} == DecodedInst::FlagMemory);
+    static_assert(unsigned{opf::Store} == DecodedInst::FlagStore);
+    static_assert(unsigned{opf::Privileged} ==
+                  DecodedInst::FlagPrivileged);
+    static_assert(unsigned{opf::Fence} == DecodedInst::FlagFence);
+    inst.flags = static_cast<std::uint8_t>(opFlags(inst.op) & 0x1fu);
     return inst;
 }
 

@@ -209,6 +209,43 @@ enum class Op : unsigned
     Mfux, Mtux, Xret, Tlbmp, Hcall,
 };
 
+/** Number of Op enumerators (size of per-operation metadata tables). */
+constexpr unsigned NumOps = static_cast<unsigned>(Op::Hcall) + 1;
+
+/**
+ * Declarative per-operation metadata flags. One table entry per Op
+ * (see opFlags()) is the single source of truth for instruction
+ * classification: the DecodedInst predicate methods, the decode-time
+ * flag bits consumed by the fast block interpreter, and the static
+ * analyzer's register read/write sets are all derived from it.
+ *
+ * The low five bits deliberately coincide with DecodedInst::Flag so
+ * decode() can copy them directly.
+ */
+namespace opf {
+enum : std::uint16_t
+{
+    Control    = 1u << 0,  ///< branch or jump (has a delay slot)
+    Memory     = 1u << 1,  ///< reads or writes memory
+    Store      = 1u << 2,  ///< writes memory
+    Privileged = 1u << 3,  ///< kernel-mode only (CP0/TLB ops, rfe)
+    Fence      = 1u << 4,  ///< may invalidate host-side caches
+    ReadsRs    = 1u << 5,  ///< reads GPR rs
+    ReadsRt    = 1u << 6,  ///< reads GPR rt
+    WritesRd   = 1u << 7,  ///< writes GPR rd
+    WritesRt   = 1u << 8,  ///< writes GPR rt
+    WritesRA   = 1u << 9,  ///< writes $ra implicitly (jal, b*al)
+    Load       = 1u << 10, ///< memory read (lb/lbu/lh/lhu/lw)
+    Branch     = 1u << 11, ///< conditional control transfer
+    Jump       = 1u << 12, ///< unconditional control transfer
+    Trap       = 1u << 13, ///< always raises an exception (syscall, break)
+    Return     = 1u << 14, ///< exception return (rfe, xret)
+};
+} // namespace opf
+
+/** The metadata flag word (opf:: bits) for an operation kind. */
+std::uint16_t opFlags(Op op);
+
 /**
  * A decoded instruction: the raw word plus all fields and the resolved
  * operation kind.
@@ -246,51 +283,31 @@ struct DecodedInst
     std::uint8_t flags = 0; ///< Flag bits, valid only from decode()
 
     /** Whether this instruction is a branch or jump (has a delay slot). */
-    bool isControl() const
-    {
-        switch (op) {
-          case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
-          case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz:
-          case Op::Bltz: case Op::Bgez: case Op::Bltzal: case Op::Bgezal:
-            return true;
-          default:
-            return false;
-        }
-    }
+    bool isControl() const { return (opFlags(op) & opf::Control) != 0; }
     /** Whether this instruction reads or writes memory. */
-    bool isMemory() const
-    {
-        switch (op) {
-          case Op::Lb: case Op::Lbu: case Op::Lh: case Op::Lhu:
-          case Op::Lw: case Op::Sb: case Op::Sh: case Op::Sw:
-            return true;
-          default:
-            return false;
-        }
-    }
+    bool isMemory() const { return (opFlags(op) & opf::Memory) != 0; }
     /** Whether this instruction writes memory. */
-    bool isStore() const
-    {
-        switch (op) {
-          case Op::Sb: case Op::Sh: case Op::Sw:
-            return true;
-          default:
-            return false;
-        }
-    }
+    bool isStore() const { return (opFlags(op) & opf::Store) != 0; }
     /** Whether this instruction is privileged (kernel-mode only). */
     bool isPrivileged() const
     {
-        switch (op) {
-          case Op::Mfc0: case Op::Mtc0:
-          case Op::Tlbr: case Op::Tlbwi: case Op::Tlbwr: case Op::Tlbp:
-          case Op::Rfe:
-            return true;
-          default:
-            return false;
-        }
+        return (opFlags(op) & opf::Privileged) != 0;
     }
 };
+
+/**
+ * Bitmask (bit n = GPR n) of general-purpose registers the
+ * instruction reads, derived from the opf:: metadata table. $zero is
+ * never included.
+ */
+Word regReadSet(const DecodedInst &inst);
+
+/**
+ * Bitmask (bit n = GPR n) of general-purpose registers the
+ * instruction writes. Writes to $zero are architectural no-ops and
+ * are never included.
+ */
+Word regWriteSet(const DecodedInst &inst);
 
 /**
  * Decode a raw instruction word.

@@ -7,6 +7,7 @@
  *
  *   $ ./tools/kdump            # whole kernel text
  *   $ ./tools/kdump fast       # only the fast path (Table 3 region)
+ *   $ ./tools/kdump --lint     # run uexc-lint over the image instead
  */
 
 #include <cstdio>
@@ -24,6 +25,18 @@ int
 main(int argc, char **argv)
 {
     bool fast_only = argc > 1 && std::strcmp(argv[1], "fast") == 0;
+    bool lint_only = argc > 1 && std::strcmp(argv[1], "--lint") == 0;
+
+    if (lint_only) {
+        Program image = buildKernelImage();
+        std::vector<analysis::Finding> findings =
+            lintKernelImage(image);
+        std::fputs(analysis::formatFindings(findings).c_str(), stdout);
+        std::printf("kernel image: %zu finding%s, %s\n",
+                    findings.size(), findings.size() == 1 ? "" : "s",
+                    analysis::hasErrors(findings) ? "FAIL" : "ok");
+        return analysis::hasErrors(findings) ? 1 : 0;
+    }
 
     Program image = buildKernelImage();
     // invert the symbol table for annotation

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * uexc-lint: the guest-code static analyzer, as a command-line tool.
+ *
+ * Builds the requested guest programs exactly as the runtime would
+ * (same emitters, no machine needed) and runs the CFG/dataflow check
+ * engine over them. Used interactively and as the CI guest-lint gate.
+ *
+ *   $ ./tools/uexc_lint kernel          # kernel image + fast path
+ *   $ ./tools/uexc_lint shim            # every UserEnv shim variant
+ *   $ ./tools/uexc_lint micro           # every microbench scenario
+ *   $ ./tools/uexc_lint micro fast-simple
+ *   $ ./tools/uexc_lint --all           # everything
+ *   $ ./tools/uexc_lint --strict --all  # warnings also fail
+ *
+ * Exit status: 0 if no Error findings (no Warning either under
+ * --strict), 1 otherwise, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/env.h"
+#include "core/lintspec.h"
+#include "core/microbench.h"
+#include "os/kernelimage.h"
+
+using namespace uexc;
+using namespace uexc::rt;
+
+namespace {
+
+struct Totals
+{
+    unsigned errors = 0;
+    unsigned warnings = 0;
+    unsigned targets = 0;
+};
+
+void
+report(const char *target, const std::vector<analysis::Finding> &fs,
+       Totals &totals)
+{
+    totals.targets++;
+    unsigned errors = 0, warnings = 0;
+    for (const analysis::Finding &f : fs) {
+        if (f.severity == analysis::Severity::Error)
+            errors++;
+        else if (f.severity == analysis::Severity::Warning)
+            warnings++;
+    }
+    totals.errors += errors;
+    totals.warnings += warnings;
+    std::printf("== %s: %u error%s, %u warning%s\n", target, errors,
+                errors == 1 ? "" : "s", warnings,
+                warnings == 1 ? "" : "s");
+    std::fputs(analysis::formatFindings(fs).c_str(), stdout);
+}
+
+void
+lintKernel(Totals &totals)
+{
+    sim::Program image = os::buildKernelImage();
+    report("kernel", os::lintKernelImage(image), totals);
+}
+
+void
+lintShims(Totals &totals)
+{
+    struct Variant
+    {
+        const char *name;
+        SavePolicy policy;
+        bool hw;
+    };
+    constexpr Variant kVariants[] = {
+        {"shim(ultrix-equivalent)", SavePolicy::UltrixEquivalent, false},
+        {"shim(minimal)", SavePolicy::Minimal, false},
+        {"shim(ultrix-equivalent,hw)", SavePolicy::UltrixEquivalent,
+         true},
+        {"shim(minimal,hw)", SavePolicy::Minimal, true},
+    };
+    for (const Variant &v : kVariants) {
+        sim::Program p = UserEnv::buildShimProgram(v.policy, v.hw);
+        report(v.name, analysis::lint(p, userProgramLintConfig(p)),
+               totals);
+    }
+}
+
+bool
+lintMicro(Totals &totals, const char *which)
+{
+    bool matched = false;
+    for (micro::Scenario s : micro::kAllScenarios) {
+        if (which && std::strcmp(micro::scenarioName(s), which) != 0)
+            continue;
+        matched = true;
+        sim::Program p = micro::buildScenarioProgram(s);
+        std::string target =
+            std::string("micro(") + micro::scenarioName(s) + ")";
+        report(target.c_str(),
+               analysis::lint(p, userProgramLintConfig(p)), totals);
+    }
+    return matched;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: uexc_lint [--strict] "
+                 "{--all | kernel | shim | micro [scenario]}...\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool strict = false;
+    Totals totals;
+    bool did_anything = false;
+
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--strict") == 0) {
+            strict = true;
+        } else if (std::strcmp(arg, "--all") == 0) {
+            lintKernel(totals);
+            lintShims(totals);
+            lintMicro(totals, nullptr);
+            did_anything = true;
+        } else if (std::strcmp(arg, "kernel") == 0) {
+            lintKernel(totals);
+            did_anything = true;
+        } else if (std::strcmp(arg, "shim") == 0) {
+            lintShims(totals);
+            did_anything = true;
+        } else if (std::strcmp(arg, "micro") == 0) {
+            const char *which = nullptr;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                which = argv[++i];
+            if (!lintMicro(totals, which)) {
+                std::fprintf(stderr, "unknown scenario \"%s\"\n",
+                             which);
+                return usage();
+            }
+            did_anything = true;
+        } else {
+            std::fprintf(stderr, "unknown argument \"%s\"\n", arg);
+            return usage();
+        }
+    }
+    if (!did_anything)
+        return usage();
+
+    bool fail = totals.errors > 0 || (strict && totals.warnings > 0);
+    std::printf("uexc-lint: %u target%s, %u error%s, %u warning%s: %s\n",
+                totals.targets, totals.targets == 1 ? "" : "s",
+                totals.errors, totals.errors == 1 ? "" : "s",
+                totals.warnings, totals.warnings == 1 ? "" : "s",
+                fail ? "FAIL" : "ok");
+    return fail ? 1 : 0;
+}
