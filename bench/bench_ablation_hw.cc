@@ -24,6 +24,7 @@ main()
 {
     banner("Ablation A1: hardware user vectoring vs software scheme");
 
+    bench::JsonResults json("ablation_hw");
     sim::MachineConfig cfg = paperMachineConfig();
     Timing sw = measure(Scenario::FastSimple, cfg);
     Timing hw = measure(Scenario::HwVectorSimple, cfg);
@@ -44,6 +45,13 @@ main()
     std::printf("  %-42s %7.1f us %7.1f us\n",
                 "hardware vectoring via vector table (2.2)",
                 hwt.deliverUs, hwt.roundTripUs);
+
+    json.metric("ultrix round trip", ultrix.roundTripUs, "us");
+    json.metric("software round trip", sw.roundTripUs, "us");
+    json.metric("hardware round trip", hw.roundTripUs, "us");
+    json.metric("hardware-table round trip", hwt.roundTripUs, "us");
+    json.metric("hardware vs software",
+                sw.roundTripUs / hw.roundTripUs, "x");
 
     section("speedups");
     std::printf("  software vs Ultrix:  %.1fx\n",

@@ -27,6 +27,7 @@ main()
     banner("Ablation A3: subpage protection, direct and indirect "
            "cost");
 
+    bench::JsonResults json("ablation_subpage");
     constexpr Addr kPage = 0x10000000;
     constexpr unsigned kStores = 600;
 
@@ -73,6 +74,12 @@ main()
                     static_cast<unsigned long long>(r.cycles),
                     r.faults,
                     static_cast<unsigned long long>(r.emulations));
+        std::string suffix =
+            " (" + std::to_string(pct) + "% unrelated)";
+        json.metric("cycles" + suffix,
+                    static_cast<double>(r.cycles), "cycles");
+        json.metric("emulations" + suffix,
+                    static_cast<double>(r.emulations), "count");
     }
 
     section("reference: page-granularity protection (no subpages)");

@@ -60,11 +60,17 @@ main()
     banner("Ablation A2: protection change mechanisms "
            "(section 3.2.3)");
 
+    bench::JsonResults json("ablation_tlb");
     Cycles hw = measureOp(true, false);
     Cycles emul = measureOp(false, false);
     Cycles mprotect_cost = measureOp(true, true);
 
     sim::CostModel cost;
+    json.metric("tlbmp hardware", static_cast<double>(hw), "cycles");
+    json.metric("kernel emulation", static_cast<double>(emul),
+                "cycles");
+    json.metric("mprotect syscall",
+                static_cast<double>(mprotect_cost), "cycles");
     std::printf("  %-52s %8.2f us (%llu cycles)\n",
                 "TLBMP hardware (U bit set, entry resident)",
                 cost.toMicros(hw), static_cast<unsigned long long>(hw));

@@ -44,6 +44,7 @@ int
 main()
 {
     banner("Ablation A7: DSM page ping-pong vs network latency");
+    bench::JsonResults json("dsm");
     constexpr unsigned kRounds = 20;
     sim::CostModel cost;
 
@@ -62,6 +63,41 @@ main()
                     cost.toMicros(u) / kRounds,
                     cost.toMicros(f) / kRounds,
                     static_cast<double>(u) / f);
+        std::string suffix =
+            " (latency=" +
+            std::to_string(static_cast<unsigned long long>(latency)) +
+            ")";
+        json.metric("ultrix miss" + suffix,
+                    cost.toMicros(u) / kRounds, "us");
+        json.metric("fast miss" + suffix, cost.toMicros(f) / kRounds,
+                    "us");
+    }
+
+    section("placement: machine-per-node vs harts of one machine");
+    {
+        auto run_placed = [&](bool shared) {
+            DsmCluster::Config cfg;
+            cfg.mode = rt::DeliveryMode::FastSoftware;
+            cfg.bytes = 4 * os::kPageBytes;
+            cfg.networkLatencyCycles = 1000;
+            cfg.sharedMachine = shared;
+            DsmCluster dsm(cfg);
+            dsm.write(0, kBase, 0);
+            Cycles before = dsm.totalCycles();
+            for (Word i = 0; i < kRounds; i++)
+                dsm.write(i % 2, kBase, i);
+            return dsm.totalCycles() - before;
+        };
+        Cycles separate = run_placed(false);
+        Cycles shared = run_placed(true);
+        std::printf("  separate machines %10llu cyc, shared machine "
+                    "(2 harts) %10llu cyc\n",
+                    static_cast<unsigned long long>(separate),
+                    static_cast<unsigned long long>(shared));
+        json.metric("pingpong separate machines",
+                    static_cast<double>(separate), "cycles");
+        json.metric("pingpong shared machine",
+                    static_cast<double>(shared), "cycles");
     }
 
     section("notes");

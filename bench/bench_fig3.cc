@@ -30,6 +30,7 @@ main()
 {
     banner("Figure 3: exceptions vs software checking for swizzling");
 
+    bench::JsonResults json("fig3");
     sim::MachineConfig cfg = paperMachineConfig();
     Timing special = measure(Scenario::FastSpecialized, cfg);
     Timing ultrix = measure(Scenario::UltrixSimple, cfg);
@@ -50,7 +51,14 @@ main()
         std::printf("  %-22.0f %14.1f %14.1f\n", c,
                     swizzleBreakEvenUses(c, y_ultrix, f),
                     swizzleBreakEvenUses(c, y_fast, f));
+        std::string suffix = "(c=" + std::to_string(int(c)) + ")";
+        json.metric("ustar_ultrix " + suffix,
+                    swizzleBreakEvenUses(c, y_ultrix, f), "uses");
+        json.metric("ustar_fast " + suffix,
+                    swizzleBreakEvenUses(c, y_fast, f), "uses");
     }
+    json.metric("specialized round trip", y_fast, "us");
+    json.metric("ultrix round trip", y_ultrix, "us");
     noteLine("the paper: with fast exceptions the balance point "
              "shifts by an order of magnitude, making exception-based "
              "swizzling superior for far fewer uses per pointer");

@@ -31,6 +31,7 @@ main()
 {
     banner("Figure 4: eager vs lazy swizzling using exceptions");
 
+    bench::JsonResults json("fig4");
     sim::MachineConfig cfg = paperMachineConfig();
     double t_fast = measure(Scenario::FastSpecialized, cfg).roundTripUs;
     double t_ultrix = measure(Scenario::UltrixSimple, cfg).roundTripUs;
@@ -49,7 +50,15 @@ main()
         double pu_f = eagerLazyBreakEvenUsed(t_fast, s, pn);
         std::printf("  %-24.1f %16.1f %16.1f\n", s,
                     100.0 * pu_u / pn, 100.0 * pu_f / pn);
+        char suffix[32];
+        std::snprintf(suffix, sizeof suffix, "(s=%.1f)", s);
+        json.metric(std::string("pu_ultrix ") + suffix,
+                    100.0 * pu_u / pn, "%");
+        json.metric(std::string("pu_fast ") + suffix,
+                    100.0 * pu_f / pn, "%");
     }
+    json.metric("t_fast", t_fast, "us");
+    json.metric("t_ultrix", t_ultrix, "us");
     noteLine("the fast curve sits to the right of the Ultrix curve: "
              "reduced exception cost makes lazy swizzling "
              "advantageous for a broader range of parameter values "

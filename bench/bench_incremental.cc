@@ -74,6 +74,7 @@ main()
 {
     banner("Ablation A8: incremental collection pauses and the "
            "retrace barrier");
+    bench::JsonResults json("incremental");
     sim::CostModel cost;
 
     section("pause control: max slice pause vs slice budget "
@@ -89,6 +90,9 @@ main()
         std::printf("  %-14u %16.1f %16.1f\n", slice,
                     cost.toMicros(rig.gc->stats().maxPauseCycles),
                     cost.toMicros(rig.gc->stats().totalPauseCycles));
+        json.metric("max pause (slice=" + std::to_string(slice) + ")",
+                    cost.toMicros(rig.gc->stats().maxPauseCycles),
+                    "us");
     }
     noteLine("the slice budget bounds the pause; the barrier is what "
              "keeps bounded pauses *correct*");
@@ -116,6 +120,9 @@ main()
                                                     before),
                     static_cast<unsigned long long>(
                         rig.gc->stats().retraceFaults));
+        json.metric(std::string("barrier cycles ") + name(mode),
+                    static_cast<double>(rig.env->cycles() - before),
+                    "cycles");
     }
 
     section("notes");

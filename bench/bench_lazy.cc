@@ -63,6 +63,7 @@ main()
 {
     banner("Ablation A5: unaligned-pointer runtime techniques");
 
+    bench::JsonResults json("lazy");
     constexpr unsigned kOps = 300;
 
     section("unbounded list: cost per on-demand element");
@@ -75,10 +76,12 @@ main()
         Addr cell = list.head();
         for (unsigned i = 0; i < kOps; i++)
             cell = list.next(cell);
+        double us = usPerOp(e.env->cycles() - before, kOps);
         std::printf("  %-18s %8.2f us/element (%llu faults)\n",
-                    name(mode),
-                    usPerOp(e.env->cycles() - before, kOps),
+                    name(mode), us,
                     static_cast<unsigned long long>(list.faults()));
+        json.metric(std::string("list element ") + name(mode), us,
+                    "us");
     }
 
     section("future: cost of a fault-forced resolution");
@@ -95,6 +98,8 @@ main()
         }
         std::printf("  %-18s %8.2f us/force\n", name(mode),
                     usPerOp(total, 50));
+        json.metric(std::string("future force ") + name(mode),
+                    usPerOp(total, 50), "us");
     }
 
     section("full/empty cell: synchronizing read on empty");
@@ -112,6 +117,8 @@ main()
         }
         std::printf("  %-18s %8.2f us/read\n", name(mode),
                     usPerOp(total, 50));
+        json.metric(std::string("full/empty read ") + name(mode),
+                    usPerOp(total, 50), "us");
     }
 
     section("notes");

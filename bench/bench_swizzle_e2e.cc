@@ -55,6 +55,7 @@ main()
 {
     banner("Ablation A4: persistent store traversals end-to-end");
 
+    bench::JsonResults json("swizzle_e2e");
     struct Case
     {
         const char *name;
@@ -82,6 +83,10 @@ main()
                     c.use_fraction, c.uses);
             std::printf("  %-20s %16.2f %16.2f\n", modeName(mode),
                         fast.millis, ultrix.millis);
+            std::string key =
+                std::string(c.name) + " " + modeName(mode);
+            json.metric(key + " fast", fast.millis, "ms");
+            json.metric(key + " ultrix", ultrix.millis, "ms");
         }
     }
 

@@ -27,6 +27,7 @@ main()
 {
     banner("Table 1: exception delivery cost across systems");
 
+    bench::JsonResults json("table1");
     sim::MachineConfig cfg = paperMachineConfig();
     Timing ultrix = measure(Scenario::UltrixSimple, cfg);
     Timing ultrix_wp = measure(Scenario::UltrixWriteProt, cfg);
@@ -43,6 +44,9 @@ main()
                     m.system.c_str(), m.hardware.c_str(),
                     m.roundTripUs(), m.writeProtUs,
                     m.measured ? "measured" : "modeled");
+        json.metric(m.system + " round trip", m.roundTripUs(), "us");
+        json.metric(m.system + " write-prot deliver", m.writeProtUs,
+                    "us");
     }
 
     section("phase decomposition");

@@ -31,6 +31,7 @@ main()
     banner("Table 2: performance of exception functions "
            "(25 MHz R3000-like machine, warm caches)");
 
+    bench::JsonResults json("table2");
     sim::MachineConfig cfg = paperMachineConfig();
 
     Timing fast_simple = measure(Scenario::FastSimple, cfg);
@@ -84,5 +85,12 @@ main()
                 "%llu\n",
                 static_cast<unsigned long long>(
                     fast_simple.kernelInsts));
+    json.metric("round trip Ultrix/fast",
+                ultrix.roundTripUs / fast_simple.roundTripUs, "x");
+    json.metric("write-prot delivery Ultrix/fast",
+                ultrix_wp.deliverUs / fast_wp.deliverUs, "x");
+    json.metric("kernel insts (fast simple delivery)",
+                static_cast<double>(fast_simple.kernelInsts),
+                "insts");
     return 0;
 }

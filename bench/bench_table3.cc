@@ -27,6 +27,8 @@ main()
 {
     banner("Table 3: kernel fast-handler instruction counts");
 
+    bench::JsonResults json("table3");
+
     struct Row
     {
         const char *name;
@@ -64,9 +66,18 @@ main()
         total_paper += rows[i].paper;
         total_static += stat;
         total_dyn += dynamic_phases[i].instructions;
+        json.metric(std::string(rows[i].name) + " (static)", stat,
+                    "insts");
+        json.metric(std::string(rows[i].name) + " (dynamic)",
+                    static_cast<double>(
+                        dynamic_phases[i].instructions),
+                    "insts");
     }
     std::printf("  %-24s %8u %8u %9llu\n", "total", total_paper,
                 total_static, static_cast<unsigned long long>(total_dyn));
+    json.metric("total (static)", total_static, "insts");
+    json.metric("total (dynamic)", static_cast<double>(total_dyn),
+                "insts");
 
     section("notes");
     noteLine("static counts are positions of the generated code's "

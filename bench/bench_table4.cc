@@ -33,6 +33,7 @@ main()
     banner("Table 4: generational garbage collection, "
            "Ultrix signals vs fast exceptions");
 
+    bench::JsonResults json("table4");
     GcWorkloadParams params;  // defaults: the paper's fault regime
 
     auto run_one = [&](rt::DeliveryMode mode, BarrierKind barrier,
@@ -102,6 +103,13 @@ main()
             100.0 * (1.0 - fast.cpuSeconds / ultrix.cpuSeconds);
         std::printf("  improvement from fast exceptions: paper %.0f%%, "
                     "measured %.1f%%\n", paper_impr, measured_impr);
+
+        std::string prefix = app.name;
+        json.metric(prefix + " ultrix", ultrix.cpuSeconds, "s");
+        json.metric(prefix + " fast", fast.cpuSeconds, "s");
+        json.metric(prefix + " sw-checks", checks.cpuSeconds, "s");
+        json.metric(prefix + " improvement", measured_impr, "%");
+        json.metric(prefix + " improvement (paper)", paper_impr, "%");
     }
 
     section("notes");

@@ -30,8 +30,11 @@ main()
     banner("Table 5: break-even points, page-protection barrier vs "
            "software checks");
 
+    bench::JsonResults json("table5");
     const double x = 5.0;   // cycles per software check
     const double f = 25.0;  // MHz
+    json.config("cyclesPerCheck", x);
+    json.config("clockMHz", f);
 
     // the measured cost of one write-protection exception with eager
     // amplification (fault + return; no handler mprotect needed)
@@ -47,7 +50,9 @@ main()
                     app.name.c_str(),
                     static_cast<unsigned long long>(app.softwareChecks),
                     static_cast<unsigned long long>(app.exceptions), y);
+        json.metric(app.name + " break-even", y, "us");
     }
+    json.metric("measured write-prot round trip", measured_y, "us");
 
     section("comparison with the measured exception cost");
     std::printf("  measured write-prot fault + eager re-enable: "

@@ -59,6 +59,7 @@ int
 main()
 {
     banner("Ablation A9: page-logging transactions");
+    bench::JsonResults json("txn");
     sim::CostModel cost;
 
     section("cost of one transaction touching N pages");
@@ -84,6 +85,10 @@ main()
         }
         std::printf("  %-18s %9.0f us %9.0f us %9.0f us\n",
                     name(mode), us[0], us[1], us[2]);
+        json.metric(std::string("txn 1 page ") + name(mode), us[0],
+                    "us");
+        json.metric(std::string("txn 8 pages ") + name(mode), us[2],
+                    "us");
     }
 
     section("abort: restoring before-images");

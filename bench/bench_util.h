@@ -2,7 +2,8 @@
  * @file
  * Shared output helpers for the table/figure benchmarks: aligned
  * columns and paper-vs-measured rows, so every bench prints the same
- * way EXPERIMENTS.md records them.
+ * way EXPERIMENTS.md records them — plus a tiny JSON results writer
+ * so sweeps can be consumed by scripts without scraping the tables.
  */
 
 #ifndef UEXC_BENCH_BENCH_UTIL_H
@@ -10,6 +11,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace uexc::bench {
 
@@ -28,7 +31,136 @@ section(const char *title)
     std::printf("\n-- %s --\n", title);
 }
 
-/** A "paper vs measured" row with a ratio column. */
+class JsonResults;
+
+/** The JsonResults currently collecting (see JsonResults ctor);
+ *  paperRow records measured values into it automatically. */
+inline JsonResults *g_activeJson = nullptr;
+
+void paperRow(const char *label, double paper, double measured,
+              const char *unit);
+
+inline void
+noteLine(const char *text)
+{
+    std::printf("  note: %s\n", text);
+}
+
+/**
+ * Machine-readable companion to the stdout report. Collect config
+ * keys and metric rows while the bench runs; the destructor writes
+ * `BENCH_<name>.json` in the working directory:
+ *
+ *   { "bench": "<name>",
+ *     "config": { "<key>": <value>, ... },
+ *     "metrics": [ { "name": ..., "value": ..., "unit": ... }, ... ] }
+ */
+class JsonResults
+{
+  public:
+    explicit JsonResults(std::string name) : name_(std::move(name))
+    {
+        g_activeJson = this;
+    }
+    ~JsonResults()
+    {
+        write();
+        if (g_activeJson == this)
+            g_activeJson = nullptr;
+    }
+    JsonResults(const JsonResults &) = delete;
+    JsonResults &operator=(const JsonResults &) = delete;
+
+    void config(const std::string &key, const std::string &value)
+    {
+        config_.emplace_back(key, quote(value));
+    }
+    void config(const std::string &key, double value)
+    {
+        config_.emplace_back(key, number(value));
+    }
+
+    void metric(const std::string &name, double value,
+                const std::string &unit)
+    {
+        metrics_.push_back({name, value, unit});
+    }
+
+    /** Write BENCH_<name>.json now (the destructor calls this too). */
+    void write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": %s,\n  \"config\": {",
+                     quote(name_).c_str());
+        for (size_t i = 0; i < config_.size(); i++) {
+            std::fprintf(f, "%s\n    %s: %s", i ? "," : "",
+                         quote(config_[i].first).c_str(),
+                         config_[i].second.c_str());
+        }
+        std::fprintf(f, "%s},\n  \"metrics\": [",
+                     config_.empty() ? "" : "\n  ");
+        for (size_t i = 0; i < metrics_.size(); i++) {
+            const Metric &m = metrics_[i];
+            std::fprintf(f,
+                         "%s\n    { \"name\": %s, \"value\": %s, "
+                         "\"unit\": %s }",
+                         i ? "," : "", quote(m.name).c_str(),
+                         number(m.value).c_str(),
+                         quote(m.unit).c_str());
+        }
+        std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+        std::fclose(f);
+        std::printf("\nresults: %s (%zu metrics)\n", path.c_str(),
+                    metrics_.size());
+    }
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    static std::string quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+                continue;
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    static std::string number(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.10g", v);
+        return buf;
+    }
+
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<Metric> metrics_;
+    bool written_ = false;
+};
+
 inline void
 paperRow(const char *label, double paper, double measured,
          const char *unit)
@@ -37,12 +169,11 @@ paperRow(const char *label, double paper, double measured,
                 "  (x%.2f)\n",
                 label, paper, unit, measured, unit,
                 paper > 0 ? measured / paper : 0.0);
-}
-
-inline void
-noteLine(const char *text)
-{
-    std::printf("  note: %s\n", text);
+    if (g_activeJson) {
+        g_activeJson->metric(label, measured, unit);
+        g_activeJson->metric(std::string(label) + " (paper)", paper,
+                             unit);
+    }
 }
 
 } // namespace uexc::bench

@@ -61,6 +61,7 @@ main()
 {
     banner("Ablation A6: conditional watchpoints via protection "
            "faults");
+    bench::JsonResults json("watch");
     sim::CostModel cost;
     constexpr unsigned kWrites = 50;
 
@@ -76,6 +77,8 @@ main()
             rig.engine->store(kRegion, i);
         double us = cost.toMicros(rig.env->cycles() - before) / kWrites;
         std::printf("  %-18s %8.2f us/write\n", name(mode), us);
+        json.metric(std::string("watched write ") + name(mode), us,
+                    "us");
     }
 
     section("unrelated traffic on the watched page "
@@ -88,6 +91,8 @@ main()
         for (unsigned i = 0; i < kWrites; i++)
             rig.engine->store(kRegion + 0x900 + 4 * (i % 32), i);
         double us = cost.toMicros(rig.env->cycles() - before) / kWrites;
+        json.metric(subpages ? "unrelated write (subpage)"
+                             : "unrelated write (page)", us, "us");
         std::printf("  %-34s %8.2f us/unrelated write "
                     "(%llu user faults, %llu kernel emulations)\n",
                     subpages ? "1 KB subpage granularity (3.2.4)"

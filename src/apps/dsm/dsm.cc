@@ -26,16 +26,34 @@ DsmCluster::DsmCluster(const Config &config)
     mcfg.cpu.tlbmpHw = config.hardwareExtensions;
     mcfg.cpu.fastInterpreter = config.fastInterpreter;
 
-    for (unsigned n = 0; n < config.nodes; n++) {
-        Node node;
-        node.machine = std::make_unique<sim::Machine>(mcfg);
-        node.kernel = std::make_unique<os::Kernel>(*node.machine);
-        node.kernel->boot();
-        node.env = std::make_unique<rt::UserEnv>(*node.kernel,
-                                                 config.mode);
-        node.env->install(0xffff);
-        node.env->allocate(config.base, config.bytes);
-        nodes_.push_back(std::move(node));
+    if (config.sharedMachine) {
+        // One machine with a hart per node over one kernel. Each node
+        // gets its own process (own ASID, own frames) on its own hart.
+        mcfg.harts = config.nodes;
+        sharedMachine_ = std::make_unique<sim::Machine>(mcfg);
+        sharedKernel_ = std::make_unique<os::Kernel>(*sharedMachine_);
+        sharedKernel_->boot();
+        for (unsigned n = 0; n < config.nodes; n++) {
+            Node node;
+            node.env = std::make_unique<rt::UserEnv>(
+                *sharedKernel_, config.mode,
+                rt::SavePolicy::UltrixEquivalent, n);
+            node.env->install(0xffff);
+            node.env->allocate(config.base, config.bytes);
+            nodes_.push_back(std::move(node));
+        }
+    } else {
+        for (unsigned n = 0; n < config.nodes; n++) {
+            Node node;
+            node.machine = std::make_unique<sim::Machine>(mcfg);
+            node.kernel = std::make_unique<os::Kernel>(*node.machine);
+            node.kernel->boot();
+            node.env = std::make_unique<rt::UserEnv>(*node.kernel,
+                                                     config.mode);
+            node.env->install(0xffff);
+            node.env->allocate(config.base, config.bytes);
+            nodes_.push_back(std::move(node));
+        }
     }
 
     // initial ownership: node 0 holds every page writable; all other
@@ -55,6 +73,12 @@ DsmCluster::DsmCluster(const Config &config)
 }
 
 DsmCluster::~DsmCluster() = default;
+
+sim::Machine &
+DsmCluster::machineOf(unsigned node)
+{
+    return sharedMachine_ ? *sharedMachine_ : *nodes_[node].machine;
+}
 
 unsigned
 DsmCluster::pageIndex(Addr va) const
@@ -94,8 +118,11 @@ void
 DsmCluster::fetchPage(unsigned to_node, Addr page)
 {
     unsigned from_node = pages_[pageIndex(page)].owner;
-    sim::Machine &src = *nodes_[from_node].machine;
-    sim::Machine &dst = *nodes_[to_node].machine;
+    // In shared-machine mode src and dst are the same physical
+    // memory; the nodes' frames are still disjoint, so the copy is
+    // the same operation.
+    sim::Machine &src = machineOf(from_node);
+    sim::Machine &dst = machineOf(to_node);
     Addr src_pa = nodes_[from_node].env->process().as().physOf(page);
     Addr dst_pa = nodes_[to_node].env->process().as().physOf(page);
     std::vector<Byte> buf(kPageBytes);
@@ -175,8 +202,13 @@ Cycles
 DsmCluster::totalCycles() const
 {
     Cycles total = 0;
-    for (const Node &n : nodes_)
-        total += n.machine->cpu().cycles();
+    if (sharedMachine_) {
+        for (unsigned i = 0; i < sharedMachine_->numHarts(); i++)
+            total += sharedMachine_->hart(i).cycles();
+    } else {
+        for (const Node &n : nodes_)
+            total += n.machine->cpu().cycles();
+    }
     return total;
 }
 

@@ -68,6 +68,14 @@ class DsmCluster
         bool hardwareExtensions = true;
         /** Run every node on the predecoded fast interpreter. */
         bool fastInterpreter = false;
+        /**
+         * Place all nodes on the harts of ONE machine (one kernel,
+         * one physical memory) instead of a machine per node. Page
+         * transfers then copy between the nodes' frames within the
+         * same physical memory, and each node's dispatch runs in its
+         * own hart's per-context state over the shared kernel.
+         */
+        bool sharedMachine = false;
     };
 
     explicit DsmCluster(const Config &config);
@@ -93,6 +101,7 @@ class DsmCluster
   private:
     struct Node
     {
+        /** Null on every node in shared-machine mode (see shared_). */
         std::unique_ptr<sim::Machine> machine;
         std::unique_ptr<os::Kernel> kernel;
         std::unique_ptr<rt::UserEnv> env;
@@ -110,8 +119,12 @@ class DsmCluster
     void setProtection(unsigned node, Addr page, DsmPageState state,
                        bool in_handler);
     void chargeMessage(unsigned node);
+    sim::Machine &machineOf(unsigned node);
 
     Config config_;
+    /** The one machine/kernel in shared-machine mode. */
+    std::unique_ptr<sim::Machine> sharedMachine_;
+    std::unique_ptr<os::Kernel> sharedKernel_;
     std::vector<Node> nodes_;
     std::vector<PageInfo> pages_;
     DsmStats stats_;

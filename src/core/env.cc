@@ -44,14 +44,34 @@ Fault::resumeAt(Addr pc)
 
 // -- UserEnv ----------------------------------------------------------------------
 
-UserEnv::UserEnv(Kernel &kernel, DeliveryMode mode, SavePolicy policy)
-    : kernel_(kernel), mode_(mode), policy_(policy)
+UserEnv::UserEnv(Kernel &kernel, DeliveryMode mode, SavePolicy policy,
+                 unsigned hart)
+    : kernel_(kernel), mode_(mode), policy_(policy), hart_(hart)
 {
     if (mode == DeliveryMode::FastHardwareVector &&
         !kernel.machine().cpu().config().userVectorHw) {
         UEXC_FATAL("FastHardwareVector mode needs "
                    "CpuConfig::userVectorHw");
     }
+    if (hart >= kernel.machine().numHarts())
+        UEXC_FATAL("UserEnv on hart %u of a %u-hart machine", hart,
+                   kernel.machine().numHarts());
+}
+
+void
+UserEnv::bind()
+{
+    Machine &m = kernel_.machine();
+    if (m.currentHart() != hart_)
+        m.setCurrentHart(hart_);
+    // Re-activating syncs the shared curproc global and this hart's
+    // ASID/PTEBase after another env ran; host-side only, uncharged
+    // (the host is the scheduler here). The comparison must be
+    // against the machine-wide guest curproc: another hart's env may
+    // have activated its process since we last ran, even though this
+    // hart's own current() still names ours.
+    if (proc_ && kernel_.guestCurrent() != proc_)
+        kernel_.activate(*proc_);
 }
 
 Program
@@ -151,14 +171,25 @@ UserEnv::install(Word exc_mask)
 {
     if (installed_)
         UEXC_FATAL("UserEnv installed twice");
-    if (kernel_.hasUpcallHandler())
+    Machine &m = kernel_.machine();
+    if (m.numHarts() > 1) {
+        if (kernel_.hasUpcallHandler(hart_))
+            UEXC_FATAL("another UserEnv is already installed on hart "
+                       "%u; one environment per hart (env.h)", hart_);
+    } else if (kernel_.hasUpcallHandler()) {
         UEXC_FATAL("another UserEnv is already installed on this "
                    "kernel; one machine per environment (env.h)");
+    }
+    if (m.currentHart() != hart_)
+        m.setCurrentHart(hart_);
     proc_ = &kernel_.createProcess();
     buildShim();
     kernel_.activate(*proc_);
 
-    kernel_.setUpcallHandler([this](Kernel &) { onUpcall(); });
+    if (m.numHarts() > 1)
+        kernel_.setUpcallHandler(hart_, [this](Kernel &) { onUpcall(); });
+    else
+        kernel_.setUpcallHandler([this](Kernel &) { onUpcall(); });
 
     // Unix signal state is always set up: it is the fallback for
     // recursive exceptions and the primary path in UltrixSignal mode
@@ -228,6 +259,7 @@ UserEnv::hostRefill(Addr va, AccessType type)
 Word
 UserEnv::load(Addr va)
 {
+    bind();
     stats_.loads++;
     if (isAligned(va, 4)) {
         TranslateResult tr = cpu().translateQuiet(va, AccessType::Load);
@@ -254,6 +286,7 @@ UserEnv::load(Addr va)
 void
 UserEnv::store(Addr va, Word value)
 {
+    bind();
     stats_.stores++;
     if (isAligned(va, 4)) {
         TranslateResult tr = cpu().translateQuiet(va, AccessType::Store);
@@ -288,6 +321,7 @@ UserEnv::guestSyscall(Word num, Word a0, Word a1, Word a2)
 {
     if (inHandler_)
         UEXC_PANIC("guestSyscall from inside a fault handler");
+    bind();
     Cpu &c = cpu();
     c.setReg(V0, num);
     c.setReg(A0, a0);
@@ -360,6 +394,7 @@ UserEnv::userTlbModify(Addr va, bool writable, bool valid)
         cpu().charge(2);
         return;
     }
+    bind();
     Word ctl = (writable ? 1u : 0u) | (valid ? 2u : 0u);
     cpu().setReg(T6, va);
     cpu().setReg(T7, ctl);

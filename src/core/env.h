@@ -100,16 +100,23 @@ class UserEnv
      * @param kernel   a booted kernel
      * @param mode     delivery mechanism
      * @param policy   user-stub save policy (fast modes)
+     * @param hart     the hart this environment lives on. On a
+     *                 multi-hart machine each hart can host its own
+     *                 UserEnv over the shared kernel: every host-
+     *                 driven operation binds the hart first, the
+     *                 COP3 frame/handler state installs into that
+     *                 hart's CP0, and upcalls route per hart.
      */
     UserEnv(os::Kernel &kernel, DeliveryMode mode,
-            SavePolicy policy = SavePolicy::UltrixEquivalent);
+            SavePolicy policy = SavePolicy::UltrixEquivalent,
+            unsigned hart = 0);
 
     /**
      * Build and load the shim, enable the mechanism, park in user
      * mode. Must be called once before any other operation. At most
-     * one UserEnv may be installed per kernel (the upcall bridge and
-     * the parked CPU context are per-machine); build one machine per
-     * environment, as every benchmark and test here does.
+     * one UserEnv may be installed per *hart* (the upcall bridge and
+     * the parked CPU context are per-hart); on a single-hart machine
+     * that is the classic one-environment-per-machine rule.
      */
     void install(Word exc_mask);
 
@@ -117,6 +124,18 @@ class UserEnv
     os::Process &process() { return *proc_; }
     os::Kernel &kernel() { return kernel_; }
     sim::Cpu &cpu() const { return kernel_.machine().cpu(); }
+
+    /** The hart this environment lives on. */
+    unsigned hartId() const { return hart_; }
+
+    /**
+     * Bind the machine's execute engine to this env's hart and
+     * reactivate its process (curproc / ASID / PTEBase). A no-op
+     * when the hart is already bound with this process current, so
+     * single-hart machines are untouched; on shared machines every
+     * public operation calls it first.
+     */
+    void bind();
 
     // -- application memory ------------------------------------------------
 
@@ -202,6 +221,7 @@ class UserEnv
     os::Kernel &kernel_;
     DeliveryMode mode_;
     SavePolicy policy_;
+    unsigned hart_ = 0;
     os::Process *proc_ = nullptr;
     bool installed_ = false;
     bool inHandler_ = false;

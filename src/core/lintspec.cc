@@ -1,5 +1,6 @@
 #include "core/lintspec.h"
 
+#include "common/logging.h"
 #include "sim/cp0.h"
 #include "sim/isa.h"
 
@@ -90,6 +91,37 @@ userProgramLintConfig(const Program &prog)
                             : fastStubScratchMask();
         config.regions.push_back(std::move(h));
     }
+    return config;
+}
+
+std::vector<Addr>
+perHartEntryPoints(const Program &prog, unsigned num_harts)
+{
+    std::vector<Addr> entries;
+    for (unsigned i = 0; i < num_harts; ++i) {
+        std::string name = "mh_hart" + std::to_string(i) + "_entry";
+        if (!prog.hasSymbol(name))
+            UEXC_FATAL("program exports no '%s': built for fewer "
+                       "than %u harts", name.c_str(), num_harts);
+        entries.push_back(prog.symbol(name));
+    }
+    return entries;
+}
+
+analysis::LintConfig
+userProgramLintConfig(const Program &prog, unsigned num_harts)
+{
+    analysis::LintConfig config = userProgramLintConfig(prog);
+    std::vector<Addr> entries = perHartEntryPoints(prog, num_harts);
+    // Handlers are still entered asynchronously (by the vectoring
+    // hardware), so their starts remain roots of the text region.
+    for (const auto &[name, addr] : prog.symbols) {
+        if (!name.ends_with(kEndSuffix) &&
+            prog.hasSymbol(name + kEndSuffix)) {
+            entries.push_back(addr);
+        }
+    }
+    config.regions.front().entries = std::move(entries);
     return config;
 }
 

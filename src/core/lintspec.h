@@ -38,6 +38,24 @@ Word hwStubScratchMask();
  */
 analysis::LintConfig userProgramLintConfig(const sim::Program &prog);
 
+/**
+ * Per-hart entry points of a multi-hart guest program: the exported
+ * `mh_hart<i>_entry` symbols for i < @p num_harts, in hart order.
+ * Fatal if any is missing — a worker assembled for fewer harts than
+ * the machine runs must not pass silently.
+ */
+std::vector<Addr> perHartEntryPoints(const sim::Program &prog,
+                                     unsigned num_harts);
+
+/**
+ * Per-hart variant of userProgramLintConfig: the whole-text region is
+ * rooted at exactly the per-hart entries (plus the handler-region
+ * starts), modeling that on an N-hart machine execution begins only
+ * at a hart's own entry, never at an arbitrary exported label.
+ */
+analysis::LintConfig userProgramLintConfig(const sim::Program &prog,
+                                           unsigned num_harts);
+
 } // namespace uexc::rt
 
 #endif // UEXC_CORE_LINTSPEC_H

@@ -1,0 +1,132 @@
+#include "core/multihart.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "core/lintspec.h"
+#include "os/layout.h"
+#include "sim/cp0.h"
+#include "sim/cpu.h"
+#include "sim/isa.h"
+
+namespace uexc::rt::multihart {
+
+using namespace sim;
+
+namespace {
+
+void
+checkHarts(unsigned num_harts)
+{
+    if (num_harts == 0 || num_harts > kMaxHarts)
+        UEXC_FATAL("multihart study supports 1..%u harts, not %u",
+                   kMaxHarts, num_harts);
+}
+
+} // namespace
+
+Program
+buildKernelImage(unsigned num_harts)
+{
+    checkHarts(num_harts);
+    Assembler a(Cpu::RefillVector);
+
+    // Refill slot: the study runs on wired mappings, so this firing
+    // is a bug; spinning in place makes the hang obvious in a trace.
+    a.label("mh_refill");
+    a.j("mh_refill");
+    a.nop();
+
+    a.align(0x80);
+    if (a.here() != Cpu::GeneralVector)
+        UEXC_PANIC("multihart refill stub overflowed the vector slot");
+
+    // General vector: count the exception in this hart's save slot
+    // (indexed by PrId[31:24], so no two harts share a cache line of
+    // writable state) and resume past the faulting break.
+    a.label("mh_kernel_handler");
+    a.mfc0(K0, cp0reg::PrId);
+    a.srl(K0, K0, 24);
+    a.sll(K0, K0, os::hartsave::SizeShift);
+    a.luiHi(K1, "mh_save");
+    a.addiuLo(K1, K1, "mh_save");
+    a.addu(K1, K1, K0);
+    a.lw(K0, 0, K1);
+    a.nop();                         // load delay
+    a.addiu(K0, K0, 1);
+    a.sw(K0, 0, K1);
+    a.mfc0(K0, cp0reg::Epc);
+    a.addiu(K0, K0, 4);
+    a.jr(K0);
+    a.rfe();
+    a.label("mh_kernel_handler__end");
+
+    a.align(os::hartsave::Bytes);
+    a.label("mh_save");
+    a.space(num_harts * os::hartsave::Bytes);
+    return a.finalize();
+}
+
+Program
+buildWorkerProgram(unsigned num_harts)
+{
+    checkHarts(num_harts);
+    Assembler a(os::kUserTextBase);
+
+    // One entry per hart; all converge on the shared loop (each hart
+    // counts in its own s0, so the code can be shared read-only).
+    for (unsigned i = 0; i < num_harts; ++i) {
+        a.label("mh_hart" + std::to_string(i) + "_entry");
+        a.j("mh_work_loop");
+        a.nop();
+    }
+
+    a.label("mh_work_loop");
+    a.break_();
+    // Both handlers resume at EPC+4, i.e. here.
+    a.label("mh_resume_point");
+    a.addiu(S0, S0, 1);
+    a.j("mh_work_loop");
+    a.nop();
+
+    // Minimal COP3 handler: bump the saved EPC past the break and
+    // return. Touches only k0 — entirely per-hart state.
+    a.label("mh_uv_handler");
+    a.mfux(K0, UxReg::Epc);
+    a.addiu(K0, K0, 4);
+    a.mtux(K0, UxReg::Epc);
+    a.xret();
+    a.label("mh_uv_handler__end");
+
+    return a.finalize();
+}
+
+analysis::LintConfig
+kernelLintConfig(const Program &prog, unsigned num_harts)
+{
+    checkHarts(num_harts);
+    analysis::RegionSpec spec;
+    spec.name = "multihart-kernel";
+    spec.begin = prog.origin;
+    // Everything from the save area on is per-hart data, not code.
+    spec.end = prog.symbol("mh_save");
+    spec.userMode = false;
+    spec.entries = {prog.symbol("mh_refill"),
+                    prog.symbol("mh_kernel_handler")};
+    return {{spec}};
+}
+
+analysis::LintConfig
+workerLintConfig(const Program &prog, unsigned num_harts)
+{
+    checkHarts(num_harts);
+    analysis::LintConfig config = userProgramLintConfig(prog, num_harts);
+    // The break in the work loop ends its basic block; execution
+    // re-enters at EPC+4 when a handler returns, so the resume point
+    // is a root in its own right.
+    config.regions.front().entries.push_back(
+        prog.symbol("mh_resume_point"));
+    return config;
+}
+
+} // namespace uexc::rt::multihart

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Guest programs for the multi-hart exception-delivery scaling study
+ * (bench_multihart, tests/test_multihart.cc).
+ *
+ * The experiment reproduces the paper's Tera scalability argument in
+ * miniature: N harts each sit in a tight user-mode loop taking one
+ * breakpoint exception per iteration. Under *kernel-mediated*
+ * delivery every exception funnels through the shared general vector
+ * — whose handler spills into a per-hart save area but still
+ * serializes on the shared kernel-stack lock — so aggregate
+ * throughput flattens as harts are added. Under *user-vectored*
+ * delivery (COP3) each exception is handled entirely in per-hart
+ * state and throughput scales linearly.
+ *
+ * Both modes run the same user worker loop; only the delivery
+ * mechanism (Status.UV plus the hart's UxReg Target) differs, so the
+ * comparison is apples to apples.
+ */
+
+#ifndef UEXC_CORE_MULTIHART_H
+#define UEXC_CORE_MULTIHART_H
+
+#include "analysis/lint.h"
+#include "sim/assembler.h"
+
+namespace uexc::rt::multihart {
+
+/** Largest hart count the study sweeps (and the worker exports). */
+constexpr unsigned kMaxHarts = 8;
+
+/**
+ * Build the mini-kernel image: the refill vector slot (a dead spin —
+ * the study runs on wired mappings, so a refill firing is a bug the
+ * hang makes obvious), the general-vector exception counter, and one
+ * 64-byte save/counter slot per hart ("mh_save"). The handler finds
+ * its hart's slot via PrId[31:24] — no shared writable state — and
+ * returns with EPC+4 (skipping the faulting break).
+ */
+sim::Program buildKernelImage(unsigned num_harts);
+
+/**
+ * Build the user worker: one entry label per hart
+ * ("mh_hart<i>_entry"), all converging on a break/count loop that
+ * takes one Bp exception per iteration (the iteration count
+ * accumulates in s0), plus the minimal COP3 handler "mh_uv_handler"
+ * (k0-only: bump UxReg Epc past the break, xret).
+ */
+sim::Program buildWorkerProgram(unsigned num_harts);
+
+/** Analyzer config for the mini-kernel image above. */
+analysis::LintConfig kernelLintConfig(const sim::Program &prog,
+                                      unsigned num_harts);
+
+/** Analyzer config for the worker, rooted at every per-hart entry. */
+analysis::LintConfig workerLintConfig(const sim::Program &prog,
+                                      unsigned num_harts);
+
+} // namespace uexc::rt::multihart
+
+#endif // UEXC_CORE_MULTIHART_H

@@ -86,10 +86,10 @@ AddressSpace::hwBitsForProt(Word prot) const
 void
 AddressSpace::syncTlbEntry(Addr va, Word pte_value)
 {
-    // Kernel TLB shootdown: drop any cached translation so the next
-    // access refills from the updated PTE.
+    // Kernel TLB shootdown: drop any cached translation, on every
+    // hart, so the next access refills from the updated PTE.
     (void)pte_value;
-    machine_.cpu().tlb().invalidate(va, asid_);
+    machine_.invalidateTlbs(va, asid_);
 }
 
 void

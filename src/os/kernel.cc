@@ -49,6 +49,7 @@ Process::setTfWord(unsigned word_index, Word value)
 
 Kernel::Kernel(Machine &machine)
     : machine_(machine),
+      currents_(machine.numHarts(), nullptr),
       frames_(kUserFrameBase,
               static_cast<Addr>(machine.config().memBytes))
 {
@@ -62,7 +63,38 @@ Kernel::boot()
     machine_.load(buildKernelImage());
     machine_.cpu().setHcallHandler(
         [this](Cpu &cpu, Word service) { onHcall(cpu, service); });
+    // Multi-hart only (keeps the single-hart kernel-data layout, and
+    // so every derived guest address, bit-identical to the classic
+    // machine): one save area per hart, contiguous so guest code can
+    // index by PrId[31:24] << hartsave::SizeShift.
+    if (machine_.numHarts() > 1) {
+        Addr base = allocKernelData(
+            machine_.numHarts() * hartsave::Bytes, hartsave::Bytes);
+        for (unsigned i = 0; i < machine_.numHarts(); ++i)
+            hartSaves_.push_back(base + i * hartsave::Bytes);
+    }
     booted_ = true;
+}
+
+Addr
+Kernel::hartSaveKva(unsigned hart) const
+{
+    if (hart >= hartSaves_.size())
+        UEXC_FATAL("no save area for hart %u (multi-hart machines "
+                   "only; this machine booted with %u)", hart,
+                   machine_.numHarts());
+    return hartSaves_[hart];
+}
+
+void
+Kernel::setUpcallHandler(unsigned hart, UpcallFn fn)
+{
+    if (hart >= machine_.numHarts())
+        UEXC_FATAL("upcall handler for hart %u on a %u-hart machine",
+                   hart, machine_.numHarts());
+    if (hartUpcalls_.size() < machine_.numHarts())
+        hartUpcalls_.resize(machine_.numHarts());
+    hartUpcalls_[hart] = std::move(fn);
 }
 
 Addr
@@ -150,7 +182,8 @@ Kernel::activate(Process &p)
     cp0.write(cp0reg::EntryHi,
               p.asid() << sim::entryhi::AsidShift);
     cp0.write(cp0reg::Context, p.as().ptKva() & 0xffe00000u);
-    current_ = &p;
+    currents_[machine_.currentHart()] = &p;
+    guestCurrent_ = &p;
 }
 
 void
@@ -240,7 +273,15 @@ Kernel::svcUexcSetFlags(Process &p, Word flags)
 void
 Kernel::onHcall(Cpu &cpu, Word service)
 {
-    (void)cpu;
+    // Every bridged service runs on the shared kernel stack; on a
+    // multi-hart machine that means taking the stack lock first, so
+    // a hart that traps while another one is inside the kernel spins
+    // (charged to the spinner). Single-hart machines never contend
+    // and are charged nothing, preserving bit-identical cycles.
+    if (machine_.numHarts() > 1) {
+        cpu.charge(stackLock_.acquire(cpu.cycles(),
+                                      charge::KernelStackHold));
+    }
     switch (service) {
       case svc::SyscallComplex:
         doComplexSyscall();
@@ -251,11 +292,16 @@ Kernel::onHcall(Cpu &cpu, Word service)
       case svc::RiEmulate:
         doRiEmulate();
         break;
-      case svc::Upcall:
-        if (!upcall_)
+      case svc::Upcall: {
+        unsigned hart = cpu.hartId();
+        const UpcallFn &fn =
+            (hart < hartUpcalls_.size() && hartUpcalls_[hart])
+                ? hartUpcalls_[hart] : upcall_;
+        if (!fn)
             UEXC_FATAL("guest upcall with no host handler installed");
-        upcall_(*this);
+        fn(*this);
         break;
+      }
       case svc::PanicBadTrap:
         doBadTrap();
       default:
@@ -266,7 +312,7 @@ Kernel::onHcall(Cpu &cpu, Word service)
 void
 Kernel::doComplexSyscall()
 {
-    Process *p = current_;
+    Process *p = current();
     if (!p)
         UEXC_FATAL("complex syscall with no current process");
     Word num = p->tfWord(tf::Regs + V0 - 1);
@@ -353,7 +399,7 @@ Kernel::doSubpageEmulate()
     // subpage (section 3.2.4): perform the load/store with kernel
     // rights, emulate the branch if the access sat in a delay slot,
     // and point EPC at the resume address.
-    Process *p = current_;
+    Process *p = current();
     if (!p)
         UEXC_FATAL("subpage emulation with no current process");
     Cpu &cpu = machine_.cpu();
@@ -466,7 +512,7 @@ Kernel::doRiEmulate()
     // The stock path asks whether this Reserved Instruction fault is
     // a TLBMP to emulate (section 3.2.3's software fallback). Sets
     // guest k1 = 1 when handled (saved EPC advanced), 0 otherwise.
-    Process *p = current_;
+    Process *p = current();
     Cpu &cpu = machine_.cpu();
     cpu.setReg(K1, 0);
     if (!p)
@@ -488,7 +534,7 @@ Kernel::doRiEmulate()
     pte = (ctl & 1u) ? (pte | entrylo::D) : (pte & ~entrylo::D);
     pte = (ctl & 2u) ? (pte | entrylo::V) : (pte & ~entrylo::V);
     p->as().setPte(va, pte);
-    machine_.cpu().tlb().invalidate(va, p->asid());
+    machine_.invalidateTlbs(va, p->asid());
     // skip the TLBMP instruction on return
     p->setTfWord(tf::Epc, epc + 4);
     cpu.setReg(K1, 1);

@@ -67,6 +67,53 @@ class Process
 };
 
 /**
+ * Analytic model of the shared kernel stack/trap lock.
+ *
+ * The stock kernel owns one exception stack and the scattered global
+ * structures the Ultrix trap path touches; on a multithreaded machine
+ * every kernel-mediated delivery serializes on that lock, which is
+ * exactly the Tera-motivated scalability argument of the paper: user-
+ * vectored delivery touches only per-hart state and never takes it.
+ *
+ * The model is a single busy-until timestamp. A hart acquiring at its
+ * own cycle time @c now spins for max(0, busyUntil - now) cycles and
+ * then holds the lock for @p hold cycles. Under the deterministic
+ * round-robin scheduler all hart clocks advance near-lockstep, so the
+ * shared timeline is a faithful stand-in for global time, and the
+ * model stays bit-reproducible (no host randomness).
+ */
+class KernelStackLock
+{
+  public:
+    /**
+     * Acquire at local time @p now, holding for @p hold cycles.
+     * Returns the spin cycles the caller must charge to itself.
+     */
+    Cycles acquire(Cycles now, Cycles hold)
+    {
+        Cycles spin = (busyUntil_ > now) ? busyUntil_ - now : 0;
+        if (spin) {
+            ++contendedAcquires_;
+            spinCycles_ += spin;
+        }
+        ++acquires_;
+        Cycles start = (busyUntil_ > now) ? busyUntil_ : now;
+        busyUntil_ = start + hold;
+        return spin;
+    }
+
+    std::uint64_t acquires() const { return acquires_; }
+    std::uint64_t contendedAcquires() const { return contendedAcquires_; }
+    Cycles spinCycles() const { return spinCycles_; }
+
+  private:
+    Cycles busyUntil_ = 0;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t contendedAcquires_ = 0;
+    Cycles spinCycles_ = 0;
+};
+
+/**
  * The kernel. Construct over a Machine; boot() loads the guest image
  * and installs the host-call bridge.
  */
@@ -91,10 +138,23 @@ class Kernel
      */
     Process &createProcess();
 
-    /** Make @p p the current process (curproc, ASID, PTEBase). */
+    /**
+     * Make @p p the current process (curproc, ASID, PTEBase) on the
+     * currently bound hart. Each hart has its own current process;
+     * curproc (the shared guest global) tracks the hart that
+     * activated last, which under run-to-completion host operations
+     * is always the hart about to execute guest code.
+     */
     void activate(Process &p);
 
-    Process *current() { return current_; }
+    /** Current process of the currently bound hart. */
+    Process *current() { return currents_[machine_.currentHart()]; }
+
+    /** The process the guest's shared curproc global points at — the
+     *  last activate() on ANY hart. UserEnv::bind compares against
+     *  this (not the per-hart view) to decide whether the guest
+     *  kernel state must be re-activated for its process. */
+    Process *guestCurrent() const { return guestCurrent_; }
 
     /**
      * Arrange for the CPU to be in user mode in @p p at @p entry.
@@ -150,6 +210,32 @@ class Kernel
     void setUpcallHandler(UpcallFn fn) { upcall_ = std::move(fn); }
     bool hasUpcallHandler() const { return static_cast<bool>(upcall_); }
 
+    /**
+     * Per-hart upcall routing: an upcall raised while @p hart is
+     * bound goes to its handler when one is installed, else to the
+     * machine-wide handler above. Lets each hart host its own
+     * UserEnv on a shared kernel.
+     */
+    void setUpcallHandler(unsigned hart, UpcallFn fn);
+    /** Whether @p hart has its own (per-hart) handler installed. */
+    bool hasUpcallHandler(unsigned hart) const
+    {
+        return hart < hartUpcalls_.size() &&
+               static_cast<bool>(hartUpcalls_[hart]);
+    }
+
+    // -- multi-hart support --------------------------------------------------
+
+    /**
+     * Guest (kseg0) address of hart @p hart's kernel save area
+     * (os::hartsave layout). Allocated at boot on multi-hart
+     * machines only; fatal on a single-hart machine.
+     */
+    Addr hartSaveKva(unsigned hart) const;
+
+    /** The shared kernel-stack lock model (see KernelStackLock). */
+    const KernelStackLock &stackLock() const { return stackLock_; }
+
     /** Exit code recorded by sys::Exit (process exit halts the CPU). */
     Word exitCode() const { return exitCode_; }
     bool exited() const { return exited_; }
@@ -177,11 +263,16 @@ class Kernel
     sim::Machine &machine_;
     bool booted_ = false;
     std::vector<std::unique_ptr<Process>> procs_;
-    Process *current_ = nullptr;
+    /** Per-hart current process (index = hart id). */
+    std::vector<Process *> currents_;
+    Process *guestCurrent_ = nullptr;
     FrameAllocator frames_;
     Addr kdataBump_ = kKernelDataBase;
     unsigned nextAsid_ = 1;
     UpcallFn upcall_;
+    std::vector<UpcallFn> hartUpcalls_;
+    std::vector<Addr> hartSaves_;
+    KernelStackLock stackLock_;
     bool exited_ = false;
     Word exitCode_ = 0;
     std::uint64_t subpageEmuls_ = 0;
@@ -203,6 +294,14 @@ constexpr Cycles SubpagePerSub = 15;
 constexpr Cycles SubpageEmulate = 30;    ///< decode + EA + access
 constexpr Cycles RiEmulate = 40;         ///< decode + PTE/TLB update
 constexpr Cycles SetFlags = 10;
+/**
+ * Hold time of the shared kernel-stack lock across one kernel-
+ * mediated delivery: the serialized window covering stack claim,
+ * trap bookkeeping in shared structures, and stack release. Rough
+ * R3000 estimate for the Ultrix trap prologue/epilogue touching
+ * globals; only charged on multi-hart machines.
+ */
+constexpr Cycles KernelStackHold = 20;
 } // namespace charge
 
 } // namespace uexc::os

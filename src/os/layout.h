@@ -94,6 +94,27 @@ constexpr Word StructBytes = 0xc0;
 /** proc::Flags bits. */
 constexpr Word kPfEagerAmplify = 1u << 0;  ///< amplify before upcall
 
+// -- per-hart kernel save area -------------------------------------------------
+//
+// On a multi-hart machine every hart needs somewhere to spill K0/K1
+// and the exception registers before it can touch shared kernel
+// state; a single static save area (what the single-hart image uses)
+// would be corrupted by two harts trapping concurrently. The kernel
+// allocates numHarts() of these at boot, contiguous, 64-byte-aligned;
+// a hart finds its own with PrId[31:24] << SizeShift.
+
+namespace hartsave {
+constexpr Word K0      = 0x00;
+constexpr Word K1      = 0x04;
+constexpr Word Epc     = 0x08;
+constexpr Word Status  = 0x0c;
+constexpr Word Cause   = 0x10;
+constexpr Word Sp      = 0x14;
+constexpr Word Scratch = 0x18;  ///< handler temporary
+constexpr Word Bytes   = 0x40;  ///< one cache-line-aligned slot
+constexpr unsigned SizeShift = 6;  ///< log2(Bytes), for guest indexing
+} // namespace hartsave
+
 // -- u-area -------------------------------------------------------------------
 //
 // Models the Ultrix per-process "struct user": a page of scattered

@@ -137,6 +137,13 @@ class Cp0
      * which mtc0 cannot write (tlbp hardware path only).
      */
     void setIndexRaw(Word v) { regs_[cp0reg::Index] = v; }
+
+    /**
+     * Set the (guest-read-only) processor id register. Bits [31:24]
+     * carry the hart number on a multi-hart machine; hart 0 keeps
+     * the reset value 0x220.
+     */
+    void setPrId(Word v) { regs_[cp0reg::PrId] = v; }
     Word context() const { return regs_[cp0reg::Context]; }
 
     /** Whether the processor is currently in user mode. */

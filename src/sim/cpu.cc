@@ -8,32 +8,6 @@ namespace uexc::sim {
 Cpu::Cpu(PhysMemory &mem, const CpuConfig &config)
     : mem_(mem), config_(config)
 {
-    regs_.fill(0);
-    if (config_.cachesEnabled) {
-        icache_ = std::make_unique<Cache>(config_.icacheBytes,
-                                          config_.icacheLineBytes);
-        dcache_ = std::make_unique<Cache>(config_.dcacheBytes,
-                                          config_.dcacheLineBytes);
-    }
-}
-
-void
-Cpu::setPc(Addr pc)
-{
-    pc_ = pc;
-    npc_ = pc + 4;
-    prevWasControl_ = false;
-}
-
-void
-Cpu::clearStats()
-{
-    stats_ = CpuStats();
-    tlb_.clearStats();
-    if (icache_)
-        icache_->clearStats();
-    if (dcache_)
-        dcache_->clearStats();
 }
 
 // translation ----------------------------------------------------------------
@@ -59,24 +33,24 @@ Cpu::translationKey(Addr vaddr) const
     // Virtual page | ASID | mode: everything a translation outcome
     // depends on besides the TLB contents (covered by generation).
     return (vaddr & 0xfffff000u) |
-           (cp0_.asid() << 1) |
-           (cp0_.userMode() ? 1u : 0u);
+           (h_->cp0_.asid() << 1) |
+           (h_->cp0_.userMode() ? 1u : 0u);
 }
 
 bool
 Cpu::microDtlbLookup(Addr vaddr, AccessType type, TranslateResult &out)
 {
-    if (tlbGenSeen_ != tlb_.generation()) {
-        flushMicroTlb();
+    if (h_->tlbGenSeen_ != h_->tlb_.generation()) {
+        h_->flushMicroTlb();
         return false;
     }
-    const MicroTlbEntry &e = dtlb_[(vaddr >> 12) & (kMicroTlbSize - 1)];
+    const Hart::MicroTlbEntry &e = h_->dtlb_[(vaddr >> 12) & (Hart::kMicroTlbSize - 1)];
     if (e.key != translationKey(vaddr))
         return false;
     if (type == AccessType::Store && !e.writable)
         return false;   // may be a clean page: let the full path decide
     if (e.mapped)
-        tlb_.recordMicroHit();
+        h_->tlb_.recordMicroHit();
     out.ok = true;
     out.paddr = e.pbase | (vaddr & 0xfffu);
     out.cacheable = e.cacheable;
@@ -86,7 +60,7 @@ Cpu::microDtlbLookup(Addr vaddr, AccessType type, TranslateResult &out)
 void
 Cpu::microDtlbFill(Addr vaddr, AccessType type, const TranslateResult &tr)
 {
-    MicroTlbEntry &e = dtlb_[(vaddr >> 12) & (kMicroTlbSize - 1)];
+    Hart::MicroTlbEntry &e = h_->dtlb_[(vaddr >> 12) & (Hart::kMicroTlbSize - 1)];
     e.key = translationKey(vaddr);
     e.pbase = tr.paddr & ~0xfffu;
     e.mapped = vaddr < Kseg0Base || vaddr >= Kseg2Base;
@@ -94,22 +68,6 @@ Cpu::microDtlbFill(Addr vaddr, AccessType type, const TranslateResult &tr)
     // A store-filled entry proved the page writable; a load-filled one
     // leaves stores to the full path (which raises Mod on clean pages).
     e.writable = type == AccessType::Store;
-}
-
-void
-Cpu::flushMicroTlb()
-{
-    dtlb_.fill(MicroTlbEntry{});
-    fetchKey_ = kInvalidKey;
-    fetchPage_ = nullptr;
-    tlbGenSeen_ = tlb_.generation();
-}
-
-void
-Cpu::flushHostCaches()
-{
-    decodedPages_.clear();
-    flushMicroTlb();
 }
 
 TranslateResult
@@ -130,7 +88,7 @@ Cpu::translate(Addr vaddr, AccessType type)
 TranslateResult
 Cpu::translateSlow(Addr vaddr, AccessType type)
 {
-    bool user = cp0_.userMode();
+    bool user = h_->cp0_.userMode();
     if (vaddr >= Kseg0Base) {
         if (user)
             return faultResult(type, ExcCode::AdEL, ExcCode::AdES, false);
@@ -148,10 +106,10 @@ Cpu::translateSlow(Addr vaddr, AccessType type)
             return r;
         }
         // kseg2: mapped kernel space; misses use the general vector
-        auto hit = tlb_.probe(vaddr, cp0_.asid());
+        auto hit = h_->tlb_.probe(vaddr, h_->cp0_.asid());
         if (!hit)
             return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
-        const TlbEntry &e = tlb_.entry(*hit);
+        const TlbEntry &e = h_->tlb_.entry(*hit);
         if (!e.valid())
             return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
         if (type == AccessType::Store && !e.dirty())
@@ -163,10 +121,10 @@ Cpu::translateSlow(Addr vaddr, AccessType type)
     }
 
     // kuseg: mapped, refill misses use the dedicated UTLB vector
-    auto hit = tlb_.probe(vaddr, cp0_.asid());
+    auto hit = h_->tlb_.probe(vaddr, h_->cp0_.asid());
     if (!hit)
         return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, true);
-    const TlbEntry &e = tlb_.entry(*hit);
+    const TlbEntry &e = h_->tlb_.entry(*hit);
     if (!e.valid())
         return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
     if (type == AccessType::Store && !e.dirty())
@@ -183,7 +141,7 @@ Cpu::translateQuiet(Addr vaddr, AccessType type) const
 {
     // A const clone of translate() that neither updates TLB stats nor
     // can be observed by the guest. Used by host-side services.
-    bool user = cp0_.userMode();
+    bool user = h_->cp0_.userMode();
     if (vaddr >= Kseg0Base) {
         if (user)
             return faultResult(type, ExcCode::AdEL, ExcCode::AdES, false);
@@ -200,11 +158,11 @@ Cpu::translateQuiet(Addr vaddr, AccessType type) const
             return r;
         }
     }
-    auto hit = tlb_.probeQuiet(vaddr, cp0_.asid());
+    auto hit = h_->tlb_.probeQuiet(vaddr, h_->cp0_.asid());
     bool kuseg = vaddr < Kseg0Base;
     if (!hit)
         return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, kuseg);
-    const TlbEntry &e = tlb_.entry(*hit);
+    const TlbEntry &e = h_->tlb_.entry(*hit);
     if (!e.valid())
         return faultResult(type, ExcCode::TlbL, ExcCode::TlbS, false);
     if (type == AccessType::Store && !e.dirty())
@@ -224,7 +182,7 @@ Cpu::tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
 {
     if (!config_.userVectorHw)
         return false;
-    Word st = cp0_.statusReg();
+    Word st = h_->cp0_.statusReg();
     if (!(st & status::UV) || !(st & status::KUc))
         return false;
     if (st & status::UX)
@@ -241,7 +199,7 @@ Cpu::tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
       default:
         return false;  // syscalls, interrupts, RI etc. go to the kernel
     }
-    Addr target = cp0_.uxReg(UxReg::Target);
+    Addr target = h_->cp0_.uxReg(UxReg::Target);
     if (config_.userVectorTable) {
         // the per-process vector table: one memory access during
         // vectoring; an unmapped table entry demotes to the kernel
@@ -251,22 +209,22 @@ Cpu::tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
             return false;
         target = mem_.readWord(tr.paddr);
         charge(config_.cost.loadExtra + 1);
-        if (config_.cachesEnabled && dcache_ && tr.cacheable &&
-            !dcache_->access(tr.paddr)) {
+        if (config_.cachesEnabled && h_->dcache_ && tr.cacheable &&
+            !h_->dcache_->access(tr.paddr)) {
             charge(config_.cost.dcacheMissPenalty);
         }
     }
-    cp0_.setUxReg(UxReg::Epc, epc);
-    cp0_.setUxReg(UxReg::Cond,
+    h_->cp0_.setUxReg(UxReg::Epc, epc);
+    h_->cp0_.setUxReg(UxReg::Cond,
                   (static_cast<Word>(code) << 2) |
                   (branch_delay ? 1u : 0u));
-    cp0_.setUxReg(UxReg::BadAddr, bad_vaddr);
-    cp0_.setStatusReg(st | status::UX);
+    h_->cp0_.setUxReg(UxReg::BadAddr, bad_vaddr);
+    h_->cp0_.setStatusReg(st | status::UX);
     if (observer_)
         observer_->onException(code, epc, target);
-    pc_ = target;
-    npc_ = target + 4;
-    prevWasControl_ = false;
+    h_->pc_ = target;
+    h_->npc_ = target + 4;
+    h_->prevWasControl_ = false;
     return true;
 }
 
@@ -274,59 +232,59 @@ void
 Cpu::takeException(ExcCode code, Addr bad_vaddr, bool has_bad_vaddr,
                    bool refill)
 {
-    excRaised_ = true;
-    stats_.exceptionsTaken++;
-    stats_.perExcCode[static_cast<unsigned>(code)]++;
+    h_->excRaised_ = true;
+    h_->stats_.exceptionsTaken++;
+    h_->stats_.perExcCode[static_cast<unsigned>(code)]++;
     if (refill)
-        stats_.tlbRefillFaults++;
+        h_->stats_.tlbRefillFaults++;
 
-    bool bd = prevWasControl_;
-    Addr epc = bd ? pc_ - 4 : pc_;
+    bool bd = h_->prevWasControl_;
+    Addr epc = bd ? h_->pc_ - 4 : h_->pc_;
 
     if (has_bad_vaddr)
-        cp0_.setFaultAddress(bad_vaddr);
+        h_->cp0_.setFaultAddress(bad_vaddr);
 
     // TLB refill misses always enter the kernel: there is nothing a
     // user handler could do without the page tables.
     if (!refill && tryUserVector(code, epc, bad_vaddr, bd)) {
-        stats_.userVectoredExceptions++;
+        h_->stats_.userVectoredExceptions++;
         return;
     }
 
-    cp0_.enterException(epc, code, bd);
+    h_->cp0_.enterException(epc, code, bd);
     Addr vector = refill ? RefillVector : GeneralVector;
     if (observer_)
         observer_->onException(code, epc, vector);
-    pc_ = vector;
-    npc_ = vector + 4;
-    prevWasControl_ = false;
+    h_->pc_ = vector;
+    h_->npc_ = vector + 4;
+    h_->prevWasControl_ = false;
 }
 
 Addr
 Cpu::injectException(ExcCode code, Addr fault_pc, Addr bad_vaddr,
                      bool refill)
 {
-    pc_ = fault_pc;
-    npc_ = fault_pc + 4;
-    prevWasControl_ = false;
+    h_->pc_ = fault_pc;
+    h_->npc_ = fault_pc + 4;
+    h_->prevWasControl_ = false;
     takeException(code, bad_vaddr, true, refill);
-    excRaised_ = false;
-    return pc_;
+    h_->excRaised_ = false;
+    return h_->pc_;
 }
 
 Cycles
 Cpu::chargeDataAccess(Addr paddr, bool cacheable)
 {
-    Cycles before = stats_.cycles;
+    Cycles before = h_->stats_.cycles;
     if (config_.cachesEnabled) {
-        if (cacheable && dcache_) {
-            if (!dcache_->access(paddr))
+        if (cacheable && h_->dcache_) {
+            if (!h_->dcache_->access(paddr))
                 charge(config_.cost.dcacheMissPenalty);
         } else if (!cacheable) {
             charge(config_.cost.dcacheMissPenalty);
         }
     }
-    return stats_.cycles - before;
+    return h_->stats_.cycles - before;
 }
 
 // execution ------------------------------------------------------------------
@@ -334,10 +292,10 @@ Cpu::chargeDataAccess(Addr paddr, bool cacheable)
 void
 Cpu::doBranch(bool taken, Addr target)
 {
-    stats_.branches++;
+    h_->stats_.branches++;
     if (taken) {
-        stagedNpc_ = target;
-        branchTaken_ = true;
+        h_->stagedNpc_ = target;
+        h_->branchTaken_ = true;
         charge(config_.cost.takenBranchExtra);
     }
 }
@@ -345,9 +303,9 @@ Cpu::doBranch(bool taken, Addr target)
 void
 Cpu::doJump(Addr target)
 {
-    stats_.branches++;
-    stagedNpc_ = target;
-    branchTaken_ = true;
+    h_->stats_.branches++;
+    h_->stagedNpc_ = target;
+    h_->branchTaken_ = true;
     charge(config_.cost.takenBranchExtra);
 }
 
@@ -355,7 +313,7 @@ bool
 Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
                 Addr &paddr_out)
 {
-    Addr ea = regs_[inst.rs] + inst.simm;
+    Addr ea = h_->regs_[inst.rs] + inst.simm;
     if (!isAligned(ea, size)) {
         takeException(type == AccessType::Store ? ExcCode::AdES
                                                 : ExcCode::AdEL,
@@ -370,21 +328,21 @@ Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
     charge(type == AccessType::Store ? config_.cost.storeExtra
                                      : config_.cost.loadExtra);
     if (config_.cachesEnabled) {
-        if (tr.cacheable && dcache_) {
-            if (!dcache_->access(tr.paddr))
+        if (tr.cacheable && h_->dcache_) {
+            if (!h_->dcache_->access(tr.paddr))
                 charge(config_.cost.dcacheMissPenalty);
         } else if (!tr.cacheable) {
             charge(config_.cost.dcacheMissPenalty);
         }
     }
     if (type == AccessType::Store) {
-        stats_.stores++;
-        consecutiveStores_++;
-        if (consecutiveStores_ >= 2 && config_.cost.writeBufferStall)
+        h_->stats_.stores++;
+        h_->consecutiveStores_++;
+        if (h_->consecutiveStores_ >= 2 && config_.cost.writeBufferStall)
             charge(config_.cost.writeBufferStall);
     } else {
-        stats_.loads++;
-        consecutiveStores_ = 0;
+        h_->stats_.loads++;
+        h_->consecutiveStores_ = 0;
     }
     paddr_out = tr.paddr;
     return true;
@@ -401,21 +359,21 @@ Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
 inline const DecodedInst *
 Cpu::fetchFast()
 {
-    if (tlbGenSeen_ != tlb_.generation()) {
-        flushMicroTlb();
+    if (h_->tlbGenSeen_ != h_->tlb_.generation()) {
+        h_->flushMicroTlb();
         return nullptr;
     }
-    if (translationKey(pc_) != fetchKey_ ||
-        *fetchMemVer_ != fetchVersion_ || !isAligned(pc_, 4)) {
+    if (translationKey(h_->pc_) != h_->fetchKey_ ||
+        *h_->fetchMemVer_ != h_->fetchVersion_ || !isAligned(h_->pc_, 4)) {
         return nullptr;
     }
-    if (fetchMapped_)
-        tlb_.recordMicroHit();
-    if (config_.cachesEnabled && fetchCacheable_ && icache_) {
-        if (!icache_->access(fetchPaBase_ | (pc_ & 0xfffu)))
+    if (h_->fetchMapped_)
+        h_->tlb_.recordMicroHit();
+    if (config_.cachesEnabled && h_->fetchCacheable_ && h_->icache_) {
+        if (!h_->icache_->access(h_->fetchPaBase_ | (h_->pc_ & 0xfffu)))
             charge(config_.cost.icacheMissPenalty);
     }
-    return &fetchPage_->insts[(pc_ & 0xfffu) >> 2];
+    return &h_->fetchPage_->insts[(h_->pc_ & 0xfffu) >> 2];
 }
 
 /**
@@ -432,25 +390,25 @@ Cpu::refillFetchFast(const TranslateResult &tr)
     if (base + PhysMemory::PageBytes > mem_.size())
         return nullptr;
     Word ppn = tr.paddr >> PhysMemory::PageShift;
-    auto &slot = decodedPages_[ppn];
+    auto &slot = h_->decodedPages_[ppn];
     const std::uint32_t *ver = mem_.pageVersionPtr(tr.paddr);
     if (!slot || slot->version != *ver) {
         if (!slot)
-            slot = std::make_unique<DecodedPage>();
-        for (unsigned i = 0; i < DecodedPage::NumInsts; i++)
+            slot = std::make_unique<Hart::DecodedPage>();
+        for (unsigned i = 0; i < Hart::DecodedPage::NumInsts; i++)
             slot->insts[i] = decode(mem_.readWord(base + 4 * i));
         slot->version = *ver;
     }
-    tlbGenSeen_ = tlb_.generation();
-    fetchKey_ = translationKey(pc_);
-    fetchPage_ = slot.get();
-    fetchPaBase_ = base;
-    fetchVbase_ = pc_ & 0xfffff000u;
-    fetchMemVer_ = ver;
-    fetchVersion_ = slot->version;
-    fetchMapped_ = pc_ < Kseg0Base || pc_ >= Kseg2Base;
-    fetchCacheable_ = tr.cacheable;
-    return &fetchPage_->insts[(pc_ & 0xfffu) >> 2];
+    h_->tlbGenSeen_ = h_->tlb_.generation();
+    h_->fetchKey_ = translationKey(h_->pc_);
+    h_->fetchPage_ = slot.get();
+    h_->fetchPaBase_ = base;
+    h_->fetchVbase_ = h_->pc_ & 0xfffff000u;
+    h_->fetchMemVer_ = ver;
+    h_->fetchVersion_ = slot->version;
+    h_->fetchMapped_ = h_->pc_ < Kseg0Base || h_->pc_ >= Kseg2Base;
+    h_->fetchCacheable_ = tr.cacheable;
+    return &h_->fetchPage_->insts[(h_->pc_ & 0xfffu) >> 2];
 }
 
 /**
@@ -461,43 +419,43 @@ Cpu::refillFetchFast(const TranslateResult &tr)
 inline void
 Cpu::executeTail(const DecodedInst &inst, Cycles cycles_before)
 {
-    stats_.instructions++;
+    h_->stats_.instructions++;
     charge(config_.cost.baseCost);
 
-    Addr inst_pc = pc_;
+    Addr inst_pc = h_->pc_;
     execute(inst);
 
-    if (excRaised_)
+    if (h_->excRaised_)
         return;
 
     if (!(inst.flags & DecodedInst::FlagMemory))
-        consecutiveStores_ = 0;
+        h_->consecutiveStores_ = 0;
 
     if (observer_)
-        observer_->onInst(inst_pc, inst, stats_.cycles - cycles_before);
+        observer_->onInst(inst_pc, inst, h_->stats_.cycles - cycles_before);
 
-    if (redirect_) {
-        redirect_ = false;
+    if (h_->redirect_) {
+        h_->redirect_ = false;
         return;
     }
 
-    prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
-    pc_ = npc_;
-    npc_ = stagedNpc_;
+    h_->prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
+    h_->pc_ = h_->npc_;
+    h_->npc_ = h_->stagedNpc_;
 }
 
 void
 Cpu::step()
 {
-    if (halted_)
+    if (h_->halted_)
         return;
 
-    cp0_.tickRandom();
-    excRaised_ = false;
-    branchTaken_ = false;
-    stagedNpc_ = npc_ + 4;
+    h_->cp0_.tickRandom();
+    h_->excRaised_ = false;
+    h_->branchTaken_ = false;
+    h_->stagedNpc_ = h_->npc_ + 4;
 
-    Cycles cycles_before = stats_.cycles;
+    Cycles cycles_before = h_->stats_.cycles;
 
     if (config_.fastInterpreter) {
         if (const DecodedInst *inst = fetchFast()) {
@@ -509,17 +467,17 @@ Cpu::step()
     }
 
     // fetch
-    if (!isAligned(pc_, 4)) {
-        takeException(ExcCode::AdEL, pc_, true, false);
+    if (!isAligned(h_->pc_, 4)) {
+        takeException(ExcCode::AdEL, h_->pc_, true, false);
         return;
     }
-    TranslateResult tr = translate(pc_, AccessType::Fetch);
+    TranslateResult tr = translate(h_->pc_, AccessType::Fetch);
     if (!tr.ok) {
-        takeException(tr.exc, pc_, true, tr.refill);
+        takeException(tr.exc, h_->pc_, true, tr.refill);
         return;
     }
-    if (config_.cachesEnabled && tr.cacheable && icache_) {
-        if (!icache_->access(tr.paddr))
+    if (config_.cachesEnabled && tr.cacheable && h_->icache_) {
+        if (!h_->icache_->access(tr.paddr))
             charge(config_.cost.icacheMissPenalty);
     }
     if (config_.fastInterpreter) {
@@ -549,52 +507,52 @@ Cpu::runFast(InstCount max_insts)
 {
     RunResult result;
     while (result.instsExecuted < max_insts) {
-        if (halted_) {
+        if (h_->halted_) {
             result.reason = StopReason::Halted;
             return result;
         }
-        if (tlbGenSeen_ != tlb_.generation())
-            flushMicroTlb();
-        if (translationKey(pc_) != fetchKey_ ||
-            *fetchMemVer_ != fetchVersion_ || (pc_ & 3) != 0) {
+        if (h_->tlbGenSeen_ != h_->tlb_.generation())
+            h_->flushMicroTlb();
+        if (translationKey(h_->pc_) != h_->fetchKey_ ||
+            *h_->fetchMemVer_ != h_->fetchVersion_ || (h_->pc_ & 3) != 0) {
             // miss: one reference step raises any fetch exception and
             // refills the fetch cache
-            InstCount before = stats_.instructions;
+            InstCount before = h_->stats_.instructions;
             step();
-            result.instsExecuted += stats_.instructions - before;
+            result.instsExecuted += h_->stats_.instructions - before;
             continue;
         }
         InstCount limit = max_insts - result.instsExecuted;
         InstCount done = 0;
         // PC sequencing lives in host registers inside the block loop:
-        // the member round trip (store pc_, reload it next iteration)
+        // the member round trip (store h_->pc_, reload it next iteration)
         // is the interpreter's longest serial dependence chain. The
         // members are synced on every loop exit and before any
         // instruction that can observe them (exceptions, jump links,
         // CP0, memory - everything outside the inline subset below).
-        Addr pc = pc_;
-        Addr npc = npc_;
+        Addr pc = h_->pc_;
+        Addr npc = h_->npc_;
         bool sync = true;
         while (true) {
-            const DecodedInst &inst = fetchPage_->insts[(pc & 0xfffu) >> 2];
-            cp0_.tickRandom();
-            Cycles cycles_before = stats_.cycles;
-            if (fetchMapped_)
-                tlb_.recordMicroHit();
-            if (config_.cachesEnabled && fetchCacheable_ && icache_ &&
-                !icache_->access(fetchPaBase_ | (pc & 0xfffu)))
+            const DecodedInst &inst = h_->fetchPage_->insts[(pc & 0xfffu) >> 2];
+            h_->cp0_.tickRandom();
+            Cycles cycles_before = h_->stats_.cycles;
+            if (h_->fetchMapped_)
+                h_->tlb_.recordMicroHit();
+            if (config_.cachesEnabled && h_->fetchCacheable_ && h_->icache_ &&
+                !h_->icache_->access(h_->fetchPaBase_ | (pc & 0xfffu)))
                 charge(config_.cost.icacheMissPenalty);
-            stats_.instructions++;
+            h_->stats_.instructions++;
             charge(config_.cost.baseCost);
             done++;
             Addr staged = npc + 4;
-            const Word rs = regs_[inst.rs];
-            const Word rt = regs_[inst.rt];
+            const Word rs = h_->regs_[inst.rs];
+            const Word rt = h_->regs_[inst.rt];
             const CostModel &cost = config_.cost;
             // Inline subset: instructions that cannot raise exceptions,
             // touch memory, or reach CP0/TLB state. Each case is a
             // transliteration of the corresponding execute() case with
-            // pc_/stagedNpc_ replaced by the locals; doBranch()/doJump()
+            // h_->pc_/h_->stagedNpc_ replaced by the locals; doBranch()/doJump()
             // are expanded in place.
             switch (inst.op) {
               case Op::Sll:  setReg(inst.rd, rt << inst.shamt); break;
@@ -625,47 +583,47 @@ Cpu::runFast(InstCount max_insts)
               case Op::Mult: {
                 std::int64_t prod = static_cast<std::int64_t>(
                     static_cast<SWord>(rs)) * static_cast<SWord>(rt);
-                lo_ = static_cast<Word>(prod);
-                hi_ = static_cast<Word>(prod >> 32);
+                h_->lo_ = static_cast<Word>(prod);
+                h_->hi_ = static_cast<Word>(prod >> 32);
                 charge(cost.multCost - cost.baseCost);
                 break;
               }
               case Op::Multu: {
                 std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
-                lo_ = static_cast<Word>(prod);
-                hi_ = static_cast<Word>(prod >> 32);
+                h_->lo_ = static_cast<Word>(prod);
+                h_->hi_ = static_cast<Word>(prod >> 32);
                 charge(cost.multCost - cost.baseCost);
                 break;
               }
               case Op::Div:
                 if (rt == 0) {
-                    lo_ = 0xffffffffu;
-                    hi_ = rs;
+                    h_->lo_ = 0xffffffffu;
+                    h_->hi_ = rs;
                 } else if (rs == 0x80000000u && rt == 0xffffffffu) {
-                    lo_ = 0x80000000u;
-                    hi_ = 0;
+                    h_->lo_ = 0x80000000u;
+                    h_->hi_ = 0;
                 } else {
-                    lo_ = static_cast<Word>(static_cast<SWord>(rs) /
+                    h_->lo_ = static_cast<Word>(static_cast<SWord>(rs) /
                                             static_cast<SWord>(rt));
-                    hi_ = static_cast<Word>(static_cast<SWord>(rs) %
+                    h_->hi_ = static_cast<Word>(static_cast<SWord>(rs) %
                                             static_cast<SWord>(rt));
                 }
                 charge(cost.divCost - cost.baseCost);
                 break;
               case Op::Divu:
                 if (rt == 0) {
-                    lo_ = 0xffffffffu;
-                    hi_ = rs;
+                    h_->lo_ = 0xffffffffu;
+                    h_->hi_ = rs;
                 } else {
-                    lo_ = rs / rt;
-                    hi_ = rs % rt;
+                    h_->lo_ = rs / rt;
+                    h_->hi_ = rs % rt;
                 }
                 charge(cost.divCost - cost.baseCost);
                 break;
-              case Op::Mfhi: setReg(inst.rd, hi_); break;
-              case Op::Mthi: hi_ = rs; break;
-              case Op::Mflo: setReg(inst.rd, lo_); break;
-              case Op::Mtlo: lo_ = rs; break;
+              case Op::Mfhi: setReg(inst.rd, h_->hi_); break;
+              case Op::Mthi: h_->hi_ = rs; break;
+              case Op::Mflo: setReg(inst.rd, h_->lo_); break;
+              case Op::Mtlo: h_->lo_ = rs; break;
               case Op::Addiu: setReg(inst.rt, rs + inst.simm); break;
               case Op::Slti:
                 setReg(inst.rt, static_cast<SWord>(rs) <
@@ -677,94 +635,94 @@ Cpu::runFast(InstCount max_insts)
               case Op::Xori:  setReg(inst.rt, rs ^ inst.imm); break;
               case Op::Lui:   setReg(inst.rt, inst.imm << 16); break;
               case Op::J:
-                stats_.branches++;
+                h_->stats_.branches++;
                 staged = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
-                branchTaken_ = true;
+                h_->branchTaken_ = true;
                 charge(cost.takenBranchExtra);
                 break;
               case Op::Jal:
                 setReg(RA, pc + 8);
-                stats_.branches++;
+                h_->stats_.branches++;
                 staged = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
-                branchTaken_ = true;
+                h_->branchTaken_ = true;
                 charge(cost.takenBranchExtra);
                 break;
               case Op::Jr:
-                stats_.branches++;
+                h_->stats_.branches++;
                 staged = rs;
-                branchTaken_ = true;
+                h_->branchTaken_ = true;
                 charge(cost.takenBranchExtra);
                 break;
               case Op::Jalr:
                 setReg(inst.rd, pc + 8);
-                stats_.branches++;
+                h_->stats_.branches++;
                 staged = rs;
-                branchTaken_ = true;
+                h_->branchTaken_ = true;
                 charge(cost.takenBranchExtra);
                 break;
               case Op::Beq:
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (rs == rt) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Bne:
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (rs != rt) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Blez:
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (static_cast<SWord>(rs) <= 0) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Bgtz:
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (static_cast<SWord>(rs) > 0) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Bltz:
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (static_cast<SWord>(rs) < 0) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Bgez:
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (static_cast<SWord>(rs) >= 0) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Bltzal:
                 setReg(RA, pc + 8);
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (static_cast<SWord>(rs) < 0) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
               case Op::Bgezal:
                 setReg(RA, pc + 8);
-                stats_.branches++;
+                h_->stats_.branches++;
                 if (static_cast<SWord>(rs) >= 0) {
                     staged = pc + 4 + (inst.simm << 2);
-                    branchTaken_ = true;
+                    h_->branchTaken_ = true;
                     charge(cost.takenBranchExtra);
                 }
                 break;
@@ -774,51 +732,51 @@ Cpu::runFast(InstCount max_insts)
             // tail for the inline subset: never memory, never an
             // exception, never a redirect, never invalidates the
             // fetch cache
-            consecutiveStores_ = 0;
+            h_->consecutiveStores_ = 0;
             if (observer_)
-                observer_->onInst(pc, inst, stats_.cycles - cycles_before);
-            prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
+                observer_->onInst(pc, inst, h_->stats_.cycles - cycles_before);
+            h_->prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
             pc = npc;
             npc = staged;
             if (done >= limit)
                 break;
             // one compare covers "still in the cached page" and "still
-            // word-aligned" (fetchVbase_ has zero low bits)
-            if ((pc ^ fetchVbase_) & 0xfffff003u)
+            // word-aligned" (h_->fetchVbase_ has zero low bits)
+            if ((pc ^ h_->fetchVbase_) & 0xfffff003u)
                 break;
             continue;
 
           general:
             // everything else goes through the reference execute() on
             // synced member state, replaying executeTail() exactly
-            pc_ = pc;
-            npc_ = npc;
-            stagedNpc_ = staged;
-            excRaised_ = false;
-            branchTaken_ = false;
+            h_->pc_ = pc;
+            h_->npc_ = npc;
+            h_->stagedNpc_ = staged;
+            h_->excRaised_ = false;
+            h_->branchTaken_ = false;
             execute(inst);
-            if (excRaised_) {
-                // takeException already redirected pc_/npc_
+            if (h_->excRaised_) {
+                // takeException already redirected h_->pc_/h_->npc_
                 sync = false;
                 break;
             }
             if (!(inst.flags & DecodedInst::FlagMemory))
-                consecutiveStores_ = 0;
+                h_->consecutiveStores_ = 0;
             if (observer_)
-                observer_->onInst(pc, inst, stats_.cycles - cycles_before);
-            if (redirect_) {
-                redirect_ = false;
+                observer_->onInst(pc, inst, h_->stats_.cycles - cycles_before);
+            if (h_->redirect_) {
+                h_->redirect_ = false;
                 sync = false;
                 break;
             }
-            prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
-            pc_ = npc_;
-            npc_ = stagedNpc_;
-            pc = pc_;
-            npc = npc_;
-            if (halted_ || done >= limit)
+            h_->prevWasControl_ = (inst.flags & DecodedInst::FlagControl) != 0;
+            h_->pc_ = h_->npc_;
+            h_->npc_ = h_->stagedNpc_;
+            pc = h_->pc_;
+            npc = h_->npc_;
+            if (h_->halted_ || done >= limit)
                 break;
-            if ((pc ^ fetchVbase_) & 0xfffff003u)
+            if ((pc ^ h_->fetchVbase_) & 0xfffff003u)
                 break;
             // the cached translation and decoded page can only go
             // stale behind our back via a store (page write version)
@@ -828,13 +786,13 @@ Cpu::runFast(InstCount max_insts)
                 (DecodedInst::FlagStore | DecodedInst::FlagFence)) {
                 if (inst.flags & DecodedInst::FlagFence)
                     break;
-                if (*fetchMemVer_ != fetchVersion_)
+                if (*h_->fetchMemVer_ != h_->fetchVersion_)
                     break;
             }
         }
         if (sync) {
-            pc_ = pc;
-            npc_ = npc;
+            h_->pc_ = pc;
+            h_->npc_ = npc;
         }
         result.instsExecuted += done;
     }
@@ -845,26 +803,26 @@ Cpu::runFast(InstCount max_insts)
 RunResult
 Cpu::run(InstCount max_insts)
 {
-    if (config_.fastInterpreter && breakpoints_.empty())
+    if (config_.fastInterpreter && h_->breakpoints_.empty())
         return runFast(max_insts);
 
     RunResult result;
     bool first = true;
     while (result.instsExecuted < max_insts) {
-        if (halted_) {
+        if (h_->halted_) {
             result.reason = StopReason::Halted;
             return result;
         }
-        if (!first && !breakpoints_.empty() &&
-            breakpoints_.count(pc_) != 0) {
+        if (!first && !h_->breakpoints_.empty() &&
+            h_->breakpoints_.count(h_->pc_) != 0) {
             result.reason = StopReason::Breakpoint;
             return result;
         }
         first = false;
-        InstCount before = stats_.instructions;
+        InstCount before = h_->stats_.instructions;
         step();
-        result.instsExecuted += stats_.instructions - before;
-        if (halted_) {
+        result.instsExecuted += h_->stats_.instructions - before;
+        if (h_->halted_) {
             result.reason = StopReason::Halted;
             return result;
         }
@@ -876,10 +834,10 @@ Cpu::run(InstCount max_insts)
 void
 Cpu::execute(const DecodedInst &inst)
 {
-    const Word rs = regs_[inst.rs];
-    const Word rt = regs_[inst.rt];
+    const Word rs = h_->regs_[inst.rs];
+    const Word rt = h_->regs_[inst.rt];
     const CostModel &cost = config_.cost;
-    bool user = cp0_.userMode();
+    bool user = h_->cp0_.userMode();
 
     switch (inst.op) {
       // -- shifts ------------------------------------------------------
@@ -930,48 +888,48 @@ Cpu::execute(const DecodedInst &inst)
       case Op::Mult: {
         std::int64_t prod = static_cast<std::int64_t>(
             static_cast<SWord>(rs)) * static_cast<SWord>(rt);
-        lo_ = static_cast<Word>(prod);
-        hi_ = static_cast<Word>(prod >> 32);
+        h_->lo_ = static_cast<Word>(prod);
+        h_->hi_ = static_cast<Word>(prod >> 32);
         charge(cost.multCost - cost.baseCost);
         break;
       }
       case Op::Multu: {
         std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
-        lo_ = static_cast<Word>(prod);
-        hi_ = static_cast<Word>(prod >> 32);
+        h_->lo_ = static_cast<Word>(prod);
+        h_->hi_ = static_cast<Word>(prod >> 32);
         charge(cost.multCost - cost.baseCost);
         break;
       }
       case Op::Div:
         if (rt == 0) {
             // architecturally UNPREDICTABLE; we define a stable result
-            lo_ = 0xffffffffu;
-            hi_ = rs;
+            h_->lo_ = 0xffffffffu;
+            h_->hi_ = rs;
         } else if (rs == 0x80000000u && rt == 0xffffffffu) {
-            lo_ = 0x80000000u;  // INT_MIN / -1 wraps
-            hi_ = 0;
+            h_->lo_ = 0x80000000u;  // INT_MIN / -1 wraps
+            h_->hi_ = 0;
         } else {
-            lo_ = static_cast<Word>(static_cast<SWord>(rs) /
+            h_->lo_ = static_cast<Word>(static_cast<SWord>(rs) /
                                     static_cast<SWord>(rt));
-            hi_ = static_cast<Word>(static_cast<SWord>(rs) %
+            h_->hi_ = static_cast<Word>(static_cast<SWord>(rs) %
                                     static_cast<SWord>(rt));
         }
         charge(cost.divCost - cost.baseCost);
         break;
       case Op::Divu:
         if (rt == 0) {
-            lo_ = 0xffffffffu;
-            hi_ = rs;
+            h_->lo_ = 0xffffffffu;
+            h_->hi_ = rs;
         } else {
-            lo_ = rs / rt;
-            hi_ = rs % rt;
+            h_->lo_ = rs / rt;
+            h_->hi_ = rs % rt;
         }
         charge(cost.divCost - cost.baseCost);
         break;
-      case Op::Mfhi: setReg(inst.rd, hi_); break;
-      case Op::Mthi: hi_ = rs; break;
-      case Op::Mflo: setReg(inst.rd, lo_); break;
-      case Op::Mtlo: lo_ = rs; break;
+      case Op::Mfhi: setReg(inst.rd, h_->hi_); break;
+      case Op::Mthi: h_->hi_ = rs; break;
+      case Op::Mflo: setReg(inst.rd, h_->lo_); break;
+      case Op::Mtlo: h_->lo_ = rs; break;
 
       // -- immediate arithmetic -------------------------------------------
       case Op::Addi: {
@@ -996,44 +954,44 @@ Cpu::execute(const DecodedInst &inst)
 
       // -- control ----------------------------------------------------------
       case Op::J:
-        doJump(((pc_ + 4) & 0xf0000000u) | (inst.target << 2));
+        doJump(((h_->pc_ + 4) & 0xf0000000u) | (inst.target << 2));
         break;
       case Op::Jal:
-        setReg(RA, pc_ + 8);
-        doJump(((pc_ + 4) & 0xf0000000u) | (inst.target << 2));
+        setReg(RA, h_->pc_ + 8);
+        doJump(((h_->pc_ + 4) & 0xf0000000u) | (inst.target << 2));
         break;
       case Op::Jr:
         doJump(rs);
         break;
       case Op::Jalr:
-        setReg(inst.rd, pc_ + 8);
+        setReg(inst.rd, h_->pc_ + 8);
         doJump(rs);
         break;
       case Op::Beq:
-        doBranch(rs == rt, pc_ + 4 + (inst.simm << 2));
+        doBranch(rs == rt, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bne:
-        doBranch(rs != rt, pc_ + 4 + (inst.simm << 2));
+        doBranch(rs != rt, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Blez:
-        doBranch(static_cast<SWord>(rs) <= 0, pc_ + 4 + (inst.simm << 2));
+        doBranch(static_cast<SWord>(rs) <= 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bgtz:
-        doBranch(static_cast<SWord>(rs) > 0, pc_ + 4 + (inst.simm << 2));
+        doBranch(static_cast<SWord>(rs) > 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bltz:
-        doBranch(static_cast<SWord>(rs) < 0, pc_ + 4 + (inst.simm << 2));
+        doBranch(static_cast<SWord>(rs) < 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bgez:
-        doBranch(static_cast<SWord>(rs) >= 0, pc_ + 4 + (inst.simm << 2));
+        doBranch(static_cast<SWord>(rs) >= 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bltzal:
-        setReg(RA, pc_ + 8);
-        doBranch(static_cast<SWord>(rs) < 0, pc_ + 4 + (inst.simm << 2));
+        setReg(RA, h_->pc_ + 8);
+        doBranch(static_cast<SWord>(rs) < 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bgezal:
-        setReg(RA, pc_ + 8);
-        doBranch(static_cast<SWord>(rs) >= 0, pc_ + 4 + (inst.simm << 2));
+        setReg(RA, h_->pc_ + 8);
+        doBranch(static_cast<SWord>(rs) >= 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
 
       // -- memory --------------------------------------------------------------
@@ -1116,38 +1074,38 @@ Cpu::execute(const DecodedInst &inst)
         }
         switch (inst.op) {
           case Op::Mfc0:
-            setReg(inst.rt, cp0_.read(inst.rd));
+            setReg(inst.rt, h_->cp0_.read(inst.rd));
             break;
           case Op::Mtc0:
-            cp0_.write(inst.rd, rt);
+            h_->cp0_.write(inst.rd, rt);
             break;
           case Op::Tlbr: {
-            unsigned idx = (cp0_.index() >> 8) & 0x3f;
-            const TlbEntry &e = tlb_.entry(idx);
-            cp0_.write(cp0reg::EntryHi, e.hi);
-            cp0_.write(cp0reg::EntryLo, e.lo);
+            unsigned idx = (h_->cp0_.index() >> 8) & 0x3f;
+            const TlbEntry &e = h_->tlb_.entry(idx);
+            h_->cp0_.write(cp0reg::EntryHi, e.hi);
+            h_->cp0_.write(cp0reg::EntryLo, e.lo);
             break;
           }
           case Op::Tlbwi: {
-            unsigned idx = (cp0_.index() >> 8) & 0x3f;
-            tlb_.setEntry(idx, cp0_.entryHi(), cp0_.entryLo());
+            unsigned idx = (h_->cp0_.index() >> 8) & 0x3f;
+            h_->tlb_.setEntry(idx, h_->cp0_.entryHi(), h_->cp0_.entryLo());
             break;
           }
           case Op::Tlbwr: {
-            unsigned idx = cp0_.randomIndex();
-            tlb_.setEntry(idx, cp0_.entryHi(), cp0_.entryLo());
+            unsigned idx = h_->cp0_.randomIndex();
+            h_->tlb_.setEntry(idx, h_->cp0_.entryHi(), h_->cp0_.entryLo());
             break;
           }
           case Op::Tlbp: {
-            Word hi = cp0_.entryHi();
-            auto hit = tlb_.probeQuiet(
+            Word hi = h_->cp0_.entryHi();
+            auto hit = h_->tlb_.probeQuiet(
                 hi & entryhi::VpnMask,
                 (hi & entryhi::AsidMask) >> entryhi::AsidShift);
-            cp0_.setIndexRaw(hit ? (*hit << 8) : 0x80000000u);
+            h_->cp0_.setIndexRaw(hit ? (*hit << 8) : 0x80000000u);
             break;
           }
           case Op::Rfe:
-            cp0_.returnFromException();
+            h_->cp0_.returnFromException();
             break;
           default:
             break;
@@ -1163,17 +1121,17 @@ Cpu::execute(const DecodedInst &inst)
             return;
         }
         if (inst.op == Op::Xret) {
-            if (!(cp0_.statusReg() & status::UX)) {
+            if (!(h_->cp0_.statusReg() & status::UX)) {
                 takeException(ExcCode::Ri, 0, false, false);
                 return;
             }
-            cp0_.setStatusReg(cp0_.statusReg() & ~status::UX);
+            h_->cp0_.setStatusReg(h_->cp0_.statusReg() & ~status::UX);
             // Tera-style return: control moves to the (possibly
             // updated) saved exception PC, with no delay slot.
-            pc_ = cp0_.uxReg(UxReg::Epc);
-            npc_ = pc_ + 4;
-            prevWasControl_ = false;
-            redirect_ = true;
+            h_->pc_ = h_->cp0_.uxReg(UxReg::Epc);
+            h_->npc_ = h_->pc_ + 4;
+            h_->prevWasControl_ = false;
+            h_->redirect_ = true;
             return;
         }
         if (inst.rd >= NumUxRegs) {
@@ -1181,9 +1139,9 @@ Cpu::execute(const DecodedInst &inst)
             return;
         }
         if (inst.op == Op::Mfux) {
-            setReg(inst.rt, cp0_.uxReg(static_cast<UxReg>(inst.rd)));
+            setReg(inst.rt, h_->cp0_.uxReg(static_cast<UxReg>(inst.rd)));
         } else {
-            cp0_.setUxReg(static_cast<UxReg>(inst.rd), rt);
+            h_->cp0_.setUxReg(static_cast<UxReg>(inst.rd), rt);
         }
         break;
 
@@ -1193,14 +1151,14 @@ Cpu::execute(const DecodedInst &inst)
             takeException(ExcCode::Ri, 0, false, false);
             return;
         }
-        auto hit = tlb_.probeQuiet(rs, cp0_.asid());
+        auto hit = h_->tlb_.probeQuiet(rs, h_->cp0_.asid());
         if (!hit) {
             // No resident translation: the kernel must do it via the
             // page tables, so fall back to the emulation path.
             takeException(ExcCode::Ri, 0, false, false);
             return;
         }
-        const TlbEntry &e = tlb_.entry(*hit);
+        const TlbEntry &e = h_->tlb_.entry(*hit);
         if (user && !e.userModifiable()) {
             takeException(ExcCode::Ri, 0, false, false);
             return;
@@ -1208,14 +1166,14 @@ Cpu::execute(const DecodedInst &inst)
         Word lo = e.lo;
         lo = (rt & 1u) ? (lo | entrylo::D) : (lo & ~entrylo::D);
         lo = (rt & 2u) ? (lo | entrylo::V) : (lo & ~entrylo::V);
-        tlb_.setEntry(*hit, e.hi, lo);
+        h_->tlb_.setEntry(*hit, e.hi, lo);
         break;
       }
 
       // -- extensions: host call ------------------------------------------------------------
       case Op::Hcall:
         if (inst.target == 0) {
-            halted_ = true;
+            h_->halted_ = true;
             break;
         }
         if (!hcallHandler_) {
@@ -1224,7 +1182,7 @@ Cpu::execute(const DecodedInst &inst)
         }
         hcallHandler_(*this, inst.target);
         // the handler may have redirected or halted us
-        if (halted_)
+        if (h_->halted_)
             return;
         break;
 

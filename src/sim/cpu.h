@@ -19,24 +19,23 @@
  *    kernel via the Status.UX bit;
  *  - the TLBMP instruction for user-level TLB protection modification
  *    gated on the per-entry U bit.
+ *
+ * The Cpu is the machine's shared *execute engine*: all per-context
+ * state (registers, CP0/COP3, TLB, caches, the fast-interpreter
+ * caches) lives in a Hart (sim/hart.h), and the engine operates on
+ * whichever hart is currently bound. Machine::run interleaves harts
+ * by rebinding between quanta; every accessor below reads or writes
+ * the bound hart, so single-hart code is unchanged.
  */
 
 #ifndef UEXC_SIM_CPU_H
 #define UEXC_SIM_CPU_H
 
-#include <array>
 #include <functional>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/types.h"
-#include "sim/cache.h"
-#include "sim/costmodel.h"
-#include "sim/cp0.h"
-#include "sim/isa.h"
+#include "sim/hart.h"
 #include "sim/memory.h"
-#include "sim/tlb.h"
 
 namespace uexc::sim {
 
@@ -68,61 +67,6 @@ struct RunResult
 {
     StopReason reason = StopReason::InstLimit;
     InstCount instsExecuted = 0;
-};
-
-/** Machine configuration. */
-struct CpuConfig
-{
-    CostModel cost;
-    /**
-     * Host-side fast interpreter: predecoded per-physical-page
-     * instruction arrays plus micro i/d translation caches, so
-     * straight-line code skips the full TLB probe and decode on every
-     * instruction. Guest-visible behaviour — architectural state,
-     * cycle and cost accounting, cache/TLB statistics, observer
-     * callbacks — is bit-identical to the reference interpreter (the
-     * differential suite in tests/test_differential.cc enforces
-     * this); only host wall-clock speed changes. The caches
-     * invalidate on stores to a decoded page (PhysMemory page
-     * versions) and on any TLB mutation (Tlb::generation), and are
-     * keyed by ASID and processor mode so context switches and
-     * Status/EntryHi writes cannot alias.
-     */
-    bool fastInterpreter = false;
-    /** COP3 user-mode exception vectoring implemented in hardware. */
-    bool userVectorHw = false;
-    /**
-     * Vector-table variant of user vectoring (paper section 2.2's
-     * alternative): the exception target register holds the base of
-     * a process-local, pinned table of handler addresses indexed by
-     * ExcCode; the hardware loads table[code] while vectoring. A
-     * translation miss on the table entry demotes the exception to
-     * the kernel (the table page must be pinned, like the frame
-     * page). Requires userVectorHw.
-     */
-    bool userVectorTable = false;
-    /** TLBMP executes in hardware (else it raises RI for emulation). */
-    bool tlbmpHw = false;
-    /** Model I/D cache miss cycles. */
-    bool cachesEnabled = false;
-    std::size_t icacheBytes = 64 * 1024;
-    std::size_t icacheLineBytes = 16;
-    std::size_t dcacheBytes = 64 * 1024;
-    std::size_t dcacheLineBytes = 16;
-};
-
-/** Aggregate execution statistics. */
-struct CpuStats
-{
-    InstCount instructions = 0;
-    Cycles cycles = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-    std::uint64_t branches = 0;
-    std::uint64_t exceptionsTaken = 0;
-    std::uint64_t tlbRefillFaults = 0;
-    std::uint64_t userVectoredExceptions = 0;
-    std::array<std::uint64_t, NumExcCodes> perExcCode{};
 };
 
 class Cpu;
@@ -161,25 +105,37 @@ class Cpu
 
     Cpu(PhysMemory &mem, const CpuConfig &config);
 
-    // -- architectural state ----------------------------------------------
+    // -- hart binding -------------------------------------------------------
 
-    Word reg(unsigned r) const { return regs_[r]; }
-    void setReg(unsigned r, Word v) { if (r != 0) regs_[r] = v; }
+    /**
+     * Bind the engine to @p hart. All subsequent execution and state
+     * access goes through it. Binding carries no simulated cost and
+     * invalidates nothing: each hart's host-side caches are its own.
+     */
+    void bindHart(Hart &hart) { h_ = &hart; }
+    Hart &hart() { return *h_; }
+    const Hart &hart() const { return *h_; }
+    unsigned hartId() const { return h_->id(); }
+
+    // -- architectural state (of the bound hart) ----------------------------
+
+    Word reg(unsigned r) const { return h_->reg(r); }
+    void setReg(unsigned r, Word v) { h_->setReg(r, v); }
 
     /** Multiply/divide result registers (for state comparison). */
-    Word hi() const { return hi_; }
-    Word lo() const { return lo_; }
+    Word hi() const { return h_->hi(); }
+    Word lo() const { return h_->lo(); }
 
-    Addr pc() const { return pc_; }
+    Addr pc() const { return h_->pc(); }
     /** The next-PC latch (delay-slot sequencing state). */
-    Addr npc() const { return npc_; }
+    Addr npc() const { return h_->npc(); }
     /** Set the PC (clears any in-flight delay slot). */
-    void setPc(Addr pc);
+    void setPc(Addr pc) { h_->setPc(pc); }
 
-    Cp0 &cp0() { return cp0_; }
-    const Cp0 &cp0() const { return cp0_; }
-    Tlb &tlb() { return tlb_; }
-    const Tlb &tlb() const { return tlb_; }
+    Cp0 &cp0() { return h_->cp0(); }
+    const Cp0 &cp0() const { return h_->cp0(); }
+    Tlb &tlb() { return h_->tlb(); }
+    const Tlb &tlb() const { return h_->tlb(); }
     PhysMemory &mem() { return mem_; }
 
     const CpuConfig &config() const { return config_; }
@@ -195,15 +151,15 @@ class Cpu
     RunResult run(InstCount max_insts);
 
     /** Stop the next run()/step(). */
-    void requestHalt() { halted_ = true; }
-    bool halted() const { return halted_; }
+    void requestHalt() { h_->requestHalt(); }
+    bool halted() const { return h_->halted(); }
     /** Allow execution again after a halt. */
-    void clearHalt() { halted_ = false; }
+    void clearHalt() { h_->clearHalt(); }
 
     /** Stop run() when the PC reaches @p addr (before executing it). */
-    void addBreakpoint(Addr addr) { breakpoints_.insert(addr); }
-    void removeBreakpoint(Addr addr) { breakpoints_.erase(addr); }
-    void clearBreakpoints() { breakpoints_.clear(); }
+    void addBreakpoint(Addr addr) { h_->addBreakpoint(addr); }
+    void removeBreakpoint(Addr addr) { h_->removeBreakpoint(addr); }
+    void clearBreakpoints() { h_->clearBreakpoints(); }
 
     // -- host integration ----------------------------------------------------
 
@@ -213,7 +169,7 @@ class Cpu
     }
 
     /** Account extra simulated cycles (host-side kernel services). */
-    void charge(Cycles cycles) { stats_.cycles += cycles; }
+    void charge(Cycles cycles) { h_->stats_.cycles += cycles; }
 
     /** Observer for profiling; may be null. */
     void setObserver(InstObserver *obs) { observer_ = obs; }
@@ -244,61 +200,27 @@ class Cpu
 
     /**
      * Drop every host-side interpreter cache (predecoded pages and
-     * micro-TLBs). Never required for correctness — the page-version
-     * and TLB-generation checks already invalidate stale entries on
-     * the next fetch — but kernel services that rewrite guest code or
-     * page tables wholesale (program load, context switch) call it to
-     * make the shootdown protocol explicit and to release the decoded
-     * pages of the outgoing image. A no-op on the reference
-     * interpreter.
+     * micro-TLBs) of the bound hart. Never required for correctness —
+     * the page-version and TLB-generation checks already invalidate
+     * stale entries on the next fetch — but kernel services that
+     * rewrite guest code or page tables wholesale (program load,
+     * context switch) call it to make the shootdown protocol explicit
+     * and to release the decoded pages of the outgoing image. A no-op
+     * on the reference interpreter.
      */
-    void flushHostCaches();
+    void flushHostCaches() { h_->flushHostCaches(); }
 
-    // -- statistics -------------------------------------------------------
+    // -- statistics (of the bound hart) -------------------------------------
 
-    const CpuStats &stats() const { return stats_; }
-    void clearStats();
-    Cycles cycles() const { return stats_.cycles; }
-    InstCount instret() const { return stats_.instructions; }
+    const CpuStats &stats() const { return h_->stats(); }
+    void clearStats() { h_->clearStats(); }
+    Cycles cycles() const { return h_->cycles(); }
+    InstCount instret() const { return h_->instret(); }
 
-    Cache *icache() { return icache_.get(); }
-    Cache *dcache() { return dcache_.get(); }
+    Cache *icache() { return h_->icache(); }
+    Cache *dcache() { return h_->dcache(); }
 
   private:
-    /**
-     * One physical page of predecoded instructions. Valid while
-     * @c version still equals the PhysMemory page version captured at
-     * decode time; any store into the page (guest or host side)
-     * advances that version and forces a whole-page redecode on the
-     * next fetch, which is what keeps self-modifying code correct.
-     */
-    struct DecodedPage
-    {
-        static constexpr unsigned NumInsts = PhysMemory::PageBytes / 4;
-        std::uint32_t version = 0;
-        std::array<DecodedInst, NumInsts> insts;
-    };
-
-    /**
-     * Micro-TLB entry: one cached successful translation. The key
-     * packs (virtual page | ASID << 1 | user-mode bit), so ASID and
-     * processor-mode changes miss instead of aliasing; TLB content
-     * changes are caught by comparing Tlb::generation before lookup.
-     * Bits [11:7] of a real key are always zero (ASID is 6 bits),
-     * so kInvalidKey can never match.
-     */
-    static constexpr Word kInvalidKey = 0x80u;
-    static constexpr unsigned kMicroTlbSize = 16;  // direct-mapped
-
-    struct MicroTlbEntry
-    {
-        Word key = kInvalidKey;
-        Addr pbase = 0;
-        bool mapped = false;     ///< reference path would probe the TLB
-        bool cacheable = true;
-        bool writable = false;   ///< filled from a store (or dirty page)
-    };
-
     // execution helpers
     void execute(const DecodedInst &inst);
     void executeTail(const DecodedInst &inst, Cycles cycles_before);
@@ -313,7 +235,6 @@ class Cpu
                        const TranslateResult &tr);
     const DecodedInst *fetchFast();
     const DecodedInst *refillFetchFast(const TranslateResult &tr);
-    void flushMicroTlb();
     RunResult runFast(InstCount max_insts);
     void takeException(ExcCode code, Addr bad_vaddr, bool has_bad_vaddr,
                        bool refill);
@@ -325,52 +246,14 @@ class Cpu
 
     PhysMemory &mem_;
     CpuConfig config_;
-    Cp0 cp0_;
-    Tlb tlb_;
-    std::unique_ptr<Cache> icache_;
-    std::unique_ptr<Cache> dcache_;
-
-    std::array<Word, NumRegs> regs_{};
-    Addr pc_ = 0;
-    Addr npc_ = 4;
-    Word hi_ = 0;
-    Word lo_ = 0;
-
-    /** Previous retired instruction was a branch/jump. */
-    bool prevWasControl_ = false;
-    /** Set by execute() when the instruction raised an exception. */
-    bool excRaised_ = false;
-    /** Next-NPC staged by the current instruction. */
-    Addr stagedNpc_ = 0;
-    bool branchTaken_ = false;
-    /** xret (or an hcall) moved the PC directly, bypassing npc. */
-    bool redirect_ = false;
-    unsigned consecutiveStores_ = 0;
-
-    bool halted_ = false;
-    std::unordered_set<Addr> breakpoints_;
     HcallHandler hcallHandler_;
     InstObserver *observer_ = nullptr;
 
-    CpuStats stats_;
-
-    // -- fast-interpreter caches (host-side only, never architectural) --
-
-    /** Predecoded pages, keyed by physical page number. */
-    std::unordered_map<Word, std::unique_ptr<DecodedPage>> decodedPages_;
-    /** One-entry fetch cache: the page the PC is streaming through. */
-    Word fetchKey_ = kInvalidKey;
-    const DecodedPage *fetchPage_ = nullptr;
-    Addr fetchPaBase_ = 0;
-    Addr fetchVbase_ = 0;
-    const std::uint32_t *fetchMemVer_ = nullptr;
-    std::uint32_t fetchVersion_ = 0;
-    bool fetchMapped_ = false;
-    bool fetchCacheable_ = true;
-    /** Micro-dTLB for load/store translation. */
-    std::array<MicroTlbEntry, kMicroTlbSize> dtlb_;
-    /** Tlb::generation the caches were filled under. */
-    std::uint64_t tlbGenSeen_ = 0;
+    /**
+     * The bound execution context. Set by Machine before any
+     * execution; never null once the machine is constructed.
+     */
+    Hart *h_ = nullptr;
 };
 
 } // namespace uexc::sim

@@ -1,0 +1,48 @@
+#include "sim/hart.h"
+
+namespace uexc::sim {
+
+Hart::Hart(unsigned id, const CpuConfig &config)
+    : id_(id)
+{
+    regs_.fill(0);
+    if (config.cachesEnabled) {
+        icache_ = std::make_unique<Cache>(config.icacheBytes,
+                                          config.icacheLineBytes);
+        dcache_ = std::make_unique<Cache>(config.dcacheBytes,
+                                          config.dcacheLineBytes);
+    }
+    // PrId carries the hart number in [31:24] so guest code can index
+    // per-hart structures without any memory-based coordination. Hart
+    // 0 keeps the historical value 0x220 exactly.
+    cp0_.setPrId(0x00000220u | (Word(id) << 24));
+}
+
+void
+Hart::clearStats()
+{
+    stats_ = CpuStats();
+    tlb_.clearStats();
+    if (icache_)
+        icache_->clearStats();
+    if (dcache_)
+        dcache_->clearStats();
+}
+
+void
+Hart::flushMicroTlb()
+{
+    dtlb_.fill(MicroTlbEntry{});
+    fetchKey_ = kInvalidKey;
+    fetchPage_ = nullptr;
+    tlbGenSeen_ = tlb_.generation();
+}
+
+void
+Hart::flushHostCaches()
+{
+    decodedPages_.clear();
+    flushMicroTlb();
+}
+
+} // namespace uexc::sim

@@ -1,14 +1,95 @@
 #include "sim/machine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace uexc::sim {
 
 Machine::Machine(const MachineConfig &config)
     : config_(config),
-      mem_(std::make_unique<PhysMemory>(config.memBytes)),
-      cpu_(std::make_unique<Cpu>(*mem_, config.cpu))
+      mem_(std::make_unique<PhysMemory>(config.memBytes))
 {
+    unsigned n = std::max(1u, config.harts);
+    harts_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        harts_.push_back(std::make_unique<Hart>(i, config.cpu));
+    cpu_ = std::make_unique<Cpu>(*mem_, config.cpu);
+    cpu_->bindHart(*harts_[0]);
+}
+
+void
+Machine::setCurrentHart(unsigned i)
+{
+    if (i >= harts_.size())
+        UEXC_FATAL("machine: no hart %u (machine has %zu)", i,
+                   harts_.size());
+    currentHart_ = i;
+    cpu_->bindHart(*harts_[i]);
+}
+
+void
+Machine::invalidateTlbs(Addr vaddr, unsigned asid)
+{
+    for (auto &h : harts_)
+        h->tlb().invalidate(vaddr, asid);
+}
+
+MachineRunResult
+Machine::run(InstCount max_insts)
+{
+    MachineRunResult result;
+
+    // Single hart: one quantum is the whole budget, so this is the
+    // old Cpu::run call exactly (the quantum never splits a run).
+    if (harts_.size() == 1) {
+        RunResult r = cpu_->run(max_insts);
+        result.reason = r.reason;
+        result.instsExecuted = r.instsExecuted;
+        result.hart = 0;
+        return result;
+    }
+
+    InstCount remaining = max_insts;
+    while (true) {
+        // Find the next runnable hart, starting with the current one;
+        // if every hart is halted the machine is halted.
+        unsigned tried = 0;
+        while (harts_[currentHart_]->halted() &&
+               tried < harts_.size()) {
+            currentHart_ = (currentHart_ + 1) % harts_.size();
+            ++tried;
+        }
+        if (harts_[currentHart_]->halted()) {
+            result.reason = StopReason::Halted;
+            result.hart = currentHart_;
+            return result;
+        }
+
+        if (remaining == 0) {
+            result.reason = StopReason::InstLimit;
+            result.hart = currentHart_;
+            return result;
+        }
+
+        cpu_->bindHart(*harts_[currentHart_]);
+        InstCount quantum = std::min(config_.quantum, remaining);
+        RunResult r = cpu_->run(quantum);
+        result.instsExecuted += r.instsExecuted;
+        remaining -= r.instsExecuted;
+
+        if (r.reason == StopReason::Breakpoint) {
+            // Leave currentHart_ in place: the next run() resumes on
+            // this hart with a fresh quantum, keeping the schedule a
+            // pure function of the instruction stream.
+            result.reason = StopReason::Breakpoint;
+            result.hart = currentHart_;
+            return result;
+        }
+        // Halted: the rotation below skips this hart from now on.
+        // InstLimit with remaining > 0: the quantum expired — rotate.
+        currentHart_ = (currentHart_ + 1) % harts_.size();
+    }
 }
 
 Addr
@@ -28,6 +109,9 @@ Machine::load(const Program &program)
     if (paddr + 4 * program.words.size() > mem_->size())
         UEXC_FATAL("program at 0x%08x (%zu words) exceeds physical "
                    "memory", program.origin, program.words.size());
+    // writeBlock bumps the page versions of every page it touches, so
+    // a reload over already-executed code invalidates any hart's
+    // predecoded pages (see tests/test_multihart.cc).
     mem_->writeBlock(paddr, program.words.data(),
                      4 * program.words.size());
     for (const auto &[name, addr] : program.symbols) {
@@ -62,6 +146,9 @@ Machine::debugReadWord(Addr addr) const
 void
 Machine::debugWriteWord(Addr addr, Word value)
 {
+    // writeWord bumps the page version: a predecoded copy of this
+    // page in any hart is stale after this and re-decodes on the
+    // next fetch.
     mem_->writeWord(unmappedToPhys(addr), value);
 }
 

@@ -1,8 +1,18 @@
 /**
  * @file
- * Machine composition: physical memory plus CPU, with program-loading
- * and symbol lookup conveniences. Everything above the sim layer (the
- * simulated OS, the runtime, the applications) talks to a Machine.
+ * Machine composition: physical memory plus one shared execute engine
+ * over N harts, with program-loading and symbol lookup conveniences.
+ * Everything above the sim layer (the simulated OS, the runtime, the
+ * applications) talks to a Machine.
+ *
+ * Scheduling determinism contract: Machine::run interleaves harts
+ * with a cooperative round-robin quantum scheduler. Hart 0 always
+ * runs first; each runnable hart executes up to `quantum`
+ * instructions (exceptions and stalls included in its own cycle
+ * accounting) before the next hart is bound; halted harts are
+ * skipped. The schedule depends only on (program, config, quantum) —
+ * no host threads, no clocks — so every multi-hart run is
+ * bit-reproducible.
  */
 
 #ifndef UEXC_SIM_MACHINE_H
@@ -12,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/assembler.h"
@@ -26,6 +37,25 @@ struct MachineConfig
     /** Physical memory size in bytes. */
     std::size_t memBytes = 32 * 1024 * 1024;
     CpuConfig cpu;
+    /** Number of hardware execution contexts sharing the memory. */
+    unsigned harts = 1;
+    /**
+     * Round-robin scheduling quantum in instructions. Only consulted
+     * when harts > 1: a single hart always runs to its caller-given
+     * budget in one quantum, preserving bit-identical behaviour with
+     * the pre-multihart machine.
+     */
+    InstCount quantum = 10000;
+};
+
+/** Result of a Machine::run call. */
+struct MachineRunResult
+{
+    StopReason reason = StopReason::InstLimit;
+    /** Total instructions executed across all harts this call. */
+    InstCount instsExecuted = 0;
+    /** The hart the stop condition occurred on. */
+    unsigned hart = 0;
 };
 
 /**
@@ -36,10 +66,45 @@ class Machine
   public:
     explicit Machine(const MachineConfig &config = MachineConfig());
 
+    /**
+     * The execute engine, bound to the current hart. Single-hart
+     * machines can treat this exactly like the old one-Cpu machine.
+     */
     Cpu &cpu() { return *cpu_; }
     const Cpu &cpu() const { return *cpu_; }
     PhysMemory &mem() { return *mem_; }
     const MachineConfig &config() const { return config_; }
+
+    // -- harts --------------------------------------------------------------
+
+    unsigned numHarts() const { return unsigned(harts_.size()); }
+    Hart &hart(unsigned i) { return *harts_[i]; }
+    const Hart &hart(unsigned i) const { return *harts_[i]; }
+
+    /** The hart the engine is currently bound to. */
+    unsigned currentHart() const { return currentHart_; }
+    /** Bind the engine to hart @p i (host-side context switch). */
+    void setCurrentHart(unsigned i);
+
+    /**
+     * Invalidate the translation for (@p vaddr, @p asid) in every
+     * hart's TLB — the software analogue of a TLB shootdown, used by
+     * kernel unmap/protect paths so no hart retains a stale mapping.
+     * On a single-hart machine this is exactly the old single-TLB
+     * invalidate.
+     */
+    void invalidateTlbs(Addr vaddr, unsigned asid);
+
+    /**
+     * Run the machine for up to @p max_insts total instructions,
+     * round-robin over runnable harts (see file comment). Returns
+     * when a hart halts with all others halted (Halted), a hart hits
+     * a breakpoint (Breakpoint, with that hart id), or the budget is
+     * exhausted (InstLimit). A breakpoint leaves the schedule
+     * position intact: the next run() resumes with the same hart so
+     * the quantum accounting stays deterministic.
+     */
+    MachineRunResult run(InstCount max_insts);
 
     /**
      * Load a finalized program image. The program's origin may be a
@@ -60,7 +125,9 @@ class Machine
     /**
      * Direct (host) read/write of memory by kseg0/kseg1/physical
      * address, bypassing translation and cost modeling. For loaders
-     * and test assertions only.
+     * and test assertions only. Writes bump the PhysMemory page
+     * version, so any hart's predecoded copy of the page is
+     * invalidated before its next fetch.
      */
     Word debugReadWord(Addr addr) const;
     void debugWriteWord(Addr addr, Word value);
@@ -68,7 +135,9 @@ class Machine
   private:
     MachineConfig config_;
     std::unique_ptr<PhysMemory> mem_;
+    std::vector<std::unique_ptr<Hart>> harts_;
     std::unique_ptr<Cpu> cpu_;
+    unsigned currentHart_ = 0;
     std::map<std::string, Addr> symbols_;
 };
 

@@ -146,5 +146,37 @@ TEST(Dsm, ExceptionMechanismMattersOnFastNetworks)
     EXPECT_GT(fast_ratio, slow_ratio);
 }
 
+TEST(Dsm, SharedMachinePlacementRunsTheSameProtocol)
+{
+    // Nodes placed on harts of one machine instead of one machine
+    // each: same coherence behaviour, same fault accounting.
+    DsmCluster::Config cfg = smallCluster();
+    cfg.sharedMachine = true;
+    DsmCluster dsm(cfg);
+    dsm.write(0, kBase, 77);
+    EXPECT_EQ(dsm.read(1, kBase), 77u);
+    EXPECT_EQ(dsm.stats().readFaults, 1u);
+    EXPECT_EQ(dsm.state(0, kBase), DsmPageState::ReadShared);
+    EXPECT_EQ(dsm.state(1, kBase), DsmPageState::ReadShared);
+    dsm.write(1, kBase, 78);
+    EXPECT_EQ(dsm.state(1, kBase), DsmPageState::Writable);
+    EXPECT_EQ(dsm.state(0, kBase), DsmPageState::Invalid);
+    EXPECT_EQ(dsm.read(0, kBase), 78u);
+}
+
+TEST(Dsm, SharedMachinePlacementMatchesSeparateMachines)
+{
+    auto faults = [](bool shared) {
+        DsmCluster::Config cfg = smallCluster();
+        cfg.sharedMachine = shared;
+        DsmCluster dsm(cfg);
+        dsm.write(0, kBase, 0);
+        for (Word i = 0; i < 8; i++)
+            dsm.write(i % 2, kBase, i);
+        return dsm.stats().writeFaults;
+    };
+    EXPECT_EQ(faults(true), faults(false));
+}
+
 } // namespace
 } // namespace uexc::apps

@@ -8,24 +8,86 @@
  *   $ ./tools/kdump            # whole kernel text
  *   $ ./tools/kdump fast       # only the fast path (Table 3 region)
  *   $ ./tools/kdump --lint     # run uexc-lint over the image instead
+ *   $ ./tools/kdump --harts N  # the multihart study images for N harts
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
+#include "core/multihart.h"
 #include "os/kernelimage.h"
+#include "os/layout.h"
 #include "sim/isa.h"
 
 using namespace uexc;
 using namespace uexc::sim;
 using namespace uexc::os;
 
+namespace {
+
+/** Disassemble @p image from @p begin to @p end with symbol labels. */
+void
+dumpRange(const Program &image, Addr begin, Addr end)
+{
+    std::map<Addr, std::string> by_addr;
+    for (const auto &[name, addr] : image.symbols)
+        by_addr[addr] = name;
+    for (Addr addr = begin; addr < end; addr += 4) {
+        auto sym = by_addr.find(addr);
+        if (sym != by_addr.end())
+            std::printf("\n%s:\n", sym->second.c_str());
+        Word raw = image.words[(addr - image.origin) / 4];
+        DecodedInst inst = decode(raw);
+        std::printf("  %08x:  %08x  %s\n", addr, raw,
+                    disassemble(inst, addr).c_str());
+    }
+}
+
+/** Dump the per-hart mini-kernel and worker of the scaling study. */
+int
+dumpMultihart(unsigned harts)
+{
+    if (harts < 1 || harts > rt::multihart::kMaxHarts) {
+        std::fprintf(stderr, "kdump: --harts wants 1..%u\n",
+                     rt::multihart::kMaxHarts);
+        return 1;
+    }
+    Program kernel = rt::multihart::buildKernelImage(harts);
+    // Text stops where the per-hart save/counter slots begin.
+    Addr ktext_end = kernel.symbol("mh_save");
+    std::printf("multihart kernel (%u hart%s): %zu words, text "
+                "0x%08x..0x%08x, %u x %u-byte save areas\n",
+                harts, harts == 1 ? "" : "s", kernel.words.size(),
+                kernel.origin, ktext_end, harts,
+                unsigned(os::hartsave::Bytes));
+    dumpRange(kernel, kernel.origin, ktext_end);
+
+    Program worker = rt::multihart::buildWorkerProgram(harts);
+    std::printf("\nmultihart worker: %zu words at 0x%08x (one entry "
+                "per hart)\n",
+                worker.words.size(), worker.origin);
+    dumpRange(worker, worker.origin,
+              worker.origin + 4 * Addr(worker.words.size()));
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     bool fast_only = argc > 1 && std::strcmp(argv[1], "fast") == 0;
     bool lint_only = argc > 1 && std::strcmp(argv[1], "--lint") == 0;
+
+    if (argc > 1 && std::strcmp(argv[1], "--harts") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr, "kdump: --harts needs a count\n");
+            return 1;
+        }
+        return dumpMultihart(unsigned(std::atoi(argv[2])));
+    }
 
     if (lint_only) {
         Program image = buildKernelImage();

@@ -10,6 +10,7 @@
  *   $ ./tools/uexc_lint shim            # every UserEnv shim variant
  *   $ ./tools/uexc_lint micro           # every microbench scenario
  *   $ ./tools/uexc_lint micro fast-simple
+ *   $ ./tools/uexc_lint multihart       # multi-hart study programs
  *   $ ./tools/uexc_lint --all           # everything
  *   $ ./tools/uexc_lint --strict --all  # warnings also fail
  *
@@ -25,6 +26,7 @@
 #include "core/env.h"
 #include "core/lintspec.h"
 #include "core/microbench.h"
+#include "core/multihart.h"
 #include "os/kernelimage.h"
 
 using namespace uexc;
@@ -89,6 +91,18 @@ lintShims(Totals &totals)
     }
 }
 
+void
+lintMultihart(Totals &totals)
+{
+    constexpr unsigned n = multihart::kMaxHarts;
+    sim::Program k = multihart::buildKernelImage(n);
+    report("multihart(kernel)",
+           analysis::lint(k, multihart::kernelLintConfig(k, n)), totals);
+    sim::Program w = multihart::buildWorkerProgram(n);
+    report("multihart(worker)",
+           analysis::lint(w, multihart::workerLintConfig(w, n)), totals);
+}
+
 bool
 lintMicro(Totals &totals, const char *which)
 {
@@ -111,7 +125,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: uexc_lint [--strict] "
-                 "{--all | kernel | shim | micro [scenario]}...\n");
+                 "{--all | kernel | shim | micro [scenario] | "
+                 "multihart}...\n");
     return 2;
 }
 
@@ -132,12 +147,16 @@ main(int argc, char **argv)
             lintKernel(totals);
             lintShims(totals);
             lintMicro(totals, nullptr);
+            lintMultihart(totals);
             did_anything = true;
         } else if (std::strcmp(arg, "kernel") == 0) {
             lintKernel(totals);
             did_anything = true;
         } else if (std::strcmp(arg, "shim") == 0) {
             lintShims(totals);
+            did_anything = true;
+        } else if (std::strcmp(arg, "multihart") == 0) {
+            lintMultihart(totals);
             did_anything = true;
         } else if (std::strcmp(arg, "micro") == 0) {
             const char *which = nullptr;
