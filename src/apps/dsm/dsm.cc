@@ -1,8 +1,10 @@
 #include "apps/dsm/dsm.h"
 
 #include "common/bits.h"
+#include "common/guesterror.h"
 #include "common/logging.h"
 #include "core/microbench.h"
+#include "sim/faultinject.h"
 
 namespace uexc::apps {
 
@@ -18,6 +20,9 @@ DsmCluster::DsmCluster(const Config &config)
 
     unsigned npages = config.bytes / kPageBytes;
     pages_.resize(npages);
+    sendSeq_.assign(std::size_t(config.nodes) * config.nodes, 0);
+    recvSeq_.assign(std::size_t(config.nodes) * config.nodes, 0);
+    rng_ = config.networkSeed;
     for (PageInfo &p : pages_)
         p.states.assign(config.nodes, DsmPageState::Invalid);
 
@@ -114,6 +119,64 @@ DsmCluster::chargeMessage(unsigned node)
     stats_.messages++;
 }
 
+unsigned
+DsmCluster::pairIndex(unsigned from, unsigned to) const
+{
+    return from * config_.nodes + to;
+}
+
+bool
+DsmCluster::roll(unsigned pct)
+{
+    return sim::FaultInjector::splitmix64(rng_) % 100 < pct;
+}
+
+void
+DsmCluster::sendMessage(unsigned node, unsigned from, unsigned to)
+{
+    if (!config_.unreliableNetwork) {
+        chargeMessage(node);
+        return;
+    }
+
+    unsigned link = pairIndex(from, to);
+    std::uint64_t seq = sendSeq_[link]++;
+    Cycles timeout = config_.timeoutCycles;
+    rt::UserEnv &env = *nodes_[node].env;
+
+    for (unsigned attempt = 0;; attempt++) {
+        stats_.messages++;
+        if (roll(config_.lossPercent)) {
+            // Lost in flight: wait out the retransmit timer, back off,
+            // and try again. Protocol state has not been touched yet.
+            if (attempt >= config_.maxRetries) {
+                UEXC_GUEST_ERROR(env.hartId(), env.cpu().pc(), 0,
+                                 "dsm: message %u->%u lost %u times "
+                                 "(network partition?)",
+                                 from, to, attempt + 1);
+            }
+            env.cpu().charge(timeout);
+            stats_.timeouts++;
+            stats_.retries++;
+            timeout *= 2;
+            continue;
+        }
+        Cycles latency = config_.networkLatencyCycles;
+        if (roll(config_.delayPercent))
+            latency += config_.delayCycles;
+        env.cpu().charge(latency);
+        // Delivered: the receiver accepts the first copy with this
+        // sequence number and drops any duplicate that follows.
+        if (seq >= recvSeq_[link])
+            recvSeq_[link] = seq + 1;
+        if (roll(config_.dupPercent)) {
+            stats_.messages++;
+            stats_.duplicatesSuppressed++;
+        }
+        return;
+    }
+}
+
 void
 DsmCluster::fetchPage(unsigned to_node, Addr page)
 {
@@ -144,9 +207,9 @@ DsmCluster::onFault(unsigned node, rt::Fault &fault)
     if (!is_write) {
         // read miss: request the page from the owner
         stats_.readFaults++;
-        chargeMessage(node);            // request
+        sendMessage(node, node, info.owner);    // request
+        sendMessage(node, info.owner, node);    // reply header
         fetchPage(node, page);
-        chargeMessage(node);            // reply
         // the owner drops to read-shared
         if (info.states[info.owner] == DsmPageState::Writable) {
             setProtection(info.owner, page, DsmPageState::ReadShared,
@@ -158,14 +221,14 @@ DsmCluster::onFault(unsigned node, rt::Fault &fault)
 
     // write miss: invalidate every other copy, take ownership
     stats_.writeFaults++;
-    chargeMessage(node);                // ownership request
+    sendMessage(node, node, info.owner);    // ownership request
     if (info.states[node] == DsmPageState::Invalid)
         fetchPage(node, page);
     for (unsigned n = 0; n < nodes(); n++) {
         if (n == node)
             continue;
         if (info.states[n] != DsmPageState::Invalid) {
-            chargeMessage(node);        // invalidation message
+            sendMessage(node, node, n); // invalidation message
             setProtection(n, page, DsmPageState::Invalid, true);
             stats_.invalidations++;
         }

@@ -46,6 +46,10 @@ struct DsmStats
     std::uint64_t pageTransfers = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t messages = 0;
+    // unreliable-network mode only:
+    std::uint64_t retries = 0;              ///< retransmissions sent
+    std::uint64_t timeouts = 0;             ///< timeouts awaited
+    std::uint64_t duplicatesSuppressed = 0; ///< dups dropped by seqno
 };
 
 /**
@@ -76,6 +80,22 @@ class DsmCluster
          * own hart's per-context state over the shared kernel.
          */
         bool sharedMachine = false;
+        /**
+         * Unreliable-network mode: messages may be lost, duplicated,
+         * or delayed, seeded-deterministically. Lost messages cost a
+         * timeout (doubling per retry) and a retransmission; duplicates
+         * are suppressed by per-link sequence numbers. Protocol state
+         * only ever changes after a send succeeds, so a lossy run
+         * converges to the same memory contents as a lossless one.
+         */
+        bool unreliableNetwork = false;
+        std::uint64_t networkSeed = 1;
+        unsigned lossPercent = 0;   ///< per-transmission loss chance
+        unsigned dupPercent = 0;    ///< delivered-twice chance
+        unsigned delayPercent = 0;  ///< extra-delay chance
+        Cycles delayCycles = 5000;  ///< extra latency when delayed
+        Cycles timeoutCycles = 50000;  ///< initial retransmit timeout
+        unsigned maxRetries = 16;   ///< then GuestError (partition)
     };
 
     explicit DsmCluster(const Config &config);
@@ -119,6 +139,15 @@ class DsmCluster
     void setProtection(unsigned node, Addr page, DsmPageState state,
                        bool in_handler);
     void chargeMessage(unsigned node);
+    /**
+     * One protocol message from @p from to @p to, charged to
+     * @p node's clock. On a reliable network this is exactly
+     * chargeMessage(node); in unreliable mode it runs the
+     * loss/timeout/retry/duplicate machinery.
+     */
+    void sendMessage(unsigned node, unsigned from, unsigned to);
+    bool roll(unsigned pct);
+    unsigned pairIndex(unsigned from, unsigned to) const;
     sim::Machine &machineOf(unsigned node);
 
     Config config_;
@@ -128,6 +157,9 @@ class DsmCluster
     std::vector<Node> nodes_;
     std::vector<PageInfo> pages_;
     DsmStats stats_;
+    /** Per ordered (from,to) link: next seqno to send / expect. */
+    std::vector<std::uint64_t> sendSeq_, recvSeq_;
+    std::uint64_t rng_ = 0;
 };
 
 } // namespace uexc::apps

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Structured guest-visible errors.
+ *
+ * A GuestError means the *guest* reached a state the simulated system
+ * diagnoses as unrecoverable (a bad trap, a malformed syscall, an
+ * exhausted retry budget). It is the graceful-degradation terminus:
+ * instead of crashing the host process with panic()/fatal(), the
+ * machine surfaces a structured diagnosis carrying the hart, the guest
+ * PC, and the faulting address so a harness (or a chaos campaign) can
+ * record it and move on.
+ *
+ * Contrast with PanicError (a bug in uexc itself) and FatalError (a
+ * host-side configuration error): those remain fatal on purpose.
+ */
+
+#ifndef UEXC_COMMON_GUESTERROR_H
+#define UEXC_COMMON_GUESTERROR_H
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace uexc {
+
+/** The guest reached a diagnosed-unrecoverable state. */
+class GuestError : public std::runtime_error
+{
+  public:
+    GuestError(unsigned hart, Addr pc, Addr bad_vaddr,
+               const std::string &cause)
+        : std::runtime_error(detail::formatString(
+              "guest error [hart %u pc=0x%08x badva=0x%08x]: %s", hart,
+              pc, bad_vaddr, cause.c_str())),
+          hart_(hart), pc_(pc), badVaddr_(bad_vaddr), cause_(cause)
+    {
+    }
+
+    unsigned hart() const { return hart_; }
+    Addr pc() const { return pc_; }
+    Addr badVaddr() const { return badVaddr_; }
+    const std::string &cause() const { return cause_; }
+
+  private:
+    unsigned hart_;
+    Addr pc_;
+    Addr badVaddr_;
+    std::string cause_;
+};
+
+} // namespace uexc
+
+/** Throw a GuestError with a printf-formatted cause string. */
+#define UEXC_GUEST_ERROR(hart, pc, badva, ...)                              \
+    throw ::uexc::GuestError((hart), (pc), (badva),                         \
+                             ::uexc::detail::formatString(__VA_ARGS__))
+
+#endif // UEXC_COMMON_GUESTERROR_H

@@ -1,6 +1,7 @@
 #include "core/env.h"
 
 #include "common/bits.h"
+#include "common/guesterror.h"
 #include "common/logging.h"
 #include "core/lintspec.h"
 #include "sim/cp0.h"
@@ -27,7 +28,7 @@ Fault::setReg(unsigned r, Word value)
 void
 Fault::resumeAt(Addr pc)
 {
-    switch (env_.mode()) {
+    switch (env_.curDelivery_) {
       case DeliveryMode::UltrixSignal:
         env_.kernel().machine().debugWriteWord(
             env_.sigctxKva() + sigctx::Pc * 4, pc);
@@ -202,10 +203,12 @@ UserEnv::install(Word exc_mask)
         break;
       case DeliveryMode::FastSoftware:
         kernel_.svcUexcEnable(*proc_, exc_mask, stub_, kUexcFramePage);
+        writeCanary();
         break;
       case DeliveryMode::FastHardwareVector:
         kernel_.svcUexcEnable(*proc_, exc_mask, stub_, kUexcFramePage);
         cpu().cp0().setUxReg(UxReg::Target, stub_);
+        writeCanary();
         break;
     }
 
@@ -224,16 +227,37 @@ void
 UserEnv::runGuest(Addr entry, Addr stop, InstCount limit)
 {
     Cpu &c = cpu();
+    InstCount budget = std::min(limit, handlerBudget_);
     c.setPc(entry);
     c.addBreakpoint(stop);
-    RunResult r = c.run(limit);
+    RunResult r;
+    try {
+        r = c.run(budget);
+        if (r.reason == StopReason::InstLimit &&
+            deliveryMode() != DeliveryMode::UltrixSignal) {
+            // Watchdog: the delivery exhausted its instruction budget
+            // — a runaway user handler. Demote to kernel-mediated
+            // delivery and retry the (idempotent, single-instruction)
+            // guest entry once; the retried fault then takes the
+            // stock signal path with an intact handler chain.
+            demote();
+            c.setPc(entry);
+            r = c.run(budget);
+        }
+    } catch (...) {
+        c.removeBreakpoint(stop);
+        throw;
+    }
     c.removeBreakpoint(stop);
     if (r.reason != StopReason::Breakpoint) {
-        UEXC_FATAL("guest execution from 0x%08x did not reach 0x%08x "
-                   "(%s after %llu instructions)", entry, stop,
-                   r.reason == StopReason::Halted ? "halted"
-                                                  : "instruction limit",
-                   static_cast<unsigned long long>(r.instsExecuted));
+        UEXC_GUEST_ERROR(
+            hart_, c.pc(), c.cp0().badVAddr(),
+            "guest execution from 0x%08x did not reach 0x%08x "
+            "(%s after %llu instructions%s)", entry, stop,
+            r.reason == StopReason::Halted ? "halted"
+                                           : "instruction limit",
+            static_cast<unsigned long long>(r.instsExecuted),
+            demoted_ ? ", after demotion to kernel delivery" : "");
     }
 }
 
@@ -274,10 +298,13 @@ UserEnv::load(Addr va)
             return kernel_.machine().mem().readWord(tr.paddr);
         }
     }
-    if (inHandler_)
-        UEXC_FATAL("fault on load 0x%08x from inside a fault handler "
-                   "(recursive faults on the host bridge are not "
-                   "supported; see DESIGN.md)", va);
+    if (inHandler_) {
+        UEXC_GUEST_ERROR(hart_, cpu().pc(), va,
+                         "fault on load 0x%08x from inside a fault "
+                         "handler (recursive faults on the host "
+                         "bridge are not supported; see DESIGN.md)",
+                         va);
+    }
     cpu().setReg(T6, va);
     runGuest(faultLw_, faultLwDone_, 1'000'000);
     return cpu().reg(T7);
@@ -302,9 +329,13 @@ UserEnv::store(Addr va, Word value)
             return;
         }
     }
-    if (inHandler_)
-        UEXC_FATAL("fault on store 0x%08x from inside a fault handler",
-                   va);
+    if (inHandler_) {
+        UEXC_GUEST_ERROR(hart_, cpu().pc(), va,
+                         "fault on store 0x%08x from inside a fault "
+                         "handler (recursive faults on the host "
+                         "bridge are not supported; see DESIGN.md)",
+                         va);
+    }
     cpu().setReg(T6, va);
     cpu().setReg(T7, value);
     runGuest(faultSw_, faultSwDone_, 1'000'000);
@@ -423,6 +454,62 @@ UserEnv::frameKva() const
     return frame_k_base + (curFrameU_ - frame_u_base);
 }
 
+void
+UserEnv::demote()
+{
+    if (demoted_)
+        return;
+    kernel_.demoteDelivery(*proc_);
+    demoted_ = true;
+    stats_.deliveryDemoted++;
+}
+
+Word
+UserEnv::canaryWord(Word index)
+{
+    // Deterministic, index-dependent pattern (an all-zero page or a
+    // single repeated word would miss many corruption shapes).
+    return 0xc0ffee00u ^ (index * 0x9e3779b9u);
+}
+
+/**
+ * The pinned exception frame page holds one 128-byte frame per
+ * ExcCode: 16 * 128 = 2048 bytes. The upper half of the 4 KB page is
+ * dead space, which the canary fills: any stray write into the pinned
+ * page — a wild user store, a corrupted DMA, an injected bit flip —
+ * lands in it with probability 1/2 even if it misses live frames.
+ */
+void
+UserEnv::writeCanary()
+{
+    Machine &m = kernel_.machine();
+    Addr base = proc_->field(proc::UexcFrameK);
+    for (Word off = os::kUexcCanaryOffset; off < os::kPageBytes;
+         off += 4)
+        m.debugWriteWord(base + off, canaryWord(off / 4));
+}
+
+bool
+UserEnv::checkCanary()
+{
+    Machine &m = kernel_.machine();
+    Addr base = proc_->field(proc::UexcFrameK);
+    for (Word off = os::kUexcCanaryOffset; off < os::kPageBytes;
+         off += 4) {
+        if (m.debugReadWord(base + off) == canaryWord(off / 4))
+            continue;
+        // Corruption of the pinned save page: the fast mechanism can
+        // no longer be trusted with this process. Demote to
+        // kernel-mediated delivery and repair the canary so the
+        // diagnosis fires once per corruption event.
+        stats_.savePageCorruptions++;
+        demote();
+        writeCanary();
+        return false;
+    }
+    return true;
+}
+
 Addr
 UserEnv::sigctxKva() const
 {
@@ -438,7 +525,16 @@ UserEnv::onUpcall()
     Addr pc, badva;
     bool bd;
 
-    switch (mode_) {
+    // Latch the mechanism this delivery actually used: a demotion
+    // that happens here (canary corruption) or mid-handler only
+    // applies to *future* deliveries; the fault in flight decodes and
+    // resumes through the mechanism that delivered it (its frame
+    // words sit in the canary-free low half of the pinned page).
+    curDelivery_ = deliveryMode();
+    if (curDelivery_ != DeliveryMode::UltrixSignal)
+        checkCanary();
+
+    switch (curDelivery_) {
       case DeliveryMode::FastSoftware: {
         curFrameU_ = cpu().reg(T3);
         Addr fk = frameKva();
@@ -476,10 +572,12 @@ UserEnv::onUpcall()
         typedHandlers_[static_cast<unsigned>(code)]
             ? typedHandlers_[static_cast<unsigned>(code)]
             : handler_;
-    if (!handler)
-        UEXC_FATAL("fault (%s at pc=0x%08x badva=0x%08x) delivered "
-                   "with no handler installed", excName(code), pc,
-                   badva);
+    if (!handler) {
+        UEXC_GUEST_ERROR(hart_, pc, badva,
+                         "fault (%s at pc=0x%08x badva=0x%08x) "
+                         "delivered with no handler installed",
+                         excName(code), pc, badva);
+    }
 
     curCode_ = code;
     bool was = inHandler_;
@@ -487,6 +585,10 @@ UserEnv::onUpcall()
     Fault fault(*this, code, pc, badva, bd);
     handler(fault);
     inHandler_ = was;
+    // Validate the pinned save page again before the guest resumes
+    // from it (the canary covers the unused top half of the page).
+    if (curDelivery_ != DeliveryMode::UltrixSignal)
+        checkCanary();
 }
 
 Word
@@ -495,7 +597,7 @@ UserEnv::contextReg(unsigned r) const
     if (r == 0)
         return 0;
     Machine &m = kernel_.machine();
-    switch (mode_) {
+    switch (curDelivery_) {
       case DeliveryMode::UltrixSignal:
         return m.debugReadWord(sigctxKva() + (sigctx::Regs + r - 1) * 4);
       case DeliveryMode::FastSoftware: {
@@ -537,7 +639,7 @@ UserEnv::setContextReg(unsigned r, Word value)
     if (r == 0)
         return;
     Machine &m = kernel_.machine();
-    switch (mode_) {
+    switch (curDelivery_) {
       case DeliveryMode::UltrixSignal:
         m.debugWriteWord(sigctxKva() + (sigctx::Regs + r - 1) * 4,
                          value);

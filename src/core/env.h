@@ -88,6 +88,10 @@ struct EnvStats
     std::uint64_t faultsDelivered = 0;
     std::uint64_t guestSyscalls = 0;
     std::uint64_t inHandlerServiceCalls = 0;
+    /** Times this env was demoted to kernel-mediated delivery. */
+    std::uint64_t deliveryDemoted = 0;
+    /** Save-page canary mismatches detected (each one demotes). */
+    std::uint64_t savePageCorruptions = 0;
 };
 
 /**
@@ -121,6 +125,20 @@ class UserEnv
     void install(Word exc_mask);
 
     DeliveryMode mode() const { return mode_; }
+
+    /**
+     * The mechanism future faults will actually use: the configured
+     * mode until the watchdog or the save-page canary demotes this
+     * environment, kernel-mediated (UltrixSignal) afterwards.
+     */
+    DeliveryMode deliveryMode() const
+    {
+        return demoted_ ? DeliveryMode::UltrixSignal : mode_;
+    }
+
+    /** Whether this env was demoted to kernel-mediated delivery. */
+    bool demoted() const { return demoted_; }
+
     os::Process &process() { return *proc_; }
     os::Kernel &kernel() { return kernel_; }
     sim::Cpu &cpu() const { return kernel_.machine().cpu(); }
@@ -175,6 +193,18 @@ class UserEnv
      *  cycles, the measured null-syscall cost; see bench_table2). */
     void setSyscallOverhead(Cycles cycles) { syscallOverhead_ = cycles; }
 
+    /**
+     * Watchdog budget: the maximum guest instructions one delivery
+     * (or guest syscall) may run. A fast-mode delivery that exhausts
+     * it — a runaway user handler — is demoted to kernel-mediated
+     * delivery and retried once; a second exhaustion is a GuestError.
+     */
+    void setHandlerBudget(InstCount budget) { handlerBudget_ = budget; }
+
+    /** User-va entry of the fast-mode exception stub (0 in Ultrix
+     *  mode); exposed so fault-injection campaigns can target it. */
+    Addr stubAddr() const { return stub_; }
+
     // -- handlers -----------------------------------------------------------------
 
     /** Install the default handler for every delivered fault. */
@@ -217,6 +247,10 @@ class UserEnv
     void setContextReg(unsigned r, Word value);
     Addr frameKva() const;
     Addr sigctxKva() const;
+    void demote();
+    void writeCanary();
+    bool checkCanary();
+    static Word canaryWord(Word index);
 
     os::Kernel &kernel_;
     DeliveryMode mode_;
@@ -225,6 +259,8 @@ class UserEnv
     os::Process *proc_ = nullptr;
     bool installed_ = false;
     bool inHandler_ = false;
+    bool demoted_ = false;
+    InstCount handlerBudget_ = 1'000'000;
     FaultHandler handler_;
     std::array<FaultHandler, sim::NumExcCodes> typedHandlers_{};
     Cycles syscallOverhead_ = 250;
@@ -244,6 +280,10 @@ class UserEnv
     sim::ExcCode curCode_ = sim::ExcCode::Int;
     Addr curFrameU_ = 0;   // fast software: frame user va
     Addr curSigctxU_ = 0;  // ultrix: sigcontext user va
+    /** Mechanism the *current* delivery used: a mid-handler demotion
+     *  (canary corruption) must not reroute reg/resume accesses of
+     *  the fault already in flight. */
+    DeliveryMode curDelivery_ = DeliveryMode::UltrixSignal;
 };
 
 } // namespace uexc::rt

@@ -1,6 +1,7 @@
 #include "os/kernel.h"
 
 #include "common/bits.h"
+#include "common/guesterror.h"
 #include "common/logging.h"
 #include "sim/cp0.h"
 #include "sim/isa.h"
@@ -268,6 +269,20 @@ Kernel::svcUexcSetFlags(Process &p, Word flags)
     machine_.cpu().charge(charge::SetFlags);
 }
 
+void
+Kernel::demoteDelivery(Process &p)
+{
+    // Clearing the fast-exception mask makes the dispatcher's
+    // phase-2 compatibility check fail for every code, so future
+    // exceptions take the stock (signal) path; dropping UV/UX turns
+    // off hardware vectoring on the bound hart.
+    p.setField(proc::UexcMask, 0);
+    Cp0 &cp0 = machine_.cpu().cp0();
+    cp0.setStatusReg(cp0.statusReg() &
+                     ~(sim::status::UV | sim::status::UX));
+    demotions_++;
+}
+
 // -- hcall bridge ---------------------------------------------------------------
 
 void
@@ -297,15 +312,19 @@ Kernel::onHcall(Cpu &cpu, Word service)
         const UpcallFn &fn =
             (hart < hartUpcalls_.size() && hartUpcalls_[hart])
                 ? hartUpcalls_[hart] : upcall_;
-        if (!fn)
-            UEXC_FATAL("guest upcall with no host handler installed");
+        if (!fn) {
+            UEXC_GUEST_ERROR(hart, cpu.pc(), cpu.cp0().badVAddr(),
+                             "guest upcall with no host handler "
+                             "installed");
+        }
         fn(*this);
         break;
       }
       case svc::PanicBadTrap:
         doBadTrap();
       default:
-        UEXC_FATAL("unknown hcall service %u", service);
+        UEXC_GUEST_ERROR(cpu.hartId(), cpu.pc(), 0,
+                         "unknown hcall service %u", service);
     }
 }
 
@@ -313,8 +332,11 @@ void
 Kernel::doComplexSyscall()
 {
     Process *p = current();
-    if (!p)
-        UEXC_FATAL("complex syscall with no current process");
+    if (!p) {
+        Cpu &cpu = machine_.cpu();
+        UEXC_GUEST_ERROR(cpu.hartId(), cpu.pc(), 0,
+                         "complex syscall with no current process");
+    }
     Word num = p->tfWord(tf::Regs + V0 - 1);
     Word a0 = p->tfWord(tf::Regs + A0 - 1);
     Word a1 = p->tfWord(tf::Regs + A1 - 1);
@@ -400,10 +422,12 @@ Kernel::doSubpageEmulate()
     // rights, emulate the branch if the access sat in a delay slot,
     // and point EPC at the resume address.
     Process *p = current();
-    if (!p)
-        UEXC_FATAL("subpage emulation with no current process");
     Cpu &cpu = machine_.cpu();
     Cp0 &cp0 = cpu.cp0();
+    if (!p) {
+        UEXC_GUEST_ERROR(cpu.hartId(), cpu.pc(), 0,
+                         "subpage emulation with no current process");
+    }
     Addr epc = cp0.epc();
     bool bd = cp0.causeReg() & cause::BD;
     Word cause_code = (cp0.causeReg() & cause::ExcCodeMask) >>
@@ -412,16 +436,27 @@ Kernel::doSubpageEmulate()
                      (cause_code << uframe::FrameShift);
 
     Addr access_pc = bd ? epc + 4 : epc;
+    if (!p->as().present(access_pc)) {
+        UEXC_GUEST_ERROR(cpu.hartId(), access_pc, cp0.badVAddr(),
+                         "subpage emulation with unmapped access pc");
+    }
     Word raw = machine_.mem().readWord(p->as().physOf(access_pc));
     DecodedInst inst = decode(raw);
     if (!inst.isMemory()) {
-        UEXC_FATAL("subpage emulation of non-memory instruction "
-                   "'%s' at 0x%08x (jumps into protected pages are "
-                   "not handled, as in the paper's prototype)",
-                   disassemble(inst).c_str(), access_pc);
+        UEXC_GUEST_ERROR(cpu.hartId(), access_pc, cp0.badVAddr(),
+                         "subpage emulation of non-memory instruction "
+                         "'%s' at 0x%08x (jumps into protected pages "
+                         "are not handled, as in the paper's "
+                         "prototype)",
+                         disassemble(inst).c_str(), access_pc);
     }
 
     Addr ea = faultedReg(*p, inst.rs, frame_kva) + inst.simm;
+    if (!p->as().present(ea)) {
+        UEXC_GUEST_ERROR(cpu.hartId(), access_pc, ea,
+                         "subpage emulation of access to unmapped "
+                         "address 0x%08x", ea);
+    }
     Addr pa = p->as().physOf(ea);
     switch (inst.op) {
       case Op::Lw:
@@ -453,7 +488,9 @@ Kernel::doSubpageEmulate()
             pa, static_cast<Byte>(faultedReg(*p, inst.rt, frame_kva)));
         break;
       default:
-        UEXC_PANIC("unexpected memory op in subpage emulation");
+        UEXC_GUEST_ERROR(cpu.hartId(), access_pc, ea,
+                         "subpage emulation of unsupported memory op "
+                         "'%s'", disassemble(inst).c_str());
     }
 
     // resume address: trivial unless the access was in a delay slot,
@@ -497,8 +534,9 @@ Kernel::doSubpageEmulate()
             setFaultedReg(*p, br.rd, frame_kva, epc + 8);
             break;
           default:
-            UEXC_PANIC("subpage emulation: BD set but 0x%08x is not a "
-                       "branch", epc);
+            UEXC_GUEST_ERROR(cpu.hartId(), epc, ea,
+                             "subpage emulation: BD set but 0x%08x is "
+                             "not a branch", epc);
         }
     }
     cp0.write(cp0reg::Epc, resume);
@@ -545,14 +583,19 @@ Kernel::doRiEmulate()
 void
 Kernel::doBadTrap()
 {
+    // The guest kernel diagnosed an inconsistency it cannot recover
+    // from (TLB/pmap disagreement, fault from kernel mode, malformed
+    // trap state). Surface it as a structured guest-visible error
+    // instead of killing the host process.
     const Cp0 &cp0 = machine_.cpu().cp0();
-    UEXC_FATAL("bad trap: cause=0x%08x (%s) epc=0x%08x badvaddr=0x%08x "
-               "status=0x%08x",
-               cp0.causeReg(),
-               excName(static_cast<ExcCode>(
-                   (cp0.causeReg() & cause::ExcCodeMask) >>
-                   cause::ExcCodeShift)),
-               cp0.epc(), cp0.badVAddr(), cp0.statusReg());
+    UEXC_GUEST_ERROR(
+        machine_.currentHart(), cp0.epc(), cp0.badVAddr(),
+        "bad trap: cause=0x%08x (%s) status=0x%08x",
+        cp0.causeReg(),
+        excName(static_cast<ExcCode>(
+            (cp0.causeReg() & cause::ExcCodeMask) >>
+            cause::ExcCodeShift)),
+        cp0.statusReg());
 }
 
 } // namespace uexc::os

@@ -199,6 +199,17 @@ class Kernel
     /** Set proc flags (eager amplification). */
     void svcUexcSetFlags(Process &p, Word flags);
 
+    /**
+     * Graceful degradation: demote @p p from user-vectored delivery
+     * back to kernel-mediated (Unix signal) delivery. Clears the
+     * process's fast-exception mask so the dispatcher's compatibility
+     * check takes the stock path, and drops the UV/UX status bits on
+     * the bound hart so hardware vectoring (when present) is off.
+     * Used by the handler watchdog and the save-page canary check;
+     * counted in deliveryDemotions().
+     */
+    void demoteDelivery(Process &p);
+
     // -- app upcall bridge -------------------------------------------------
 
     /**
@@ -244,6 +255,8 @@ class Kernel
 
     std::uint64_t subpageEmulations() const { return subpageEmuls_; }
     std::uint64_t riEmulations() const { return riEmuls_; }
+    /** Processes demoted to kernel-mediated delivery. */
+    std::uint64_t deliveryDemotions() const { return demotions_; }
 
   private:
     void onHcall(sim::Cpu &cpu, Word service);
@@ -277,6 +290,7 @@ class Kernel
     Word exitCode_ = 0;
     std::uint64_t subpageEmuls_ = 0;
     std::uint64_t riEmuls_ = 0;
+    std::uint64_t demotions_ = 0;
 };
 
 /**

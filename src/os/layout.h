@@ -51,6 +51,14 @@ constexpr Addr kUserDataBase = 0x10000000u;
 constexpr Addr kUserStackTop = 0x7ffff000u;   // stack grows down
 /** The pinned exception frame page (paper section 3.2). */
 constexpr Addr kUexcFramePage = 0x00380000u;
+/**
+ * First byte of the frame page past the 16 per-ExcCode frames
+ * (16 * 128 = 2048). The upper half of the pinned page is dead space;
+ * UserEnv fills it with a canary pattern and validates it around
+ * every fast-mode delivery (corruption demotes the process to
+ * kernel-mediated delivery).
+ */
+constexpr Word kUexcCanaryOffset = 2048;
 
 // -- page table entry soft bits --------------------------------------------
 //

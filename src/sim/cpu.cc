@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "sim/faultinject.h"
 
 namespace uexc::sim {
 
@@ -207,6 +208,8 @@ Cpu::tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
         TranslateResult tr = translateQuiet(slot, AccessType::Load);
         if (!tr.ok)
             return false;
+        if (static_cast<std::uint64_t>(tr.paddr) + 4 > mem_.size())
+            return false;  // table maps past memory: demote to kernel
         target = mem_.readWord(tr.paddr);
         charge(config_.cost.loadExtra + 1);
         if (config_.cachesEnabled && h_->dcache_ && tr.cacheable &&
@@ -323,6 +326,13 @@ Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
     TranslateResult tr = translate(ea, type);
     if (!tr.ok) {
         takeException(tr.exc, ea, true, tr.refill);
+        return false;
+    }
+    if (static_cast<std::uint64_t>(tr.paddr) + size > mem_.size()) {
+        // Beyond physical memory (kseg0/1 direct map past the end, or
+        // a corrupt TLB frame number): data bus error, as on a real
+        // R3000 when no device answers. BadVAddr is not written.
+        takeException(ExcCode::Dbe, 0, false, false);
         return false;
     }
     charge(type == AccessType::Store ? config_.cost.storeExtra
@@ -474,6 +484,12 @@ Cpu::step()
     TranslateResult tr = translate(h_->pc_, AccessType::Fetch);
     if (!tr.ok) {
         takeException(tr.exc, h_->pc_, true, tr.refill);
+        return;
+    }
+    if (static_cast<std::uint64_t>(tr.paddr) + 4 > mem_.size()) {
+        // Fetch beyond physical memory: instruction bus error (no
+        // BadVAddr), not a host crash.
+        takeException(ExcCode::Ibe, 0, false, false);
         return;
     }
     if (config_.cachesEnabled && tr.cacheable && h_->icache_) {
@@ -803,7 +819,14 @@ Cpu::runFast(InstCount max_insts)
 RunResult
 Cpu::run(InstCount max_insts)
 {
-    if (config_.fastInterpreter && h_->breakpoints_.empty())
+    // A fault injector only forces the reference loop while it has
+    // pending events for this hart; otherwise (none scheduled, or all
+    // delivered) execution is bit-identical to an injector-free run.
+    FaultInjector *injector = config_.faultInjector;
+    if (injector && !injector->wants(h_->id()))
+        injector = nullptr;
+
+    if (config_.fastInterpreter && h_->breakpoints_.empty() && !injector)
         return runFast(max_insts);
 
     RunResult result;
@@ -819,6 +842,8 @@ Cpu::run(InstCount max_insts)
             return result;
         }
         first = false;
+        if (injector)
+            injector->maybeFire(*this);
         InstCount before = h_->stats_.instructions;
         step();
         result.instsExecuted += h_->stats_.instructions - before;

@@ -1,0 +1,133 @@
+#include "sim/faultinject.h"
+
+#include "common/logging.h"
+#include "sim/cp0.h"
+#include "sim/cpu.h"
+#include "sim/hart.h"
+#include "sim/memory.h"
+#include "sim/tlb.h"
+
+namespace uexc::sim {
+
+namespace {
+
+/** beq zero, zero, -1: an address-independent branch-to-self. */
+constexpr Word kSelfLoop = 0x1000ffffu;
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::MemBitFlip:        return "MemBitFlip";
+      case FaultKind::TlbCorrupt:        return "TlbCorrupt";
+      case FaultKind::TlbSpuriousMiss:   return "TlbSpuriousMiss";
+      case FaultKind::SpuriousException: return "SpuriousException";
+      case FaultKind::HandlerRunaway:    return "HandlerRunaway";
+    }
+    return "?";
+}
+
+void
+FaultInjector::addEvent(const FaultEvent &event)
+{
+    pending_.push_back(event);
+}
+
+bool
+FaultInjector::wants(unsigned hart) const
+{
+    for (const FaultEvent &e : pending_)
+        if (e.hart == hart)
+            return true;
+    return false;
+}
+
+void
+FaultInjector::maybeFire(Cpu &cpu)
+{
+    unsigned hart = cpu.hartId();
+    InstCount now = cpu.instret();
+    for (std::size_t i = 0; i < pending_.size();) {
+        const FaultEvent &e = pending_[i];
+        if (e.hart != hart || now < e.atInst || !fire(cpu, e)) {
+            i++;
+            continue;
+        }
+        fired_.push_back({e, now, cpu.pc()});
+        pending_.erase(pending_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+bool
+FaultInjector::fire(Cpu &cpu, const FaultEvent &event)
+{
+    switch (event.kind) {
+      case FaultKind::MemBitFlip: {
+        Addr wa = event.addr & ~3u;
+        PhysMemory &mem = cpu.mem();
+        if (wa + 4 > mem.size())
+            UEXC_FATAL("faultinject: bit-flip target 0x%08x beyond "
+                       "physical memory", wa);
+        mem.writeWord(wa, mem.readWord(wa) ^ (1u << (event.bit & 31)));
+        return true;
+      }
+      case FaultKind::TlbCorrupt: {
+        unsigned idx = event.tlbIndex % Tlb::NumEntries;
+        const TlbEntry &e = cpu.tlb().entry(idx);
+        cpu.tlb().setEntry(idx, e.hi, e.lo & ~entrylo::V);
+        return true;
+      }
+      case FaultKind::TlbSpuriousMiss: {
+        // Evict: park the entry on the same impossible per-index kseg
+        // VPN Tlb::invalidate uses, so the next access to the old page
+        // takes a genuine refill and reloads the PTE.
+        unsigned idx = event.tlbIndex % Tlb::NumEntries;
+        cpu.tlb().setEntry(idx, 0x80000000u | (idx << 12), 0);
+        return true;
+      }
+      case FaultKind::SpuriousException: {
+        // Only meaningful (and only safe) for user-mode kuseg
+        // execution outside a branch delay slot: the refill handler is
+        // k0/k1-only and EPC must name a restartable instruction.
+        // Defer deterministically until the hart gets there.
+        if (!cpu.cp0().userMode() || cpu.pc() >= Cpu::Kseg0Base ||
+            cpu.hart().inDelaySlot())
+            return false;
+        cpu.injectException(ExcCode::TlbL, cpu.pc(), event.addr,
+                            /*refill=*/true);
+        return true;
+      }
+      case FaultKind::HandlerRunaway: {
+        Addr wa = event.addr & ~3u;
+        PhysMemory &mem = cpu.mem();
+        if (wa + 8 > mem.size())
+            UEXC_FATAL("faultinject: runaway target 0x%08x beyond "
+                       "physical memory", wa);
+        mem.writeWord(wa, kSelfLoop);
+        mem.writeWord(wa + 4, 0); // delay slot: nop
+        return true;
+      }
+    }
+    return true;
+}
+
+void
+FaultInjector::clear()
+{
+    pending_.clear();
+    fired_.clear();
+}
+
+std::uint64_t
+FaultInjector::splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace uexc::sim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection.
+ *
+ * A FaultInjector holds a list of FaultEvents, each bound to a hart
+ * and an instruction count. The interpreter's reference loop asks the
+ * injector before every step whether an event is due and, if so, the
+ * injector perturbs architectural or memory state in place:
+ *
+ *  - MemBitFlip: flip one bit of a physical-memory word,
+ *  - TlbCorrupt: clear the valid bit of a TLB entry *in place* (the
+ *    kernel's pmap consistency check then sees a TLB/PTE disagreement
+ *    and diagnoses a bad trap -> GuestError),
+ *  - TlbSpuriousMiss: evict a TLB entry entirely (park it on an
+ *    impossible VPN, the same idiom Tlb::invalidate uses) so the next
+ *    access takes a genuine, recoverable refill,
+ *  - SpuriousException: raise a synchronous TLB-refill exception that
+ *    the guest did not cause; the k0/k1-only refill handler repairs
+ *    it transparently,
+ *  - HandlerRunaway: overwrite the entry of the user-level exception
+ *    stub with a branch-to-self, forcing the delivery watchdog to
+ *    demote the process to kernel-mediated delivery.
+ *
+ * Determinism: events fire at fixed (hart, instret) points, all
+ * randomness comes from the caller via splitmix64(), and a machine
+ * whose injector has no pending events for a hart behaves
+ * bit-identically (state, cycles, stats) to one with no injector at
+ * all -- Cpu::run only leaves the predecoded fast path while events
+ * are pending.
+ */
+
+#ifndef UEXC_SIM_FAULTINJECT_H
+#define UEXC_SIM_FAULTINJECT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uexc::sim {
+
+class Cpu;
+
+/** The kinds of state perturbation the injector can apply. */
+enum class FaultKind {
+    MemBitFlip,        ///< flip one bit of a physical word
+    TlbCorrupt,        ///< clear V of a TLB entry in place
+    TlbSpuriousMiss,   ///< evict a TLB entry (recoverable refill)
+    SpuriousException, ///< raise an uncaused refill exception
+    HandlerRunaway,    ///< turn the user stub into an infinite loop
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled injection. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::MemBitFlip;
+    unsigned hart = 0;     ///< hart whose instruction stream triggers it
+    InstCount atInst = 0;  ///< fire once hart's instret() reaches this
+    Addr addr = 0;         ///< MemBitFlip/HandlerRunaway: physical
+                           ///< address; SpuriousException: bad vaddr
+    unsigned bit = 0;      ///< MemBitFlip: bit index (mod 32)
+    unsigned tlbIndex = 0; ///< Tlb*: entry index (mod NumEntries)
+};
+
+/** A delivered injection, for diagnosis. */
+struct FiredEvent {
+    FaultEvent event;
+    InstCount firedAt = 0; ///< instret() at delivery
+    Addr pc = 0;           ///< guest PC at delivery
+};
+
+class FaultInjector
+{
+  public:
+    /** Schedule an injection. */
+    void addEvent(const FaultEvent &event);
+
+    /**
+     * Whether any scheduled event for @p hart has not fired yet. The
+     * interpreter stays on the (hookless) fast path whenever this is
+     * false, which is what makes an idle injector zero-overhead.
+     */
+    bool wants(unsigned hart) const;
+
+    /**
+     * Fire every due event for the bound hart of @p cpu. Called by the
+     * reference interpreter loop before each step. SpuriousException
+     * events defer (stay pending) until the hart is in user mode, at a
+     * kuseg PC, and not in a branch delay slot; the deferral is itself
+     * deterministic.
+     */
+    void maybeFire(Cpu &cpu);
+
+    /** Events delivered so far, in delivery order. */
+    const std::vector<FiredEvent> &fired() const { return fired_; }
+
+    /** Events still waiting (including deferred ones). */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Drop all pending and fired events. */
+    void clear();
+
+    /**
+     * The shared PRNG step for everything seeded in this subsystem
+     * (campaign placement, unreliable-network rolls): advances
+     * @p state and returns 64 uniform bits. splitmix64 keeps every
+     * consumer clock- and platform-independent.
+     */
+    static std::uint64_t splitmix64(std::uint64_t &state);
+
+  private:
+    bool fire(Cpu &cpu, const FaultEvent &event);
+
+    std::vector<FaultEvent> pending_;
+    std::vector<FiredEvent> fired_;
+};
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_FAULTINJECT_H

@@ -38,6 +38,8 @@
 
 namespace uexc::sim {
 
+class FaultInjector;
+
 /** Machine configuration. */
 struct CpuConfig
 {
@@ -77,6 +79,13 @@ struct CpuConfig
     std::size_t icacheLineBytes = 16;
     std::size_t dcacheBytes = 64 * 1024;
     std::size_t dcacheLineBytes = 16;
+    /**
+     * Optional deterministic fault injector (not owned; must outlive
+     * the machine). A hart only leaves the predecoded fast path while
+     * the injector has pending events for it, so a null or drained
+     * injector is bit-identical to running without one.
+     */
+    FaultInjector *faultInjector = nullptr;
 };
 
 /** Aggregate execution statistics (per hart). */
@@ -124,6 +133,15 @@ class Hart
         npc_ = pc + 4;
         prevWasControl_ = false;
     }
+
+    /**
+     * Whether the next instruction to execute sits in a branch delay
+     * slot (the previous instruction was a taken-or-not control
+     * transfer). The fault injector must not raise a spurious
+     * exception here: restarting a delay-slot instruction needs the
+     * branch re-executed, so EPC would have to back up.
+     */
+    bool inDelaySlot() const { return prevWasControl_; }
 
     Cp0 &cp0() { return cp0_; }
     const Cp0 &cp0() const { return cp0_; }

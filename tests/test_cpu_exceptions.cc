@@ -389,6 +389,54 @@ TEST(CpuExceptions, InjectExceptionEntersKernelPath)
     EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
 }
 
+// An access past the end of physical memory is a bus error, not a
+// host-side panic: kseg0/kseg1 translate without the TLB, so nothing
+// earlier in the pipeline catches a wild physical address.
+
+TEST(CpuExceptions, LoadBeyondPhysicalMemoryRaisesDbe)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x82000000u);   // kseg0 alias of pa 32 MB
+        as.label("ld");
+        as.lw(V0, 0, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Dbe);
+}
+
+TEST(CpuExceptions, StoreBeyondPhysicalMemoryRaisesDbe)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0xa2000000u);   // kseg1 alias of pa 32 MB
+        as.sw(Zero, 0, T0);
+        as.hcall(0);
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Dbe);
+}
+
+TEST(CpuExceptions, FetchBeyondPhysicalMemoryRaisesIbe)
+{
+    BareMachine m;
+    installHaltingVectors(m.machine);
+    m.loadAsm([&](Assembler &as) {
+        as.li32(T0, 0x82000000u);
+        as.jr(T0);
+        as.nop();
+    });
+    m.runToHalt();
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(causeCode(m.cpu()), ExcCode::Ibe);
+    EXPECT_EQ(m.cpu().cp0().epc(), 0x82000000u);
+}
+
 TEST(CpuExceptions, PerCodeStatsAccumulate)
 {
     BareMachine m;

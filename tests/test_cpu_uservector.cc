@@ -229,6 +229,124 @@ TEST(UserVector, DelaySlotFaultReportsBdInCond)
     EXPECT_EQ(m.cpu().reg(T2) & 1u, 1u);  // BD flag in Cond bit 0
 }
 
+/** Like loadUser, but keeps the Program so tests can query labels. */
+Program
+loadUserProg(Machine &m, const std::function<void(Assembler &)> &body,
+             bool data_writable = true)
+{
+    Assembler a(kUserText);
+    body(a);
+    Program p = a.finalize();
+    m.mem().writeBlock(kUserTextPhys, p.words.data(),
+                       4 * p.words.size());
+    mapPage(m, kUserText, kUserTextPhys, 1, 0);
+    mapPage(m, kUserData, kUserDataPhys, 1, 1, data_writable);
+    enterUserMode(m, 1);
+    m.cpu().setPc(kUserText);
+    return p;
+}
+
+/**
+ * The handler's very first instruction faults (unaligned fetch at the
+ * vector target): delivery must demote to the kernel immediately, with
+ * UX still set so the kernel can tell it interrupted a user handler.
+ */
+TEST(UserVector, FaultAtHandlerFirstInstructionDemotes)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+
+    loadUser(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.addiu(T0, T0, 2);     // misaligned vector target
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);        // unaligned: AdEL -> user handler
+        a.hcall(0);
+        a.label("handler");
+        a.xret();
+    });
+
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 1u);
+    EXPECT_TRUE(m.cpu().cp0().statusReg() & status::UX);
+}
+
+/**
+ * The handler faults while saving state (its first store lands on a
+ * write-protected page): the recursive fault demotes to the kernel
+ * and the original fault's context in the UX registers is intact for
+ * the kernel to inspect.
+ */
+TEST(UserVector, FaultOnSaveAreaDemotesWithContextIntact)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+
+    Program p = loadUserProg(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.label("site");
+        a.lw(V0, 2, T1);        // unaligned: AdEL -> user handler
+        a.hcall(0);
+        a.label("handler");
+        a.sw(V0, 0, T1);        // save area is write-protected: Mod
+        a.xret();
+    }, /*data_writable=*/false);
+
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 1u);
+    EXPECT_TRUE(m.cpu().cp0().statusReg() & status::UX);
+    // the kernel sees the recursive fault...
+    EXPECT_EQ((m.cpu().cp0().causeReg() >> 2) & 0x1fu,
+              static_cast<Word>(ExcCode::Mod));
+    EXPECT_EQ(m.cpu().cp0().epc(), p.symbol("handler"));
+    // ...and the original one is still described by the UX registers
+    EXPECT_EQ(m.cpu().cp0().uxReg(UxReg::Epc), p.symbol("site"));
+    EXPECT_EQ(m.cpu().cp0().uxReg(UxReg::BadAddr), kUserData + 2);
+    EXPECT_EQ(m.cpu().cp0().uxReg(UxReg::Cond) >> 2,
+              static_cast<Word>(ExcCode::AdEL));
+}
+
+/**
+ * A fault in the delay slot of the handler's resume jump: demotion
+ * must report the branch PC (EPC = the jr) with Cause.BD set, the
+ * state the kernel needs to restart the jump correctly.
+ */
+TEST(UserVector, FaultInResumeJumpDelaySlotDemotesWithBd)
+{
+    Machine m(hwConfig());
+    installHaltingVectors(m);
+    m.cpu().cp0().setStatusReg(m.cpu().cp0().statusReg() | status::UV);
+
+    Program p = loadUserProg(m, [&](Assembler &a) {
+        a.la(T0, "handler");
+        a.mtux(T0, UxReg::Target);
+        a.li32(T1, kUserData);
+        a.lw(V0, 2, T1);        // unaligned: AdEL -> user handler
+        a.label("resume");
+        a.hcall(0);
+        a.label("handler");
+        a.la(T5, "resume");
+        a.label("resume_jr");
+        a.jr(T5);
+        a.lw(V0, 1, T1);        // delay slot: unaligned, faults
+    });
+
+    m.cpu().run(1000);
+    EXPECT_EQ(m.cpu().reg(K0), kGeneralMark);
+    EXPECT_EQ(m.cpu().stats().userVectoredExceptions, 1u);
+    EXPECT_TRUE(m.cpu().cp0().statusReg() & status::UX);
+    EXPECT_TRUE(m.cpu().cp0().causeReg() & cause::BD);
+    EXPECT_EQ(m.cpu().cp0().epc(), p.symbol("resume_jr"));
+    EXPECT_EQ(m.cpu().cp0().badVAddr(), kUserData + 1);
+}
+
 TEST(UserVector, Cop3WithoutHardwareRaisesRi)
 {
     Machine m;  // default: no user-vector hardware

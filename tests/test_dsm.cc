@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/dsm/dsm.h"
+#include "common/guesterror.h"
 
 namespace uexc::apps {
 namespace {
@@ -176,6 +177,91 @@ TEST(Dsm, SharedMachinePlacementMatchesSeparateMachines)
         return dsm.stats().writeFaults;
     };
     EXPECT_EQ(faults(true), faults(false));
+}
+
+// -- unreliable network --------------------------------------------------
+
+/** A deterministic workload; returns the final shared contents. */
+std::vector<Word>
+runWorkload(DsmCluster &dsm)
+{
+    for (Word i = 0; i < 24; i++) {
+        unsigned writer = i % 2;
+        dsm.write(writer, kBase + 4 * (i % 16), i * 3 + 1);
+        dsm.write(writer, kBase + os::kPageBytes + 4 * (i % 16), i);
+        (void)dsm.read(1 - writer, kBase + 4 * (i % 16));
+    }
+    std::vector<Word> words;
+    for (Word off = 0; off < 16 * 4; off += 4) {
+        words.push_back(dsm.read(0, kBase + off));
+        words.push_back(dsm.read(0, kBase + os::kPageBytes + off));
+    }
+    return words;
+}
+
+DsmCluster::Config
+lossyCluster(unsigned loss, unsigned dup, unsigned delay,
+             std::uint64_t seed = 42)
+{
+    DsmCluster::Config cfg = smallCluster();
+    cfg.unreliableNetwork = true;
+    cfg.networkSeed = seed;
+    cfg.lossPercent = loss;
+    cfg.dupPercent = dup;
+    cfg.delayPercent = delay;
+    return cfg;
+}
+
+TEST(DsmUnreliable, LossyRunConvergesToLosslessContents)
+{
+    DsmCluster reliable(smallCluster());
+    std::vector<Word> want = runWorkload(reliable);
+
+    DsmCluster lossy(lossyCluster(20, 10, 10));
+    EXPECT_EQ(runWorkload(lossy), want);
+
+    // the retry machinery actually engaged
+    EXPECT_GT(lossy.stats().retries, 0u);
+    EXPECT_GT(lossy.stats().timeouts, 0u);
+    EXPECT_GT(lossy.stats().duplicatesSuppressed, 0u);
+    EXPECT_GT(lossy.stats().messages, reliable.stats().messages);
+    // and cost simulated time: timeouts charge the waiting node
+    EXPECT_GT(lossy.totalCycles(), reliable.totalCycles());
+}
+
+TEST(DsmUnreliable, ReliableModeIsUnchangedByTheNewPlumbing)
+{
+    // unreliableNetwork=false must be bit-identical to the old
+    // chargeMessage accounting: no retries, no timeouts, no dups
+    DsmCluster dsm(smallCluster());
+    runWorkload(dsm);
+    EXPECT_EQ(dsm.stats().retries, 0u);
+    EXPECT_EQ(dsm.stats().timeouts, 0u);
+    EXPECT_EQ(dsm.stats().duplicatesSuppressed, 0u);
+}
+
+TEST(DsmUnreliable, FixedSeedIsDeterministic)
+{
+    DsmCluster a(lossyCluster(25, 15, 10, 7));
+    DsmCluster b(lossyCluster(25, 15, 10, 7));
+    EXPECT_EQ(runWorkload(a), runWorkload(b));
+    EXPECT_EQ(a.stats().messages, b.stats().messages);
+    EXPECT_EQ(a.stats().retries, b.stats().retries);
+    EXPECT_EQ(a.stats().timeouts, b.stats().timeouts);
+    EXPECT_EQ(a.stats().duplicatesSuppressed,
+              b.stats().duplicatesSuppressed);
+    EXPECT_EQ(a.totalCycles(), b.totalCycles());
+
+    DsmCluster c(lossyCluster(25, 15, 10, 8));
+    EXPECT_NE(a.stats().messages, c.stats().messages);
+    EXPECT_EQ(runWorkload(c), runWorkload(a));  // contents still agree
+}
+
+TEST(DsmUnreliable, TotalLossIsDiagnosedAsPartition)
+{
+    DsmCluster dsm(lossyCluster(100, 0, 0));
+    dsm.write(0, kBase, 1);                  // owner: no messages
+    EXPECT_THROW(dsm.read(1, kBase), GuestError);
 }
 
 } // namespace

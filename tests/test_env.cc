@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/guesterror.h"
 #include "common/logging.h"
 #include "os_test_util.h"
 
@@ -399,7 +400,7 @@ TEST(EnvErrors, FaultWithoutHandlerIsFatal)
     env.install(kAllExcMask);
     env.allocate(kHeap, kPageBytes);
     env.protect(kHeap, kPageBytes, kProtRead);
-    EXPECT_THROW(env.store(kHeap, 1), FatalError);
+    EXPECT_THROW(env.store(kHeap, 1), GuestError);
     setLoggingEnabled(true);
 }
 

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/guesterror.h"
 #include "common/logging.h"
 #include "core/stubs.h"
 #include "os_test_util.h"
@@ -393,7 +394,7 @@ TEST(GuestSyscall, SyscallInBranchDelaySlotIsFatal)
         a.j("next");
         a.nop();
     });
-    EXPECT_THROW(rig.cpu().run(10000), FatalError);
+    EXPECT_THROW(rig.cpu().run(10000), GuestError);
     setLoggingEnabled(true);
 }
 
