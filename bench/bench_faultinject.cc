@@ -9,14 +9,21 @@
  *    price a process pays after the watchdog or canary trips,
  *  - the cost of recovering from one injected spurious TLB refill,
  *  - DSM miss cost under increasing message-loss rates (timeouts,
- *    backoff, and retransmissions, all in simulated cycles).
+ *    backoff, and retransmissions, all in simulated cycles),
+ *  - a seeded chaos campaign sweep whose first diagnosing seed is
+ *    shrunk to a minimal repro window and saved as a repro file, so
+ *    the printed `uexc-snap replay` line reproduces the failure
+ *    without rerunning the campaign from boot.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "apps/dsm/dsm.h"
 #include "bench_util.h"
+#include "common/logging.h"
+#include "core/chaos.h"
 #include "core/env.h"
 #include "os/kernel.h"
 #include "sim/faultinject.h"
@@ -182,6 +189,50 @@ main()
     }
     noteLine("loss costs timeouts (50k cycles, doubling per retry) "
              "plus retransmissions");
+
+    section("chaos campaign: minimal repro emission");
+    {
+        setLoggingEnabled(false);
+        rt::chaos::Reference ref = rt::chaos::makeReference();
+        unsigned scanned = 0, diagnosed = 0;
+        bool emitted = false;
+        for (std::uint64_t seed = 0x7001; seed <= 0x7190; seed++) {
+            scanned++;
+            rt::chaos::CampaignOutcome out =
+                rt::chaos::runCampaign(seed, ref.window, ref.words);
+            if (!out.diagnosed || emitted)
+                continue;
+            diagnosed++;
+            rt::chaos::ReproWindow repro =
+                rt::chaos::shrinkCampaign(seed, ref.window, ref.words);
+            if (!repro.found)
+                continue;
+            std::string dir = ".";
+            if (const char *d = std::getenv("UEXC_REPRO_DIR"))
+                dir = d;
+            std::string path = dir + "/bench_chaos_repro.uxsn";
+            rt::chaos::writeReproFile(repro, path);
+            std::printf("  seed 0x%llx diagnosed at op %u; shrunk to "
+                        "ops [%u, %u) of %u\n",
+                        static_cast<unsigned long long>(seed),
+                        out.failOp, repro.startOp, repro.endOp,
+                        rt::chaos::kTotalOps);
+            std::printf("  %s\n",
+                        rt::chaos::reproCommandLine(path).c_str());
+            json.metric("repro_window_ops",
+                        static_cast<double>(repro.endOp -
+                                            repro.startOp),
+                        "ops");
+            json.metric("repro_file_bytes",
+                        static_cast<double>(repro.snapshot.size()),
+                        "bytes");
+            emitted = true;
+        }
+        if (!emitted)
+            noteLine("no diagnosing seed in the scanned range");
+        std::printf("  scanned %u seeds\n", scanned);
+        setLoggingEnabled(true);
+    }
 
     return 0;
 }

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Checkpoint/restore cost: what a snapshot weighs, what taking and
+ * loading one costs in host time, how hard the divergence finder
+ * shrinks a failing chaos campaign, and — the regression gate — how
+ * much periodically checkpointing a running interpreter slows it
+ * down. The gate mirrors bench_simspeed's BM_InterpreterLoop workload
+ * and fails the bench (nonzero exit) when periodic checkpoints cost
+ * more than 5% wall time, unless the baseline is too short to time
+ * reliably (<30 ms), in which case the gate is reported as skipped.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "core/chaos.h"
+#include "os/kernel.h"
+#include "sim/machine.h"
+#include "sim/snapshot.h"
+
+using namespace uexc;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Nonzero physical pages, for the raw-vs-elided comparison. */
+unsigned
+nonzeroPages(sim::Machine &m)
+{
+    std::vector<Word> page(os::kPageBytes / 4);
+    unsigned nonzero = 0;
+    for (Addr pa = 0; pa < m.mem().size(); pa += os::kPageBytes) {
+        m.mem().readBlock(pa, page.data(), os::kPageBytes);
+        for (Word w : page) {
+            if (w != 0) {
+                nonzero++;
+                break;
+            }
+        }
+    }
+    return nonzero;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Checkpoint/restore: snapshot weight, host cost, shrink "
+           "factor, overhead gate");
+    bench::JsonResults json("snapshot");
+    setLoggingEnabled(false);
+
+    unsigned rounds = 50;
+    if (const char *iters = std::getenv("UEXC_BENCH_ITERS"))
+        rounds = static_cast<unsigned>(std::atoi(iters));
+    json.config("rounds", static_cast<double>(rounds));
+
+    section("snapshot size: raw vs zero-elided");
+    {
+        rt::chaos::Rig rig;
+        rig.runTo(rt::chaos::kChaosOps);
+        sim::Machine &m = rig.machine();
+        std::vector<Byte> image = rig.checkpoint();
+        unsigned pages = nonzeroPages(m);
+        unsigned total_pages =
+            static_cast<unsigned>(m.mem().size() / os::kPageBytes);
+        double raw = static_cast<double>(image.size()) +
+                     static_cast<double>(total_pages - pages) *
+                         os::kPageBytes;
+        std::printf("  memory footprint: %8.0f KiB (%u pages, %u "
+                    "nonzero)\n",
+                    m.mem().size() / 1024.0, total_pages, pages);
+        std::printf("  raw image:        %8.0f KiB\n", raw / 1024.0);
+        std::printf("  elided image:     %8.0f KiB (x%.1f smaller)\n",
+                    image.size() / 1024.0, raw / image.size());
+        json.metric("image_raw", raw, "bytes");
+        json.metric("image_elided", static_cast<double>(image.size()),
+                    "bytes");
+    }
+
+    section("checkpoint/restore host cost (booted chaos rig)");
+    {
+        // a checkpoint is tens of host-ms; cap the timing loop so the
+        // CI smoke sweep's large UEXC_BENCH_ITERS stays a smoke test
+        rounds = std::min(rounds, 100u);
+        rt::chaos::Rig rig;
+        rig.runTo(rt::chaos::kChaosOps);
+        std::vector<Byte> image = rig.checkpoint();
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < rounds; i++)
+            image = rig.checkpoint();
+        double ckpt_ms = msSince(t0) / rounds;
+
+        rt::chaos::Rig twin;
+        t0 = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < rounds; i++)
+            twin.restore(image);
+        double restore_ms = msSince(t0) / rounds;
+
+        std::printf("  checkpoint: %8.3f ms\n", ckpt_ms);
+        std::printf("  restore:    %8.3f ms\n", restore_ms);
+        json.metric("checkpoint_host", ckpt_ms, "ms");
+        json.metric("restore_host", restore_ms, "ms");
+    }
+
+    section("divergence finder: shrink factor");
+    {
+        rt::chaos::Reference ref = rt::chaos::makeReference();
+        unsigned found = 0;
+        double window_sum = 0;
+        double repro_bytes = 0;
+        for (std::uint64_t seed = 0x7001;
+             seed <= 0x7190 && found < 3; seed++) {
+            rt::chaos::CampaignOutcome out =
+                rt::chaos::runCampaign(seed, ref.window, ref.words);
+            if (!out.diagnosed)
+                continue;
+            rt::chaos::ReproWindow repro =
+                rt::chaos::shrinkCampaign(seed, ref.window, ref.words);
+            if (!repro.found)
+                continue;
+            found++;
+            window_sum += repro.endOp - repro.startOp;
+            repro_bytes += static_cast<double>(repro.snapshot.size());
+            std::printf("  seed 0x%llx: ops [%u, %u) of %u (x%.1f "
+                        "shorter)\n",
+                        static_cast<unsigned long long>(seed),
+                        repro.startOp, repro.endOp,
+                        rt::chaos::kTotalOps,
+                        static_cast<double>(rt::chaos::kTotalOps) /
+                            (repro.endOp - repro.startOp));
+        }
+        if (found > 0) {
+            double avg_window = window_sum / found;
+            json.metric("shrink_avg_window_ops", avg_window, "ops");
+            json.metric("shrink_factor",
+                        rt::chaos::kTotalOps / avg_window, "x");
+            json.metric("repro_snapshot_avg", repro_bytes / found,
+                        "bytes");
+        } else {
+            noteLine("no diagnosing seed in the scanned range");
+        }
+    }
+
+    section("periodic-checkpoint overhead gate (BM_InterpreterLoop)");
+    int gate_rc = 0;
+    {
+        // The bench_simspeed interpreter loop, run for a fixed
+        // instruction budget with and without a checkpoint every
+        // kInterval instructions.
+        constexpr InstCount kTotal = 20'000'000;
+        constexpr InstCount kInterval = 2'000'000;
+
+        auto timeRun = [&](bool checkpoints) {
+            sim::MachineConfig cfg;
+            cfg.memBytes = 1 << 20;
+            cfg.cpu.fastInterpreter = true;
+            sim::Machine m(cfg);
+            sim::Assembler a(0x80010000);
+            a.label("loop");
+            a.addiu(sim::T0, sim::T0, 1);
+            a.addiu(sim::T1, sim::T1, -1);
+            a.bne(sim::T1, sim::Zero, "loop");
+            a.nop();
+            a.hcall(0);
+            m.load(a.finalize());
+            m.cpu().setReg(sim::T1, 0x7fffffff);
+            m.cpu().setPc(0x80010000);
+            std::vector<Byte> image;
+            auto t0 = std::chrono::steady_clock::now();
+            for (InstCount done = 0; done < kTotal; done += kInterval) {
+                m.run(kInterval);
+                if (checkpoints)
+                    image = m.checkpoint();
+            }
+            return msSince(t0);
+        };
+
+        // best of three per configuration: a single run of either
+        // leg jitters by several ms on a shared host, which is the
+        // same order as the ten checkpoints being measured
+        (void)timeRun(false); // warm up
+        double base_ms = timeRun(false);
+        double ckpt_ms = timeRun(true);
+        for (int trial = 0; trial < 2; trial++) {
+            base_ms = std::min(base_ms, timeRun(false));
+            ckpt_ms = std::min(ckpt_ms, timeRun(true));
+        }
+        double overhead = (ckpt_ms - base_ms) / base_ms * 100.0;
+        std::printf("  plain run:          %8.1f ms\n", base_ms);
+        std::printf("  with checkpoints:   %8.1f ms (%u checkpoints)\n",
+                    ckpt_ms,
+                    static_cast<unsigned>(kTotal / kInterval));
+        std::printf("  overhead:           %8.2f %%\n", overhead);
+        json.metric("interp_loop_baseline", base_ms, "ms");
+        json.metric("interp_loop_checkpointed", ckpt_ms, "ms");
+        json.metric("checkpoint_overhead", overhead, "percent");
+        if (base_ms < 30.0) {
+            noteLine("gate skipped: baseline under 30 ms is too noisy "
+                     "to judge");
+        } else if (overhead > 5.0) {
+            noteLine("GATE FAILED: periodic checkpoints cost more "
+                     "than 5% wall time");
+            gate_rc = 1;
+        } else {
+            noteLine("gate passed: overhead within the 5% budget");
+        }
+    }
+
+    json.write();
+    return gate_rc;
+}

@@ -5,10 +5,28 @@
 #include "common/logging.h"
 #include "core/microbench.h"
 #include "sim/faultinject.h"
+#include "sim/snapshot.h"
 
 namespace uexc::apps {
 
 using namespace os;
+
+namespace {
+
+// Cluster-image section tags (the nested machine blobs carry the
+// machine-level tags inside their own images).
+constexpr Word kTagDsmConfig = sim::snapshotTag('D', 'C', 'F', 'G');
+constexpr Word kTagDsmPages = sim::snapshotTag('D', 'P', 'G', 'S');
+constexpr Word kTagDsmStats = sim::snapshotTag('D', 'S', 'T', 'A');
+constexpr Word kTagDsmNet = sim::snapshotTag('D', 'N', 'E', 'T');
+
+Word
+dsmMachineTag(unsigned node)
+{
+    return sim::snapshotTag('M', 'C', 'H', '\0') | (Word(node) << 24);
+}
+
+} // namespace
 
 DsmCluster::DsmCluster(const Config &config)
     : config_(config)
@@ -259,6 +277,177 @@ unsigned
 DsmCluster::ownerOf(Addr va) const
 {
     return pages_[pageIndex(va)].owner;
+}
+
+std::vector<Byte>
+DsmCluster::checkpoint() const
+{
+    sim::SnapshotWriter w;
+
+    w.beginSection(kTagDsmConfig);
+    w.u32(config_.nodes);
+    w.u32(config_.base);
+    w.u32(config_.bytes);
+    w.u32(static_cast<Word>(config_.mode));
+    w.boolean(config_.sharedMachine);
+    w.boolean(config_.fastInterpreter);
+    w.boolean(config_.hardwareExtensions);
+    w.boolean(config_.unreliableNetwork);
+    w.endSection();
+
+    w.beginSection(kTagDsmPages);
+    w.u32(static_cast<Word>(pages_.size()));
+    for (const PageInfo &p : pages_) {
+        w.u32(p.owner);
+        for (DsmPageState s : p.states)
+            w.u8(static_cast<std::uint8_t>(s));
+    }
+    w.endSection();
+
+    w.beginSection(kTagDsmStats);
+    w.u64(stats_.readFaults);
+    w.u64(stats_.writeFaults);
+    w.u64(stats_.pageTransfers);
+    w.u64(stats_.invalidations);
+    w.u64(stats_.messages);
+    w.u64(stats_.retries);
+    w.u64(stats_.timeouts);
+    w.u64(stats_.duplicatesSuppressed);
+    w.endSection();
+
+    w.beginSection(kTagDsmNet);
+    w.u32(static_cast<Word>(sendSeq_.size()));
+    for (std::uint64_t s : sendSeq_)
+        w.u64(s);
+    for (std::uint64_t s : recvSeq_)
+        w.u64(s);
+    w.u64(rng_);
+    w.endSection();
+
+    unsigned machines = sharedMachine_ ? 1 : nodes();
+    for (unsigned m = 0; m < machines; m++) {
+        const sim::Machine &mach =
+            sharedMachine_ ? *sharedMachine_ : *nodes_[m].machine;
+        std::vector<Byte> blob = mach.checkpoint();
+        w.beginSection(dsmMachineTag(m));
+        w.u64(blob.size());
+        w.bytes(blob.data(), blob.size());
+        w.endSection();
+    }
+
+    return w.finish();
+}
+
+void
+DsmCluster::restore(const std::vector<Byte> &image)
+{
+    sim::SnapshotImage img(image);
+
+    sim::SnapshotReader cfg = img.section(kTagDsmConfig);
+    auto check = [&cfg](const char *field, std::uint64_t image_v,
+                        std::uint64_t live_v) {
+        if (image_v != live_v) {
+            cfg.fail(std::string("dsm config mismatch: ") + field +
+                     " is " + std::to_string(image_v) +
+                     " in the image but " + std::to_string(live_v) +
+                     " in this cluster");
+        }
+    };
+    check("nodes", cfg.u32(), config_.nodes);
+    check("base", cfg.u32(), config_.base);
+    check("bytes", cfg.u32(), config_.bytes);
+    check("mode", cfg.u32(), static_cast<Word>(config_.mode));
+    check("sharedMachine", cfg.boolean(), config_.sharedMachine);
+    check("fastInterpreter", cfg.boolean(), config_.fastInterpreter);
+    check("hardwareExtensions", cfg.boolean(),
+          config_.hardwareExtensions);
+    check("unreliableNetwork", cfg.boolean(),
+          config_.unreliableNetwork);
+    cfg.expectEnd();
+
+    // Parse and validate every cluster-level payload into locals
+    // before mutating anything.
+    sim::SnapshotReader pr = img.section(kTagDsmPages);
+    Word npages = pr.u32();
+    if (npages != pages_.size())
+        pr.fail("page count mismatch");
+    std::vector<PageInfo> pages(npages);
+    for (PageInfo &p : pages) {
+        p.owner = pr.u32();
+        if (p.owner >= config_.nodes)
+            pr.fail("page owner out of range");
+        p.states.resize(config_.nodes);
+        for (DsmPageState &s : p.states) {
+            std::uint8_t raw = pr.u8();
+            if (raw > static_cast<std::uint8_t>(DsmPageState::Writable))
+                pr.fail("bad page state");
+            s = static_cast<DsmPageState>(raw);
+        }
+    }
+    pr.expectEnd();
+
+    sim::SnapshotReader sr = img.section(kTagDsmStats);
+    DsmStats stats;
+    stats.readFaults = sr.u64();
+    stats.writeFaults = sr.u64();
+    stats.pageTransfers = sr.u64();
+    stats.invalidations = sr.u64();
+    stats.messages = sr.u64();
+    stats.retries = sr.u64();
+    stats.timeouts = sr.u64();
+    stats.duplicatesSuppressed = sr.u64();
+    sr.expectEnd();
+
+    sim::SnapshotReader nr = img.section(kTagDsmNet);
+    Word nlinks = nr.u32();
+    if (nlinks != sendSeq_.size())
+        nr.fail("link count mismatch");
+    std::vector<std::uint64_t> send(nlinks), recv(nlinks);
+    for (std::uint64_t &s : send)
+        s = nr.u64();
+    for (std::uint64_t &s : recv)
+        s = nr.u64();
+    std::uint64_t rng = nr.u64();
+    nr.expectEnd();
+
+    unsigned machines = sharedMachine_ ? 1u : nodes();
+    for (const sim::SnapshotSection &sec : img.sections()) {
+        if (sec.tag == kTagDsmConfig || sec.tag == kTagDsmPages ||
+            sec.tag == kTagDsmStats || sec.tag == kTagDsmNet) {
+            continue;
+        }
+        bool known = false;
+        for (unsigned m = 0; m < machines && !known; m++)
+            known = sec.tag == dsmMachineTag(m);
+        if (!known) {
+            throw sim::SnapshotError(
+                "dsm image carries section '" +
+                sim::snapshotTagName(sec.tag) +
+                "' this cluster has no consumer for");
+        }
+    }
+
+    // Machine restores validate their own images in full before
+    // mutating; the directory/state commit below happens only after
+    // every machine accepted its blob.
+    for (unsigned m = 0; m < machines; m++) {
+        sim::SnapshotReader mr = img.section(dsmMachineTag(m));
+        std::uint64_t len = mr.u64();
+        if (len != mr.remaining())
+            mr.fail("machine blob length mismatch");
+        std::vector<Byte> blob(len);
+        mr.bytes(blob.data(), blob.size());
+        mr.expectEnd();
+        sim::Machine &mach =
+            sharedMachine_ ? *sharedMachine_ : *nodes_[m].machine;
+        mach.restore(blob);
+    }
+
+    pages_ = std::move(pages);
+    stats_ = stats;
+    sendSeq_ = std::move(send);
+    recvSeq_ = std::move(recv);
+    rng_ = rng;
 }
 
 Cycles

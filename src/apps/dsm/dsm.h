@@ -118,6 +118,21 @@ class DsmCluster
     /** Total simulated cycles across all nodes. */
     Cycles totalCycles() const;
 
+    /**
+     * Serialize the whole cluster: directory (owner + per-node page
+     * states), protocol statistics, per-link sequence numbers, the
+     * network RNG, and a nested machine snapshot per simulated
+     * machine (each carrying its kernel and UserEnv sections, which
+     * boot()/install() registered during construction). restore()
+     * targets a cluster built with an identical Config — the config
+     * echo in the image is validated field by field, and any mismatch
+     * or corruption raises sim::SnapshotError before cluster state is
+     * touched. Only meaningful between read()/write() operations
+     * (never from inside a fault handler).
+     */
+    std::vector<Byte> checkpoint() const;
+    void restore(const std::vector<Byte> &image);
+
   private:
     struct Node
     {

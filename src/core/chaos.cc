@@ -1,0 +1,427 @@
+#include "core/chaos.h"
+
+#include <algorithm>
+
+#include "common/guesterror.h"
+#include "common/logging.h"
+#include "sim/snapshot.h"
+
+namespace uexc::rt::chaos {
+
+namespace {
+
+/** Repro-file sections: metadata plus the nested rig snapshot. */
+constexpr Word kTagRepro = sim::snapshotTag('R', 'P', 'R', 'O');
+constexpr Word kTagReproSnap = sim::snapshotTag('R', 'S', 'N', 'P');
+
+} // namespace
+
+// -- Rig --------------------------------------------------------------------
+
+Rig::Rig(sim::FaultInjector *injector, const RigConfig &config)
+    : config_(config), injector_(injector)
+{
+    sim::MachineConfig mcfg;
+    mcfg.cpu.userVectorHw = config.hardwareExtensions;
+    mcfg.cpu.tlbmpHw = config.hardwareExtensions;
+    mcfg.cpu.fastInterpreter = config.fastInterpreter;
+    mcfg.cpu.faultInjector = injector;
+    machine_ = std::make_unique<sim::Machine>(mcfg);
+    kernel_ = std::make_unique<os::Kernel>(*machine_);
+    kernel_->boot();
+    env_ = std::make_unique<UserEnv>(*kernel_,
+                                     DeliveryMode::FastSoftware);
+    env_->install(0xffff);
+    env_->allocate(kRegion, kRegionBytes);
+    env_->allocate(kScratch, os::kPageBytes);
+    env_->setHandler([this](Fault &) {
+        // Idempotent recovery: make the whole region writable.
+        env_->protect(kRegion, kRegionBytes,
+                      os::kProtRead | os::kProtWrite);
+    });
+    env_->store(kScratch, 0x5c5c5c5cu); // map it for good
+    env_->setHandlerBudget(config.handlerBudget);
+
+    if (injector_) {
+        machine_->registerSnapshotSection(
+            sim::snapshotTag('F', 'I', 'N', 'J'),
+            [this](sim::SnapshotWriter &w) {
+                injector_->snapshotSave(w);
+            },
+            [this](sim::SnapshotReader &r) {
+                injector_->snapshotLoad(r);
+            });
+    }
+    machine_->registerSnapshotSection(
+        sim::snapshotTag('C', 'R', 'I', 'G'),
+        [this](sim::SnapshotWriter &w) {
+            w.u32(cursor_);
+            w.u32(static_cast<Word>(words_.size()));
+            for (Word word : words_)
+                w.u32(word);
+        },
+        [this](sim::SnapshotReader &r) {
+            Word cursor = r.u32();
+            if (cursor > kTotalOps)
+                r.fail("rig op cursor out of range");
+            Word nwords = r.u32();
+            unsigned reads_done =
+                cursor > kChaosOps + kFinalWords
+                    ? cursor - (kChaosOps + kFinalWords)
+                    : 0;
+            if (nwords != reads_done)
+                r.fail("rig word count inconsistent with op cursor");
+            std::vector<Word> words(nwords);
+            for (Word &word : words)
+                word = r.u32();
+            cursor_ = cursor;
+            words_ = std::move(words);
+        });
+}
+
+void
+Rig::restore(const std::vector<Byte> &image)
+{
+    machine_->restore(image);
+}
+
+void
+Rig::runTo(unsigned op)
+{
+    if (op > kTotalOps)
+        UEXC_FATAL("chaos: op %u past the end of the campaign", op);
+    while (cursor_ < op) {
+        runOp(cursor_);
+        cursor_++;
+    }
+}
+
+void
+Rig::runOp(unsigned op)
+{
+    if (op < kChaosOps) {
+        // Protection-fault churn: the window injections land in.
+        unsigned round = op / kOpsPerRound;
+        unsigned step = op % kOpsPerRound;
+        if (step == 0) {
+            env_->protect(kRegion, kRegionBytes, os::kProtRead);
+        } else if (step <= 8) {
+            unsigned i = step - 1;
+            Addr va = kRegion + ((round * 8 + i) * 132u) % kRegionBytes;
+            env_->store(va & ~3u, round * 100 + i);
+        } else if (step <= 12) {
+            unsigned i = step - 9;
+            (void)env_->load(kRegion + (i * 292u) % kRegionBytes);
+        } else {
+            (void)env_->load(kScratch);
+        }
+        return;
+    }
+
+    unsigned f = op - kChaosOps;
+    if (f == 0 && injector_ != nullptr) {
+        // Close the injection window before recovery rewrites the
+        // region; still-pending events never fired.
+        injector_->clear();
+    }
+    if (f < kFinalWords) {
+        Word off = f * kCheckStride;
+        env_->store(kRegion + off, 0xabcd0000u + off);
+    } else {
+        Word off = (f - kFinalWords) * kCheckStride;
+        words_.push_back(env_->load(kRegion + off));
+    }
+}
+
+// -- campaigns --------------------------------------------------------------
+
+std::vector<sim::FaultEvent>
+planEvents(std::uint64_t seed, InstCount window, Rig &rig,
+           bool *may_diagnose)
+{
+    using sim::FaultInjector;
+    using sim::FaultKind;
+
+    std::vector<sim::FaultEvent> events;
+    bool may = false;
+    std::uint64_t rng = seed;
+    unsigned nevents = 1 + FaultInjector::splitmix64(rng) % 3;
+    for (unsigned i = 0; i < nevents; i++) {
+        sim::FaultEvent e;
+        e.kind =
+            static_cast<FaultKind>(FaultInjector::splitmix64(rng) % 5);
+        e.hart = 0;
+        e.atInst = rig.env().cpu().instret() +
+                   FaultInjector::splitmix64(rng) % window;
+        switch (e.kind) {
+          case FaultKind::MemBitFlip: {
+            // Confined to the workload region: the recovery contract
+            // (final rewrite) covers exactly this memory.
+            Word off = static_cast<Word>(FaultInjector::splitmix64(rng) %
+                                         kRegionBytes) &
+                       ~3u;
+            e.addr =
+                rig.physOf(kRegion + (off & ~(os::kPageBytes - 1))) +
+                (off & (os::kPageBytes - 1));
+            e.bit = FaultInjector::splitmix64(rng) % 32;
+            break;
+          }
+          case FaultKind::TlbCorrupt:
+          case FaultKind::TlbSpuriousMiss:
+            e.tlbIndex =
+                static_cast<unsigned>(FaultInjector::splitmix64(rng));
+            // Only in-place corruption may end in a diagnosis (the
+            // pmap consistency check); an eviction always recovers.
+            may |= e.kind == FaultKind::TlbCorrupt;
+            break;
+          case FaultKind::SpuriousException:
+            // Always transparent since the injector masks the stub's
+            // K0 resume window (the PR 4 hazard): the refill lands
+            // one instruction later, where k0 is dead.
+            e.addr = kScratch;
+            break;
+          case FaultKind::HandlerRunaway: {
+            Addr page = rig.env().stubAddr() & ~(os::kPageBytes - 1);
+            e.addr = rig.physOf(page) +
+                     (rig.env().stubAddr() & (os::kPageBytes - 1));
+            break;
+          }
+        }
+        events.push_back(e);
+    }
+    if (may_diagnose != nullptr)
+        *may_diagnose = may;
+    return events;
+}
+
+Reference
+makeReference(const RigConfig &config)
+{
+    Reference ref;
+    Rig rig(nullptr, config);
+    rig.runTo(kChaosOps);
+    ref.window = rig.env().cpu().instret();
+    rig.run();
+    ref.words = rig.words();
+    return ref;
+}
+
+CampaignOutcome
+runCampaign(std::uint64_t seed, InstCount window,
+            const std::vector<Word> &reference, const RigConfig &config,
+            unsigned checkpoint_every_ops,
+            std::vector<CampaignCheckpoint> *checkpoints)
+{
+    CampaignOutcome out;
+    sim::FaultInjector inj;
+    std::unique_ptr<Rig> rig;
+    try {
+        rig = std::make_unique<Rig>(&inj, config);
+        bool may = false;
+        for (const sim::FaultEvent &e :
+             planEvents(seed, window, *rig, &may)) {
+            inj.addEvent(e);
+        }
+        out.mayDiagnose = may;
+
+        while (!rig->done()) {
+            if (checkpoint_every_ops != 0 && checkpoints != nullptr &&
+                rig->cursor() % checkpoint_every_ops == 0) {
+                checkpoints->push_back({rig->cursor(),
+                                        rig->env().cpu().instret(),
+                                        rig->checkpoint()});
+            }
+            unsigned next =
+                checkpoint_every_ops != 0
+                    ? std::min(kTotalOps,
+                               rig->cursor() + checkpoint_every_ops)
+                    : kTotalOps;
+            rig->runTo(next);
+        }
+        out.words = rig->words();
+        if (out.words != reference) {
+            out.hostFailure = true;
+            out.failOp = kTotalOps;
+            out.what = "final contents diverged from reference";
+        }
+    } catch (const GuestError &e) {
+        out.diagnosed = true;
+        out.what = e.what();
+        out.failOp = rig ? rig->cursor() + 1 : 0;
+    } catch (const std::exception &e) {
+        out.hostFailure = true;
+        out.what = e.what();
+        out.failOp = rig ? rig->cursor() + 1 : 0;
+    } catch (...) {
+        out.hostFailure = true;
+        out.what = "unknown exception";
+        out.failOp = rig ? rig->cursor() + 1 : 0;
+    }
+    return out;
+}
+
+// -- minimal repro windows ---------------------------------------------------
+
+CampaignOutcome
+replayRepro(const ReproWindow &repro,
+            const std::vector<Word> &reference)
+{
+    CampaignOutcome out;
+    sim::FaultInjector inj;
+    std::unique_ptr<Rig> rig;
+    try {
+        rig = std::make_unique<Rig>(&inj, repro.config);
+        rig->restore(repro.snapshot);
+        if (rig->cursor() != repro.startOp) {
+            throw sim::SnapshotError(
+                "repro snapshot op cursor does not match startOp");
+        }
+        rig->runTo(repro.endOp);
+        if (repro.endOp == kTotalOps) {
+            out.words = rig->words();
+            if (out.words != reference) {
+                out.hostFailure = true;
+                out.failOp = kTotalOps;
+                out.what = "final contents diverged from reference";
+            }
+        }
+    } catch (const GuestError &e) {
+        out.diagnosed = true;
+        out.what = e.what();
+        out.failOp = rig ? rig->cursor() + 1 : 0;
+    } catch (const std::exception &e) {
+        out.hostFailure = true;
+        out.what = e.what();
+        out.failOp = rig ? rig->cursor() + 1 : 0;
+    } catch (...) {
+        out.hostFailure = true;
+        out.what = "unknown exception";
+        out.failOp = rig ? rig->cursor() + 1 : 0;
+    }
+    return out;
+}
+
+ReproWindow
+shrinkCampaign(std::uint64_t seed, InstCount window,
+               const std::vector<Word> &reference,
+               const RigConfig &config, unsigned checkpoint_every_ops)
+{
+    ReproWindow repro;
+    repro.seed = seed;
+    repro.window = window;
+    repro.config = config;
+    repro.campaignOps = kTotalOps;
+
+    std::vector<CampaignCheckpoint> cps;
+    CampaignOutcome full = runCampaign(seed, window, reference, config,
+                                       checkpoint_every_ops, &cps);
+    if (!outcomeFailed(full))
+        return repro;
+    unsigned end_op = full.failOp != 0 ? full.failOp : kTotalOps;
+    while (!cps.empty() && cps.back().op >= end_op)
+        cps.pop_back();
+    if (cps.empty())
+        return repro;
+
+    auto reproduces = [&](const CampaignCheckpoint &cp) {
+        ReproWindow cand;
+        cand.config = config;
+        cand.startOp = cp.op;
+        cand.endOp = end_op;
+        cand.snapshot = cp.image;
+        CampaignOutcome out = replayRepro(cand, reference);
+        return out.diagnosed == full.diagnosed &&
+               out.hostFailure == full.hostFailure &&
+               out.what == full.what;
+    };
+
+    // Binary-search the latest checkpoint that still reproduces. The
+    // op-0 checkpoint always does (the campaign is deterministic), so
+    // the search is anchored; the final verification guards against a
+    // non-monotone surprise.
+    std::size_t lo = 0, hi = cps.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo + 1) / 2;
+        if (reproduces(cps[mid]))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    if (!reproduces(cps[lo]))
+        return repro;
+
+    repro.found = true;
+    repro.startOp = cps[lo].op;
+    repro.endOp = end_op;
+    repro.startInst = cps[lo].instret;
+    repro.snapshot = std::move(cps[lo].image);
+    repro.failure = full.what;
+    return repro;
+}
+
+void
+writeReproFile(const ReproWindow &repro, const std::string &path)
+{
+    sim::SnapshotWriter w;
+    w.beginSection(kTagRepro);
+    w.u64(repro.seed);
+    w.u64(repro.window);
+    w.boolean(repro.config.hardwareExtensions);
+    w.boolean(repro.config.fastInterpreter);
+    w.u64(repro.config.handlerBudget);
+    w.u32(repro.startOp);
+    w.u32(repro.endOp);
+    w.u64(repro.startInst);
+    w.u32(repro.campaignOps);
+    w.str(repro.failure);
+    w.endSection();
+    w.beginSection(kTagReproSnap);
+    w.u64(repro.snapshot.size());
+    w.bytes(repro.snapshot.data(), repro.snapshot.size());
+    w.endSection();
+    sim::writeSnapshotFile(path, w.finish());
+}
+
+ReproWindow
+readReproFile(const std::string &path)
+{
+    std::vector<Byte> bytes = sim::readSnapshotFile(path);
+    sim::SnapshotImage img(bytes);
+
+    ReproWindow repro;
+    sim::SnapshotReader r = img.section(kTagRepro);
+    repro.seed = r.u64();
+    repro.window = r.u64();
+    repro.config.hardwareExtensions = r.boolean();
+    repro.config.fastInterpreter = r.boolean();
+    repro.config.handlerBudget = r.u64();
+    repro.startOp = r.u32();
+    repro.endOp = r.u32();
+    repro.startInst = r.u64();
+    repro.campaignOps = r.u32();
+    repro.failure = r.str();
+    if (repro.campaignOps != kTotalOps)
+        r.fail("repro was recorded against a different campaign shape");
+    if (repro.startOp >= repro.endOp || repro.endOp > kTotalOps)
+        r.fail("repro op range out of bounds");
+    r.expectEnd();
+
+    sim::SnapshotReader s = img.section(kTagReproSnap);
+    std::uint64_t len = s.u64();
+    if (len != s.remaining())
+        s.fail("nested snapshot length mismatch");
+    repro.snapshot.resize(len);
+    s.bytes(repro.snapshot.data(), repro.snapshot.size());
+    s.expectEnd();
+
+    repro.found = true;
+    return repro;
+}
+
+std::string
+reproCommandLine(const std::string &path)
+{
+    return "uexc-snap replay " + path;
+}
+
+} // namespace uexc::rt::chaos

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The chaos-campaign rig: a seeded fault-injection workload with
+ * checkpoint/replay support and a divergence finder.
+ *
+ * The workload is the protection-fault churn the fault-injection
+ * tests introduced, re-cut as a sequence of numbered *ops* so that a
+ * run can be checkpointed between any two ops, restored, and replayed
+ * bit-identically. On top of the op index sit:
+ *
+ *  - runCampaign(): plan injections from a seed, run the workload,
+ *    classify the outcome (converged / diagnosed / host failure),
+ *    optionally snapshotting the whole rig every N ops;
+ *  - shrinkCampaign(): on a failing seed, binary-search the collected
+ *    checkpoints for the latest one that still reproduces the failure
+ *    and emit a minimal ReproWindow — seed, start snapshot, and the
+ *    op range to replay;
+ *  - replayRepro() / repro files: a ReproWindow round-trips through a
+ *    crash-consistent file so a failure found in CI replays from the
+ *    artifact alone (`uexc-snap replay <file>`), without rerunning
+ *    the campaign from boot.
+ */
+
+#ifndef UEXC_CORE_CHAOS_H
+#define UEXC_CORE_CHAOS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/env.h"
+#include "os/kernel.h"
+#include "sim/faultinject.h"
+#include "sim/machine.h"
+
+namespace uexc::rt::chaos {
+
+// -- the workload ---------------------------------------------------------
+
+constexpr Addr kRegion = 0x01000000;          ///< workload data, 2 pages
+constexpr Word kRegionBytes = 2 * os::kPageBytes;
+constexpr Addr kScratch = 0x01008000;         ///< always-mapped page
+constexpr Word kCheckStride = 64;             ///< bytes between checked words
+
+/** Op decomposition: 6 rounds of protection-fault churn (1 protect +
+ *  8 stores + 4 loads + 1 scratch load each), then a rewrite and a
+ *  readback of every checked word. */
+constexpr unsigned kChaosRounds = 6;
+constexpr unsigned kOpsPerRound = 14;
+constexpr unsigned kChaosOps = kChaosRounds * kOpsPerRound;
+constexpr unsigned kFinalWords = kRegionBytes / kCheckStride;
+constexpr unsigned kTotalOps = kChaosOps + 2 * kFinalWords;
+
+/** Rig construction knobs; part of a ReproWindow so a replay rebuilds
+ *  the identical machine. */
+struct RigConfig
+{
+    bool hardwareExtensions = true;
+    bool fastInterpreter = false;
+    InstCount handlerBudget = 50000;
+};
+
+/**
+ * One bootable workload instance, optionally under injection.
+ *
+ * The rig owns its machine, kernel, and UserEnv, and registers two
+ * extra snapshot sections with the machine: the injector's event
+ * streams (when an injector is attached) and its own op cursor plus
+ * collected readback words. checkpoint()/restore() therefore capture
+ * a run *mid-campaign*: restore into a freshly constructed rig of the
+ * same shape and call runTo() to continue exactly where the image
+ * left off.
+ */
+class Rig
+{
+  public:
+    explicit Rig(sim::FaultInjector *injector = nullptr,
+                 const RigConfig &config = {});
+
+    Rig(const Rig &) = delete;
+    Rig &operator=(const Rig &) = delete;
+
+    /** Index of the next op to run, in [0, kTotalOps]. */
+    unsigned cursor() const { return cursor_; }
+    bool done() const { return cursor_ == kTotalOps; }
+
+    /** Run ops [cursor, op). A GuestError thrown by an op propagates
+     *  with cursor() still naming the op that threw. */
+    void runTo(unsigned op);
+    void run() { runTo(kTotalOps); }
+
+    /** Readback words collected so far (complete once done()). */
+    const std::vector<Word> &words() const { return words_; }
+
+    UserEnv &env() { return *env_; }
+    os::Kernel &kernel() { return *kernel_; }
+    sim::Machine &machine() { return *machine_; }
+    Addr physOf(Addr va) { return env_->process().as().physOf(va); }
+
+    std::vector<Byte> checkpoint() const { return machine_->checkpoint(); }
+    void restore(const std::vector<Byte> &image);
+
+  private:
+    void runOp(unsigned op);
+
+    RigConfig config_;
+    sim::FaultInjector *injector_;
+    std::unique_ptr<sim::Machine> machine_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<UserEnv> env_;
+    unsigned cursor_ = 0;
+    std::vector<Word> words_;
+};
+
+// -- campaigns ------------------------------------------------------------
+
+/**
+ * Plan 1-3 injection events from @p seed, placed uniformly over
+ * @p window instructions past the rig's current instret. Sets
+ * @p may_diagnose when a planned event may legitimately end in a
+ * structured diagnosis instead of convergence (TlbCorrupt, detected
+ * by the kernel's pmap consistency check). Spurious refills no longer
+ * qualify: the injector masks the stub's K0 resume window, so they
+ * are always transparently recoverable.
+ */
+std::vector<sim::FaultEvent> planEvents(std::uint64_t seed,
+                                        InstCount window, Rig &rig,
+                                        bool *may_diagnose);
+
+/** Outcome classification of one campaign or replay. */
+struct CampaignOutcome
+{
+    bool diagnosed = false;   ///< ended in a GuestError
+    bool hostFailure = false; ///< non-GuestError escape, or divergence
+    bool mayDiagnose = false; ///< a planned event may diagnose
+    std::string what;
+    /** One past the op that failed (kTotalOps for divergence at the
+     *  final compare; 0 when the run converged). */
+    unsigned failOp = 0;
+    std::vector<Word> words;
+};
+
+/** Whether the outcome is anything other than clean convergence. */
+inline bool
+outcomeFailed(const CampaignOutcome &out)
+{
+    return out.diagnosed || out.hostFailure;
+}
+
+/** One collected mid-campaign checkpoint. */
+struct CampaignCheckpoint
+{
+    unsigned op = 0;
+    InstCount instret = 0;
+    std::vector<Byte> image;
+};
+
+/**
+ * Run one seeded campaign against @p reference (the fault-free final
+ * words). With @p checkpoint_every_ops nonzero and @p checkpoints
+ * non-null, snapshots the rig at every multiple of the stride
+ * (including op 0) while it runs.
+ */
+CampaignOutcome runCampaign(std::uint64_t seed, InstCount window,
+                            const std::vector<Word> &reference,
+                            const RigConfig &config = {},
+                            unsigned checkpoint_every_ops = 0,
+                            std::vector<CampaignCheckpoint> *checkpoints =
+                                nullptr);
+
+/** Fault-free reference: final words and the instruction window the
+ *  campaign places injections in. */
+struct Reference
+{
+    InstCount window = 0;
+    std::vector<Word> words;
+};
+Reference makeReference(const RigConfig &config = {});
+
+// -- minimal repro windows -------------------------------------------------
+
+/**
+ * A minimal reproduction of a campaign failure: restore @p snapshot
+ * into a fresh rig of shape @p config and replay ops
+ * [startOp, endOp). Everything a replay needs — including the
+ * not-yet-fired injection events — travels inside the snapshot.
+ */
+struct ReproWindow
+{
+    bool found = false;
+    std::uint64_t seed = 0;
+    InstCount window = 0;      ///< campaign injection window (insts)
+    RigConfig config;
+    unsigned startOp = 0;
+    unsigned endOp = 0;
+    InstCount startInst = 0;   ///< instret at the start snapshot
+    unsigned campaignOps = kTotalOps;
+    std::vector<Byte> snapshot;
+    std::string failure;       ///< the outcome's what
+};
+
+/**
+ * Rerun a failing seed with periodic checkpoints, then binary-search
+ * the checkpoints for the latest one whose replay still reproduces
+ * the identical failure. Returns found=false when the seed converges.
+ */
+ReproWindow shrinkCampaign(std::uint64_t seed, InstCount window,
+                           const std::vector<Word> &reference,
+                           const RigConfig &config = {},
+                           unsigned checkpoint_every_ops = 16);
+
+/** Replay a repro window; reproduces the recorded failure (or the
+ *  final-words comparison against @p reference when it runs to the
+ *  end of the campaign). */
+CampaignOutcome replayRepro(const ReproWindow &repro,
+                            const std::vector<Word> &reference);
+
+/**
+ * Persist / reload a repro window as a crash-consistent snapshot
+ * file (the rig snapshot nested inside a metadata image), the format
+ * `uexc-snap replay` consumes.
+ */
+void writeReproFile(const ReproWindow &repro, const std::string &path);
+ReproWindow readReproFile(const std::string &path);
+
+/** The copy-pasteable reproduction command for a saved repro file. */
+std::string reproCommandLine(const std::string &path);
+
+} // namespace uexc::rt::chaos
+
+#endif // UEXC_CORE_CHAOS_H

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "core/lintspec.h"
 #include "sim/cp0.h"
+#include "sim/faultinject.h"
 
 namespace uexc::rt {
 
@@ -162,6 +163,8 @@ UserEnv::buildShim()
     stub_ = p.symbol(mode_ == DeliveryMode::FastHardwareVector
                          ? "hw_stub"
                          : "fast_stub");
+    stubRestore_ = p.symbol("fast_stub__restore");
+    stubEnd_ = p.symbol("fast_stub__end");
     trampoline_ = p.symbol("sigtramp");
 
     unixHandler_ = p.symbol("unix_handler");
@@ -212,9 +215,67 @@ UserEnv::install(Word exc_mask)
         break;
     }
 
+    // The fast stub's restore window has k0 live across user
+    // instructions; tell any fault injector not to raise spurious
+    // exceptions inside it (the PR 4 K0 resume-window hazard). Every
+    // env shares the same shim layout, so the window may already be
+    // registered by another hart's env.
+    if (FaultInjector *inj = cpu().config().faultInjector) {
+        bool present = false;
+        for (const auto &[b, e] : inj->maskedPcWindows())
+            present = present || (b == stubRestore_ && e == stubEnd_);
+        if (!present)
+            inj->maskPcWindow(stubRestore_, stubEnd_);
+    }
+
+    m.registerSnapshotSection(
+        sim::snapshotTag('U', 'E', 'N', '\0') | (Word(hart_) << 24),
+        [this](sim::SnapshotWriter &w) { snapshotSave(w); },
+        [this](sim::SnapshotReader &r) { snapshotLoad(r); });
+
     kernel_.enterUser(*proc_, shimIdle_,
                       mode_ == DeliveryMode::FastHardwareVector);
     installed_ = true;
+}
+
+void
+UserEnv::snapshotSave(sim::SnapshotWriter &w) const
+{
+    if (inHandler_)
+        UEXC_FATAL("UserEnv: checkpoint taken mid-delivery (snapshots "
+                    "are only meaningful between operations)");
+    w.u32(hart_);
+    w.u32(static_cast<std::uint32_t>(mode_));
+    w.boolean(demoted_);
+    w.u64(handlerBudget_);
+    w.u64(syscallOverhead_);
+    w.u64(stats_.loads);
+    w.u64(stats_.stores);
+    w.u64(stats_.faultsDelivered);
+    w.u64(stats_.guestSyscalls);
+    w.u64(stats_.inHandlerServiceCalls);
+    w.u64(stats_.deliveryDemoted);
+    w.u64(stats_.savePageCorruptions);
+}
+
+void
+UserEnv::snapshotLoad(sim::SnapshotReader &r)
+{
+    if (r.u32() != hart_)
+        r.fail("env hart mismatch");
+    if (r.u32() != static_cast<std::uint32_t>(mode_))
+        r.fail("env delivery-mode mismatch");
+    demoted_ = r.boolean();
+    handlerBudget_ = r.u64();
+    syscallOverhead_ = r.u64();
+    stats_.loads = r.u64();
+    stats_.stores = r.u64();
+    stats_.faultsDelivered = r.u64();
+    stats_.guestSyscalls = r.u64();
+    stats_.inHandlerServiceCalls = r.u64();
+    stats_.deliveryDemoted = r.u64();
+    stats_.savePageCorruptions = r.u64();
+    inHandler_ = false;
 }
 
 void

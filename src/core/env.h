@@ -205,6 +205,17 @@ class UserEnv
      *  mode); exposed so fault-injection campaigns can target it. */
     Addr stubAddr() const { return stub_; }
 
+    /**
+     * The fast stub's register-restore window [restore, end): from
+     * the `lw k0, Epc(frame)` to the `jr k0` delay slot retiring, k0
+     * holds the resume target and a spurious refill would clobber it
+     * (the PR 4 K0 resume-window hazard). install() registers this
+     * window with the machine's fault injector as a no-injection
+     * window; exposed so tests can verify deferral around it.
+     */
+    Addr stubRestoreAddr() const { return stubRestore_; }
+    Addr stubEndAddr() const { return stubEnd_; }
+
     // -- handlers -----------------------------------------------------------------
 
     /** Install the default handler for every delivered fault. */
@@ -235,6 +246,16 @@ class UserEnv
      */
     static sim::Program buildShimProgram(SavePolicy policy,
                                          bool user_vector_hw);
+
+    /**
+     * Serialize/restore this environment's host-side delivery state
+     * (demotion flag, watchdog budget, statistics). install()
+     * registers these with the machine as the per-hart "UEN"+hart
+     * snapshot section. Checkpoints are only meaningful between
+     * operations — snapshotSave refuses to run mid-handler.
+     */
+    void snapshotSave(sim::SnapshotWriter &w) const;
+    void snapshotLoad(sim::SnapshotReader &r);
 
   private:
     friend class Fault;
@@ -273,6 +294,8 @@ class UserEnv
     Addr doSyscall_ = 0, doSyscallRet_ = 0;
     Addr tlbmpSite_ = 0, tlbmpDone_ = 0;
     Addr stub_ = 0;
+    Addr stubRestore_ = 0;
+    Addr stubEnd_ = 0;
     Addr trampoline_ = 0;
     Addr unixHandler_ = 0;
 

@@ -43,7 +43,14 @@ emitFastStub(Assembler &a, const std::string &name, SavePolicy policy,
 
     // restore the kernel-saved scratch set and resume. k0 carries the
     // resume address: it is dead in user code by ABI, which is what
-    // makes a sigreturn-free resume possible (file comment).
+    // makes a sigreturn-free resume possible (file comment). From the
+    // k0 load to the jr retiring, k0 is live across user
+    // instructions — an asynchronous exception here would let the
+    // k0/k1-only refill handler clobber the resume target, so the
+    // [__restore, __end) window is registered with the fault injector
+    // as a no-injection window (a real machine gets the same effect
+    // from exception-return atomicity).
+    a.label(name + "__restore");
     a.lw(K0, static_cast<SWord>(uframe::Epc), T3);
     a.lw(AT, static_cast<SWord>(uframe::At), T3);
     a.lw(T0, static_cast<SWord>(uframe::T0), T3);

@@ -40,6 +40,11 @@ class FrameAllocator
 
     Addr remainingBytes() const { return limit_ - next_; }
 
+    /** Bump cursor (snapshot save/restore of the kernel section). */
+    Addr cursor() const { return next_; }
+    void restoreCursor(Addr next) { next_ = next; }
+    Addr limit() const { return limit_; }
+
   private:
     Addr next_;
     Addr limit_;

@@ -74,7 +74,87 @@ Kernel::boot()
         for (unsigned i = 0; i < machine_.numHarts(); ++i)
             hartSaves_.push_back(base + i * hartsave::Bytes);
     }
+    machine_.registerSnapshotSection(
+        sim::snapshotTag('K', 'E', 'R', 'N'),
+        [this](sim::SnapshotWriter &w) { snapshotSave(w); },
+        [this](sim::SnapshotReader &r) { snapshotLoad(r); });
     booted_ = true;
+}
+
+void
+Kernel::snapshotSave(sim::SnapshotWriter &w) const
+{
+    // Process identity (count, asids, guest addresses) is produced by
+    // deterministic reconstruction; the image carries it only so
+    // restore can refuse a kernel whose construction diverged.
+    w.u32(std::uint32_t(procs_.size()));
+    for (const auto &p : procs_) {
+        w.u32(p->pid());
+        w.u32(p->asid());
+        w.u32(p->procKva());
+        w.u32(p->uareaKva());
+    }
+    w.u32(std::uint32_t(currents_.size()));
+    for (Process *p : currents_)
+        w.u32(p ? p->pid() : 0);
+    w.u32(guestCurrent_ ? guestCurrent_->pid() : 0);
+    w.u32(frames_.cursor());
+    w.u32(kdataBump_);
+    w.u32(nextAsid_);
+    w.u64(stackLock_.busyUntil());
+    w.u64(stackLock_.acquires());
+    w.u64(stackLock_.contendedAcquires());
+    w.u64(stackLock_.spinCycles());
+    w.boolean(exited_);
+    w.u32(exitCode_);
+    w.u64(subpageEmuls_);
+    w.u64(riEmuls_);
+    w.u64(demotions_);
+}
+
+void
+Kernel::snapshotLoad(sim::SnapshotReader &r)
+{
+    std::uint32_t nprocs = r.u32();
+    if (nprocs != procs_.size())
+        r.fail("kernel has " + std::to_string(procs_.size()) +
+               " processes, image has " + std::to_string(nprocs));
+    for (const auto &p : procs_) {
+        if (r.u32() != p->pid() || r.u32() != p->asid() ||
+            r.u32() != p->procKva() || r.u32() != p->uareaKva())
+            r.fail("process identity mismatch for pid " +
+                   std::to_string(p->pid()));
+    }
+    std::uint32_t nharts = r.u32();
+    if (nharts != currents_.size())
+        r.fail("per-hart current-process vector size mismatch");
+    auto byPid = [this, &r](std::uint32_t pid) -> Process * {
+        if (pid == 0)
+            return nullptr;
+        if (pid > procs_.size())
+            r.fail("current-process pid " + std::to_string(pid) +
+                   " out of range");
+        return procs_[pid - 1].get();
+    };
+    for (Process *&cur : currents_)
+        cur = byPid(r.u32());
+    guestCurrent_ = byPid(r.u32());
+    Addr cursor = r.u32();
+    if (cursor < kUserFrameBase || cursor > frames_.limit())
+        r.fail("frame-allocator cursor out of range");
+    frames_.restoreCursor(cursor);
+    kdataBump_ = r.u32();
+    nextAsid_ = r.u32();
+    Cycles busy = r.u64();
+    std::uint64_t acquires = r.u64();
+    std::uint64_t contended = r.u64();
+    Cycles spin = r.u64();
+    stackLock_.restoreState(busy, acquires, contended, spin);
+    exited_ = r.boolean();
+    exitCode_ = r.u32();
+    subpageEmuls_ = r.u64();
+    riEmuls_ = r.u64();
+    demotions_ = r.u64();
 }
 
 Addr

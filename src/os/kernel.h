@@ -106,6 +106,17 @@ class KernelStackLock
     std::uint64_t contendedAcquires() const { return contendedAcquires_; }
     Cycles spinCycles() const { return spinCycles_; }
 
+    /** Snapshot access: the busy-until timestamp is model state. */
+    Cycles busyUntil() const { return busyUntil_; }
+    void restoreState(Cycles busy_until, std::uint64_t acquires,
+                      std::uint64_t contended, Cycles spin)
+    {
+        busyUntil_ = busy_until;
+        acquires_ = acquires;
+        contendedAcquires_ = contended;
+        spinCycles_ = spin;
+    }
+
   private:
     Cycles busyUntil_ = 0;
     std::uint64_t acquires_ = 0;
@@ -257,6 +268,21 @@ class Kernel
     std::uint64_t riEmulations() const { return riEmuls_; }
     /** Processes demoted to kernel-mediated delivery. */
     std::uint64_t deliveryDemotions() const { return demotions_; }
+
+    // -- snapshot ------------------------------------------------------------
+
+    /**
+     * Serialize/restore the kernel's mutable host-side bookkeeping
+     * (allocation cursors, per-hart current-process bindings, the
+     * stack-lock model, counters). boot() registers these with the
+     * machine as the "KERN" snapshot section; everything else the
+     * kernel owns lives in guest memory and CP0 and travels in the
+     * machine's own sections. Restore targets a kernel rebuilt by the
+     * same deterministic construction (same boot, same createProcess
+     * sequence) — process identity is validated, not recreated.
+     */
+    void snapshotSave(sim::SnapshotWriter &w) const;
+    void snapshotLoad(sim::SnapshotReader &r);
 
   private:
     void onHcall(sim::Cpu &cpu, Word service);

@@ -1,6 +1,7 @@
 #include "sim/cache.h"
 
 #include "common/logging.h"
+#include "sim/snapshot.h"
 
 namespace uexc::sim {
 
@@ -72,6 +73,38 @@ Cache::invalidate(Addr paddr)
     std::size_t line = lineFor(paddr);
     if (valid_[line] && tags_[line] == tagFor(paddr))
         valid_[line] = false;
+}
+
+void
+Cache::snapshotSave(SnapshotWriter &w) const
+{
+    w.u64(lineBytes_);
+    w.u64(valid_.size());
+    for (std::size_t i = 0; i < valid_.size(); i++) {
+        w.boolean(valid_[i]);
+        w.u32(tags_[i]);
+    }
+    w.u64(stats_.accesses);
+    w.u64(stats_.misses);
+}
+
+void
+Cache::snapshotLoad(SnapshotReader &r)
+{
+    std::uint64_t line_bytes = r.u64();
+    std::uint64_t lines = r.u64();
+    if (line_bytes != lineBytes_ || lines != valid_.size())
+        r.fail("cache geometry mismatch: image " +
+               std::to_string(lines) + "x" +
+               std::to_string(line_bytes) + ", machine " +
+               std::to_string(valid_.size()) + "x" +
+               std::to_string(lineBytes_));
+    for (std::size_t i = 0; i < valid_.size(); i++) {
+        valid_[i] = r.boolean();
+        tags_[i] = r.u32();
+    }
+    stats_.accesses = r.u64();
+    stats_.misses = r.u64();
 }
 
 } // namespace uexc::sim

@@ -21,6 +21,9 @@
 
 namespace uexc::sim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Statistics for one cache. */
 struct CacheStats
 {
@@ -65,6 +68,11 @@ class Cache
 
     std::size_t numLines() const { return valid_.size(); }
     std::size_t lineBytes() const { return lineBytes_; }
+
+    /** Serialize geometry, tag store, and stats into a snapshot. */
+    void snapshotSave(SnapshotWriter &w) const;
+    /** Restore from a snapshot; rejects mismatched geometry. */
+    void snapshotLoad(SnapshotReader &r);
 
   private:
     std::size_t lineFor(Addr paddr) const;

@@ -187,6 +187,20 @@ class Cp0
     Word uxReg(UxReg reg) const;
     void setUxReg(UxReg reg, Word value);
 
+    // snapshot access ----------------------------------------------------
+
+    /**
+     * Raw register cell, bypassing the mfc0/mtc0 masking (Random's
+     * shifted read, the read-only set). Snapshot save/restore only:
+     * restore must be able to reproduce the exact cell contents,
+     * including registers mtc0 cannot write.
+     */
+    Word rawReg(unsigned reg) const { return regs_[reg]; }
+    void setRawReg(unsigned reg, Word value) { regs_[reg] = value; }
+    /** The Random register's internal counter (snapshot only). */
+    unsigned randomState() const { return random_; }
+    void setRandomState(unsigned v) { random_ = v; }
+
   private:
     std::array<Word, 32> regs_;
     std::array<Word, NumUxRegs> uxRegs_;

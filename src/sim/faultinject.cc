@@ -5,6 +5,7 @@
 #include "sim/cpu.h"
 #include "sim/hart.h"
 #include "sim/memory.h"
+#include "sim/snapshot.h"
 #include "sim/tlb.h"
 
 namespace uexc::sim {
@@ -90,11 +91,13 @@ FaultInjector::fire(Cpu &cpu, const FaultEvent &event)
       }
       case FaultKind::SpuriousException: {
         // Only meaningful (and only safe) for user-mode kuseg
-        // execution outside a branch delay slot: the refill handler is
-        // k0/k1-only and EPC must name a restartable instruction.
-        // Defer deterministically until the hart gets there.
+        // execution outside a branch delay slot, and outside any
+        // masked window (the stub's k0-live restore sequence): the
+        // refill handler is k0/k1-only and EPC must name a
+        // restartable instruction. Defer deterministically until the
+        // hart gets there.
         if (!cpu.cp0().userMode() || cpu.pc() >= Cpu::Kseg0Base ||
-            cpu.hart().inDelaySlot())
+            cpu.hart().inDelaySlot() || pcMasked(cpu.pc()))
             return false;
         cpu.injectException(ExcCode::TlbL, cpu.pc(), event.addr,
                             /*refill=*/true);
@@ -119,6 +122,87 @@ FaultInjector::clear()
 {
     pending_.clear();
     fired_.clear();
+}
+
+void
+FaultInjector::maskPcWindow(Addr begin, Addr end)
+{
+    if (begin >= end)
+        UEXC_FATAL("faultinject: empty mask window [0x%08x, 0x%08x)",
+                   begin, end);
+    maskedWindows_.emplace_back(begin, end);
+}
+
+bool
+FaultInjector::pcMasked(Addr pc) const
+{
+    for (const auto &[begin, end] : maskedWindows_)
+        if (pc >= begin && pc < end)
+            return true;
+    return false;
+}
+
+namespace {
+
+void
+saveEvent(SnapshotWriter &w, const FaultEvent &e)
+{
+    w.u32(static_cast<std::uint32_t>(e.kind));
+    w.u32(e.hart);
+    w.u64(e.atInst);
+    w.u32(e.addr);
+    w.u32(e.bit);
+    w.u32(e.tlbIndex);
+}
+
+FaultEvent
+loadEvent(SnapshotReader &r)
+{
+    FaultEvent e;
+    std::uint32_t kind = r.u32();
+    if (kind > static_cast<std::uint32_t>(FaultKind::HandlerRunaway))
+        r.fail("fault kind " + std::to_string(kind) + " out of range");
+    e.kind = static_cast<FaultKind>(kind);
+    e.hart = r.u32();
+    e.atInst = r.u64();
+    e.addr = r.u32();
+    e.bit = r.u32();
+    e.tlbIndex = r.u32();
+    return e;
+}
+
+} // namespace
+
+void
+FaultInjector::snapshotSave(SnapshotWriter &w) const
+{
+    w.u32(std::uint32_t(pending_.size()));
+    for (const FaultEvent &e : pending_)
+        saveEvent(w, e);
+    w.u32(std::uint32_t(fired_.size()));
+    for (const FiredEvent &f : fired_) {
+        saveEvent(w, f.event);
+        w.u64(f.firedAt);
+        w.u32(f.pc);
+    }
+}
+
+void
+FaultInjector::snapshotLoad(SnapshotReader &r)
+{
+    pending_.clear();
+    fired_.clear();
+    std::uint32_t npending = r.u32();
+    for (std::uint32_t i = 0; i < npending; i++)
+        pending_.push_back(loadEvent(r));
+    std::uint32_t nfired = r.u32();
+    for (std::uint32_t i = 0; i < nfired; i++) {
+        FiredEvent f;
+        f.event = loadEvent(r);
+        f.firedAt = r.u64();
+        f.pc = r.u32();
+        fired_.push_back(f);
+    }
 }
 
 std::uint64_t

@@ -33,6 +33,7 @@
 #define UEXC_SIM_FAULTINJECT_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -40,6 +41,8 @@
 namespace uexc::sim {
 
 class Cpu;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** The kinds of state perturbation the injector can apply. */
 enum class FaultKind {
@@ -102,6 +105,34 @@ class FaultInjector
     void clear();
 
     /**
+     * Declare [begin, end) a no-injection PC window: a
+     * SpuriousException whose hart is executing inside it defers
+     * (deterministically) until the PC leaves. The runtime registers
+     * the fast stub's register-restore window — after the stub loads
+     * its resume target into k0, a spurious refill would let the
+     * k0/k1-only refill handler clobber that target, turning a
+     * transparent repair into a wild jump (the PR 4 "K0
+     * resume-window" hazard). Masking the window makes the injected
+     * fault land one instruction later, where it is recoverable.
+     * Windows are part of the rig's construction, not of its mutable
+     * state, so snapshots do not carry them.
+     */
+    void maskPcWindow(Addr begin, Addr end);
+    const std::vector<std::pair<Addr, Addr>> &maskedPcWindows() const
+    {
+        return maskedWindows_;
+    }
+
+    /**
+     * Serialize/restore the mutable stream state (pending and fired
+     * events). A campaign rig registers these with
+     * Machine::registerSnapshotSection so mid-campaign checkpoints
+     * resume with exactly the not-yet-fired events outstanding.
+     */
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotLoad(SnapshotReader &r);
+
+    /**
      * The shared PRNG step for everything seeded in this subsystem
      * (campaign placement, unreliable-network rolls): advances
      * @p state and returns 64 uniform bits. splitmix64 keeps every
@@ -111,9 +142,11 @@ class FaultInjector
 
   private:
     bool fire(Cpu &cpu, const FaultEvent &event);
+    bool pcMasked(Addr pc) const;
 
     std::vector<FaultEvent> pending_;
     std::vector<FiredEvent> fired_;
+    std::vector<std::pair<Addr, Addr>> maskedWindows_;
 };
 
 } // namespace uexc::sim

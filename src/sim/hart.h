@@ -39,6 +39,8 @@
 namespace uexc::sim {
 
 class FaultInjector;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Machine configuration. */
 struct CpuConfig
@@ -174,6 +176,21 @@ class Hart
     void flushMicroTlb();
     /** Drop every host-side interpreter cache for this hart. */
     void flushHostCaches();
+
+    // -- snapshot -------------------------------------------------------
+
+    /**
+     * Serialize the complete architectural context (GPRs, HI/LO, PC
+     * latches, CP0 + COP3 user-exception file, TLB, I/D cache tag
+     * stores, breakpoints, statistics). Host-side interpreter caches
+     * are deliberately not serialized — they are derived state, and
+     * snapshotLoad ends with flushHostCaches() so a restored hart
+     * redecodes and re-translates from the restored memory/TLB.
+     * Only meaningful between Machine::run calls (at an instruction
+     * boundary, where the intra-instruction latches are dead).
+     */
+    void snapshotSave(SnapshotWriter &w) const;
+    void snapshotLoad(SnapshotReader &r);
 
   private:
     friend class Cpu;

@@ -152,4 +152,187 @@ Machine::debugWriteWord(Addr addr, Word value)
     mem_->writeWord(unmappedToPhys(addr), value);
 }
 
+// -- checkpoint/restore --------------------------------------------------
+
+namespace {
+
+constexpr Word kTagConfig = snapshotTag('C', 'F', 'G', ' ');
+constexpr Word kTagMemory = snapshotTag('M', 'E', 'M', ' ');
+constexpr Word kTagSched = snapshotTag('S', 'C', 'H', 'D');
+
+Word
+hartTag(unsigned i)
+{
+    return snapshotTag('H', 'R', 'T', '\0') | (Word(i) << 24);
+}
+
+} // namespace
+
+void
+Machine::registerSnapshotSection(Word tag, SnapshotSaveFn save,
+                                 SnapshotLoadFn load)
+{
+    for (const SnapshotHook &hook : snapshotHooks_)
+        if (hook.tag == tag)
+            UEXC_FATAL("machine: duplicate snapshot section %s",
+                       snapshotTagName(tag).c_str());
+    snapshotHooks_.push_back({tag, std::move(save), std::move(load)});
+}
+
+std::vector<Byte>
+Machine::checkpoint() const
+{
+    SnapshotWriter w;
+
+    // Config echo: restore refuses an image whose machine shape
+    // differs from the target's, because hart/cache/interpreter
+    // structure is constructed, not serialized.
+    w.beginSection(kTagConfig);
+    w.u64(config_.memBytes);
+    w.u32(std::uint32_t(harts_.size()));
+    w.u64(config_.quantum);
+    w.boolean(config_.cpu.fastInterpreter);
+    w.boolean(config_.cpu.userVectorHw);
+    w.boolean(config_.cpu.userVectorTable);
+    w.boolean(config_.cpu.tlbmpHw);
+    w.boolean(config_.cpu.cachesEnabled);
+    w.endSection();
+
+    // Physical memory with zero-page elision: only pages with any
+    // nonzero byte are stored (strictly increasing page indices).
+    // PhysMemory starts zeroed and restore re-zeroes, so the sparse
+    // set reproduces the full contents.
+    std::size_t pages =
+        (mem_->size() + PhysMemory::PageBytes - 1) /
+        PhysMemory::PageBytes;
+    std::vector<Byte> page(PhysMemory::PageBytes);
+    std::vector<std::uint32_t> live;
+    for (std::size_t p = 0; p < pages; p++) {
+        std::size_t base = p * PhysMemory::PageBytes;
+        std::size_t len =
+            std::min(PhysMemory::PageBytes, mem_->size() - base);
+        if (!mem_->blockIsZero(Addr(base), len))
+            live.push_back(std::uint32_t(p));
+    }
+    w.beginSection(kTagMemory);
+    w.u64(mem_->size());
+    w.u32(std::uint32_t(live.size()));
+    for (std::uint32_t p : live) {
+        std::size_t base = std::size_t(p) * PhysMemory::PageBytes;
+        std::size_t len =
+            std::min(PhysMemory::PageBytes, mem_->size() - base);
+        mem_->readBlock(Addr(base), page.data(), len);
+        w.u32(p);
+        w.bytes(page.data(), len);
+    }
+    w.endSection();
+
+    // Scheduler position.
+    w.beginSection(kTagSched);
+    w.u32(currentHart_);
+    w.endSection();
+
+    for (unsigned i = 0; i < harts_.size(); i++) {
+        w.beginSection(hartTag(i));
+        harts_[i]->snapshotSave(w);
+        w.endSection();
+    }
+
+    for (const SnapshotHook &hook : snapshotHooks_) {
+        w.beginSection(hook.tag);
+        hook.save(w);
+        w.endSection();
+    }
+
+    return w.finish();
+}
+
+void
+Machine::restore(const std::vector<Byte> &image)
+{
+    SnapshotImage img(image);
+
+    SnapshotReader cfg = img.section(kTagConfig);
+    auto check = [&cfg](bool ok, const char *what) {
+        if (!ok)
+            cfg.fail(std::string("config mismatch: ") + what);
+    };
+    check(cfg.u64() == config_.memBytes, "memBytes");
+    check(cfg.u32() == harts_.size(), "harts");
+    check(cfg.u64() == config_.quantum, "quantum");
+    check(cfg.boolean() == config_.cpu.fastInterpreter,
+          "fastInterpreter");
+    check(cfg.boolean() == config_.cpu.userVectorHw, "userVectorHw");
+    check(cfg.boolean() == config_.cpu.userVectorTable,
+          "userVectorTable");
+    check(cfg.boolean() == config_.cpu.tlbmpHw, "tlbmpHw");
+    check(cfg.boolean() == config_.cpu.cachesEnabled, "cachesEnabled");
+    cfg.expectEnd();
+
+    SnapshotReader memr = img.section(kTagMemory);
+    std::uint64_t mem_size = memr.u64();
+    if (mem_size != mem_->size())
+        memr.fail("memory size mismatch");
+    std::uint32_t pages = memr.u32();
+    std::size_t total_pages =
+        (mem_->size() + PhysMemory::PageBytes - 1) /
+        PhysMemory::PageBytes;
+    // Zero everything, then lay down the stored pages. clearRange and
+    // writeBlock both bump page versions, so any predecoded page in
+    // any hart is invalidated by the restore itself.
+    mem_->clearRange(0, mem_->size());
+    std::vector<Byte> page(PhysMemory::PageBytes);
+    std::uint32_t prev = 0;
+    for (std::uint32_t i = 0; i < pages; i++) {
+        std::uint32_t p = memr.u32();
+        if (p >= total_pages)
+            memr.fail("page index " + std::to_string(p) +
+                      " out of range");
+        if (i > 0 && p <= prev)
+            memr.fail("page indices not strictly increasing");
+        prev = p;
+        std::size_t base = std::size_t(p) * PhysMemory::PageBytes;
+        std::size_t len =
+            std::min(PhysMemory::PageBytes, mem_->size() - base);
+        memr.bytes(page.data(), len);
+        mem_->writeBlock(Addr(base), page.data(), len);
+    }
+    memr.expectEnd();
+
+    SnapshotReader sched = img.section(kTagSched);
+    std::uint32_t cur = sched.u32();
+    if (cur >= harts_.size())
+        sched.fail("scheduler hart out of range");
+    sched.expectEnd();
+
+    for (unsigned i = 0; i < harts_.size(); i++) {
+        SnapshotReader hr = img.section(hartTag(i));
+        harts_[i]->snapshotLoad(hr);
+        hr.expectEnd();
+    }
+
+    for (const SnapshotHook &hook : snapshotHooks_) {
+        SnapshotReader sr = img.section(hook.tag);
+        hook.load(sr);
+        sr.expectEnd();
+    }
+
+    // Strictness in the other direction: every section in the image
+    // must have been consumed by the core or by a registered hook.
+    for (const SnapshotSection &s : img.sections()) {
+        bool known = s.tag == kTagConfig || s.tag == kTagMemory ||
+                     s.tag == kTagSched;
+        for (unsigned i = 0; !known && i < harts_.size(); i++)
+            known = s.tag == hartTag(i);
+        for (const SnapshotHook &hook : snapshotHooks_)
+            known = known || s.tag == hook.tag;
+        if (!known)
+            throw SnapshotError("snapshot image: section " +
+                                snapshotTagName(s.tag) +
+                                " has no registered consumer");
+    }
+
+    setCurrentHart(cur);
+}
+
 } // namespace uexc::sim

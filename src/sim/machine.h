@@ -19,6 +19,7 @@
 #define UEXC_SIM_MACHINE_H
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "sim/assembler.h"
 #include "sim/cpu.h"
 #include "sim/memory.h"
+#include "sim/snapshot.h"
 
 namespace uexc::sim {
 
@@ -132,13 +134,61 @@ class Machine
     Word debugReadWord(Addr addr) const;
     void debugWriteWord(Addr addr, Word value);
 
+    // -- checkpoint/restore -------------------------------------------------
+
+    using SnapshotSaveFn = std::function<void(SnapshotWriter &)>;
+    using SnapshotLoadFn = std::function<void(SnapshotReader &)>;
+
+    /**
+     * Register an extra snapshot section. The os/apps layers use this
+     * so a Machine checkpoint carries *their* host-side bookkeeping
+     * (kernel allocation cursors, delivery state, injector queues,
+     * DSM directories) alongside the architectural state. Sections
+     * are saved in registration order; restore is strict — a
+     * registered tag missing from the image, or an image section with
+     * no registered consumer, raises SnapshotError. The callables
+     * must stay valid for the machine's lifetime (in practice the
+     * kernel/env/cluster own the machine's users and outlive every
+     * checkpoint/restore call).
+     */
+    void registerSnapshotSection(Word tag, SnapshotSaveFn save,
+                                 SnapshotLoadFn load);
+
+    /**
+     * Serialize the complete machine — every hart's architectural
+     * context, physical memory (zero pages elided), the scheduler
+     * position, and every registered section — into a validated,
+     * CRC-protected image. Only meaningful between run() calls.
+     */
+    std::vector<Byte> checkpoint() const;
+
+    /**
+     * Restore a checkpoint() image into this machine. The machine
+     * must be structurally identical to the one that produced the
+     * image (same MachineConfig, same registered sections) — restore
+     * targets a freshly constructed twin, it does not morph arbitrary
+     * machines. Throws SnapshotError on any validation failure;
+     * forward execution after a successful restore is bit-identical
+     * to the checkpointed machine (host interpreter caches are
+     * flushed and rebuilt lazily).
+     */
+    void restore(const std::vector<Byte> &image);
+
   private:
+    struct SnapshotHook
+    {
+        Word tag;
+        SnapshotSaveFn save;
+        SnapshotLoadFn load;
+    };
+
     MachineConfig config_;
     std::unique_ptr<PhysMemory> mem_;
     std::vector<std::unique_ptr<Hart>> harts_;
     std::unique_ptr<Cpu> cpu_;
     unsigned currentHart_ = 0;
     std::map<std::string, Addr> symbols_;
+    std::vector<SnapshotHook> snapshotHooks_;
 };
 
 } // namespace uexc::sim

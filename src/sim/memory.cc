@@ -1,5 +1,6 @@
 #include "sim/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bits.h"
@@ -94,6 +95,26 @@ PhysMemory::readBlock(Addr paddr, void *dst, std::size_t bytes) const
         UEXC_PANIC("block read at 0x%08x size %zu out of range",
                    paddr, bytes);
     std::memcpy(dst, &data_[paddr], bytes);
+}
+
+bool
+PhysMemory::blockIsZero(Addr paddr, std::size_t bytes) const
+{
+    if (paddr + bytes > data_.size())
+        UEXC_PANIC("zero scan at 0x%08x size %zu out of range",
+                   paddr, bytes);
+    // in-place memcmp against a zeroed page, one page at a time: the
+    // snapshot writer scans all of physical memory with this, so no
+    // copy and no per-byte loop
+    static const std::vector<Byte> zeros(PageBytes, 0);
+    while (bytes > 0) {
+        std::size_t chunk = std::min(bytes, PageBytes);
+        if (std::memcmp(&data_[paddr], zeros.data(), chunk) != 0)
+            return false;
+        paddr += Addr(chunk);
+        bytes -= chunk;
+    }
+    return true;
 }
 
 void

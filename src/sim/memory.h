@@ -49,6 +49,9 @@ class PhysMemory
     /** Zero a range. */
     void clearRange(Addr paddr, std::size_t bytes);
 
+    /** True iff every byte in the range is zero (snapshot elision). */
+    bool blockIsZero(Addr paddr, std::size_t bytes) const;
+
     /**
      * Write version of the page containing @p paddr: bumped by every
      * store into the page, whichever side (guest store, host kernel

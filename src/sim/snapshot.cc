@@ -1,0 +1,371 @@
+#include "sim/snapshot.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace uexc::sim {
+
+namespace {
+
+/** Header: magic, version, section count. */
+constexpr std::size_t kHeaderBytes = 12;
+/** Footer: footer magic, total CRC. */
+constexpr std::size_t kFooterBytes = 8;
+/** Per-section framing: tag, length (before payload), CRC (after). */
+constexpr std::size_t kSectionFrameBytes = 12;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void
+putLe32(std::vector<Byte> &buf, std::size_t at, std::uint32_t v)
+{
+    buf[at + 0] = Byte(v);
+    buf[at + 1] = Byte(v >> 8);
+    buf[at + 2] = Byte(v >> 16);
+    buf[at + 3] = Byte(v >> 24);
+}
+
+std::uint32_t
+getLe32(const Byte *p)
+{
+    return std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
+           std::uint32_t(p[2]) << 16 | std::uint32_t(p[3]) << 24;
+}
+
+} // namespace
+
+std::uint32_t
+snapshotCrc32(const Byte *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < len; i++)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::string
+snapshotTagName(Word tag)
+{
+    char text[5];
+    bool printable = true;
+    for (unsigned i = 0; i < 4; i++) {
+        text[i] = char((tag >> (8 * i)) & 0xffu);
+        if (!std::isprint(static_cast<unsigned char>(text[i])))
+            printable = false;
+    }
+    text[4] = '\0';
+    if (printable)
+        return std::string("\"") + text + "\"";
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "0x%08x", tag);
+    return hex;
+}
+
+// -- SnapshotWriter ------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter()
+{
+    buf_.resize(kHeaderBytes, 0);
+    putLe32(buf_, 0, kSnapshotMagic);
+    putLe32(buf_, 4, kSnapshotVersion);
+}
+
+void
+SnapshotWriter::u8(std::uint8_t v)
+{
+    buf_.push_back(v);
+}
+
+void
+SnapshotWriter::u32(std::uint32_t v)
+{
+    buf_.push_back(Byte(v));
+    buf_.push_back(Byte(v >> 8));
+    buf_.push_back(Byte(v >> 16));
+    buf_.push_back(Byte(v >> 24));
+}
+
+void
+SnapshotWriter::u64(std::uint64_t v)
+{
+    u32(std::uint32_t(v));
+    u32(std::uint32_t(v >> 32));
+}
+
+void
+SnapshotWriter::bytes(const void *src, std::size_t len)
+{
+    const Byte *p = static_cast<const Byte *>(src);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+void
+SnapshotWriter::str(const std::string &s)
+{
+    u32(std::uint32_t(s.size()));
+    bytes(s.data(), s.size());
+}
+
+void
+SnapshotWriter::beginSection(Word tag)
+{
+    if (inSection_ || finished_)
+        UEXC_PANIC("snapshot writer: nested or post-finish section");
+    inSection_ = true;
+    u32(tag);
+    u32(0);  // length, patched by endSection
+    payloadStart_ = buf_.size();
+}
+
+void
+SnapshotWriter::endSection()
+{
+    if (!inSection_)
+        UEXC_PANIC("snapshot writer: endSection outside a section");
+    inSection_ = false;
+    std::size_t payload = buf_.size() - payloadStart_;
+    putLe32(buf_, payloadStart_ - 4, std::uint32_t(payload));
+    u32(snapshotCrc32(buf_.data() + payloadStart_, payload));
+    sectionCount_++;
+}
+
+std::vector<Byte>
+SnapshotWriter::finish()
+{
+    if (inSection_ || finished_)
+        UEXC_PANIC("snapshot writer: finish inside a section");
+    finished_ = true;
+    putLe32(buf_, 8, sectionCount_);
+    u32(kSnapshotFooterMagic);
+    // the total CRC covers everything written so far, footer magic
+    // included; only the CRC word itself is outside it
+    std::uint32_t total = snapshotCrc32(buf_.data(), buf_.size());
+    u32(total);
+    return std::move(buf_);
+}
+
+// -- SnapshotReader ------------------------------------------------------
+
+SnapshotReader::SnapshotReader(const Byte *data, std::size_t len,
+                               std::string context)
+    : data_(data), len_(len), context_(std::move(context))
+{
+}
+
+void
+SnapshotReader::fail(const std::string &what) const
+{
+    throw SnapshotError("snapshot " + context_ + ": " + what);
+}
+
+void
+SnapshotReader::need(std::size_t n) const
+{
+    if (len_ - pos_ < n)
+        fail("truncated payload (need " + std::to_string(n) +
+             " bytes at offset " + std::to_string(pos_) + " of " +
+             std::to_string(len_) + ")");
+}
+
+std::uint8_t
+SnapshotReader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint32_t
+SnapshotReader::u32()
+{
+    need(4);
+    std::uint32_t v = getLe32(data_ + pos_);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::u64()
+{
+    std::uint64_t lo = u32();
+    std::uint64_t hi = u32();
+    return lo | hi << 32;
+}
+
+bool
+SnapshotReader::boolean()
+{
+    std::uint8_t v = u8();
+    if (v > 1)
+        fail("boolean field holds " + std::to_string(v));
+    return v != 0;
+}
+
+void
+SnapshotReader::bytes(void *dst, std::size_t len)
+{
+    need(len);
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+}
+
+std::string
+SnapshotReader::str()
+{
+    std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+void
+SnapshotReader::expectEnd() const
+{
+    if (pos_ != len_)
+        fail(std::to_string(len_ - pos_) +
+             " unconsumed payload bytes");
+}
+
+// -- SnapshotImage -------------------------------------------------------
+
+SnapshotImage::SnapshotImage(const std::vector<Byte> &bytes)
+    : data_(bytes.data())
+{
+    std::size_t len = bytes.size();
+    if (len < kHeaderBytes + kFooterBytes)
+        throw SnapshotError("snapshot image: " + std::to_string(len) +
+                            " bytes is shorter than header + footer");
+    if (getLe32(data_) != kSnapshotMagic)
+        throw SnapshotError("snapshot image: bad magic");
+    std::uint32_t version = getLe32(data_ + 4);
+    if (version != kSnapshotVersion)
+        throw SnapshotError(
+            "snapshot image: format version " + std::to_string(version) +
+            ", this build reads version " +
+            std::to_string(kSnapshotVersion));
+    if (getLe32(data_ + len - 8) != kSnapshotFooterMagic)
+        throw SnapshotError("snapshot image: bad footer magic "
+                            "(truncated image?)");
+    std::uint32_t total_crc = getLe32(data_ + len - 4);
+    if (snapshotCrc32(data_, len - 4) != total_crc)
+        throw SnapshotError("snapshot image: total CRC mismatch");
+
+    std::uint32_t count = getLe32(data_ + 8);
+    std::size_t pos = kHeaderBytes;
+    std::size_t body_end = len - kFooterBytes;
+    for (std::uint32_t i = 0; i < count; i++) {
+        if (body_end - pos < kSectionFrameBytes)
+            throw SnapshotError("snapshot image: section " +
+                                std::to_string(i) + " frame truncated");
+        Word tag = getLe32(data_ + pos);
+        std::size_t payload = getLe32(data_ + pos + 4);
+        if (payload > body_end - pos - kSectionFrameBytes)
+            throw SnapshotError(
+                "snapshot image: section " + snapshotTagName(tag) +
+                " length " + std::to_string(payload) +
+                " overruns the image");
+        std::size_t offset = pos + 8;
+        std::uint32_t crc = getLe32(data_ + offset + payload);
+        if (snapshotCrc32(data_ + offset, payload) != crc)
+            throw SnapshotError("snapshot image: section " +
+                                snapshotTagName(tag) + " CRC mismatch");
+        if (has(tag))
+            throw SnapshotError("snapshot image: duplicate section " +
+                                snapshotTagName(tag));
+        sections_.push_back({tag, offset, payload});
+        pos = offset + payload + 4;
+    }
+    if (pos != body_end)
+        throw SnapshotError("snapshot image: " +
+                            std::to_string(body_end - pos) +
+                            " stray bytes after the last section");
+}
+
+bool
+SnapshotImage::has(Word tag) const
+{
+    for (const SnapshotSection &s : sections_)
+        if (s.tag == tag)
+            return true;
+    return false;
+}
+
+SnapshotReader
+SnapshotImage::section(Word tag) const
+{
+    for (const SnapshotSection &s : sections_)
+        if (s.tag == tag)
+            return SnapshotReader(data_ + s.offset, s.length,
+                                  "section " + snapshotTagName(tag));
+    throw SnapshotError("snapshot image: required section " +
+                        snapshotTagName(tag) + " is missing");
+}
+
+// -- file I/O ------------------------------------------------------------
+
+void
+writeSnapshotFile(const std::string &path,
+                  const std::vector<Byte> &image)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("snapshot write: cannot open " + tmp);
+    bool ok = image.empty() ||
+              std::fwrite(image.data(), 1, image.size(), f) ==
+                  image.size();
+    ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+    ok = fsync(fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("snapshot write: short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("snapshot write: rename to " + path +
+                            " failed");
+    }
+}
+
+std::vector<Byte>
+readSnapshotFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("snapshot read: cannot open " + path);
+    std::vector<Byte> image;
+    Byte chunk[65536];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        image.insert(image.end(), chunk, chunk + got);
+    bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err)
+        throw SnapshotError("snapshot read: I/O error on " + path);
+    return image;
+}
+
+} // namespace uexc::sim

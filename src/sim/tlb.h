@@ -91,6 +91,12 @@ class Tlb
 
     const TlbStats &stats() const { return stats_; }
     void clearStats() { stats_ = TlbStats(); }
+    /**
+     * Snapshot restore only: entries go back through setEntry (which
+     * bumps generation(), correctly dropping host translation caches),
+     * then the counters are reinstated here.
+     */
+    void restoreStats(const TlbStats &stats) { stats_ = stats; }
 
     /**
      * Monotonic count of TLB content mutations (setEntry, invalidate,

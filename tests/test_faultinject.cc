@@ -2,18 +2,24 @@
  * @file
  * Fault injection and recovery hardening.
  *
- * Two layers of coverage:
+ * Two layers of coverage, both running on the shared chaos rig
+ * (core/chaos.h) so the workload here is byte-for-byte the one the
+ * checkpoint/replay machinery snapshots:
  *
  *  1. Deterministic unit tests: each injection kind, the watchdog
  *     demotion path, the save-page canary, and the zero-overhead
  *     guarantee of an idle injector.
  *
- *  2. A seeded chaos campaign: many independently-seeded runs of a
+ *  2. A seeded chaos campaign: many independently-seeded runs of the
  *     protection-fault workload with randomly placed injections. The
  *     invariant under test is the robustness contract — every run
  *     either converges bit-identically to the fault-free reference
  *     or terminates with a structured GuestError diagnosis; no run
  *     may crash the host, hang, or die on a PanicError/FatalError.
+ *     When a seed breaks the contract, the divergence finder shrinks
+ *     it to a minimal repro window and the failure message carries
+ *     the copy-pasteable `uexc-snap replay` line for the saved file —
+ *     nobody re-runs the campaign from boot to debug a CI failure.
  *
  * Seed count defaults to 200 and can be overridden with the
  * UEXC_CHAOS_SEEDS environment variable.
@@ -27,79 +33,22 @@
 
 #include "common/guesterror.h"
 #include "common/logging.h"
-#include "os_test_util.h"
+#include "core/chaos.h"
+#include "os/layout.h"
 #include "sim/faultinject.h"
 
 namespace uexc::rt {
 namespace {
 
-using namespace os;
-using namespace os::testutil;
-using sim::FaultEvent;
+using chaos::kRegion;
+using chaos::kRegionBytes;
+using chaos::kScratch;
+using chaos::Rig;
+using os::kPageBytes;
+using os::kProtRead;
+using os::kProtWrite;
 using sim::FaultInjector;
 using sim::FaultKind;
-
-constexpr Addr kRegion = 0x01000000;         // workload data, 2 pages
-constexpr Word kRegionBytes = 2 * kPageBytes;
-constexpr Addr kScratch = 0x01008000;        // always-mapped page
-constexpr Word kCheckStride = 64;            // bytes between checked words
-
-/** One bootable workload instance, optionally under injection. */
-struct Rig
-{
-    explicit Rig(FaultInjector *injector = nullptr)
-        : booted_(configFor(injector)),
-          env(booted_.kernel, DeliveryMode::FastSoftware)
-    {
-        env.install(kAllExcMask);
-        env.allocate(kRegion, kRegionBytes);
-        env.allocate(kScratch, kPageBytes);
-        env.setHandler([this](Fault &) {
-            // Idempotent recovery: make the whole region writable.
-            env.protect(kRegion, kRegionBytes, kProtRead | kProtWrite);
-        });
-        env.store(kScratch, 0x5c5c5c5cu);  // map it for good
-    }
-
-    static sim::MachineConfig configFor(FaultInjector *injector)
-    {
-        sim::MachineConfig cfg = osMachineConfig(/*hw_extensions=*/true);
-        cfg.cpu.faultInjector = injector;
-        return cfg;
-    }
-
-    /** Protection-fault churn: the window injections land in. */
-    void chaosPhase()
-    {
-        for (unsigned round = 0; round < 6; round++) {
-            env.protect(kRegion, kRegionBytes, kProtRead);
-            for (unsigned i = 0; i < 8; i++) {
-                Addr va = kRegion + ((round * 8 + i) * 132u) %
-                                        kRegionBytes;
-                env.store(va & ~3u, round * 100 + i);
-            }
-            for (unsigned i = 0; i < 4; i++)
-                (void)env.load(kRegion + (i * 292u) % kRegionBytes);
-            (void)env.load(kScratch);
-        }
-    }
-
-    /** Rewrite every checked word, then collect them. */
-    std::vector<Word> finalPhase()
-    {
-        for (Word off = 0; off < kRegionBytes; off += kCheckStride)
-            env.store(kRegion + off, 0xabcd0000u + off);
-        std::vector<Word> words;
-        for (Word off = 0; off < kRegionBytes; off += kCheckStride)
-            words.push_back(env.load(kRegion + off));
-        return words;
-    }
-
-    Addr physOf(Addr va) { return env.process().as().physOf(va); }
-
-    BootedKernel booted_;
-    UserEnv env;
-};
 
 // -- deterministic unit coverage -------------------------------------------
 
@@ -113,14 +62,13 @@ TEST(FaultInject, IdleInjectorIsBitIdentical)
     FaultInjector idle;
     Rig hooked(&idle);
 
-    plain.chaosPhase();
-    hooked.chaosPhase();
-    std::vector<Word> a = plain.finalPhase();
-    std::vector<Word> b = hooked.finalPhase();
+    plain.run();
+    hooked.run();
 
-    EXPECT_EQ(a, b);
-    EXPECT_EQ(plain.env.cpu().cycles(), hooked.env.cpu().cycles());
-    EXPECT_EQ(plain.env.cpu().instret(), hooked.env.cpu().instret());
+    EXPECT_EQ(plain.words(), hooked.words());
+    EXPECT_EQ(plain.env().cpu().cycles(), hooked.env().cpu().cycles());
+    EXPECT_EQ(plain.env().cpu().instret(),
+              hooked.env().cpu().instret());
     EXPECT_TRUE(idle.fired().empty());
 }
 
@@ -130,14 +78,14 @@ TEST(FaultInject, SpuriousRefillIsTransparent)
     FaultInjector inj;
     Rig rig(&inj);
     inj.addEvent({FaultKind::SpuriousException, 0,
-                  rig.env.cpu().instret() + 5, kScratch, 0, 0});
+                  rig.env().cpu().instret() + 5, kScratch, 0, 0});
 
-    rig.env.store(kRegion, 41);
-    (void)rig.env.load(kScratch);
+    rig.env().store(kRegion, 41);
+    (void)rig.env().load(kScratch);
     EXPECT_EQ(inj.pendingCount(), 0u);
     ASSERT_EQ(inj.fired().size(), 1u);
-    EXPECT_EQ(rig.env.load(kRegion), 41u);
-    EXPECT_FALSE(rig.env.demoted());
+    EXPECT_EQ(rig.env().load(kRegion), 41u);
+    EXPECT_FALSE(rig.env().demoted());
 }
 
 /** A TLB eviction only costs a refill; execution is unaffected. */
@@ -147,13 +95,13 @@ TEST(FaultInject, TlbEvictionIsRecoverable)
     Rig rig(&inj);
     for (unsigned idx = 0; idx < 8; idx++) {
         inj.addEvent({FaultKind::TlbSpuriousMiss, 0,
-                      rig.env.cpu().instret() + 20 + idx, 0, 0, idx});
+                      rig.env().cpu().instret() + 20 + idx, 0, 0, idx});
     }
-    rig.env.store(kRegion, 7);
-    rig.env.store(kRegion + kPageBytes, 8);
-    EXPECT_EQ(rig.env.load(kRegion), 7u);
-    EXPECT_EQ(rig.env.load(kRegion + kPageBytes), 8u);
-    EXPECT_FALSE(rig.env.demoted());
+    rig.env().store(kRegion, 7);
+    rig.env().store(kRegion + kPageBytes, 8);
+    EXPECT_EQ(rig.env().load(kRegion), 7u);
+    EXPECT_EQ(rig.env().load(kRegion + kPageBytes), 8u);
+    EXPECT_FALSE(rig.env().demoted());
 }
 
 /**
@@ -164,20 +112,19 @@ TEST(FaultInject, TlbEvictionIsRecoverable)
 TEST(FaultInject, TlbCorruptionIsDiagnosed)
 {
     setLoggingEnabled(false);
-    FaultInjector inj;
-    Rig rig(&inj);
-    rig.env.store(kRegion, 1);  // ensure a live TLB entry exists
-
     bool diagnosed = false;
     try {
-        for (unsigned pass = 0; pass < 32 && !diagnosed; pass++) {
+        for (unsigned pass = 0; pass < 8 && !diagnosed; pass++) {
+            FaultInjector inj;
+            Rig rig(&inj);
+            rig.env().store(kRegion, 1); // a live TLB entry exists
             for (unsigned idx = 0; idx < 8; idx++) {
                 inj.addEvent({FaultKind::TlbCorrupt, 0,
-                              rig.env.cpu().instret(), 0, 0,
+                              rig.env().cpu().instret(), 0, 0,
                               pass * 8 + idx});
             }
             try {
-                rig.chaosPhase();
+                rig.runTo(chaos::kChaosOps);
             } catch (const GuestError &e) {
                 diagnosed = true;
                 EXPECT_NE(std::string(e.what()).find("bad trap"),
@@ -199,29 +146,30 @@ TEST(FaultInject, TlbCorruptionIsDiagnosed)
 TEST(FaultInject, HandlerRunawayDemotesAndRecovers)
 {
     FaultInjector inj;
-    Rig rig(&inj);
-    rig.env.setHandlerBudget(20000);
+    chaos::RigConfig cfg;
+    cfg.handlerBudget = 20000;
+    Rig rig(&inj, cfg);
 
-    Addr stub_page = rig.env.stubAddr() & ~(kPageBytes - 1);
+    Addr stub_page = rig.env().stubAddr() & ~(kPageBytes - 1);
     Addr stub_pa = rig.physOf(stub_page) +
-                   (rig.env.stubAddr() & (kPageBytes - 1));
+                   (rig.env().stubAddr() & (kPageBytes - 1));
     inj.addEvent({FaultKind::HandlerRunaway, 0,
-                  rig.env.cpu().instret(), stub_pa, 0, 0});
+                  rig.env().cpu().instret(), stub_pa, 0, 0});
 
-    rig.env.protect(kRegion, kRegionBytes, kProtRead);
-    rig.env.store(kRegion + 8, 99);  // faults into the looping stub
+    rig.env().protect(kRegion, kRegionBytes, kProtRead);
+    rig.env().store(kRegion + 8, 99); // faults into the looping stub
 
-    EXPECT_TRUE(rig.env.demoted());
-    EXPECT_EQ(rig.env.deliveryMode(), DeliveryMode::UltrixSignal);
-    EXPECT_EQ(rig.env.stats().deliveryDemoted, 1u);
-    EXPECT_EQ(rig.booted_.kernel.deliveryDemotions(), 1u);
-    EXPECT_EQ(rig.env.load(kRegion + 8), 99u);
+    EXPECT_TRUE(rig.env().demoted());
+    EXPECT_EQ(rig.env().deliveryMode(), DeliveryMode::UltrixSignal);
+    EXPECT_EQ(rig.env().stats().deliveryDemoted, 1u);
+    EXPECT_EQ(rig.kernel().deliveryDemotions(), 1u);
+    EXPECT_EQ(rig.env().load(kRegion + 8), 99u);
 
     // Later faults keep working through the kernel-mediated path.
-    rig.env.protect(kRegion, kRegionBytes, kProtRead);
-    rig.env.store(kRegion + 12, 100);
-    EXPECT_EQ(rig.env.load(kRegion + 12), 100u);
-    EXPECT_EQ(rig.env.stats().deliveryDemoted, 1u);
+    rig.env().protect(kRegion, kRegionBytes, kProtRead);
+    rig.env().store(kRegion + 12, 100);
+    EXPECT_EQ(rig.env().load(kRegion + 12), 100u);
+    EXPECT_EQ(rig.env().stats().deliveryDemoted, 1u);
 }
 
 /**
@@ -234,147 +182,71 @@ TEST(FaultInject, SavePageCanaryCorruptionDemotes)
     FaultInjector inj;
     Rig rig(&inj);
 
-    Addr frame_pa = rig.physOf(kUexcFramePage);
-    inj.addEvent({FaultKind::MemBitFlip, 0, rig.env.cpu().instret(),
-                  frame_pa + kUexcCanaryOffset + 128, 13, 0});
+    Addr frame_pa = rig.physOf(os::kUexcFramePage);
+    inj.addEvent({FaultKind::MemBitFlip, 0, rig.env().cpu().instret(),
+                  frame_pa + os::kUexcCanaryOffset + 128, 13, 0});
 
-    rig.env.protect(kRegion, kRegionBytes, kProtRead);
-    rig.env.store(kRegion + 4, 55);
+    rig.env().protect(kRegion, kRegionBytes, kProtRead);
+    rig.env().store(kRegion + 4, 55);
 
-    EXPECT_EQ(rig.env.load(kRegion + 4), 55u);
-    EXPECT_EQ(rig.env.stats().savePageCorruptions, 1u);
-    EXPECT_TRUE(rig.env.demoted());
-    EXPECT_EQ(rig.env.stats().deliveryDemoted, 1u);
+    EXPECT_EQ(rig.env().load(kRegion + 4), 55u);
+    EXPECT_EQ(rig.env().stats().savePageCorruptions, 1u);
+    EXPECT_TRUE(rig.env().demoted());
+    EXPECT_EQ(rig.env().stats().deliveryDemoted, 1u);
 
     // Demoted but alive: further protection faults still deliver.
-    rig.env.protect(kRegion, kRegionBytes, kProtRead);
-    rig.env.store(kRegion + 16, 56);
-    EXPECT_EQ(rig.env.load(kRegion + 16), 56u);
-    EXPECT_EQ(rig.env.stats().savePageCorruptions, 1u);
+    rig.env().protect(kRegion, kRegionBytes, kProtRead);
+    rig.env().store(kRegion + 16, 56);
+    EXPECT_EQ(rig.env().load(kRegion + 16), 56u);
+    EXPECT_EQ(rig.env().stats().savePageCorruptions, 1u);
 }
 
-/** A data-region bit flip before the final rewrite cannot survive. */
+/** A data-region bit flip before the final rewrite cannot survive
+ *  (the rig closes the injection window before the rewrite). */
 TEST(FaultInject, DataBitFlipIsOverwrittenByRecovery)
 {
     Rig plain;
-    plain.chaosPhase();
-    std::vector<Word> want = plain.finalPhase();
+    plain.run();
 
     FaultInjector inj;
     Rig rig(&inj);
     inj.addEvent({FaultKind::MemBitFlip, 0,
-                  rig.env.cpu().instret() + 100, rig.physOf(kRegion) + 64,
-                  7, 0});
-    rig.chaosPhase();
-    inj.clear();
-    EXPECT_EQ(rig.finalPhase(), want);
+                  rig.env().cpu().instret() + 100,
+                  rig.physOf(kRegion) + 64, 7, 0});
+    rig.run();
+    EXPECT_EQ(rig.words(), plain.words());
 }
 
 // -- the seeded chaos campaign ------------------------------------------
 
-struct CampaignOutcome
+/**
+ * Shrink a failing seed to its minimal repro window, save the window
+ * to a repro file (under UEXC_REPRO_DIR when set, so CI uploads it as
+ * an artifact), and return the one-line reproduction command. Called
+ * from assertion messages, i.e. only when a seed actually fails.
+ */
+std::string
+reproLineFor(std::uint64_t seed, const chaos::Reference &ref)
 {
-    bool diagnosed = false;      ///< ended in a GuestError
-    bool hostFailure = false;    ///< PanicError/FatalError/other escape
-    std::string what;
-    /**
-     * Whether any scheduled event may legitimately end in a
-     * diagnosis instead of convergence: TlbCorrupt (detected by the
-     * pmap consistency check), and SpuriousException (a refill
-     * injected inside the stub's resume window clobbers K0 — the
-     * R3000 kernel-register hazard the paper's pinned save page
-     * exists to keep refill-free; the watchdog turns the resulting
-     * runaway into demotion or a GuestError).
-     */
-    bool mayDiagnose = false;
-    std::vector<Word> words;
-};
-
-CampaignOutcome
-runCampaign(std::uint64_t seed, InstCount window,
-            const std::vector<Word> &reference)
-{
-    CampaignOutcome out;
-    FaultInjector inj;
-    try {
-        Rig rig(&inj);
-        std::uint64_t rng = seed;
-        unsigned nevents =
-            1 + FaultInjector::splitmix64(rng) % 3;
-        for (unsigned i = 0; i < nevents; i++) {
-            FaultEvent e;
-            e.kind = static_cast<FaultKind>(
-                FaultInjector::splitmix64(rng) % 5);
-            e.hart = 0;
-            e.atInst = rig.env.cpu().instret() +
-                       FaultInjector::splitmix64(rng) % window;
-            switch (e.kind) {
-              case FaultKind::MemBitFlip: {
-                // Confined to the workload region: the recovery
-                // contract (final rewrite) covers exactly this memory.
-                Word off = static_cast<Word>(
-                    FaultInjector::splitmix64(rng) % kRegionBytes) & ~3u;
-                e.addr = rig.physOf(kRegion +
-                                    (off & ~(kPageBytes - 1))) +
-                         (off & (kPageBytes - 1));
-                e.bit = FaultInjector::splitmix64(rng) % 32;
-                break;
-              }
-              case FaultKind::TlbCorrupt:
-              case FaultKind::TlbSpuriousMiss:
-                e.tlbIndex =
-                    static_cast<unsigned>(
-                        FaultInjector::splitmix64(rng));
-                out.mayDiagnose |= e.kind == FaultKind::TlbCorrupt;
-                break;
-              case FaultKind::SpuriousException:
-                e.addr = kScratch;
-                out.mayDiagnose = true;
-                break;
-              case FaultKind::HandlerRunaway: {
-                Addr page = rig.env.stubAddr() & ~(kPageBytes - 1);
-                e.addr = rig.physOf(page) +
-                         (rig.env.stubAddr() & (kPageBytes - 1));
-                break;
-              }
-            }
-            inj.addEvent(e);
-        }
-
-        rig.env.setHandlerBudget(50000);
-        rig.chaosPhase();
-        // Close the injection window before recovery rewrites the
-        // region; still-pending events never fired.
-        inj.clear();
-        out.words = rig.finalPhase();
-        if (out.words != reference) {
-            out.hostFailure = true;
-            out.what = "final contents diverged from reference";
-        }
-    } catch (const GuestError &e) {
-        out.diagnosed = true;
-        out.what = e.what();
-    } catch (const std::exception &e) {
-        out.hostFailure = true;
-        out.what = e.what();
-    } catch (...) {
-        out.hostFailure = true;
-        out.what = "unknown exception";
-    }
-    return out;
+    chaos::ReproWindow repro =
+        chaos::shrinkCampaign(seed, ref.window, ref.words);
+    if (!repro.found)
+        return "(shrink could not reproduce the failure)";
+    std::string dir = ::testing::TempDir();
+    if (const char *d = std::getenv("UEXC_REPRO_DIR"))
+        dir = std::string(d) + "/";
+    std::string path = dir + "chaos_seed_" + std::to_string(seed) +
+                       ".uxsn";
+    chaos::writeReproFile(repro, path);
+    return "reproduce ops [" + std::to_string(repro.startOp) + ", " +
+           std::to_string(repro.endOp) + ") with: " +
+           chaos::reproCommandLine(path);
 }
 
 TEST(FaultInjectChaos, SeededCampaign)
 {
     setLoggingEnabled(false);
-
-    // Fault-free reference: final words and the size of the
-    // injection window (instructions retired through the chaos
-    // phase).
-    Rig ref;
-    ref.chaosPhase();
-    InstCount window = ref.env.cpu().instret();
-    std::vector<Word> reference = ref.finalPhase();
+    chaos::Reference ref = chaos::makeReference();
 
     unsigned seeds = 200;
     if (const char *s = std::getenv("UEXC_CHAOS_SEEDS"))
@@ -382,17 +254,20 @@ TEST(FaultInjectChaos, SeededCampaign)
 
     unsigned converged = 0, diagnosed = 0;
     for (unsigned seed = 1; seed <= seeds; seed++) {
-        CampaignOutcome out =
-            runCampaign(0x9000 + seed, window, reference);
+        std::uint64_t full_seed = 0x9000 + seed;
+        chaos::CampaignOutcome out =
+            chaos::runCampaign(full_seed, ref.window, ref.words);
         ASSERT_FALSE(out.hostFailure)
-            << "seed " << seed << ": " << out.what;
+            << "seed " << seed << ": " << out.what << "\n"
+            << reproLineFor(full_seed, ref);
         if (out.diagnosed) {
             // Only the detected classes may end in a diagnosis;
             // every recoverable class must converge.
             ASSERT_TRUE(out.mayDiagnose)
                 << "seed " << seed
-                << " diagnosed without a detectable fault: "
-                << out.what;
+                << " diagnosed without a detectable fault: " << out.what
+                << "\n"
+                << reproLineFor(full_seed, ref);
             diagnosed++;
         } else {
             converged++;
@@ -407,17 +282,17 @@ TEST(FaultInjectChaos, SeededCampaign)
 TEST(FaultInjectChaos, CampaignIsDeterministic)
 {
     setLoggingEnabled(false);
-    Rig ref;
-    ref.chaosPhase();
-    InstCount window = ref.env.cpu().instret();
-    std::vector<Word> reference = ref.finalPhase();
+    chaos::Reference ref = chaos::makeReference();
 
     for (std::uint64_t seed : {0x51ull, 0x52ull, 0x53ull}) {
-        CampaignOutcome a = runCampaign(seed, window, reference);
-        CampaignOutcome b = runCampaign(seed, window, reference);
+        chaos::CampaignOutcome a =
+            chaos::runCampaign(seed, ref.window, ref.words);
+        chaos::CampaignOutcome b =
+            chaos::runCampaign(seed, ref.window, ref.words);
         EXPECT_EQ(a.diagnosed, b.diagnosed) << seed;
         EXPECT_EQ(a.hostFailure, b.hostFailure) << seed;
         EXPECT_EQ(a.what, b.what) << seed;
+        EXPECT_EQ(a.failOp, b.failOp) << seed;
         EXPECT_EQ(a.words, b.words) << seed;
     }
     setLoggingEnabled(true);

@@ -9,6 +9,8 @@
  *   $ ./tools/kdump fast       # only the fast path (Table 3 region)
  *   $ ./tools/kdump --lint     # run uexc-lint over the image instead
  *   $ ./tools/kdump --harts N  # the multihart study images for N harts
+ *   $ ./tools/kdump --snapshot # section table of a booted machine's
+ *                              # checkpoint (raw vs zero-elided size)
  */
 
 #include <cstdio>
@@ -17,9 +19,12 @@
 #include <map>
 
 #include "core/multihart.h"
+#include "os/kernel.h"
 #include "os/kernelimage.h"
 #include "os/layout.h"
 #include "sim/isa.h"
+#include "sim/machine.h"
+#include "sim/snapshot.h"
 
 using namespace uexc;
 using namespace uexc::sim;
@@ -73,6 +78,33 @@ dumpMultihart(unsigned harts)
     return 0;
 }
 
+/** Checkpoint a freshly booted kernel machine and print what the
+ *  snapshot holds: one row per section, and the zero-elision win. */
+int
+dumpSnapshot()
+{
+    Machine machine;
+    Kernel kernel(machine);
+    kernel.boot();
+    std::vector<Byte> image = machine.checkpoint();
+    SnapshotImage parsed(image);
+
+    std::printf("booted kernel snapshot: %zu bytes, %zu sections, "
+                "format v%u\n\n",
+                image.size(), parsed.sections().size(),
+                kSnapshotVersion);
+    std::printf("  %-8s %12s\n", "tag", "bytes");
+    for (const SnapshotSection &s : parsed.sections())
+        std::printf("  %-8s %12zu\n", snapshotTagName(s.tag).c_str(),
+                    s.length);
+    std::printf("\n  physical memory: %zu bytes; raw (unelided) image "
+                "would be ~%zu KiB, elided image is %zu KiB\n",
+                machine.mem().size(),
+                (machine.mem().size() + image.size()) / 1024,
+                image.size() / 1024);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -80,6 +112,9 @@ main(int argc, char **argv)
 {
     bool fast_only = argc > 1 && std::strcmp(argv[1], "fast") == 0;
     bool lint_only = argc > 1 && std::strcmp(argv[1], "--lint") == 0;
+
+    if (argc > 1 && std::strcmp(argv[1], "--snapshot") == 0)
+        return dumpSnapshot();
 
     if (argc > 1 && std::strcmp(argv[1], "--harts") == 0) {
         if (argc < 3) {

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * uexc-snap: save, inspect, and replay machine snapshots.
+ *
+ *   $ uexc-snap save out.uxsn [--seed S] [--op N]
+ *       boot the chaos rig, optionally plan a seeded injection
+ *       campaign, run to op N (default: end of the chaos phase) and
+ *       write the rig's snapshot.
+ *   $ uexc-snap verify file.uxsn
+ *       validate header, version, section CRCs, total CRC; print the
+ *       section table. Exit 1 on any rejection.
+ *   $ uexc-snap diff a.uxsn b.uxsn
+ *       section-by-section comparison of two validated images.
+ *   $ uexc-snap restore file.uxsn
+ *       restore into a freshly built rig and run the campaign to the
+ *       end; report convergence against the fault-free reference
+ *       (the snapshot itself carries any not-yet-fired injection
+ *       events — no seed needed to resume a campaign).
+ *   $ uexc-snap replay repro.uxsn
+ *       replay a minimal repro window emitted by the divergence
+ *       finder (tests/CI artifacts); exits 0 when the recorded
+ *       failure reproduces.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/guesterror.h"
+#include "common/logging.h"
+#include "core/chaos.h"
+#include "sim/snapshot.h"
+
+using namespace uexc;
+using rt::chaos::Rig;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: uexc-snap save <path> [--seed S] [--op N]\n"
+                 "       uexc-snap verify <path>\n"
+                 "       uexc-snap diff <a> <b>\n"
+                 "       uexc-snap restore <path>\n"
+                 "       uexc-snap replay <repro-path>\n");
+    return 2;
+}
+
+/** FNV-1a over the collected words, as a compact convergence stamp. */
+std::uint64_t
+wordsHash(const std::vector<Word> &words)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (Word w : words) {
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+int
+cmdSave(const std::string &path, std::uint64_t seed, unsigned op)
+{
+    rt::chaos::Reference ref = rt::chaos::makeReference();
+    sim::FaultInjector inj;
+    Rig rig(&inj);
+    if (seed != 0) {
+        bool may = false;
+        for (const sim::FaultEvent &e :
+             rt::chaos::planEvents(seed, ref.window, rig, &may))
+            inj.addEvent(e);
+        std::printf("seed 0x%llx: %zu events planned%s\n",
+                    static_cast<unsigned long long>(seed),
+                    inj.pendingCount(),
+                    may ? " (may diagnose)" : "");
+    }
+    try {
+        rig.runTo(op);
+    } catch (const GuestError &e) {
+        std::fprintf(stderr,
+                     "uexc-snap: campaign failed at op %u before the "
+                     "requested snapshot op: %s\n",
+                     rig.cursor(), e.what());
+        return 1;
+    }
+    sim::writeSnapshotFile(path, rig.checkpoint());
+    std::printf("saved %s at op %u/%u (instret %llu, %zu events "
+                "pending)\n",
+                path.c_str(), rig.cursor(), rt::chaos::kTotalOps,
+                static_cast<unsigned long long>(
+                    rig.env().cpu().instret()),
+                inj.pendingCount());
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    std::vector<Byte> bytes = sim::readSnapshotFile(path);
+    sim::SnapshotImage image(bytes);
+    std::printf("%s: %zu bytes, %zu sections, format v%u — OK\n",
+                path.c_str(), bytes.size(), image.sections().size(),
+                sim::kSnapshotVersion);
+    std::printf("  %-8s %12s\n", "tag", "bytes");
+    for (const sim::SnapshotSection &s : image.sections())
+        std::printf("  %-8s %12zu\n",
+                    sim::snapshotTagName(s.tag).c_str(), s.length);
+    return 0;
+}
+
+int
+cmdDiff(const std::string &path_a, const std::string &path_b)
+{
+    std::vector<Byte> bytes_a = sim::readSnapshotFile(path_a);
+    std::vector<Byte> bytes_b = sim::readSnapshotFile(path_b);
+    sim::SnapshotImage a(bytes_a);
+    sim::SnapshotImage b(bytes_b);
+
+    std::map<Word, const sim::SnapshotSection *> in_b;
+    for (const sim::SnapshotSection &s : b.sections())
+        in_b[s.tag] = &s;
+
+    unsigned differing = 0;
+    for (const sim::SnapshotSection &sa : a.sections()) {
+        auto it = in_b.find(sa.tag);
+        if (it == in_b.end()) {
+            std::printf("  %-8s only in %s\n",
+                        sim::snapshotTagName(sa.tag).c_str(),
+                        path_a.c_str());
+            differing++;
+            continue;
+        }
+        const sim::SnapshotSection &sb = *it->second;
+        bool same = sa.length == sb.length &&
+                    std::memcmp(bytes_a.data() + sa.offset,
+                                bytes_b.data() + sb.offset,
+                                sa.length) == 0;
+        if (!same) {
+            std::printf("  %-8s differs (%zu vs %zu bytes)\n",
+                        sim::snapshotTagName(sa.tag).c_str(),
+                        sa.length, sb.length);
+            differing++;
+        }
+        in_b.erase(it);
+    }
+    for (const auto &[tag, s] : in_b) {
+        std::printf("  %-8s only in %s\n",
+                    sim::snapshotTagName(tag).c_str(), path_b.c_str());
+        differing++;
+    }
+    if (differing == 0) {
+        std::printf("  images are identical (%zu sections)\n",
+                    a.sections().size());
+        return 0;
+    }
+    std::printf("  %u section%s differ\n", differing,
+                differing == 1 ? "" : "s");
+    return 1;
+}
+
+int
+cmdRestore(const std::string &path)
+{
+    rt::chaos::Reference ref = rt::chaos::makeReference();
+    // `save` always attaches an injector, so the image always carries
+    // a FINJ section; the twin must register its consumer.
+    sim::FaultInjector inj;
+    Rig rig(&inj);
+    rig.restore(sim::readSnapshotFile(path));
+    std::printf("restored %s at op %u/%u\n", path.c_str(),
+                rig.cursor(), rt::chaos::kTotalOps);
+    try {
+        rig.run();
+    } catch (const GuestError &e) {
+        std::printf("campaign diagnosed at op %u: %s\n", rig.cursor(),
+                    e.what());
+        return 0;
+    }
+    bool converged = rig.words() == ref.words;
+    std::printf("campaign finished: words hash %016llx, %s\n",
+                static_cast<unsigned long long>(wordsHash(rig.words())),
+                converged ? "converged to the fault-free reference"
+                          : "DIVERGED from the fault-free reference");
+    return converged ? 0 : 1;
+}
+
+int
+cmdReplay(const std::string &path)
+{
+    rt::chaos::ReproWindow repro = rt::chaos::readReproFile(path);
+    std::printf("repro: seed 0x%llx, ops [%u, %u) of %u, recorded "
+                "failure:\n  %s\n",
+                static_cast<unsigned long long>(repro.seed),
+                repro.startOp, repro.endOp, repro.campaignOps,
+                repro.failure.c_str());
+    rt::chaos::Reference ref = rt::chaos::makeReference(repro.config);
+    rt::chaos::CampaignOutcome out =
+        rt::chaos::replayRepro(repro, ref.words);
+    if (rt::chaos::outcomeFailed(out)) {
+        bool same = out.what == repro.failure;
+        std::printf("replayed failure at op %u:\n  %s\n", out.failOp,
+                    out.what.c_str());
+        std::printf(same ? "matches the recorded failure\n"
+                         : "DOES NOT match the recorded failure\n");
+        return same ? 0 : 1;
+    }
+    std::printf("window replayed clean — failure did not reproduce\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    setLoggingEnabled(false);
+
+    std::vector<std::string> args;
+    std::uint64_t seed = 0;
+    unsigned op = rt::chaos::kChaosOps;
+    for (int i = 2; i < argc; i++) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--op") == 0 && i + 1 < argc) {
+            op = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+
+    try {
+        if (cmd == "save" && args.size() == 1)
+            return cmdSave(args[0], seed, op);
+        if (cmd == "verify" && args.size() == 1)
+            return cmdVerify(args[0]);
+        if (cmd == "diff" && args.size() == 2)
+            return cmdDiff(args[0], args[1]);
+        if (cmd == "restore" && args.size() == 1)
+            return cmdRestore(args[0]);
+        if (cmd == "replay" && args.size() == 1)
+            return cmdReplay(args[0]);
+    } catch (const sim::SnapshotError &e) {
+        std::fprintf(stderr, "uexc-snap: rejected: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "uexc-snap: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
