@@ -16,15 +16,34 @@
  *     faulting hart's user handler and touches only per-hart state,
  *     so aggregate throughput scales linearly.
  *
- * The schedule is deterministic (round-robin, fixed quantum): two
- * identical invocations produce identical cycle counts, which this
- * bench verifies by running one configuration twice. Exits nonzero
- * if determinism or the scaling criteria fail.
+ * Two kinds of numbers come out, and the JSON schema keeps them
+ * apart:
+ *
+ *   - `analytic_*`: throughput in *simulated* cycles under the serial
+ *     reference scheduler. The famous 8.00x at 8 harts is analytic —
+ *     it says the modeled cost of user-vectored delivery has no
+ *     shared term, not that any host ran faster. (Earlier revisions
+ *     published these without the qualifier; the label is the fix.)
+ *
+ *   - `measured_*`: host wall-clock for the same user-vectored
+ *     workload under the Serial, Barrier, and Relaxed schedulers
+ *     (sim::SchedulerMode) — real threads, real speedup, bounded by
+ *     the host's core count (`host_threads` in the config block).
+ *
+ * The schedule of the analytic runs is deterministic (round-robin,
+ * fixed quantum): two identical invocations produce identical cycle
+ * counts, which this bench verifies by running one configuration
+ * twice. Exits nonzero if determinism or the scaling criteria fail;
+ * the wall-clock criteria only gate on hosts with enough cores to
+ * mean anything.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -45,10 +64,15 @@ namespace {
 constexpr Addr kWorkerPhys = 0x00210000;
 constexpr unsigned kAsid = 1;
 
-/** Scheduler quantum: small enough that harts genuinely interleave
- *  within a run, large enough to amortize nothing — cycle counts do
- *  not depend on it, only the interleaving order does. */
+/** Scheduler quantum for the analytic runs: small enough that harts
+ *  genuinely interleave within a run, large enough to amortize
+ *  nothing — cycle counts do not depend on it, only the interleaving
+ *  order does. */
 constexpr InstCount kQuantum = 500;
+
+/** Quantum for the wall-clock runs: large enough that one barrier
+ *  rendezvous amortizes over a real slice of work. */
+constexpr InstCount kMeasuredQuantum = 4000;
 
 struct StudyResult
 {
@@ -57,7 +81,7 @@ struct StudyResult
     Cycles maxHartCycles = 0;
     Cycles lockSpin = 0;
     std::uint64_t lockContended = 0;
-    /** Aggregate delivered exceptions per 1000 cycles. */
+    /** Aggregate delivered exceptions per 1000 *simulated* cycles. */
     double throughput = 0;
     /** Per-hart cycle counts, for the determinism fingerprint. */
     std::vector<Cycles> hartCycles;
@@ -89,15 +113,11 @@ class LockChargeObserver : public InstObserver
     os::KernelStackLock lock_;
 };
 
-StudyResult
-runStudy(unsigned n, bool user_vectored, InstCount insts_per_hart)
+/** Boot the study workload: N harts in the break/count loop, either
+ *  user-vectored or kernel-mediated. */
+void
+setupStudy(Machine &m, unsigned n, bool user_vectored)
 {
-    MachineConfig cfg;
-    cfg.harts = n;
-    cfg.quantum = kQuantum;
-    cfg.cpu.userVectorHw = true;    // same hardware in both modes
-    Machine m(cfg);
-
     m.load(rt::multihart::buildKernelImage(n));
     Program worker = rt::multihart::buildWorkerProgram(n);
     m.mem().writeBlock(kWorkerPhys, worker.words.data(),
@@ -122,6 +142,21 @@ runStudy(unsigned n, bool user_vectored, InstCount insts_per_hart)
         h.setPc(worker.symbol("mh_hart" + std::to_string(i) +
                               "_entry"));
     }
+}
+
+/** The analytic study: simulated-cycle throughput on the serial
+ *  reference scheduler, kernel-stack lock charged via the observer. */
+StudyResult
+runAnalyticStudy(unsigned n, bool user_vectored,
+                 InstCount insts_per_hart)
+{
+    MachineConfig cfg;
+    cfg.harts = n;
+    cfg.quantum = kQuantum;
+    cfg.cpu.userVectorHw = true;    // same hardware in both modes
+    cfg.scheduler = SchedulerMode::Serial;
+    Machine m(cfg);
+    setupStudy(m, n, user_vectored);
 
     LockChargeObserver observer(m);
     m.cpu().setObserver(&observer);
@@ -168,6 +203,29 @@ runStudy(unsigned n, bool user_vectored, InstCount insts_per_hart)
     return r;
 }
 
+/** One wall-clock measurement: the user-vectored workload (the one
+ *  with no shared guest state, so the Barrier scheduler commits every
+ *  round) on the fast interpreter under the given scheduler. Returns
+ *  seconds. No observer — the barrier scheduler correctly falls back
+ *  to serial quanta under one, which would measure nothing. */
+double
+runMeasured(unsigned n, SchedulerMode sched, InstCount insts_per_hart)
+{
+    MachineConfig cfg;
+    cfg.harts = n;
+    cfg.quantum = kMeasuredQuantum;
+    cfg.cpu.userVectorHw = true;
+    cfg.cpu.fastInterpreter = true;
+    cfg.scheduler = sched;
+    Machine m(cfg);
+    setupStudy(m, n, true);
+
+    auto t0 = std::chrono::steady_clock::now();
+    m.run(static_cast<InstCount>(n) * insts_per_hart);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 } // namespace
 
 int
@@ -179,47 +237,61 @@ main()
     InstCount insts_per_hart = 40000;
     if (const char *iters = std::getenv("UEXC_BENCH_ITERS"))
         insts_per_hart = std::strtoull(iters, nullptr, 10);
+    // Wall-clock runs need enough work per hart that thread startup
+    // and round rendezvous amortize.
+    InstCount measured_per_hart = insts_per_hart * 25;
+
+    const unsigned host_threads = std::max(
+        1u, std::thread::hardware_concurrency());
 
     bench::JsonResults json("multihart");
     json.config("instsPerHart",
                 static_cast<double>(insts_per_hart));
+    json.config("measuredInstsPerHart",
+                static_cast<double>(measured_per_hart));
     json.config("quantum", static_cast<double>(kQuantum));
+    json.config("measuredQuantum",
+                static_cast<double>(kMeasuredQuantum));
     json.config("kernelStackHoldCycles",
                 static_cast<double>(os::charge::KernelStackHold));
     json.config("maxHarts",
                 static_cast<double>(rt::multihart::kMaxHarts));
+    json.config("hostThreads", static_cast<double>(host_threads));
 
+    section("analytic: simulated-cycle throughput (serial reference "
+            "scheduler)");
     std::printf("  %5s %20s %20s %16s\n", "harts",
                 "kernel (exc/kcyc)", "user-vec (exc/kcyc)",
                 "lock spin (cyc)");
 
     std::vector<StudyResult> kernel, uv;
     for (unsigned n = 1; n <= rt::multihart::kMaxHarts; n++) {
-        kernel.push_back(runStudy(n, false, insts_per_hart));
-        uv.push_back(runStudy(n, true, insts_per_hart));
+        kernel.push_back(runAnalyticStudy(n, false, insts_per_hart));
+        uv.push_back(runAnalyticStudy(n, true, insts_per_hart));
         const StudyResult &k = kernel.back(), &u = uv.back();
         std::printf("  %5u %20.1f %20.1f %16llu\n", n, k.throughput,
                     u.throughput,
                     static_cast<unsigned long long>(k.lockSpin));
 
         std::string suffix = "_h" + std::to_string(n);
-        json.metric("kernel_throughput" + suffix, k.throughput,
+        json.metric("analytic_kernel_throughput" + suffix,
+                    k.throughput, "exc/kcycle");
+        json.metric("analytic_uv_throughput" + suffix, u.throughput,
                     "exc/kcycle");
-        json.metric("uv_throughput" + suffix, u.throughput,
-                    "exc/kcycle");
-        json.metric("kernel_lock_spin" + suffix,
+        json.metric("analytic_kernel_lock_spin" + suffix,
                     static_cast<double>(k.lockSpin), "cycles");
-        json.metric("kernel_lock_contended" + suffix,
+        json.metric("analytic_kernel_lock_contended" + suffix,
                     static_cast<double>(k.lockContended), "acquires");
     }
 
     double kernel_scale =
         kernel.back().throughput / kernel.front().throughput;
     double uv_scale = uv.back().throughput / uv.front().throughput;
-    json.metric("kernel_scaling_1_to_8", kernel_scale, "x");
-    json.metric("uv_scaling_1_to_8", uv_scale, "x");
+    json.metric("analytic_kernel_scaling_1_to_8", kernel_scale, "x");
+    json.metric("analytic_uv_scaling_1_to_8", uv_scale, "x");
 
-    section("scaling 1 -> 8 harts");
+    section("analytic scaling 1 -> 8 harts (simulated cycles, not "
+            "wall clock)");
     std::printf("  kernel-mediated: %.2fx (flattens on the kernel-"
                 "stack lock)\n", kernel_scale);
     std::printf("  user-vectored:   %.2fx (per-hart state only)\n",
@@ -228,10 +300,53 @@ main()
              "kernel, delivery that bypasses the kernel is what "
              "keeps exception throughput scaling");
 
+    // -- measured wall clock: real host threads -------------------------
+
+    section("measured: host wall-clock, user-vectored workload "
+            "(serial vs barrier vs relaxed)");
+    std::printf("  host threads: %u\n", host_threads);
+    std::printf("  %5s %12s %12s %12s %10s %10s\n", "harts",
+                "serial (ms)", "barrier (ms)", "relaxed (ms)",
+                "bar spd", "rel spd");
+
+    double barrier_speedup_8 = 0, relaxed_speedup_8 = 0;
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        double serial_s =
+            runMeasured(n, SchedulerMode::Serial, measured_per_hart);
+        double barrier_s =
+            runMeasured(n, SchedulerMode::Barrier, measured_per_hart);
+        double relaxed_s =
+            runMeasured(n, SchedulerMode::Relaxed, measured_per_hart);
+        double bar_spd = barrier_s > 0 ? serial_s / barrier_s : 0;
+        double rel_spd = relaxed_s > 0 ? serial_s / relaxed_s : 0;
+        std::printf("  %5u %12.1f %12.1f %12.1f %9.2fx %9.2fx\n", n,
+                    1e3 * serial_s, 1e3 * barrier_s, 1e3 * relaxed_s,
+                    bar_spd, rel_spd);
+
+        std::string suffix = "_h" + std::to_string(n);
+        json.metric("measured_serial_wall" + suffix, 1e3 * serial_s,
+                    "ms");
+        json.metric("measured_barrier_wall" + suffix,
+                    1e3 * barrier_s, "ms");
+        json.metric("measured_relaxed_wall" + suffix,
+                    1e3 * relaxed_s, "ms");
+        json.metric("measured_barrier_speedup" + suffix, bar_spd,
+                    "x");
+        json.metric("measured_relaxed_speedup" + suffix, rel_spd,
+                    "x");
+        if (n == 8) {
+            barrier_speedup_8 = bar_spd;
+            relaxed_speedup_8 = rel_spd;
+        }
+    }
+    noteLine("analytic 8.00x is a cost-model statement; these rows "
+             "are what the host actually did, bounded by its core "
+             "count");
+
     // Determinism: the scheduler contract says two identical
     // invocations produce identical cycle counts.
-    StudyResult a = runStudy(4, false, insts_per_hart);
-    StudyResult b = runStudy(4, false, insts_per_hart);
+    StudyResult a = runAnalyticStudy(4, false, insts_per_hart);
+    StudyResult b = runAnalyticStudy(4, false, insts_per_hart);
     bool deterministic = a.hartCycles == b.hartCycles &&
                          a.exceptions == b.exceptions;
     json.metric("deterministic", deterministic ? 1 : 0, "bool");
@@ -243,8 +358,8 @@ main()
     }
     if (uv_scale < 3.0) {
         std::fprintf(stderr,
-                     "FAIL: user-vectored scaling %.2fx < 3x\n",
-                     uv_scale);
+                     "FAIL: analytic user-vectored scaling %.2fx "
+                     "< 3x\n", uv_scale);
         ok = false;
     }
     if (kernel_scale >= uv_scale) {
@@ -253,6 +368,25 @@ main()
                      "user-vectored (%.2fx >= %.2fx)\n",
                      kernel_scale, uv_scale);
         ok = false;
+    }
+    // Wall-clock gates only bind where the host can physically
+    // deliver parallelism; a 1-core container legitimately measures
+    // speedups below 1.
+    if (host_threads >= 4) {
+        if (relaxed_speedup_8 < 3.0) {
+            std::fprintf(stderr,
+                         "FAIL: measured relaxed speedup %.2fx < 3x "
+                         "at 8 harts on a %u-thread host\n",
+                         relaxed_speedup_8, host_threads);
+            ok = false;
+        }
+        if (relaxed_speedup_8 < 0.9 * barrier_speedup_8) {
+            std::fprintf(stderr,
+                         "FAIL: relaxed (%.2fx) slower than barrier "
+                         "(%.2fx)\n",
+                         relaxed_speedup_8, barrier_speedup_8);
+            ok = false;
+        }
     }
     return ok ? 0 : 1;
 }

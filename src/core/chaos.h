@@ -58,6 +58,10 @@ struct RigConfig
     bool hardwareExtensions = true;
     bool fastInterpreter = false;
     InstCount handlerBudget = 50000;
+    /** Host scheduler policy for the rig's machine. Not serialized
+     *  into repro files: the Barrier scheduler is bit-identical to
+     *  Serial, so a repro captured under either replays under both. */
+    sim::SchedulerMode scheduler = sim::SchedulerMode::Auto;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include "common/bits.h"
 #include "common/logging.h"
 #include "sim/faultinject.h"
+#include "sim/storebuf.h"
 
 namespace uexc::sim {
 
@@ -175,6 +176,93 @@ Cpu::translateQuiet(Addr vaddr, AccessType type) const
     return r;
 }
 
+// guest data access ----------------------------------------------------------
+//
+// Every guest-visible load, store, and fetch funnels through these so
+// the barrier scheduler's speculative rounds see their own buffered
+// stores and record touched pages. With no buffer attached (serial,
+// relaxed, and all single-hart execution) they compile down to the
+// direct PhysMemory access.
+
+inline Word
+Cpu::loadWord(Addr paddr)
+{
+    if (sb_) {
+        sb_->noteLoad(paddr);
+        return sb_->readWord(mem_, paddr);
+    }
+    return mem_.readWord(paddr);
+}
+
+inline Half
+Cpu::loadHalf(Addr paddr)
+{
+    if (sb_) {
+        sb_->noteLoad(paddr);
+        return sb_->readHalf(mem_, paddr);
+    }
+    return mem_.readHalf(paddr);
+}
+
+inline Byte
+Cpu::loadByte(Addr paddr)
+{
+    if (sb_) {
+        sb_->noteLoad(paddr);
+        return sb_->readByte(mem_, paddr);
+    }
+    return mem_.readByte(paddr);
+}
+
+inline void
+Cpu::storeWord(Addr paddr, Word value)
+{
+    if (sb_) {
+        sb_->noteStore(paddr);
+        if (sb_->aborted())
+            h_->halted_ = true;  // state is discarded on rollback
+        sb_->writeWord(paddr, value);
+        return;
+    }
+    mem_.writeWord(paddr, value);
+}
+
+inline void
+Cpu::storeHalf(Addr paddr, Half value)
+{
+    if (sb_) {
+        sb_->noteStore(paddr);
+        if (sb_->aborted())
+            h_->halted_ = true;
+        sb_->writeHalf(paddr, value);
+        return;
+    }
+    mem_.writeHalf(paddr, value);
+}
+
+inline void
+Cpu::storeByte(Addr paddr, Byte value)
+{
+    if (sb_) {
+        sb_->noteStore(paddr);
+        if (sb_->aborted())
+            h_->halted_ = true;
+        sb_->writeByte(paddr, value);
+        return;
+    }
+    mem_.writeByte(paddr, value);
+}
+
+inline void
+Cpu::noteFetchPage(Addr paddr)
+{
+    if (sb_) {
+        sb_->noteFetch(paddr);
+        if (sb_->aborted())
+            h_->halted_ = true;
+    }
+}
+
 // exceptions ----------------------------------------------------------------
 
 bool
@@ -210,7 +298,7 @@ Cpu::tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
             return false;
         if (static_cast<std::uint64_t>(tr.paddr) + 4 > mem_.size())
             return false;  // table maps past memory: demote to kernel
-        target = mem_.readWord(tr.paddr);
+        target = loadWord(tr.paddr);
         charge(config_.cost.loadExtra + 1);
         if (config_.cachesEnabled && h_->dcache_ && tr.cacheable &&
             !h_->dcache_->access(tr.paddr)) {
@@ -374,9 +462,11 @@ Cpu::fetchFast()
         return nullptr;
     }
     if (translationKey(h_->pc_) != h_->fetchKey_ ||
-        *h_->fetchMemVer_ != h_->fetchVersion_ || !isAligned(h_->pc_, 4)) {
+        PhysMemory::loadVersion(h_->fetchMemVer_) != h_->fetchVersion_ ||
+        !isAligned(h_->pc_, 4)) {
         return nullptr;
     }
+    noteFetchPage(h_->fetchPaBase_);
     if (h_->fetchMapped_)
         h_->tlb_.recordMicroHit();
     if (config_.cachesEnabled && h_->fetchCacheable_ && h_->icache_) {
@@ -402,12 +492,13 @@ Cpu::refillFetchFast(const TranslateResult &tr)
     Word ppn = tr.paddr >> PhysMemory::PageShift;
     auto &slot = h_->decodedPages_[ppn];
     const std::uint32_t *ver = mem_.pageVersionPtr(tr.paddr);
-    if (!slot || slot->version != *ver) {
+    std::uint32_t ver_now = PhysMemory::loadVersion(ver);
+    if (!slot || slot->version != ver_now) {
         if (!slot)
             slot = std::make_unique<Hart::DecodedPage>();
         for (unsigned i = 0; i < Hart::DecodedPage::NumInsts; i++)
             slot->insts[i] = decode(mem_.readWord(base + 4 * i));
-        slot->version = *ver;
+        slot->version = ver_now;
     }
     h_->tlbGenSeen_ = h_->tlb_.generation();
     h_->fetchKey_ = translationKey(h_->pc_);
@@ -492,6 +583,7 @@ Cpu::step()
         takeException(ExcCode::Ibe, 0, false, false);
         return;
     }
+    noteFetchPage(tr.paddr);
     if (config_.cachesEnabled && tr.cacheable && h_->icache_) {
         if (!h_->icache_->access(tr.paddr))
             charge(config_.cost.icacheMissPenalty);
@@ -530,7 +622,8 @@ Cpu::runFast(InstCount max_insts)
         if (h_->tlbGenSeen_ != h_->tlb_.generation())
             h_->flushMicroTlb();
         if (translationKey(h_->pc_) != h_->fetchKey_ ||
-            *h_->fetchMemVer_ != h_->fetchVersion_ || (h_->pc_ & 3) != 0) {
+            PhysMemory::loadVersion(h_->fetchMemVer_) != h_->fetchVersion_ ||
+            (h_->pc_ & 3) != 0) {
             // miss: one reference step raises any fetch exception and
             // refills the fetch cache
             InstCount before = h_->stats_.instructions;
@@ -538,6 +631,11 @@ Cpu::runFast(InstCount max_insts)
             result.instsExecuted += h_->stats_.instructions - before;
             continue;
         }
+        // One note per block entry covers the whole inline run: the
+        // block loop exits before the PC can leave the cached page.
+        noteFetchPage(h_->fetchPaBase_);
+        if (h_->halted_)
+            continue;  // store-buffer abort: exit via the loop top
         InstCount limit = max_insts - result.instsExecuted;
         InstCount done = 0;
         // PC sequencing lives in host registers inside the block loop:
@@ -802,7 +900,8 @@ Cpu::runFast(InstCount max_insts)
                 (DecodedInst::FlagStore | DecodedInst::FlagFence)) {
                 if (inst.flags & DecodedInst::FlagFence)
                     break;
-                if (*h_->fetchMemVer_ != h_->fetchVersion_)
+                if (PhysMemory::loadVersion(h_->fetchMemVer_) !=
+                    h_->fetchVersion_)
                     break;
             }
         }
@@ -1024,56 +1123,56 @@ Cpu::execute(const DecodedInst &inst)
         Addr pa;
         if (!memAddress(inst, 1, AccessType::Load, pa))
             return;
-        setReg(inst.rt, signExtend(mem_.readByte(pa), 8));
+        setReg(inst.rt, signExtend(loadByte(pa), 8));
         break;
       }
       case Op::Lbu: {
         Addr pa;
         if (!memAddress(inst, 1, AccessType::Load, pa))
             return;
-        setReg(inst.rt, mem_.readByte(pa));
+        setReg(inst.rt, loadByte(pa));
         break;
       }
       case Op::Lh: {
         Addr pa;
         if (!memAddress(inst, 2, AccessType::Load, pa))
             return;
-        setReg(inst.rt, signExtend(mem_.readHalf(pa), 16));
+        setReg(inst.rt, signExtend(loadHalf(pa), 16));
         break;
       }
       case Op::Lhu: {
         Addr pa;
         if (!memAddress(inst, 2, AccessType::Load, pa))
             return;
-        setReg(inst.rt, mem_.readHalf(pa));
+        setReg(inst.rt, loadHalf(pa));
         break;
       }
       case Op::Lw: {
         Addr pa;
         if (!memAddress(inst, 4, AccessType::Load, pa))
             return;
-        setReg(inst.rt, mem_.readWord(pa));
+        setReg(inst.rt, loadWord(pa));
         break;
       }
       case Op::Sb: {
         Addr pa;
         if (!memAddress(inst, 1, AccessType::Store, pa))
             return;
-        mem_.writeByte(pa, static_cast<Byte>(rt));
+        storeByte(pa, static_cast<Byte>(rt));
         break;
       }
       case Op::Sh: {
         Addr pa;
         if (!memAddress(inst, 2, AccessType::Store, pa))
             return;
-        mem_.writeHalf(pa, static_cast<Half>(rt));
+        storeHalf(pa, static_cast<Half>(rt));
         break;
       }
       case Op::Sw: {
         Addr pa;
         if (!memAddress(inst, 4, AccessType::Store, pa))
             return;
-        mem_.writeWord(pa, rt);
+        storeWord(pa, rt);
         break;
       }
 
@@ -1203,6 +1302,17 @@ Cpu::execute(const DecodedInst &inst)
         }
         if (!hcallHandler_) {
             takeException(ExcCode::Ri, 0, false, false);
+            return;
+        }
+        if (sb_) {
+            // A host service has real side effects (kernel state,
+            // host I/O) that a rolled-back round cannot replay: abort
+            // before dispatching, so the serial fallback performs the
+            // call exactly once. hcall 0 above is hart-local (halt)
+            // and needs no abort; a missing handler raises Ri, which
+            // is ordinary replayable architectural state.
+            sb_->markAbort();
+            h_->halted_ = true;
             return;
         }
         hcallHandler_(*this, inst.target);

@@ -39,6 +39,8 @@
 
 namespace uexc::sim {
 
+class StoreBuffer;
+
 /** Memory access intent, for translation. */
 enum class AccessType { Fetch, Load, Store };
 
@@ -167,12 +169,26 @@ class Cpu
     {
         hcallHandler_ = std::move(handler);
     }
+    const HcallHandler &hcallHandler() const { return hcallHandler_; }
 
     /** Account extra simulated cycles (host-side kernel services). */
     void charge(Cycles cycles) { h_->stats_.cycles += cycles; }
 
     /** Observer for profiling; may be null. */
     void setObserver(InstObserver *obs) { observer_ = obs; }
+    InstObserver *observer() const { return observer_; }
+
+    /**
+     * Attach (or detach, with null) a store buffer: all guest data
+     * accesses and fetches then go through it, stores land in the
+     * buffer instead of memory, and the touched-page sets are
+     * recorded. Only the Machine's barrier scheduler uses this,
+     * around one speculative quantum; the buffer must be committed
+     * or discarded (with Hart::restoreRound) before serial execution
+     * resumes.
+     */
+    void setStoreBuffer(StoreBuffer *sb) { sb_ = sb; }
+    StoreBuffer *storeBuffer() const { return sb_; }
 
     // -- services for the OS / VM facade ------------------------------------
 
@@ -235,6 +251,14 @@ class Cpu
                        const TranslateResult &tr);
     const DecodedInst *fetchFast();
     const DecodedInst *refillFetchFast(const TranslateResult &tr);
+    // guest data access, routed through the store buffer when attached
+    Word loadWord(Addr paddr);
+    Half loadHalf(Addr paddr);
+    Byte loadByte(Addr paddr);
+    void storeWord(Addr paddr, Word value);
+    void storeHalf(Addr paddr, Half value);
+    void storeByte(Addr paddr, Byte value);
+    void noteFetchPage(Addr paddr);
     RunResult runFast(InstCount max_insts);
     void takeException(ExcCode code, Addr bad_vaddr, bool has_bad_vaddr,
                        bool refill);
@@ -248,6 +272,8 @@ class Cpu
     CpuConfig config_;
     HcallHandler hcallHandler_;
     InstObserver *observer_ = nullptr;
+    /** Speculative-round store buffer; null outside parallel rounds. */
+    StoreBuffer *sb_ = nullptr;
 
     /**
      * The bound execution context. Set by Machine before any

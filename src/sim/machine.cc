@@ -1,14 +1,149 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "common/logging.h"
+#include "sim/faultinject.h"
+#include "sim/storebuf.h"
 
 namespace uexc::sim {
 
+namespace {
+
+SchedulerMode
+resolveScheduler(SchedulerMode mode)
+{
+    if (mode != SchedulerMode::Auto)
+        return mode;
+    const char *env = std::getenv("UEXC_PARALLEL");
+    if (!env)
+        return SchedulerMode::Serial;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "barrier") == 0)
+        return SchedulerMode::Barrier;
+    if (std::strcmp(env, "2") == 0 || std::strcmp(env, "relaxed") == 0)
+        return SchedulerMode::Relaxed;
+    return SchedulerMode::Serial;
+}
+
+} // namespace
+
+/**
+ * Persistent worker pool: one host thread, one private execute
+ * engine, and one store buffer per hart. Workers sleep between
+ * dispatches; Machine::runBarrier / runRelaxed install one job per
+ * live hart and block until all complete. The mutex hand-offs give
+ * every dispatch release/acquire edges in both directions, so
+ * whatever a worker wrote (hart state, its store buffer, RunResults)
+ * is visible to the machine thread after run() returns — and
+ * ThreadSanitizer sees a clean happens-before graph.
+ */
+struct Machine::ParallelPool
+{
+    ParallelPool(PhysMemory &mem, const CpuConfig &config, unsigned n)
+        : slots_(n)
+    {
+        CpuConfig worker_cfg = config;
+        // A fault injector forces the serial scheduler (eligibility
+        // checks in runBarrier/runRelaxed), so worker engines never
+        // consult one.
+        worker_cfg.faultInjector = nullptr;
+        for (Slot &s : slots_)
+            s.engine = std::make_unique<Cpu>(mem, worker_cfg);
+        threads_.reserve(n);
+        for (unsigned i = 0; i < n; i++)
+            threads_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~ParallelPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cvWork_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    unsigned size() const { return unsigned(slots_.size()); }
+    Cpu &engine(unsigned i) { return *slots_[i].engine; }
+    StoreBuffer &sb(unsigned i) { return slots_[i].sb; }
+
+    /** Run jobs[i] (null entries skipped) on worker i; blocks until
+     *  every non-null job has completed. */
+    void run(std::vector<std::function<void()>> jobs)
+    {
+        unsigned armed = 0;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            for (unsigned i = 0; i < slots_.size(); i++) {
+                slots_[i].job = std::move(jobs[i]);
+                if (slots_[i].job)
+                    armed++;
+            }
+            outstanding_ = armed;
+            generation_++;
+        }
+        if (armed == 0)
+            return;
+        cvWork_.notify_all();
+        std::unique_lock<std::mutex> lk(mu_);
+        cvDone_.wait(lk, [this] { return outstanding_ == 0; });
+    }
+
+  private:
+    struct Slot
+    {
+        std::unique_ptr<Cpu> engine;
+        StoreBuffer sb;
+        std::function<void()> job;
+    };
+
+    void workerLoop(unsigned i)
+    {
+        std::uint64_t seen = 0;
+        while (true) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cvWork_.wait(lk, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                job = std::move(slots_[i].job);
+                slots_[i].job = nullptr;
+            }
+            if (!job)
+                continue;
+            job();
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (--outstanding_ == 0)
+                    cvDone_.notify_all();
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    std::uint64_t generation_ = 0;
+    unsigned outstanding_ = 0;
+    bool stop_ = false;
+};
+
 Machine::Machine(const MachineConfig &config)
     : config_(config),
-      mem_(std::make_unique<PhysMemory>(config.memBytes))
+      mem_(std::make_unique<PhysMemory>(config.memBytes)),
+      scheduler_(resolveScheduler(config.scheduler))
 {
     unsigned n = std::max(1u, config.harts);
     harts_.reserve(n);
@@ -16,6 +151,18 @@ Machine::Machine(const MachineConfig &config)
         harts_.push_back(std::make_unique<Hart>(i, config.cpu));
     cpu_ = std::make_unique<Cpu>(*mem_, config.cpu);
     cpu_->bindHart(*harts_[0]);
+    pendingShootdowns_.resize(n);
+    shootdownSeen_.resize(n, 0);
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::ensurePool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<ParallelPool>(
+            *mem_, config_.cpu, unsigned(harts_.size()));
 }
 
 void
@@ -31,12 +178,68 @@ Machine::setCurrentHart(unsigned i)
 void
 Machine::invalidateTlbs(Addr vaddr, unsigned asid)
 {
+    if (relaxedActive_.load(std::memory_order_acquire)) {
+        // Free-running harts: only the calling hart's TLB may be
+        // touched from this thread (the caller is a worker inside a
+        // serialized host call, or the machine thread between runs).
+        // Everyone else gets a pending entry applied by their own
+        // worker at its next chunk boundary — the epoch-counted
+        // shootdown protocol.
+        std::lock_guard<std::mutex> lk(shootdownMutex_);
+        for (unsigned i = 0; i < harts_.size(); i++) {
+            if (i == currentHart_)
+                harts_[i]->tlb().invalidate(vaddr, asid);
+            else
+                pendingShootdowns_[i].emplace_back(vaddr, asid);
+        }
+        shootdownEpoch_.fetch_add(1, std::memory_order_release);
+        return;
+    }
     for (auto &h : harts_)
         h->tlb().invalidate(vaddr, asid);
 }
 
+void
+Machine::applyShootdowns(unsigned hart)
+{
+    if (shootdownEpoch_.load(std::memory_order_acquire) ==
+        shootdownSeen_[hart])
+        return;
+    std::lock_guard<std::mutex> lk(shootdownMutex_);
+    for (const auto &[vaddr, asid] : pendingShootdowns_[hart])
+        harts_[hart]->tlb().invalidate(vaddr, asid);
+    pendingShootdowns_[hart].clear();
+    shootdownSeen_[hart] =
+        shootdownEpoch_.load(std::memory_order_relaxed);
+}
+
+void
+Machine::drainShootdowns()
+{
+    std::lock_guard<std::mutex> lk(shootdownMutex_);
+    for (unsigned i = 0; i < harts_.size(); i++) {
+        for (const auto &[vaddr, asid] : pendingShootdowns_[i])
+            harts_[i]->tlb().invalidate(vaddr, asid);
+        pendingShootdowns_[i].clear();
+        shootdownSeen_[i] =
+            shootdownEpoch_.load(std::memory_order_relaxed);
+    }
+}
+
 MachineRunResult
 Machine::run(InstCount max_insts)
+{
+    if (harts_.size() > 1) {
+        if (scheduler_ == SchedulerMode::Barrier)
+            return runBarrier(max_insts);
+        if (scheduler_ == SchedulerMode::Relaxed)
+            return runRelaxed(max_insts);
+    }
+    return runSerialImpl(max_insts);
+}
+
+MachineRunResult
+Machine::runSerialImpl(InstCount max_insts)
 {
     MachineRunResult result;
 
@@ -90,6 +293,292 @@ Machine::run(InstCount max_insts)
         // InstLimit with remaining > 0: the quantum expired — rotate.
         currentHart_ = (currentHart_ + 1) % harts_.size();
     }
+}
+
+/**
+ * Barrier-parallel scheduler. Structure of one iteration:
+ *
+ *   1. The serial loop head, verbatim: scan for the next runnable
+ *      hart, stop on all-halted / budget exhausted.
+ *   2. Decide round eligibility. Ineligible (or backing off after an
+ *      abort): run ONE serial quantum exactly as runSerialImpl does,
+ *      and loop.
+ *   3. Eligible: snapshot every live hart (RoundContext), run every
+ *      live hart's quantum concurrently against the frozen memory
+ *      with per-hart store buffers, rendezvous, then check the
+ *      touched-page sets in serial round order. Writes(i) overlapping
+ *      Reads(j)/Fetches(j) for i earlier than j means hart j may have
+ *      missed a store it would have observed serially — roll every
+ *      hart back and re-run the round through the serial branch (the
+ *      restored state makes the serial quanta *be* the replay). No
+ *      overlap: commit the buffers in round order and advance the
+ *      cursor exactly as the serial rotation would have.
+ *
+ * Bit-identity argument: an ineligible iteration IS a serial
+ * iteration; a committed round produced, per hart, the same quantum
+ * the serial scheduler would have run (unclipped budget guaranteed by
+ * eligibility, stable live set because halting is self-only, no
+ * cross-hart observation by the no-conflict check, own stores merged
+ * on load), and commits stores in serial order; an aborted round
+ * changed nothing. Induction over iterations does the rest.
+ */
+MachineRunResult
+Machine::runBarrier(InstCount max_insts)
+{
+    MachineRunResult result;
+    const unsigned n = unsigned(harts_.size());
+    InstCount remaining = max_insts;
+
+    while (true) {
+        unsigned tried = 0;
+        while (harts_[currentHart_]->halted() && tried < n) {
+            currentHart_ = (currentHart_ + 1) % n;
+            ++tried;
+        }
+        if (harts_[currentHart_]->halted()) {
+            result.reason = StopReason::Halted;
+            result.hart = currentHart_;
+            return result;
+        }
+        if (remaining == 0) {
+            result.reason = StopReason::InstLimit;
+            result.hart = currentHart_;
+            return result;
+        }
+
+        // Live harts in serial rotation order from the cursor.
+        std::vector<unsigned> order;
+        order.reserve(n);
+        for (unsigned k = 0; k < n; k++) {
+            unsigned h = (currentHart_ + k) % n;
+            if (!harts_[h]->halted())
+                order.push_back(h);
+        }
+
+        // A round must reproduce the serial schedule exactly, so it
+        // requires: at least two live harts (else it IS serial), a
+        // budget that cannot clip any quantum, no abort backoff
+        // pending, and none of the serial-only facilities (observer
+        // callbacks, breakpoints, pending fault-injector events).
+        bool eligible = order.size() >= 2 && serialStreak_ == 0 &&
+                        remaining >=
+                            InstCount(order.size()) * config_.quantum &&
+                        cpu_->observer() == nullptr;
+        for (unsigned k = 0; eligible && k < order.size(); k++) {
+            if (harts_[order[k]]->hasBreakpoints())
+                eligible = false;
+            else if (config_.cpu.faultInjector &&
+                     config_.cpu.faultInjector->wants(order[k]))
+                eligible = false;
+        }
+
+        if (!eligible) {
+            if (serialStreak_ > 0)
+                --serialStreak_;
+            barrierStats_.serialQuanta++;
+            cpu_->bindHart(*harts_[currentHart_]);
+            InstCount quantum = std::min(config_.quantum, remaining);
+            RunResult r = cpu_->run(quantum);
+            result.instsExecuted += r.instsExecuted;
+            remaining -= r.instsExecuted;
+            if (r.reason == StopReason::Breakpoint) {
+                result.reason = StopReason::Breakpoint;
+                result.hart = currentHart_;
+                return result;
+            }
+            currentHart_ = (currentHart_ + 1) % n;
+            continue;
+        }
+
+        // -- speculative round ----------------------------------------
+        ensurePool();
+        barrierStats_.parallelRounds++;
+
+        std::vector<Hart::RoundContext> saved(order.size());
+        for (std::size_t k = 0; k < order.size(); k++)
+            harts_[order[k]]->saveRound(saved[k]);
+
+        std::vector<RunResult> rr(order.size());
+        std::vector<std::function<void()>> jobs(pool_->size());
+        for (std::size_t k = 0; k < order.size(); k++) {
+            unsigned h = order[k];
+            Cpu &eng = pool_->engine(unsigned(k));
+            StoreBuffer &sb = pool_->sb(unsigned(k));
+            sb.clear();
+            // Mirror the handler so a guest hcall aborts the round
+            // (handler present, real side effects) or raises Ri
+            // (absent) exactly as the serial engine would decide.
+            eng.setHcallHandler(cpu_->hcallHandler());
+            jobs[k] = [this, k, h, &eng, &sb, &rr] {
+                eng.bindHart(*harts_[h]);
+                eng.setStoreBuffer(&sb);
+                rr[k] = eng.run(config_.quantum);
+                eng.setStoreBuffer(nullptr);
+            };
+        }
+        pool_->run(std::move(jobs));
+
+        bool abort = false;
+        for (std::size_t k = 0; !abort && k < order.size(); k++)
+            abort = pool_->sb(unsigned(k)).aborted();
+        for (std::size_t i = 0; !abort && i < order.size(); i++) {
+            const StoreBuffer &wi = pool_->sb(unsigned(i));
+            if (wi.writePages().empty())
+                continue;
+            for (std::size_t j = i + 1; !abort && j < order.size();
+                 j++) {
+                const StoreBuffer &rj = pool_->sb(unsigned(j));
+                abort =
+                    pagesIntersect(wi.writePages(), rj.readPages()) ||
+                    pagesIntersect(wi.writePages(), rj.fetchPages());
+            }
+        }
+
+        if (abort) {
+            for (std::size_t k = 0; k < order.size(); k++)
+                harts_[order[k]]->restoreRound(saved[k]);
+            barrierStats_.abortedRounds++;
+            // Back off: run at least one full serial pass over the
+            // conflicting harts before speculating again, doubling on
+            // consecutive aborts (conflict phases tend to persist).
+            abortStreakLen_ =
+                abortStreakLen_ == 0
+                    ? unsigned(order.size())
+                    : std::min(64u, abortStreakLen_ * 2);
+            serialStreak_ = abortStreakLen_;
+            continue;
+        }
+
+        abortStreakLen_ = 0;
+        barrierStats_.committedRounds++;
+        for (std::size_t k = 0; k < order.size(); k++) {
+            pool_->sb(unsigned(k)).commit(*mem_);
+            result.instsExecuted += rr[k].instsExecuted;
+            remaining -= rr[k].instsExecuted;
+        }
+        // Leave the cursor and engine binding exactly where the
+        // serial loop would: bound to the round's last hart, cursor
+        // one past it.
+        cpu_->bindHart(*harts_[order.back()]);
+        currentHart_ = (order.back() + 1) % n;
+    }
+}
+
+void
+Machine::relaxedHcall(unsigned hart, Word service)
+{
+    // Host services mutate shared kernel/host state, so they are the
+    // one serialization point of the relaxed scheduler; the real lock
+    // stands in for the paper's kernel-stack lock, and the contention
+    // counters are the measured analogue of the analytic model in
+    // os/kernel.h.
+    if (hcallMutex_.try_lock()) {
+        hcallLockStats_.acquires++;
+    } else {
+        hcallMutex_.lock();
+        hcallLockStats_.acquires++;
+        hcallLockStats_.contended++;
+    }
+    unsigned prev = currentHart_;
+    currentHart_ = hart;
+    cpu_->bindHart(*harts_[hart]);
+    cpu_->hcallHandler()(*cpu_, service);
+    currentHart_ = prev;
+    cpu_->bindHart(*harts_[prev]);
+    hcallMutex_.unlock();
+}
+
+/**
+ * Relaxed free-running scheduler: every live hart runs on its own
+ * worker with no barrier, claiming chunks from a shared atomic
+ * instruction budget until it halts or the budget drains. Guest
+ * memory really is concurrently shared (PhysMemory switches to its
+ * relaxed-atomic discipline); host calls serialize on a real mutex;
+ * TLB shootdowns defer to each hart's own worker. The interleaving is
+ * whatever the host gives — throughput mode, not the deterministic
+ * reference.
+ */
+MachineRunResult
+Machine::runRelaxed(InstCount max_insts)
+{
+    const unsigned n = unsigned(harts_.size());
+
+    // The deterministic-schedule facilities cannot run free: fall
+    // back to the reference scheduler when they are present.
+    bool fallback =
+        cpu_->observer() != nullptr || config_.cpu.faultInjector;
+    for (unsigned i = 0; !fallback && i < n; i++)
+        fallback = harts_[i]->hasBreakpoints();
+    if (fallback)
+        return runSerialImpl(max_insts);
+
+    ensurePool();
+    mem_->setConcurrent(true);
+    relaxedActive_.store(true, std::memory_order_release);
+
+    // Chunk size bounds how stale a hart's view of the shared budget
+    // and pending shootdowns can get.
+    const InstCount chunk = std::min<InstCount>(
+        config_.quantum, std::max<InstCount>(1, max_insts / n));
+    std::atomic<InstCount> budget{max_insts};
+    std::vector<RunResult> rr(n);
+
+    bool handler = static_cast<bool>(cpu_->hcallHandler());
+    std::vector<std::function<void()>> jobs(pool_->size());
+    for (unsigned i = 0; i < n; i++) {
+        if (harts_[i]->halted())
+            continue;
+        jobs[i] = [this, i, chunk, handler, &budget, &rr] {
+            Cpu &eng = pool_->engine(i);
+            eng.bindHart(*harts_[i]);
+            if (handler)
+                eng.setHcallHandler([this, i](Cpu &, Word svc) {
+                    relaxedHcall(i, svc);
+                });
+            else
+                eng.setHcallHandler(nullptr);
+            while (!harts_[i]->halted()) {
+                applyShootdowns(i);
+                InstCount cur =
+                    budget.load(std::memory_order_relaxed);
+                InstCount take = 0;
+                while (cur > 0) {
+                    take = std::min(chunk, cur);
+                    if (budget.compare_exchange_weak(
+                            cur, cur - take,
+                            std::memory_order_relaxed))
+                        break;
+                    take = 0;
+                }
+                if (take == 0)
+                    break;
+                RunResult r = eng.run(take);
+                rr[i].instsExecuted += r.instsExecuted;
+                rr[i].reason = r.reason;
+                if (r.instsExecuted < take)
+                    budget.fetch_add(take - r.instsExecuted,
+                                     std::memory_order_relaxed);
+            }
+            applyShootdowns(i);
+        };
+    }
+    pool_->run(std::move(jobs));
+
+    relaxedActive_.store(false, std::memory_order_release);
+    mem_->setConcurrent(false);
+    drainShootdowns();
+
+    MachineRunResult result;
+    bool all_halted = true;
+    for (unsigned i = 0; i < n; i++) {
+        result.instsExecuted += rr[i].instsExecuted;
+        if (!harts_[i]->halted())
+            all_halted = false;
+    }
+    result.reason =
+        all_halted ? StopReason::Halted : StopReason::InstLimit;
+    result.hart = currentHart_;
+    return result;
 }
 
 Addr

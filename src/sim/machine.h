@@ -11,18 +11,24 @@
  * instructions (exceptions and stalls included in its own cycle
  * accounting) before the next hart is bound; halted harts are
  * skipped. The schedule depends only on (program, config, quantum) —
- * no host threads, no clocks — so every multi-hart run is
- * bit-reproducible.
+ * no clocks — so every multi-hart run is bit-reproducible. The
+ * Barrier scheduler preserves this contract on real host threads
+ * (speculative rounds that commit or roll back to the serial
+ * schedule, see SchedulerMode); only the opt-in Relaxed scheduler
+ * trades the contract away for wall-clock throughput.
  */
 
 #ifndef UEXC_SIM_MACHINE_H
 #define UEXC_SIM_MACHINE_H
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -32,6 +38,52 @@
 #include "sim/snapshot.h"
 
 namespace uexc::sim {
+
+/**
+ * How Machine::run drives multiple harts.
+ *
+ *  - Serial: the reference scheduler — one host thread, round-robin
+ *    quanta, the exact contract in the file comment above.
+ *  - Barrier: each hart's quantum runs on its own host thread against
+ *    a frozen memory image with a per-hart store buffer; all harts
+ *    rendezvous at a barrier, the round is checked for cross-hart
+ *    page conflicts, and committed in serial round order — or rolled
+ *    back and re-run serially. Observable behaviour (state, cycles,
+ *    instret, delivery stats, checkpoint images) is bit-identical to
+ *    Serial; tests/test_parallel.cc enforces this.
+ *  - Relaxed: opt-in free-running harts with no barrier, an atomic
+ *    shared instruction budget, serialized host calls, and epoch-
+ *    counted deferred TLB shootdowns. Raw wall-clock throughput; NOT
+ *    bit-identical to Serial (the interleaving is real). Falls back
+ *    to Serial when an observer, breakpoints, or a fault injector
+ *    need the deterministic schedule.
+ *  - Auto: resolve from the UEXC_PARALLEL environment variable
+ *    ("0"/"serial" → Serial, "1"/"barrier" → Barrier, "2"/"relaxed"
+ *    → Relaxed, unset → Serial), so CI can force either scheduler
+ *    into existing binaries without rebuilds.
+ *
+ * The mode is host policy, not machine state: it is deliberately
+ * excluded from the checkpoint config echo, so serial and barrier
+ * machines produce byte-identical images and can restore each
+ * other's.
+ */
+enum class SchedulerMode { Auto, Serial, Barrier, Relaxed };
+
+/** Barrier-scheduler outcome counters (host-side measurement). */
+struct BarrierSchedStats
+{
+    std::uint64_t parallelRounds = 0;   ///< speculative rounds started
+    std::uint64_t committedRounds = 0;  ///< ...that committed
+    std::uint64_t abortedRounds = 0;    ///< ...rolled back to serial
+    std::uint64_t serialQuanta = 0;     ///< quanta run on the caller
+};
+
+/** Relaxed-scheduler host-call lock contention (host-side). */
+struct HcallLockStats
+{
+    std::uint64_t acquires = 0;
+    std::uint64_t contended = 0;
+};
 
 /** Machine-wide configuration. */
 struct MachineConfig
@@ -48,6 +100,8 @@ struct MachineConfig
      * the pre-multihart machine.
      */
     InstCount quantum = 10000;
+    /** Scheduler driving the harts; see SchedulerMode. */
+    SchedulerMode scheduler = SchedulerMode::Auto;
 };
 
 /** Result of a Machine::run call. */
@@ -67,6 +121,7 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &config = MachineConfig());
+    ~Machine();
 
     /**
      * The execute engine, bound to the current hart. Single-hart
@@ -82,6 +137,17 @@ class Machine
     unsigned numHarts() const { return unsigned(harts_.size()); }
     Hart &hart(unsigned i) { return *harts_[i]; }
     const Hart &hart(unsigned i) const { return *harts_[i]; }
+
+    /** The resolved scheduler mode (never Auto). */
+    SchedulerMode schedulerMode() const { return scheduler_; }
+    const BarrierSchedStats &barrierStats() const
+    {
+        return barrierStats_;
+    }
+    const HcallLockStats &hcallLockStats() const
+    {
+        return hcallLockStats_;
+    }
 
     /** The hart the engine is currently bound to. */
     unsigned currentHart() const { return currentHart_; }
@@ -181,6 +247,15 @@ class Machine
         SnapshotSaveFn save;
         SnapshotLoadFn load;
     };
+    struct ParallelPool;
+
+    MachineRunResult runSerialImpl(InstCount max_insts);
+    MachineRunResult runBarrier(InstCount max_insts);
+    MachineRunResult runRelaxed(InstCount max_insts);
+    void ensurePool();
+    void relaxedHcall(unsigned hart, Word service);
+    void applyShootdowns(unsigned hart);
+    void drainShootdowns();
 
     MachineConfig config_;
     std::unique_ptr<PhysMemory> mem_;
@@ -189,6 +264,30 @@ class Machine
     unsigned currentHart_ = 0;
     std::map<std::string, Addr> symbols_;
     std::vector<SnapshotHook> snapshotHooks_;
+
+    // -- parallel scheduling (host-side only, never snapshotted) ------
+
+    SchedulerMode scheduler_ = SchedulerMode::Serial;
+    std::unique_ptr<ParallelPool> pool_;
+    /** Serial quanta left before the next speculative round (abort
+     *  backoff); doubled per consecutive abort, capped at 64. */
+    unsigned serialStreak_ = 0;
+    unsigned abortStreakLen_ = 0;
+    BarrierSchedStats barrierStats_;
+
+    std::mutex hcallMutex_;
+    HcallLockStats hcallLockStats_;
+
+    /** Deferred TLB shootdowns for the relaxed scheduler: epoch bumps
+     *  publish new pending entries; each hart's own worker applies its
+     *  list at chunk boundaries (so no thread ever mutates another
+     *  thread's TLB). */
+    std::mutex shootdownMutex_;
+    std::vector<std::vector<std::pair<Addr, unsigned>>>
+        pendingShootdowns_;
+    std::vector<std::uint64_t> shootdownSeen_;
+    std::atomic<std::uint64_t> shootdownEpoch_{0};
+    std::atomic<bool> relaxedActive_{false};
 };
 
 } // namespace uexc::sim

@@ -1,0 +1,166 @@
+#include "sim/storebuf.h"
+
+#include "sim/memory.h"
+
+namespace uexc::sim {
+
+Word
+StoreBuffer::mergedWord(const PhysMemory &mem, Addr wordAddr) const
+{
+    Word value = mem.readWord(wordAddr);
+    auto it = words_.find(wordAddr >> 2);
+    if (it == words_.end())
+        return value;
+    const Entry &e = it->second;
+    if (e.mask == 0xf)
+        return e.data;
+    Word keep = 0;
+    for (unsigned b = 0; b < 4; b++)
+        if (e.mask & (1u << b))
+            keep |= Word(0xff) << (8 * b);
+    return (value & ~keep) | (e.data & keep);
+}
+
+Word
+StoreBuffer::readWord(const PhysMemory &mem, Addr paddr) const
+{
+    return mergedWord(mem, paddr);
+}
+
+Half
+StoreBuffer::readHalf(const PhysMemory &mem, Addr paddr) const
+{
+    Word w = mergedWord(mem, paddr & ~Addr(3));
+    return Half(w >> (8 * (paddr & 2)));
+}
+
+Byte
+StoreBuffer::readByte(const PhysMemory &mem, Addr paddr) const
+{
+    Word w = mergedWord(mem, paddr & ~Addr(3));
+    return Byte(w >> (8 * (paddr & 3)));
+}
+
+void
+StoreBuffer::mergeBytes(Addr paddr, Word value, unsigned bytes)
+{
+    unsigned offset = paddr & 3;
+    Entry &e = words_[(paddr & ~Addr(3)) >> 2];
+    std::uint8_t mask = std::uint8_t(((1u << bytes) - 1) << offset);
+    Word keep = 0;
+    for (unsigned b = 0; b < 4; b++)
+        if (mask & (1u << b))
+            keep |= Word(0xff) << (8 * b);
+    e.data = (e.data & ~keep) | ((value << (8 * offset)) & keep);
+    e.mask |= mask;
+}
+
+void
+StoreBuffer::writeWord(Addr paddr, Word value)
+{
+    Entry &e = words_[paddr >> 2];
+    e.data = value;
+    e.mask = 0xf;
+}
+
+void
+StoreBuffer::writeHalf(Addr paddr, Half value)
+{
+    mergeBytes(paddr, value, 2);
+}
+
+void
+StoreBuffer::writeByte(Addr paddr, Byte value)
+{
+    mergeBytes(paddr, value, 1);
+}
+
+void
+StoreBuffer::noteLoad(Addr paddr)
+{
+    Addr page = paddr >> PhysMemory::PageShift;
+    if (page == lastLoadPage_)
+        return;
+    lastLoadPage_ = page;
+    readPages_.insert(page);
+}
+
+void
+StoreBuffer::noteStore(Addr paddr)
+{
+    Addr page = paddr >> PhysMemory::PageShift;
+    if (page == lastStorePage_)
+        return;
+    lastStorePage_ = page;
+    writePages_.insert(page);
+    // A store into a page this hart already fetched code from would
+    // be invisible to the (version-validated) decoder: the buffered
+    // store does not bump the page version the way a real store
+    // would, so a serial run could refetch patched code where we
+    // would not. Bail out and let the serial fallback replay it.
+    if (fetchPages_.count(page))
+        aborted_ = true;
+}
+
+void
+StoreBuffer::noteFetch(Addr paddr)
+{
+    Addr page = paddr >> PhysMemory::PageShift;
+    if (page == lastFetchPage_)
+        return;
+    lastFetchPage_ = page;
+    fetchPages_.insert(page);
+    // Fetching from a page this hart already wrote: the fetch would
+    // read the stale frozen image, not the buffered store.
+    if (writePages_.count(page))
+        aborted_ = true;
+    // A later noteStore into this page must re-check against
+    // fetchPages_ even if it hits the store memo from before this
+    // fetch was recorded.
+    lastStorePage_ = kNoPage;
+}
+
+void
+StoreBuffer::commit(PhysMemory &mem) const
+{
+    // Iteration order is arbitrary, which is fine: entries cover
+    // disjoint words, and page-version *values* are not architectural
+    // (they are equality-compared by pollers, never snapshotted).
+    for (const auto &[wordIdx, e] : words_) {
+        Addr paddr = wordIdx << 2;
+        if (e.mask == 0xf) {
+            mem.writeWord(paddr, e.data);
+            continue;
+        }
+        for (unsigned b = 0; b < 4; b++)
+            if (e.mask & (1u << b))
+                mem.writeByte(paddr + b, Byte(e.data >> (8 * b)));
+    }
+}
+
+void
+StoreBuffer::clear()
+{
+    words_.clear();
+    readPages_.clear();
+    writePages_.clear();
+    fetchPages_.clear();
+    lastLoadPage_ = kNoPage;
+    lastStorePage_ = kNoPage;
+    lastFetchPage_ = kNoPage;
+    aborted_ = false;
+}
+
+bool
+pagesIntersect(const std::unordered_set<Addr> &a,
+               const std::unordered_set<Addr> &b)
+{
+    const auto &small = a.size() <= b.size() ? a : b;
+    const auto &big = a.size() <= b.size() ? b : a;
+    for (Addr p : small)
+        if (big.count(p))
+            return true;
+    return false;
+}
+
+} // namespace uexc::sim

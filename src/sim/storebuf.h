@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-hart store buffer for optimistic barrier-parallel rounds.
+ *
+ * During a parallel round every hart executes its quantum against a
+ * *frozen* PhysMemory image: loads read through the buffer (own
+ * buffered bytes win over memory), stores land only in the buffer, and
+ * the buffer records the physical pages each hart read, wrote and
+ * fetched instructions from. After the round the Machine checks the
+ * page sets pairwise — in serial round order, hart j would have
+ * observed hart i's stores for i < j, so any Writes(i) ∩ (Reads(j) ∪
+ * Fetches(j)) overlap means the parallel execution may have diverged
+ * from the serial reference and the whole round is rolled back and
+ * re-run serially. Write/write overlap alone is safe: buffers commit
+ * in round order with byte-granular masks, reproducing the serial
+ * final value. A hart also aborts itself (markAbort) when it attempts
+ * something a buffered world cannot replay exactly: a store into a
+ * page it already fetched code from (buffered stores are invisible to
+ * the decoder), a fetch from a page it already wrote, or a host call
+ * with real side effects.
+ */
+
+#ifndef UEXC_SIM_STOREBUF_H
+#define UEXC_SIM_STOREBUF_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace uexc::sim {
+
+class PhysMemory;
+
+class StoreBuffer
+{
+  public:
+    /** One buffered word: data bytes valid where mask bits are set.
+     *  Byte i of the word (little-endian, matching the host layout
+     *  PhysMemory relies on) is valid iff bit i of mask is set. */
+    struct Entry
+    {
+        Word data = 0;
+        std::uint8_t mask = 0;
+    };
+
+    // Loads merge the hart's own buffered bytes over the frozen
+    // memory image, so a hart always sees its own stores in order.
+    Word readWord(const PhysMemory &mem, Addr paddr) const;
+    Half readHalf(const PhysMemory &mem, Addr paddr) const;
+    Byte readByte(const PhysMemory &mem, Addr paddr) const;
+
+    void writeWord(Addr paddr, Word value);
+    void writeHalf(Addr paddr, Half value);
+    void writeByte(Addr paddr, Byte value);
+
+    /** Record a data load from the page containing @p paddr. */
+    void noteLoad(Addr paddr);
+    /** Record a data store; aborts on store-to-fetched-page. */
+    void noteStore(Addr paddr);
+    /** Record an instruction fetch; aborts on fetch-of-written-page. */
+    void noteFetch(Addr paddr);
+
+    /** Mark this hart's round as non-replayable (forces rollback). */
+    void markAbort() { aborted_ = true; }
+    bool aborted() const { return aborted_; }
+
+    bool empty() const { return words_.empty(); }
+
+    /** Apply the buffered stores to @p mem (called in round order). */
+    void commit(PhysMemory &mem) const;
+
+    void clear();
+
+    const std::unordered_set<Addr> &readPages() const
+    {
+        return readPages_;
+    }
+    const std::unordered_set<Addr> &writePages() const
+    {
+        return writePages_;
+    }
+    const std::unordered_set<Addr> &fetchPages() const
+    {
+        return fetchPages_;
+    }
+
+  private:
+    Word mergedWord(const PhysMemory &mem, Addr wordAddr) const;
+    void mergeBytes(Addr paddr, Word value, unsigned bytes);
+
+    static constexpr Addr kNoPage = ~Addr(0);
+
+    std::unordered_map<Addr, Entry> words_; // keyed by paddr >> 2
+    std::unordered_set<Addr> readPages_;
+    std::unordered_set<Addr> writePages_;
+    std::unordered_set<Addr> fetchPages_;
+    // one-entry memos: the page sets are tiny but the note* calls are
+    // per-instruction hot, and guest code overwhelmingly touches the
+    // same page it touched last time
+    Addr lastLoadPage_ = kNoPage;
+    Addr lastStorePage_ = kNoPage;
+    Addr lastFetchPage_ = kNoPage;
+    bool aborted_ = false;
+};
+
+/** True iff the two page sets share an element (smaller set probes
+ *  the larger one). */
+bool pagesIntersect(const std::unordered_set<Addr> &a,
+                    const std::unordered_set<Addr> &b);
+
+} // namespace uexc::sim
+
+#endif // UEXC_SIM_STOREBUF_H

@@ -9,6 +9,11 @@
  *   $ ./tools/kdump fast       # only the fast path (Table 3 region)
  *   $ ./tools/kdump --lint     # run uexc-lint over the image instead
  *   $ ./tools/kdump --harts N  # the multihart study images for N harts
+ *   $ ./tools/kdump --harts N --parallel
+ *                              # boot the user-vectored study on the
+ *                              # Barrier (host-thread) scheduler and
+ *                              # print per-hart delivery counts plus
+ *                              # the speculative-round ledger
  *   $ ./tools/kdump --snapshot # section table of a booted machine's
  *                              # checkpoint (raw vs zero-elided size)
  */
@@ -78,6 +83,82 @@ dumpMultihart(unsigned harts)
     return 0;
 }
 
+/**
+ * Boot the user-vectored delivery study on a Barrier-scheduled
+ * machine — every quantum on its own host thread — and print what
+ * each hart delivered, plus the speculative-round ledger. A quick
+ * eyeball check that real threads reproduce the serial schedule:
+ * the per-hart counts must match a serial run of the same study
+ * (tests/test_parallel.cc asserts this; here it is just visible).
+ */
+int
+runParallelStudy(unsigned harts)
+{
+    if (harts < 1 || harts > rt::multihart::kMaxHarts) {
+        std::fprintf(stderr, "kdump: --harts wants 1..%u\n",
+                     rt::multihart::kMaxHarts);
+        return 1;
+    }
+    constexpr Addr worker_phys = 0x00210000;
+    constexpr unsigned asid = 1;
+    constexpr InstCount insts_per_hart = 40000;
+
+    MachineConfig cfg;
+    cfg.harts = harts;
+    cfg.quantum = 500;
+    cfg.cpu.userVectorHw = true;
+    cfg.scheduler = SchedulerMode::Barrier;
+    Machine m(cfg);
+
+    m.load(rt::multihart::buildKernelImage(harts));
+    Program worker = rt::multihart::buildWorkerProgram(harts);
+    m.mem().writeBlock(worker_phys, worker.words.data(),
+                       4 * worker.words.size());
+    for (unsigned i = 0; i < harts; i++) {
+        Hart &h = m.hart(i);
+        h.tlb().setEntry(0,
+                         (os::kUserTextBase & entryhi::VpnMask) |
+                             (asid << entryhi::AsidShift),
+                         (worker_phys & entrylo::PfnMask) |
+                             entrylo::V);
+        h.cp0().setStatusReg(h.cp0().statusReg() | status::KUc |
+                             status::UV);
+        h.cp0().setUxReg(UxReg::Target,
+                         worker.symbol("mh_uv_handler"));
+        h.cp0().write(cp0reg::EntryHi, asid << entryhi::AsidShift);
+        h.setPc(worker.symbol("mh_hart" + std::to_string(i) +
+                              "_entry"));
+    }
+
+    MachineRunResult r =
+        m.run(static_cast<InstCount>(harts) * insts_per_hart);
+
+    std::printf("user-vectored study, %u hart%s on the %s scheduler: "
+                "%llu instructions\n\n",
+                harts, harts == 1 ? "" : "s",
+                m.schedulerMode() == SchedulerMode::Barrier
+                    ? "barrier" : "serial",
+                static_cast<unsigned long long>(r.instsExecuted));
+    std::printf("  %4s %12s %12s %12s\n", "hart", "instret",
+                "cycles", "uv-delivered");
+    for (unsigned i = 0; i < harts; i++) {
+        const Hart &h = m.hart(i);
+        std::printf("  %4u %12llu %12llu %12llu\n", i,
+                    static_cast<unsigned long long>(h.instret()),
+                    static_cast<unsigned long long>(h.cycles()),
+                    static_cast<unsigned long long>(
+                        h.stats().userVectoredExceptions));
+    }
+    const BarrierSchedStats &bs = m.barrierStats();
+    std::printf("\n  rounds: %llu speculative (%llu committed, %llu "
+                "aborted), %llu serial quanta\n",
+                static_cast<unsigned long long>(bs.parallelRounds),
+                static_cast<unsigned long long>(bs.committedRounds),
+                static_cast<unsigned long long>(bs.abortedRounds),
+                static_cast<unsigned long long>(bs.serialQuanta));
+    return 0;
+}
+
 /** Checkpoint a freshly booted kernel machine and print what the
  *  snapshot holds: one row per section, and the zero-elision win. */
 int
@@ -121,7 +202,10 @@ main(int argc, char **argv)
             std::fprintf(stderr, "kdump: --harts needs a count\n");
             return 1;
         }
-        return dumpMultihart(unsigned(std::atoi(argv[2])));
+        unsigned harts = unsigned(std::atoi(argv[2]));
+        if (argc > 3 && std::strcmp(argv[3], "--parallel") == 0)
+            return runParallelStudy(harts);
+        return dumpMultihart(harts);
     }
 
     if (lint_only) {
