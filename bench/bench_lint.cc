@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Static-analyzer throughput: how long one uexc-lint pass takes over
+ * every image the build gates on, and what the analyses conclude.
+ *
+ * The debug builds run these passes at boot (kernel image), shim
+ * install, and multihart image construction, so their cost is paid on
+ * every debug test binary startup; this bench pins it down on release
+ * builds and tracks it release-to-release. Three analysis tiers are
+ * timed separately because they scale differently:
+ *
+ *   - `lint`: the per-region CFG + dataflow checks (linear in code
+ *     size);
+ *   - `wcet`: VSA fixpoint + longest path over handler regions;
+ *   - `conflict`: per-hart VSA passes + pairwise page-set
+ *     intersection (linear in harts for the passes, quadratic in
+ *     harts for the intersection — both tiny in practice).
+ *
+ * Also records the kernel fast path's static worst-case bound, the
+ * number it must hold below os::ksym-declared budget for the boot
+ * gate to pass; EXPERIMENTS.md quotes this metric.
+ *
+ * Exits nonzero if any gated image produces an Error finding — a
+ * bench run is also a full lint of everything we ship.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/vsa.h"
+#include "analysis/wcet.h"
+#include "bench_util.h"
+#include "core/env.h"
+#include "core/lintspec.h"
+#include "core/multihart.h"
+#include "os/kernelimage.h"
+
+using namespace uexc;
+using namespace uexc::analysis;
+using uexc::bench::banner;
+using uexc::bench::noteLine;
+using uexc::bench::section;
+
+namespace {
+
+constexpr unsigned kIters = 50;
+constexpr unsigned kHarts = 8;
+
+/** Wall-clock milliseconds per call of @p fn over kIters calls. */
+template <typename Fn>
+double
+msPerPass(Fn fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < kIters; i++)
+        fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           kIters;
+}
+
+bool g_failed = false;
+
+/** Time one lint target, print and record it, and gate on errors. */
+void
+report(bench::JsonResults &json, const char *name,
+       const sim::Program &prog, const LintConfig &config)
+{
+    std::vector<Finding> findings = lint(prog, config);
+    double ms = msPerPass([&] { (void)lint(prog, config); });
+
+    unsigned errors = 0, warnings = 0, notes = 0;
+    for (const Finding &f : findings) {
+        switch (f.severity) {
+          case Severity::Error:   errors++; break;
+          case Severity::Warning: warnings++; break;
+          case Severity::Note:    notes++; break;
+        }
+    }
+    std::printf("  %-22s %4zu insts  %8.3f ms/pass  "
+                "%u errors %u warnings %u notes\n",
+                name, prog.words.size(), ms, errors, warnings, notes);
+    json.metric(std::string(name) + "_ms_per_pass", ms, "ms");
+    json.metric(std::string(name) + "_findings",
+                double(findings.size()), "findings");
+    if (errors) {
+        std::printf("%s\n", formatFindings(findings).c_str());
+        g_failed = true;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("uexc-lint static analysis throughput");
+    bench::JsonResults json("lint");
+    json.config("iters", double(kIters));
+    json.config("harts", double(kHarts));
+
+    section("per-region checks (boot/install gates)");
+
+    sim::Program kernel = os::buildKernelImage();
+    LintConfig kernel_cfg = os::kernelLintConfig(kernel);
+    report(json, "kernel", kernel, kernel_cfg);
+
+    sim::Program shim = rt::UserEnv::buildShimProgram(
+        rt::SavePolicy::UltrixEquivalent, false);
+    LintConfig shim_cfg = rt::userProgramLintConfig(shim);
+    rt::applyHandlerWcetBudget(shim_cfg, 1'000'000);
+    report(json, "shim", shim, shim_cfg);
+
+    sim::Program mh_kernel = rt::multihart::buildKernelImage(kHarts);
+    report(json, "multihart_kernel", mh_kernel,
+           rt::multihart::kernelLintConfig(mh_kernel, kHarts));
+
+    sim::Program worker = rt::multihart::buildWorkerProgram(kHarts);
+    report(json, "multihart_worker", worker,
+           rt::multihart::workerLintConfig(worker, kHarts));
+
+    section("analysis tiers on the kernel fast path");
+
+    CodeRegion fast;
+    fast.begin = kernel.symbol(os::ksym::FastDecode);
+    fast.end = kernel.symbol(os::ksym::FastEnd);
+    fast.entries = {fast.begin};
+
+    double vsa_ms =
+        msPerPass([&] { (void)Vsa::run(kernel, fast); });
+    Vsa vsa = Vsa::run(kernel, fast);
+    WcetConfig wc;
+    double wcet_ms =
+        msPerPass([&] { (void)computeWcet(vsa, wc); });
+    WcetResult w = computeWcet(vsa, wc);
+    std::printf("  vsa fixpoint            %8.3f ms/pass\n", vsa_ms);
+    std::printf("  wcet longest path       %8.3f ms/pass\n", wcet_ms);
+    std::printf("  fast-path bound         %8llu cycles (budget %llu)\n",
+                (unsigned long long)w.worstCycles,
+                (unsigned long long)os::kFastPathWcetBudget);
+    json.metric("fastpath_vsa_ms", vsa_ms, "ms");
+    json.metric("fastpath_wcet_ms", wcet_ms, "ms");
+    json.metric("fastpath_wcet_cycles", double(w.worstCycles),
+                "cycles");
+    json.metric("fastpath_wcet_budget",
+                double(os::kFastPathWcetBudget), "cycles");
+    if (!w.bounded || w.worstCycles > os::kFastPathWcetBudget) {
+        std::printf("  FAIL: fast-path bound does not fit budget\n");
+        g_failed = true;
+    }
+
+    section("conflict analysis on the multihart worker");
+
+    LintConfig worker_cfg =
+        rt::multihart::workerLintConfig(worker, kHarts);
+    const RegionSpec &text = worker_cfg.regions.front();
+    CodeRegion wr;
+    wr.begin = text.begin;
+    wr.end = text.end;
+    wr.entries = text.entries;
+    for (const AddrRange &r : text.dataRanges)
+        wr.dataRanges.push_back(r);
+    double conflict_ms = msPerPass([&] {
+        (void)analyzeSharedPageConflicts(
+            worker, wr, worker_cfg.perHartEntries, {});
+    });
+    ConflictResult cr = analyzeSharedPageConflicts(
+        worker, wr, worker_cfg.perHartEntries, {});
+    std::printf("  %u-hart conflict pass   %8.3f ms/pass  "
+                "%zu conflict pages\n",
+                kHarts, conflict_ms, cr.conflictPages.size());
+    json.metric("worker_conflict_ms", conflict_ms, "ms");
+    json.metric("worker_conflict_pages",
+                double(cr.conflictPages.size()), "pages");
+
+    if (g_failed) {
+        noteLine("FAILED: a shipped image produced lint errors");
+        return 1;
+    }
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/dataflow.h"
+#include "analysis/wcet.h"
 #include "common/logging.h"
 
 namespace uexc::analysis {
@@ -34,6 +35,11 @@ checkName(Check c)
       case Check::FallOffEnd:           return "fall-off-end";
       case Check::InvalidOpcode:        return "invalid-opcode";
       case Check::FastPathStructure:    return "fast-path-structure";
+      case Check::SharedPageConflict:   return "shared-page-conflict";
+      case Check::UnsyncSharedWrite:    return "unsync-shared-write";
+      case Check::HandlerWcetExceedsBudget:
+        return "handler-wcet-exceeds-budget";
+      case Check::UnboundedHandlerLoop: return "unbounded-handler-loop";
     }
     return "?";
 }
@@ -234,6 +240,119 @@ checkRegisterDiscipline(const Cfg &cfg, const RegionSpec &spec,
     }
 }
 
+void
+checkHandlerWcet(const sim::Program &prog, const RegionSpec &spec,
+                 const LintConfig &config, std::vector<Finding> &out)
+{
+    CodeRegion region;
+    region.begin = spec.begin;
+    region.end = spec.end;
+    region.entries = spec.entries;
+    region.dataRanges = spec.dataRanges;
+    Vsa vsa = Vsa::run(prog, region);
+    WcetResult wcet =
+        computeWcet(vsa, {config.cost, config.cachesEnabled});
+
+    if (!wcet.bounded) {
+        for (const LoopBound &loop : wcet.loops) {
+            if (loop.bounded)
+                continue;
+            Finding f = makeFinding(
+                Check::UnboundedHandlerLoop, Severity::Error,
+                loop.backEdge, spec.name, vsa.cfg().inst(loop.backEdge),
+                formatString(
+                    "loop closing at 0x%08x has no inferable "
+                    "iteration bound: the handler's worst-case "
+                    "latency is unbounded",
+                    loop.head));
+            f.payload.emplace_back("loop_head", loop.head);
+            out.push_back(std::move(f));
+        }
+        return;
+    }
+    if (spec.wcetBudget && wcet.worstCycles > spec.wcetBudget) {
+        Finding f = makeFinding(
+            Check::HandlerWcetExceedsBudget, Severity::Error,
+            spec.begin, spec.name, vsa.cfg().inst(spec.begin),
+            formatString("handler worst-case bound is %llu cycles, "
+                         "over its budget of %llu",
+                         (unsigned long long)wcet.worstCycles,
+                         (unsigned long long)spec.wcetBudget));
+        f.payload.emplace_back("wcet_cycles", wcet.worstCycles);
+        f.payload.emplace_back("budget_cycles", spec.wcetBudget);
+        f.payload.emplace_back("wcet_insts", wcet.worstInsts);
+        out.push_back(std::move(f));
+    }
+}
+
+void
+checkSharedPages(const sim::Program &prog, const RegionSpec &spec,
+                 const LintConfig &config, std::vector<Finding> &out)
+{
+    CodeRegion region;
+    region.begin = spec.begin;
+    region.end = spec.end;
+    region.entries = spec.entries;
+    region.dataRanges = spec.dataRanges;
+
+    std::vector<std::vector<Addr>> entries = config.perHartEntries;
+    if (entries.empty())
+        entries.assign(config.multihart, spec.entries);
+
+    PageAccessOptions opts;
+    opts.pageOf = config.pageOf;
+    ConflictResult result =
+        analyzeSharedPageConflicts(prog, region, entries, opts);
+
+    for (unsigned hart = 0; hart < result.harts.size(); hart++) {
+        for (Addr a : result.harts[hart].unboundedStores) {
+            Finding f = makeFinding(
+                Check::UnsyncSharedWrite, Severity::Error, a,
+                spec.name, sim::decode(prog.words[(a - prog.origin) / 4]),
+                formatString(
+                    "hart %u store has an unbounded effective-address "
+                    "set: its shared-page footprint cannot be "
+                    "predicted",
+                    hart));
+            f.payload.emplace_back("hart", hart);
+            out.push_back(std::move(f));
+        }
+    }
+    // One note per conflicting page; the pair detail goes into the
+    // payload (an 8-hart program would otherwise repeat each page up
+    // to harts^2 times).
+    for (Word page : result.conflictPages) {
+        unsigned pairs = 0, writers = 0, fetch_side = 0;
+        Word writer_mask = 0;
+        for (const PageConflict &c : result.conflicts) {
+            if (c.page != page)
+                continue;
+            pairs++;
+            if (c.kind == PageConflict::Kind::WriteFetch)
+                fetch_side++;
+            if (!(writer_mask & (Word{1} << c.writer))) {
+                writer_mask |= Word{1} << c.writer;
+                writers++;
+            }
+        }
+        Finding f = makeFinding(
+            Check::SharedPageConflict, Severity::Note, spec.begin,
+            spec.name,
+            sim::decode(prog.words.empty() ? 0 : prog.words[0]),
+            formatString(
+                "page 0x%x: %u hart%s may-write it while other harts "
+                "may %s it (%u hart pairing%s); barrier rounds "
+                "touching it abort and serialize",
+                page, writers, writers == 1 ? "" : "s",
+                fetch_side ? "fetch or read" : "read", pairs,
+                pairs == 1 ? "" : "s"));
+        f.payload.emplace_back("page", page);
+        f.payload.emplace_back("writer_harts", writers);
+        f.payload.emplace_back("hart_pairings", pairs);
+        out.push_back(std::move(f));
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -255,6 +374,8 @@ lint(const sim::Program &prog, const LintConfig &config)
             checkRegisterDiscipline(cfg, spec, out);
             checkFallOff(cfg, spec, out);
             checkInvalidOpcodes(cfg, spec, out);
+            if (config.analyzeWcet)
+                checkHandlerWcet(prog, spec, config, out);
         } else {
             checkLoadDelayHazards(cfg, spec, out);
             checkDelaySlots(cfg, spec, out);
@@ -263,6 +384,8 @@ lint(const sim::Program &prog, const LintConfig &config)
             checkUnreachable(cfg, spec, out);
             checkFallOff(cfg, spec, out);
             checkInvalidOpcodes(cfg, spec, out);
+            if (config.multihart > 0)
+                checkSharedPages(prog, spec, config, out);
         }
     }
     std::stable_sort(out.begin(), out.end(),
@@ -377,6 +500,54 @@ formatFindings(const std::vector<Finding> &findings)
         out += formatFinding(f);
         out += '\n';
     }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += formatString("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatFindingsJson(const std::vector<Finding> &findings)
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < findings.size(); i++) {
+        const Finding &f = findings[i];
+        out += formatString(
+            "  {\"check\": \"%s\", \"severity\": \"%s\", "
+            "\"pc\": \"0x%08x\", \"region\": \"%s\", "
+            "\"disasm\": \"%s\", \"message\": \"%s\"",
+            checkName(f.check), severityName(f.severity), f.addr,
+            jsonEscape(f.region).c_str(), jsonEscape(f.disasm).c_str(),
+            jsonEscape(f.message).c_str());
+        for (const auto &[key, value] : f.payload)
+            out += formatString(", \"%s\": %llu",
+                                jsonEscape(key).c_str(),
+                                (unsigned long long)value);
+        out += i + 1 < findings.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
     return out;
 }
 

@@ -26,15 +26,31 @@
  *    memory ops through unexpected base registers (everything must go
  *    through the pinned frame or the proc structure), or a vector
  *    phase that does not end in jr/rfe.
+ *  - SharedPageConflict (multihart analysis): a page one hart's
+ *    may-write set shares with another hart's may-read/may-fetch set
+ *    (or the hart's own fetch set). The barrier scheduler aborts and
+ *    serializes rounds touching such pages, so this is a Note — a
+ *    static scalability explanation, not an error.
+ *  - UnsyncSharedWrite (multihart analysis): a reachable store whose
+ *    effective-address set is unbounded — the analysis cannot bound
+ *    which shared pages it may hit, so no conflict prediction covers
+ *    it.
+ *  - HandlerWcetExceedsBudget: a handler region's static worst-case
+ *    cycle bound (analysis/wcet.h) exceeds its declared budget.
+ *  - UnboundedHandlerLoop: a handler region contains a loop whose
+ *    iteration count the bounded-loop inference cannot establish, so
+ *    no worst-case latency bound exists.
  */
 
 #ifndef UEXC_ANALYSIS_LINT_H
 #define UEXC_ANALYSIS_LINT_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/cfg.h"
+#include "analysis/conflict.h"
 
 namespace uexc::analysis {
 
@@ -55,6 +71,10 @@ enum class Check
     FallOffEnd,
     InvalidOpcode,
     FastPathStructure,
+    SharedPageConflict,
+    UnsyncSharedWrite,
+    HandlerWcetExceedsBudget,
+    UnboundedHandlerLoop,
 };
 
 const char *severityName(Severity s);
@@ -69,6 +89,9 @@ struct Finding
     std::string region;      ///< region name from the RegionSpec
     std::string disasm;      ///< disassembly of the offending word
     std::string message;     ///< human-readable explanation
+    /** Machine-readable key/value attachments (page numbers, cycle
+     *  bounds, hart ids) — carried verbatim into the JSON output. */
+    std::vector<std::pair<std::string, std::uint64_t>> payload;
 };
 
 /** One named code region to analyze, plus which checks apply. */
@@ -88,6 +111,9 @@ struct RegionSpec
     bool handler = false;
     /** Registers a handler may clobber without saving (bit n = GPR n). */
     Word scratchMask = 0;
+    /** Worst-case cycle budget for a handler region (0 = no budget);
+     *  checked only when LintConfig::analyzeWcet is set. */
+    Cycles wcetBudget = 0;
     std::vector<Addr> entries;
     std::vector<AddrRange> dataRanges;
 };
@@ -95,6 +121,22 @@ struct RegionSpec
 struct LintConfig
 {
     std::vector<RegionSpec> regions;
+
+    /** Run the WCET analyzer over every handler region, using the
+     *  declarative cost table below. */
+    bool analyzeWcet = false;
+    sim::CostModel cost;
+    /** Charge worst-case miss penalties in the WCET bound. */
+    bool cachesEnabled = false;
+
+    /** >0: run the shared-page conflict analysis over every
+     *  non-handler region, modeling this many harts. */
+    unsigned multihart = 0;
+    /** Per-hart entry points (outer index = hart id). When empty each
+     *  hart is analyzed from the region's own entry set. */
+    std::vector<std::vector<Addr>> perHartEntries;
+    /** VA-to-page mapping for the conflict analysis (see conflict.h). */
+    PageMapper pageOf;
 };
 
 /** The paper's Table 3 shape, for the structural fast-path check. */
@@ -127,6 +169,10 @@ bool hasErrors(const std::vector<Finding> &findings,
 
 std::string formatFinding(const Finding &f);
 std::string formatFindings(const std::vector<Finding> &findings);
+
+/** The findings as a JSON array (one object per finding: check,
+ *  severity, pc, region, disasm, message, plus the payload keys). */
+std::string formatFindingsJson(const std::vector<Finding> &findings);
 
 } // namespace uexc::analysis
 

@@ -141,9 +141,11 @@ UserEnv::buildShim()
     Program p = buildShimProgram(
         policy_, kernel_.machine().cpu().config().userVectorHw);
 #ifndef NDEBUG
-    // Debug builds refuse to install a shim that fails the analyzer.
+    // Debug builds refuse to install a shim that fails the analyzer,
+    // including the worst-case-latency bound of every handler stub
+    // against the delivery watchdog budget.
     std::vector<analysis::Finding> findings =
-        analysis::lint(p, userProgramLintConfig(p));
+        analysis::lint(p, shimLintConfig());
     if (analysis::hasErrors(findings)) {
         UEXC_PANIC("user shim fails uexc-lint:\n%s",
                    analysis::formatFindings(findings).c_str());
@@ -168,6 +170,36 @@ UserEnv::buildShim()
     trampoline_ = p.symbol("sigtramp");
 
     unixHandler_ = p.symbol("unix_handler");
+}
+
+analysis::LintConfig
+UserEnv::shimLintConfig() const
+{
+    Program p = buildShimProgram(
+        policy_, kernel_.machine().cpu().config().userVectorHw);
+    analysis::LintConfig config = userProgramLintConfig(p);
+    // A handler whose static worst case cannot fit the watchdog
+    // budget would be demoted on every single delivery.
+    applyHandlerWcetBudget(config, handlerBudget_);
+    return config;
+}
+
+void
+UserEnv::setHandlerBudget(InstCount budget)
+{
+    handlerBudget_ = budget;
+#ifndef NDEBUG
+    Program p = buildShimProgram(
+        policy_, kernel_.machine().cpu().config().userVectorHw);
+    std::vector<analysis::Finding> findings =
+        analysis::lint(p, shimLintConfig());
+    if (analysis::hasErrors(findings)) {
+        UEXC_PANIC("user shim fails uexc-lint under handler budget "
+                   "%llu:\n%s",
+                   (unsigned long long)budget,
+                   analysis::formatFindings(findings).c_str());
+    }
+#endif
 }
 
 void

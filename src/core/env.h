@@ -198,8 +198,11 @@ class UserEnv
      * (or guest syscall) may run. A fast-mode delivery that exhausts
      * it — a runaway user handler — is demoted to kernel-mediated
      * delivery and retried once; a second exhaustion is a GuestError.
+     * Debug builds re-run the static worst-case-latency analysis on
+     * the shim against the new budget and panic if a handler's bound
+     * cannot fit it (the dynamic watchdog would then always fire).
      */
-    void setHandlerBudget(InstCount budget) { handlerBudget_ = budget; }
+    void setHandlerBudget(InstCount budget);
 
     /** User-va entry of the fast-mode exception stub (0 in Ultrix
      *  mode); exposed so fault-injection campaigns can target it. */
@@ -261,6 +264,9 @@ class UserEnv
     friend class Fault;
 
     void buildShim();
+    /** Analyzer config for the installed shim: the user-program spec
+     *  with handler WCET bounds gated on handlerBudget_. */
+    analysis::LintConfig shimLintConfig() const;
     void onUpcall();
     void runGuest(Addr entry, Addr stop, InstCount limit);
     bool hostRefill(Addr va, sim::AccessType type);

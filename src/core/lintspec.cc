@@ -108,6 +108,16 @@ perHartEntryPoints(const Program &prog, unsigned num_harts)
     return entries;
 }
 
+void
+applyHandlerWcetBudget(analysis::LintConfig &config, Cycles budget)
+{
+    config.analyzeWcet = true;
+    for (analysis::RegionSpec &r : config.regions) {
+        if (r.handler && !r.wcetBudget)
+            r.wcetBudget = budget;
+    }
+}
+
 analysis::LintConfig
 userProgramLintConfig(const Program &prog, unsigned num_harts)
 {

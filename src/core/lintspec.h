@@ -56,6 +56,14 @@ std::vector<Addr> perHartEntryPoints(const sim::Program &prog,
 analysis::LintConfig userProgramLintConfig(const sim::Program &prog,
                                            unsigned num_harts);
 
+/**
+ * Turn on the worst-case handler-latency analysis in @p config and
+ * give every handler region that has no budget of its own @p budget
+ * cycles. A budget of 0 still runs the analysis (flagging unbounded
+ * loops) without gating on a bound.
+ */
+void applyHandlerWcetBudget(analysis::LintConfig &config, Cycles budget);
+
 } // namespace uexc::rt
 
 #endif // UEXC_CORE_LINTSPEC_H

@@ -105,6 +105,7 @@ analysis::LintConfig
 kernelLintConfig(const Program &prog, unsigned num_harts)
 {
     checkHarts(num_harts);
+    analysis::LintConfig config;
     analysis::RegionSpec spec;
     spec.name = "multihart-kernel";
     spec.begin = prog.origin;
@@ -113,7 +114,25 @@ kernelLintConfig(const Program &prog, unsigned num_harts)
     spec.userMode = false;
     spec.entries = {prog.symbol("mh_refill"),
                     prog.symbol("mh_kernel_handler")};
-    return {{spec}};
+    config.regions.push_back(spec);
+
+    // The general-vector handler under the register discipline and
+    // the latency bound (straight-line: the bound is exact). The
+    // refill slot is deliberately an infinite spin, so it must stay
+    // out of the WCET-checked handler region.
+    analysis::RegionSpec h;
+    h.name = "mh_kernel_handler";
+    h.begin = prog.symbol("mh_kernel_handler");
+    h.end = prog.symbol("mh_kernel_handler__end");
+    h.handler = true;
+    h.scratchMask = hwStubScratchMask();
+    h.entries = {h.begin};
+    config.regions.push_back(std::move(h));
+
+    // Every hart enters the kernel at the same vectors; PrId modeling
+    // is what differentiates their save-slot addresses.
+    config.multihart = num_harts;
+    return config;
 }
 
 analysis::LintConfig
@@ -126,6 +145,19 @@ workerLintConfig(const Program &prog, unsigned num_harts)
     // is a root in its own right.
     config.regions.front().entries.push_back(
         prog.symbol("mh_resume_point"));
+
+    // Per-hart roots for the shared-page analysis: a hart starts at
+    // its own entry, but handlers and the resume point are entered
+    // asynchronously on every hart.
+    config.multihart = num_harts;
+    std::vector<Addr> common = {prog.symbol("mh_resume_point"),
+                                prog.symbol("mh_uv_handler")};
+    for (unsigned i = 0; i < num_harts; ++i) {
+        std::vector<Addr> entries = common;
+        entries.push_back(
+            prog.symbol("mh_hart" + std::to_string(i) + "_entry"));
+        config.perHartEntries.push_back(std::move(entries));
+    }
     return config;
 }
 

@@ -57,6 +57,14 @@ constexpr const char *RefillEnd = "tlb_refill_end";
 } // namespace ksym
 
 /**
+ * Static worst-case cycle budget for the Table-3 fast path (cache
+ * model off). The bound is a straight 65-instruction path plus a
+ * write-buffer stall on every store; the budget leaves a little
+ * headroom so an extra save slot is an edit, not a gate failure.
+ */
+constexpr Cycles kFastPathWcetBudget = 128;
+
+/**
  * Build the kernel image (vectors + handlers + kernel data labels).
  * Load the result into a Machine before creating processes. Debug
  * builds run uexc-lint over the image and panic on any Error finding.

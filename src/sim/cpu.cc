@@ -381,23 +381,23 @@ Cpu::chargeDataAccess(Addr paddr, bool cacheable)
 // execution ------------------------------------------------------------------
 
 void
-Cpu::doBranch(bool taken, Addr target)
+Cpu::doBranch(Op op, bool taken, Addr target)
 {
     h_->stats_.branches++;
     if (taken) {
         h_->stagedNpc_ = target;
         h_->branchTaken_ = true;
-        charge(config_.cost.takenBranchExtra);
+        charge(opTakenControlExtraCycles(op, config_.cost));
     }
 }
 
 void
-Cpu::doJump(Addr target)
+Cpu::doJump(Op op, Addr target)
 {
     h_->stats_.branches++;
     h_->stagedNpc_ = target;
     h_->branchTaken_ = true;
-    charge(config_.cost.takenBranchExtra);
+    charge(opTakenControlExtraCycles(op, config_.cost));
 }
 
 bool
@@ -423,8 +423,7 @@ Cpu::memAddress(const DecodedInst &inst, unsigned size, AccessType type,
         takeException(ExcCode::Dbe, 0, false, false);
         return false;
     }
-    charge(type == AccessType::Store ? config_.cost.storeExtra
-                                     : config_.cost.loadExtra);
+    charge(opMemoryExtraCycles(inst.op, config_.cost));
     if (config_.cachesEnabled) {
         if (tr.cacheable && h_->dcache_) {
             if (!h_->dcache_->access(tr.paddr))
@@ -699,14 +698,14 @@ Cpu::runFast(InstCount max_insts)
                     static_cast<SWord>(rs)) * static_cast<SWord>(rt);
                 h_->lo_ = static_cast<Word>(prod);
                 h_->hi_ = static_cast<Word>(prod >> 32);
-                charge(cost.multCost - cost.baseCost);
+                charge(opExecuteExtraCycles(inst.op, cost));
                 break;
               }
               case Op::Multu: {
                 std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
                 h_->lo_ = static_cast<Word>(prod);
                 h_->hi_ = static_cast<Word>(prod >> 32);
-                charge(cost.multCost - cost.baseCost);
+                charge(opExecuteExtraCycles(inst.op, cost));
                 break;
               }
               case Op::Div:
@@ -722,7 +721,7 @@ Cpu::runFast(InstCount max_insts)
                     h_->hi_ = static_cast<Word>(static_cast<SWord>(rs) %
                                             static_cast<SWord>(rt));
                 }
-                charge(cost.divCost - cost.baseCost);
+                charge(opExecuteExtraCycles(inst.op, cost));
                 break;
               case Op::Divu:
                 if (rt == 0) {
@@ -732,7 +731,7 @@ Cpu::runFast(InstCount max_insts)
                     h_->lo_ = rs / rt;
                     h_->hi_ = rs % rt;
                 }
-                charge(cost.divCost - cost.baseCost);
+                charge(opExecuteExtraCycles(inst.op, cost));
                 break;
               case Op::Mfhi: setReg(inst.rd, h_->hi_); break;
               case Op::Mthi: h_->hi_ = rs; break;
@@ -752,34 +751,34 @@ Cpu::runFast(InstCount max_insts)
                 h_->stats_.branches++;
                 staged = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
                 h_->branchTaken_ = true;
-                charge(cost.takenBranchExtra);
+                charge(opTakenControlExtraCycles(inst.op, cost));
                 break;
               case Op::Jal:
                 setReg(RA, pc + 8);
                 h_->stats_.branches++;
                 staged = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
                 h_->branchTaken_ = true;
-                charge(cost.takenBranchExtra);
+                charge(opTakenControlExtraCycles(inst.op, cost));
                 break;
               case Op::Jr:
                 h_->stats_.branches++;
                 staged = rs;
                 h_->branchTaken_ = true;
-                charge(cost.takenBranchExtra);
+                charge(opTakenControlExtraCycles(inst.op, cost));
                 break;
               case Op::Jalr:
                 setReg(inst.rd, pc + 8);
                 h_->stats_.branches++;
                 staged = rs;
                 h_->branchTaken_ = true;
-                charge(cost.takenBranchExtra);
+                charge(opTakenControlExtraCycles(inst.op, cost));
                 break;
               case Op::Beq:
                 h_->stats_.branches++;
                 if (rs == rt) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Bne:
@@ -787,7 +786,7 @@ Cpu::runFast(InstCount max_insts)
                 if (rs != rt) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Blez:
@@ -795,7 +794,7 @@ Cpu::runFast(InstCount max_insts)
                 if (static_cast<SWord>(rs) <= 0) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Bgtz:
@@ -803,7 +802,7 @@ Cpu::runFast(InstCount max_insts)
                 if (static_cast<SWord>(rs) > 0) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Bltz:
@@ -811,7 +810,7 @@ Cpu::runFast(InstCount max_insts)
                 if (static_cast<SWord>(rs) < 0) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Bgez:
@@ -819,7 +818,7 @@ Cpu::runFast(InstCount max_insts)
                 if (static_cast<SWord>(rs) >= 0) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Bltzal:
@@ -828,7 +827,7 @@ Cpu::runFast(InstCount max_insts)
                 if (static_cast<SWord>(rs) < 0) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               case Op::Bgezal:
@@ -837,7 +836,7 @@ Cpu::runFast(InstCount max_insts)
                 if (static_cast<SWord>(rs) >= 0) {
                     staged = pc + 4 + (inst.simm << 2);
                     h_->branchTaken_ = true;
-                    charge(cost.takenBranchExtra);
+                    charge(opTakenControlExtraCycles(inst.op, cost));
                 }
                 break;
               default:
@@ -1014,14 +1013,14 @@ Cpu::execute(const DecodedInst &inst)
             static_cast<SWord>(rs)) * static_cast<SWord>(rt);
         h_->lo_ = static_cast<Word>(prod);
         h_->hi_ = static_cast<Word>(prod >> 32);
-        charge(cost.multCost - cost.baseCost);
+        charge(opExecuteExtraCycles(inst.op, cost));
         break;
       }
       case Op::Multu: {
         std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
         h_->lo_ = static_cast<Word>(prod);
         h_->hi_ = static_cast<Word>(prod >> 32);
-        charge(cost.multCost - cost.baseCost);
+        charge(opExecuteExtraCycles(inst.op, cost));
         break;
       }
       case Op::Div:
@@ -1038,7 +1037,7 @@ Cpu::execute(const DecodedInst &inst)
             h_->hi_ = static_cast<Word>(static_cast<SWord>(rs) %
                                     static_cast<SWord>(rt));
         }
-        charge(cost.divCost - cost.baseCost);
+        charge(opExecuteExtraCycles(inst.op, cost));
         break;
       case Op::Divu:
         if (rt == 0) {
@@ -1048,7 +1047,7 @@ Cpu::execute(const DecodedInst &inst)
             h_->lo_ = rs / rt;
             h_->hi_ = rs % rt;
         }
-        charge(cost.divCost - cost.baseCost);
+        charge(opExecuteExtraCycles(inst.op, cost));
         break;
       case Op::Mfhi: setReg(inst.rd, h_->hi_); break;
       case Op::Mthi: h_->hi_ = rs; break;
@@ -1078,44 +1077,44 @@ Cpu::execute(const DecodedInst &inst)
 
       // -- control ----------------------------------------------------------
       case Op::J:
-        doJump(((h_->pc_ + 4) & 0xf0000000u) | (inst.target << 2));
+        doJump(inst.op, ((h_->pc_ + 4) & 0xf0000000u) | (inst.target << 2));
         break;
       case Op::Jal:
         setReg(RA, h_->pc_ + 8);
-        doJump(((h_->pc_ + 4) & 0xf0000000u) | (inst.target << 2));
+        doJump(inst.op, ((h_->pc_ + 4) & 0xf0000000u) | (inst.target << 2));
         break;
       case Op::Jr:
-        doJump(rs);
+        doJump(inst.op, rs);
         break;
       case Op::Jalr:
         setReg(inst.rd, h_->pc_ + 8);
-        doJump(rs);
+        doJump(inst.op, rs);
         break;
       case Op::Beq:
-        doBranch(rs == rt, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, rs == rt, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bne:
-        doBranch(rs != rt, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, rs != rt, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Blez:
-        doBranch(static_cast<SWord>(rs) <= 0, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, static_cast<SWord>(rs) <= 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bgtz:
-        doBranch(static_cast<SWord>(rs) > 0, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, static_cast<SWord>(rs) > 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bltz:
-        doBranch(static_cast<SWord>(rs) < 0, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, static_cast<SWord>(rs) < 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bgez:
-        doBranch(static_cast<SWord>(rs) >= 0, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, static_cast<SWord>(rs) >= 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bltzal:
         setReg(RA, h_->pc_ + 8);
-        doBranch(static_cast<SWord>(rs) < 0, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, static_cast<SWord>(rs) < 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
       case Op::Bgezal:
         setReg(RA, h_->pc_ + 8);
-        doBranch(static_cast<SWord>(rs) >= 0, h_->pc_ + 4 + (inst.simm << 2));
+        doBranch(inst.op, static_cast<SWord>(rs) >= 0, h_->pc_ + 4 + (inst.simm << 2));
         break;
 
       // -- memory --------------------------------------------------------------

@@ -264,8 +264,8 @@ class Cpu
                        bool refill);
     bool tryUserVector(ExcCode code, Addr epc, Addr bad_vaddr,
                        bool branch_delay);
-    void doBranch(bool taken, Addr target);
-    void doJump(Addr target);
+    void doBranch(Op op, bool taken, Addr target);
+    void doJump(Op op, Addr target);
     void raiseOnPrivileged(const DecodedInst &inst);
 
     PhysMemory &mem_;

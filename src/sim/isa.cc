@@ -123,6 +123,64 @@ static_assert(flagsOf(Op::Break) & opf::Trap);
 static_assert(flagsOf(Op::Rfe) == (kPriv | opf::Return));
 static_assert(flagsOf(Op::Hcall) == opf::Fence);
 
+// Shorthand for the cost-class table below.
+constexpr CostClass S_ = CostClass::Simple;
+constexpr CostClass MU = CostClass::MultiplyUnit;
+constexpr CostClass DU = CostClass::DivideUnit;
+constexpr CostClass LD = CostClass::MemoryLoad;
+constexpr CostClass ST = CostClass::MemoryStore;
+constexpr CostClass CT = CostClass::ControlTransfer;
+
+/**
+ * The declarative per-operation cost-class table, indexed by Op. The
+ * interpreter's charge sites (sim/cpu.cc) and the static WCET bound
+ * (analysis/wcet.cc) both read instruction costs through this table,
+ * so a cost-model change lands in both by construction.
+ */
+constexpr CostClass kOpCostClass[NumOps] = {
+    /* Invalid */ S_,
+    /* Sll    */ S_, /* Srl    */ S_, /* Sra    */ S_,
+    /* Sllv   */ S_, /* Srlv   */ S_, /* Srav   */ S_,
+    /* Add    */ S_, /* Addu   */ S_, /* Sub    */ S_, /* Subu   */ S_,
+    /* And    */ S_, /* Or     */ S_, /* Xor    */ S_, /* Nor    */ S_,
+    /* Slt    */ S_, /* Sltu   */ S_,
+    /* Mult   */ MU, /* Multu  */ MU, /* Div    */ DU, /* Divu   */ DU,
+    /* Mfhi   */ S_, /* Mthi   */ S_, /* Mflo   */ S_, /* Mtlo   */ S_,
+    /* Addi   */ S_, /* Addiu  */ S_, /* Slti   */ S_, /* Sltiu  */ S_,
+    /* Andi   */ S_, /* Ori    */ S_, /* Xori   */ S_, /* Lui    */ S_,
+    /* J      */ CT, /* Jal    */ CT, /* Jr     */ CT, /* Jalr   */ CT,
+    /* Beq    */ CT, /* Bne    */ CT, /* Blez   */ CT, /* Bgtz   */ CT,
+    /* Bltz   */ CT, /* Bgez   */ CT, /* Bltzal */ CT, /* Bgezal */ CT,
+    /* Lb     */ LD, /* Lbu    */ LD, /* Lh     */ LD, /* Lhu    */ LD,
+    /* Lw     */ LD,
+    /* Sb     */ ST, /* Sh     */ ST, /* Sw     */ ST,
+    /* Syscall*/ S_, /* Break  */ S_,
+    /* Mfc0   */ S_, /* Mtc0   */ S_,
+    /* Tlbr   */ S_, /* Tlbwi  */ S_, /* Tlbwr  */ S_, /* Tlbp   */ S_,
+    /* Rfe    */ S_,
+    /* Mfux   */ S_, /* Mtux   */ S_, /* Xret   */ S_,
+    /* Tlbmp  */ S_, /* Hcall  */ S_,
+};
+
+constexpr CostClass
+costOf(Op op)
+{
+    return kOpCostClass[static_cast<unsigned>(op)];
+}
+
+// Spot-check ordering, and check the two tables agree about which
+// operations touch memory or transfer control.
+static_assert(costOf(Op::Invalid) == S_);
+static_assert(costOf(Op::Mult) == MU && costOf(Op::Multu) == MU);
+static_assert(costOf(Op::Div) == DU && costOf(Op::Divu) == DU);
+static_assert(costOf(Op::Lw) == LD && costOf(Op::Lbu) == LD);
+static_assert(costOf(Op::Sw) == ST && costOf(Op::Sb) == ST);
+static_assert(costOf(Op::J) == CT && costOf(Op::Bgezal) == CT);
+static_assert(costOf(Op::Hcall) == S_ && costOf(Op::Rfe) == S_);
+static_assert((flagsOf(Op::Lw) & opf::Load) && costOf(Op::Lw) == LD);
+static_assert((flagsOf(Op::Sw) & opf::Store) && costOf(Op::Sw) == ST);
+static_assert((flagsOf(Op::Jr) & opf::Control) && costOf(Op::Jr) == CT);
+
 Op
 decodeSpecial(Word raw)
 {
@@ -213,6 +271,40 @@ std::uint16_t
 opFlags(Op op)
 {
     return kOpFlags[static_cast<unsigned>(op)];
+}
+
+CostClass
+opCostClass(Op op)
+{
+    return kOpCostClass[static_cast<unsigned>(op)];
+}
+
+Cycles
+opExecuteExtraCycles(Op op, const CostModel &cost)
+{
+    switch (opCostClass(op)) {
+      case CostClass::MultiplyUnit: return cost.multCost - cost.baseCost;
+      case CostClass::DivideUnit:   return cost.divCost - cost.baseCost;
+      default:                      return 0;
+    }
+}
+
+Cycles
+opMemoryExtraCycles(Op op, const CostModel &cost)
+{
+    switch (opCostClass(op)) {
+      case CostClass::MemoryLoad:  return cost.loadExtra;
+      case CostClass::MemoryStore: return cost.storeExtra;
+      default:                     return 0;
+    }
+}
+
+Cycles
+opTakenControlExtraCycles(Op op, const CostModel &cost)
+{
+    return opCostClass(op) == CostClass::ControlTransfer
+               ? cost.takenBranchExtra
+               : 0;
 }
 
 Word

@@ -35,6 +35,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "sim/costmodel.h"
 
 namespace uexc::sim {
 
@@ -245,6 +246,42 @@ enum : std::uint16_t
 
 /** The metadata flag word (opf:: bits) for an operation kind. */
 std::uint16_t opFlags(Op op);
+
+/**
+ * Functional-unit cost class of an operation. One table entry per Op
+ * (see opCostClass()) is the single source of truth for per-
+ * instruction cycle charges: the interpreter's charge sites and the
+ * static WCET analyzer both derive their costs from it, so the two
+ * cannot disagree about what an instruction costs.
+ *
+ * Cache miss penalties and the write-buffer stall are properties of
+ * the dynamic access stream, not of an opcode; they stay behavioral
+ * (CostModel::icacheMissPenalty etc.) and the WCET analyzer models
+ * them separately.
+ */
+enum class CostClass : std::uint8_t
+{
+    Simple,          ///< baseCost only
+    MultiplyUnit,    ///< + (multCost - baseCost) at execute
+    DivideUnit,      ///< + (divCost - baseCost) at execute
+    MemoryLoad,      ///< + loadExtra at the memory stage
+    MemoryStore,     ///< + storeExtra at the memory stage
+    ControlTransfer, ///< + takenBranchExtra when taken
+};
+
+/** The cost class for an operation kind. */
+CostClass opCostClass(Op op);
+
+/** Extra execute-stage cycles beyond baseCost (multiply/divide). */
+Cycles opExecuteExtraCycles(Op op, const CostModel &cost);
+
+/** Extra memory-stage cycles (loadExtra/storeExtra); 0 for non-memory
+ *  operations. */
+Cycles opMemoryExtraCycles(Op op, const CostModel &cost);
+
+/** Extra cycles charged when a control transfer is taken; 0 for
+ *  non-control operations. */
+Cycles opTakenControlExtraCycles(Op op, const CostModel &cost);
 
 /**
  * A decoded instruction: the raw word plus all fields and the resolved

@@ -19,6 +19,10 @@ resolveScheduler(SchedulerMode mode)
 {
     if (mode != SchedulerMode::Auto)
         return mode;
+    // Read once, before any worker thread exists (Machine
+    // construction), and nothing in this process calls setenv — the
+    // data race mt-unsafe guards against cannot occur.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("UEXC_PARALLEL");
     if (!env)
         return SchedulerMode::Serial;
@@ -418,6 +422,21 @@ Machine::runBarrier(InstCount max_insts)
         }
         pool_->run(std::move(jobs));
 
+        if (pageTouchLog_) {
+            PageTouchLog::Round round;
+            for (std::size_t k = 0; k < order.size(); k++) {
+                const StoreBuffer &sb = pool_->sb(unsigned(k));
+                PageTouchLog::HartTouches t;
+                t.hart = order[k];
+                t.readPages = sb.readPages();
+                t.writePages = sb.writePages();
+                t.fetchPages = sb.fetchPages();
+                t.selfAborted = sb.aborted();
+                round.harts.push_back(std::move(t));
+            }
+            pageTouchLog_->rounds.push_back(std::move(round));
+        }
+
         bool abort = false;
         for (std::size_t k = 0; !abort && k < order.size(); k++)
             abort = pool_->sb(unsigned(k)).aborted();
@@ -433,6 +452,9 @@ Machine::runBarrier(InstCount max_insts)
                     pagesIntersect(wi.writePages(), rj.fetchPages());
             }
         }
+
+        if (pageTouchLog_)
+            pageTouchLog_->rounds.back().aborted = abort;
 
         if (abort) {
             for (std::size_t k = 0; k < order.size(); k++)

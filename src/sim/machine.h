@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -104,6 +105,33 @@ struct MachineConfig
     SchedulerMode scheduler = SchedulerMode::Auto;
 };
 
+/**
+ * Observed page-touch sets of speculative barrier rounds, recorded
+ * when a log is attached via Machine::setPageTouchLog. One Round per
+ * speculative round (committed or aborted), one HartTouches per live
+ * hart in serial rotation order, holding copies of that hart's
+ * StoreBuffer page sets at the rendezvous. The static shared-page
+ * analyzer's soundness oracle compares these against its may-sets.
+ */
+struct PageTouchLog
+{
+    struct HartTouches
+    {
+        unsigned hart = 0;
+        std::unordered_set<Addr> readPages;
+        std::unordered_set<Addr> writePages;
+        std::unordered_set<Addr> fetchPages;
+        /** The hart aborted its own quantum (SMC or hcall). */
+        bool selfAborted = false;
+    };
+    struct Round
+    {
+        std::vector<HartTouches> harts;
+        bool aborted = false;
+    };
+    std::vector<Round> rounds;
+};
+
 /** Result of a Machine::run call. */
 struct MachineRunResult
 {
@@ -148,6 +176,11 @@ class Machine
     {
         return hcallLockStats_;
     }
+
+    /** Attach (or detach with nullptr) a recorder for the page sets
+     *  of every speculative barrier round. Not snapshotted; host-side
+     *  instrumentation only. */
+    void setPageTouchLog(PageTouchLog *log) { pageTouchLog_ = log; }
 
     /** The hart the engine is currently bound to. */
     unsigned currentHart() const { return currentHart_; }
@@ -274,6 +307,7 @@ class Machine
     unsigned serialStreak_ = 0;
     unsigned abortStreakLen_ = 0;
     BarrierSchedStats barrierStats_;
+    PageTouchLog *pageTouchLog_ = nullptr;
 
     std::mutex hcallMutex_;
     HcallLockStats hcallLockStats_;

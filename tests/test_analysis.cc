@@ -433,6 +433,314 @@ TEST(LintPositive, EveryMicrobenchScenarioHasNoErrors)
     }
 }
 
+// -- value-set analysis ----------------------------------------------------
+
+TEST(Vsa, ConstantsAndPrIdMaterialize)
+{
+    Assembler a(kBase);
+    a.li32(T0, 0xdeadbeefu);
+    a.mfc0(T1, cp0reg::PrId);
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    CodeRegion region;
+    region.begin = p.origin;
+    region.end = p.end();
+    region.entries = {p.origin};
+
+    VsaOptions opts;
+    opts.modelPrId = true;
+    opts.prIdValue = 3u << 24;
+    Vsa v = Vsa::run(p, region, opts);
+
+    Addr at_jr = kBase + 12;
+    ValueSet t0 = v.regIn(at_jr, T0);
+    ASSERT_TRUE(t0.isConst());
+    EXPECT_EQ(t0.constValue(), 0xdeadbeefu);
+    ValueSet t1 = v.regIn(at_jr, T1);
+    ASSERT_TRUE(t1.isConst());
+    EXPECT_EQ(t1.constValue(), 3u << 24);
+
+    // Without PrId modeling the same read is unknown.
+    Vsa v2 = Vsa::run(p, region);
+    EXPECT_TRUE(v2.regIn(at_jr, T1).isTop());
+}
+
+TEST(Vsa, JoinAndAddConstStayPrecise)
+{
+    ValueSet j = join(ValueSet::constant(0x100), ValueSet::constant(0x108));
+    ASSERT_EQ(j.kind, ValueSet::Kind::Strided);
+    EXPECT_EQ(j.base, 0x100u);
+    EXPECT_EQ(j.last(), 0x108u);
+
+    ValueSet shifted = addConst(j, 0x20);
+    ASSERT_EQ(shifted.kind, ValueSet::Kind::Strided);
+    EXPECT_EQ(shifted.base, 0x120u);
+    EXPECT_EQ(shifted.last(), 0x128u);
+
+    EXPECT_TRUE(addConst(ValueSet::top(), 4).isTop());
+    EXPECT_TRUE(
+        ValueSet::strided(0, 4, ValueSet::kMaxCount + 1).isTop());
+}
+
+TEST(Vsa, ResolvesComputedJumpThroughMinedTable)
+{
+    Assembler a(kBase);
+    a.la(T0, "table");
+    a.lw(T1, 0, T0);
+    a.jr(T1);
+    a.nop();
+    a.label("target");
+    a.jr(RA);
+    a.nop();
+    a.label("table");
+    a.wordAddr("target");
+    Program p = a.finalize();
+
+    Addr table = p.symbol("table");
+    CodeRegion region;
+    region.begin = p.origin;
+    region.end = p.end();
+    region.entries = {p.origin};
+    region.dataRanges = {{table, table + 4}};
+
+    Vsa v = Vsa::run(p, region);
+    Addr jr_at = kBase + 12; // la is two words
+    auto it = v.resolvedJumps().find(jr_at);
+    ASSERT_NE(it, v.resolvedJumps().end())
+        << "jr through the mined table was not resolved";
+    ASSERT_EQ(it->second.size(), 1u);
+    EXPECT_EQ(it->second[0], p.symbol("target"));
+    EXPECT_TRUE(v.cfg().reached(p.symbol("target")));
+}
+
+// -- shared-page conflict analysis ----------------------------------------
+
+TEST(Conflict, DelaySlotStraddlingPageBoundaryFetchesBothPages)
+{
+    // The jump's delay slot is the first word of the next page: the
+    // block (branch + slot) spans the boundary and the may-fetch set
+    // must cover both pages.
+    Assembler a(0x00400ffcu);
+    a.j("t");
+    a.nop(); // delay slot at 0x00401000
+    a.label("t");
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    CodeRegion region;
+    region.begin = p.origin;
+    region.end = p.end();
+    region.entries = {p.origin};
+
+    PageAccessSummary s = analyzePageAccesses(p, region, {});
+    EXPECT_TRUE(s.fetchPages.count(0x400));
+    EXPECT_TRUE(s.fetchPages.count(0x401));
+    EXPECT_TRUE(s.readPages.empty());
+    EXPECT_TRUE(s.writePages.empty());
+}
+
+TEST(LintNegative, SharedWriteReadOverlapIsNotedOncePerPage)
+{
+    Assembler a(kBase);
+    a.li32(T0, 0x00500000u);
+    a.sw(T1, 0, T0);
+    a.sw(T1, 8, T0);
+    a.lw(T2, 4, T0);
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    RegionSpec spec;
+    spec.name = "text";
+    spec.begin = p.origin;
+    spec.end = p.end();
+    spec.entries = {p.origin};
+    LintConfig config;
+    config.regions = {spec};
+    config.multihart = 2;
+
+    std::vector<Finding> fs = lint(p, config);
+    ASSERT_EQ(count(fs, Check::SharedPageConflict), 1u)
+        << formatFindings(fs);
+    EXPECT_EQ(count(fs, Check::UnsyncSharedWrite), 0u);
+    EXPECT_FALSE(hasErrors(fs)) << formatFindings(fs);
+    for (const Finding &f : fs) {
+        if (f.check != Check::SharedPageConflict)
+            continue;
+        EXPECT_EQ(f.severity, Severity::Note);
+        bool has_page = false;
+        for (const auto &[key, value] : f.payload)
+            if (key == "page") {
+                has_page = true;
+                EXPECT_EQ(value, 0x500u);
+            }
+        EXPECT_TRUE(has_page);
+    }
+    // Single-hart analysis of the same program reports nothing.
+    config.multihart = 0;
+    EXPECT_EQ(count(lint(p, config), Check::SharedPageConflict), 0u);
+}
+
+TEST(LintNegative, UnboundedStoreAddressIsErrorUnderMultihart)
+{
+    Assembler a(kBase);
+    a.sw(T1, 0, T0); // T0 unknown at entry: address set unbounded
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    RegionSpec spec;
+    spec.name = "text";
+    spec.begin = p.origin;
+    spec.end = p.end();
+    spec.entries = {p.origin};
+    LintConfig config;
+    config.regions = {spec};
+    config.multihart = 2;
+
+    std::vector<Finding> fs = lint(p, config);
+    EXPECT_GE(count(fs, Check::UnsyncSharedWrite), 1u)
+        << formatFindings(fs);
+    EXPECT_TRUE(hasErrors(fs));
+}
+
+// -- worst-case handler latency --------------------------------------------
+
+/** Handler-region spec with every register scratch so only the WCET
+ *  checks are under test. */
+RegionSpec
+wcetHandlerSpec(const Program &p, Cycles budget)
+{
+    RegionSpec h;
+    h.name = "h";
+    h.begin = p.origin;
+    h.end = p.end();
+    h.handler = true;
+    h.scratchMask = ~Word(0);
+    h.entries = {p.origin};
+    h.wcetBudget = budget;
+    return h;
+}
+
+TEST(LintNegative, UnboundedHandlerLoopIsFlagged)
+{
+    Assembler a(kBase);
+    a.label("spin");
+    a.j("spin");
+    a.nop();
+    Program p = a.finalize();
+
+    LintConfig config;
+    config.regions = {wcetHandlerSpec(p, 1000)};
+    config.analyzeWcet = true;
+
+    std::vector<Finding> fs = lint(p, config);
+    EXPECT_EQ(count(fs, Check::UnboundedHandlerLoop), 1u)
+        << formatFindings(fs);
+    EXPECT_EQ(count(fs, Check::HandlerWcetExceedsBudget), 0u);
+    EXPECT_TRUE(hasErrors(fs));
+}
+
+TEST(LintNegative, HandlerOverBudgetIsFlagged)
+{
+    Assembler a(kBase);
+    for (int i = 0; i < 16; i++)
+        a.nop();
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    LintConfig config;
+    config.regions = {wcetHandlerSpec(p, 4)}; // 18 instructions min
+    config.analyzeWcet = true;
+
+    std::vector<Finding> fs = lint(p, config);
+    ASSERT_EQ(count(fs, Check::HandlerWcetExceedsBudget), 1u)
+        << formatFindings(fs);
+    for (const Finding &f : fs) {
+        if (f.check != Check::HandlerWcetExceedsBudget)
+            continue;
+        std::uint64_t wcet = 0, budget = 0;
+        for (const auto &[key, value] : f.payload) {
+            if (key == "wcet_cycles")
+                wcet = value;
+            else if (key == "budget_cycles")
+                budget = value;
+        }
+        EXPECT_EQ(budget, 4u);
+        EXPECT_GE(wcet, 18u);
+    }
+}
+
+TEST(LintPositive, BudgetBoundedLoopIsNotFlagged)
+{
+    // A counted loop the bounded-loop inference can prove finite: it
+    // must produce neither UnboundedHandlerLoop nor (with a generous
+    // budget) HandlerWcetExceedsBudget.
+    Assembler a(kBase);
+    a.addiu(T0, Zero, 4);
+    a.label("head");
+    a.addiu(T0, T0, -1);
+    a.bne(T0, Zero, "head");
+    a.nop();
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    LintConfig config;
+    config.regions = {wcetHandlerSpec(p, 1000)};
+    config.analyzeWcet = true;
+
+    std::vector<Finding> fs = lint(p, config);
+    EXPECT_EQ(count(fs, Check::UnboundedHandlerLoop), 0u)
+        << formatFindings(fs);
+    EXPECT_EQ(count(fs, Check::HandlerWcetExceedsBudget), 0u)
+        << formatFindings(fs);
+
+    // The same loop against a budget the folded iterations cannot
+    // fit: the WCET check must see the loop body four times.
+    config.regions = {wcetHandlerSpec(p, 8)};
+    fs = lint(p, config);
+    EXPECT_EQ(count(fs, Check::UnboundedHandlerLoop), 0u);
+    EXPECT_EQ(count(fs, Check::HandlerWcetExceedsBudget), 1u)
+        << formatFindings(fs);
+}
+
+// -- JSON output -----------------------------------------------------------
+
+TEST(LintJson, FindingsSerializeWithPayload)
+{
+    Assembler a(kBase);
+    a.li32(T0, 0x00500000u);
+    a.sw(T1, 0, T0);
+    a.lw(T2, 4, T0);
+    a.jr(RA);
+    a.nop();
+    Program p = a.finalize();
+
+    RegionSpec spec;
+    spec.name = "text";
+    spec.begin = p.origin;
+    spec.end = p.end();
+    spec.entries = {p.origin};
+    LintConfig config;
+    config.regions = {spec};
+    config.multihart = 2;
+
+    std::string js = formatFindingsJson(lint(p, config));
+    EXPECT_NE(js.find("\"check\": \"shared-page-conflict\""),
+              std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"severity\": \"note\""), std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"page\": 1280"), std::string::npos) << js;
+
+    EXPECT_EQ(formatFindingsJson({}), "[\n]\n");
+}
+
 TEST(LintPositive, ShimHandlerRegionsAreDetected)
 {
     Program p = rt::UserEnv::buildShimProgram(

@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/vsa.h"
+#include "analysis/wcet.h"
 #include "core/env.h"
 #include "core/microbench.h"
 #include "os/kernelimage.h"
@@ -89,8 +91,9 @@ class TraceRecorder : public sim::InstObserver
  */
 struct GoldenHarness
 {
-    explicit GoldenHarness(bool fast)
-        : bk(makeConfig(fast)), env(bk.kernel, DeliveryMode::FastSoftware)
+    explicit GoldenHarness(bool fast, bool caches = true)
+        : bk(makeConfig(fast, caches)),
+          env(bk.kernel, DeliveryMode::FastSoftware)
     {
         env.install(kAllExcMask);
         env.allocate(kDataVa, os::kPageBytes);
@@ -100,10 +103,11 @@ struct GoldenHarness
         });
     }
 
-    static sim::MachineConfig makeConfig(bool fast)
+    static sim::MachineConfig makeConfig(bool fast, bool caches = true)
     {
         sim::MachineConfig cfg = rt::micro::paperMachineConfig();
         cfg.cpu.fastInterpreter = fast;
+        cfg.cpu.cachesEnabled = caches;
         return cfg;
     }
 
@@ -202,6 +206,92 @@ INSTANTIATE_TEST_SUITE_P(BothInterpreters, GoldenTraceDynamic,
                          [](const ::testing::TestParamInfo<bool> &info) {
                              return info.param ? "Fast" : "Reference";
                          });
+
+/**
+ * The WCET analyzer (analysis/wcet.h) charges instructions from the
+ * same declarative cost table as the interpreter, so for a
+ * straight-line phase with the cache model off its sequential cost
+ * must EQUAL the cycles one measured delivery charges — not merely
+ * bound it. The two phases excluded from the equality are the ones
+ * that retire a taken control transfer (the FP check branches out,
+ * the vector phase ends in the jr), where the measured trace pays
+ * taken-branch extras that a straight-line cost deliberately assigns
+ * to the edge, not the block. The whole-region longest-path bound
+ * must still contain the measured total and fit the boot-gate budget.
+ */
+TEST(GoldenTrace, FastPathWcetIsExactForStraightLinePhases)
+{
+    GoldenHarness h(false, /*caches=*/false);
+    h.fault(); // warm: uframe mapped, stub paged in, TLB primed
+
+    TraceRecorder rec(h.sym(FastDecode), h.sym(FastEnd));
+    h.bk.machine.cpu().setObserver(&rec);
+    h.fault();
+    h.bk.machine.cpu().setObserver(nullptr);
+    const auto &t = rec.trace();
+    ASSERT_EQ(t.size(), 63u);
+
+    const sim::CostModel &cost =
+        h.bk.machine.cpu().config().cost;
+
+    struct Phase
+    {
+        const char *begin;
+        const char *end;
+        unsigned words;
+        bool straight; ///< every retired instruction falls through
+    };
+    const Phase phases[] = {
+        {FastDecode, FastCompat, 6, true},
+        {FastCompat, FastSave, 11, true},
+        {FastSave, FastFp, 31, true},
+        {FastFp, FastTlbCheck, 6, false},
+        {FastTlbCheck, FastVector, 8, true},
+        {FastVector, FastEnd, 3, false},
+    };
+
+    // Walk the retired trace once with a single coster so the
+    // write-buffer store-run length carries across phase boundaries
+    // exactly as the interpreter's does.
+    analysis::StraightLineCoster coster(cost);
+    Cycles measured_total = 0;
+    std::size_t i = 0;
+    for (const Phase &ph : phases) {
+        Addr begin = h.sym(ph.begin), end = h.sym(ph.end);
+        Cycles measured = 0, modeled = 0;
+        std::size_t retired = 0;
+        for (; i < t.size() && t[i].pc >= begin && t[i].pc < end;
+             i++) {
+            measured += t[i].cost;
+            modeled += coster.step(
+                sim::decode(h.bk.machine.debugReadWord(t[i].pc)));
+            retired++;
+        }
+        measured_total += measured;
+        if (!ph.straight)
+            continue;
+        ASSERT_EQ(retired, ph.words) << "phase " << ph.begin;
+        EXPECT_EQ(modeled, measured)
+            << "static cycle model diverges from the interpreter in "
+            << "phase " << ph.begin;
+    }
+    ASSERT_EQ(i, t.size());
+
+    // Whole-region longest-path bound: contains the measurement,
+    // fits the debug boot gate's budget.
+    sim::Program kprog = os::buildKernelImage();
+    analysis::CodeRegion region;
+    region.begin = h.sym(FastDecode);
+    region.end = h.sym(FastEnd);
+    region.entries = {region.begin};
+    analysis::Vsa vsa = analysis::Vsa::run(kprog, region);
+    analysis::WcetResult w =
+        analysis::computeWcet(vsa, {cost, /*cachesEnabled=*/false});
+    ASSERT_TRUE(w.bounded);
+    EXPECT_GE(w.worstCycles, measured_total);
+    EXPECT_LE(w.worstCycles, os::kFastPathWcetBudget);
+    EXPECT_GE(w.worstInsts, t.size());
+}
 
 TEST(GoldenTrace, FullDeliveryTraceIdenticalAcrossInterpreters)
 {

@@ -33,11 +33,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "analysis/conflict.h"
 #include "core/multihart.h"
 #include "fuzz_util.h"
 #include "os/kernel.h"
@@ -131,6 +135,175 @@ TEST_P(ParallelFuzz, SerialAndBarrierSchedulesAreBitIdentical)
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ParallelFuzz,
+                         ::testing::Range(0u, kShards));
+
+// ---------------------------------------------------------------------------
+// 1b. Soundness oracle for the static shared-page analyzer
+//     (analysis/conflict.h): over the same 1000-seed corpus, every
+//     page set a barrier round's StoreBuffer observes must sit inside
+//     the statically computed may-sets, and every page that could
+//     have aborted a round must be in the static predicted conflict
+//     set. This is the containment half of the analyzer's contract;
+//     precision (no spurious pages) is test_analysis.cc's job.
+// ---------------------------------------------------------------------------
+
+/** Translate a fuzz-program virtual address to the physical page the
+ *  StoreBuffer would record: kseg0 is identity minus the segment
+ *  base, and the one kuseg page the corpus maps (kMapVa) goes to its
+ *  fixed frame. */
+Word
+fuzzPhysPage(Addr va)
+{
+    if (va >= 0x80000000u)
+        return (va - 0x80000000u) >> PhysMemory::PageShift;
+    if (va >= kMapVa && va < kMapVa + PhysMemory::PageBytes)
+        return kMapFrame >> PhysMemory::PageShift;
+    return va >> PhysMemory::PageShift;
+}
+
+/** Static may-read/may-write/may-fetch sets of one fuzz hart: the
+ *  generated program (every hart runs the same image from the same
+ *  PC) plus the two skip handlers, in physical pages so they compare
+ *  directly against StoreBuffer observations. */
+analysis::PageAccessSummary
+staticFuzzMaySets(const Program &prog)
+{
+    analysis::PageAccessOptions opts;
+    opts.pageOf = fuzzPhysPage;
+
+    analysis::CodeRegion region;
+    region.begin = prog.origin;
+    region.end = prog.end();
+    region.entries = {prog.origin};
+    region.dataRanges.push_back({prog.symbol("buf"), prog.end()});
+
+    analysis::PageAccessSummary sum =
+        analysis::analyzePageAccesses(prog, region, opts);
+
+    // The skip handlers (installFuzzSkipHandlers) are separate images
+    // entered asynchronously by the vectoring hardware.
+    for (Addr vector : {Cpu::RefillVector, Cpu::GeneralVector}) {
+        Assembler a(vector);
+        a.mfc0(K0, cp0reg::Epc);
+        a.addiu(K0, K0, 4);
+        a.jr(K0);
+        a.rfe(); // delay slot
+        Program h = a.finalize();
+        analysis::CodeRegion hr;
+        hr.begin = h.origin;
+        hr.end = h.end();
+        hr.entries = {h.origin};
+        analysis::mergeSummaries(
+            sum, analysis::analyzePageAccesses(h, hr, opts));
+    }
+    return sum;
+}
+
+/** One corpus seed: run the barrier machine with a PageTouchLog
+ *  attached and hold every observed round inside the static result.
+ *  Returns the number of speculative rounds observed so the shard
+ *  can prove the oracle is not vacuous. */
+std::size_t
+runFuzzSeedSoundnessOracle(unsigned seed)
+{
+    SCOPED_TRACE(::testing::Message() << "oracle seed " << seed);
+
+    static const unsigned kHartChoices[] = {1, 4, 8};
+    MachineConfig cfg;
+    cfg.memBytes = 1 << 18;
+    cfg.harts = kHartChoices[seed % 3];
+    cfg.quantum = kSmallQuantum;
+    cfg.cpu.fastInterpreter = (seed & 1) != 0;
+    cfg.scheduler = SchedulerMode::Barrier;
+
+    Machine m(cfg);
+    Program prog = buildFuzzProgram(seed);
+    installFuzzSkipHandlers(m);
+    m.load(prog);
+    for (unsigned i = 0; i < cfg.harts; i++)
+        m.hart(i).setPc(testutil::kTestOrigin);
+
+    PageTouchLog log;
+    m.setPageTouchLog(&log);
+    m.run(InstCount(cfg.harts) * kFuzzInstLimit);
+
+    analysis::PageAccessSummary may = staticFuzzMaySets(prog);
+    // Every address in the corpus is computable (constant bases), so
+    // a non-empty unbounded list is an analyzer precision regression
+    // — and would make the containment checks below vacuous.
+    if (!may.unboundedLoads.empty() || !may.unboundedStores.empty()) {
+        ADD_FAILURE() << "VSA failed to resolve a fuzz memory "
+                         "address; the containment check would be "
+                         "vacuous";
+        return log.rounds.size();
+    }
+
+    analysis::ConflictResult predicted = analysis::intersectSummaries(
+        std::vector<analysis::PageAccessSummary>(cfg.harts, may));
+
+    auto contained = [](const std::unordered_set<Addr> &observed,
+                        const std::set<Word> &mayset,
+                        const char *what) {
+        for (Addr p : observed)
+            EXPECT_TRUE(mayset.count(Word(p)))
+                << what << " page 0x" << std::hex << p
+                << " observed but absent from the static may-set";
+    };
+
+    for (std::size_t r = 0; r < log.rounds.size(); r++) {
+        const PageTouchLog::Round &round = log.rounds[r];
+        SCOPED_TRACE(::testing::Message() << "round " << r);
+
+        std::set<Word> dynConflicts;
+        bool anySelfAbort = false;
+        for (std::size_t j = 0; j < round.harts.size(); j++) {
+            const PageTouchLog::HartTouches &t = round.harts[j];
+            contained(t.readPages, may.readPages, "read");
+            contained(t.writePages, may.writePages, "write");
+            contained(t.fetchPages, may.fetchPages, "fetch");
+            anySelfAbort |= t.selfAborted;
+
+            // Reconstruct the abort predicate in serial round order:
+            // earlier writers against this hart's reads and fetches,
+            // plus this hart's own write/fetch (SMC) overlap.
+            for (std::size_t i = 0; i < j; i++)
+                for (Addr p : round.harts[i].writePages)
+                    if (t.readPages.count(p) || t.fetchPages.count(p))
+                        dynConflicts.insert(Word(p));
+            for (Addr p : t.writePages)
+                if (t.fetchPages.count(p))
+                    dynConflicts.insert(Word(p));
+        }
+
+        if (round.aborted)
+            EXPECT_TRUE(anySelfAbort || !dynConflicts.empty())
+                << "aborted round with no reconstructible cause";
+        for (Word p : dynConflicts)
+            EXPECT_TRUE(predicted.conflictPages.count(p))
+                << "dynamic conflict page 0x" << std::hex << p
+                << " missing from the static predicted conflict set";
+    }
+    return log.rounds.size();
+}
+
+class StaticOracleFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StaticOracleFuzz, MaySetsContainObservedPageSets)
+{
+    const unsigned base = GetParam() * kSeedsPerShard;
+    std::size_t rounds = 0;
+    for (unsigned s = 0; s < kSeedsPerShard; s++) {
+        rounds += runFuzzSeedSoundnessOracle(base + s);
+        if (::testing::Test::HasNonfatalFailure())
+            break; // the failing seed is in the trace; stop the shard
+    }
+    // The corpus is a conflict storm: if no shard seed ever produced
+    // a speculative round, the containment checks above checked
+    // nothing and the instrumentation hook is broken.
+    EXPECT_GT(rounds, 0u) << "no speculative rounds observed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, StaticOracleFuzz,
                          ::testing::Range(0u, kShards));
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,10 @@
  *   $ ./tools/kdump            # whole kernel text
  *   $ ./tools/kdump fast       # only the fast path (Table 3 region)
  *   $ ./tools/kdump --lint     # run uexc-lint over the image instead
+ *   $ ./tools/kdump --lint --harts N
+ *                              # also lint the N-hart study images,
+ *                              # including the static shared-page
+ *                              # conflict analysis
  *   $ ./tools/kdump --harts N  # the multihart study images for N harts
  *   $ ./tools/kdump --harts N --parallel
  *                              # boot the user-vectored study on the
@@ -209,11 +213,28 @@ main(int argc, char **argv)
     }
 
     if (lint_only) {
+        unsigned harts = 0;
+        if (argc > 3 && std::strcmp(argv[2], "--harts") == 0)
+            harts = unsigned(std::atoi(argv[3]));
         Program image = buildKernelImage();
         std::vector<analysis::Finding> findings =
             lintKernelImage(image);
+        if (harts) {
+            // The N-hart study images, with the shared-page conflict
+            // analysis the per-hart configs enable.
+            Program k = rt::multihart::buildKernelImage(harts);
+            for (analysis::Finding &f : analysis::lint(
+                     k, rt::multihart::kernelLintConfig(k, harts)))
+                findings.push_back(std::move(f));
+            Program w = rt::multihart::buildWorkerProgram(harts);
+            for (analysis::Finding &f : analysis::lint(
+                     w, rt::multihart::workerLintConfig(w, harts)))
+                findings.push_back(std::move(f));
+        }
         std::fputs(analysis::formatFindings(findings).c_str(), stdout);
-        std::printf("kernel image: %zu finding%s, %s\n",
+        std::printf("%s: %zu finding%s, %s\n",
+                    harts ? "kernel + multihart images"
+                          : "kernel image",
                     findings.size(), findings.size() == 1 ? "" : "s",
                     analysis::hasErrors(findings) ? "FAIL" : "ok");
         return analysis::hasErrors(findings) ? 1 : 0;

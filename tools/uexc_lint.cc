@@ -13,12 +13,27 @@
  *   $ ./tools/uexc_lint multihart       # multi-hart study programs
  *   $ ./tools/uexc_lint --all           # everything
  *   $ ./tools/uexc_lint --strict --all  # warnings also fail
+ *   $ ./tools/uexc_lint --wcet --budget 200 --all
+ *                                       # bound handler latencies
+ *   $ ./tools/uexc_lint --multihart 4 micro
+ *                                       # shared-page analysis, 4 harts
+ *   $ ./tools/uexc_lint --json --all    # machine-readable findings
+ *
+ * --wcet runs the worst-case-latency analyzer over every handler
+ * region; --budget N additionally fails any handler whose bound
+ * exceeds N cycles (the kernel fast path always checks against its
+ * built-in budget). --multihart N runs the shared-page conflict
+ * analysis over user programs as if N harts executed them. --json
+ * replaces the human-readable report with a JSON array of findings
+ * (check, severity, pc, region, message, plus payload keys such as
+ * page numbers and cycle bounds), one object per target.
  *
  * Exit status: 0 if no Error findings (no Warning either under
  * --strict), 1 otherwise, 2 on usage errors.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -34,16 +49,41 @@ using namespace uexc::rt;
 
 namespace {
 
+struct Options
+{
+    bool strict = false;
+    bool wcet = false;
+    bool json = false;
+    Cycles budget = 0;
+    unsigned multihart = 0;
+};
+
 struct Totals
 {
     unsigned errors = 0;
     unsigned warnings = 0;
     unsigned targets = 0;
+    std::string json; ///< accumulated per-target JSON objects
 };
+
+/** Apply the CLI-wide analysis options to a user-program config. */
+void
+applyOptions(analysis::LintConfig &config, const Options &opts)
+{
+    if (opts.wcet) {
+        config.analyzeWcet = true;
+        for (analysis::RegionSpec &r : config.regions) {
+            if (r.handler && !r.wcetBudget)
+                r.wcetBudget = opts.budget;
+        }
+    }
+    if (opts.multihart && !config.multihart)
+        config.multihart = opts.multihart;
+}
 
 void
 report(const char *target, const std::vector<analysis::Finding> &fs,
-       Totals &totals)
+       const Options &opts, Totals &totals)
 {
     totals.targets++;
     unsigned errors = 0, warnings = 0;
@@ -55,6 +95,19 @@ report(const char *target, const std::vector<analysis::Finding> &fs,
     }
     totals.errors += errors;
     totals.warnings += warnings;
+    if (opts.json) {
+        if (!totals.json.empty())
+            totals.json += ",\n";
+        totals.json += "{\"target\": \"";
+        totals.json += target;
+        totals.json += "\", \"findings\": ";
+        std::string findings = analysis::formatFindingsJson(fs);
+        while (!findings.empty() && findings.back() == '\n')
+            findings.pop_back();
+        totals.json += findings;
+        totals.json += "}";
+        return;
+    }
     std::printf("== %s: %u error%s, %u warning%s\n", target, errors,
                 errors == 1 ? "" : "s", warnings,
                 warnings == 1 ? "" : "s");
@@ -62,14 +115,24 @@ report(const char *target, const std::vector<analysis::Finding> &fs,
 }
 
 void
-lintKernel(Totals &totals)
+lintKernel(const Options &opts, Totals &totals)
 {
     sim::Program image = os::buildKernelImage();
-    report("kernel", os::lintKernelImage(image), totals);
+    // The kernel config carries its own WCET gate and budget; CLI
+    // options only add to it.
+    analysis::LintConfig config = os::kernelLintConfig(image);
+    applyOptions(config, opts);
+    std::vector<analysis::Finding> findings =
+        analysis::lint(image, config);
+    std::vector<analysis::Finding> structural = analysis::verifyFastPath(
+        image, os::kernelFastPathSpec(image));
+    findings.insert(findings.end(), structural.begin(),
+                    structural.end());
+    report("kernel", findings, opts, totals);
 }
 
 void
-lintShims(Totals &totals)
+lintShims(const Options &opts, Totals &totals)
 {
     struct Variant
     {
@@ -86,25 +149,28 @@ lintShims(Totals &totals)
     };
     for (const Variant &v : kVariants) {
         sim::Program p = UserEnv::buildShimProgram(v.policy, v.hw);
-        report(v.name, analysis::lint(p, userProgramLintConfig(p)),
-               totals);
+        analysis::LintConfig config = userProgramLintConfig(p);
+        applyOptions(config, opts);
+        report(v.name, analysis::lint(p, config), opts, totals);
     }
 }
 
 void
-lintMultihart(Totals &totals)
+lintMultihart(const Options &opts, Totals &totals)
 {
     constexpr unsigned n = multihart::kMaxHarts;
     sim::Program k = multihart::buildKernelImage(n);
-    report("multihart(kernel)",
-           analysis::lint(k, multihart::kernelLintConfig(k, n)), totals);
+    analysis::LintConfig kc = multihart::kernelLintConfig(k, n);
+    applyOptions(kc, opts);
+    report("multihart(kernel)", analysis::lint(k, kc), opts, totals);
     sim::Program w = multihart::buildWorkerProgram(n);
-    report("multihart(worker)",
-           analysis::lint(w, multihart::workerLintConfig(w, n)), totals);
+    analysis::LintConfig wc = multihart::workerLintConfig(w, n);
+    applyOptions(wc, opts);
+    report("multihart(worker)", analysis::lint(w, wc), opts, totals);
 }
 
 bool
-lintMicro(Totals &totals, const char *which)
+lintMicro(const Options &opts, Totals &totals, const char *which)
 {
     bool matched = false;
     for (micro::Scenario s : micro::kAllScenarios) {
@@ -114,8 +180,10 @@ lintMicro(Totals &totals, const char *which)
         sim::Program p = micro::buildScenarioProgram(s);
         std::string target =
             std::string("micro(") + micro::scenarioName(s) + ")";
-        report(target.c_str(),
-               analysis::lint(p, userProgramLintConfig(p)), totals);
+        analysis::LintConfig config = userProgramLintConfig(p);
+        applyOptions(config, opts);
+        report(target.c_str(), analysis::lint(p, config), opts,
+               totals);
     }
     return matched;
 }
@@ -124,7 +192,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: uexc_lint [--strict] "
+                 "usage: uexc_lint [--strict] [--wcet] [--budget N] "
+                 "[--multihart N] [--json] "
                  "{--all | kernel | shim | micro [scenario] | "
                  "multihart}...\n");
     return 2;
@@ -135,34 +204,60 @@ usage()
 int
 main(int argc, char **argv)
 {
-    bool strict = false;
+    Options opts;
     Totals totals;
     bool did_anything = false;
 
+    // Options first, then targets, so one pass can honor options
+    // that precede targets on the command line.
+    std::vector<const char *> targets;
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--strict") == 0) {
-            strict = true;
-        } else if (std::strcmp(arg, "--all") == 0) {
-            lintKernel(totals);
-            lintShims(totals);
-            lintMicro(totals, nullptr);
-            lintMultihart(totals);
+            opts.strict = true;
+        } else if (std::strcmp(arg, "--wcet") == 0) {
+            opts.wcet = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            opts.json = true;
+        } else if (std::strcmp(arg, "--budget") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            opts.budget = std::strtoull(argv[++i], nullptr, 0);
+            opts.wcet = true;
+        } else if (std::strcmp(arg, "--multihart") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            opts.multihart =
+                unsigned(std::strtoul(argv[++i], nullptr, 0));
+            if (!opts.multihart)
+                return usage();
+        } else {
+            targets.push_back(arg);
+        }
+    }
+
+    for (std::size_t i = 0; i < targets.size(); i++) {
+        const char *arg = targets[i];
+        if (std::strcmp(arg, "--all") == 0) {
+            lintKernel(opts, totals);
+            lintShims(opts, totals);
+            lintMicro(opts, totals, nullptr);
+            lintMultihart(opts, totals);
             did_anything = true;
         } else if (std::strcmp(arg, "kernel") == 0) {
-            lintKernel(totals);
+            lintKernel(opts, totals);
             did_anything = true;
         } else if (std::strcmp(arg, "shim") == 0) {
-            lintShims(totals);
+            lintShims(opts, totals);
             did_anything = true;
         } else if (std::strcmp(arg, "multihart") == 0) {
-            lintMultihart(totals);
+            lintMultihart(opts, totals);
             did_anything = true;
         } else if (std::strcmp(arg, "micro") == 0) {
             const char *which = nullptr;
-            if (i + 1 < argc && argv[i + 1][0] != '-')
-                which = argv[++i];
-            if (!lintMicro(totals, which)) {
+            if (i + 1 < targets.size() && targets[i + 1][0] != '-')
+                which = targets[++i];
+            if (!lintMicro(opts, totals, which)) {
                 std::fprintf(stderr, "unknown scenario \"%s\"\n",
                              which);
                 return usage();
@@ -176,11 +271,17 @@ main(int argc, char **argv)
     if (!did_anything)
         return usage();
 
-    bool fail = totals.errors > 0 || (strict && totals.warnings > 0);
-    std::printf("uexc-lint: %u target%s, %u error%s, %u warning%s: %s\n",
-                totals.targets, totals.targets == 1 ? "" : "s",
-                totals.errors, totals.errors == 1 ? "" : "s",
-                totals.warnings, totals.warnings == 1 ? "" : "s",
-                fail ? "FAIL" : "ok");
+    bool fail =
+        totals.errors > 0 || (opts.strict && totals.warnings > 0);
+    if (opts.json) {
+        std::printf("[\n%s\n]\n", totals.json.c_str());
+    } else {
+        std::printf(
+            "uexc-lint: %u target%s, %u error%s, %u warning%s: %s\n",
+            totals.targets, totals.targets == 1 ? "" : "s",
+            totals.errors, totals.errors == 1 ? "" : "s",
+            totals.warnings, totals.warnings == 1 ? "" : "s",
+            fail ? "FAIL" : "ok");
+    }
     return fail ? 1 : 0;
 }
