@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Per-syscall cycle costs of the Ultrix-flavored syscall layer, as a
+ * user process measures them: each case is a small assembled guest
+ * program that brackets a syscall loop between two one-shot labels;
+ * breakpoints on the labels read the cycle counter before and after,
+ * so the reported number is the full user-observed round trip (trap,
+ * guest-kernel dispatch, hcall service + charge, restore path).
+ *
+ * The sbrk case also touches every page it grows, so its number
+ * includes the TLB-refill pressure fresh heap pages generate — the
+ * cost a growing process actually pays, not just the service time.
+ *
+ * Emits BENCH_syscall.json alongside the stdout table.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "os/elf.h"
+#include "os/guestimage.h"
+#include "os/kernel.h"
+#include "os/layout.h"
+#include "os/syscalls.h"
+#include "sim/machine.h"
+#include "sim/pseudo.h"
+
+using namespace uexc;
+using namespace uexc::sim;
+using namespace uexc::os;
+
+namespace {
+
+constexpr unsigned kIters = 64;     ///< loop count, cheap syscalls
+constexpr unsigned kForkIters = 8;  ///< loop count, fork+wait
+constexpr Word kIoBytes = 64;       ///< read/write transfer size
+
+/** The common program tail: exit(0), a park loop, and the path
+ *  string the file cases open. */
+void
+emitTail(Assembler &a)
+{
+    a.label("exit0");
+    a.li(A0, 0);
+    pseudo::emitSyscall(a, sys::Exit);
+    a.label("park");
+    a.j("park");
+    a.nop();
+    a.align(4);
+    a.label("path");
+    a.word(0x636e6562); // "benc"
+    a.word(0x00000068); // "h\0\0\0"
+}
+
+/** Count down S0 from @p iters around the body @p emit_op emits,
+ *  with one-shot bench_begin/bench_end labels outside the loop. */
+void
+emitBenchLoop(Assembler &a, unsigned iters,
+              const std::function<void(Assembler &)> &emit_op)
+{
+    a.li(S0, iters);
+    a.label("bench_begin");
+    a.nop();
+    a.label("loop");
+    emit_op(a);
+    a.addiu(S0, S0, -1);
+    a.bne(S0, Zero, "loop");
+    a.nop();
+    a.label("bench_end");
+    a.nop();
+    a.j("exit0");
+    a.nop();
+}
+
+GuestImage
+buildCase(const std::string &name,
+          const std::function<void(Assembler &)> &emit_setup,
+          unsigned iters,
+          const std::function<void(Assembler &)> &emit_op)
+{
+    Assembler a(kUserTextBase);
+    a.label("_start");
+    emit_setup(a);
+    emitBenchLoop(a, iters, emit_op);
+    emitTail(a);
+    GuestImage img =
+        GuestImage::fromProgram(a.finalize(), "bench-" + name);
+    img.entry = img.symbol("_start");
+    img.validate();
+    return img;
+}
+
+/** Run @p img to the bench_begin/bench_end breakpoints and return
+ *  the cycles one loop iteration costs. */
+Cycles
+measure(const GuestImage &img, unsigned iters)
+{
+    Machine machine{MachineConfig{}};
+    Kernel kernel(machine);
+    kernel.boot();
+    Process &p = kernel.createProcess();
+    kernel.execve(p, img, {img.name});
+    machine.cpu().addBreakpoint(img.symbol("bench_begin"));
+    machine.cpu().addBreakpoint(img.symbol("bench_end"));
+
+    MachineRunResult r = machine.run(50'000'000);
+    if (r.reason != StopReason::Breakpoint)
+        UEXC_FATAL("%s: never reached bench_begin", img.name.c_str());
+    Cycles c0 = machine.cpu().cycles();
+    r = machine.run(50'000'000);
+    if (r.reason != StopReason::Breakpoint)
+        UEXC_FATAL("%s: never reached bench_end", img.name.c_str());
+    Cycles c1 = machine.cpu().cycles();
+    return (c1 - c0) / iters;
+}
+
+void
+row(const char *label, Cycles per_op)
+{
+    std::printf("  %-28s %6llu cycles/op\n", label,
+                static_cast<unsigned long long>(per_op));
+    if (bench::g_activeJson)
+        bench::g_activeJson->metric(label, double(per_op), "cycles");
+}
+
+void
+emitOpenRdwr(Assembler &a)
+{
+    pseudo::loadAddress(a, A0, "path");
+    a.li(A1, kOpenRdwr);
+    pseudo::emitSyscall(a, sys::Open);
+}
+
+void
+emitClose(Assembler &a)
+{
+    a.move(A0, V0);
+    pseudo::emitSyscall(a, sys::Close);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::JsonResults json("syscall");
+    json.config("iters", double(kIters));
+    json.config("fork_iters", double(kForkIters));
+    json.config("io_bytes", double(kIoBytes));
+
+    bench::banner("Syscall round-trip costs (user-observed)");
+
+    // getpid: the guest table's fastest row, no hcall bridge
+    row("getpid", measure(buildCase(
+        "getpid", [](Assembler &) {},
+        kIters, [](Assembler &a) {
+            pseudo::emitSyscall(a, sys::Getpid);
+        }), kIters));
+
+    // open+close of an existing VFS file, per pair
+    row("open+close", measure(buildCase(
+        "openclose",
+        [](Assembler &a) {
+            // create the file once, close it
+            pseudo::loadAddress(a, A0, "path");
+            a.li32(A1, kOpenCreate | kOpenWrite);
+            pseudo::emitSyscall(a, sys::Open);
+            emitClose(a);
+        },
+        kIters, [](Assembler &a) {
+            emitOpenRdwr(a);
+            emitClose(a);
+        }), kIters));
+
+    // write of kIoBytes to a VFS file (text page as source buffer)
+    row("write 64B", measure(buildCase(
+        "write",
+        [](Assembler &a) {
+            pseudo::loadAddress(a, A0, "path");
+            a.li32(A1, kOpenCreate | kOpenWrite);
+            pseudo::emitSyscall(a, sys::Open);
+            a.move(S1, V0);
+        },
+        kIters, [](Assembler &a) {
+            a.move(A0, S1);
+            a.li32(A1, kUserTextBase);
+            a.li(A2, kIoBytes);
+            pseudo::emitSyscall(a, sys::Write);
+        }), kIters));
+
+    // read of kIoBytes back (setup writes kIters * kIoBytes first)
+    row("read 64B", measure(buildCase(
+        "read",
+        [](Assembler &a) {
+            pseudo::loadAddress(a, A0, "path");
+            a.li32(A1, kOpenCreate | kOpenWrite);
+            pseudo::emitSyscall(a, sys::Open);
+            a.move(S1, V0);
+            a.li(S2, kIters);
+            a.label("fill");
+            a.move(A0, S1);
+            a.li32(A1, kUserTextBase);
+            a.li(A2, kIoBytes);
+            pseudo::emitSyscall(a, sys::Write);
+            a.addiu(S2, S2, -1);
+            a.bne(S2, Zero, "fill");
+            a.nop();
+            a.move(A0, S1);
+            pseudo::emitSyscall(a, sys::Close);
+            pseudo::loadAddress(a, A0, "path");
+            a.li(A1, kOpenRead);
+            pseudo::emitSyscall(a, sys::Open);
+            a.move(S1, V0);
+        },
+        kIters, [](Assembler &a) {
+            a.move(A0, S1);
+            // read into the bottom stack page (mapped, far below sp)
+            a.li32(A1, kUserStackTop - 8 * kPageBytes);
+            a.li(A2, kIoBytes);
+            pseudo::emitSyscall(a, sys::Read);
+        }), kIters));
+
+    // sbrk one page, then store to it: service cost plus the TLB
+    // refill(s) a fresh heap page costs the process
+    row("sbrk page+touch", measure(buildCase(
+        "sbrk", [](Assembler &) {},
+        kIters, [](Assembler &a) {
+            a.li32(A0, kPageBytes);
+            pseudo::emitSyscall(a, sys::Sbrk);
+            a.sw(Zero, 0, V0);
+        }), kIters));
+
+    // fork + immediate child exit + wait, per cycle of all three
+    row("fork+exit+wait", measure(buildCase(
+        "fork", [](Assembler &) {},
+        kForkIters, [](Assembler &a) {
+            pseudo::emitSyscall(a, sys::Fork);
+            a.beq(V0, Zero, "exit0"); // child: exit(0) immediately
+            a.nop();
+            a.li(A0, 0);              // parent: wait, discard status
+            pseudo::emitSyscall(a, sys::Wait);
+        }), kForkIters));
+
+    bench::noteLine("write source is the mapped text page, read "
+                    "target the bottom stack page; transfer charges "
+                    "dominate placement");
+    return 0;
+}

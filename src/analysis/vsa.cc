@@ -244,6 +244,11 @@ Vsa::step(Addr pc, const DecodedInst &inst, RegState &state) const
             set(inst.rt, ValueSet::top());
         break;
       case Op::Lui:
+        // Together with the Ori/Addiu/load-store cases above this
+        // tracks the lui+ori (li32/la) and carry-adjusted %hi/%lo
+        // materialization idioms; all guest producers emit them
+        // through sim/pseudo.h, so this matcher has one producer to
+        // stay in sync with.
         set(inst.rt, ValueSet::constant(inst.imm << 16));
         break;
       case Op::Jal:

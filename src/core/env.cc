@@ -135,11 +135,23 @@ UserEnv::buildShimProgram(SavePolicy policy, bool user_vector_hw)
     return a.finalize();
 }
 
+os::GuestImage
+UserEnv::buildShimImage(SavePolicy policy, bool user_vector_hw)
+{
+    Program p = buildShimProgram(policy, user_vector_hw);
+    GuestImage img = GuestImage::fromProgram(p, "user-shim");
+    img.entry = p.symbol("shim_idle");
+    img.setLintConfig(userProgramLintConfig(p));
+    img.validate();
+    return img;
+}
+
 void
 UserEnv::buildShim()
 {
-    Program p = buildShimProgram(
+    GuestImage img = buildShimImage(
         policy_, kernel_.machine().cpu().config().userVectorHw);
+    Program p = img.textProgram();
 #ifndef NDEBUG
     // Debug builds refuse to install a shim that fails the analyzer,
     // including the worst-case-latency bound of every handler stub
@@ -151,7 +163,7 @@ UserEnv::buildShim()
                    analysis::formatFindings(findings).c_str());
     }
 #endif
-    kernel_.loadProgram(*proc_, p);
+    kernel_.loadImage(*proc_, img);
 
     shimIdle_ = p.symbol("shim_idle");
     faultLw_ = p.symbol("fault_lw");

@@ -251,6 +251,15 @@ class UserEnv
                                          bool user_vector_hw);
 
     /**
+     * The shim as a GuestImage: the assembled program with the
+     * user-program lint configuration attached and the parking loop
+     * as entry. install() loads this; uexc-lint's shim target
+     * consumes the same image.
+     */
+    static os::GuestImage buildShimImage(SavePolicy policy,
+                                         bool user_vector_hw);
+
+    /**
      * Serialize/restore this environment's host-side delivery state
      * (demotion flag, watchdog budget, statistics). install()
      * registers these with the machine as the per-hart "UEN"+hart

@@ -1,8 +1,10 @@
 #include "core/microbench.h"
 
 #include "common/logging.h"
+#include "core/lintspec.h"
 #include "os/kernel.h"
 #include "sim/cp0.h"
+#include "sim/pseudo.h"
 
 namespace uexc::rt::micro {
 
@@ -71,8 +73,7 @@ emitSyscall3(Assembler &a, Word num, unsigned a0_src)
 {
     a.move(A0, a0_src);
     // a1/a2 set by the caller right before
-    a.li(V0, num);
-    a.syscall();
+    pseudo::emitSyscall(a, num);
 }
 
 struct Harness
@@ -85,20 +86,22 @@ struct Harness
     }
 
     void
-    finish(Program p, Scenario scenario)
+    finish(GuestImage image, Scenario scenario)
     {
-        prog = std::move(p);
-        kernel.loadProgram(*proc, prog);
+        img = std::move(image);
+        prog = img.textProgram();
+        kernel.loadImage(*proc, img);
         proc->as().allocate(kHeap, kPageBytes,
                             kProtRead | kProtWrite);
         bool uv = scenario == Scenario::HwVectorSimple ||
                   scenario == Scenario::HwVectorTableSimple;
-        kernel.enterUser(*proc, prog.symbol("user_main"), uv);
+        kernel.enterUser(*proc, img.entry, uv);
     }
 
     Machine machine;
     Kernel kernel;
     Process *proc = nullptr;
+    GuestImage img;
     Program prog;
 };
 
@@ -242,13 +245,25 @@ buildScenarioProgram(Scenario scenario)
     return a.finalize();
 }
 
+os::GuestImage
+buildScenarioImage(Scenario scenario)
+{
+    Program prog = buildScenarioProgram(scenario);
+    GuestImage img =
+        GuestImage::fromProgram(prog, scenarioName(scenario));
+    img.entry = prog.symbol("user_main");
+    img.setLintConfig(userProgramLintConfig(prog));
+    img.validate();
+    return img;
+}
+
 namespace {
 
 std::unique_ptr<Harness>
 buildScenario(Scenario scenario, const MachineConfig &config)
 {
     auto h = std::make_unique<Harness>(config);
-    h->finish(buildScenarioProgram(scenario), scenario);
+    h->finish(buildScenarioImage(scenario), scenario);
 
     switch (scenario) {
       case Scenario::FastSimple:

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/stubs.h"
+#include "os/guestimage.h"
 #include "sim/machine.h"
 #include "sim/profile.h"
 
@@ -82,6 +83,13 @@ const char *scenarioName(Scenario scenario);
  * and what the static analyzer lints.
  */
 sim::Program buildScenarioProgram(Scenario scenario);
+
+/**
+ * The scenario program as a GuestImage: entry at user_main, the
+ * user-program lint configuration attached. buildScenario loads this
+ * form; uexc-lint's micro target consumes the same image.
+ */
+os::GuestImage buildScenarioImage(Scenario scenario);
 
 /** Measure one scenario on a machine configuration. */
 Timing measure(Scenario scenario, const sim::MachineConfig &config,

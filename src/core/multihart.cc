@@ -8,6 +8,7 @@
 #include "sim/cp0.h"
 #include "sim/cpu.h"
 #include "sim/isa.h"
+#include "sim/pseudo.h"
 
 namespace uexc::rt::multihart {
 
@@ -48,8 +49,7 @@ buildKernelImage(unsigned num_harts)
     a.mfc0(K0, cp0reg::PrId);
     a.srl(K0, K0, 24);
     a.sll(K0, K0, os::hartsave::SizeShift);
-    a.luiHi(K1, "mh_save");
-    a.addiuLo(K1, K1, "mh_save");
+    pseudo::loadAddress(a, K1, "mh_save");
     a.addu(K1, K1, K0);
     a.lw(K0, 0, K1);
     a.nop();                         // load delay
@@ -99,6 +99,29 @@ buildWorkerProgram(unsigned num_harts)
     a.label("mh_uv_handler__end");
 
     return a.finalize();
+}
+
+os::GuestImage
+buildKernelGuestImage(unsigned num_harts)
+{
+    Program prog = buildKernelImage(num_harts);
+    os::GuestImage img =
+        os::GuestImage::fromProgram(prog, "multihart-kernel");
+    img.setLintConfig(kernelLintConfig(prog, num_harts));
+    img.validate();
+    return img;
+}
+
+os::GuestImage
+buildWorkerImage(unsigned num_harts)
+{
+    Program prog = buildWorkerProgram(num_harts);
+    os::GuestImage img =
+        os::GuestImage::fromProgram(prog, "multihart-worker");
+    img.entry = prog.symbol("mh_hart0_entry");
+    img.setLintConfig(workerLintConfig(prog, num_harts));
+    img.validate();
+    return img;
 }
 
 analysis::LintConfig

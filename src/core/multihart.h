@@ -22,6 +22,7 @@
 #define UEXC_CORE_MULTIHART_H
 
 #include "analysis/lint.h"
+#include "os/guestimage.h"
 #include "sim/assembler.h"
 
 namespace uexc::rt::multihart {
@@ -47,6 +48,13 @@ sim::Program buildKernelImage(unsigned num_harts);
  * (k0-only: bump UxReg Epc past the break, xret).
  */
 sim::Program buildWorkerProgram(unsigned num_harts);
+
+/** The mini-kernel as a GuestImage (lint config attached). */
+os::GuestImage buildKernelGuestImage(unsigned num_harts);
+
+/** The worker as a GuestImage: entry at hart 0's entry label, lint
+ *  config attached. Per-hart entries stay symbol lookups. */
+os::GuestImage buildWorkerImage(unsigned num_harts);
 
 /** Analyzer config for the mini-kernel image above. */
 analysis::LintConfig kernelLintConfig(const sim::Program &prog,

@@ -1,6 +1,7 @@
 #include "core/stubs.h"
 
 #include "sim/isa.h"
+#include "sim/pseudo.h"
 
 namespace uexc::rt {
 
@@ -111,8 +112,7 @@ emitTrampoline(Assembler &a, const std::string &name)
 void
 emitSyscall(Assembler &a, Word num)
 {
-    a.li(V0, num);
-    a.syscall();
+    pseudo::emitSyscall(a, num);
 }
 
 int

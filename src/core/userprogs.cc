@@ -1,0 +1,684 @@
+#include "core/userprogs.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "core/lintspec.h"
+#include "core/stubs.h"
+#include "os/layout.h"
+#include "sim/cp0.h"
+#include "sim/isa.h"
+#include "sim/pseudo.h"
+
+namespace uexc::rt::userprog {
+
+using namespace sim;
+using namespace os;
+
+namespace {
+
+/** Exception mask the fast-delivery scenarios enable. */
+constexpr Word kFaultMask =
+    (1u << static_cast<unsigned>(ExcCode::Mod)) |
+    (1u << static_cast<unsigned>(ExcCode::TlbL)) |
+    (1u << static_cast<unsigned>(ExcCode::TlbS)) |
+    (1u << static_cast<unsigned>(ExcCode::AdEL)) |
+    (1u << static_cast<unsigned>(ExcCode::AdES));
+
+/** The swizzle target's payload word ("swizzled object" contents). */
+constexpr Word kSwizzlePayload = 0x5157495a;
+/** The value a resolved future produces. */
+constexpr Word kFutureValue = 42;
+
+using EmitFn = std::function<void(Assembler &)>;
+
+/**
+ * Assemble a two-section program: data at kUserDataBase first (so its
+ * symbols can be bound as externals), then text at kUserTextBase.
+ * @p data_bss_bytes extends the data section's memory extent past its
+ * initialized words (ELF-style BSS, zero-filled by the loader).
+ */
+GuestImage
+assembleImage(const std::string &name, const EmitFn &emit_data,
+              const EmitFn &emit_text, Word data_bss_bytes = 0)
+{
+    Program data;
+    bool has_data = static_cast<bool>(emit_data);
+    if (has_data) {
+        Assembler d(kUserDataBase);
+        emit_data(d);
+        data = d.finalize();
+    }
+
+    Assembler a(kUserTextBase);
+    if (has_data) {
+        for (const auto &[sym, addr] : data.symbols)
+            a.bindExternal(sym, addr);
+    }
+    emit_text(a);
+    Program text = a.finalize();
+
+    GuestImage img;
+    img.name = name;
+
+    GuestSection tsec;
+    tsec.name = ".text";
+    tsec.vaddr = text.origin;
+    tsec.words = text.words;
+    tsec.memBytes = static_cast<Word>(4 * text.words.size());
+    tsec.writable = false;
+    tsec.executable = true;
+    img.sections.push_back(std::move(tsec));
+
+    if (has_data) {
+        GuestSection dsec;
+        dsec.name = ".data";
+        dsec.vaddr = data.origin;
+        dsec.words = data.words;
+        dsec.memBytes =
+            static_cast<Word>(4 * data.words.size()) + data_bss_bytes;
+        dsec.writable = true;
+        dsec.executable = false;
+        img.sections.push_back(std::move(dsec));
+    }
+
+    img.symbols = text.symbols;
+    if (has_data)
+        img.symbols.insert(data.symbols.begin(), data.symbols.end());
+    img.entry = img.symbol("_start");
+
+    img.setLintConfig(userProgramLintConfig(img.textProgram()));
+    img.validate();
+    return img;
+}
+
+/** NUL-terminated string constant, padded to a word boundary. */
+void
+emitString(Assembler &a, const std::string &label, const std::string &s)
+{
+    a.label(label);
+    std::string padded = s;
+    padded.push_back('\0');
+    while (padded.size() % 4 != 0)
+        padded.push_back('\0');
+    for (std::size_t i = 0; i < padded.size(); i += 4) {
+        a.word(Word(Byte(padded[i])) | Word(Byte(padded[i + 1])) << 8 |
+               Word(Byte(padded[i + 2])) << 16 |
+               Word(Byte(padded[i + 3])) << 24);
+    }
+}
+
+/** _start: call main, pass its return value to exit(). */
+void
+emitCrt0(Assembler &a)
+{
+    a.label("_start");
+    a.jal("main");
+    a.nop();
+    a.move(A0, V0);
+    pseudo::emitSyscall(a, sys::Exit);
+    a.label("crt0_park");
+    a.j("crt0_park");
+    a.nop();
+}
+
+/** exit(code) directly, for failure paths inside main. exit() does
+ *  not return; the park jump terminates the block for the CFG (and
+ *  catches a broken kernel that resumed us). */
+void
+emitExit(Assembler &a, const std::string &label, Word code)
+{
+    a.label(label);
+    a.li(A0, code);
+    pseudo::emitSyscall(a, sys::Exit);
+    a.j("crt0_park");
+    a.nop();
+}
+
+/** hits := hits + 1, clobbering only @p t_a / @p t_b. */
+void
+emitCountHit(Assembler &a, unsigned t_a, unsigned t_b)
+{
+    pseudo::loadGlobal(a, t_a, "hits", t_b);
+    a.addiu(t_a, t_a, 1);
+    pseudo::storeGlobal(a, t_a, "hits", t_b);
+}
+
+/**
+ * The scenario-program prologue: main parses argv[1] and branches to
+ * "setup_signal" on 's', falls through toward the fast setup on 'u',
+ * exits 2 on anything else. execve's convention: a0 = argc,
+ * a1 = argv.
+ */
+void
+emitModeDispatch(Assembler &a)
+{
+    a.label("main");
+    a.li(T0, 2);
+    a.slt(T1, A0, T0);
+    a.bne(T1, Zero, "fail_usage");
+    a.nop();
+    a.lw(T2, 4, A1);
+    a.lbu(T3, 0, T2);
+    a.li(T4, 's');
+    a.beq(T3, T4, "setup_signal");
+    a.nop();
+    a.li(T4, 'u');
+    a.bne(T3, T4, "fail_usage");
+    a.nop();
+}
+
+/** s0 := one fresh heap page from sbrk(). */
+void
+emitGrabHeapPage(Assembler &a)
+{
+    a.li(A0, kPageBytes);
+    pseudo::emitSyscall(a, sys::Sbrk);
+    a.move(S0, V0);
+}
+
+/** uexc_enable(kFaultMask, stub, frame page) + eager amplification. */
+void
+emitFastSetup(Assembler &a)
+{
+    a.li(A0, kFaultMask);
+    pseudo::loadAddress(a, A1, "stub");
+    a.li(A2, kUexcFramePage);
+    pseudo::emitSyscall(a, sys::UexcEnable);
+    a.li(A0, kPfEagerAmplify);
+    pseudo::emitSyscall(a, sys::UexcSetFlags);
+}
+
+/** sigaction(sig, handler) + settramp(tramp). */
+void
+emitSignalSetup(Assembler &a, unsigned sig)
+{
+    a.li(A0, sig);
+    pseudo::loadAddress(a, A1, "sig_handler");
+    pseudo::emitSyscall(a, sys::Sigaction);
+    pseudo::loadAddress(a, A0, "tramp");
+    pseudo::emitSyscall(a, sys::SetTrampoline);
+}
+
+/** protect(s0 page, @p prot) through syscall number @p num. */
+void
+emitProtectHeap(Assembler &a, Word num, Word prot)
+{
+    a.move(A0, S0);
+    a.li(A1, kPageBytes);
+    a.li(A2, prot);
+    pseudo::emitSyscall(a, num);
+}
+
+// -- hello --------------------------------------------------------------------
+
+GuestImage
+buildHello()
+{
+    const std::string msg = "hello, userland\n";
+    return assembleImage(
+        "hello",
+        [&](Assembler &d) { emitString(d, "msg", msg); },
+        [&](Assembler &a) {
+            emitCrt0(a);
+            a.label("main");
+            a.li(A0, 1);
+            pseudo::loadAddress(a, A1, "msg");
+            a.li(A2, static_cast<Word>(msg.size()));
+            pseudo::emitSyscall(a, sys::Write);
+            a.li(T0, static_cast<Word>(msg.size()));
+            a.bne(V0, T0, "fail");
+            a.nop();
+            pseudo::emitSyscall(a, sys::Getpid);
+            a.blez(V0, "fail");
+            a.nop();
+            a.move(V0, Zero);
+            a.jr(RA);
+            a.nop();
+            emitExit(a, "fail", 1);
+        });
+}
+
+// -- sbrktest -----------------------------------------------------------------
+
+GuestImage
+buildSbrkTest()
+{
+    constexpr unsigned kPages = 8;
+    return assembleImage(
+        "sbrktest",
+        [](Assembler &d) {
+            d.label("marker");
+            d.word(0x12345678);
+            // one word of BSS, covered by the section's memBytes
+            // extension below: the loader must hand it to us zeroed
+            d.label("bss_word");
+        },
+        [](Assembler &a) {
+            emitCrt0(a);
+            a.label("main");
+            // initialized data arrived intact
+            pseudo::loadGlobal(a, T0, "marker", T1);
+            a.li(T1, 0x12345678);
+            a.bne(T0, T1, "fail");
+            a.nop();
+            // BSS is zero-filled
+            pseudo::loadGlobal(a, T0, "bss_word", T1);
+            a.bne(T0, Zero, "fail");
+            a.nop();
+            // s0 = current break; grow by kPages pages (sbrk returns
+            // the OLD break)
+            a.move(A0, Zero);
+            pseudo::emitSyscall(a, sys::Sbrk);
+            a.move(S0, V0);
+            a.li(A0, kPages * kPageBytes);
+            pseudo::emitSyscall(a, sys::Sbrk);
+            a.bne(V0, S0, "fail");
+            a.nop();
+            // touch every new page (TLB refill per page), checking
+            // the fresh frames come up zeroed
+            a.li(S1, kPages);
+            a.move(T6, S0);
+            a.label("wloop");
+            a.lw(T0, 4, T6);
+            a.bne(T0, Zero, "fail");
+            a.nop();
+            a.sw(S1, 0, T6);
+            a.addiu(T6, T6, kPageBytes);
+            a.addiu(S1, S1, -1);
+            a.bgtz(S1, "wloop");
+            a.nop();
+            // read the markers back
+            a.li(S1, kPages);
+            a.move(T6, S0);
+            a.label("rloop");
+            a.lw(T0, 0, T6);
+            a.bne(T0, S1, "fail");
+            a.nop();
+            a.addiu(T6, T6, kPageBytes);
+            a.addiu(S1, S1, -1);
+            a.bgtz(S1, "rloop");
+            a.nop();
+            // negative increment moves the break back
+            a.li(A0, static_cast<Word>(-kPageBytes));
+            pseudo::emitSyscall(a, sys::Sbrk);
+            a.move(A0, Zero);
+            pseudo::emitSyscall(a, sys::Sbrk);
+            a.li(T1, (kPages - 1) * kPageBytes);
+            a.addu(T1, S0, T1);
+            a.bne(V0, T1, "fail");
+            a.nop();
+            a.move(V0, Zero);
+            a.jr(RA);
+            a.nop();
+            emitExit(a, "fail", 1);
+        },
+        /*data_bss_bytes=*/4);
+}
+
+// -- forktest -----------------------------------------------------------------
+
+GuestImage
+buildForkTest()
+{
+    const std::string ok = "forktest ok\n";
+    return assembleImage(
+        "forktest",
+        [&](Assembler &d) {
+            emitString(d, "path", "out.txt");
+            emitString(d, "cmsg", "hi!");  // exactly one word with NUL
+            emitString(d, "okmsg", ok);
+        },
+        [&](Assembler &a) {
+            emitCrt0(a);
+            a.label("main");
+            // scratch page for wait()'s status word and the read-back
+            // buffer
+            a.li(A0, kPageBytes);
+            pseudo::emitSyscall(a, sys::Sbrk);
+            a.move(S2, V0);
+            pseudo::emitSyscall(a, sys::Fork);
+            a.bne(V0, Zero, "parent");
+            a.nop();
+            // -- child: write a file and exit 7 --
+            pseudo::loadAddress(a, A0, "path");
+            a.li(A1, kOpenCreate | kOpenWrite);
+            pseudo::emitSyscall(a, sys::Open);
+            a.bltz(V0, "cfail");
+            a.nop();
+            a.move(S0, V0);
+            a.move(A0, S0);
+            pseudo::loadAddress(a, A1, "cmsg");
+            a.li(A2, 4);
+            pseudo::emitSyscall(a, sys::Write);
+            a.li(T0, 4);
+            a.bne(V0, T0, "cfail");
+            a.nop();
+            a.move(A0, S0);
+            pseudo::emitSyscall(a, sys::Close);
+            a.li(A0, 7);
+            pseudo::emitSyscall(a, sys::Exit);
+            emitExit(a, "cfail", 9);
+            // -- parent --
+            a.label("parent");
+            a.move(S3, V0);
+            a.move(A0, S2);
+            pseudo::emitSyscall(a, sys::Wait);
+            a.bne(V0, S3, "fail");
+            a.nop();
+            a.lw(T0, 0, S2);
+            a.li(T1, 7);
+            a.bne(T0, T1, "fail");
+            a.nop();
+            // read the child's file back
+            pseudo::loadAddress(a, A0, "path");
+            a.li(A1, kOpenRead);
+            pseudo::emitSyscall(a, sys::Open);
+            a.bltz(V0, "fail");
+            a.nop();
+            a.move(S0, V0);
+            a.move(A0, S0);
+            a.addiu(A1, S2, 4);
+            a.li(A2, 4);
+            pseudo::emitSyscall(a, sys::Read);
+            a.li(T0, 4);
+            a.bne(V0, T0, "fail");
+            a.nop();
+            a.lw(T0, 4, S2);
+            pseudo::loadGlobal(a, T1, "cmsg", T2);
+            a.bne(T0, T1, "fail");
+            a.nop();
+            a.li(A0, 1);
+            pseudo::loadAddress(a, A1, "okmsg");
+            a.li(A2, static_cast<Word>(ok.size()));
+            pseudo::emitSyscall(a, sys::Write);
+            a.move(V0, Zero);
+            a.jr(RA);
+            a.nop();
+            emitExit(a, "fail", 1);
+        });
+}
+
+// -- gcbar: generational write barrier (paper section 4.1) --------------------
+
+GuestImage
+buildGcBar()
+{
+    return assembleImage(
+        "gcbar",
+        [](Assembler &d) {
+            d.label("hits");
+            d.word(0);
+        },
+        [](Assembler &a) {
+            emitCrt0(a);
+            emitModeDispatch(a);
+            // fast: protection-fault barrier with eager amplification
+            // — the handler only records; the kernel already restored
+            // write access before the upcall (section 3.2.3)
+            emitGrabHeapPage(a);
+            emitFastSetup(a);
+            emitProtectHeap(a, sys::UexcProtect, kProtRead);
+            a.li(S3, sys::UexcProtect);
+            a.j("run");
+            a.nop();
+            // signal: the handler must also mprotect() the page
+            // writable — the second kernel crossing the paper counts
+            // against Unix delivery
+            a.label("setup_signal");
+            emitGrabHeapPage(a);
+            emitSignalSetup(a, kSigsegv);
+            emitProtectHeap(a, sys::Mprotect, kProtRead);
+            a.li(S3, sys::Mprotect);
+            a.label("run");
+            a.li(S1, kScenarioIters);
+            a.li(T7, 0x1234);
+            a.label("bloop");
+            // the barriered pointer store: first store per iteration
+            // faults (page is read-only), handler records the page
+            a.sw(T7, 0, S0);
+            // re-protect for the next iteration (what the collector
+            // does after scanning the dirtied page)
+            a.move(A0, S0);
+            a.li(A1, kPageBytes);
+            a.li(A2, kProtRead);
+            a.move(V0, S3);
+            a.syscall();
+            a.addiu(S1, S1, -1);
+            a.bgtz(S1, "bloop");
+            a.nop();
+            pseudo::loadGlobal(a, T0, "hits", T1);
+            a.li(T1, kScenarioIters);
+            a.bne(T0, T1, "fail");
+            a.nop();
+            a.move(V0, Zero);
+            a.jr(RA);
+            a.nop();
+            emitExit(a, "fail", 1);
+            emitExit(a, "fail_usage", 2);
+
+            emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
+                         [](Assembler &s) { emitCountHit(s, T0, T1); });
+
+            a.label("sig_handler");
+            emitCountHit(a, T0, T1);
+            a.lw(A0, sigctx::BadVA * 4, A2);
+            a.srl(A0, A0, kPageShift);
+            a.sll(A0, A0, kPageShift);
+            a.li(A1, kPageBytes);
+            a.li(A2, kProtRead | kProtWrite);
+            pseudo::emitSyscall(a, sys::Mprotect);
+            a.jr(RA);
+            a.nop();
+            emitTrampoline(a, "tramp");
+        });
+}
+
+// -- swizzle: object faulting / pointer swizzling -----------------------------
+
+GuestImage
+buildSwizzle()
+{
+    return assembleImage(
+        "swizzle",
+        [](Assembler &d) {
+            d.label("hits");
+            d.word(0);
+            d.label("target");
+            d.word(kSwizzlePayload);
+        },
+        [](Assembler &a) {
+            emitCrt0(a);
+            emitModeDispatch(a);
+            // fast: loads from the no-access page fault; eager
+            // amplification opens the page so the handler can install
+            // the swizzled pointer without a syscall
+            emitGrabHeapPage(a);
+            emitFastSetup(a);
+            emitProtectHeap(a, sys::UexcProtect, 0);
+            a.li(S3, sys::UexcProtect);
+            a.j("run");
+            a.nop();
+            a.label("setup_signal");
+            emitGrabHeapPage(a);
+            emitSignalSetup(a, kSigsegv);
+            emitProtectHeap(a, sys::Mprotect, 0);
+            a.li(S3, sys::Mprotect);
+            a.label("run");
+            a.li(S1, kScenarioIters);
+            a.label("bloop");
+            // the object fault: the slot is unreadable until the
+            // handler swizzles &target into it
+            a.lw(T7, 0, S0);
+            pseudo::loadAddress(a, T1, "target");
+            a.bne(T7, T1, "fail");
+            a.nop();
+            // dereference the swizzled pointer
+            a.lw(T8, 0, T7);
+            a.li(T1, kSwizzlePayload);
+            a.bne(T8, T1, "fail");
+            a.nop();
+            // un-swizzle: make the page unreachable again
+            a.move(A0, S0);
+            a.li(A1, kPageBytes);
+            a.move(A2, Zero);
+            a.move(V0, S3);
+            a.syscall();
+            a.addiu(S1, S1, -1);
+            a.bgtz(S1, "bloop");
+            a.nop();
+            pseudo::loadGlobal(a, T0, "hits", T1);
+            a.li(T1, kScenarioIters);
+            a.bne(T0, T1, "fail");
+            a.nop();
+            a.move(V0, Zero);
+            a.jr(RA);
+            a.nop();
+            emitExit(a, "fail", 1);
+            emitExit(a, "fail_usage", 2);
+
+            emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
+                         [](Assembler &s) {
+                             // install the pointer at the faulting
+                             // slot (page already amplified), then
+                             // record the object fault
+                             pseudo::loadAddress(s, T0, "target");
+                             s.lw(T1, static_cast<SWord>(uframe::BadVA),
+                                  T3);
+                             s.sw(T0, 0, T1);
+                             emitCountHit(s, T1, T2);
+                         });
+
+            a.label("sig_handler");
+            a.lw(T6, sigctx::BadVA * 4, A2);
+            a.srl(A0, T6, kPageShift);
+            a.sll(A0, A0, kPageShift);
+            a.li(A1, kPageBytes);
+            a.li(A2, kProtRead | kProtWrite);
+            pseudo::emitSyscall(a, sys::Mprotect);
+            pseudo::loadAddress(a, T0, "target");
+            a.sw(T0, 0, T6);
+            emitCountHit(a, T0, T1);
+            a.jr(RA);
+            a.nop();
+            emitTrampoline(a, "tramp");
+        });
+}
+
+// -- futures: unaligned-pointer representation (section 4.2.1) ----------------
+
+GuestImage
+buildFutures()
+{
+    return assembleImage(
+        "futures",
+        [](Assembler &d) {
+            d.label("hits");
+            d.word(0);
+            d.label("cell");
+            d.word(0);
+            d.label("box");
+            d.word(0);
+        },
+        [](Assembler &a) {
+            emitCrt0(a);
+            emitModeDispatch(a);
+            a.li(A0, kFaultMask);
+            pseudo::loadAddress(a, A1, "stub");
+            a.li(A2, kUexcFramePage);
+            pseudo::emitSyscall(a, sys::UexcEnable);
+            a.j("run");
+            a.nop();
+            a.label("setup_signal");
+            emitSignalSetup(a, kSigbus);
+            a.label("run");
+            a.li(S1, kScenarioIters);
+            a.label("bloop");
+            // create an unresolved future: cell = &box | 2, box empty
+            pseudo::loadAddress(a, T0, "box");
+            a.ori(T0, T0, 2);
+            pseudo::storeGlobal(a, T0, "cell", T1);
+            pseudo::storeGlobal(a, Zero, "box", T1);
+            // consume it: touching the tagged pointer faults; the
+            // handler resolves and restarts the consume sequence
+            a.label("retry");
+            pseudo::loadGlobal(a, T2, "cell", T2);
+            a.lw(T7, 0, T2);
+            a.li(T4, kFutureValue);
+            a.bne(T7, T4, "fail");
+            a.nop();
+            a.addiu(S1, S1, -1);
+            a.bgtz(S1, "bloop");
+            a.nop();
+            pseudo::loadGlobal(a, T0, "hits", T1);
+            a.li(T1, kScenarioIters);
+            a.bne(T0, T1, "fail");
+            a.nop();
+            a.move(V0, Zero);
+            a.jr(RA);
+            a.nop();
+            emitExit(a, "fail", 1);
+            emitExit(a, "fail_usage", 2);
+
+            // resolve: run the producer (box := value), strip the
+            // tag, and resume at the consume sequence's top
+            emitFastStub(a, "stub", SavePolicy::UltrixEquivalent,
+                         [](Assembler &s) {
+                             pseudo::loadGlobal(s, T0, "cell", T1);
+                             s.srl(T0, T0, 2);
+                             s.sll(T0, T0, 2);
+                             pseudo::storeGlobal(s, T0, "cell", T1);
+                             s.li(T2, kFutureValue);
+                             pseudo::storeGlobal(s, T2, "box", T1);
+                             emitCountHit(s, T4, T1);
+                             pseudo::loadAddress(s, T0, "retry");
+                             s.sw(T0, static_cast<SWord>(uframe::Epc),
+                                  T3);
+                         });
+
+            a.label("sig_handler");
+            pseudo::loadGlobal(a, T0, "cell", T1);
+            a.srl(T0, T0, 2);
+            a.sll(T0, T0, 2);
+            pseudo::storeGlobal(a, T0, "cell", T1);
+            a.li(T2, kFutureValue);
+            pseudo::storeGlobal(a, T2, "box", T1);
+            emitCountHit(a, T4, T1);
+            pseudo::loadAddress(a, T0, "retry");
+            a.sw(T0, sigctx::Pc * 4, A2);
+            a.jr(RA);
+            a.nop();
+            emitTrampoline(a, "tramp");
+        });
+}
+
+} // namespace
+
+const std::vector<std::string> &
+programNames()
+{
+    static const std::vector<std::string> names = {
+        "hello", "sbrktest", "forktest", "gcbar", "swizzle", "futures",
+    };
+    return names;
+}
+
+os::GuestImage
+buildUserProgram(const std::string &name)
+{
+    if (name == "hello")
+        return buildHello();
+    if (name == "sbrktest")
+        return buildSbrkTest();
+    if (name == "forktest")
+        return buildForkTest();
+    if (name == "gcbar")
+        return buildGcBar();
+    if (name == "swizzle")
+        return buildSwizzle();
+    if (name == "futures")
+        return buildFutures();
+    UEXC_FATAL("unknown user program '%s'", name.c_str());
+}
+
+} // namespace uexc::rt::userprog

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The checked-in userland: complete guest programs, built as
+ * two-section (text + data) GuestImages and shipped as static MIPS-I
+ * ELF executables under user/fixtures/.
+ *
+ * Each program is a real process image: it enters at _start, parses
+ * argv (execve's a0/a1), talks to the kernel only through the
+ * Ultrix-flavored syscall table, and exits with a status code. The
+ * three scenario programs (gcbar, swizzle, futures) re-express the
+ * paper's application studies — the generational-GC write barrier
+ * (section 4.1), pointer swizzling / object faulting, and
+ * unaligned-pointer futures (section 4.2.1) — as compiled binaries
+ * that select their delivery mechanism from argv[1]:
+ *
+ *   'u'  fast user-level delivery (uexc_enable + fast stub)
+ *   's'  stock Unix signal delivery (sigaction + trampoline)
+ *
+ * Both paths do the same number of iterations and faults, so cycle
+ * totals of the two runs compare the mechanisms directly, like the
+ * synthetic microbenchmarks but through a loaded ELF binary.
+ *
+ * The C sources in user/progs/ mirror these programs for an actual
+ * cross-compiler; the assembler-backed builders here are the
+ * reference implementation the fixtures are generated from (the
+ * container has no MIPS cross toolchain).
+ */
+
+#ifndef UEXC_CORE_USERPROGS_H
+#define UEXC_CORE_USERPROGS_H
+
+#include <string>
+#include <vector>
+
+#include "os/guestimage.h"
+
+namespace uexc::rt::userprog {
+
+/** Names of all checked-in user programs, fixture order. */
+const std::vector<std::string> &programNames();
+
+/**
+ * Build program @p name ("hello", "sbrktest", "forktest", "gcbar",
+ * "swizzle", "futures") as a validated two-section GuestImage with
+ * its uexc-lint configuration attached. Fatal on unknown names.
+ */
+os::GuestImage buildUserProgram(const std::string &name);
+
+/** Exit status a successful run of any of the programs reports. */
+constexpr Word kExitOk = 0;
+
+/** Iterations the scenario programs run (== faults taken). */
+constexpr unsigned kScenarioIters = 32;
+
+} // namespace uexc::rt::userprog
+
+#endif // UEXC_CORE_USERPROGS_H

@@ -1,0 +1,520 @@
+#include "os/elf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace uexc::os {
+
+namespace {
+
+// ELF constants, limited to what the loader and writer use.
+constexpr Byte kMag0 = 0x7f;
+constexpr Byte kMag1 = 'E';
+constexpr Byte kMag2 = 'L';
+constexpr Byte kMag3 = 'F';
+constexpr Byte kClass32 = 1;
+constexpr Byte kData2Lsb = 1;
+constexpr Byte kEvCurrent = 1;
+constexpr Half kTypeExec = 2;
+constexpr Half kMachineMips = 8;
+constexpr Word kPtLoad = 1;
+constexpr Word kShtProgbits = 1;
+constexpr Word kShtSymtab = 2;
+constexpr Word kShtStrtab = 3;
+constexpr Word kShtNobits = 8;
+constexpr Word kShfWrite = 0x1;
+constexpr Word kShfAlloc = 0x2;
+constexpr Word kShfExecinstr = 0x4;
+constexpr Word kPfX = 0x1;
+constexpr Word kPfW = 0x2;
+constexpr Word kPfR = 0x4;
+constexpr Half kShnAbs = 0xfff1;
+constexpr Byte kStbGlobal = 1;
+constexpr Byte kSttObject = 1;
+constexpr Byte kSttFunc = 2;
+constexpr Byte kSttSection = 3;
+constexpr Byte kSttFile = 4;
+
+constexpr size_t kEhdrBytes = 52;
+constexpr size_t kPhentBytes = 32;
+constexpr size_t kShentBytes = 40;
+constexpr size_t kSymBytes = 16;
+constexpr size_t kFileAlign = 4096;
+
+// Paranoia caps: a valid fixture is tens of kilobytes; anything that
+// claims more structure than this is garbage, not a guest program.
+constexpr size_t kMaxFileBytes = 16u << 20;
+constexpr Word kMaxPhnum = 64;
+constexpr Word kMaxShnum = 256;
+constexpr Word kMaxSyms = 65536;
+
+/** Bounds-checked little-endian field reads over the raw bytes. */
+struct Reader
+{
+    const std::vector<Byte> &b;
+
+    void need(size_t off, size_t len) const
+    {
+        if (off > b.size() || len > b.size() - off)
+            throw ElfError("ELF structure extends past end of file");
+    }
+    Byte u8(size_t off) const
+    {
+        need(off, 1);
+        return b[off];
+    }
+    Half u16(size_t off) const
+    {
+        need(off, 2);
+        return static_cast<Half>(b[off] | (b[off + 1] << 8));
+    }
+    Word u32(size_t off) const
+    {
+        need(off, 4);
+        return static_cast<Word>(b[off]) |
+               (static_cast<Word>(b[off + 1]) << 8) |
+               (static_cast<Word>(b[off + 2]) << 16) |
+               (static_cast<Word>(b[off + 3]) << 24);
+    }
+    std::string cstr(size_t off, size_t limit) const
+    {
+        std::string s;
+        while (off < limit) {
+            Byte c = u8(off++);
+            if (c == 0)
+                return s;
+            s.push_back(static_cast<char>(c));
+        }
+        throw ElfError("unterminated string in ELF string table");
+    }
+};
+
+struct Shdr
+{
+    Word nameOff, type, flags, addr, offset, size, link, info, entsize;
+};
+
+Shdr
+readShdr(const Reader &r, size_t off)
+{
+    Shdr s;
+    s.nameOff = r.u32(off + 0);
+    s.type = r.u32(off + 4);
+    s.flags = r.u32(off + 8);
+    s.addr = r.u32(off + 12);
+    s.offset = r.u32(off + 16);
+    s.size = r.u32(off + 20);
+    s.link = r.u32(off + 24);
+    s.info = r.u32(off + 28);
+    s.entsize = r.u32(off + 36);
+    return s;
+}
+
+/** Little-endian field appends for the writer. */
+struct Emitter
+{
+    std::vector<Byte> b;
+
+    void u8(Byte v) { b.push_back(v); }
+    void u16(Half v)
+    {
+        b.push_back(static_cast<Byte>(v));
+        b.push_back(static_cast<Byte>(v >> 8));
+    }
+    void u32(Word v)
+    {
+        b.push_back(static_cast<Byte>(v));
+        b.push_back(static_cast<Byte>(v >> 8));
+        b.push_back(static_cast<Byte>(v >> 16));
+        b.push_back(static_cast<Byte>(v >> 24));
+    }
+    void padTo(size_t off)
+    {
+        if (b.size() > off)
+            UEXC_PANIC("ELF writer layout went backwards");
+        b.resize(off, 0);
+    }
+};
+
+/** Deduplicating string-table builder (offset 0 is the empty name). */
+struct StrTab
+{
+    std::vector<Byte> bytes{0};
+
+    Word add(const std::string &s)
+    {
+        Word off = static_cast<Word>(bytes.size());
+        bytes.insert(bytes.end(), s.begin(), s.end());
+        bytes.push_back(0);
+        return off;
+    }
+};
+
+} // namespace
+
+GuestImage
+loadElf(const std::vector<Byte> &bytes, const std::string &image_name)
+{
+    if (bytes.size() > kMaxFileBytes)
+        throw ElfError("ELF file implausibly large");
+    Reader r{bytes};
+
+    // Identification: 32-bit little-endian MIPS executable, current
+    // version. The byte-order check is load-bearing: guest memory
+    // shares host byte order, and the simulator runs on LSB hosts.
+    if (r.u8(0) != kMag0 || r.u8(1) != kMag1 || r.u8(2) != kMag2 ||
+        r.u8(3) != kMag3)
+        throw ElfError("not an ELF file (bad magic)");
+    if (r.u8(4) != kClass32)
+        throw ElfError("not a 32-bit ELF (EI_CLASS)");
+    if (r.u8(5) != kData2Lsb)
+        throw ElfError("not little-endian (EI_DATA); the simulated "
+                       "machine is LSB");
+    if (r.u8(6) != kEvCurrent)
+        throw ElfError("unknown ELF version (EI_VERSION)");
+    if (r.u16(16) != kTypeExec)
+        throw ElfError("not a static executable (e_type != ET_EXEC)");
+    if (r.u16(18) != kMachineMips)
+        throw ElfError("not a MIPS binary (e_machine != EM_MIPS)");
+    if (r.u32(20) != kEvCurrent)
+        throw ElfError("unknown ELF version (e_version)");
+
+    const Word entry = r.u32(24);
+    const Word phoff = r.u32(28);
+    const Word shoff = r.u32(32);
+    const Half phentsize = r.u16(42);
+    const Half phnum = r.u16(44);
+    const Half shentsize = r.u16(46);
+    const Half shnum = r.u16(48);
+    const Half shstrndx = r.u16(50);
+
+    if (phnum == 0)
+        throw ElfError("no program headers (nothing to load)");
+    if (phnum > kMaxPhnum || shnum > kMaxShnum)
+        throw ElfError("implausible program/section header count");
+    if (phentsize != kPhentBytes)
+        throw ElfError("unexpected program header entry size");
+    if (shnum != 0 && shentsize != kShentBytes)
+        throw ElfError("unexpected section header entry size");
+    if (entry == 0 || entry % 4 != 0)
+        throw ElfError("entry point missing or not word-aligned");
+
+    GuestImage img;
+    img.name = image_name;
+    img.entry = entry;
+
+    // Program headers -> sections. Only PT_LOAD matters; the rest
+    // (MIPS ABI flags, notes) are ignored.
+    for (Word i = 0; i < phnum; ++i) {
+        size_t ph = phoff + static_cast<size_t>(i) * kPhentBytes;
+        Word type = r.u32(ph + 0);
+        if (type != kPtLoad)
+            continue;
+        Word offset = r.u32(ph + 4);
+        Word vaddr = r.u32(ph + 8);
+        Word filesz = r.u32(ph + 16);
+        Word memsz = r.u32(ph + 20);
+        Word flags = r.u32(ph + 24);
+
+        if (memsz == 0)
+            continue;
+        if (filesz > memsz)
+            throw ElfError("segment file size exceeds memory size");
+        if (vaddr % 4 != 0)
+            throw ElfError("segment load address not word-aligned");
+        if (vaddr + memsz < vaddr)
+            throw ElfError("segment wraps the address space");
+        r.need(offset, filesz);
+
+        GuestSection sec;
+        sec.name = "load" + std::to_string(img.sections.size());
+        sec.vaddr = vaddr;
+        sec.writable = (flags & kPfW) != 0;
+        sec.executable = (flags & kPfX) != 0;
+        // Guest words are little-endian; a trailing partial word (a
+        // linker can end .data on any byte) is zero-padded, which is
+        // exactly the BSS fill it runs into.
+        sec.words.resize((filesz + 3) / 4, 0);
+        if (filesz > 0)
+            std::memcpy(sec.words.data(), bytes.data() + offset, filesz);
+        sec.memBytes = std::max<Word>(memsz, sec.fileBytes());
+        img.sections.push_back(std::move(sec));
+    }
+    if (img.sections.empty())
+        throw ElfError("no loadable segments");
+
+    // Section headers are optional icing: real names for the load
+    // sections, and the symbol table.
+    if (shnum != 0) {
+        std::vector<Shdr> shdrs;
+        shdrs.reserve(shnum);
+        for (Word i = 0; i < shnum; ++i)
+            shdrs.push_back(
+                readShdr(r, shoff + static_cast<size_t>(i) * kShentBytes));
+
+        // Rename each load section after the first allocatable section
+        // that starts where it does (.text, .data, ...).
+        if (shstrndx != 0 && shstrndx < shnum) {
+            const Shdr &names = shdrs[shstrndx];
+            size_t limit = static_cast<size_t>(names.offset) + names.size;
+            r.need(names.offset, names.size);
+            for (GuestSection &sec : img.sections) {
+                for (const Shdr &s : shdrs) {
+                    if ((s.type == kShtProgbits || s.type == kShtNobits) &&
+                        (s.flags & kShfAlloc) != 0 && s.addr == sec.vaddr) {
+                        sec.name = r.cstr(names.offset + s.nameOff, limit);
+                        break;
+                    }
+                }
+            }
+        }
+
+        for (Word i = 0; i < shnum; ++i) {
+            const Shdr &symtab = shdrs[i];
+            if (symtab.type != kShtSymtab)
+                continue;
+            if (symtab.entsize != kSymBytes)
+                throw ElfError("unexpected symbol entry size");
+            if (symtab.link == 0 || symtab.link >= shnum)
+                throw ElfError("symbol table has no string table");
+            const Shdr &strtab = shdrs[symtab.link];
+            size_t str_limit =
+                static_cast<size_t>(strtab.offset) + strtab.size;
+            r.need(strtab.offset, strtab.size);
+
+            Word nsyms = symtab.size / kSymBytes;
+            if (nsyms > kMaxSyms)
+                throw ElfError("implausible symbol count");
+            for (Word s = 0; s < nsyms; ++s) {
+                size_t sym =
+                    symtab.offset + static_cast<size_t>(s) * kSymBytes;
+                Word name_off = r.u32(sym + 0);
+                Word value = r.u32(sym + 4);
+                Byte info = r.u8(sym + 12);
+                Half shndx = r.u16(sym + 14);
+                Byte type = info & 0xf;
+                if (name_off == 0 || shndx == 0)
+                    continue; // unnamed or undefined
+                if (type == kSttSection || type == kSttFile)
+                    continue;
+                std::string sym_name =
+                    r.cstr(strtab.offset + name_off, str_limit);
+                if (sym_name.empty())
+                    continue;
+                img.symbols[sym_name] = value;
+            }
+            break;
+        }
+    }
+
+    try {
+        img.validate();
+    } catch (const FatalError &e) {
+        // validate() speaks fatal (producer bugs); parsing untrusted
+        // bytes must stay an exception the caller can catch.
+        throw ElfError(e.what());
+    }
+    return img;
+}
+
+GuestImage
+loadElfFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw ElfError("cannot open '" + path + "'");
+    std::vector<Byte> bytes;
+    Byte buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        bytes.insert(bytes.end(), buf, buf + n);
+        if (bytes.size() > kMaxFileBytes) {
+            std::fclose(f);
+            throw ElfError("'" + path + "' implausibly large");
+        }
+    }
+    bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err)
+        throw ElfError("error reading '" + path + "'");
+
+    // Name the image after the file, sans directories.
+    size_t slash = path.find_last_of('/');
+    std::string image_name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return loadElf(bytes, image_name);
+}
+
+std::vector<Byte>
+writeElf(const GuestImage &img)
+{
+    img.validate();
+    const size_t nsec = img.sections.size();
+
+    // File layout, in order: ehdr, phdrs, per-section contents (page
+    // congruent with vaddr), symtab, strtab, shstrtab, shdrs. Compute
+    // section file offsets first; everything downstream follows.
+    std::vector<size_t> sec_off(nsec);
+    size_t cursor = kEhdrBytes + nsec * kPhentBytes;
+    for (size_t i = 0; i < nsec; ++i) {
+        const GuestSection &s = img.sections[i];
+        size_t want = s.vaddr % kFileAlign;
+        size_t base = (cursor + kFileAlign - 1) / kFileAlign * kFileAlign;
+        sec_off[i] = base + want;
+        if (sec_off[i] < cursor)
+            sec_off[i] += kFileAlign;
+        cursor = sec_off[i] + s.fileBytes();
+    }
+
+    // Section header string table: null, load sections, fixed names.
+    StrTab shstr;
+    std::vector<Word> sec_name_off(nsec);
+    for (size_t i = 0; i < nsec; ++i)
+        sec_name_off[i] = shstr.add(img.sections[i].name);
+    Word symtab_name = shstr.add(".symtab");
+    Word strtab_name = shstr.add(".strtab");
+    Word shstrtab_name = shstr.add(".shstrtab");
+
+    // Symbol table: null entry, then every image symbol. The symbol
+    // map is ordered, so the emitted table is deterministic.
+    StrTab str;
+    Emitter syms;
+    syms.padTo(kSymBytes); // null symbol
+    for (const auto &[sym_name, value] : img.symbols) {
+        Half shndx = kShnAbs;
+        Byte type = 0; // STT_NOTYPE
+        for (size_t i = 0; i < nsec; ++i) {
+            if (img.sections[i].contains(value)) {
+                shndx = static_cast<Half>(1 + i);
+                type = img.sections[i].executable ? kSttFunc : kSttObject;
+                break;
+            }
+        }
+        syms.u32(str.add(sym_name));
+        syms.u32(value);
+        syms.u32(0); // st_size unknown
+        syms.u8(static_cast<Byte>((kStbGlobal << 4) | type));
+        syms.u8(0);
+        syms.u16(shndx);
+    }
+
+    size_t symtab_off = cursor;
+    size_t strtab_off = symtab_off + syms.b.size();
+    size_t shstrtab_off = strtab_off + str.bytes.size();
+    size_t shoff = (shstrtab_off + shstr.bytes.size() + 3) / 4 * 4;
+    // Section header order: null, loads, symtab, strtab, shstrtab.
+    const Word shnum = static_cast<Word>(nsec + 4);
+    const Word symtab_ndx = static_cast<Word>(nsec + 1);
+    const Word strtab_ndx = static_cast<Word>(nsec + 2);
+    const Word shstr_ndx = static_cast<Word>(nsec + 3);
+
+    Emitter e;
+    // e_ident
+    e.u8(kMag0);
+    e.u8(kMag1);
+    e.u8(kMag2);
+    e.u8(kMag3);
+    e.u8(kClass32);
+    e.u8(kData2Lsb);
+    e.u8(kEvCurrent);
+    e.padTo(16);
+    e.u16(kTypeExec);
+    e.u16(kMachineMips);
+    e.u32(kEvCurrent);
+    e.u32(img.entry);
+    e.u32(kEhdrBytes); // e_phoff
+    e.u32(static_cast<Word>(shoff));
+    e.u32(0); // e_flags: MIPS-I
+    e.u16(kEhdrBytes);
+    e.u16(kPhentBytes);
+    e.u16(static_cast<Half>(nsec));
+    e.u16(kShentBytes);
+    e.u16(static_cast<Half>(shnum));
+    e.u16(static_cast<Half>(shstr_ndx));
+
+    for (size_t i = 0; i < nsec; ++i) {
+        const GuestSection &s = img.sections[i];
+        Word flags = kPfR;
+        if (s.writable)
+            flags |= kPfW;
+        if (s.executable)
+            flags |= kPfX;
+        e.u32(kPtLoad);
+        e.u32(static_cast<Word>(sec_off[i]));
+        e.u32(s.vaddr);
+        e.u32(s.vaddr); // p_paddr mirrors p_vaddr
+        e.u32(s.fileBytes());
+        e.u32(s.memBytes);
+        e.u32(flags);
+        e.u32(kFileAlign);
+    }
+
+    for (size_t i = 0; i < nsec; ++i) {
+        const GuestSection &s = img.sections[i];
+        e.padTo(sec_off[i]);
+        for (Word w : s.words)
+            e.u32(w);
+    }
+
+    e.padTo(symtab_off);
+    e.b.insert(e.b.end(), syms.b.begin(), syms.b.end());
+    e.b.insert(e.b.end(), str.bytes.begin(), str.bytes.end());
+    e.b.insert(e.b.end(), shstr.bytes.begin(), shstr.bytes.end());
+    e.padTo(shoff);
+
+    auto shdr = [&e](Word name_off, Word type, Word flags, Word addr,
+                     Word offset, Word size, Word link, Word info,
+                     Word addralign, Word entsize) {
+        e.u32(name_off);
+        e.u32(type);
+        e.u32(flags);
+        e.u32(addr);
+        e.u32(offset);
+        e.u32(size);
+        e.u32(link);
+        e.u32(info);
+        e.u32(addralign);
+        e.u32(entsize);
+    };
+    shdr(0, 0, 0, 0, 0, 0, 0, 0, 0, 0); // null
+    for (size_t i = 0; i < nsec; ++i) {
+        const GuestSection &s = img.sections[i];
+        Word flags = kShfAlloc;
+        if (s.writable)
+            flags |= kShfWrite;
+        if (s.executable)
+            flags |= kShfExecinstr;
+        shdr(sec_name_off[i], kShtProgbits, flags, s.vaddr,
+             static_cast<Word>(sec_off[i]), s.fileBytes(), 0, 0, 4, 0);
+    }
+    // sh_info: index of the first non-local symbol (only the null
+    // symbol is local here).
+    shdr(symtab_name, kShtSymtab, 0, 0, static_cast<Word>(symtab_off),
+         static_cast<Word>(syms.b.size()), strtab_ndx, 1, 4,
+         kSymBytes);
+    shdr(strtab_name, kShtStrtab, 0, 0, static_cast<Word>(strtab_off),
+         static_cast<Word>(str.bytes.size()), 0, 0, 1, 0);
+    shdr(shstrtab_name, kShtStrtab, 0, 0,
+         static_cast<Word>(shstrtab_off),
+         static_cast<Word>(shstr.bytes.size()), 0, 0, 1, 0);
+
+    (void)symtab_ndx;
+    return std::move(e.b);
+}
+
+void
+writeElfFile(const std::string &path, const GuestImage &img)
+{
+    std::vector<Byte> bytes = writeElf(img);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        UEXC_FATAL("cannot write '%s'", path.c_str());
+    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (std::fclose(f) != 0 || n != bytes.size())
+        UEXC_FATAL("short write to '%s'", path.c_str());
+}
+
+} // namespace uexc::os

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static MIPS-I ELF32 support: parse a little-endian ET_EXEC binary
+ * into a GuestImage (program headers become sections, the symbol
+ * table becomes the image symbol map), and serialize a GuestImage
+ * back out as a deterministic ELF executable.
+ *
+ * The parser accepts exactly what the simulated machine can run:
+ * 32-bit, little-endian (guest memory shares the host's byte order,
+ * and the simulator targets LSB hosts), EM_MIPS, statically linked
+ * ET_EXEC with word-aligned load addresses. Anything else raises
+ * ElfError — loading untrusted bytes must never UEXC_FATAL the
+ * process, so every malformed-input path throws instead.
+ *
+ * The writer is the fixture toolchain's backend: same image in, same
+ * bytes out, so checked-in fixtures can be diffed against rebuilt
+ * ones. File offsets are page-congruent with vaddrs (p_align 4096),
+ * matching what a real static linker emits.
+ */
+
+#ifndef UEXC_OS_ELF_H
+#define UEXC_OS_ELF_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "os/guestimage.h"
+
+namespace uexc::os {
+
+/** Malformed or unsupported ELF input. */
+class ElfError : public std::runtime_error
+{
+  public:
+    explicit ElfError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/**
+ * Parse a static MIPS-I ELF32 executable into a GuestImage.
+ * @p image_name labels the image for diagnostics. Throws ElfError.
+ */
+GuestImage loadElf(const std::vector<Byte> &bytes,
+                   const std::string &image_name = "elf");
+
+/** Read @p path and parse it. Throws ElfError (including on I/O). */
+GuestImage loadElfFile(const std::string &path);
+
+/** Serialize @p img as a deterministic ELF32 executable. */
+std::vector<Byte> writeElf(const GuestImage &img);
+
+/** Serialize @p img to @p path; fatal on I/O failure. */
+void writeElfFile(const std::string &path, const GuestImage &img);
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_ELF_H

@@ -1,0 +1,137 @@
+#include "os/guestimage.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace uexc::os {
+
+Addr
+GuestImage::symbol(const std::string &sym) const
+{
+    auto it = symbols.find(sym);
+    if (it == symbols.end())
+        UEXC_FATAL("guest image '%s' has no symbol '%s'", name.c_str(),
+                   sym.c_str());
+    return it->second;
+}
+
+bool
+GuestImage::hasSymbol(const std::string &sym) const
+{
+    return symbols.count(sym) != 0;
+}
+
+const GuestSection *
+GuestImage::sectionAt(Addr va) const
+{
+    for (const GuestSection &s : sections) {
+        if (s.contains(va))
+            return &s;
+    }
+    return nullptr;
+}
+
+const GuestSection *
+GuestImage::findSection(const std::string &section_name) const
+{
+    for (const GuestSection &s : sections) {
+        if (s.name == section_name)
+            return &s;
+    }
+    return nullptr;
+}
+
+Addr
+GuestImage::loadEnd() const
+{
+    Addr end = 0;
+    for (const GuestSection &s : sections)
+        end = std::max(end, s.end());
+    return end;
+}
+
+void
+GuestImage::validate() const
+{
+    if (sections.empty())
+        UEXC_FATAL("guest image '%s' has no sections", name.c_str());
+    for (const GuestSection &s : sections) {
+        if (s.vaddr % 4 != 0)
+            UEXC_FATAL("guest image '%s': section '%s' at unaligned "
+                       "0x%08x", name.c_str(), s.name.c_str(), s.vaddr);
+        if (s.memBytes < s.fileBytes())
+            UEXC_FATAL("guest image '%s': section '%s' memBytes %u < "
+                       "file bytes %u", name.c_str(), s.name.c_str(),
+                       s.memBytes, s.fileBytes());
+        if (s.end() < s.vaddr)
+            UEXC_FATAL("guest image '%s': section '%s' wraps the "
+                       "address space", name.c_str(), s.name.c_str());
+        for (const GuestSection &t : sections) {
+            if (&t == &s)
+                continue;
+            if (s.vaddr < t.end() && t.vaddr < s.end())
+                UEXC_FATAL("guest image '%s': sections '%s' and '%s' "
+                           "overlap", name.c_str(), s.name.c_str(),
+                           t.name.c_str());
+        }
+    }
+    if (entry != 0) {
+        const GuestSection *s = sectionAt(entry);
+        if (!s || !s->executable || entry % 4 != 0)
+            UEXC_FATAL("guest image '%s': entry 0x%08x is not inside "
+                       "an executable section", name.c_str(), entry);
+    }
+}
+
+void
+GuestImage::setLintConfig(analysis::LintConfig config)
+{
+    lint_ = std::move(config);
+    hasLint_ = true;
+}
+
+const analysis::LintConfig &
+GuestImage::lintConfig() const
+{
+    if (!hasLint_)
+        UEXC_FATAL("guest image '%s' carries no lint configuration",
+                   name.c_str());
+    return lint_;
+}
+
+GuestImage
+GuestImage::fromProgram(const sim::Program &prog,
+                        std::string image_name)
+{
+    GuestImage img;
+    img.name = std::move(image_name);
+    GuestSection text;
+    text.name = ".text";
+    text.vaddr = prog.origin;
+    text.words = prog.words;
+    text.memBytes = text.fileBytes();
+    text.writable = true;    // loadProgram's historical mapping
+    text.executable = true;
+    img.sections.push_back(std::move(text));
+    img.symbols = prog.symbols;
+    return img;
+}
+
+sim::Program
+GuestImage::textProgram() const
+{
+    for (const GuestSection &s : sections) {
+        if (!s.executable)
+            continue;
+        sim::Program prog;
+        prog.origin = s.vaddr;
+        prog.words = s.words;
+        prog.symbols = symbols;
+        return prog;
+    }
+    UEXC_FATAL("guest image '%s' has no executable section",
+               name.c_str());
+}
+
+} // namespace uexc::os

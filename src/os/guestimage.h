@@ -1,0 +1,124 @@
+/**
+ * @file
+ * GuestImage: the one description of "a program the simulated system
+ * can run" that every producer feeds and every consumer loads.
+ *
+ * Producers:
+ *  - the Assembler path (core/stubs, core/microbench, core/multihart,
+ *    os/kernelimage) wraps its finalized Program via fromProgram();
+ *  - the static MIPS-I ELF loader (os/elf.h) parses a compiled
+ *    binary's program headers into sections.
+ *
+ * Consumers:
+ *  - Kernel::loadImage / Kernel::execve map sections into an
+ *    AddressSpace (BSS zero-fill, read-only text re-protection,
+ *    initial program break, argv stack block);
+ *  - Machine::load takes textProgram() for kernel-resident images;
+ *  - the static analyzer (uexc-lint) runs the same lint/VSA/WCET
+ *    passes over textProgram(), using the producer-attached lint
+ *    configuration when one exists.
+ *
+ * An image is sections + entry point + symbol table + (optionally) a
+ * lint spec. Sections carry a memory extent that may exceed their
+ * initialized words — that difference is BSS, zero-filled at load.
+ */
+
+#ifndef UEXC_OS_GUESTIMAGE_H
+#define UEXC_OS_GUESTIMAGE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "common/types.h"
+#include "sim/assembler.h"
+
+namespace uexc::os {
+
+/** One loadable region of a guest image. */
+struct GuestSection
+{
+    std::string name;         ///< ".text", ".data", "load0", ...
+    Addr vaddr = 0;           ///< load address (word aligned)
+    std::vector<Word> words;  ///< initialized contents
+    /** Total extent in bytes; anything past the words is BSS
+     *  (zero-filled). Always >= fileBytes(). */
+    Word memBytes = 0;
+    bool writable = true;
+    bool executable = false;
+
+    Word fileBytes() const
+    {
+        return static_cast<Word>(4 * words.size());
+    }
+    Addr end() const { return vaddr + memBytes; }
+    bool contains(Addr va) const
+    {
+        return va >= vaddr && va < end();
+    }
+};
+
+/**
+ * A complete guest program image. See file comment.
+ */
+class GuestImage
+{
+  public:
+    std::string name;                     ///< provenance label
+    std::vector<GuestSection> sections;
+    Addr entry = 0;
+    std::map<std::string, Addr> symbols;
+
+    /** Address of a symbol; fatal if absent. */
+    Addr symbol(const std::string &sym) const;
+    bool hasSymbol(const std::string &sym) const;
+
+    /** The section containing @p va, or nullptr. */
+    const GuestSection *sectionAt(Addr va) const;
+    /** The section named @p section_name, or nullptr. */
+    const GuestSection *findSection(const std::string &section_name) const;
+
+    /** Highest section end address (the initial program break seed). */
+    Addr loadEnd() const;
+
+    /** Sanity-check invariants (alignment, extents, overlap, entry
+     *  inside an executable section when nonzero); fatal on failure.
+     *  Producers call this once before handing the image out. */
+    void validate() const;
+
+    // -- lint spec ---------------------------------------------------------
+
+    /** Attach the analyzer configuration the producer knows is right
+     *  for this code (region roots, handler pairs, scratch masks). */
+    void setLintConfig(analysis::LintConfig config);
+    bool hasLintConfig() const { return hasLint_; }
+    /** The attached config; fatal if none was attached. */
+    const analysis::LintConfig &lintConfig() const;
+
+    // -- bridges to the Program world -------------------------------------
+
+    /**
+     * Wrap a finalized assembler Program as a one-section image
+     * (section ".text", writable and executable — exactly how
+     * Kernel::loadProgram has always mapped assembled guests). The
+     * entry is left 0 for the caller to set.
+     */
+    static GuestImage fromProgram(const sim::Program &prog,
+                                  std::string image_name);
+
+    /**
+     * The image's executable text as a Program (first executable
+     * section, with the full symbol table) — what Machine::load and
+     * the analysis passes consume. Fatal if no section is executable.
+     */
+    sim::Program textProgram() const;
+
+  private:
+    analysis::LintConfig lint_;
+    bool hasLint_ = false;
+};
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_GUESTIMAGE_H

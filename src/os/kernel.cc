@@ -3,6 +3,7 @@
 #include "common/bits.h"
 #include "common/guesterror.h"
 #include "common/logging.h"
+#include "os/syscalls.h"
 #include "sim/cp0.h"
 #include "sim/isa.h"
 
@@ -46,6 +47,14 @@ Process::setTfWord(unsigned word_index, Word value)
         uareaKva_ + uarea::TrapFrame + 4 * word_index, value);
 }
 
+const FileDesc &
+Process::fd(unsigned fd_num) const
+{
+    if (fd_num >= kMaxFds)
+        UEXC_FATAL("fd %u out of range", fd_num);
+    return fds_[fd_num];
+}
+
 // -- Kernel -------------------------------------------------------------------
 
 Kernel::Kernel(Machine &machine)
@@ -61,7 +70,7 @@ Kernel::boot()
 {
     if (booted_)
         UEXC_FATAL("kernel: boot() called twice");
-    machine_.load(buildKernelImage());
+    machine_.load(buildKernelGuestImage().textProgram());
     machine_.cpu().setHcallHandler(
         [this](Cpu &cpu, Word service) { onHcall(cpu, service); });
     // Multi-hart only (keeps the single-hart kernel-data layout, and
@@ -110,6 +119,23 @@ Kernel::snapshotSave(sim::SnapshotWriter &w) const
     w.u64(subpageEmuls_);
     w.u64(riEmuls_);
     w.u64(demotions_);
+    // v2: filesystem, console, and per-process fork/fd state.
+    vfs_.snapshotSave(w);
+    w.str(console_);
+    for (const auto &p : procs_) {
+        w.u32(p->parentPid_);
+        w.u8(static_cast<std::uint8_t>(p->state_));
+        w.u32(p->exitStatus_);
+        w.boolean(p->waiting_);
+        w.u32(p->waitStatusVa_);
+        for (const FileDesc &d : p->fds_) {
+            w.boolean(d.used);
+            w.boolean(d.console);
+            w.u32(d.fileIndex);
+            w.u32(d.offset);
+            w.u32(d.flags);
+        }
+    }
 }
 
 void
@@ -155,6 +181,37 @@ Kernel::snapshotLoad(sim::SnapshotReader &r)
     subpageEmuls_ = r.u64();
     riEmuls_ = r.u64();
     demotions_ = r.u64();
+    // v2: filesystem, console, and per-process fork/fd state. The
+    // VFS is restored first so descriptor file indices can be
+    // validated against it.
+    vfs_.snapshotLoad(r);
+    console_ = r.str();
+    for (const auto &p : procs_) {
+        std::uint32_t parent_pid = r.u32();
+        if (parent_pid > procs_.size())
+            r.fail("parent pid " + std::to_string(parent_pid) +
+                   " out of range");
+        p->parentPid_ = parent_pid;
+        std::uint8_t state = r.u8();
+        if (state > static_cast<std::uint8_t>(ProcState::Reaped))
+            r.fail("bad process state " + std::to_string(state));
+        p->state_ = static_cast<ProcState>(state);
+        p->exitStatus_ = r.u32();
+        p->waiting_ = r.boolean();
+        p->waitStatusVa_ = r.u32();
+        for (FileDesc &d : p->fds_) {
+            d.used = r.boolean();
+            d.console = r.boolean();
+            d.fileIndex = r.u32();
+            d.offset = r.u32();
+            d.flags = r.u32();
+            if (d.used && !d.console &&
+                d.fileIndex >= vfs_.numFiles())
+                r.fail("fd file index " +
+                       std::to_string(d.fileIndex) +
+                       " out of range");
+        }
+    }
 }
 
 Addr
@@ -229,26 +286,148 @@ Kernel::createProcess()
     // map a user stack (8 pages)
     proc_ref.as().allocate(kUserStackTop - 8 * kPageBytes,
                            8 * kPageBytes, kProtRead | kProtWrite);
+
+    // pre-opened console descriptors: stdin (EOF on read), stdout,
+    // stderr (both append to the kernel console buffer)
+    for (unsigned fd_num = 0; fd_num < 3; fd_num++) {
+        proc_ref.fds_[fd_num].used = true;
+        proc_ref.fds_[fd_num].console = true;
+        proc_ref.fds_[fd_num].flags =
+            fd_num == 0 ? kOpenRead : kOpenWrite;
+    }
     return proc_ref;
+}
+
+Process *
+Kernel::findProcess(unsigned pid)
+{
+    if (pid == 0 || pid > procs_.size())
+        return nullptr;
+    return procs_[pid - 1].get();
 }
 
 void
 Kernel::loadProgram(Process &p, const Program &program)
 {
-    Addr base = program.origin;
-    Word len = static_cast<Word>(4 * program.words.size());
-    if (base >= Cpu::Kseg0Base)
-        UEXC_FATAL("user program loaded at kernel address 0x%08x", base);
-    p.as().allocate(base, len, kProtRead | kProtWrite);
-    for (Word i = 0; i < program.words.size(); i++) {
-        Addr va = base + 4 * i;
-        machine_.mem().writeWord(p.as().physOf(va), program.words[i]);
+    loadImage(p, GuestImage::fromProgram(program, "program"));
+}
+
+void
+Kernel::loadImage(Process &p, const GuestImage &img)
+{
+    img.validate();
+    for (const GuestSection &s : img.sections) {
+        if (s.vaddr >= Cpu::Kseg0Base || s.end() > Cpu::Kseg0Base)
+            UEXC_FATAL("guest image '%s': section '%s' at kernel "
+                       "address 0x%08x", img.name.c_str(),
+                       s.name.c_str(), s.vaddr);
+        p.as().allocate(s.vaddr, s.memBytes, kProtRead | kProtWrite);
+        for (Word i = 0; i < s.words.size(); i++) {
+            Addr va = s.vaddr + 4 * i;
+            machine_.mem().writeWord(p.as().physOf(va), s.words[i]);
+        }
+        // BSS (memBytes past the words) needs no explicit fill: user
+        // frames are handed out zeroed and never recycled.
+    }
+    // Re-protect after the copy so a read-only text section can still
+    // be written by its own loader.
+    for (const GuestSection &s : img.sections) {
+        if (!s.writable)
+            p.as().protect(s.vaddr, s.memBytes, kProtRead);
     }
     // The per-page write versions already force the fast interpreter
     // to re-decode these pages, but a fresh program image invalidates
     // any stale predecoded state wholesale, so drop it eagerly rather
     // than letting dead pages linger in the host-side cache.
     machine_.cpu().flushHostCaches();
+    // Initial program break: first page past the loaded image. sbrk
+    // grows the heap from here.
+    p.setField(proc::Brk, roundUp(img.loadEnd(), kPageBytes));
+}
+
+void
+Kernel::copyout(Process &p, Addr va, const void *src, Word len)
+{
+    const Byte *bytes = static_cast<const Byte *>(src);
+    for (Word i = 0; i < len; i++) {
+        if (!p.as().present(va + i))
+            UEXC_FATAL("copyout to unmapped user address 0x%08x",
+                       va + i);
+        machine_.mem().writeByte(p.as().physOf(va + i), bytes[i]);
+    }
+}
+
+std::vector<Byte>
+Kernel::copyin(Process &p, Addr va, Word len)
+{
+    std::vector<Byte> out;
+    out.reserve(len);
+    for (Word i = 0; i < len; i++) {
+        if (!p.as().present(va + i))
+            UEXC_FATAL("copyin from unmapped user address 0x%08x",
+                       va + i);
+        out.push_back(machine_.mem().readByte(p.as().physOf(va + i)));
+    }
+    return out;
+}
+
+std::string
+Kernel::copyinString(Process &p, Addr va)
+{
+    // Graceful on bad pointers (returns "", the caller fails the
+    // syscall with -1): a guest passing garbage to open() should get
+    // an error, not take the simulator down.
+    std::string out;
+    for (Word i = 0; i < kMaxPathBytes; i++) {
+        if (!p.as().present(va + i))
+            return "";
+        Byte b = machine_.mem().readByte(p.as().physOf(va + i));
+        if (b == 0)
+            return out;
+        out.push_back(static_cast<char>(b));
+    }
+    return ""; // unterminated within kMaxPathBytes
+}
+
+void
+Kernel::execve(Process &p, const GuestImage &img,
+               const std::vector<std::string> &argv,
+               bool user_vectoring)
+{
+    if (img.entry == 0)
+        UEXC_FATAL("execve of image '%s' with no entry point",
+                   img.name.c_str());
+    loadImage(p, img);
+
+    // Unix-style initial stack, built downward from the stack top:
+    // argument strings first, then the NULL-terminated pointer array,
+    // then an O32-flavored argument-save area below the final sp.
+    Addr sp = kUserStackTop;
+    std::vector<Addr> ptrs;
+    for (const std::string &arg : argv) {
+        sp -= static_cast<Addr>(arg.size() + 1);
+        copyout(p, sp, arg.c_str(), static_cast<Word>(arg.size() + 1));
+        ptrs.push_back(sp);
+    }
+    sp = roundDown(sp, 8);
+    sp -= static_cast<Addr>(4 * (ptrs.size() + 1));
+    Addr argv_base = sp;
+    for (size_t i = 0; i < ptrs.size(); i++) {
+        machine_.mem().writeWord(
+            p.as().physOf(argv_base + static_cast<Addr>(4 * i)),
+            ptrs[i]);
+    }
+    machine_.mem().writeWord(
+        p.as().physOf(argv_base + static_cast<Addr>(4 * ptrs.size())),
+        0);
+    sp = roundDown(sp - 16, 8);
+
+    enterUser(p, img.entry, user_vectoring);
+    Cpu &cpu = machine_.cpu();
+    cpu.setReg(SP, sp);
+    cpu.setReg(FP, sp);
+    cpu.setReg(A0, static_cast<Word>(argv.size()));
+    cpu.setReg(A1, argv_base);
 }
 
 void
@@ -435,34 +614,354 @@ Kernel::doComplexSyscall()
     Word a0 = p->tfWord(tf::Regs + A0 - 1);
     Word a1 = p->tfWord(tf::Regs + A1 - 1);
     Word a2 = p->tfWord(tf::Regs + A2 - 1);
-    Word result = 0;
 
-    switch (num) {
-      case sys::Mprotect:
-        svcMprotect(*p, a0, a1, a2);
-        break;
-      case sys::UexcEnable:
-        svcUexcEnable(*p, a0, a1, a2);
-        break;
-      case sys::UexcProtect:
-        svcUexcProtect(*p, a0, a1, a2);
-        break;
-      case sys::SubpageProtect:
-        svcSubpageProtect(*p, a0, a1, a2);
-        break;
-      case sys::UexcSetFlags:
-        svcUexcSetFlags(*p, a0);
-        break;
-      case sys::Exit:
+    const SyscallDef *def = syscallByNum(num);
+    if (!def) {
+        p->setTfWord(tf::Regs + V0 - 1, static_cast<Word>(-1));
+        return;
+    }
+    if (def->baseCharge != 0)
+        machine_.cpu().charge(def->baseCharge);
+    std::optional<Word> result = (this->*def->handler)(*p, a0, a1, a2);
+    // nullopt: the handler switched contexts (fork/wait/exit) or
+    // halted; the saved v0 it arranged must survive untouched.
+    if (result)
+        p->setTfWord(tf::Regs + V0 - 1, *result);
+}
+
+// -- table-dispatched syscall handlers ----------------------------------------
+
+std::optional<Word>
+Kernel::sysMprotect(Process &p, Word a0, Word a1, Word a2)
+{
+    svcMprotect(p, a0, a1, a2);
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysUexcEnable(Process &p, Word a0, Word a1, Word a2)
+{
+    svcUexcEnable(p, a0, a1, a2);
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysUexcProtect(Process &p, Word a0, Word a1, Word a2)
+{
+    svcUexcProtect(p, a0, a1, a2);
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysSubpageProtect(Process &p, Word a0, Word a1, Word a2)
+{
+    svcSubpageProtect(p, a0, a1, a2);
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysUexcSetFlags(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a1;
+    (void)a2;
+    svcUexcSetFlags(p, a0);
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysExit(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a1;
+    (void)a2;
+    Process *parent =
+        p.parentPid_ != 0 ? findProcess(p.parentPid_) : nullptr;
+    if (parent == nullptr) {
+        // Root process: record the exit and halt the machine —
+        // exactly the pre-fork behavior (v0 = 0 lands in the
+        // trapframe via the dispatcher).
         exited_ = true;
         exitCode_ = a0;
         machine_.cpu().requestHalt();
-        break;
-      default:
-        result = static_cast<Word>(-1);
-        break;
+        return 0;
     }
-    p->setTfWord(tf::Regs + V0 - 1, result);
+    p.state_ = ProcState::Zombie;
+    p.exitStatus_ = a0;
+    if (parent->waiting_) {
+        machine_.cpu().charge(charge::ExitBase);
+        reapInto(*parent, p);
+        return std::nullopt;
+    }
+    // The cooperative scheduler only runs a child while its parent
+    // waits, so a zombie with a non-waiting parent means nothing is
+    // runnable: stop the clock and leave the status for wait().
+    machine_.cpu().requestHalt();
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysOpen(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a2;
+    std::string path = copyinString(p, a0);
+    if (path.empty())
+        return static_cast<Word>(-1);
+    machine_.cpu().charge(
+        static_cast<Cycles>((path.size() + 3) / 4) *
+        charge::CopyPerWord);
+    int idx = vfs_.lookup(path);
+    if (idx < 0) {
+        if ((a1 & kOpenCreate) == 0)
+            return static_cast<Word>(-1);
+        idx = vfs_.create(path);
+    }
+    Vfs::File &f = vfs_.file(static_cast<unsigned>(idx));
+    if ((a1 & kOpenTrunc) != 0)
+        f.data.clear();
+    for (unsigned fd_num = 0; fd_num < kMaxFds; fd_num++) {
+        FileDesc &d = p.fds_[fd_num];
+        if (d.used)
+            continue;
+        d.used = true;
+        d.console = false;
+        d.fileIndex = static_cast<Word>(idx);
+        d.offset = (a1 & kOpenAppend) != 0
+                       ? static_cast<Word>(f.data.size())
+                       : 0;
+        d.flags = a1;
+        return fd_num;
+    }
+    return static_cast<Word>(-1); // descriptor table full
+}
+
+std::optional<Word>
+Kernel::sysClose(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a1;
+    (void)a2;
+    if (a0 >= kMaxFds || !p.fds_[a0].used)
+        return static_cast<Word>(-1);
+    p.fds_[a0] = FileDesc{};
+    return 0;
+}
+
+std::optional<Word>
+Kernel::sysRead(Process &p, Word a0, Word a1, Word a2)
+{
+    if (a0 >= kMaxFds || !p.fds_[a0].used)
+        return static_cast<Word>(-1);
+    FileDesc &d = p.fds_[a0];
+    if ((d.flags & 3u) == kOpenWrite)
+        return static_cast<Word>(-1);
+    if (d.console)
+        return 0; // stdin is permanently at EOF
+    const Vfs::File &f = vfs_.file(d.fileIndex);
+    if (d.offset >= f.data.size() || a2 == 0)
+        return 0;
+    Word n = std::min<Word>(
+        a2, static_cast<Word>(f.data.size()) - d.offset);
+    for (Word i = 0; i < n; i++) {
+        if (!p.as().present(a1 + i))
+            return static_cast<Word>(-1);
+    }
+    copyout(p, a1, f.data.data() + d.offset, n);
+    machine_.cpu().charge(static_cast<Cycles>((n + 3) / 4) *
+                          charge::CopyPerWord);
+    d.offset += n;
+    return n;
+}
+
+std::optional<Word>
+Kernel::sysWrite(Process &p, Word a0, Word a1, Word a2)
+{
+    if (a0 >= kMaxFds || !p.fds_[a0].used)
+        return static_cast<Word>(-1);
+    FileDesc &d = p.fds_[a0];
+    if (!d.console && (d.flags & 3u) == kOpenRead)
+        return static_cast<Word>(-1);
+    for (Word i = 0; i < a2; i++) {
+        if (!p.as().present(a1 + i))
+            return static_cast<Word>(-1);
+    }
+    std::vector<Byte> buf = copyin(p, a1, a2);
+    machine_.cpu().charge(static_cast<Cycles>((a2 + 3) / 4) *
+                          charge::CopyPerWord);
+    if (d.console) {
+        console_.append(reinterpret_cast<const char *>(buf.data()),
+                        buf.size());
+        return a2;
+    }
+    Vfs::File &f = vfs_.file(d.fileIndex);
+    if (f.data.size() < d.offset + a2)
+        f.data.resize(d.offset + a2, 0);
+    std::copy(buf.begin(), buf.end(),
+              f.data.begin() + static_cast<long>(d.offset));
+    d.offset += a2;
+    return a2;
+}
+
+std::optional<Word>
+Kernel::sysSbrk(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a1;
+    (void)a2;
+    Word old_brk = p.field(proc::Brk);
+    SWord incr = static_cast<SWord>(a0);
+    Word new_brk = old_brk + a0;
+    if (incr > 0) {
+        // Keep the heap out of the stack region, with slack for
+        // growth; overflow also lands here.
+        if (new_brk < old_brk ||
+            new_brk >= kUserStackTop - 64 * kPageBytes)
+            return static_cast<Word>(-1);
+        unsigned new_pages = 0;
+        for (Addr pg = roundDown(old_brk, kPageBytes);
+             pg < roundUp(new_brk, kPageBytes); pg += kPageBytes) {
+            if (!p.as().present(pg))
+                new_pages++;
+        }
+        p.as().allocate(old_brk, a0, kProtRead | kProtWrite);
+        machine_.cpu().charge(new_pages * charge::MprotectPerPage);
+    } else {
+        // Negative increments just move the break; frames are not
+        // reclaimed (the frame allocator never frees).
+        if (new_brk > old_brk)
+            return static_cast<Word>(-1); // underflow
+    }
+    p.setField(proc::Brk, new_brk);
+    return old_brk;
+}
+
+std::optional<Word>
+Kernel::sysFork(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a0;
+    (void)a1;
+    (void)a2;
+    Process &child = createProcess();
+    forkInto(p, child);
+    // The parent keeps running; the child is scheduled when the
+    // parent calls wait() (cooperative run-to-completion model).
+    return child.pid();
+}
+
+std::optional<Word>
+Kernel::sysWait(Process &p, Word a0, Word a1, Word a2)
+{
+    (void)a1;
+    (void)a2;
+    bool has_child = false;
+    for (auto &c : procs_) {
+        if (c->parentPid_ != p.pid() || c->state_ == ProcState::Reaped)
+            continue;
+        has_child = true;
+        if (c->state_ == ProcState::Zombie) {
+            c->state_ = ProcState::Reaped;
+            if (a0 != 0 && p.as().present(a0) && a0 % 4 == 0) {
+                machine_.mem().writeWord(p.as().physOf(a0),
+                                         c->exitStatus_);
+            }
+            return c->pid();
+        }
+    }
+    if (!has_child)
+        return static_cast<Word>(-1);
+    // Block: run the first runnable child; reapInto writes our v0
+    // (and status word) when it exits. The guest's restore_all picks
+    // up the child because activate() retargets curproc.
+    p.waiting_ = true;
+    p.waitStatusVa_ = a0;
+    for (auto &c : procs_) {
+        if (c->parentPid_ == p.pid() &&
+            c->state_ == ProcState::Running) {
+            activate(*c);
+            return std::nullopt;
+        }
+    }
+    p.waiting_ = false;
+    return static_cast<Word>(-1); // children died unreaped elsewhere
+}
+
+void
+Kernel::forkInto(Process &parent, Process &child)
+{
+    // Full-copy fork (no copy-on-write, as Ultrix on the R3000):
+    // walk the parent's linear page table across the whole user
+    // range and duplicate every present page, protection and soft
+    // PTE bits included. createProcess already mapped the child's
+    // stack pages; allocate() skips those and the copy overwrites
+    // their (zeroed) contents with the parent's.
+    unsigned pages = 0;
+    for (Addr va = 0; va < Cpu::Kseg0Base; va += kPageBytes) {
+        if (!parent.as().present(va))
+            continue;
+        child.as().allocate(va, kPageBytes, kProtRead | kProtWrite);
+        Addr src = parent.as().frameOf(va);
+        Addr dst = child.as().frameOf(va);
+        for (Word off = 0; off < kPageBytes; off += 4) {
+            machine_.mem().writeWord(
+                dst + off, machine_.mem().readWord(src + off));
+        }
+        Word parent_pte = parent.as().pte(va);
+        Word child_pte = child.as().pte(va);
+        child.as().setPte(va,
+                          (child_pte & sim::entrylo::PfnMask) |
+                              (parent_pte & ~sim::entrylo::PfnMask));
+        pages++;
+    }
+    machine_.cpu().charge(pages * charge::ForkPerPage);
+    machine_.cpu().flushHostCaches();
+
+    // proc-structure state the child inherits (identity fields —
+    // asid, pt base, pid, u-area — were set by createProcess).
+    static const Word kInherited[] = {
+        proc::Flags,      proc::UexcMask, proc::UexcHandler,
+        proc::UexcFrameU, proc::SigPending, proc::SigMask,
+        proc::TrampolineU, proc::FpUsed,  proc::Brk,
+    };
+    for (Word f : kInherited)
+        child.setField(f, parent.field(f));
+    for (unsigned s = 0; s < kNumSignals; s++) {
+        child.setField(proc::SigHandlers + 4 * s,
+                       parent.field(proc::SigHandlers + 4 * s));
+    }
+    // The pinned frame page's kseg0 alias must name the CHILD's copy
+    // of the frame page, not the parent's.
+    Addr frame_u = parent.field(proc::UexcFrameU);
+    if (frame_u != 0) {
+        child.setField(proc::UexcFrameK,
+                       Cpu::Kseg0Base + child.as().frameOf(frame_u));
+    }
+
+    // u-area (trapframe included): the parent's syscall path already
+    // advanced the saved EPC past the fork, so the child resumes at
+    // the instruction after it — with v0 = 0.
+    for (Word off = 0; off < uarea::Bytes; off += 4) {
+        machine_.debugWriteWord(
+            child.uareaKva() + off,
+            machine_.debugReadWord(parent.uareaKva() + off));
+    }
+    child.setTfWord(tf::Regs + V0 - 1, 0);
+
+    child.parentPid_ = parent.pid();
+    child.fds_ = parent.fds_;
+}
+
+void
+Kernel::reapInto(Process &parent, Process &child)
+{
+    child.state_ = ProcState::Reaped;
+    parent.waiting_ = false;
+    Addr status_va = parent.waitStatusVa_;
+    parent.waitStatusVa_ = 0;
+    if (status_va != 0 && status_va % 4 == 0 &&
+        parent.as().present(status_va)) {
+        machine_.mem().writeWord(parent.as().physOf(status_va),
+                                 child.exitStatus_);
+    }
+    parent.setTfWord(tf::Regs + V0 - 1, child.pid());
+    // The guest is about to run restore_all, which reloads curproc:
+    // retargeting it resumes the parent inside its wait().
+    activate(parent);
 }
 
 Word

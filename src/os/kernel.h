@@ -20,14 +20,37 @@
 #include <unordered_map>
 #include <vector>
 
+#include <array>
+#include <optional>
+
 #include "os/addrspace.h"
+#include "os/guestimage.h"
 #include "os/kernelimage.h"
 #include "os/layout.h"
+#include "os/vfs.h"
 #include "sim/machine.h"
 
 namespace uexc::os {
 
 class Kernel;
+
+/** Process lifecycle for fork/wait. */
+enum class ProcState : Byte
+{
+    Running,  ///< schedulable (or blocked in wait)
+    Zombie,   ///< exited, exit status awaiting a wait()
+    Reaped,   ///< exit status collected; never scheduled again
+};
+
+/** One open-file slot in a process's descriptor table. */
+struct FileDesc
+{
+    bool used = false;
+    bool console = false;  ///< console fd (0/1/2): no VFS backing
+    Word fileIndex = 0;    ///< VFS file index (disk fds only)
+    Word offset = 0;       ///< read/write position
+    Word flags = 0;        ///< open() flags
+};
 
 /**
  * One simulated process: an address space plus the guest-resident
@@ -54,6 +77,21 @@ class Process
     Word tfWord(unsigned word_index) const;
     void setTfWord(unsigned word_index, Word value);
 
+    // -- fork/wait lineage ------------------------------------------------
+
+    /** Pid of the parent, or 0 for a root process. */
+    unsigned parentPid() const { return parentPid_; }
+    ProcState state() const { return state_; }
+    /** Exit status (meaningful once state() != Running). */
+    Word exitStatus() const { return exitStatus_; }
+    /** Blocked in wait() until a child exits. */
+    bool waiting() const { return waiting_; }
+
+    // -- open files -------------------------------------------------------
+
+    /** Descriptor table slot @p fd; fatal if out of range. */
+    const FileDesc &fd(unsigned fd_num) const;
+
   private:
     friend class Kernel;
     Process(Kernel &kernel, unsigned pid, unsigned asid, Addr proc_kva,
@@ -65,6 +103,13 @@ class Process
     Addr procKva_;
     Addr uareaKva_;
     std::unique_ptr<AddressSpace> as_;
+
+    unsigned parentPid_ = 0;
+    ProcState state_ = ProcState::Running;
+    Word exitStatus_ = 0;
+    bool waiting_ = false;
+    Addr waitStatusVa_ = 0;  ///< wait()'s status pointer while blocked
+    std::array<FileDesc, kMaxFds> fds_{};
 };
 
 /**
@@ -181,8 +226,28 @@ class Kernel
     /**
      * Load a user program into @p p: maps the covered pages
      * read-write and copies the image through the page tables.
+     * Equivalent to loadImage(p, GuestImage::fromProgram(...)) — the
+     * assembled path and the ELF path share one loader.
      */
     void loadProgram(Process &p, const sim::Program &program);
+
+    /**
+     * Map a guest image into @p p: allocate each section read-write,
+     * copy the initialized words, zero-fill is implicit (frames come
+     * zeroed), then re-protect read-only sections. Sets the initial
+     * program break to the page-rounded image end.
+     */
+    void loadImage(Process &p, const GuestImage &img);
+
+    /**
+     * Load @p img and arrange entry at its entry point with a
+     * Unix-style initial stack: argument strings and the
+     * NULL-terminated argv array above the stack pointer, a0 = argc,
+     * a1 = argv. The image must carry a nonzero entry.
+     */
+    void execve(Process &p, const GuestImage &img,
+                const std::vector<std::string> &argv,
+                bool user_vectoring = false);
 
     // -- kernel services (also the hcall-bridged syscalls) ------------------
 
@@ -210,6 +275,41 @@ class Kernel
 
     /** Set proc flags (eager amplification). */
     void svcUexcSetFlags(Process &p, Word flags);
+
+    // -- table-dispatched syscall handlers (see os/syscalls.h) --------------
+    //
+    // Uniform signature so the declarative table can point at them;
+    // the legacy rows wrap the svc* services above (zero extra cost),
+    // the file/process rows implement the Ultrix-flavored userland
+    // ABI. Return nullopt to leave the caller's saved v0 untouched
+    // (context switched away, or halt).
+
+    std::optional<Word> sysMprotect(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysUexcEnable(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysUexcProtect(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysSubpageProtect(Process &p, Word a0, Word a1,
+                                          Word a2);
+    std::optional<Word> sysUexcSetFlags(Process &p, Word a0, Word a1,
+                                        Word a2);
+    std::optional<Word> sysExit(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysOpen(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysClose(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysRead(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysWrite(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysSbrk(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysFork(Process &p, Word a0, Word a1, Word a2);
+    std::optional<Word> sysWait(Process &p, Word a0, Word a1, Word a2);
+
+    // -- filesystem and console ---------------------------------------------
+
+    Vfs &vfs() { return vfs_; }
+    const Vfs &vfs() const { return vfs_; }
+
+    /** Everything written to the console fds (1/2) so far. */
+    const std::string &consoleOutput() const { return console_; }
+
+    /** Process by pid, or nullptr. */
+    Process *findProcess(unsigned pid);
 
     /**
      * Graceful degradation: demote @p p from user-vectored delivery
@@ -324,6 +424,20 @@ class Kernel
 
     Addr allocKernelData(Word bytes, Word align);
 
+    /** Copy host bytes into @p p's mapped user memory at @p va. */
+    void copyout(Process &p, Addr va, const void *src, Word len);
+    /** Copy @p len bytes out of @p p's mapped user memory at @p va. */
+    std::vector<Byte> copyin(Process &p, Addr va, Word len);
+    /** NUL-terminated string at @p va, bounded by kMaxPathBytes. */
+    std::string copyinString(Process &p, Addr va);
+
+    /** Child side of fork: duplicate address space, proc fields,
+     *  u-area, and descriptor table of @p parent into @p child. */
+    void forkInto(Process &parent, Process &child);
+    /** Deliver @p child's exit status to its blocked parent and
+     *  switch execution back to the parent. */
+    void reapInto(Process &parent, Process &child);
+
     sim::Machine &machine_;
     bool booted_ = false;
     std::vector<std::unique_ptr<Process>> procs_;
@@ -344,6 +458,8 @@ class Kernel
     std::uint64_t subpageEmuls_ = 0;
     std::uint64_t riEmuls_ = 0;
     std::uint64_t demotions_ = 0;
+    Vfs vfs_;
+    std::string console_;
 };
 
 /**
@@ -369,6 +485,16 @@ constexpr Cycles SetFlags = 10;
  * globals; only charged on multi-hart machines.
  */
 constexpr Cycles KernelStackHold = 20;
+/** File/process syscalls (Ultrix namei/rdwr/fork rough estimates). */
+constexpr Cycles OpenBase  = 150;   ///< namei walk + fd allocation
+constexpr Cycles CloseBase = 40;
+constexpr Cycles RdWrBase  = 100;   ///< fd validation + uio setup
+constexpr Cycles CopyPerWord = 1;   ///< copyin/copyout inner loop
+constexpr Cycles SbrkBase  = 60;    ///< vm_map extension
+constexpr Cycles ForkBase  = 400;   ///< proc/u-area duplication
+constexpr Cycles ForkPerPage = 120; ///< per copied page (no COW)
+constexpr Cycles WaitBase  = 80;
+constexpr Cycles ExitBase  = 120;   ///< only when a parent reaps
 } // namespace charge
 
 } // namespace uexc::os

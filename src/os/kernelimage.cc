@@ -5,6 +5,7 @@
 #include "os/layout.h"
 #include "sim/cp0.h"
 #include "sim/cpu.h"
+#include "sim/pseudo.h"
 
 namespace uexc::os {
 
@@ -83,8 +84,7 @@ emitFastPath(Assembler &a)
     // ---- phase 2: Ultrix compatibility check (11 instructions) -----
     // Has this process enabled fast delivery of this exception type?
     a.label(ksym::FastCompat);
-    a.luiHi(K1, ksym::Curproc);
-    a.lwLo(K1, ksym::Curproc, K1);
+    pseudo::loadGlobal(a, K1, ksym::Curproc, K1);
     a.nop();                          // load delay (R3000)
     a.beq(K1, Zero, "stock_path");    // no process context
     a.nop();                          // delay slot
@@ -97,8 +97,7 @@ emitFastPath(Assembler &a)
 
     // ---- phase 3: save partial state (31 instructions) --------------
     a.label(ksym::FastSave);
-    a.luiHi(K1, ksym::Curproc);
-    a.lwLo(K1, ksym::Curproc, K1);
+    pseudo::loadGlobal(a, K1, ksym::Curproc, K1);
     a.nop();
     a.lw(K1, proc::UexcFrameK, K1);   // frame page, kseg0 alias
     a.sll(K0, K0, uframe::FrameShift);
@@ -122,8 +121,7 @@ emitFastPath(Assembler &a)
     a.mflo(T2);
     a.sw(T1, uframe::Mdhi, K1);
     a.sw(T2, uframe::Mdlo, K1);
-    a.luiHi(T0, ksym::Curproc);
-    a.lwLo(T0, ksym::Curproc, T0);  // t0 = proc
+    pseudo::loadGlobal(a, T0, ksym::Curproc, T0);  // t0 = proc
     a.nop();
     a.lw(T3, proc::UexcFrameU, T0);
     a.nop();
@@ -432,8 +430,7 @@ void
 emitStockEntry(Assembler &a)
 {
     a.label(ksym::StockPath);
-    a.luiHi(K1, ksym::Curproc);
-    a.lwLo(K1, ksym::Curproc, K1);
+    pseudo::loadGlobal(a, K1, ksym::Curproc, K1);
     a.nop();
     a.beq(K1, Zero, "bad_trap");
     a.nop();
@@ -602,8 +599,7 @@ emitTrapPath(Assembler &a)
     a.bne(K1, Zero, "restore_all");
     a.nop();
     // reload trapframe base clobbered by the branch above
-    a.luiHi(K1, ksym::Curproc);
-    a.lwLo(K1, ksym::Curproc, K1);
+    pseudo::loadGlobal(a, K1, ksym::Curproc, K1);
     a.nop();
     a.lw(K1, proc::UArea, K1);
     a.nop();
@@ -628,8 +624,7 @@ emitTrapPath(Assembler &a)
     a.nop();
 
     // s0 = proc, s1 = u-area, s2 = trapframe, s4 = signal
-    a.luiHi(S0, ksym::Curproc);
-    a.lwLo(S0, ksym::Curproc, S0);
+    pseudo::loadGlobal(a, S0, ksym::Curproc, S0);
     a.nop();
     a.lw(S1, proc::UArea, S0);
     a.nop();
@@ -844,8 +839,7 @@ emitSyscallPath(Assembler &a)
     a.sw(T1, static_cast<SWord>(uarea::AstFlags) + 12, K1);
     // signal-pending check at kernel entry (issig() is consulted on
     // every syscall, not only on traps)
-    a.luiHi(T1, ksym::Curproc);
-    a.lwLo(T1, ksym::Curproc, T1);
+    pseudo::loadGlobal(a, T1, ksym::Curproc, T1);
     a.nop();
     a.lw(T2, proc::SigPending, T1);
     a.lw(T4, proc::SigMask, T1);
@@ -867,7 +861,7 @@ emitSyscallPath(Assembler &a)
     // dispatch on v0
     a.lw(T0, tfReg(V0), K1);
     a.nop();
-    a.sltiu(T1, T0, 16);
+    a.sltiu(T1, T0, sys::NumSyscalls);
     a.beq(T1, Zero, "bad_syscall");
     a.nop();
     a.sll(T1, T0, 2);
@@ -879,8 +873,7 @@ emitSyscallPath(Assembler &a)
     a.nop();
 
     a.label("sys_getpid");
-    a.luiHi(T0, ksym::Curproc);
-    a.lwLo(T0, ksym::Curproc, T0);
+    pseudo::loadGlobal(a, T0, ksym::Curproc, T0);
     a.nop();
     a.lw(T1, proc::Pid, T0);
     a.nop();
@@ -889,8 +882,7 @@ emitSyscallPath(Assembler &a)
     a.nop();
 
     a.label("sys_sigaction");
-    a.luiHi(T0, ksym::Curproc);
-    a.lwLo(T0, ksym::Curproc, T0);
+    pseudo::loadGlobal(a, T0, ksym::Curproc, T0);
     a.lw(T1, tfReg(A0), K1);          // signum
     a.lw(T2, tfReg(A1), K1);          // handler
     a.sltiu(T3, T1, kNumSignals);
@@ -904,8 +896,7 @@ emitSyscallPath(Assembler &a)
     a.nop();
 
     a.label("sys_settramp");
-    a.luiHi(T0, ksym::Curproc);
-    a.lwLo(T0, ksym::Curproc, T0);
+    pseudo::loadGlobal(a, T0, ksym::Curproc, T0);
     a.lw(T1, tfReg(A0), K1);
     a.nop();
     a.sw(T1, proc::TrampolineU, T0);
@@ -919,8 +910,7 @@ emitSyscallPath(Assembler &a)
     a.label("sys_sigreturn");
     a.lw(S3, tfReg(A0), K1);          // sc base (user va)
     a.move(S2, K1);                   // trapframe
-    a.luiHi(S0, ksym::Curproc);
-    a.lwLo(S0, ksym::Curproc, S0);
+    pseudo::loadGlobal(a, S0, ksym::Curproc, S0);
     a.nop();
     // pc
     a.lw(T1, sigctx::Pc * 4, S3);
@@ -987,11 +977,15 @@ emitSyscallPath(Assembler &a)
     a.wordAddr("sys_complex");        // 8 exit
     a.wordAddr("sys_complex");        // 9 uexc_setflags
     a.wordAddr("sys_settramp");       // 10
-    a.wordAddr("bad_syscall");        // 11
-    a.wordAddr("bad_syscall");        // 12
-    a.wordAddr("bad_syscall");        // 13
-    a.wordAddr("bad_syscall");        // 14
-    a.wordAddr("bad_syscall");        // 15
+    a.wordAddr("sys_complex");        // 11 open
+    a.wordAddr("sys_complex");        // 12 close
+    a.wordAddr("sys_complex");        // 13 read
+    a.wordAddr("sys_complex");        // 14 write
+    a.wordAddr("sys_complex");        // 15 sbrk
+    a.wordAddr("sys_complex");        // 16 fork
+    a.wordAddr("sys_complex");        // 17 wait
+    for (Word n = 18; n < sys::NumSyscalls; n++)
+        a.wordAddr("bad_syscall");    // 18..31 unassigned
 }
 
 /**
@@ -1002,8 +996,7 @@ void
 emitRestorePath(Assembler &a)
 {
     a.label("restore_all");
-    a.luiHi(K1, ksym::Curproc);
-    a.lwLo(K1, ksym::Curproc, K1);
+    pseudo::loadGlobal(a, K1, ksym::Curproc, K1);
     a.nop();
     a.lw(K1, proc::UArea, K1);
     a.nop();
@@ -1147,6 +1140,16 @@ buildKernelImage()
     return prog;
 }
 
+GuestImage
+buildKernelGuestImage()
+{
+    Program prog = buildKernelImage();
+    GuestImage img = GuestImage::fromProgram(prog, "kernel");
+    img.setLintConfig(kernelLintConfig(prog));
+    img.validate();
+    return img;
+}
+
 analysis::LintConfig
 kernelLintConfig(const Program &prog)
 {
@@ -1160,7 +1163,7 @@ kernelLintConfig(const Program &prog)
     spec.entries = {prog.symbol(ksym::RefillHandler),
                     prog.symbol(ksym::FastDecode)};
     Addr sys_table = prog.symbol("sys_table");
-    spec.dataRanges = {{sys_table, sys_table + 16 * 4}};
+    spec.dataRanges = {{sys_table, sys_table + sys::NumSyscalls * 4}};
     config.regions.push_back(std::move(spec));
 
     // The Table-3 fast path as a handler region of its own: register

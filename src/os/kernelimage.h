@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "analysis/lint.h"
+#include "os/guestimage.h"
 #include "sim/assembler.h"
 
 namespace uexc::os {
@@ -70,6 +71,14 @@ constexpr Cycles kFastPathWcetBudget = 128;
  * builds run uexc-lint over the image and panic on any Error finding.
  */
 sim::Program buildKernelImage();
+
+/**
+ * The kernel image as a GuestImage: the assembled program wrapped as
+ * one kseg0 section with its lint configuration attached. Entry is 0
+ * — the kernel is entered through the hardware vectors, never jumped
+ * into. Kernel::boot() and uexc-lint both consume this form.
+ */
+GuestImage buildKernelGuestImage();
 
 /**
  * The analyzer configuration for a kernel image: one privileged code

@@ -223,7 +223,34 @@ constexpr Word SubpageProtect = 7;  ///< a0 = addr, a1 = len, a2 = prot
 constexpr Word Exit           = 8;
 constexpr Word UexcSetFlags   = 9;  ///< a0 = kPfXxx bits (eager amplify)
 constexpr Word SetTrampoline  = 10; ///< a0 = trampoline address
+/** Ultrix-flavored file/process syscalls (all host-bridged). */
+constexpr Word Open           = 11; ///< a0 = path (user va), a1 = flags
+constexpr Word Close          = 12; ///< a0 = fd
+constexpr Word Read           = 13; ///< a0 = fd, a1 = buf, a2 = len
+constexpr Word Write          = 14; ///< a0 = fd, a1 = buf, a2 = len
+constexpr Word Sbrk           = 15; ///< a0 = signed increment; returns old break
+constexpr Word Fork           = 16; ///< returns child pid (parent) / 0 (child)
+constexpr Word Wait           = 17; ///< a0 = &status or 0; returns child pid
+/** Size of the guest kernel's dispatch table (bound of the sltiu
+ *  range check); numbers >= this take bad_syscall directly. */
+constexpr Word NumSyscalls    = 32;
 }  // namespace sys
+
+// -- file syscall ABI -----------------------------------------------------------------
+
+/** open() flags: access mode in the low two bits, BSD-style bits above. */
+constexpr Word kOpenRead   = 0;
+constexpr Word kOpenWrite  = 1;
+constexpr Word kOpenRdwr   = 2;
+constexpr Word kOpenAppend = 0x008;
+constexpr Word kOpenCreate = 0x200;
+constexpr Word kOpenTrunc  = 0x400;
+
+/** Per-process open-file table size (fds 0/1/2 are pre-opened). */
+constexpr unsigned kMaxFds = 16;
+
+/** Longest path accepted by open() (copyin bound). */
+constexpr Word kMaxPathBytes = 128;
 
 /** mprotect() protection bits. */
 constexpr Word kProtRead  = 1;

@@ -1,0 +1,57 @@
+#include "os/syscalls.h"
+
+#include <algorithm>
+
+namespace uexc::os {
+
+const std::vector<SyscallDef> &
+syscallTable()
+{
+    // Base charges: zero for the pre-existing VM/uexc rows (their
+    // handlers delegate to svc* services that charge internally, and
+    // the refactor must stay bit-identical for them) and for exit
+    // (the legacy path halted without cost; the reap path charges
+    // inside the handler). The file/process rows charge their fixed
+    // part here, variable parts (pages, words) in the handler.
+    static const std::vector<SyscallDef> table = {
+        {sys::Mprotect,       "mprotect",        0,
+         &Kernel::sysMprotect},
+        {sys::UexcEnable,     "uexc_enable",     0,
+         &Kernel::sysUexcEnable},
+        {sys::UexcProtect,    "uexc_protect",    0,
+         &Kernel::sysUexcProtect},
+        {sys::SubpageProtect, "subpage_protect", 0,
+         &Kernel::sysSubpageProtect},
+        {sys::Exit,           "exit",            0,
+         &Kernel::sysExit},
+        {sys::UexcSetFlags,   "uexc_setflags",   0,
+         &Kernel::sysUexcSetFlags},
+        {sys::Open,           "open",            charge::OpenBase,
+         &Kernel::sysOpen},
+        {sys::Close,          "close",           charge::CloseBase,
+         &Kernel::sysClose},
+        {sys::Read,           "read",            charge::RdWrBase,
+         &Kernel::sysRead},
+        {sys::Write,          "write",           charge::RdWrBase,
+         &Kernel::sysWrite},
+        {sys::Sbrk,           "sbrk",            charge::SbrkBase,
+         &Kernel::sysSbrk},
+        {sys::Fork,           "fork",            charge::ForkBase,
+         &Kernel::sysFork},
+        {sys::Wait,           "wait",            charge::WaitBase,
+         &Kernel::sysWait},
+    };
+    return table;
+}
+
+const SyscallDef *
+syscallByNum(Word num)
+{
+    for (const SyscallDef &def : syscallTable()) {
+        if (def.num == num)
+            return &def;
+    }
+    return nullptr;
+}
+
+} // namespace uexc::os

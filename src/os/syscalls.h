@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The declarative syscall table for host-bridged ("complex")
+ * syscalls.
+ *
+ * The guest kernel's dispatch table routes these numbers to
+ * sys_complex, which crosses the HCALL bridge; the host-side
+ * dispatcher (Kernel::doComplexSyscall) then consults this table
+ * instead of an ad-hoc switch. Each row names the syscall, carries
+ * the fixed simulated-cycle charge the dispatcher applies, and points
+ * at the Kernel member that implements it. Variable costs (per page
+ * mapped, per word copied) are charged inside the handlers, so every
+ * cost stays in simulated cycles regardless of the host-side
+ * representation.
+ *
+ * Rows for the pre-existing VM/uexc syscalls carry a zero base
+ * charge: their handlers delegate to the original svc* services,
+ * which charge internally — the refactor is bit-identical for them.
+ */
+
+#ifndef UEXC_OS_SYSCALLS_H
+#define UEXC_OS_SYSCALLS_H
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "os/kernel.h"
+
+namespace uexc::os {
+
+/** One row of the host-bridged syscall table. */
+struct SyscallDef
+{
+    Word num;
+    const char *name;
+    /** Fixed charge applied by the dispatcher before the handler. */
+    Cycles baseCharge;
+    /**
+     * The implementation. Returns the value to store into the
+     * caller's saved v0, or nullopt when the handler took over
+     * context management itself (exit, fork's switch to a waiting
+     * parent, wait's block) and v0 must not be overwritten here.
+     */
+    std::optional<Word> (Kernel::*handler)(Process &, Word, Word, Word);
+};
+
+/** The table, ordered by syscall number. */
+const std::vector<SyscallDef> &syscallTable();
+
+/** Row for @p num, or nullptr for numbers the host does not bridge. */
+const SyscallDef *syscallByNum(Word num);
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_SYSCALLS_H

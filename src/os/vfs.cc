@@ -1,0 +1,82 @@
+#include "os/vfs.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace uexc::os {
+
+int
+Vfs::lookup(const std::string &name) const
+{
+    for (unsigned i = 0; i < files_.size(); i++) {
+        if (files_[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Vfs::create(const std::string &name)
+{
+    int idx = lookup(name);
+    if (idx >= 0)
+        return idx;
+    files_.push_back(File{name, {}});
+    return static_cast<int>(files_.size() - 1);
+}
+
+Vfs::File &
+Vfs::file(unsigned index)
+{
+    if (index >= files_.size())
+        UEXC_FATAL("vfs: file index %u out of range", index);
+    return files_[index];
+}
+
+const Vfs::File &
+Vfs::file(unsigned index) const
+{
+    if (index >= files_.size())
+        UEXC_FATAL("vfs: file index %u out of range", index);
+    return files_[index];
+}
+
+void
+Vfs::install(const std::string &name, std::vector<Byte> data)
+{
+    files_[static_cast<unsigned>(create(name))].data = std::move(data);
+}
+
+void
+Vfs::snapshotSave(sim::SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(files_.size()));
+    for (const File &f : files_) {
+        w.str(f.name);
+        w.u32(static_cast<std::uint32_t>(f.data.size()));
+        w.bytes(f.data.data(), f.data.size());
+    }
+}
+
+void
+Vfs::snapshotLoad(sim::SnapshotReader &r)
+{
+    std::uint32_t n = r.u32();
+    std::vector<File> files;
+    files.reserve(n);
+    for (std::uint32_t i = 0; i < n; i++) {
+        File f;
+        f.name = r.str();
+        std::uint32_t len = r.u32();
+        if (len > r.remaining())
+            r.fail("vfs file '" + f.name + "' longer than section");
+        f.data.resize(len);
+        if (len > 0)
+            r.bytes(f.data.data(), len);
+        files.push_back(std::move(f));
+    }
+    files_ = std::move(files);
+}
+
+} // namespace uexc::os

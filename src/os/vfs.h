@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A deliberately tiny in-memory filesystem for the Ultrix-flavored
+ * file syscalls (open/close/read/write). There is one flat namespace
+ * of named byte vectors; per-process file descriptors (offset, mode)
+ * live in the Process, not here. All state is host-side and travels
+ * in the kernel's snapshot section — guest programs only ever see it
+ * through the charged syscall path, so simulated-cycle costs are
+ * unaffected by the host representation.
+ */
+
+#ifndef UEXC_OS_VFS_H
+#define UEXC_OS_VFS_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/snapshot.h"
+
+namespace uexc::os {
+
+class Vfs
+{
+  public:
+    struct File
+    {
+        std::string name;
+        std::vector<Byte> data;
+    };
+
+    /** Index of @p name, or -1 when absent. */
+    int lookup(const std::string &name) const;
+
+    /** Index of @p name, creating an empty file when absent. */
+    int create(const std::string &name);
+
+    File &file(unsigned index);
+    const File &file(unsigned index) const;
+    unsigned numFiles() const
+    {
+        return static_cast<unsigned>(files_.size());
+    }
+
+    /** Host-side seeding: create-or-replace @p name with @p data. */
+    void install(const std::string &name, std::vector<Byte> data);
+
+    void snapshotSave(sim::SnapshotWriter &w) const;
+    void snapshotLoad(sim::SnapshotReader &r);
+
+  private:
+    std::vector<File> files_;
+};
+
+} // namespace uexc::os
+
+#endif // UEXC_OS_VFS_H

@@ -35,6 +35,15 @@ Assembler::label(const std::string &name)
     symbols_[name] = here();
 }
 
+void
+Assembler::bindExternal(const std::string &name, Addr addr)
+{
+    if (symbols_.count(name) != 0)
+        UEXC_FATAL("assembler: duplicate external symbol '%s'",
+                   name.c_str());
+    symbols_[name] = addr;
+}
+
 Addr
 Assembler::here() const
 {

@@ -58,6 +58,14 @@ class Assembler
 
     /** Bind @p name to the current location. Names must be unique. */
     void label(const std::string &name);
+    /**
+     * Bind @p name to a fixed address outside this program — a symbol
+     * defined by a separately assembled section (e.g. a data section
+     * a text-section assembler must reference). The symbol resolves
+     * fixups exactly like a local label and is exported in the
+     * finalized program's symbol table.
+     */
+    void bindExternal(const std::string &name, Addr addr);
     /** Current emission address. */
     Addr here() const;
     /** Emit raw data word(s). */

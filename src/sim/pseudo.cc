@@ -1,0 +1,41 @@
+#include "sim/pseudo.h"
+
+#include "common/logging.h"
+#include "sim/isa.h"
+
+namespace uexc::sim::pseudo {
+
+void
+loadAddress(Assembler &a, unsigned rd, const std::string &label)
+{
+    a.luiHi(rd, label);
+    a.addiuLo(rd, rd, label);
+}
+
+void
+loadGlobal(Assembler &a, unsigned rt, const std::string &label,
+           unsigned scratch)
+{
+    a.luiHi(scratch, label);
+    a.lwLo(rt, label, scratch);
+}
+
+void
+storeGlobal(Assembler &a, unsigned rt, const std::string &label,
+            unsigned scratch)
+{
+    if (scratch == rt)
+        UEXC_FATAL("storeGlobal: scratch register must not alias the "
+                   "stored value (r%u)", rt);
+    a.luiHi(scratch, label);
+    a.swLo(rt, label, scratch);
+}
+
+void
+emitSyscall(Assembler &a, Word num)
+{
+    a.li(V0, num);
+    a.syscall();
+}
+
+} // namespace uexc::sim::pseudo

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared pseudo-op emitter helpers: the address-materialization and
+ * syscall idioms every guest-code producer uses.
+ *
+ * These used to be open-coded (and duplicated) in the kernel image,
+ * the multi-hart study programs, the user-level stubs, and the
+ * microbenchmark scenarios. Hoisting them here keeps every producer
+ * emitting the *same* instruction pairs, which matters beyond
+ * tidiness: the value-set analysis (analysis/vsa.cc) recognizes these
+ * exact idioms — lui+ori constants, the carry-adjusted %hi/%lo pair —
+ * when reconstructing the addresses guest code touches. One producer
+ * means the analyzer and the emitters cannot drift apart.
+ *
+ * Every helper emits a fixed instruction count (no relaxation), so
+ * the Table 3 instruction budgets stay auditable.
+ */
+
+#ifndef UEXC_SIM_PSEUDO_H
+#define UEXC_SIM_PSEUDO_H
+
+#include <string>
+
+#include "sim/assembler.h"
+
+namespace uexc::sim::pseudo {
+
+/**
+ * rd := &label, as the carry-adjusted pair
+ *   lui   rd, %hi(label)
+ *   addiu rd, rd, %lo(label)
+ * (2 instructions). This is the form that composes with further
+ * %lo-displacement accesses; Assembler::la is the lui+ori flavor.
+ */
+void loadAddress(Assembler &a, unsigned rd, const std::string &label);
+
+/**
+ * rt := *(Word *)&label, a word-sized global, as
+ *   lui scratch, %hi(label)
+ *   lw  rt, %lo(label)(scratch)
+ * (2 instructions; @p scratch may equal @p rt). The caller owns the
+ * load-delay slot, exactly as with a hand-emitted pair.
+ */
+void loadGlobal(Assembler &a, unsigned rt, const std::string &label,
+                unsigned scratch);
+
+/**
+ * *(Word *)&label := rt, as
+ *   lui scratch, %hi(label)
+ *   sw  rt, %lo(label)(scratch)
+ * (2 instructions; @p scratch must differ from @p rt).
+ */
+void storeGlobal(Assembler &a, unsigned rt, const std::string &label,
+                 unsigned scratch);
+
+/**
+ * Emit a system call: li v0, num; syscall. Arguments (a0-a2) are
+ * whatever the caller placed there. 2-3 instructions depending on
+ * the li form of @p num.
+ */
+void emitSyscall(Assembler &a, Word num);
+
+} // namespace uexc::sim::pseudo
+
+#endif // UEXC_SIM_PSEUDO_H

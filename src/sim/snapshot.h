@@ -60,8 +60,10 @@ class SnapshotError : public std::runtime_error
 constexpr std::uint32_t kSnapshotMagic = 0x4e535855u;
 /** "UXEN" little-endian: first word of the footer. */
 constexpr std::uint32_t kSnapshotFooterMagic = 0x4e455855u;
-/** Format version; bumped on any incompatible layout change. */
-constexpr std::uint32_t kSnapshotVersion = 1;
+/** Format version; bumped on any incompatible layout change.
+ *  v2: KERN section gained VFS contents, console output, and
+ *  per-process fork/descriptor state. */
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 /** Section tag from four printable characters ("CFG " style). */
 constexpr Word

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The static MIPS-I ELF path: writer/loader round trips, the
+ * loader's rejection of malformed inputs, BSS zero-fill through
+ * Kernel::loadImage, and fixture freshness (the checked-in binaries
+ * under user/fixtures/ must equal a clean regeneration).
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "core/userprogs.h"
+#include "os/elf.h"
+#include "os/guestimage.h"
+#include "os/kernel.h"
+#include "os/layout.h"
+#include "sim/machine.h"
+
+namespace uexc::os {
+namespace {
+
+using rt::userprog::buildUserProgram;
+using rt::userprog::programNames;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(UEXC_REPO_ROOT) + "/user/fixtures/" + name +
+           ".elf";
+}
+
+std::vector<Byte>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    return std::vector<Byte>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+TEST(Elf, WriterIsDeterministic)
+{
+    GuestImage img = buildUserProgram("hello");
+    EXPECT_EQ(writeElf(img), writeElf(img));
+}
+
+TEST(Elf, RoundTripPreservesImage)
+{
+    for (const std::string &name : programNames()) {
+        SCOPED_TRACE(name);
+        GuestImage orig = buildUserProgram(name);
+        GuestImage back = loadElf(writeElf(orig), name);
+
+        EXPECT_EQ(back.entry, orig.entry);
+        ASSERT_EQ(back.sections.size(), orig.sections.size());
+        for (std::size_t i = 0; i < orig.sections.size(); i++) {
+            const GuestSection &a = orig.sections[i];
+            const GuestSection &b = back.sections[i];
+            EXPECT_EQ(b.name, a.name);
+            EXPECT_EQ(b.vaddr, a.vaddr);
+            EXPECT_EQ(b.words, a.words);
+            EXPECT_EQ(b.memBytes, a.memBytes);
+            EXPECT_EQ(b.writable, a.writable);
+            EXPECT_EQ(b.executable, a.executable);
+        }
+        // every original symbol survives with its address
+        for (const auto &[sym, addr] : orig.symbols) {
+            ASSERT_TRUE(back.hasSymbol(sym)) << sym;
+            EXPECT_EQ(back.symbol(sym), addr) << sym;
+        }
+    }
+}
+
+TEST(Elf, FixturesMatchGeneratedBytes)
+{
+    // The checked-in binaries are generated from the reference
+    // builders; regeneration must be a no-op. (If this fails, run
+    // build/tools/uexc-mkfixtures user/fixtures and commit.)
+    for (const std::string &name : programNames()) {
+        SCOPED_TRACE(name);
+        EXPECT_EQ(readAll(fixturePath(name)),
+                  writeElf(buildUserProgram(name)));
+    }
+}
+
+TEST(Elf, LoadsFixtureFromDisk)
+{
+    GuestImage img = loadElfFile(fixturePath("hello"));
+    EXPECT_NE(img.entry, 0u);
+    EXPECT_TRUE(img.hasSymbol("main"));
+    EXPECT_TRUE(img.findSection(".text") != nullptr);
+    EXPECT_TRUE(img.findSection(".data") != nullptr);
+    img.validate();
+}
+
+TEST(Elf, RejectsMalformedInputs)
+{
+    std::vector<Byte> good = writeElf(buildUserProgram("hello"));
+
+    EXPECT_THROW(loadElf({}), ElfError);
+    EXPECT_THROW(loadElf(std::vector<Byte>(good.begin(),
+                                           good.begin() + 20)),
+                 ElfError);
+
+    {
+        auto bad = good;
+        bad[0] = 0x7e; // wrong magic
+        EXPECT_THROW(loadElf(bad), ElfError);
+    }
+    {
+        auto bad = good;
+        bad[4] = 2; // ELFCLASS64
+        EXPECT_THROW(loadElf(bad), ElfError);
+    }
+    {
+        auto bad = good;
+        bad[5] = 2; // big-endian: guest memory is host-ordered (LE)
+        EXPECT_THROW(loadElf(bad), ElfError);
+    }
+    {
+        auto bad = good;
+        bad[18] = 3; // e_machine = EM_386
+        EXPECT_THROW(loadElf(bad), ElfError);
+    }
+    {
+        auto bad = good;
+        bad[24] = 2; // misaligned entry point
+        EXPECT_THROW(loadElf(bad), ElfError);
+    }
+}
+
+TEST(Elf, BssIsZeroFilledOnLoad)
+{
+    // A section whose memBytes exceed its words is BSS; the loader
+    // must hand those bytes to the process zeroed even though the
+    // file carries nothing for them.
+    GuestImage img;
+    img.name = "bss-test";
+    GuestSection text;
+    text.name = ".text";
+    text.vaddr = kUserTextBase;
+    text.words = {0x00000008, 0}; // jr zero; nop (never run)
+    text.memBytes = 8;
+    text.writable = false;
+    text.executable = true;
+    img.sections.push_back(text);
+    GuestSection data;
+    data.name = ".data";
+    data.vaddr = kUserDataBase;
+    data.words = {0xdeadbeef};
+    data.memBytes = 4 + 3 * kPageBytes; // BSS spanning pages
+    img.sections.push_back(data);
+    img.symbols["_start"] = kUserTextBase;
+    img.entry = kUserTextBase;
+    img.validate();
+
+    GuestImage back = loadElf(writeElf(img), "bss-test");
+    ASSERT_EQ(back.sections.size(), 2u);
+    EXPECT_EQ(back.sections[1].fileBytes(), 4u);
+    EXPECT_EQ(back.sections[1].memBytes, 4 + 3 * kPageBytes);
+
+    sim::Machine machine{sim::MachineConfig{}};
+    Kernel kernel(machine);
+    kernel.boot();
+    Process &p = kernel.createProcess();
+    kernel.loadImage(p, back);
+    EXPECT_EQ(machine.debugReadWord(
+                  sim::Cpu::Kseg0Base + p.as().physOf(kUserDataBase)),
+              0xdeadbeefu);
+    for (Word off = 4; off < 4 + 3 * kPageBytes; off += kPageBytes) {
+        EXPECT_EQ(machine.debugReadWord(sim::Cpu::Kseg0Base +
+                                        p.as().physOf(kUserDataBase +
+                                                      off)),
+                  0u);
+    }
+    // the break starts past the BSS, not just past the file bytes
+    EXPECT_EQ(p.field(proc::Brk),
+              roundUp(kUserDataBase + 4 + 3 * kPageBytes, kPageBytes));
+}
+
+} // namespace
+} // namespace uexc::os

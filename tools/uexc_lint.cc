@@ -11,6 +11,10 @@
  *   $ ./tools/uexc_lint micro           # every microbench scenario
  *   $ ./tools/uexc_lint micro fast-simple
  *   $ ./tools/uexc_lint multihart       # multi-hart study programs
+ *   $ ./tools/uexc_lint user            # checked-in userland programs
+ *   $ ./tools/uexc_lint user gcbar
+ *   $ ./tools/uexc_lint elf user/fixtures/gcbar.elf
+ *                                       # lint a compiled binary
  *   $ ./tools/uexc_lint --all           # everything
  *   $ ./tools/uexc_lint --strict --all  # warnings also fail
  *   $ ./tools/uexc_lint --wcet --budget 200 --all
@@ -28,6 +32,13 @@
  * (check, severity, pc, region, message, plus payload keys such as
  * page numbers and cycle bounds), one object per target.
  *
+ * The elf target loads a compiled static MIPS-I binary, infers the
+ * analyzer configuration from its exported symbols (the same
+ * inference the runtime applies to assembled user programs), and
+ * lints its text; its report additionally carries the image shape —
+ * sections (address, file/memory size, permissions) and the symbol
+ * table — as "sections"/"symbols" keys in JSON mode.
+ *
  * Exit status: 0 if no Error findings (no Warning either under
  * --strict), 1 otherwise, 2 on usage errors.
  */
@@ -42,6 +53,8 @@
 #include "core/lintspec.h"
 #include "core/microbench.h"
 #include "core/multihart.h"
+#include "core/userprogs.h"
+#include "os/elf.h"
 #include "os/kernelimage.h"
 
 using namespace uexc;
@@ -83,7 +96,9 @@ applyOptions(analysis::LintConfig &config, const Options &opts)
 
 void
 report(const char *target, const std::vector<analysis::Finding> &fs,
-       const Options &opts, Totals &totals)
+       const Options &opts, Totals &totals,
+       const std::string &extra_json = "",
+       const std::string &extra_text = "")
 {
     totals.targets++;
     unsigned errors = 0, warnings = 0;
@@ -105,13 +120,88 @@ report(const char *target, const std::vector<analysis::Finding> &fs,
         while (!findings.empty() && findings.back() == '\n')
             findings.pop_back();
         totals.json += findings;
+        if (!extra_json.empty()) {
+            totals.json += ", ";
+            totals.json += extra_json;
+        }
         totals.json += "}";
         return;
     }
     std::printf("== %s: %u error%s, %u warning%s\n", target, errors,
                 errors == 1 ? "" : "s", warnings,
                 warnings == 1 ? "" : "s");
+    if (!extra_text.empty())
+        std::fputs(extra_text.c_str(), stdout);
     std::fputs(analysis::formatFindings(fs).c_str(), stdout);
+}
+
+/** Escape a name for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** The image-shape halves of an elf-target report: JSON "sections"/
+ *  "symbols" keys and the human-readable equivalent. */
+void
+describeImage(const os::GuestImage &img, std::string &extra_json,
+              std::string &extra_text)
+{
+    char buf[160];
+    extra_json = "\"entry\": ";
+    extra_json += std::to_string(img.entry);
+    extra_json += ", \"sections\": [";
+    bool first = true;
+    for (const os::GuestSection &s : img.sections) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\": \"%s\", \"vaddr\": %u, "
+                      "\"fileBytes\": %u, \"memBytes\": %u, "
+                      "\"writable\": %s, \"executable\": %s}",
+                      first ? "" : ", ", jsonEscape(s.name).c_str(),
+                      s.vaddr, s.fileBytes(), s.memBytes,
+                      s.writable ? "true" : "false",
+                      s.executable ? "true" : "false");
+        extra_json += buf;
+        first = false;
+
+        std::snprintf(buf, sizeof buf,
+                      "   section %-8s va 0x%08x  %6u file / %6u mem"
+                      "  %c%c%c\n",
+                      s.name.c_str(), s.vaddr, s.fileBytes(),
+                      s.memBytes, 'r', s.writable ? 'w' : '-',
+                      s.executable ? 'x' : '-');
+        extra_text += buf;
+    }
+    extra_json += "], \"symbols\": [";
+    first = true;
+    for (const auto &[name, addr] : img.symbols) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\": \"%s\", \"addr\": %u}",
+                      first ? "" : ", ", jsonEscape(name).c_str(),
+                      addr);
+        extra_json += buf;
+        first = false;
+    }
+    extra_json += "]";
+    std::snprintf(buf, sizeof buf,
+                  "   entry 0x%08x, %zu symbol%s\n", img.entry,
+                  img.symbols.size(),
+                  img.symbols.size() == 1 ? "" : "s");
+    extra_text += buf;
 }
 
 void
@@ -170,6 +260,52 @@ lintMultihart(const Options &opts, Totals &totals)
 }
 
 bool
+lintUser(const Options &opts, Totals &totals, const char *which)
+{
+    bool matched = false;
+    for (const std::string &name : rt::userprog::programNames()) {
+        if (which && name != which)
+            continue;
+        matched = true;
+        os::GuestImage img = rt::userprog::buildUserProgram(name);
+        analysis::LintConfig config = img.lintConfig();
+        applyOptions(config, opts);
+        std::string target = "user(" + name + ")";
+        report(target.c_str(),
+               analysis::lint(img.textProgram(), config), opts,
+               totals);
+    }
+    return matched;
+}
+
+bool
+lintElf(const Options &opts, Totals &totals, const char *path)
+{
+    os::GuestImage img;
+    try {
+        img = os::loadElfFile(path);
+    } catch (const os::ElfError &e) {
+        std::fprintf(stderr, "uexc-lint: %s: %s\n", path, e.what());
+        return false;
+    }
+    sim::Program text = img.textProgram();
+    // A compiled binary carries no analyzer spec; infer one from its
+    // exported symbols exactly as the runtime does for assembled
+    // user programs (handler regions from X/X__end pairs, scratch
+    // masks from the handler's first instruction).
+    analysis::LintConfig config = img.hasLintConfig()
+                                      ? img.lintConfig()
+                                      : userProgramLintConfig(text);
+    applyOptions(config, opts);
+    std::string extra_json, extra_text;
+    describeImage(img, extra_json, extra_text);
+    std::string target = std::string("elf(") + path + ")";
+    report(target.c_str(), analysis::lint(text, config), opts, totals,
+           extra_json, extra_text);
+    return true;
+}
+
+bool
 lintMicro(const Options &opts, Totals &totals, const char *which)
 {
     bool matched = false;
@@ -195,7 +331,7 @@ usage()
                  "usage: uexc_lint [--strict] [--wcet] [--budget N] "
                  "[--multihart N] [--json] "
                  "{--all | kernel | shim | micro [scenario] | "
-                 "multihart}...\n");
+                 "multihart | user [program] | elf <path>}...\n");
     return 2;
 }
 
@@ -243,6 +379,7 @@ main(int argc, char **argv)
             lintShims(opts, totals);
             lintMicro(opts, totals, nullptr);
             lintMultihart(opts, totals);
+            lintUser(opts, totals, nullptr);
             did_anything = true;
         } else if (std::strcmp(arg, "kernel") == 0) {
             lintKernel(opts, totals);
@@ -262,6 +399,22 @@ main(int argc, char **argv)
                              which);
                 return usage();
             }
+            did_anything = true;
+        } else if (std::strcmp(arg, "user") == 0) {
+            const char *which = nullptr;
+            if (i + 1 < targets.size() && targets[i + 1][0] != '-')
+                which = targets[++i];
+            if (!lintUser(opts, totals, which)) {
+                std::fprintf(stderr, "unknown program \"%s\"\n",
+                             which);
+                return usage();
+            }
+            did_anything = true;
+        } else if (std::strcmp(arg, "elf") == 0) {
+            if (i + 1 >= targets.size())
+                return usage();
+            if (!lintElf(opts, totals, targets[++i]))
+                return 1;
             did_anything = true;
         } else {
             std::fprintf(stderr, "unknown argument \"%s\"\n", arg);

@@ -1,0 +1,17 @@
+# _start: the kernel's execve leaves a0 = argc, a1 = argv, sp at the
+# initial stack. Call main and hand its return value to exit().
+
+	.set	noreorder
+	.text
+	.globl	_start
+	.ent	_start
+_start:
+	jal	main
+	nop
+	move	$a0, $v0
+	li	$v0, 8			# SYS_exit
+	syscall
+crt0_park:
+	j	crt0_park		# exit does not return
+	nop
+	.end	_start

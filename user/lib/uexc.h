@@ -1,0 +1,76 @@
+/*
+ * The userland view of the simulator's Ultrix-flavored syscall ABI.
+ * Numbers and flag values mirror src/os/syscalls.h; keep them in
+ * sync by hand (this header is compiled by a MIPS cross toolchain,
+ * not by the simulator build).
+ */
+
+#ifndef UEXC_USER_UEXC_H
+#define UEXC_USER_UEXC_H
+
+/* syscall numbers (v0) */
+#define SYS_getpid          1
+#define SYS_sigaction       2
+#define SYS_sigreturn       3
+#define SYS_mprotect        4
+#define SYS_uexc_enable     5
+#define SYS_uexc_protect    6
+#define SYS_subpage_protect 7
+#define SYS_exit            8
+#define SYS_uexc_setflags   9
+#define SYS_set_trampoline  10
+#define SYS_open            11
+#define SYS_close           12
+#define SYS_read            13
+#define SYS_write           14
+#define SYS_sbrk            15
+#define SYS_fork            16
+#define SYS_wait            17
+
+/* open() flags */
+#define O_RDONLY 0x000
+#define O_WRONLY 0x001
+#define O_RDWR   0x002
+#define O_APPEND 0x008
+#define O_CREAT  0x200
+#define O_TRUNC  0x400
+
+/* mprotect / uexc_protect */
+#define PROT_NONE  0
+#define PROT_READ  1
+#define PROT_WRITE 2
+
+/* signals (kernel-mediated delivery) */
+#define SIGBUS  10
+#define SIGSEGV 11
+
+/* proc flags for uexc_setflags */
+#define PF_EAGER_AMPLIFY 1
+
+/* MIPS-I ExcCode bits for the uexc_enable mask */
+#define EXC_MOD  (1 << 1)
+#define EXC_TLBL (1 << 2)
+#define EXC_TLBS (1 << 3)
+#define EXC_ADEL (1 << 4)
+#define EXC_ADES (1 << 5)
+
+#define PAGE_SIZE 4096
+
+/* usys.s stubs */
+int getpid(void);
+int sigaction(int sig, void (*handler)(int, int, void *));
+int set_trampoline(void *tramp);
+int mprotect(void *addr, unsigned len, int prot);
+int uexc_enable(unsigned mask, void (*stub)(void), void *frame_page);
+int uexc_protect(void *addr, unsigned len, int prot);
+int uexc_setflags(unsigned flags);
+void exit(int code);
+int open(const char *path, int flags);
+int close(int fd);
+int read(int fd, void *buf, unsigned len);
+int write(int fd, const void *buf, unsigned len);
+void *sbrk(int delta);
+int fork(void);
+int wait(int *status);
+
+#endif /* UEXC_USER_UEXC_H */

@@ -1,0 +1,42 @@
+/* forktest: fork a child that writes a file through the VFS, wait
+ * for it, then read the file back in the parent. */
+
+#include "../lib/uexc.h"
+
+static const char cmsg[] = "hi!";
+static const char ok[] = "forktest ok\n";
+
+int
+main(void)
+{
+    char *buf = sbrk(PAGE_SIZE);
+    int pid, status, fd;
+
+    pid = fork();
+    if (pid == 0) {
+        /* child */
+        fd = open("out.txt", O_CREAT | O_WRONLY);
+        if (fd < 0)
+            exit(9);
+        if (write(fd, cmsg, sizeof cmsg) != sizeof cmsg)
+            exit(9);
+        close(fd);
+        exit(7);
+    }
+
+    if (wait(&status) != pid)
+        return 1;
+    if (status != 7)
+        return 1;
+
+    fd = open("out.txt", O_RDONLY);
+    if (fd < 0)
+        return 1;
+    if (read(fd, buf, sizeof cmsg) != sizeof cmsg)
+        return 1;
+    if (*(const unsigned *)buf != *(const unsigned *)cmsg)
+        return 1;
+
+    write(1, ok, sizeof ok - 1);
+    return 0;
+}

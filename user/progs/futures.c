@@ -1,0 +1,90 @@
+/* futures: unaligned-pointer futures (paper section 4.2.1). An
+ * unresolved future is a pointer with its low bits set; dereferencing
+ * it raises an address-error exception. The handler resolves the
+ * future (writes the value into the box), then restarts the loads
+ * by rewriting the resume PC.
+ *
+ *   argv[1] = 'u'  fast user-level delivery: the handler patches
+ *                  frame->epc to the retry label
+ *   argv[1] = 's'  stock signals (SIGBUS): the handler patches the
+ *                  sigcontext PC
+ */
+
+#include "../lib/uexc.h"
+
+#define ITERS 32
+#define VALUE 42
+
+struct uframe
+{
+    unsigned epc, cause, badva, status, lo, hi;
+    unsigned at_, t0, t1, t2, t3, t4, t5;
+    unsigned spill[19];
+};
+
+extern void uexc_fast_stub(void);
+
+static volatile unsigned hits;
+static volatile unsigned box;       /* the future's value cell */
+static volatile unsigned cell;      /* holds the tagged pointer */
+static void *retry_pc;              /* where to resume after resolve */
+
+/* resolve the future: untag the cell, fill the box, restart the
+ * consume sequence from the retry label */
+void
+uexc_c_handler(struct uframe *f)
+{
+    cell &= ~3u;
+    box = VALUE;
+    hits++;
+    f->epc = (unsigned)retry_pc;
+}
+
+static void
+on_sigbus(int sig, int code, void *ctx)
+{
+    unsigned *sc = (unsigned *)ctx;
+    (void)sig;
+    (void)code;
+    cell &= ~3u;
+    box = VALUE;
+    hits++;
+    sc[0] = (unsigned)retry_pc; /* sigcontext.pc */
+}
+
+int
+main(int argc, char **argv)
+{
+    static char frame_page[2 * PAGE_SIZE];
+    int fast_mode, i;
+
+    if (argc < 2)
+        return 2;
+    fast_mode = argv[1][0] == 'u';
+    if (!fast_mode && argv[1][0] != 's')
+        return 2;
+
+    if (fast_mode) {
+        char *fp = (char *)(((unsigned)frame_page + PAGE_SIZE - 1) &
+                            ~(PAGE_SIZE - 1));
+        uexc_enable(EXC_MOD | EXC_TLBL | EXC_TLBS | EXC_ADEL |
+                        EXC_ADES,
+                    uexc_fast_stub, fp);
+    } else {
+        sigaction(SIGBUS, on_sigbus);
+    }
+
+    for (i = 0; i < ITERS; i++) {
+        unsigned v;
+
+        box = 0;
+        cell = (unsigned)&box | 2; /* tag: unresolved future */
+        retry_pc = &&retry;
+    retry:
+        v = *(volatile unsigned *)cell; /* AdEL until resolved */
+        if (v != VALUE)
+            return 1;
+    }
+
+    return hits == ITERS ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+/* gcbar: the generational-GC write barrier (paper section 4.1) as a
+ * compiled program. A heap page is kept write-protected; every store
+ * into it faults, the handler records the "dirty card", and the page
+ * is re-protected for the next round.
+ *
+ *   argv[1] = 'u'  fast user-level delivery (uexc_enable + stub,
+ *                  eager amplification upgrades the page in the TLB
+ *                  before the handler runs, so the handler only
+ *                  counts)
+ *   argv[1] = 's'  stock signal delivery (SIGSEGV handler counts and
+ *                  mprotects the page writable itself)
+ */
+
+#include "../lib/uexc.h"
+
+#define ITERS 32
+
+struct uframe
+{
+    unsigned epc, cause, badva, status, lo, hi;
+    unsigned at_, t0, t1, t2, t3, t4, t5;
+    unsigned spill[19];
+};
+
+extern void uexc_fast_stub(void);
+
+static volatile unsigned hits;
+static char *heap;
+static int fast_mode;
+
+/* fast path: eager amplification already made the page writable */
+void
+uexc_c_handler(struct uframe *f)
+{
+    (void)f;
+    hits++;
+}
+
+/* signal path: count, then amplify the page ourselves */
+static void
+on_segv(int sig, int code, void *ctx)
+{
+    unsigned badva = ((unsigned *)ctx)[35]; /* sigcontext.badva */
+    (void)sig;
+    (void)code;
+    hits++;
+    mprotect((void *)(badva & ~(PAGE_SIZE - 1)), PAGE_SIZE,
+             PROT_READ | PROT_WRITE);
+}
+
+static void
+protect_heap(void)
+{
+    if (fast_mode)
+        uexc_protect(heap, PAGE_SIZE, PROT_READ);
+    else
+        mprotect(heap, PAGE_SIZE, PROT_READ);
+}
+
+int
+main(int argc, char **argv)
+{
+    static char frame_page[2 * PAGE_SIZE];
+    int i;
+
+    if (argc < 2)
+        return 2;
+    fast_mode = argv[1][0] == 'u';
+    if (!fast_mode && argv[1][0] != 's')
+        return 2;
+
+    heap = sbrk(PAGE_SIZE);
+
+    if (fast_mode) {
+        char *fp = (char *)(((unsigned)frame_page + PAGE_SIZE - 1) &
+                            ~(PAGE_SIZE - 1));
+        uexc_enable(EXC_MOD | EXC_TLBL | EXC_TLBS | EXC_ADEL |
+                        EXC_ADES,
+                    uexc_fast_stub, fp);
+        uexc_setflags(PF_EAGER_AMPLIFY);
+    } else {
+        sigaction(SIGSEGV, on_segv);
+    }
+
+    protect_heap();
+    for (i = 0; i < ITERS; i++) {
+        *(volatile unsigned *)heap = i; /* faults, handler fires */
+        protect_heap();                 /* re-arm the barrier */
+    }
+
+    return hits == ITERS ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+/* hello: write to the console, sanity-check getpid. */
+
+#include "../lib/uexc.h"
+
+int
+main(void)
+{
+    static const char msg[] = "hello, userland\n";
+
+    if (write(1, msg, sizeof msg - 1) != sizeof msg - 1)
+        return 1;
+    if (getpid() <= 0)
+        return 1;
+    return 0;
+}

@@ -1,0 +1,44 @@
+/* sbrktest: heap growth and shrink through sbrk(), fresh pages
+ * arriving zeroed, and BSS zero-fill by the ELF loader. */
+
+#include "../lib/uexc.h"
+
+#define NPAGES 8
+
+unsigned marker = 0x12345678;  /* .data: survives the load */
+unsigned bss_word;             /* .bss: must arrive zeroed */
+
+int
+main(void)
+{
+    char *base, *p;
+    int i;
+
+    if (marker != 0x12345678)
+        return 1;
+    if (bss_word != 0)
+        return 1;
+
+    base = sbrk(0);
+    if (sbrk(NPAGES * PAGE_SIZE) != base)
+        return 1;
+
+    /* fresh pages read as zero; stamp each one */
+    for (i = 0; i < NPAGES; i++) {
+        p = base + i * PAGE_SIZE;
+        if (*(unsigned *)p != 0)
+            return 1;
+        *(unsigned *)p = 0xbeef0000u + i;
+    }
+    for (i = 0; i < NPAGES; i++) {
+        p = base + i * PAGE_SIZE;
+        if (*(unsigned *)p != 0xbeef0000u + i)
+            return 1;
+    }
+
+    /* shrink by one page; the break moves back */
+    sbrk(-PAGE_SIZE);
+    if (sbrk(0) != base + (NPAGES - 1) * PAGE_SIZE)
+        return 1;
+    return 0;
+}

@@ -1,0 +1,98 @@
+/* swizzle: pointer swizzling / object faulting. A heap page holding
+ * an unswizzled object reference is kept inaccessible; the first
+ * load faults and the handler installs the real ("swizzled") pointer
+ * into the faulting cell before the load retries.
+ *
+ *   argv[1] = 'u'  fast user-level delivery: eager amplification has
+ *                  already upgraded the page, the handler just
+ *                  writes the pointer through the faulting address
+ *                  (frame->badva)
+ *   argv[1] = 's'  stock signals: the handler mprotects the page
+ *                  accessible, then installs the pointer
+ */
+
+#include "../lib/uexc.h"
+
+#define ITERS 32
+#define PAYLOAD 0x5157495a
+
+struct uframe
+{
+    unsigned epc, cause, badva, status, lo, hi;
+    unsigned at_, t0, t1, t2, t3, t4, t5;
+    unsigned spill[19];
+};
+
+extern void uexc_fast_stub(void);
+
+static volatile unsigned hits;
+static unsigned target = PAYLOAD; /* the swizzled-in object */
+static unsigned *heap;
+static int fast_mode;
+
+void
+uexc_c_handler(struct uframe *f)
+{
+    *(unsigned **)f->badva = &target; /* page already amplified */
+    hits++;
+}
+
+static void
+on_segv(int sig, int code, void *ctx)
+{
+    unsigned badva = ((unsigned *)ctx)[35];
+    (void)sig;
+    (void)code;
+    mprotect((void *)(badva & ~(PAGE_SIZE - 1)), PAGE_SIZE,
+             PROT_READ | PROT_WRITE);
+    *(unsigned **)badva = &target;
+    hits++;
+}
+
+static void
+protect_heap(void)
+{
+    if (fast_mode)
+        uexc_protect(heap, PAGE_SIZE, PROT_NONE);
+    else
+        mprotect(heap, PAGE_SIZE, PROT_NONE);
+}
+
+int
+main(int argc, char **argv)
+{
+    static char frame_page[2 * PAGE_SIZE];
+    int i;
+
+    if (argc < 2)
+        return 2;
+    fast_mode = argv[1][0] == 'u';
+    if (!fast_mode && argv[1][0] != 's')
+        return 2;
+
+    heap = sbrk(PAGE_SIZE);
+
+    if (fast_mode) {
+        char *fp = (char *)(((unsigned)frame_page + PAGE_SIZE - 1) &
+                            ~(PAGE_SIZE - 1));
+        uexc_enable(EXC_MOD | EXC_TLBL | EXC_TLBS | EXC_ADEL |
+                        EXC_ADES,
+                    uexc_fast_stub, fp);
+        uexc_setflags(PF_EAGER_AMPLIFY);
+    } else {
+        sigaction(SIGSEGV, on_segv);
+    }
+
+    protect_heap();
+    for (i = 0; i < ITERS; i++) {
+        unsigned *p = *(unsigned **)heap; /* faults, gets swizzled */
+
+        if (p != &target)
+            return 1;
+        if (*p != PAYLOAD)
+            return 1;
+        protect_heap(); /* back to unswizzled state */
+    }
+
+    return hits == ITERS ? 0 : 1;
+}
