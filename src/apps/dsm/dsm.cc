@@ -1,5 +1,7 @@
 #include "apps/dsm/dsm.h"
 
+#include <algorithm>
+
 #include "common/bits.h"
 #include "common/guesterror.h"
 #include "common/logging.h"
@@ -40,11 +42,16 @@ DsmCluster::DsmCluster(const Config &config)
     pages_.resize(npages);
     sendSeq_.assign(std::size_t(config.nodes) * config.nodes, 0);
     recvSeq_.assign(std::size_t(config.nodes) * config.nodes, 0);
+    stats_.perLinkRetries.assign(
+        std::size_t(config.nodes) * config.nodes, 0);
+    stats_.timeoutCapCycles = config.timeoutCapCycles;
     rng_ = config.networkSeed;
     for (PageInfo &p : pages_)
         p.states.assign(config.nodes, DsmPageState::Invalid);
 
     sim::MachineConfig mcfg = rt::micro::paperMachineConfig();
+    if (config.memBytes != 0)
+        mcfg.memBytes = config.memBytes;
     mcfg.cpu.userVectorHw = config.hardwareExtensions;
     mcfg.cpu.tlbmpHw = config.hardwareExtensions;
     mcfg.cpu.fastInterpreter = config.fastInterpreter;
@@ -177,7 +184,11 @@ DsmCluster::sendMessage(unsigned node, unsigned from, unsigned to)
             env.cpu().charge(timeout);
             stats_.timeouts++;
             stats_.retries++;
-            timeout *= 2;
+            stats_.perLinkRetries[link]++;
+            if (timeout > stats_.maxTimeoutCharged)
+                stats_.maxTimeoutCharged = timeout;
+            timeout = std::min<Cycles>(timeout * 2,
+                                       config_.timeoutCapCycles);
             continue;
         }
         Cycles latency = config_.networkLatencyCycles;
@@ -294,6 +305,7 @@ DsmCluster::checkpoint() const
     w.boolean(config_.fastInterpreter);
     w.boolean(config_.hardwareExtensions);
     w.boolean(config_.unreliableNetwork);
+    w.u64(config_.memBytes);
     w.endSection();
 
     w.beginSection(kTagDsmPages);
@@ -314,6 +326,11 @@ DsmCluster::checkpoint() const
     w.u64(stats_.retries);
     w.u64(stats_.timeouts);
     w.u64(stats_.duplicatesSuppressed);
+    w.u64(stats_.timeoutCapCycles);
+    w.u64(stats_.maxTimeoutCharged);
+    w.u32(static_cast<Word>(stats_.perLinkRetries.size()));
+    for (std::uint64_t r : stats_.perLinkRetries)
+        w.u64(r);
     w.endSection();
 
     w.beginSection(kTagDsmNet);
@@ -364,6 +381,7 @@ DsmCluster::restore(const std::vector<Byte> &image)
           config_.hardwareExtensions);
     check("unreliableNetwork", cfg.boolean(),
           config_.unreliableNetwork);
+    check("memBytes", cfg.u64(), config_.memBytes);
     cfg.expectEnd();
 
     // Parse and validate every cluster-level payload into locals
@@ -397,6 +415,14 @@ DsmCluster::restore(const std::vector<Byte> &image)
     stats.retries = sr.u64();
     stats.timeouts = sr.u64();
     stats.duplicatesSuppressed = sr.u64();
+    stats.timeoutCapCycles = sr.u64();
+    stats.maxTimeoutCharged = sr.u64();
+    Word nlinkstats = sr.u32();
+    if (nlinkstats != stats_.perLinkRetries.size())
+        sr.fail("per-link retry counter count mismatch");
+    stats.perLinkRetries.resize(nlinkstats);
+    for (std::uint64_t &r : stats.perLinkRetries)
+        r = sr.u64();
     sr.expectEnd();
 
     sim::SnapshotReader nr = img.section(kTagDsmNet);

@@ -50,6 +50,17 @@ struct DsmStats
     std::uint64_t retries = 0;              ///< retransmissions sent
     std::uint64_t timeouts = 0;             ///< timeouts awaited
     std::uint64_t duplicatesSuppressed = 0; ///< dups dropped by seqno
+    /** The effective retransmit-timeout ceiling (config echo), so a
+     *  harness asserting tail-latency bounds reads the bound and the
+     *  observations from one place. */
+    Cycles timeoutCapCycles = 0;
+    /** Largest single timeout actually charged; never exceeds
+     *  timeoutCapCycles. */
+    Cycles maxTimeoutCharged = 0;
+    /** Retransmissions per ordered (from,to) link, indexed
+     *  from * nodes + to — the per-link retry histogram a fleet soak
+     *  uses to spot one systematically lossy path. */
+    std::vector<std::uint64_t> perLinkRetries;
 };
 
 /**
@@ -72,6 +83,10 @@ class DsmCluster
         bool hardwareExtensions = true;
         /** Run every node on the predecoded fast interpreter. */
         bool fastInterpreter = false;
+        /** Per-machine physical memory; 0 = the paper-machine
+         *  default. The fleet harness shrinks this so several
+         *  clusters fit in host RAM alongside dozens of guests. */
+        std::size_t memBytes = 0;
         /**
          * Place all nodes on the harts of ONE machine (one kernel,
          * one physical memory) instead of a machine per node. Page
@@ -99,6 +114,12 @@ class DsmCluster
         unsigned delayPercent = 0;  ///< extra-delay chance
         Cycles delayCycles = 5000;  ///< extra latency when delayed
         Cycles timeoutCycles = 50000;  ///< initial retransmit timeout
+        /** Ceiling for the doubling retransmit timeout. Unbounded
+         *  doubling up to maxRetries made the worst-case wait grow
+         *  2^16 beyond the initial timeout; the cap bounds the tail
+         *  so a partition is declared after a bounded (and
+         *  assertable) number of cycles. */
+        Cycles timeoutCapCycles = 8 * 50000;
         unsigned maxRetries = 16;   ///< then GuestError (partition)
     };
 

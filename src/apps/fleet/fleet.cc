@@ -1,0 +1,380 @@
+#include "apps/fleet/fleet.h"
+
+#include <algorithm>
+#include <map>
+
+#include "apps/dsm/dsm.h"
+#include "common/guesterror.h"
+#include "common/logging.h"
+#include "sim/faultinject.h"
+#include "sim/snapshot.h"
+
+namespace uexc::apps::fleet {
+
+using rt::chaos::Rig;
+using rt::migrate::MigrateErrorKind;
+
+namespace {
+
+constexpr std::size_t kMaxFailureNotes = 32;
+
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t s = a * 0x9E3779B97F4A7C15ull + b;
+    return sim::FaultInjector::splitmix64(s);
+}
+
+} // namespace
+
+/** One guest slot: a chaos rig mid-campaign, or a DSM pair. */
+struct Fleet::Guest
+{
+    unsigned id = 0;
+    unsigned host = 0;
+    bool isDsm = false;
+    bool fastInterpreter = false;
+
+    // chaos guests
+    unsigned campaignIndex = 0;
+    bool mayDiagnose = false;
+    std::unique_ptr<sim::FaultInjector> injector;
+    std::unique_ptr<Rig> rig;
+
+    // DSM guests
+    DsmCluster::Config dsmConfig;
+    std::unique_ptr<DsmCluster> dsm;
+    /** Host-side oracle: last value written to each shared word. */
+    std::map<Addr, Word> expected;
+};
+
+Cycles
+FleetStats::downtimePercentile(double p) const
+{
+    if (downtimeCycles.empty())
+        return 0;
+    std::vector<Cycles> sorted = downtimeCycles;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * double(sorted.size() - 1);
+    return sorted[std::size_t(rank + 0.5)];
+}
+
+Fleet::Fleet(const FleetConfig &config)
+    : config_(config)
+{
+    rng_ = mix(config.seed, 0x666C6565746E6Full /* "fleetn" */);
+    stats_.perHostArrivals.assign(std::max(config.hosts, 1u), 0);
+
+    unsigned dsm_count = std::min(config.dsmGuests, config.guests);
+    for (unsigned i = 0; i < config.guests; i++) {
+        auto g = std::make_unique<Guest>();
+        g->id = i;
+        g->host = config.hosts != 0 ? i % config.hosts : 0;
+        // DSM pairs are spread through the id space, not clustered
+        // at the front, so migrations hit both kinds early.
+        g->isDsm = dsm_count != 0 &&
+                   (std::uint64_t(i) * dsm_count) % config.guests <
+                       dsm_count;
+        g->fastInterpreter = i % 2 == 1;
+        if (g->isDsm) {
+            DsmCluster::Config dc;
+            dc.nodes = 2;
+            dc.bytes = 4 * os::kPageBytes;
+            dc.memBytes = config.guestMemBytes;
+            dc.fastInterpreter = g->fastInterpreter;
+            dc.unreliableNetwork = true;
+            dc.networkSeed = mix(config.seed, 0xD500 + i);
+            dc.lossPercent = 5;
+            dc.dupPercent = 5;
+            dc.delayPercent = 10;
+            g->dsmConfig = dc;
+            g->dsm = std::make_unique<DsmCluster>(dc);
+        }
+        guests_.push_back(std::move(g));
+    }
+}
+
+Fleet::~Fleet() = default;
+
+std::uint64_t
+Fleet::rng()
+{
+    return sim::FaultInjector::splitmix64(rng_);
+}
+
+chaos::RigConfig
+Fleet::rigConfigFor(const Guest &guest) const
+{
+    chaos::RigConfig rc;
+    rc.fastInterpreter = guest.fastInterpreter;
+    rc.scheduler = config_.scheduler;
+    rc.memBytes = config_.guestMemBytes;
+    return rc;
+}
+
+const chaos::Reference &
+Fleet::referenceFor(bool fast_interpreter)
+{
+    unsigned i = fast_interpreter ? 1 : 0;
+    if (!references_[i]) {
+        chaos::RigConfig rc;
+        rc.fastInterpreter = fast_interpreter;
+        rc.scheduler = config_.scheduler;
+        rc.memBytes = config_.guestMemBytes;
+        references_[i] = std::make_unique<chaos::Reference>(
+            chaos::makeReference(rc));
+    }
+    return *references_[i];
+}
+
+void
+Fleet::recordFailure(Guest &guest, const std::string &what)
+{
+    stats_.hostFailures++;
+    if (stats_.failureNotes.size() < kMaxFailureNotes) {
+        stats_.failureNotes.push_back(
+            "guest " + std::to_string(guest.id) + " (host " +
+            std::to_string(guest.host) + "): " + what);
+    }
+    if (config_.reproDir.empty() ||
+        stats_.reprosWritten.size() >= config_.maxRepros) {
+        return;
+    }
+    try {
+        std::vector<Byte> image = guest.isDsm
+                                      ? guest.dsm->checkpoint()
+                                      : guest.rig->checkpoint();
+        std::string path = config_.reproDir + "/fleet-guest" +
+                           std::to_string(guest.id) + "-f" +
+                           std::to_string(stats_.hostFailures) +
+                           ".uxsn";
+        sim::writeSnapshotFile(path, image);
+        stats_.reprosWritten.push_back(path);
+    } catch (const std::exception &e) {
+        UEXC_WARN("fleet: repro dump failed: %s", e.what());
+    }
+}
+
+void
+Fleet::startCampaign(Guest &guest)
+{
+    guest.injector = std::make_unique<sim::FaultInjector>();
+    guest.rig = std::make_unique<Rig>(guest.injector.get(),
+                                      rigConfigFor(guest));
+    const chaos::Reference &ref = referenceFor(guest.fastInterpreter);
+    std::uint64_t seed =
+        mix(mix(config_.seed, guest.id), guest.campaignIndex);
+    bool may = false;
+    for (const sim::FaultEvent &e :
+         chaos::planEvents(seed, ref.window, *guest.rig, &may)) {
+        guest.injector->addEvent(e);
+    }
+    guest.mayDiagnose = may;
+    stats_.campaignsStarted++;
+}
+
+void
+Fleet::finishCampaign(Guest &guest)
+{
+    const chaos::Reference &ref = referenceFor(guest.fastInterpreter);
+    if (guest.rig->words() == ref.words) {
+        stats_.campaignsConverged++;
+    } else {
+        recordFailure(guest,
+                      "campaign " +
+                          std::to_string(guest.campaignIndex) +
+                          " diverged from the fault-free reference");
+    }
+    guest.campaignIndex++;
+    guest.rig.reset();
+    guest.injector.reset();
+}
+
+void
+Fleet::stepChaosGuest(Guest &guest, unsigned ops)
+{
+    if (!guest.rig)
+        startCampaign(guest);
+    unsigned before = guest.rig->cursor();
+    unsigned target =
+        std::min(before + ops, unsigned(chaos::kTotalOps));
+    try {
+        guest.rig->runTo(target);
+        stats_.chaosOpsRun += guest.rig->cursor() - before;
+    } catch (const GuestError &e) {
+        stats_.chaosOpsRun += guest.rig->cursor() - before;
+        if (guest.mayDiagnose) {
+            stats_.campaignsDiagnosed++;
+        } else {
+            recordFailure(guest,
+                          std::string("unplanned diagnosis: ") +
+                              e.what());
+        }
+        guest.campaignIndex++;
+        guest.rig.reset();
+        guest.injector.reset();
+        return;
+    }
+    if (guest.rig->done())
+        finishCampaign(guest);
+}
+
+void
+Fleet::stepDsmGuest(Guest &guest, unsigned ops)
+{
+    const DsmCluster::Config &dc = guest.dsmConfig;
+    Word words = dc.bytes / 4;
+    for (unsigned i = 0; i < ops; i++) {
+        unsigned node = unsigned(rng() % dc.nodes);
+        Addr va = dc.base + Addr(rng() % words) * 4;
+        if (rng() % 2 == 0) {
+            Word value = Word(rng());
+            guest.dsm->write(node, va, value);
+            guest.expected[va] = value;
+        } else {
+            Word got = guest.dsm->read(node, va);
+            auto it = guest.expected.find(va);
+            if (it != guest.expected.end()) {
+                if (got != it->second) {
+                    recordFailure(
+                        guest,
+                        "dsm oracle mismatch at " +
+                            std::to_string(va) + ": read " +
+                            std::to_string(got) + ", expected " +
+                            std::to_string(it->second));
+                    return;
+                }
+                stats_.dsmReadsVerified++;
+            }
+        }
+        stats_.dsmOpsRun++;
+    }
+}
+
+void
+Fleet::verifyDsmGuest(Guest &guest)
+{
+    for (const auto &[va, expect] : guest.expected) {
+        for (unsigned node = 0; node < guest.dsmConfig.nodes;
+             node++) {
+            Word got = guest.dsm->read(node, va);
+            if (got != expect) {
+                recordFailure(guest,
+                              "end-of-soak dsm mismatch at " +
+                                  std::to_string(va) + " on node " +
+                                  std::to_string(node));
+                return;
+            }
+            stats_.dsmReadsVerified++;
+        }
+    }
+}
+
+void
+Fleet::migrateGuest(Guest &guest, unsigned migration_index)
+{
+    rt::migrate::MigrationConfig mc;
+    mc.transport = config_.transport;
+    mc.transport.seed = rng();
+    bool partition = config_.partitionEvery != 0 &&
+                     (migration_index + 1) % config_.partitionEvery ==
+                         0;
+    if (partition) {
+        // deliberate partition: graceful-degradation drill
+        mc.transport.lossPercent = 100;
+        mc.transport.maxRetries =
+            std::min(mc.transport.maxRetries, 4u);
+        stats_.partitionsInjected++;
+    } else {
+        mc.transport.lossPercent = unsigned(rng() % 12);
+        mc.transport.corruptPercent = unsigned(rng() % 10);
+        mc.transport.dupPercent = unsigned(rng() % 8);
+        mc.transport.delayPercent = unsigned(rng() % 15);
+    }
+
+    unsigned dst_host = config_.hosts != 0
+                            ? unsigned(rng() % config_.hosts)
+                            : 0;
+    if (dst_host == guest.host && config_.hosts > 1)
+        dst_host = (dst_host + 1) % config_.hosts;
+
+    rt::migrate::MigrationResult result;
+    std::unique_ptr<sim::FaultInjector> dst_injector;
+    std::unique_ptr<Rig> dst_rig;
+    std::unique_ptr<DsmCluster> dst_dsm;
+    if (guest.isDsm) {
+        dst_dsm = std::make_unique<DsmCluster>(guest.dsmConfig);
+        result = rt::migrate::migrateImage(
+            guest.dsm->checkpoint(),
+            [&dst_dsm](const std::vector<Byte> &image) {
+                dst_dsm->restore(image);
+            },
+            mc);
+    } else {
+        if (!guest.rig)
+            startCampaign(guest);
+        dst_injector = std::make_unique<sim::FaultInjector>();
+        dst_rig = std::make_unique<Rig>(dst_injector.get(),
+                                        rigConfigFor(guest));
+        result = rt::migrate::migrateRig(*guest.rig, *dst_rig, mc);
+    }
+
+    stats_.migrationsAttempted++;
+    stats_.framesSent += result.transport.framesSent;
+    stats_.transportRetries += result.transport.retries;
+    stats_.corruptDropped += result.transport.corruptDropped;
+    stats_.duplicatesSuppressed +=
+        result.transport.duplicatesSuppressed;
+    stats_.maxTimeoutCharged = std::max(
+        stats_.maxTimeoutCharged, result.transport.maxTimeoutCharged);
+
+    if (result.succeeded) {
+        stats_.migrationsSucceeded++;
+        stats_.downtimeCycles.push_back(result.downtimeCycles);
+        stats_.perHostArrivals[dst_host]++;
+        guest.host = dst_host;
+        if (guest.isDsm) {
+            guest.dsm = std::move(dst_dsm);
+        } else {
+            guest.rig = std::move(dst_rig);
+            guest.injector = std::move(dst_injector);
+        }
+    } else {
+        // Graceful degradation: the source copy never stopped being
+        // authoritative; the twin is discarded and the guest runs on.
+        stats_.migrationsFailedByKind[unsigned(result.errorKind)]++;
+    }
+}
+
+const FleetStats &
+Fleet::run()
+{
+    unsigned ticks = config_.targetMigrations + config_.cooldownTicks;
+    for (unsigned tick = 0; tick < ticks; tick++) {
+        for (std::unique_ptr<Guest> &g : guests_) {
+            if (g->isDsm)
+                stepDsmGuest(*g, config_.opsPerTick);
+            else
+                stepChaosGuest(*g, config_.opsPerTick);
+        }
+        if (tick < config_.targetMigrations && !guests_.empty()) {
+            Guest &victim = *guests_[rng() % guests_.size()];
+            migrateGuest(victim, tick);
+        }
+        stats_.ticks++;
+    }
+
+    // End-of-soak convergence sweep: every chaos guest finishes its
+    // campaign and is judged; every DSM word is read back everywhere.
+    for (std::unique_ptr<Guest> &g : guests_) {
+        if (g->isDsm) {
+            verifyDsmGuest(*g);
+        } else if (g->rig) {
+            while (g->rig && !g->rig->done())
+                stepChaosGuest(*g, chaos::kTotalOps);
+        }
+    }
+    return stats_;
+}
+
+} // namespace uexc::apps::fleet

@@ -22,6 +22,8 @@ Rig::Rig(sim::FaultInjector *injector, const RigConfig &config)
     : config_(config), injector_(injector)
 {
     sim::MachineConfig mcfg;
+    if (config.memBytes != 0)
+        mcfg.memBytes = config.memBytes;
     mcfg.cpu.userVectorHw = config.hardwareExtensions;
     mcfg.cpu.tlbmpHw = config.hardwareExtensions;
     mcfg.cpu.fastInterpreter = config.fastInterpreter;
@@ -370,6 +372,7 @@ writeReproFile(const ReproWindow &repro, const std::string &path)
     w.boolean(repro.config.hardwareExtensions);
     w.boolean(repro.config.fastInterpreter);
     w.u64(repro.config.handlerBudget);
+    w.u64(repro.config.memBytes);
     w.u32(repro.startOp);
     w.u32(repro.endOp);
     w.u64(repro.startInst);
@@ -396,6 +399,7 @@ readReproFile(const std::string &path)
     repro.config.hardwareExtensions = r.boolean();
     repro.config.fastInterpreter = r.boolean();
     repro.config.handlerBudget = r.u64();
+    repro.config.memBytes = std::size_t(r.u64());
     repro.startOp = r.u32();
     repro.endOp = r.u32();
     repro.startInst = r.u64();

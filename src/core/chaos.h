@@ -62,6 +62,11 @@ struct RigConfig
      *  into repro files: the Barrier scheduler is bit-identical to
      *  Serial, so a repro captured under either replays under both. */
     sim::SchedulerMode scheduler = sim::SchedulerMode::Auto;
+    /** Physical memory size; 0 = the Machine default. The fleet
+     *  harness shrinks this so dozens of guests fit in host RAM; it
+     *  is part of the machine config echo, so it IS serialized into
+     *  repro files. */
+    std::size_t memBytes = 0;
 };
 
 /**

@@ -1,0 +1,273 @@
+#include "core/migrate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/faultinject.h"
+#include "sim/snapshot.h"
+
+namespace uexc::rt::migrate {
+
+namespace {
+
+/** Frame header: chunk index, total chunks, payload length — all
+ *  covered (with the payload) by the frame CRC, so a bit flip
+ *  anywhere in the frame is detected at the receiver. */
+constexpr std::size_t kFrameHeaderBytes = 12;
+
+std::uint32_t
+frameCrc(unsigned index, unsigned total, const Byte *payload,
+         std::size_t len)
+{
+    Byte header[kFrameHeaderBytes];
+    for (unsigned i = 0; i < 4; i++) {
+        header[i] = Byte(index >> (8 * i));
+        header[4 + i] = Byte(total >> (8 * i));
+        header[8 + i] = Byte(std::uint32_t(len) >> (8 * i));
+    }
+    std::uint32_t crc = sim::snapshotCrc32(header, sizeof header);
+    // chain the payload CRC into the header CRC (simple concatenation
+    // is fine for a simulated wire; this is detection, not security)
+    return crc ^ sim::snapshotCrc32(payload, len);
+}
+
+} // namespace
+
+const char *
+migrateErrorKindName(MigrateErrorKind kind)
+{
+    switch (kind) {
+      case MigrateErrorKind::Partition: return "partition";
+      case MigrateErrorKind::ImageRejected: return "image-rejected";
+      case MigrateErrorKind::RestoreRefused: return "restore-refused";
+    }
+    return "?";
+}
+
+// -- TransferSession -----------------------------------------------------
+
+TransferSession::TransferSession(std::vector<Byte> image,
+                                 const TransportConfig &config)
+    : config_(config), source_(std::move(image)), rng_(config.seed)
+{
+    if (config_.chunkBytes == 0)
+        UEXC_FATAL("migrate: zero transport chunk size");
+    chunks_ = unsigned((source_.size() + config_.chunkBytes - 1) /
+                       config_.chunkBytes);
+    if (chunks_ == 0)
+        chunks_ = 1; // an empty image still takes one (empty) frame
+    delivered_.resize(chunks_);
+    have_.assign(chunks_, false);
+    stats_.chunksTotal = chunks_;
+}
+
+bool
+TransferSession::roll(unsigned pct)
+{
+    return sim::FaultInjector::splitmix64(rng_) % 100 < pct;
+}
+
+void
+TransferSession::reconfigure(const TransportConfig &config)
+{
+    std::size_t chunk_bytes = config_.chunkBytes;
+    config_ = config;
+    // The chunk grid is fixed at session construction; changing it
+    // mid-flight would orphan the delivered set.
+    config_.chunkBytes = chunk_bytes;
+}
+
+void
+TransferSession::sendChunk(unsigned index)
+{
+    std::size_t begin = std::size_t(index) * config_.chunkBytes;
+    std::size_t len =
+        std::min(config_.chunkBytes,
+                 source_.size() - std::min(begin, source_.size()));
+    const Byte *payload = source_.data() + begin;
+    std::uint32_t good_crc = frameCrc(index, chunks_, payload, len);
+    Cycles wire = config_.latencyCycles +
+                  config_.perWordCycles * ((len + 3) / 4);
+
+    Cycles timeout = config_.timeoutCycles;
+    for (unsigned attempt = 0;; attempt++) {
+        stats_.framesSent++;
+        bool lost = roll(config_.lossPercent);
+        bool corrupt = !lost && roll(config_.corruptPercent);
+
+        std::vector<Byte> frame(payload, payload + len);
+        std::uint32_t crc = good_crc;
+        if (corrupt) {
+            // one seeded bit flip anywhere in the frame — payload or
+            // the CRC word itself; either way the receiver's check
+            // fails and the chunk is dropped, costing a timeout
+            std::size_t bits = 8 * (len + 4);
+            std::size_t bit =
+                sim::FaultInjector::splitmix64(rng_) % bits;
+            if (bit < 8 * len)
+                frame[bit / 8] ^= Byte(1u << (bit % 8));
+            else
+                crc ^= 1u << (bit - 8 * len);
+        }
+
+        bool accepted = false;
+        if (!lost) {
+            Cycles latency = wire;
+            if (roll(config_.delayPercent))
+                latency += config_.delayCycles;
+            stats_.cyclesCharged += latency;
+            // receive-side per-chunk CRC check
+            if (frameCrc(index, chunks_, frame.data(), frame.size()) ==
+                crc) {
+                accepted = true;
+            } else {
+                stats_.corruptDropped++;
+            }
+        } else {
+            stats_.lostInFlight++;
+        }
+
+        if (accepted) {
+            delivered_[index] = std::move(frame);
+            have_[index] = true;
+            deliveredCount_++;
+            if (roll(config_.dupPercent)) {
+                stats_.framesSent++;
+                stats_.cyclesCharged += wire;
+                stats_.duplicatesSuppressed++;
+            }
+            std::size_t bucket =
+                std::min<std::size_t>(attempt,
+                                      stats_.retryHistogram.size() - 1);
+            stats_.retryHistogram[bucket]++;
+            stats_.chunksDelivered++;
+            return;
+        }
+
+        // lost or dropped: wait out the retransmit timer
+        if (attempt >= config_.maxRetries) {
+            throw MigrateError(
+                MigrateErrorKind::Partition, index,
+                "chunk " + std::to_string(index) + "/" +
+                    std::to_string(chunks_) + " undelivered after " +
+                    std::to_string(attempt + 1) +
+                    " attempts (network partition?)");
+        }
+        stats_.cyclesCharged += timeout;
+        if (timeout > stats_.maxTimeoutCharged)
+            stats_.maxTimeoutCharged = timeout;
+        stats_.timeouts++;
+        stats_.retries++;
+        timeout = std::min<Cycles>(timeout * 2,
+                                   config_.timeoutCapCycles);
+    }
+}
+
+void
+TransferSession::run()
+{
+    for (unsigned i = 0; i < chunks_; i++) {
+        if (have_[i])
+            continue;
+        sendChunk(i);
+    }
+}
+
+std::vector<Byte>
+TransferSession::receivedImage() const
+{
+    if (!complete()) {
+        throw MigrateError(
+            MigrateErrorKind::ImageRejected, ~0u,
+            "image incomplete: " + std::to_string(deliveredCount_) +
+                "/" + std::to_string(chunks_) + " chunks delivered");
+    }
+    std::vector<Byte> image;
+    image.reserve(source_.size());
+    for (const std::vector<Byte> &c : delivered_)
+        image.insert(image.end(), c.begin(), c.end());
+    // Receive-side verification — exactly what `uexc-snap verify`
+    // runs: header, version, every section CRC, total CRC, footer.
+    try {
+        sim::SnapshotImage check(image);
+        (void)check;
+    } catch (const sim::SnapshotError &e) {
+        throw MigrateError(MigrateErrorKind::ImageRejected, ~0u,
+                           std::string("reassembled image rejected: ") +
+                               e.what());
+    }
+    return image;
+}
+
+std::vector<Byte>
+transferImage(const std::vector<Byte> &image,
+              const TransportConfig &config, TransportStats *stats)
+{
+    TransferSession session(image, config);
+    try {
+        session.run();
+        std::vector<Byte> out = session.receivedImage();
+        if (stats != nullptr)
+            *stats = session.stats();
+        return out;
+    } catch (...) {
+        if (stats != nullptr)
+            *stats = session.stats();
+        throw;
+    }
+}
+
+// -- migrations ----------------------------------------------------------
+
+MigrationResult
+migrateImage(const std::vector<Byte> &image,
+             const std::function<void(const std::vector<Byte> &)>
+                 &restore_fn,
+             const MigrationConfig &config)
+{
+    MigrationResult result;
+    Cycles words = (image.size() + 3) / 4;
+    result.downtimeCycles = config.checkpointPerWordCycles * words;
+    TransferSession session(image, config.transport);
+    try {
+        session.run();
+        std::vector<Byte> received = session.receivedImage();
+        try {
+            restore_fn(received);
+        } catch (const sim::SnapshotError &e) {
+            throw MigrateError(MigrateErrorKind::RestoreRefused, ~0u,
+                               e.what());
+        }
+        result.succeeded = true;
+        result.downtimeCycles += config.restorePerWordCycles * words;
+    } catch (const MigrateError &e) {
+        result.succeeded = false;
+        result.errorKind = e.kind();
+        result.error = e.what();
+    }
+    result.transport = session.stats();
+    result.downtimeCycles += result.transport.cyclesCharged;
+    return result;
+}
+
+MigrationResult
+migrateRig(chaos::Rig &src, chaos::Rig &dst,
+           const MigrationConfig &config)
+{
+    return migrateImage(
+        src.checkpoint(),
+        [&dst](const std::vector<Byte> &image) { dst.restore(image); },
+        config);
+}
+
+MigrationResult
+migrateMachine(sim::Machine &src, sim::Machine &dst,
+               const MigrationConfig &config)
+{
+    return migrateImage(
+        src.checkpoint(),
+        [&dst](const std::vector<Byte> &image) { dst.restore(image); },
+        config);
+}
+
+} // namespace uexc::rt::migrate

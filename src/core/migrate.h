@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Live migration of running guests: checkpoint → chunked lossy
+ * transfer → receive-side verification → restore → resume.
+ *
+ * The engine moves a crash-consistent .uxsn image (a Machine, a chaos
+ * rig, or a whole DSM cluster) between hosts over a transport that
+ * reuses the DSM unreliable-network model: every chunk frame carries
+ * its own CRC32, a lost or corrupted chunk costs a retransmit timeout
+ * that doubles per retry up to a hard cap, and a chunk that exhausts
+ * its retry budget raises a structured MigrateError *without*
+ * destroying either end — the source keeps running (stop-and-copy
+ * releases nothing until the destination has accepted the image) and
+ * the TransferSession remembers every chunk the receiver already
+ * acknowledged, so a later resume retransmits only the missing ones.
+ *
+ * The receive side never trusts reassembly: before any restore, the
+ * reassembled bytes go through full SnapshotImage validation — the
+ * same header/section-CRC/footer checks `uexc-snap verify` runs — so
+ * a partial or torn image is rejected as a typed error, never applied
+ * as partial state. Restore-window safety falls out of the snapshot
+ * layer's construction-vs-state split: the destination rig re-registers
+ * the fast stub's K0 resume-window masks at construction, and the
+ * pending injector events travel inside the image, so a fault planned
+ * to land in the first instructions after resume defers exactly the
+ * way it would have on the source (the PR 5 K0-hazard discipline,
+ * extended across a migration).
+ *
+ * Downtime accounting is simulated cycles, not host time: the guest
+ * is paused from checkpoint to resume, and every latency, wire word,
+ * and timeout the transfer charges accumulates into
+ * MigrationResult::downtimeCycles — the number the fleet harness
+ * turns into p50/p99 migration downtime.
+ */
+
+#ifndef UEXC_CORE_MIGRATE_H
+#define UEXC_CORE_MIGRATE_H
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/chaos.h"
+
+namespace uexc::rt::migrate {
+
+/** Failure classes of one migration attempt. */
+enum class MigrateErrorKind
+{
+    /** A chunk exhausted its retry budget (network partition). The
+     *  session is resumable: already-delivered chunks stay
+     *  acknowledged. */
+    Partition,
+    /** The reassembled image failed snapshot validation (truncation,
+     *  CRC mismatch, version skew) — rejected before any restore. */
+    ImageRejected,
+    /** The destination machine refused the validated image (shape
+     *  mismatch: hart count, config echo, missing consumer). */
+    RestoreRefused,
+};
+
+const char *migrateErrorKindName(MigrateErrorKind kind);
+
+/**
+ * Structured failure of a migration step. Catching code switches on
+ * kind(): Partition → keep the source running and optionally resume
+ * the transfer later; ImageRejected/RestoreRefused → the destination
+ * was never touched (or was left freshly constructed), discard it.
+ */
+class MigrateError : public std::runtime_error
+{
+  public:
+    MigrateError(MigrateErrorKind kind, unsigned chunk,
+                 const std::string &what)
+        : std::runtime_error(std::string("migrate [") +
+                             migrateErrorKindName(kind) + "]: " + what),
+          kind_(kind), chunk_(chunk)
+    {
+    }
+
+    MigrateErrorKind kind() const { return kind_; }
+    /** Chunk index the failure occurred on (~0u when not per-chunk). */
+    unsigned chunk() const { return chunk_; }
+
+  private:
+    MigrateErrorKind kind_;
+    unsigned chunk_;
+};
+
+/** Seeded-deterministic lossy transport knobs (the DSM
+ *  unreliable-network model, applied to image chunks). */
+struct TransportConfig
+{
+    std::uint64_t seed = 1;
+    std::size_t chunkBytes = 4096;
+    unsigned lossPercent = 0;    ///< chunk lost in flight
+    unsigned corruptPercent = 0; ///< one bit of the frame flipped
+    unsigned dupPercent = 0;     ///< chunk delivered twice
+    unsigned delayPercent = 0;   ///< extra-delay chance
+    Cycles latencyCycles = 25000;  ///< per-frame one-way latency
+    Cycles delayCycles = 5000;     ///< extra latency when delayed
+    Cycles perWordCycles = 1;      ///< wire time per 32-bit word
+    Cycles timeoutCycles = 50000;  ///< initial retransmit timeout
+    /** Ceiling for the doubling retransmit timeout (same discipline
+     *  as DsmCluster::Config::timeoutCapCycles). */
+    Cycles timeoutCapCycles = 8 * 50000;
+    unsigned maxRetries = 16;      ///< per chunk, then Partition
+};
+
+/** Transfer-side statistics (host measurement + simulated cycles). */
+struct TransportStats
+{
+    std::uint64_t chunksTotal = 0;
+    std::uint64_t chunksDelivered = 0;
+    std::uint64_t framesSent = 0;     ///< incl. retransmits and dups
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t lostInFlight = 0;
+    std::uint64_t corruptDropped = 0; ///< chunk-CRC rejections
+    std::uint64_t duplicatesSuppressed = 0;
+    /** Largest single timeout charged; never exceeds the cap. */
+    Cycles maxTimeoutCharged = 0;
+    /** Simulated cycles the transfer cost (latency + wire + waits). */
+    Cycles cyclesCharged = 0;
+    /** retryHistogram[i] = chunks that needed exactly i retries;
+     *  the last bucket saturates. */
+    std::vector<std::uint64_t> retryHistogram =
+        std::vector<std::uint64_t>(9, 0);
+};
+
+/**
+ * A resumable transfer of one snapshot image. run() pushes every
+ * not-yet-acknowledged chunk through the lossy link; on Partition the
+ * delivered-chunk set survives, so run() after the network heals
+ * (reconfigure()) finishes the remainder. receivedImage() reassembles
+ * and *validates* — the receive-side `uexc-snap verify` — before
+ * handing bytes to any restore path.
+ */
+class TransferSession
+{
+  public:
+    TransferSession(std::vector<Byte> image,
+                    const TransportConfig &config);
+
+    /** Transfer all missing chunks; throws MigrateError(Partition)
+     *  when a chunk exhausts its retries. Safe to call again. */
+    void run();
+
+    bool complete() const { return deliveredCount_ == chunks_; }
+    unsigned chunksTotal() const { return chunks_; }
+    unsigned chunksDelivered() const { return deliveredCount_; }
+
+    /**
+     * Reassemble and validate the received image. Throws
+     * MigrateError(ImageRejected) if chunks are missing or the
+     * reassembled bytes fail SnapshotImage validation (section CRCs,
+     * footer) — a partial image is never observable as success.
+     */
+    std::vector<Byte> receivedImage() const;
+
+    /** Swap transport knobs mid-session (a healed or degraded
+     *  network); the delivered-chunk set and RNG stream persist. */
+    void reconfigure(const TransportConfig &config);
+
+    const TransportConfig &config() const { return config_; }
+    const TransportStats &stats() const { return stats_; }
+
+  private:
+    bool roll(unsigned pct);
+    void sendChunk(unsigned index);
+
+    TransportConfig config_;
+    std::vector<Byte> source_;
+    unsigned chunks_ = 0;
+    /** Receiver-side chunk store plus delivered flags (a chunk may
+     *  legitimately be empty, so presence is tracked explicitly). */
+    std::vector<std::vector<Byte>> delivered_;
+    std::vector<bool> have_;
+    unsigned deliveredCount_ = 0;
+    TransportStats stats_;
+    std::uint64_t rng_ = 0;
+};
+
+/** One-shot convenience: transfer @p image over a fresh session and
+ *  return the validated received copy. */
+std::vector<Byte> transferImage(const std::vector<Byte> &image,
+                                const TransportConfig &config,
+                                TransportStats *stats = nullptr);
+
+/** Everything a migration attempt reports. On failure the error
+ *  taxonomy is populated and the source is guaranteed untouched. */
+struct MigrationResult
+{
+    bool succeeded = false;
+    MigrateErrorKind errorKind = MigrateErrorKind::Partition;
+    std::string error;
+    /** Simulated guest-paused cycles: checkpoint + transfer +
+     *  restore (stop-and-copy downtime). */
+    Cycles downtimeCycles = 0;
+    TransportStats transport;
+};
+
+/** Flat per-word costs for the checkpoint/restore halves of the
+ *  downtime window (serialization is charged like a page copy). */
+struct MigrationConfig
+{
+    TransportConfig transport;
+    Cycles checkpointPerWordCycles = 1;
+    Cycles restorePerWordCycles = 1;
+};
+
+/**
+ * Migrate a live chaos rig into @p dst (a freshly constructed rig of
+ * the same shape, injector attached). On success @p dst holds the
+ * guest, bit-identical to @p src at the cut, and @p src should be
+ * discarded by the caller; on failure @p src is untouched and keeps
+ * running — graceful degradation is the caller keeping the source.
+ * Never throws for transfer/restore failures (they land in the
+ * result); programming errors still panic.
+ */
+MigrationResult migrateRig(chaos::Rig &src, chaos::Rig &dst,
+                           const MigrationConfig &config);
+
+/** Same contract for a bare Machine (twin-shaped destination). */
+MigrationResult migrateMachine(sim::Machine &src, sim::Machine &dst,
+                               const MigrationConfig &config);
+
+/** Migrate an already-serialized image into a restore callable; the
+ *  shared core of the two helpers above (and of DSM-cluster moves,
+ *  whose restore target is a cluster, not a machine). */
+MigrationResult
+migrateImage(const std::vector<Byte> &image,
+             const std::function<void(const std::vector<Byte> &)>
+                 &restore_fn,
+             const MigrationConfig &config);
+
+} // namespace uexc::rt::migrate
+
+#endif // UEXC_CORE_MIGRATE_H

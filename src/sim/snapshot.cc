@@ -1,5 +1,6 @@
 #include "sim/snapshot.h"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include "common/logging.h"
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -321,7 +323,94 @@ SnapshotImage::section(Word tag) const
                         snapshotTagName(tag) + " is missing");
 }
 
+// -- diffing -------------------------------------------------------------
+
+std::vector<SnapshotSectionDiff>
+diffSnapshotImages(const SnapshotImage &a, const SnapshotImage &b)
+{
+    std::vector<SnapshotSectionDiff> out;
+    for (const SnapshotSection &sa : a.sections()) {
+        SnapshotSectionDiff d;
+        d.tag = sa.tag;
+        d.inA = true;
+        d.lengthA = sa.length;
+        if (!b.has(sa.tag)) {
+            out.push_back(d);
+            continue;
+        }
+        const SnapshotSection *sb = nullptr;
+        for (const SnapshotSection &s : b.sections())
+            if (s.tag == sa.tag)
+                sb = &s;
+        d.inB = true;
+        d.lengthB = sb->length;
+        const Byte *pa = a.sectionData(sa);
+        const Byte *pb = b.sectionData(*sb);
+        std::size_t common = std::min(sa.length, sb->length);
+        std::size_t i = 0;
+        while (i < common && pa[i] == pb[i])
+            i++;
+        if (i == common && sa.length == sb->length)
+            continue; // identical payloads
+        d.firstDiffOffset = i;
+        out.push_back(d);
+    }
+    for (const SnapshotSection &sb : b.sections()) {
+        if (a.has(sb.tag))
+            continue;
+        SnapshotSectionDiff d;
+        d.tag = sb.tag;
+        d.inB = true;
+        d.lengthB = sb.length;
+        out.push_back(d);
+    }
+    return out;
+}
+
+std::string
+snapshotDiffLine(const SnapshotSectionDiff &d)
+{
+    std::string name = snapshotTagName(d.tag);
+    if (!d.inA)
+        return "section " + name + ": only in the second image (" +
+               std::to_string(d.lengthB) + " bytes)";
+    if (!d.inB)
+        return "section " + name + ": only in the first image (" +
+               std::to_string(d.lengthA) + " bytes)";
+    return "section " + name + ": first divergence at payload byte " +
+           std::to_string(d.firstDiffOffset) + " (" +
+           std::to_string(d.lengthA) + " vs " +
+           std::to_string(d.lengthB) + " bytes)";
+}
+
 // -- file I/O ------------------------------------------------------------
+
+namespace {
+
+/** fsync the directory holding @p path so a just-renamed entry is
+ *  durable; a crash after rename but before the directory flush could
+ *  otherwise resurrect the pre-rename state (a half-migrated target
+ *  would reappear as its stale predecessor). Best effort on
+ *  filesystems that refuse directory fsync. */
+void
+syncContainingDir(const std::string &path)
+{
+#ifndef _WIN32
+    std::size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash == 0 ? 1 : slash);
+    int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    (void)fsync(fd);
+    (void)close(fd);
+#else
+    (void)path;
+#endif
+}
+
+} // namespace
 
 void
 writeSnapshotFile(const std::string &path,
@@ -348,6 +437,7 @@ writeSnapshotFile(const std::string &path,
         throw SnapshotError("snapshot write: rename to " + path +
                             " failed");
     }
+    syncContainingDir(path);
 }
 
 std::vector<Byte>

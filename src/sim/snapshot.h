@@ -62,8 +62,11 @@ constexpr std::uint32_t kSnapshotMagic = 0x4e535855u;
 constexpr std::uint32_t kSnapshotFooterMagic = 0x4e455855u;
 /** Format version; bumped on any incompatible layout change.
  *  v2: KERN section gained VFS contents, console output, and
- *  per-process fork/descriptor state. */
-constexpr std::uint32_t kSnapshotVersion = 2;
+ *  per-process fork/descriptor state.
+ *  v3: DSTA (DSM stats) section gained the retransmit-timeout cap
+ *  echo, the per-link retry counters, and the maximum charged
+ *  timeout. */
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 /** Section tag from four printable characters ("CFG " style). */
 constexpr Word
@@ -172,6 +175,11 @@ class SnapshotImage
     {
         return sections_;
     }
+    /** Raw payload bytes of a parsed section (for diffing). */
+    const Byte *sectionData(const SnapshotSection &s) const
+    {
+        return data_ + s.offset;
+    }
 
   private:
     const Byte *data_;
@@ -179,10 +187,47 @@ class SnapshotImage
 };
 
 /**
+ * One divergence between two validated images, at section
+ * granularity with the first differing payload byte located — the
+ * unit of migration triage ("which section went wrong, and where"),
+ * as opposed to the old binary same/different verdict.
+ */
+struct SnapshotSectionDiff
+{
+    Word tag = 0;
+    bool inA = false;           ///< section present in image A
+    bool inB = false;           ///< section present in image B
+    std::size_t lengthA = 0;
+    std::size_t lengthB = 0;
+    /** Payload offset of the first differing byte when the section
+     *  exists in both images (== min(lengthA, lengthB) when one
+     *  payload is a strict prefix of the other). */
+    std::size_t firstDiffOffset = 0;
+};
+
+/**
+ * Section-by-section comparison of two *validated* images. Empty
+ * result means byte-identical payloads in both directions (section
+ * order is ignored: images are compared by tag). Both `uexc-snap
+ * diff` and the migration convergence oracles report through this,
+ * so a failed bit-identity check names the diverging section and
+ * byte offset instead of "images differ".
+ */
+std::vector<SnapshotSectionDiff>
+diffSnapshotImages(const SnapshotImage &a, const SnapshotImage &b);
+
+/** Render one diff entry ("section \"HRT0\": first divergence at
+ *  payload byte 132 (1024 vs 1024 bytes)" style). */
+std::string snapshotDiffLine(const SnapshotSectionDiff &d);
+
+/**
  * Crash-consistent file write: the image goes to "<path>.tmp", is
- * fsync'd, and is renamed over @p path, so a crash at any point
- * leaves either the old file or the complete new one — never a torn
- * image (and a torn tmp file fails the footer check anyway).
+ * fsync'd, and is renamed over @p path, then the containing
+ * directory is fsync'd so the rename itself is durable. A crash at
+ * any point leaves either the old file or the complete new one —
+ * never a torn image (and a torn tmp file fails the footer check
+ * anyway), and never a rename that silently evaporates with the
+ * directory's dirty metadata.
  */
 void writeSnapshotFile(const std::string &path,
                        const std::vector<Byte> &image);

@@ -262,6 +262,52 @@ TEST(DsmUnreliable, TotalLossIsDiagnosedAsPartition)
     DsmCluster dsm(lossyCluster(100, 0, 0));
     dsm.write(0, kBase, 1);                  // owner: no messages
     EXPECT_THROW(dsm.read(1, kBase), GuestError);
+
+    // Even a full partition (16 retries of doubling timeouts) never
+    // charges a single wait beyond the configured ceiling — the
+    // 2^16 tail the cap exists to bound.
+    const DsmStats &s = dsm.stats();
+    EXPECT_EQ(s.timeoutCapCycles, lossyCluster(100, 0, 0).timeoutCapCycles);
+    EXPECT_GT(s.maxTimeoutCharged, 0u);
+    EXPECT_LE(s.maxTimeoutCharged, s.timeoutCapCycles);
+}
+
+TEST(DsmUnreliable, RetryTimeoutCapBoundsThePartitionWait)
+{
+    // With the cap, a declared partition costs at most
+    // initial + sum(min(2^i * t, cap)) cycles; compare a tight cap
+    // against a loose one on the same seed to see the bound bite.
+    DsmCluster::Config tight = lossyCluster(100, 0, 0);
+    tight.timeoutCapCycles = tight.timeoutCycles;   // never doubles
+    DsmCluster a(tight);
+    a.write(0, kBase, 1);
+    EXPECT_THROW(a.read(1, kBase), GuestError);
+    EXPECT_EQ(a.stats().maxTimeoutCharged, tight.timeoutCycles);
+
+    DsmCluster b(lossyCluster(100, 0, 0));
+    b.write(0, kBase, 1);
+    EXPECT_THROW(b.read(1, kBase), GuestError);
+    EXPECT_GT(b.stats().maxTimeoutCharged,
+              a.stats().maxTimeoutCharged);
+    EXPECT_GT(b.totalCycles(), a.totalCycles());
+}
+
+TEST(DsmUnreliable, PerLinkRetryHistogramAccountsEveryRetry)
+{
+    DsmCluster dsm(lossyCluster(20, 10, 10));
+    runWorkload(dsm);
+    const DsmStats &s = dsm.stats();
+    ASSERT_EQ(s.perLinkRetries.size(),
+              std::size_t(dsm.nodes()) * dsm.nodes());
+    std::uint64_t total = 0;
+    for (std::uint64_t r : s.perLinkRetries)
+        total += r;
+    // every retransmission is attributed to exactly one ordered link
+    EXPECT_EQ(total, s.retries);
+    EXPECT_GT(total, 0u);
+    // a node never retransmits to itself
+    for (unsigned n = 0; n < dsm.nodes(); n++)
+        EXPECT_EQ(s.perLinkRetries[n * dsm.nodes() + n], 0u);
 }
 
 } // namespace

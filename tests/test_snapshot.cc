@@ -201,6 +201,131 @@ TEST(SnapshotFormat, FileRoundTripIsCrashConsistent)
     EXPECT_THROW(readSnapshotFile(path), SnapshotError);
 }
 
+TEST(SnapshotFormat, InterruptedWriteIsNeverObservable)
+{
+    // Simulate a crash mid-write: the write-to-tmp/rename/dir-fsync
+    // protocol must mean a reader only ever sees the old complete
+    // image or the new complete image — never a torn one.
+    std::vector<Byte> old_image = smallMachineImage();
+    std::string path = ::testing::TempDir() + "uexc_snap_torn_" +
+                       std::to_string(getpid()) + ".uxsn";
+    writeSnapshotFile(path, old_image);
+
+    // crash scenario 1: died after opening the tmp, before writing
+    // it all — a truncated .tmp litters the directory
+    MachineConfig cfg;
+    cfg.memBytes = 1 << 16;
+    Machine next(cfg);
+    next.cpu().setPc(0x80000800u);
+    std::vector<Byte> new_image = next.checkpoint();
+    ASSERT_NE(new_image, old_image);
+    {
+        std::FILE *f = std::fopen((path + ".tmp").c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(new_image.data(), 1, new_image.size() / 3, f);
+        std::fclose(f);
+    }
+    // the published path still reads as the old, valid image
+    EXPECT_EQ(readSnapshotFile(path), old_image);
+    EXPECT_NO_THROW(SnapshotImage{readSnapshotFile(path)});
+
+    // crash scenario 2: the torn tmp itself is rejected if someone
+    // reads it directly (partial image is never parseable)
+    EXPECT_THROW(SnapshotImage{readSnapshotFile(path + ".tmp")},
+                 SnapshotError);
+
+    // recovery: a fresh complete write replaces both, atomically
+    writeSnapshotFile(path, new_image);
+    EXPECT_EQ(readSnapshotFile(path), new_image);
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr) << ".tmp debris after a complete write";
+    if (tmp)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Section diffs
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotDiff, ReportsSectionTagAndFirstDivergingByte)
+{
+    const Word tag_same = snapshotTag('S', 'A', 'M', 'E');
+    const Word tag_diff = snapshotTag('D', 'I', 'F', 'F');
+    auto build = [&](Byte fortysecond) {
+        SnapshotWriter w;
+        w.beginSection(tag_same);
+        for (unsigned i = 0; i < 16; i++)
+            w.u8(Byte(i));
+        w.endSection();
+        w.beginSection(tag_diff);
+        for (unsigned i = 0; i < 64; i++)
+            w.u8(i == 42 ? fortysecond : Byte(7));
+        w.endSection();
+        return w.finish();
+    };
+    std::vector<Byte> bytes_a = build(0x11);
+    std::vector<Byte> bytes_b = build(0x22);
+    SnapshotImage a(bytes_a), b(bytes_b);
+
+    // identical images: no diffs
+    EXPECT_TRUE(diffSnapshotImages(a, a).empty());
+
+    std::vector<SnapshotSectionDiff> diffs = diffSnapshotImages(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].tag, tag_diff);
+    EXPECT_TRUE(diffs[0].inA);
+    EXPECT_TRUE(diffs[0].inB);
+    EXPECT_EQ(diffs[0].firstDiffOffset, 42u);
+    std::string line = snapshotDiffLine(diffs[0]);
+    EXPECT_NE(line.find("DIFF"), std::string::npos) << line;
+    EXPECT_NE(line.find("42"), std::string::npos) << line;
+}
+
+TEST(SnapshotDiff, ReportsMissingSectionsAndLengthSkew)
+{
+    const Word tag_a = snapshotTag('O', 'N', 'L', 'A');
+    const Word tag_b = snapshotTag('O', 'N', 'L', 'B');
+    const Word tag_len = snapshotTag('L', 'E', 'N', 'S');
+    auto build = [&](Word only, unsigned len) {
+        SnapshotWriter w;
+        w.beginSection(only);
+        w.u8(1);
+        w.endSection();
+        w.beginSection(tag_len);
+        for (unsigned i = 0; i < len; i++)
+            w.u8(9);
+        w.endSection();
+        return w.finish();
+    };
+    std::vector<Byte> bytes_a = build(tag_a, 8);
+    std::vector<Byte> bytes_b = build(tag_b, 12);
+    SnapshotImage a(bytes_a), b(bytes_b);
+
+    std::vector<SnapshotSectionDiff> diffs = diffSnapshotImages(a, b);
+    ASSERT_EQ(diffs.size(), 3u);
+    unsigned only_a = 0, only_b = 0, skewed = 0;
+    for (const SnapshotSectionDiff &d : diffs) {
+        if (d.tag == tag_a) {
+            EXPECT_TRUE(d.inA && !d.inB);
+            only_a++;
+        } else if (d.tag == tag_b) {
+            EXPECT_TRUE(d.inB && !d.inA);
+            only_b++;
+        } else {
+            ASSERT_EQ(d.tag, tag_len);
+            // equal prefix, different length: diverges at the short
+            // image's end
+            EXPECT_EQ(d.firstDiffOffset, 8u);
+            EXPECT_NE(d.lengthA, d.lengthB);
+            skewed++;
+        }
+    }
+    EXPECT_EQ(only_a, 1u);
+    EXPECT_EQ(only_b, 1u);
+    EXPECT_EQ(skewed, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Machine round trips over the fuzz corpus
 // ---------------------------------------------------------------------------

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * uexc-fleet: the fleet soak harness CLI.
+ *
+ *   uexc-fleet [--hosts N] [--guests N] [--dsm N] [--migrations N]
+ *              [--ops N] [--seed S] [--cooldown N] [--barrier]
+ *              [--repro-dir DIR] [--json]
+ *
+ * Runs N simulated hosts x M guests (chaos rigs under fault
+ * injection, plus DSM pairs on an unreliable network) with seeded
+ * live migrations, then prints the ledger. Environment overrides for
+ * CI time-bounding:
+ *
+ *   UEXC_SOAK_OPS    ops per guest per tick (same as --ops)
+ *   UEXC_REPRO_DIR   where contract violations dump .uxsn repros
+ *
+ * Exit status: 0 healthy soak (zero host failures, every failed
+ * migration diagnosed into the MigrateError taxonomy), 1 soak
+ * contract violated, 2 usage error. --json additionally writes
+ * BENCH_fleet.json with migration downtime p50/p99.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/fleet/fleet.h"
+#include "bench/bench_util.h"
+
+using namespace uexc;
+using apps::fleet::Fleet;
+using apps::fleet::FleetConfig;
+using apps::fleet::FleetStats;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: uexc-fleet [--hosts N] [--guests N] [--dsm N]\n"
+        "                  [--migrations N] [--ops N] [--seed S]\n"
+        "                  [--cooldown N] [--barrier]\n"
+        "                  [--repro-dir DIR] [--json]\n");
+    return 2;
+}
+
+bool
+parseUnsigned(const char *s, unsigned *out)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 0);
+    if (end == s || *end != '\0')
+        return false;
+    *out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FleetConfig config;
+
+    if (const char *env = std::getenv("UEXC_SOAK_OPS")) {
+        if (!parseUnsigned(env, &config.opsPerTick)) {
+            std::fprintf(stderr, "uexc-fleet: bad UEXC_SOAK_OPS\n");
+            return 2;
+        }
+    }
+    if (const char *env = std::getenv("UEXC_REPRO_DIR"))
+        config.reproDir = env;
+
+    bool json = false;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        unsigned seed32 = 0;
+        if (std::strcmp(arg, "--hosts") == 0) {
+            if (!(v = value()) || !parseUnsigned(v, &config.hosts))
+                return usage();
+        } else if (std::strcmp(arg, "--guests") == 0) {
+            if (!(v = value()) || !parseUnsigned(v, &config.guests))
+                return usage();
+        } else if (std::strcmp(arg, "--dsm") == 0) {
+            if (!(v = value()) ||
+                !parseUnsigned(v, &config.dsmGuests)) {
+                return usage();
+            }
+        } else if (std::strcmp(arg, "--migrations") == 0) {
+            if (!(v = value()) ||
+                !parseUnsigned(v, &config.targetMigrations)) {
+                return usage();
+            }
+        } else if (std::strcmp(arg, "--ops") == 0) {
+            if (!(v = value()) ||
+                !parseUnsigned(v, &config.opsPerTick)) {
+                return usage();
+            }
+        } else if (std::strcmp(arg, "--cooldown") == 0) {
+            if (!(v = value()) ||
+                !parseUnsigned(v, &config.cooldownTicks)) {
+                return usage();
+            }
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (!(v = value()) || !parseUnsigned(v, &seed32))
+                return usage();
+            config.seed = seed32;
+        } else if (std::strcmp(arg, "--barrier") == 0) {
+            config.scheduler = sim::SchedulerMode::Barrier;
+        } else if (std::strcmp(arg, "--repro-dir") == 0) {
+            if (!(v = value()))
+                return usage();
+            config.reproDir = v;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else {
+            return usage();
+        }
+    }
+    if (config.hosts == 0 || config.guests == 0)
+        return usage();
+
+    std::printf("uexc-fleet: %u hosts, %u guests (%u dsm pairs), "
+                "%u migrations, %u ops/tick, seed %llu\n",
+                config.hosts, config.guests,
+                std::min(config.dsmGuests, config.guests),
+                config.targetMigrations, config.opsPerTick,
+                static_cast<unsigned long long>(config.seed));
+
+    Fleet fleet(config);
+    const FleetStats &s = fleet.run();
+
+    std::printf("\nsoak ledger\n-----------\n");
+    std::printf("  ticks                 %llu\n",
+                (unsigned long long)s.ticks);
+    std::printf("  chaos ops / dsm ops   %llu / %llu\n",
+                (unsigned long long)s.chaosOpsRun,
+                (unsigned long long)s.dsmOpsRun);
+    std::printf("  campaigns             %llu started, %llu "
+                "converged, %llu diagnosed\n",
+                (unsigned long long)s.campaignsStarted,
+                (unsigned long long)s.campaignsConverged,
+                (unsigned long long)s.campaignsDiagnosed);
+    std::printf("  dsm reads verified    %llu\n",
+                (unsigned long long)s.dsmReadsVerified);
+    std::printf("  migrations            %llu attempted, %llu "
+                "succeeded\n",
+                (unsigned long long)s.migrationsAttempted,
+                (unsigned long long)s.migrationsSucceeded);
+    std::printf("    failed: partition=%llu image-rejected=%llu "
+                "restore-refused=%llu (%llu deliberate "
+                "partitions)\n",
+                (unsigned long long)s.migrationsFailedByKind[0],
+                (unsigned long long)s.migrationsFailedByKind[1],
+                (unsigned long long)s.migrationsFailedByKind[2],
+                (unsigned long long)s.partitionsInjected);
+    std::printf("  downtime cycles       p50=%llu p99=%llu\n",
+                (unsigned long long)s.downtimeP50(),
+                (unsigned long long)s.downtimeP99());
+    std::printf("  transport             %llu frames, %llu retries, "
+                "%llu corrupt-dropped, %llu dups, max timeout "
+                "%llu\n",
+                (unsigned long long)s.framesSent,
+                (unsigned long long)s.transportRetries,
+                (unsigned long long)s.corruptDropped,
+                (unsigned long long)s.duplicatesSuppressed,
+                (unsigned long long)s.maxTimeoutCharged);
+    std::printf("  host failures         %llu\n",
+                (unsigned long long)s.hostFailures);
+    for (const std::string &note : s.failureNotes)
+        std::printf("    FAIL %s\n", note.c_str());
+    for (const std::string &path : s.reprosWritten)
+        std::printf("    repro %s\n", path.c_str());
+
+    // Every failed migration must be diagnosed into exactly one
+    // taxonomy bucket; an unaccounted failure is a harness bug.
+    bool accounted = s.migrationsFailed() ==
+                     s.migrationsAttempted - s.migrationsSucceeded;
+    bool healthy = s.hostFailures == 0 && accounted;
+
+    if (json) {
+        bench::JsonResults results("fleet");
+        results.config("hosts", double(config.hosts));
+        results.config("guests", double(config.guests));
+        results.config("dsm_guests",
+                       double(std::min(config.dsmGuests,
+                                       config.guests)));
+        results.config("seed", double(config.seed));
+        results.config("ops_per_tick", double(config.opsPerTick));
+        results.metric("migrations attempted",
+                       double(s.migrationsAttempted), "count");
+        results.metric("migrations succeeded",
+                       double(s.migrationsSucceeded), "count");
+        results.metric("migrations failed (partition)",
+                       double(s.migrationsFailedByKind[0]), "count");
+        results.metric("migrations failed (image-rejected)",
+                       double(s.migrationsFailedByKind[1]), "count");
+        results.metric("migrations failed (restore-refused)",
+                       double(s.migrationsFailedByKind[2]), "count");
+        results.metric("migration downtime p50",
+                       double(s.downtimeP50()), "cycles");
+        results.metric("migration downtime p99",
+                       double(s.downtimeP99()), "cycles");
+        results.metric("campaigns converged",
+                       double(s.campaignsConverged), "count");
+        results.metric("campaigns diagnosed",
+                       double(s.campaignsDiagnosed), "count");
+        results.metric("dsm reads verified",
+                       double(s.dsmReadsVerified), "count");
+        results.metric("transport retries",
+                       double(s.transportRetries), "count");
+        results.metric("host failures", double(s.hostFailures),
+                       "count");
+    }
+
+    if (!healthy) {
+        std::fprintf(stderr,
+                     "uexc-fleet: SOAK CONTRACT VIOLATED (%llu host "
+                     "failures%s)\n",
+                     (unsigned long long)s.hostFailures,
+                     accounted ? "" : ", unaccounted migration "
+                                      "failures");
+        return 1;
+    }
+    std::printf("\nsoak healthy: zero host failures, every failed "
+                "migration diagnosed\n");
+    return 0;
+}

@@ -20,12 +20,19 @@
  *       replay a minimal repro window emitted by the divergence
  *       finder (tests/CI artifacts); exits 0 when the recorded
  *       failure reproduces.
+ *
+ * Exit status taxonomy (stable; scripts branch on it):
+ *   0  success / images identical / converged
+ *   1  content difference (diff) or divergence (restore/replay)
+ *   2  format error: the file failed snapshot validation (bad magic,
+ *      version skew, section or total CRC mismatch, truncation)
+ *   3  other runtime error (I/O, unexpected exception)
+ *   64 usage error
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -48,7 +55,7 @@ usage()
                  "       uexc-snap diff <a> <b>\n"
                  "       uexc-snap restore <path>\n"
                  "       uexc-snap replay <repro-path>\n");
-    return 2;
+    return 64;
 }
 
 /** FNV-1a over the collected words, as a compact convergence stamp. */
@@ -121,45 +128,24 @@ cmdDiff(const std::string &path_a, const std::string &path_b)
     sim::SnapshotImage a(bytes_a);
     sim::SnapshotImage b(bytes_b);
 
-    std::map<Word, const sim::SnapshotSection *> in_b;
-    for (const sim::SnapshotSection &s : b.sections())
-        in_b[s.tag] = &s;
-
-    unsigned differing = 0;
-    for (const sim::SnapshotSection &sa : a.sections()) {
-        auto it = in_b.find(sa.tag);
-        if (it == in_b.end()) {
+    std::vector<sim::SnapshotSectionDiff> diffs =
+        sim::diffSnapshotImages(a, b);
+    for (const sim::SnapshotSectionDiff &d : diffs) {
+        if (!d.inA || !d.inB) {
             std::printf("  %-8s only in %s\n",
-                        sim::snapshotTagName(sa.tag).c_str(),
-                        path_a.c_str());
-            differing++;
-            continue;
+                        sim::snapshotTagName(d.tag).c_str(),
+                        (d.inA ? path_a : path_b).c_str());
+        } else {
+            std::printf("  %s\n", sim::snapshotDiffLine(d).c_str());
         }
-        const sim::SnapshotSection &sb = *it->second;
-        bool same = sa.length == sb.length &&
-                    std::memcmp(bytes_a.data() + sa.offset,
-                                bytes_b.data() + sb.offset,
-                                sa.length) == 0;
-        if (!same) {
-            std::printf("  %-8s differs (%zu vs %zu bytes)\n",
-                        sim::snapshotTagName(sa.tag).c_str(),
-                        sa.length, sb.length);
-            differing++;
-        }
-        in_b.erase(it);
     }
-    for (const auto &[tag, s] : in_b) {
-        std::printf("  %-8s only in %s\n",
-                    sim::snapshotTagName(tag).c_str(), path_b.c_str());
-        differing++;
-    }
-    if (differing == 0) {
+    if (diffs.empty()) {
         std::printf("  images are identical (%zu sections)\n",
                     a.sections().size());
         return 0;
     }
-    std::printf("  %u section%s differ\n", differing,
-                differing == 1 ? "" : "s");
+    std::printf("  %zu section%s differ\n", diffs.size(),
+                diffs.size() == 1 ? "" : "s");
     return 1;
 }
 
@@ -248,11 +234,12 @@ main(int argc, char **argv)
         if (cmd == "replay" && args.size() == 1)
             return cmdReplay(args[0]);
     } catch (const sim::SnapshotError &e) {
+        // format error: rejected before any state was touched
         std::fprintf(stderr, "uexc-snap: rejected: %s\n", e.what());
-        return 1;
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "uexc-snap: %s\n", e.what());
-        return 1;
+        return 3;
     }
     return usage();
 }
