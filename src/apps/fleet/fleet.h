@@ -34,11 +34,14 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/migrate.h"
+#include "core/supervise.h"
 
 namespace uexc::apps::fleet {
 
@@ -75,6 +78,47 @@ struct FleetConfig
      *  checkpoint here for offline uexc-snap triage (bounded). */
     std::string reproDir;
     unsigned maxRepros = 8;
+
+    // -- self-healing supervision --------------------------------------
+
+    /** Run the supervisor: per-guest heartbeats, seeded failure
+     *  drills, and checkpoint-based recovery with backoff. */
+    bool supervise = false;
+    rt::supervise::SupervisorConfig supervisor;
+    /** Every Nth tick one seeded failure drill fires: a host crash
+     *  (killing every guest on it), a wedge, a guest crash, a
+     *  corrupted newest checkpoint, or a source-host crash
+     *  mid-transfer. 0 = supervise without injecting failures. */
+    unsigned failEvery = 7;
+    /** Snapshot every healthy guest's last-good checkpoint every N
+     *  ticks; the newest two generations are kept, so a corrupted
+     *  newest image falls back to the older one. */
+    unsigned checkpointEveryTicks = 4;
+    /** Simulated cycles one scheduler tick represents; the MTTR
+     *  cycle samples are multiples of this (no wall clock). */
+    Cycles tickCycles = 100000;
+    /** Extra recovery-only ticks appended after the soak so every
+     *  recoverable guest is back up before the convergence sweep. */
+    unsigned maxDrainTicks = 64;
+
+    // -- iterative pre-copy migration ----------------------------------
+
+    /** Pre-copy rounds for chaos-guest migrations (dirty pages ship
+     *  while the guest runs); 0 = classic stop-and-copy. */
+    unsigned precopyRounds = 0;
+    unsigned precopyConvergePages = 8;
+    /** Campaign ops the source runs per pre-copy round. */
+    unsigned precopyOpsPerSlice = 4;
+
+    /** Overrides the tick count when nonzero (wall-clock-bounded
+     *  soaks); migrations then keep firing on every tick instead of
+     *  stopping at targetMigrations. */
+    std::uint64_t maxTicks = 0;
+    /** Polled once per tick; returning true ends the soak after the
+     *  current tick. Wall-clock bounds (UEXC_SOAK_SECONDS) live in
+     *  this caller-supplied hook — never in guest semantics, so a
+     *  soak's ledger depends on the clock only through its length. */
+    std::function<bool()> stopRequested;
 };
 
 /** End-of-soak ledger. Everything a CI gate needs is in here. */
@@ -119,6 +163,35 @@ struct FleetStats
     std::vector<std::string> failureNotes; ///< bounded detail
     std::vector<std::string> reprosWritten;
 
+    /** Most recent failed-migration diagnostics per MigrateErrorKind
+     *  (chunk index, retries, charged timeout) for the ledger. */
+    std::array<std::string, 3> lastMigrateErrorDetail{};
+
+    // -- supervision (populated when FleetConfig::supervise) -----------
+    std::uint64_t drillsHostCrash = 0;
+    std::uint64_t drillsWedge = 0;
+    std::uint64_t drillsGuestCrash = 0;
+    std::uint64_t drillsCorruptImage = 0;
+    std::uint64_t drillsSourceCrash = 0;
+    std::uint64_t recoveriesRestart = 0;
+    std::uint64_t recoveriesRemigrate = 0;
+    /** Corrupted/torn checkpoint images refused by restore-side
+     *  validation before touching any guest state. */
+    std::uint64_t corruptImagesRejected = 0;
+    std::uint64_t guestsQuarantined = 0;
+    /** Ticks spent in the post-soak recovery drain. */
+    std::uint64_t drainTicks = 0;
+    bool stoppedEarly = false; ///< the stopRequested hook fired
+
+    // -- pre-copy ------------------------------------------------------
+    std::uint64_t precopyMigrations = 0;
+    std::uint64_t precopyConverged = 0;
+    std::uint64_t precopyPagesSent = 0;
+    std::uint64_t precopyResidualPages = 0;
+    std::uint64_t precopyBytesMoved = 0;
+    /** Bytes moved while paused under pre-copy (residual+control). */
+    std::uint64_t precopyStopCopyBytes = 0;
+
     std::uint64_t migrationsFailed() const
     {
         return migrationsFailedByKind[0] + migrationsFailedByKind[1] +
@@ -150,6 +223,11 @@ class Fleet
 
     const FleetStats &stats() const { return stats_; }
     const FleetConfig &config() const { return config_; }
+    /** Non-null when FleetConfig::supervise was set. */
+    const rt::supervise::Supervisor *supervisor() const
+    {
+        return supervisor_.get();
+    }
 
   private:
     struct Guest;
@@ -165,12 +243,27 @@ class Fleet
     void migrateGuest(Guest &guest, unsigned migration_index);
     void recordFailure(Guest &guest, const std::string &what);
 
+    // -- supervision machinery --
+    bool guestHealthy(const Guest &guest) const;
+    Guest *pickHealthyGuest(bool chaos_only, bool need_checkpoint);
+    void takeCheckpoint(Guest &guest);
+    void heartbeatGuest(Guest &guest, std::uint64_t tick);
+    void failGuest(Guest &guest, std::uint64_t tick,
+                   rt::supervise::FailureKind kind,
+                   const std::string &note);
+    void runDrill(std::uint64_t tick);
+    bool restoreFromCheckpoint(Guest &guest, std::uint64_t tick,
+                               bool remigrate);
+    void attemptRecovery(Guest &guest, std::uint64_t tick);
+
     FleetConfig config_;
     FleetStats stats_;
     std::vector<std::unique_ptr<Guest>> guests_;
     /** Fault-free chaos references, one per interpreter flavour. */
     std::unique_ptr<chaos::Reference> references_[2];
     std::uint64_t rng_ = 0;
+    std::unique_ptr<rt::supervise::Supervisor> supervisor_;
+    Cycles simNow_ = 0; ///< fleet-level simulated clock (MTTR)
 };
 
 } // namespace uexc::apps::fleet

@@ -4,6 +4,7 @@
 
 #include "common/guesterror.h"
 #include "common/logging.h"
+#include "core/migrate.h"
 #include "sim/snapshot.h"
 
 namespace uexc::rt::chaos {
@@ -14,7 +15,128 @@ namespace {
 constexpr Word kTagRepro = sim::snapshotTag('R', 'P', 'R', 'O');
 constexpr Word kTagReproSnap = sim::snapshotTag('R', 'S', 'N', 'P');
 
+/**
+ * Execute one planned migration/host-crash op against the running
+ * campaign. On a successful migration @p rig is swapped onto the
+ * destination twin (its injector joins @p injectors so event streams
+ * outlive every machine that references them); graceful failures
+ * leave the source running; guest-lost outcomes throw a
+ * deterministic GuestError whose message the shrinker matches on.
+ */
+void
+performMigrateOp(const MigrateOp &op, std::unique_ptr<Rig> &rig,
+                 std::vector<std::unique_ptr<sim::FaultInjector>>
+                     &injectors,
+                 const RigConfig &config)
+{
+    if (op.kind == MigrateOp::Kind::HostCrash) {
+        throw GuestError(0, 0, 0,
+                         "guest lost: host crashed under the campaign "
+                         "at op " + std::to_string(op.atOp));
+    }
+
+    auto inj = std::make_unique<sim::FaultInjector>();
+    auto dst = std::make_unique<Rig>(inj.get(), config);
+
+    if (op.crash == MigrateOp::Crash::None) {
+        migrate::MigrationConfig mc;
+        mc.transport = op.weather;
+        migrate::MigrationResult res =
+            migrate::migrateRig(*rig, *dst, mc);
+        if (res.succeeded) {
+            injectors.push_back(std::move(inj));
+            rig = std::move(dst);
+        }
+        // Typed failure: the source never stopped; the campaign
+        // continues where it is.
+        return;
+    }
+
+    // Endpoint crash mid-transfer: deliver a deterministic fraction
+    // of the chunks, then the planned host dies.
+    migrate::TransferSession session(rig->checkpoint(), op.weather);
+    unsigned target = unsigned(
+        std::uint64_t(session.chunksTotal()) *
+        std::min(op.crashAfterPercent, 100u) / 100);
+    try {
+        session.runSome(target);
+    } catch (const migrate::MigrateError &) {
+        // The network partitioned before the crash point; the crash
+        // below still happens (it was never contingent on progress).
+    }
+    if (op.crash == MigrateOp::Crash::Dest) {
+        // The destination died holding a partial image: nothing was
+        // ever restored, the source never stopped. Graceful.
+        return;
+    }
+    const char *who = op.crash == MigrateOp::Crash::Both
+                          ? "both hosts"
+                          : "source host";
+    throw GuestError(
+        0, 0, 0,
+        std::string("guest lost: ") + who +
+            " crashed mid-migration at op " + std::to_string(op.atOp) +
+            " (" + std::to_string(session.chunksDelivered()) + "/" +
+            std::to_string(session.chunksTotal()) +
+            " chunks delivered)");
+}
+
+/** Pointers to the plan's ops, stably sorted by atOp. */
+std::vector<const MigrateOp *>
+sortedPlan(const MigrationPlan *migrations)
+{
+    std::vector<const MigrateOp *> plan;
+    if (migrations != nullptr)
+        for (const MigrateOp &op : *migrations)
+            plan.push_back(&op);
+    std::stable_sort(plan.begin(), plan.end(),
+                     [](const MigrateOp *a, const MigrateOp *b) {
+                         return a->atOp < b->atOp;
+                     });
+    return plan;
+}
+
 } // namespace
+
+MigrationPlan
+planMigrationOps(std::uint64_t seed, unsigned count)
+{
+    using sim::FaultInjector;
+    MigrationPlan plan;
+    std::uint64_t rng = seed ^ 0x6d69677261746500ull; // "migrate\0"
+    for (unsigned i = 0; i < count; i++) {
+        MigrateOp op;
+        op.atOp = 1 + unsigned(FaultInjector::splitmix64(rng) %
+                               (kTotalOps - 1));
+        op.weather.seed = FaultInjector::splitmix64(rng);
+        op.weather.lossPercent =
+            unsigned(FaultInjector::splitmix64(rng) % 10);
+        op.weather.corruptPercent =
+            unsigned(FaultInjector::splitmix64(rng) % 8);
+        op.weather.dupPercent =
+            unsigned(FaultInjector::splitmix64(rng) % 6);
+        op.weather.delayPercent =
+            unsigned(FaultInjector::splitmix64(rng) % 10);
+        unsigned kind = unsigned(FaultInjector::splitmix64(rng) % 10);
+        if (kind == 8) {
+            op.kind = MigrateOp::Kind::HostCrash;
+        } else if (kind == 9) {
+            unsigned crash =
+                unsigned(FaultInjector::splitmix64(rng) % 3);
+            op.crash = crash == 0   ? MigrateOp::Crash::Source
+                       : crash == 1 ? MigrateOp::Crash::Dest
+                                    : MigrateOp::Crash::Both;
+            op.crashAfterPercent =
+                10 + unsigned(FaultInjector::splitmix64(rng) % 81);
+        }
+        plan.push_back(op);
+    }
+    std::stable_sort(plan.begin(), plan.end(),
+                     [](const MigrateOp &a, const MigrateOp &b) {
+                         return a.atOp < b.atOp;
+                     });
+    return plan;
+}
 
 // -- Rig --------------------------------------------------------------------
 
@@ -213,32 +335,54 @@ CampaignOutcome
 runCampaign(std::uint64_t seed, InstCount window,
             const std::vector<Word> &reference, const RigConfig &config,
             unsigned checkpoint_every_ops,
-            std::vector<CampaignCheckpoint> *checkpoints)
+            std::vector<CampaignCheckpoint> *checkpoints,
+            const MigrationPlan *migrations)
 {
     CampaignOutcome out;
-    sim::FaultInjector inj;
+    // Injectors must outlive every rig whose machine references them,
+    // and a migration op swaps the campaign onto a fresh rig with its
+    // own injector — hence the vector, declared first.
+    std::vector<std::unique_ptr<sim::FaultInjector>> injectors;
     std::unique_ptr<Rig> rig;
     try {
-        rig = std::make_unique<Rig>(&inj, config);
+        injectors.push_back(std::make_unique<sim::FaultInjector>());
+        rig = std::make_unique<Rig>(injectors.front().get(), config);
         bool may = false;
         for (const sim::FaultEvent &e :
              planEvents(seed, window, *rig, &may)) {
-            inj.addEvent(e);
+            injectors.front()->addEvent(e);
         }
         out.mayDiagnose = may;
 
+        std::vector<const MigrateOp *> plan = sortedPlan(migrations);
+        std::size_t next_op = 0;
+        unsigned last_checkpoint_op = ~0u;
         while (!rig->done()) {
+            unsigned cursor = rig->cursor();
+            // Checkpoint before any migration planned at the same op,
+            // so a replay from this checkpoint re-performs it.
             if (checkpoint_every_ops != 0 && checkpoints != nullptr &&
-                rig->cursor() % checkpoint_every_ops == 0) {
-                checkpoints->push_back({rig->cursor(),
+                cursor % checkpoint_every_ops == 0 &&
+                last_checkpoint_op != cursor) {
+                checkpoints->push_back({cursor,
                                         rig->env().cpu().instret(),
                                         rig->checkpoint()});
+                last_checkpoint_op = cursor;
             }
-            unsigned next =
-                checkpoint_every_ops != 0
-                    ? std::min(kTotalOps,
-                               rig->cursor() + checkpoint_every_ops)
-                    : kTotalOps;
+            while (next_op < plan.size() &&
+                   plan[next_op]->atOp <= cursor) {
+                if (plan[next_op]->atOp == cursor)
+                    performMigrateOp(*plan[next_op], rig, injectors,
+                                     config);
+                next_op++;
+            }
+            unsigned next = kTotalOps;
+            if (checkpoint_every_ops != 0)
+                next = std::min(next,
+                                cursor + checkpoint_every_ops -
+                                    cursor % checkpoint_every_ops);
+            if (next_op < plan.size())
+                next = std::min(next, plan[next_op]->atOp);
             rig->runTo(next);
         }
         out.words = rig->words();
@@ -270,16 +414,39 @@ replayRepro(const ReproWindow &repro,
             const std::vector<Word> &reference)
 {
     CampaignOutcome out;
-    sim::FaultInjector inj;
+    std::vector<std::unique_ptr<sim::FaultInjector>> injectors;
     std::unique_ptr<Rig> rig;
     try {
-        rig = std::make_unique<Rig>(&inj, repro.config);
+        injectors.push_back(std::make_unique<sim::FaultInjector>());
+        rig = std::make_unique<Rig>(injectors.front().get(),
+                                    repro.config);
         rig->restore(repro.snapshot);
         if (rig->cursor() != repro.startOp) {
             throw sim::SnapshotError(
                 "repro snapshot op cursor does not match startOp");
         }
-        rig->runTo(repro.endOp);
+        // Ops before the window need no replay: a completed migration
+        // left the guest bit-identical and a graceful failure touched
+        // nothing — their effect (or lack of it) is already inside
+        // the snapshot.
+        std::vector<const MigrateOp *> plan =
+            sortedPlan(&repro.migrations);
+        std::size_t next_op = 0;
+        while (rig->cursor() < repro.endOp) {
+            unsigned cursor = rig->cursor();
+            while (next_op < plan.size() &&
+                   plan[next_op]->atOp <= cursor) {
+                if (plan[next_op]->atOp == cursor &&
+                    plan[next_op]->atOp >= repro.startOp)
+                    performMigrateOp(*plan[next_op], rig, injectors,
+                                     repro.config);
+                next_op++;
+            }
+            unsigned next = repro.endOp;
+            if (next_op < plan.size())
+                next = std::min(next, plan[next_op]->atOp);
+            rig->runTo(next);
+        }
         if (repro.endOp == kTotalOps) {
             out.words = rig->words();
             if (out.words != reference) {
@@ -307,17 +474,21 @@ replayRepro(const ReproWindow &repro,
 ReproWindow
 shrinkCampaign(std::uint64_t seed, InstCount window,
                const std::vector<Word> &reference,
-               const RigConfig &config, unsigned checkpoint_every_ops)
+               const RigConfig &config, unsigned checkpoint_every_ops,
+               const MigrationPlan *migrations)
 {
     ReproWindow repro;
     repro.seed = seed;
     repro.window = window;
     repro.config = config;
     repro.campaignOps = kTotalOps;
+    if (migrations != nullptr)
+        repro.migrations = *migrations;
 
     std::vector<CampaignCheckpoint> cps;
     CampaignOutcome full = runCampaign(seed, window, reference, config,
-                                       checkpoint_every_ops, &cps);
+                                       checkpoint_every_ops, &cps,
+                                       migrations);
     if (!outcomeFailed(full))
         return repro;
     unsigned end_op = full.failOp != 0 ? full.failOp : kTotalOps;
@@ -332,6 +503,7 @@ shrinkCampaign(std::uint64_t seed, InstCount window,
         cand.startOp = cp.op;
         cand.endOp = end_op;
         cand.snapshot = cp.image;
+        cand.migrations = repro.migrations;
         CampaignOutcome out = replayRepro(cand, reference);
         return out.diagnosed == full.diagnosed &&
                out.hostFailure == full.hostFailure &&
@@ -378,6 +550,27 @@ writeReproFile(const ReproWindow &repro, const std::string &path)
     w.u64(repro.startInst);
     w.u32(repro.campaignOps);
     w.str(repro.failure);
+    // Migration plan (appended in PR 10; absent in older files, which
+    // readReproFile still accepts as a plan-free repro).
+    w.u32(std::uint32_t(repro.migrations.size()));
+    for (const MigrateOp &op : repro.migrations) {
+        w.u8(std::uint8_t(op.kind));
+        w.u32(op.atOp);
+        w.u8(std::uint8_t(op.crash));
+        w.u32(op.crashAfterPercent);
+        w.u64(op.weather.seed);
+        w.u64(op.weather.chunkBytes);
+        w.u32(op.weather.lossPercent);
+        w.u32(op.weather.corruptPercent);
+        w.u32(op.weather.dupPercent);
+        w.u32(op.weather.delayPercent);
+        w.u64(op.weather.latencyCycles);
+        w.u64(op.weather.delayCycles);
+        w.u64(op.weather.perWordCycles);
+        w.u64(op.weather.timeoutCycles);
+        w.u64(op.weather.timeoutCapCycles);
+        w.u32(op.weather.maxRetries);
+    }
     w.endSection();
     w.beginSection(kTagReproSnap);
     w.u64(repro.snapshot.size());
@@ -409,6 +602,39 @@ readReproFile(const std::string &path)
         r.fail("repro was recorded against a different campaign shape");
     if (repro.startOp >= repro.endOp || repro.endOp > kTotalOps)
         r.fail("repro op range out of bounds");
+    if (r.remaining() != 0) {
+        std::uint32_t nops = r.u32();
+        for (std::uint32_t i = 0; i < nops; i++) {
+            MigrateOp op;
+            std::uint8_t kind = r.u8();
+            if (kind > std::uint8_t(MigrateOp::Kind::HostCrash))
+                r.fail("repro migration op kind out of range");
+            op.kind = MigrateOp::Kind(kind);
+            op.atOp = r.u32();
+            std::uint8_t crash = r.u8();
+            if (crash > std::uint8_t(MigrateOp::Crash::Both))
+                r.fail("repro migration crash kind out of range");
+            op.crash = MigrateOp::Crash(crash);
+            op.crashAfterPercent = r.u32();
+            op.weather.seed = r.u64();
+            op.weather.chunkBytes = std::size_t(r.u64());
+            if (op.weather.chunkBytes == 0)
+                r.fail("repro migration chunk size is zero");
+            op.weather.lossPercent = r.u32();
+            op.weather.corruptPercent = r.u32();
+            op.weather.dupPercent = r.u32();
+            op.weather.delayPercent = r.u32();
+            op.weather.latencyCycles = r.u64();
+            op.weather.delayCycles = r.u64();
+            op.weather.perWordCycles = r.u64();
+            op.weather.timeoutCycles = r.u64();
+            op.weather.timeoutCapCycles = r.u64();
+            op.weather.maxRetries = r.u32();
+            if (op.atOp >= kTotalOps)
+                r.fail("repro migration op index out of range");
+            repro.migrations.push_back(op);
+        }
+    }
     r.expectEnd();
 
     sim::SnapshotReader s = img.section(kTagReproSnap);

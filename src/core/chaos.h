@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/env.h"
+#include "core/transport.h"
 #include "os/kernel.h"
 #include "sim/faultinject.h"
 #include "sim/machine.h"
@@ -136,6 +137,54 @@ std::vector<sim::FaultEvent> planEvents(std::uint64_t seed,
                                         InstCount window, Rig &rig,
                                         bool *may_diagnose);
 
+/**
+ * One planned fleet-level chaos op inside a campaign: a live
+ * migration of the running rig to a fresh twin host (with optional
+ * endpoint crashes mid-transfer), or an outright crash of the host
+ * under the guest. Ops fire when the campaign cursor *reaches*
+ * atOp, before op atOp itself runs, so they sit on the same op grid
+ * the checkpoint stride and the shrinker use — a migration-triggered
+ * failure minimizes to the same 8-12-op repro windows as a memory
+ * fault.
+ *
+ * Semantics by kind/crash:
+ *  - Migrate, crash None: full stop-and-copy attempt under the op's
+ *    weather. Success swaps the campaign onto the destination rig
+ *    (bit-identical, so a clean migration is a no-op to the oracle);
+ *    a typed failure (partition, rejected image) keeps the source
+ *    running — graceful degradation, not a campaign failure.
+ *  - Migrate, crash Dest: the destination host dies mid-transfer
+ *    (after crashAfterPercent of the chunks). The half-staged image
+ *    is discarded unrestored; the source never stopped.
+ *  - Migrate, crash Source/Both: the source host dies mid-transfer
+ *    while the destination holds only a partial image — the guest is
+ *    lost, surfaced as a deterministic structured GuestError the
+ *    shrinker can reproduce (and a supervisor can recover from a
+ *    checkpoint).
+ *  - HostCrash: the host dies under the running guest; same
+ *    guest-lost diagnosis without any transfer.
+ */
+struct MigrateOp
+{
+    enum class Kind : std::uint8_t { Migrate, HostCrash };
+    enum class Crash : std::uint8_t { None, Source, Dest, Both };
+
+    Kind kind = Kind::Migrate;
+    unsigned atOp = 0;                ///< in [0, kTotalOps)
+    migrate::TransportConfig weather; ///< Migrate only
+    Crash crash = Crash::None;
+    /** Chunks delivered before the endpoint dies, as a percentage of
+     *  the image's chunk count. */
+    unsigned crashAfterPercent = 50;
+};
+
+using MigrationPlan = std::vector<MigrateOp>;
+
+/** Seeded plan of @p count migration/host-crash ops over the op
+ *  grid: mostly clean migrations under mixed weather, with a tail of
+ *  endpoint crashes and host crashes. Sorted by atOp. */
+MigrationPlan planMigrationOps(std::uint64_t seed, unsigned count);
+
 /** Outcome classification of one campaign or replay. */
 struct CampaignOutcome
 {
@@ -175,7 +224,8 @@ CampaignOutcome runCampaign(std::uint64_t seed, InstCount window,
                             const RigConfig &config = {},
                             unsigned checkpoint_every_ops = 0,
                             std::vector<CampaignCheckpoint> *checkpoints =
-                                nullptr);
+                                nullptr,
+                            const MigrationPlan *migrations = nullptr);
 
 /** Fault-free reference: final words and the instruction window the
  *  campaign places injections in. */
@@ -206,6 +256,11 @@ struct ReproWindow
     unsigned campaignOps = kTotalOps;
     std::vector<Byte> snapshot;
     std::string failure;       ///< the outcome's what
+    /** Planned migration/host-crash ops of the originating campaign.
+     *  Replay re-performs those with atOp inside [startOp, endOp);
+     *  earlier ones need no replay (a completed migration is
+     *  bit-identical, a failed graceful one touched nothing). */
+    MigrationPlan migrations;
 };
 
 /**
@@ -216,7 +271,8 @@ struct ReproWindow
 ReproWindow shrinkCampaign(std::uint64_t seed, InstCount window,
                            const std::vector<Word> &reference,
                            const RigConfig &config = {},
-                           unsigned checkpoint_every_ops = 16);
+                           unsigned checkpoint_every_ops = 16,
+                           const MigrationPlan *migrations = nullptr);
 
 /** Replay a repro window; reproduces the recorded failure (or the
  *  final-words comparison against @p reference when it runs to the

@@ -1,6 +1,7 @@
 #include "core/migrate.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 #include "sim/faultinject.h"
@@ -90,6 +91,7 @@ TransferSession::sendChunk(unsigned index)
                   config_.perWordCycles * ((len + 3) / 4);
 
     Cycles timeout = config_.timeoutCycles;
+    Cycles last_charged = 0;
     for (unsigned attempt = 0;; attempt++) {
         stats_.framesSent++;
         bool lost = roll(config_.lossPercent);
@@ -147,13 +149,15 @@ TransferSession::sendChunk(unsigned index)
         // lost or dropped: wait out the retransmit timer
         if (attempt >= config_.maxRetries) {
             throw MigrateError(
-                MigrateErrorKind::Partition, index,
+                MigrateErrorKind::Partition, index, attempt,
+                last_charged,
                 "chunk " + std::to_string(index) + "/" +
                     std::to_string(chunks_) + " undelivered after " +
                     std::to_string(attempt + 1) +
                     " attempts (network partition?)");
         }
         stats_.cyclesCharged += timeout;
+        last_charged = timeout;
         if (timeout > stats_.maxTimeoutCharged)
             stats_.maxTimeoutCharged = timeout;
         stats_.timeouts++;
@@ -171,6 +175,19 @@ TransferSession::run()
             continue;
         sendChunk(i);
     }
+}
+
+unsigned
+TransferSession::runSome(unsigned max_chunks)
+{
+    unsigned sent = 0;
+    for (unsigned i = 0; i < chunks_ && sent < max_chunks; i++) {
+        if (have_[i])
+            continue;
+        sendChunk(i);
+        sent++;
+    }
+    return sent;
 }
 
 std::vector<Byte>
@@ -244,10 +261,391 @@ migrateImage(const std::vector<Byte> &image,
         result.succeeded = false;
         result.errorKind = e.kind();
         result.error = e.what();
+        result.errorChunk = e.chunk();
+        result.errorRetries = e.retries();
+        result.errorTimeoutCharged = e.chargedTimeout();
     }
     result.transport = session.stats();
     result.downtimeCycles += result.transport.cyclesCharged;
+    result.bytesMoved =
+        result.succeeded
+            ? image.size()
+            : std::min<std::uint64_t>(
+                  image.size(), std::uint64_t(config.transport.chunkBytes) *
+                                    session.chunksDelivered());
     return result;
+}
+
+// -- iterative pre-copy --------------------------------------------------
+
+namespace {
+
+/** A pre-copy round batch: one section holding explicit pages (a
+ *  page that became all-zero still travels, to overwrite the
+ *  receiver's stale copy). Serialized as a complete snapshot image so
+ *  TransferSession::receivedImage() validates it like any other. */
+constexpr Word kTagPreCopyPages = sim::snapshotTag('P', 'C', 'P', 'G');
+
+/** Control-image stand-in for the MEM section: the receiver splices
+ *  its reassembled memory payload where this marker sits, and both
+ *  CRCs recorded here must match before anything is restored. */
+constexpr Word kTagMemoryRef = sim::snapshotTag('P', 'M', 'R', 'F');
+
+std::size_t
+pageLen(std::uint64_t mem_bytes, std::uint32_t page)
+{
+    std::size_t base = std::size_t(page) * sim::kSnapshotPageBytes;
+    return std::min(sim::kSnapshotPageBytes,
+                    std::size_t(mem_bytes) - base);
+}
+
+std::vector<Byte>
+buildPageBatch(const PreCopySource &source,
+               const std::vector<std::uint32_t> &pages)
+{
+    sim::SnapshotWriter w;
+    w.beginSection(kTagPreCopyPages);
+    w.u64(source.memBytes);
+    w.u32(std::uint32_t(pages.size()));
+    std::vector<Byte> page(sim::kSnapshotPageBytes);
+    for (std::uint32_t p : pages) {
+        std::size_t len = pageLen(source.memBytes, p);
+        source.readPage(p, page.data(), len);
+        w.u32(p);
+        w.bytes(page.data(), len);
+    }
+    w.endSection();
+    return w.finish();
+}
+
+void
+applyPageBatch(const std::vector<Byte> &batch, std::vector<Byte> &store)
+{
+    sim::SnapshotImage img(batch);
+    sim::SnapshotReader r = img.section(kTagPreCopyPages);
+    std::uint64_t mem_bytes = r.u64();
+    if (mem_bytes != store.size())
+        r.fail("pre-copy batch memory size mismatch");
+    std::uint32_t count = r.u32();
+    std::size_t total_pages =
+        (store.size() + sim::kSnapshotPageBytes - 1) /
+        sim::kSnapshotPageBytes;
+    for (std::uint32_t i = 0; i < count; i++) {
+        std::uint32_t p = r.u32();
+        if (p >= total_pages)
+            r.fail("pre-copy page index out of range");
+        std::size_t len = pageLen(mem_bytes, p);
+        r.bytes(store.data() +
+                    std::size_t(p) * sim::kSnapshotPageBytes,
+                len);
+    }
+    r.expectEnd();
+}
+
+/** Re-serialize @p full with the MEM section replaced by a PMRF
+ *  marker carrying the MEM payload CRC and the whole-image CRC. */
+std::vector<Byte>
+buildControlImage(const std::vector<Byte> &full)
+{
+    sim::SnapshotImage img(full);
+    sim::SnapshotWriter w;
+    for (const sim::SnapshotSection &s : img.sections()) {
+        if (s.tag == sim::kSnapshotMemoryTag) {
+            w.beginSection(kTagMemoryRef);
+            w.u64(s.length);
+            w.u32(sim::snapshotCrc32(img.sectionData(s), s.length));
+            w.u32(sim::snapshotCrc32(full.data(), full.size()));
+            w.endSection();
+        } else {
+            w.beginSection(s.tag);
+            w.bytes(img.sectionData(s), s.length);
+            w.endSection();
+        }
+    }
+    return w.finish();
+}
+
+/** Reassemble the final image: the control image's sections in
+ *  order, with the receiver's page store serialized through the
+ *  shared snapshot serializer where the PMRF marker sits. Throws
+ *  MigrateError(ImageRejected) unless the reconstructed memory
+ *  payload and the whole image match the CRCs the source recorded —
+ *  the bit-identity guarantee of the pre-copy path. */
+std::vector<Byte>
+spliceControlImage(const std::vector<Byte> &control,
+                   const std::vector<Byte> &store)
+{
+    sim::SnapshotImage img(control);
+    sim::SnapshotReader ref = img.section(kTagMemoryRef);
+    std::uint64_t mem_payload_len = ref.u64();
+    std::uint32_t mem_payload_crc = ref.u32();
+    std::uint32_t full_crc = ref.u32();
+    ref.expectEnd();
+
+    sim::SnapshotWriter w;
+    for (const sim::SnapshotSection &s : img.sections()) {
+        if (s.tag == kTagMemoryRef) {
+            sim::writeMemorySection(
+                w, sim::kSnapshotMemoryTag, store.size(),
+                [&store](std::uint32_t p, Byte *dst, std::size_t len) {
+                    std::memcpy(dst,
+                                store.data() +
+                                    std::size_t(p) *
+                                        sim::kSnapshotPageBytes,
+                                len);
+                });
+        } else {
+            w.beginSection(s.tag);
+            w.bytes(img.sectionData(s), s.length);
+            w.endSection();
+        }
+    }
+    std::vector<Byte> out = w.finish();
+
+    sim::SnapshotImage out_img(out);
+    for (const sim::SnapshotSection &s : out_img.sections()) {
+        if (s.tag != sim::kSnapshotMemoryTag)
+            continue;
+        if (s.length != mem_payload_len ||
+            sim::snapshotCrc32(out_img.sectionData(s), s.length) !=
+                mem_payload_crc) {
+            throw MigrateError(
+                MigrateErrorKind::ImageRejected, ~0u,
+                "pre-copy memory reconstruction diverged from the "
+                "source (payload CRC mismatch)");
+        }
+    }
+    if (sim::snapshotCrc32(out.data(), out.size()) != full_crc) {
+        throw MigrateError(MigrateErrorKind::ImageRejected, ~0u,
+                           "pre-copy reconstructed image CRC does not "
+                           "match the source checkpoint");
+    }
+    return out;
+}
+
+void
+accumulateStats(TransportStats &into, const TransportStats &s)
+{
+    into.chunksTotal += s.chunksTotal;
+    into.chunksDelivered += s.chunksDelivered;
+    into.framesSent += s.framesSent;
+    into.retries += s.retries;
+    into.timeouts += s.timeouts;
+    into.lostInFlight += s.lostInFlight;
+    into.corruptDropped += s.corruptDropped;
+    into.duplicatesSuppressed += s.duplicatesSuppressed;
+    into.maxTimeoutCharged =
+        std::max(into.maxTimeoutCharged, s.maxTimeoutCharged);
+    into.cyclesCharged += s.cyclesCharged;
+    for (std::size_t i = 0; i < into.retryHistogram.size() &&
+                            i < s.retryHistogram.size();
+         i++)
+        into.retryHistogram[i] += s.retryHistogram[i];
+}
+
+} // namespace
+
+MigrationResult
+migrateImagePreCopy(const PreCopySource &source,
+                    const std::function<void(const std::vector<Byte> &)>
+                        &restore_fn,
+                    const MigrationConfig &config,
+                    const PreCopyConfig &precopy)
+{
+    MigrationResult result;
+    result.usedPreCopy = true;
+
+    std::size_t total_pages =
+        (std::size_t(source.memBytes) + sim::kSnapshotPageBytes - 1) /
+        sim::kSnapshotPageBytes;
+    std::vector<std::uint32_t> sent_version(total_pages, 0);
+    std::vector<Byte> store(std::size_t(source.memBytes), 0);
+
+    // Each transfer (round batches, residual, control image) is its
+    // own session over a seed derived from the configured stream, so
+    // the weather across rounds is deterministic but decorrelated.
+    std::uint64_t seed_chain = config.transport.seed;
+    auto ship = [&](const std::vector<Byte> &image,
+                    bool downtime) -> std::vector<Byte> {
+        TransportConfig t = config.transport;
+        t.seed = sim::FaultInjector::splitmix64(seed_chain);
+        TransferSession session(image, t);
+        Cycles serialize =
+            config.checkpointPerWordCycles * ((image.size() + 3) / 4);
+        try {
+            session.run();
+            std::vector<Byte> got = session.receivedImage();
+            accumulateStats(result.transport, session.stats());
+            Cycles cost = serialize + session.stats().cyclesCharged;
+            if (downtime) {
+                result.downtimeCycles += cost;
+                result.precopy.bytesMovedStopCopy += image.size();
+            } else {
+                result.precopy.precopyCycles += cost;
+                result.precopy.bytesMovedPreCopy += image.size();
+            }
+            return got;
+        } catch (const MigrateError &) {
+            accumulateStats(result.transport, session.stats());
+            if (downtime)
+                result.downtimeCycles +=
+                    serialize + session.stats().cyclesCharged;
+            else
+                result.precopy.precopyCycles +=
+                    serialize + session.stats().cyclesCharged;
+            throw;
+        }
+    };
+
+    auto dirtyPages = [&]() {
+        std::vector<std::uint32_t> dirty;
+        for (std::size_t p = 0; p < total_pages; p++)
+            if (source.pageVersion(std::uint32_t(p)) !=
+                sent_version[p])
+                dirty.push_back(std::uint32_t(p));
+        return dirty;
+    };
+
+    try {
+        // Initial live pass: every nonzero page, with the write
+        // version of *every* page recorded so a zero page that gets
+        // dirtied later (even back to zero) is caught.
+        std::vector<std::uint32_t> live;
+        for (std::size_t p = 0; p < total_pages; p++) {
+            sent_version[p] = source.pageVersion(std::uint32_t(p));
+            std::size_t len = pageLen(source.memBytes,
+                                      std::uint32_t(p));
+            bool zero = source.pageIsZero
+                            ? source.pageIsZero(std::uint32_t(p), len)
+                            : false;
+            if (!zero)
+                live.push_back(std::uint32_t(p));
+        }
+        applyPageBatch(ship(buildPageBatch(source, live), false),
+                       store);
+        result.precopy.pagesSentPreCopy += live.size();
+
+        // Dirty rounds: run the guest one slice per round, re-ship
+        // what it touched, stop early once the set is small enough to
+        // move inside the downtime window.
+        std::vector<std::uint32_t> dirty;
+        while (result.precopy.roundsRun < precopy.maxRounds) {
+            source.runSlice();
+            result.precopy.roundsRun++;
+            dirty = dirtyPages();
+            if (dirty.size() <= precopy.convergePages) {
+                result.precopy.converged = true;
+                break;
+            }
+            for (std::uint32_t p : dirty)
+                sent_version[p] = source.pageVersion(p);
+            applyPageBatch(ship(buildPageBatch(source, dirty), false),
+                           store);
+            result.precopy.pagesSentPreCopy += dirty.size();
+        }
+
+        // Stop-and-copy: the guest pauses here. Residual pages plus
+        // the memory-less control image are all that moves while it
+        // is down.
+        std::vector<std::uint32_t> residual = dirtyPages();
+        result.precopy.residualPages = residual.size();
+        if (!residual.empty())
+            applyPageBatch(
+                ship(buildPageBatch(source, residual), true), store);
+
+        std::vector<Byte> full = source.checkpoint();
+        std::vector<Byte> final_image =
+            spliceControlImage(ship(buildControlImage(full), true),
+                               store);
+
+        try {
+            restore_fn(final_image);
+        } catch (const sim::SnapshotError &e) {
+            throw MigrateError(MigrateErrorKind::RestoreRefused, ~0u,
+                               e.what());
+        }
+        // Apply cost of the state the receiver could not have staged
+        // while the guest ran: the non-memory sections and the
+        // residual pages.
+        result.downtimeCycles +=
+            config.restorePerWordCycles *
+            ((result.precopy.bytesMovedStopCopy + 3) / 4);
+        result.succeeded = true;
+    } catch (const MigrateError &e) {
+        result.succeeded = false;
+        result.errorKind = e.kind();
+        result.error = e.what();
+        result.errorChunk = e.chunk();
+        result.errorRetries = e.retries();
+        result.errorTimeoutCharged = e.chargedTimeout();
+    }
+    result.bytesMoved = result.precopy.bytesMovedPreCopy +
+                        result.precopy.bytesMovedStopCopy;
+    return result;
+}
+
+MigrationResult
+migrateMachinePreCopy(sim::Machine &src, sim::Machine &dst,
+                      const MigrationConfig &config,
+                      const PreCopyConfig &precopy,
+                      const std::function<void()> &run_slice)
+{
+    sim::PhysMemory &mem = src.mem();
+    PreCopySource source;
+    source.memBytes = mem.size();
+    source.readPage = [&mem](std::uint32_t p, Byte *dst_buf,
+                             std::size_t len) {
+        mem.readBlock(Addr(std::size_t(p) * sim::kSnapshotPageBytes),
+                      dst_buf, len);
+    };
+    source.pageVersion = [&mem](std::uint32_t p) {
+        return mem.pageVersion(Addr(std::size_t(p) *
+                                    sim::kSnapshotPageBytes));
+    };
+    source.pageIsZero = [&mem](std::uint32_t p, std::size_t len) {
+        return mem.blockIsZero(
+            Addr(std::size_t(p) * sim::kSnapshotPageBytes), len);
+    };
+    source.runSlice = run_slice;
+    source.checkpoint = [&src] { return src.checkpoint(); };
+    return migrateImagePreCopy(
+        source,
+        [&dst](const std::vector<Byte> &image) { dst.restore(image); },
+        config, precopy);
+}
+
+MigrationResult
+migrateRigPreCopy(chaos::Rig &src, chaos::Rig &dst,
+                  const MigrationConfig &config,
+                  const PreCopyConfig &precopy,
+                  unsigned ops_per_slice)
+{
+    sim::Machine &machine = src.machine();
+    sim::PhysMemory &mem = machine.mem();
+    PreCopySource source;
+    source.memBytes = mem.size();
+    source.readPage = [&mem](std::uint32_t p, Byte *dst_buf,
+                             std::size_t len) {
+        mem.readBlock(Addr(std::size_t(p) * sim::kSnapshotPageBytes),
+                      dst_buf, len);
+    };
+    source.pageVersion = [&mem](std::uint32_t p) {
+        return mem.pageVersion(Addr(std::size_t(p) *
+                                    sim::kSnapshotPageBytes));
+    };
+    source.pageIsZero = [&mem](std::uint32_t p, std::size_t len) {
+        return mem.blockIsZero(
+            Addr(std::size_t(p) * sim::kSnapshotPageBytes), len);
+    };
+    source.runSlice = [&src, ops_per_slice] {
+        src.runTo(std::min(chaos::kTotalOps,
+                           src.cursor() + ops_per_slice));
+    };
+    source.checkpoint = [&src] { return src.checkpoint(); };
+    return migrateImagePreCopy(
+        source,
+        [&dst](const std::vector<Byte> &image) { dst.restore(image); },
+        config, precopy);
 }
 
 MigrationResult

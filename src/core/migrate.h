@@ -44,6 +44,7 @@
 
 #include "common/types.h"
 #include "core/chaos.h"
+#include "core/transport.h"
 
 namespace uexc::rt::migrate {
 
@@ -75,60 +76,34 @@ class MigrateError : public std::runtime_error
   public:
     MigrateError(MigrateErrorKind kind, unsigned chunk,
                  const std::string &what)
+        : MigrateError(kind, chunk, 0, 0, what)
+    {
+    }
+
+    MigrateError(MigrateErrorKind kind, unsigned chunk,
+                 unsigned retries, Cycles charged_timeout,
+                 const std::string &what)
         : std::runtime_error(std::string("migrate [") +
                              migrateErrorKindName(kind) + "]: " + what),
-          kind_(kind), chunk_(chunk)
+          kind_(kind), chunk_(chunk), retries_(retries),
+          chargedTimeout_(charged_timeout)
     {
     }
 
     MigrateErrorKind kind() const { return kind_; }
     /** Chunk index the failure occurred on (~0u when not per-chunk). */
     unsigned chunk() const { return chunk_; }
+    /** Retransmit timeouts waited on that chunk before giving up. */
+    unsigned retries() const { return retries_; }
+    /** Last retransmit timeout charged before the failure (cycles;
+     *  0 when the retry budget was exhausted before any wait). */
+    Cycles chargedTimeout() const { return chargedTimeout_; }
 
   private:
     MigrateErrorKind kind_;
     unsigned chunk_;
-};
-
-/** Seeded-deterministic lossy transport knobs (the DSM
- *  unreliable-network model, applied to image chunks). */
-struct TransportConfig
-{
-    std::uint64_t seed = 1;
-    std::size_t chunkBytes = 4096;
-    unsigned lossPercent = 0;    ///< chunk lost in flight
-    unsigned corruptPercent = 0; ///< one bit of the frame flipped
-    unsigned dupPercent = 0;     ///< chunk delivered twice
-    unsigned delayPercent = 0;   ///< extra-delay chance
-    Cycles latencyCycles = 25000;  ///< per-frame one-way latency
-    Cycles delayCycles = 5000;     ///< extra latency when delayed
-    Cycles perWordCycles = 1;      ///< wire time per 32-bit word
-    Cycles timeoutCycles = 50000;  ///< initial retransmit timeout
-    /** Ceiling for the doubling retransmit timeout (same discipline
-     *  as DsmCluster::Config::timeoutCapCycles). */
-    Cycles timeoutCapCycles = 8 * 50000;
-    unsigned maxRetries = 16;      ///< per chunk, then Partition
-};
-
-/** Transfer-side statistics (host measurement + simulated cycles). */
-struct TransportStats
-{
-    std::uint64_t chunksTotal = 0;
-    std::uint64_t chunksDelivered = 0;
-    std::uint64_t framesSent = 0;     ///< incl. retransmits and dups
-    std::uint64_t retries = 0;
-    std::uint64_t timeouts = 0;
-    std::uint64_t lostInFlight = 0;
-    std::uint64_t corruptDropped = 0; ///< chunk-CRC rejections
-    std::uint64_t duplicatesSuppressed = 0;
-    /** Largest single timeout charged; never exceeds the cap. */
-    Cycles maxTimeoutCharged = 0;
-    /** Simulated cycles the transfer cost (latency + wire + waits). */
-    Cycles cyclesCharged = 0;
-    /** retryHistogram[i] = chunks that needed exactly i retries;
-     *  the last bucket saturates. */
-    std::vector<std::uint64_t> retryHistogram =
-        std::vector<std::uint64_t>(9, 0);
+    unsigned retries_;
+    Cycles chargedTimeout_;
 };
 
 /**
@@ -148,6 +123,17 @@ class TransferSession
     /** Transfer all missing chunks; throws MigrateError(Partition)
      *  when a chunk exhausts its retries. Safe to call again. */
     void run();
+
+    /**
+     * Transfer at most @p max_chunks of the missing chunks, then
+     * return how many were delivered. The partial-progress primitive
+     * behind crash-mid-transfer chaos ops: a host that dies with a
+     * session half run leaves exactly this many chunks on the far
+     * side, and the abandoned session is simply dropped (the receive
+     * side never saw a complete image, so nothing was restored).
+     * Throws the same Partition error as run().
+     */
+    unsigned runSome(unsigned max_chunks);
 
     bool complete() const { return deliveredCount_ == chunks_; }
     unsigned chunksTotal() const { return chunks_; }
@@ -190,6 +176,36 @@ std::vector<Byte> transferImage(const std::vector<Byte> &image,
                                 const TransportConfig &config,
                                 TransportStats *stats = nullptr);
 
+/** Knobs of the iterative pre-copy loop. */
+struct PreCopyConfig
+{
+    /** Pre-copy rounds to attempt before giving up and doing
+     *  stop-and-copy on whatever residual remains (>= 1). Each round
+     *  runs the guest one slice, then ships the pages dirtied since
+     *  the previous send. */
+    unsigned maxRounds = 4;
+    /** Convergence threshold: once a round's dirty set is at most
+     *  this many pages, pre-copy stops and the residual is moved
+     *  during the downtime window. */
+    unsigned convergePages = 8;
+};
+
+/** What the pre-copy loop did (embedded in MigrationResult). */
+struct PreCopyStats
+{
+    unsigned roundsRun = 0;      ///< guest slices executed
+    bool converged = false;      ///< dirty set shrank under threshold
+    std::uint64_t pagesSentPreCopy = 0;
+    std::uint64_t residualPages = 0;  ///< moved during downtime
+    std::uint64_t bytesMovedPreCopy = 0;
+    /** Bytes moved while the guest was paused (residual pages plus
+     *  the control image). */
+    std::uint64_t bytesMovedStopCopy = 0;
+    /** Simulated cycles charged while the guest kept running — the
+     *  price of pre-copy that is *not* downtime. */
+    Cycles precopyCycles = 0;
+};
+
 /** Everything a migration attempt reports. On failure the error
  *  taxonomy is populated and the source is guaranteed untouched. */
 struct MigrationResult
@@ -197,9 +213,20 @@ struct MigrationResult
     bool succeeded = false;
     MigrateErrorKind errorKind = MigrateErrorKind::Partition;
     std::string error;
+    /** Per-chunk failure diagnostics (valid when !succeeded and the
+     *  failure was chunk-level; errorChunk == ~0u otherwise). */
+    unsigned errorChunk = ~0u;
+    unsigned errorRetries = 0;
+    Cycles errorTimeoutCharged = 0;
     /** Simulated guest-paused cycles: checkpoint + transfer +
-     *  restore (stop-and-copy downtime). */
+     *  restore (stop-and-copy downtime). Under pre-copy this covers
+     *  only the residual + control-image window. */
     Cycles downtimeCycles = 0;
+    /** Bytes shipped across all transfers of this attempt (every
+     *  pre-copy round plus the stop-and-copy window). */
+    std::uint64_t bytesMoved = 0;
+    bool usedPreCopy = false;
+    PreCopyStats precopy;
     TransportStats transport;
 };
 
@@ -236,6 +263,69 @@ migrateImage(const std::vector<Byte> &image,
              const std::function<void(const std::vector<Byte> &)>
                  &restore_fn,
              const MigrationConfig &config);
+
+/**
+ * Everything the iterative pre-copy engine needs from a source guest.
+ * The callbacks view the guest's physical memory at snapshot-page
+ * granularity (sim::kSnapshotPageBytes), expose the PhysMemory
+ * write-version counters as the dirty-tracking oracle, pause-free
+ * advance the guest one slice, and produce a full paused checkpoint
+ * for the final cut.
+ */
+struct PreCopySource
+{
+    std::uint64_t memBytes = 0;
+    std::function<void(std::uint32_t page, Byte *dst, std::size_t len)>
+        readPage;
+    /** Current write-version of a page (PhysMemory::pageVersion). */
+    std::function<std::uint32_t(std::uint32_t page)> pageVersion;
+    /** Optional fast zero predicate (PhysMemory::blockIsZero). */
+    std::function<bool(std::uint32_t page, std::size_t len)> pageIsZero;
+    /** Run the guest while a round's pages are "in flight". */
+    std::function<void()> runSlice;
+    /** Full checkpoint of the (now paused) guest. */
+    std::function<std::vector<Byte>()> checkpoint;
+};
+
+/**
+ * Iterative pre-copy migration: ship all live pages while the guest
+ * keeps running, re-ship whatever it dirties per round until the
+ * dirty set converges (or maxRounds is spent), then pause only for
+ * the residual pages plus a memory-less control image. The receiver
+ * reassembles the final image from its page store and the control
+ * image through the *same* serializer Machine::checkpoint uses, and
+ * accepts it only when both the reconstructed memory payload CRC and
+ * the whole-image CRC recorded in the control image match — so a
+ * successful pre-copy migration restores bytes identical to what a
+ * stop-and-copy of the paused source would have shipped, with
+ * downtimeCycles covering only the residual window.
+ *
+ * On any failure the destination is untouched and the source keeps
+ * running (it may have advanced by the slices already run — exactly
+ * what live migration means).
+ */
+MigrationResult
+migrateImagePreCopy(const PreCopySource &source,
+                    const std::function<void(const std::vector<Byte> &)>
+                        &restore_fn,
+                    const MigrationConfig &config,
+                    const PreCopyConfig &precopy);
+
+/** Pre-copy a live Machine into a twin-shaped destination; @p
+ *  run_slice advances the source between rounds (e.g. run(N)). */
+MigrationResult
+migrateMachinePreCopy(sim::Machine &src, sim::Machine &dst,
+                      const MigrationConfig &config,
+                      const PreCopyConfig &precopy,
+                      const std::function<void()> &run_slice);
+
+/** Pre-copy a live chaos rig, advancing its campaign by
+ *  @p ops_per_slice ops per round (clamped to the campaign end). */
+MigrationResult
+migrateRigPreCopy(chaos::Rig &src, chaos::Rig &dst,
+                  const MigrationConfig &config,
+                  const PreCopyConfig &precopy,
+                  unsigned ops_per_slice);
 
 } // namespace uexc::rt::migrate
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The fleet supervisor: liveness tracking, failure taxonomy, and
+ * self-healing recovery policy.
+ *
+ * The supervisor is deliberately mechanism-free: it never touches a
+ * machine, an image, or a transport. The fleet (or any other
+ * harness) feeds it heartbeats — monotone progress counters plus a
+ * handler-budget echo, both measured in simulated work, never host
+ * time — and reports observed failures classified into a small typed
+ * taxonomy. The supervisor answers with a *decision*: restart from
+ * the last good checkpoint, re-migrate to a healthy host, how many
+ * ticks of capped exponential backoff to wait first, or quarantine
+ * after K consecutive failures. Every decision is appended to a log
+ * that is a pure function of the seed and the observed event
+ * sequence, so two runs of the same seeded soak produce bit-identical
+ * decision logs — the property the nightly soak diffs against.
+ *
+ * MTTR is measured from the tick a failure is first reported to the
+ * tick the harness confirms recovery, in both scheduler ticks and
+ * simulated cycles; p50/p99 land in BENCH_fleet.json next to the
+ * migration downtime percentiles.
+ */
+
+#ifndef UEXC_CORE_SUPERVISE_H
+#define UEXC_CORE_SUPERVISE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uexc::rt::supervise {
+
+/** Typed failure taxonomy the harness classifies into. */
+enum class FailureKind : std::uint8_t
+{
+    /** Heartbeats arrive but show no progress: instret frozen and no
+     *  handler-budget echo — the guest spins or hangs. */
+    Wedged,
+    /** The guest's host process state is gone mid-run (an injected
+     *  guest crash drill, or a rig that threw away its machine). */
+    Crashed,
+    /** A stored checkpoint or transferred image failed validation —
+     *  restore refused it before touching any state. */
+    CorruptedImage,
+    /** A migration or transfer exhausted its retry budget. */
+    Partitioned,
+    /** The host under the guest died (everything on it is lost). */
+    HostDown,
+};
+
+constexpr unsigned kFailureKinds = 5;
+const char *failureKindName(FailureKind kind);
+
+/** What the supervisor decides to do about a failure. */
+enum class Action : std::uint8_t
+{
+    /** Roll back to the last good checkpoint on the same host. */
+    Restart,
+    /** Re-home: restore the last good checkpoint on a healthy host. */
+    Remigrate,
+    /** Stop scheduling the guest entirely (K consecutive failures);
+     *  it is excluded from convergence oracles from here on. */
+    Quarantine,
+};
+
+const char *actionName(Action action);
+
+struct SupervisorConfig
+{
+    /** Seed of the (deterministic) backoff jitter stream. */
+    std::uint64_t seed = 1;
+    /** Consecutive failures before a guest is quarantined. */
+    unsigned quarantineAfter = 3;
+    /** Backoff before the Nth consecutive retry doubles from the
+     *  base, capped: min(base << (N-2), cap), plus 0-1 ticks of
+     *  seeded jitter. The first recovery attempt is immediate. */
+    std::uint64_t backoffBaseTicks = 1;
+    std::uint64_t backoffCapTicks = 8;
+    /** Beats without progress (and without a budget echo) before a
+     *  heartbeat consumer should classify the guest Wedged. */
+    unsigned wedgedAfterBeats = 2;
+};
+
+/** One appended decision-log entry. */
+struct Decision
+{
+    std::uint64_t tick = 0;
+    unsigned guest = 0;
+    FailureKind failure = FailureKind::Wedged;
+    Action action = Action::Restart;
+    unsigned consecutiveFailures = 0;
+    std::uint64_t backoffTicks = 0; ///< wait before acting
+    std::string note;
+};
+
+/** Render a decision as one deterministic log line. */
+std::string decisionLine(const Decision &d);
+
+struct SupervisorStats
+{
+    std::uint64_t heartbeats = 0;
+    std::uint64_t wedgeDetections = 0;
+    std::uint64_t failuresByKind[kFailureKinds] = {};
+    std::uint64_t restarts = 0;
+    std::uint64_t remigrations = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t backoffTicksCharged = 0;
+    /** One sample per completed recovery. */
+    std::vector<std::uint64_t> mttrTicks;
+    std::vector<Cycles> mttrCycles;
+
+    std::uint64_t mttrTicksPercentile(double p) const;
+    Cycles mttrCyclesPercentile(double p) const;
+};
+
+/**
+ * Tracks per-guest health and drives the recovery policy. All time
+ * is the harness's scheduler tick; all "cycles" are simulated cycles
+ * the harness accounts. Nothing here reads a host clock.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(const SupervisorConfig &config = {});
+
+    /** Register a guest (idempotent; guests are dense small ints). */
+    void track(unsigned guest);
+
+    /**
+     * Record one liveness beat: @p progress is any monotone count of
+     * simulated work (campaign ops, instret), @p budget_echo a
+     * counter proving the exception path still responds (delivery
+     * demotions, handler entries). Returns true when the guest has
+     * shown neither progress nor an echo for at least
+     * wedgedAfterBeats beats — the caller should then report
+     * FailureKind::Wedged.
+     */
+    bool heartbeat(unsigned guest, std::uint64_t tick,
+                   std::uint64_t progress, std::uint64_t budget_echo);
+
+    /**
+     * Report an observed failure; returns the decision (also
+     * appended to the log). The guest is considered down from the
+     * first unresolved failure until onRecovered. Repeated failures
+     * without an intervening recovery escalate the consecutive count
+     * (and eventually quarantine) but keep the original down-since
+     * tick for MTTR.
+     */
+    Decision onFailure(unsigned guest, std::uint64_t tick,
+                       Cycles sim_cycles, FailureKind kind,
+                       const std::string &note);
+
+    /** The harness confirmed the guest healthy again; records the
+     *  MTTR sample and resets the consecutive-failure count. */
+    void onRecovered(unsigned guest, std::uint64_t tick,
+                     Cycles sim_cycles);
+
+    bool quarantined(unsigned guest) const;
+    bool down(unsigned guest) const;
+    /** First tick at which a decided action may execute. */
+    std::uint64_t retryAtTick(unsigned guest) const;
+    unsigned consecutiveFailures(unsigned guest) const;
+
+    const std::vector<Decision> &decisionLog() const { return log_; }
+    const SupervisorStats &stats() const { return stats_; }
+
+    /** The whole log rendered one decision per line. */
+    std::string decisionLogText() const;
+
+  private:
+    struct GuestHealth
+    {
+        std::uint64_t lastProgress = 0;
+        std::uint64_t lastEcho = 0;
+        unsigned stalledBeats = 0;
+        bool everBeat = false;
+        bool down = false;
+        bool quarantined = false;
+        unsigned consecutiveFailures = 0;
+        std::uint64_t downSinceTick = 0;
+        Cycles downSinceCycles = 0;
+        std::uint64_t retryAtTick = 0;
+    };
+
+    GuestHealth &health(unsigned guest);
+
+    SupervisorConfig config_;
+    std::uint64_t rng_;
+    std::vector<GuestHealth> guests_;
+    std::vector<Decision> log_;
+    SupervisorStats stats_;
+};
+
+} // namespace uexc::rt::supervise
+
+#endif // UEXC_CORE_SUPERVISE_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Transport knobs and statistics of the migration wire.
+ *
+ * Split out of core/migrate.h so the chaos layer can describe planned
+ * migration weather (core/chaos.h's MigrateOp) without pulling in the
+ * whole migration engine — migrate.h includes chaos.h for the rig
+ * helpers, so the dependency between the two has to stay one-way.
+ */
+
+#ifndef UEXC_CORE_TRANSPORT_H
+#define UEXC_CORE_TRANSPORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace uexc::rt::migrate {
+
+/** Seeded-deterministic lossy transport knobs (the DSM
+ *  unreliable-network model, applied to image chunks). */
+struct TransportConfig
+{
+    std::uint64_t seed = 1;
+    std::size_t chunkBytes = 4096;
+    unsigned lossPercent = 0;    ///< chunk lost in flight
+    unsigned corruptPercent = 0; ///< one bit of the frame flipped
+    unsigned dupPercent = 0;     ///< chunk delivered twice
+    unsigned delayPercent = 0;   ///< extra-delay chance
+    Cycles latencyCycles = 25000;  ///< per-frame one-way latency
+    Cycles delayCycles = 5000;     ///< extra latency when delayed
+    Cycles perWordCycles = 1;      ///< wire time per 32-bit word
+    Cycles timeoutCycles = 50000;  ///< initial retransmit timeout
+    /** Ceiling for the doubling retransmit timeout (same discipline
+     *  as DsmCluster::Config::timeoutCapCycles). */
+    Cycles timeoutCapCycles = 8 * 50000;
+    unsigned maxRetries = 16;      ///< per chunk, then Partition
+};
+
+/** Transfer-side statistics (host measurement + simulated cycles). */
+struct TransportStats
+{
+    std::uint64_t chunksTotal = 0;
+    std::uint64_t chunksDelivered = 0;
+    std::uint64_t framesSent = 0;     ///< incl. retransmits and dups
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t lostInFlight = 0;
+    std::uint64_t corruptDropped = 0; ///< chunk-CRC rejections
+    std::uint64_t duplicatesSuppressed = 0;
+    /** Largest single timeout charged; never exceeds the cap. */
+    Cycles maxTimeoutCharged = 0;
+    /** Simulated cycles the transfer cost (latency + wire + waits). */
+    Cycles cyclesCharged = 0;
+    /** retryHistogram[i] = chunks that needed exactly i retries;
+     *  the last bucket saturates. */
+    std::vector<std::uint64_t> retryHistogram =
+        std::vector<std::uint64_t>(9, 0);
+};
+
+} // namespace uexc::rt::migrate
+
+#endif // UEXC_CORE_TRANSPORT_H

@@ -668,8 +668,14 @@ Machine::debugWriteWord(Addr addr, Word value)
 namespace {
 
 constexpr Word kTagConfig = snapshotTag('C', 'F', 'G', ' ');
-constexpr Word kTagMemory = snapshotTag('M', 'E', 'M', ' ');
+constexpr Word kTagMemory = kSnapshotMemoryTag;
 constexpr Word kTagSched = snapshotTag('S', 'C', 'H', 'D');
+
+// The snapshot layer's page constant is what migration dirty
+// tracking indexes with; it must agree with the write-version
+// granularity here.
+static_assert(kSnapshotPageBytes == PhysMemory::PageBytes,
+              "snapshot page size must match PhysMemory pages");
 
 Word
 hartTag(unsigned i)
@@ -712,31 +718,20 @@ Machine::checkpoint() const
     // Physical memory with zero-page elision: only pages with any
     // nonzero byte are stored (strictly increasing page indices).
     // PhysMemory starts zeroed and restore re-zeroes, so the sparse
-    // set reproduces the full contents.
-    std::size_t pages =
-        (mem_->size() + PhysMemory::PageBytes - 1) /
-        PhysMemory::PageBytes;
-    std::vector<Byte> page(PhysMemory::PageBytes);
-    std::vector<std::uint32_t> live;
-    for (std::size_t p = 0; p < pages; p++) {
-        std::size_t base = p * PhysMemory::PageBytes;
-        std::size_t len =
-            std::min(PhysMemory::PageBytes, mem_->size() - base);
-        if (!mem_->blockIsZero(Addr(base), len))
-            live.push_back(std::uint32_t(p));
-    }
-    w.beginSection(kTagMemory);
-    w.u64(mem_->size());
-    w.u32(std::uint32_t(live.size()));
-    for (std::uint32_t p : live) {
-        std::size_t base = std::size_t(p) * PhysMemory::PageBytes;
-        std::size_t len =
-            std::min(PhysMemory::PageBytes, mem_->size() - base);
-        mem_->readBlock(Addr(base), page.data(), len);
-        w.u32(p);
-        w.bytes(page.data(), len);
-    }
-    w.endSection();
+    // set reproduces the full contents. The serializer is shared with
+    // the pre-copy migration receiver so both sides produce
+    // byte-identical MEM payloads for identical memory contents.
+    writeMemorySection(
+        w, kTagMemory, mem_->size(),
+        [this](std::uint32_t p, Byte *dst, std::size_t len) {
+            mem_->readBlock(Addr(std::size_t(p) *
+                                 PhysMemory::PageBytes),
+                            dst, len);
+        },
+        [this](std::uint32_t p, std::size_t len) {
+            return mem_->blockIsZero(
+                Addr(std::size_t(p) * PhysMemory::PageBytes), len);
+        });
 
     // Scheduler position.
     w.beginSection(kTagSched);

@@ -83,6 +83,49 @@ snapshotTagName(Word tag)
     return hex;
 }
 
+// -- memory-section serializer -------------------------------------------
+
+void
+writeMemorySection(
+    SnapshotWriter &w, Word tag, std::uint64_t memBytes,
+    const std::function<void(std::uint32_t page, Byte *dst,
+                             std::size_t len)> &readPage,
+    const std::function<bool(std::uint32_t page, std::size_t len)>
+        &pageIsZero)
+{
+    std::size_t pages = (std::size_t(memBytes) + kSnapshotPageBytes - 1) /
+                        kSnapshotPageBytes;
+    std::vector<Byte> page(kSnapshotPageBytes);
+    std::vector<std::uint32_t> live;
+    for (std::size_t p = 0; p < pages; p++) {
+        std::size_t base = p * kSnapshotPageBytes;
+        std::size_t len = std::min(kSnapshotPageBytes,
+                                   std::size_t(memBytes) - base);
+        bool zero;
+        if (pageIsZero) {
+            zero = pageIsZero(std::uint32_t(p), len);
+        } else {
+            readPage(std::uint32_t(p), page.data(), len);
+            zero = std::all_of(page.begin(), page.begin() + len,
+                               [](Byte b) { return b == 0; });
+        }
+        if (!zero)
+            live.push_back(std::uint32_t(p));
+    }
+    w.beginSection(tag);
+    w.u64(memBytes);
+    w.u32(std::uint32_t(live.size()));
+    for (std::uint32_t p : live) {
+        std::size_t base = std::size_t(p) * kSnapshotPageBytes;
+        std::size_t len = std::min(kSnapshotPageBytes,
+                                   std::size_t(memBytes) - base);
+        readPage(p, page.data(), len);
+        w.u32(p);
+        w.bytes(page.data(), len);
+    }
+    w.endSection();
+}
+
 // -- SnapshotWriter ------------------------------------------------------
 
 SnapshotWriter::SnapshotWriter()

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -78,6 +79,42 @@ snapshotTag(char a, char b, char c, char d)
 
 /** Render a tag for error messages ("CFG " or hex if unprintable). */
 std::string snapshotTagName(Word tag);
+
+/** Tag of the machine core's physical-memory section ("MEM "). */
+constexpr Word kSnapshotMemoryTag = snapshotTag('M', 'E', 'M', ' ');
+
+/** Page granularity of the MEM section's zero-page elision. Must
+ *  match PhysMemory::PageBytes (machine.cc asserts it) so page
+ *  indices in an image and write-version indices in a live machine
+ *  talk about the same pages — that identity is what lets the
+ *  migration layer's dirty tracking reuse the snapshot format. */
+constexpr std::size_t kSnapshotPageBytes = 4096;
+
+/**
+ * Byte layout of a serialized memory section, shared by
+ * Machine::checkpoint and the pre-copy migration receiver:
+ *
+ *   u64 memBytes, u32 liveCount,
+ *   liveCount x { u32 pageIndex, pageBytes payload }
+ *
+ * with zero pages elided, strictly increasing page indices, and the
+ * last page tail-truncated to memBytes. Pulling the serializer out of
+ * Machine::checkpoint means a receiver that reassembles memory from
+ * individually transferred pages produces a payload *byte-identical*
+ * to what the source's checkpoint would contain — the property the
+ * pre-copy control image's CRC check rests on.
+ *
+ * @p readPage copies page @p page (exactly @p len bytes, tail page
+ * may be short) into @p dst. @p pageIsZero, when provided, is a fast
+ * elision predicate (PhysMemory::blockIsZero); when null the written
+ * bytes are scanned instead.
+ */
+void writeMemorySection(
+    class SnapshotWriter &w, Word tag, std::uint64_t memBytes,
+    const std::function<void(std::uint32_t page, Byte *dst,
+                             std::size_t len)> &readPage,
+    const std::function<bool(std::uint32_t page, std::size_t len)>
+        &pageIsZero = nullptr);
 
 /** CRC-32 (IEEE 802.3, reflected 0xEDB88320) of a byte range. */
 std::uint32_t snapshotCrc32(const Byte *data, std::size_t len);

@@ -21,11 +21,32 @@
  *    multihart guest (cuts land inside the handler body);
  *  - chaos-rig migrations mid-campaign, including graceful
  *    degradation when the transfer partitions;
- *  - the fleet soak harness: healthy deterministic soaks, and the
+ *  - iterative pre-copy: the dirty-heavy downtime win over
+ *    stop-and-copy, the give-up-after-maxRounds path, partitions
+ *    leaving the source running, and (inside the 200-seed oracle)
+ *    bit-identity for every third seed migrated live;
+ *  - TransferSession::reconfigure() mid-session: a resumed session
+ *    bit-matches an uninterrupted reference, weather changes between
+ *    partitions heal the link, and a tightened retry budget applies
+ *    to the chunks still in flight;
+ *  - per-chunk failure diagnostics (chunk index, retries, charged
+ *    timeout) surfaced through MigrationResult;
+ *  - migration and host-crash as first-class chaos-campaign ops:
+ *    deterministic seeded plans, clean migrations invisible to the
+ *    campaign oracle, endpoint crashes diagnosed deterministically,
+ *    and shrinkCampaign reducing a migration-triggered failure to a
+ *    replayable <= 12-op repro window that round-trips through a
+ *    repro file;
+ *  - the fleet soak harness: healthy deterministic soaks, the
  *    all-partitions drill where every migration fails and every guest
- *    still converges.
+ *    still converges, and the supervised self-healing soaks — a
+ *    200-seed sharded sweep under injected host crashes, wedges,
+ *    guest crashes, torn checkpoints, and mid-transfer source
+ *    crashes, where every non-quarantined guest must converge
+ *    bit-identically to its unfailed reference.
  */
 
+#include <cstdio>
 #include <random>
 #include <string>
 #include <vector>
@@ -368,6 +389,12 @@ constexpr unsigned kMigrateSeedsPerShard = 25; // 200-seed corpus
  * injectors with events pending across the cut (the resume-window
  * hazard: an event planned to fire just after the cut must defer and
  * fire identically on the migrated guest).
+ *
+ * The migration mode also rotates: every third seed migrates with
+ * iterative pre-copy (the guest keeps running while dirty pages
+ * ship; the reference mirrors the same host run() slices), the rest
+ * with single-shot stop-and-copy — so the 200-seed corpus holds the
+ * bit-identity bar for both modes.
  */
 void
 runMigrationOracleSeed(unsigned seed)
@@ -377,6 +404,7 @@ runMigrationOracleSeed(unsigned seed)
     const bool fast = seed % 2 != 0;
     const unsigned harts = seed % 4 == 3 ? 4 : 1;
     const bool injected = seed % 5 == 0;
+    const bool precopy = seed % 3 == 2;
 
     MachineConfig cfg;
     cfg.memBytes = 1 << 18;
@@ -438,17 +466,40 @@ runMigrationOracleSeed(unsigned seed)
     migrate::MigrationConfig mc;
     mc.transport = lossyTransport(0xfee7 + seed);
     mc.transport.chunkBytes = 4096;
-    migrate::MigrationResult result =
-        migrate::migrateMachine(u, v, mc);
-    ASSERT_TRUE(result.succeeded) << result.error;
-    if (injected) {
+    migrate::MigrationResult result;
+    InstCount sliced = 0;
+    if (precopy) {
+        migrate::PreCopyConfig pc;
+        pc.maxRounds = 3;
+        pc.convergePages = 4;
+        constexpr InstCount kSlice = 100;
+        result = migrate::migrateMachinePreCopy(
+            u, v, mc, pc, [&u, &sliced]() {
+                u.run(kSlice);
+                sliced += kSlice;
+            });
+        ASSERT_TRUE(result.succeeded) << result.error;
+        EXPECT_TRUE(result.usedPreCopy);
+        // the reference mirrors the source's host run() calls
+        // exactly: the round-robin schedule position at an InstLimit
+        // boundary is host policy, so the budget split must match
+        for (InstCount s = 0; s < sliced; s += kSlice)
+            t.run(kSlice);
+    } else {
+        result = migrate::migrateMachine(u, v, mc);
+        ASSERT_TRUE(result.succeeded) << result.error;
+    }
+    if (injected && !precopy) {
         // the pending post-cut event travelled inside the image
+        // (under pre-copy it may legitimately fire on the source
+        // during a slice — bit-identity still holds, because the
+        // reference mirrors the same slices)
         EXPECT_GT(inj_v.pendingCount(), 0u)
             << "pending injection lost in migration";
     }
 
-    t.run(total - cut);
-    v.run(total - cut);
+    t.run(total - cut - sliced);
+    v.run(total - cut - sliced);
 
     std::vector<Byte> end_t = t.checkpoint();
     std::vector<Byte> end_v = v.checkpoint();
@@ -721,6 +772,505 @@ TEST(FleetSoak, AllPartitionsDrillDegradesGracefullyEverywhere)
     EXPECT_EQ(s.hostFailures, 0u);
     EXPECT_GT(s.campaignsConverged, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Iterative pre-copy
+// ---------------------------------------------------------------------------
+
+TEST(MigratePreCopy, DirtyGuestPreCopyShrinksTheDowntimeWindow)
+{
+    // Same guest state, same weather seed, both modes: pre-copy must
+    // pause the guest for strictly less than the full-image window,
+    // paying for it in total bytes (every round re-ships dirty pages).
+    migrate::MigrationConfig mc;
+    mc.transport.seed = 0xD1517;
+    mc.transport.lossPercent = 4;
+    mc.transport.corruptPercent = 2;
+    mc.transport.delayPercent = 8;
+
+    chaos::Rig src_stop;
+    src_stop.runTo(chaos::kChaosOps / 2);
+    chaos::Rig dst_stop;
+    migrate::MigrationResult stopcopy =
+        migrate::migrateRig(src_stop, dst_stop, mc);
+    ASSERT_TRUE(stopcopy.succeeded) << stopcopy.error;
+    EXPECT_FALSE(stopcopy.usedPreCopy);
+
+    chaos::Rig src_pre;
+    src_pre.runTo(chaos::kChaosOps / 2);
+    chaos::Rig dst_pre;
+    migrate::PreCopyConfig pc;
+    pc.maxRounds = 2;
+    pc.convergePages = 8;
+    migrate::MigrationResult precopy =
+        migrate::migrateRigPreCopy(src_pre, dst_pre, mc, pc, 4);
+    ASSERT_TRUE(precopy.succeeded) << precopy.error;
+    EXPECT_TRUE(precopy.usedPreCopy);
+    EXPECT_GT(precopy.precopy.pagesSentPreCopy, 0u);
+    EXPECT_LT(precopy.downtimeCycles, stopcopy.downtimeCycles);
+    EXPECT_GT(precopy.bytesMoved, stopcopy.bytesMoved);
+    EXPECT_EQ(precopy.bytesMoved,
+              precopy.precopy.bytesMovedPreCopy +
+                  precopy.precopy.bytesMovedStopCopy);
+
+    // the migrated guest finishes the campaign and converges
+    chaos::Reference ref = chaos::makeReference();
+    dst_pre.run();
+    EXPECT_EQ(dst_pre.words(), ref.words);
+}
+
+TEST(MigratePreCopy, GiveUpAfterMaxRoundsStillRestoresBitIdentically)
+{
+    // convergePages = 0 with a chaos guest dirtying pages every op:
+    // the loop can never converge, spends its round budget, and falls
+    // back to stop-and-copy on the residual — still bit-identical.
+    chaos::Rig src;
+    src.runTo(chaos::kChaosOps / 2);
+    chaos::Rig dst;
+    migrate::MigrationConfig mc;
+    mc.transport = lossyTransport(0x61FE);
+    migrate::PreCopyConfig pc;
+    pc.maxRounds = 2;
+    pc.convergePages = 0;
+    migrate::MigrationResult result =
+        migrate::migrateRigPreCopy(src, dst, mc, pc, 4);
+    ASSERT_TRUE(result.succeeded) << result.error;
+    EXPECT_TRUE(result.usedPreCopy);
+    EXPECT_FALSE(result.precopy.converged);
+    EXPECT_EQ(result.precopy.roundsRun, 2u);
+    // the give-up round shipped its dirty set live, so only what was
+    // dirtied after that last send is residual
+    EXPECT_GT(result.precopy.pagesSentPreCopy, 0u);
+
+    // reference: a fresh rig run straight to the destination's cursor
+    chaos::Rig a;
+    a.runTo(dst.cursor());
+    a.run();
+    dst.run();
+    EXPECT_EQ(dst.words(), a.words());
+    EXPECT_EQ(dst.checkpoint(), a.checkpoint());
+}
+
+TEST(MigratePreCopy, PartitionLeavesTheSourceCampaignRunning)
+{
+    chaos::Reference ref = chaos::makeReference();
+    chaos::Rig src;
+    src.runTo(chaos::kChaosOps / 2);
+    chaos::Rig dst;
+    migrate::MigrationConfig mc;
+    mc.transport.lossPercent = 100;
+    mc.transport.maxRetries = 2;
+    migrate::PreCopyConfig pc;
+    migrate::MigrationResult result =
+        migrate::migrateRigPreCopy(src, dst, mc, pc, 4);
+    EXPECT_FALSE(result.succeeded);
+    EXPECT_EQ(result.errorKind, MigrateErrorKind::Partition);
+    // graceful degradation: the source finishes and converges (it may
+    // have advanced by the slices already run — that is what "live"
+    // means)
+    src.run();
+    EXPECT_EQ(src.words(), ref.words);
+}
+
+// ---------------------------------------------------------------------------
+// TransferSession::reconfigure() mid-session
+// ---------------------------------------------------------------------------
+
+TEST(TransportReconfigure, ResumedSessionBitMatchesUninterruptedRun)
+{
+    // The RNG roll order is per-chunk-attempt, independent of where
+    // run() calls are split — so interrupting after 5 chunks and
+    // resuming (reconfigure with identical knobs) must replay the
+    // same weather and land the same ledger, bit for bit.
+    std::vector<Byte> image = sampleImage(21);
+    TransportConfig cfg = lossyTransport(0xC0FFEE);
+
+    migrate::TransferSession ref(image, cfg);
+    ref.run();
+    std::vector<Byte> want = ref.receivedImage();
+
+    migrate::TransferSession s(image, cfg);
+    EXPECT_EQ(s.runSome(5), 5u);
+    EXPECT_EQ(s.chunksDelivered(), 5u);
+    s.reconfigure(cfg);
+    s.run();
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.receivedImage(), want);
+    EXPECT_EQ(s.stats().framesSent, ref.stats().framesSent);
+    EXPECT_EQ(s.stats().retries, ref.stats().retries);
+    EXPECT_EQ(s.stats().cyclesCharged, ref.stats().cyclesCharged);
+    EXPECT_EQ(s.stats().retryHistogram, ref.stats().retryHistogram);
+}
+
+TEST(TransportReconfigure, WeatherChangeBetweenPartitionsHealsTheLink)
+{
+    std::vector<Byte> image = sampleImage(22);
+    TransportConfig dead;
+    dead.seed = 5;
+    dead.chunkBytes = 1024;
+    dead.lossPercent = 100;
+    dead.maxRetries = 3;
+    migrate::TransferSession s(image, dead);
+    try {
+        s.run();
+        FAIL() << "a fully partitioned link delivered";
+    } catch (const MigrateError &e) {
+        EXPECT_EQ(e.kind(), MigrateErrorKind::Partition);
+        EXPECT_EQ(e.retries(), 3u);
+        EXPECT_GT(e.chargedTimeout(), 0u);
+    }
+    EXPECT_EQ(s.chunksDelivered(), 0u);
+
+    TransportConfig healed = dead;
+    healed.lossPercent = 10;
+    s.reconfigure(healed);
+    s.run();
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.receivedImage(), image);
+}
+
+TEST(TransportReconfigure, TightenedRetryBudgetAppliesMidSession)
+{
+    std::vector<Byte> image = sampleImage(23);
+    TransportConfig cfg;
+    cfg.seed = 9;
+    cfg.chunkBytes = 1024;
+    migrate::TransferSession s(image, cfg);
+    EXPECT_EQ(s.runSome(3), 3u);
+
+    TransportConfig dead = cfg;
+    dead.lossPercent = 100;
+    dead.maxRetries = 2;
+    s.reconfigure(dead);
+    try {
+        s.run();
+        FAIL() << "a fully partitioned link delivered";
+    } catch (const MigrateError &e) {
+        EXPECT_EQ(e.kind(), MigrateErrorKind::Partition);
+        // the failure names the first chunk still in flight, under
+        // the *tightened* budget
+        EXPECT_EQ(e.chunk(), 3u);
+        EXPECT_EQ(e.retries(), 2u);
+    }
+    // the delivered set survived the failed epoch
+    EXPECT_EQ(s.chunksDelivered(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-chunk failure diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(MigrateDiagnostics, FailureCarriesChunkRetriesAndChargedTimeout)
+{
+    chaos::Rig src;
+    src.runTo(chaos::kChaosOps / 3);
+    chaos::Rig dst;
+    migrate::MigrationConfig mc;
+    mc.transport.lossPercent = 100;
+    mc.transport.maxRetries = 4;
+    migrate::MigrationResult result = migrate::migrateRig(src, dst, mc);
+    ASSERT_FALSE(result.succeeded);
+    EXPECT_EQ(result.errorKind, MigrateErrorKind::Partition);
+    EXPECT_EQ(result.errorChunk, 0u);
+    EXPECT_EQ(result.errorRetries, 4u);
+    EXPECT_GT(result.errorTimeoutCharged, 0u);
+    EXPECT_LE(result.errorTimeoutCharged,
+              mc.transport.timeoutCapCycles);
+}
+
+// ---------------------------------------------------------------------------
+// Migration and host-crash as first-class chaos-campaign ops
+// ---------------------------------------------------------------------------
+
+TEST(ChaosMigrateOps, PlannedOpsAreSeededDeterministicAndSorted)
+{
+    chaos::MigrationPlan a = chaos::planMigrationOps(1234, 6);
+    chaos::MigrationPlan b = chaos::planMigrationOps(1234, 6);
+    ASSERT_EQ(a.size(), 6u);
+    ASSERT_EQ(b.size(), 6u);
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].atOp, b[i].atOp);
+        EXPECT_EQ(a[i].crash, b[i].crash);
+        EXPECT_EQ(a[i].crashAfterPercent, b[i].crashAfterPercent);
+        EXPECT_EQ(a[i].weather.seed, b[i].weather.seed);
+        EXPECT_EQ(a[i].weather.lossPercent, b[i].weather.lossPercent);
+        EXPECT_LT(a[i].atOp, chaos::kTotalOps);
+        if (i != 0)
+            EXPECT_GE(a[i].atOp, a[i - 1].atOp) << "plan not sorted";
+    }
+}
+
+TEST(ChaosMigrateOps, CleanMigrationOpIsInvisibleToTheCampaignOracle)
+{
+    chaos::Reference ref = chaos::makeReference();
+    chaos::MigrationPlan plan(1);
+    plan[0].kind = chaos::MigrateOp::Kind::Migrate;
+    plan[0].atOp = 30;
+    plan[0].weather.seed = 99;
+    plan[0].weather.lossPercent = 15;
+    plan[0].weather.corruptPercent = 10;
+
+    for (std::uint64_t seed : {2ull, 5ull, 12ull}) {
+        SCOPED_TRACE(::testing::Message() << "campaign seed " << seed);
+        chaos::CampaignOutcome with = chaos::runCampaign(
+            seed, ref.window, ref.words, {}, 0, nullptr, &plan);
+        chaos::CampaignOutcome without =
+            chaos::runCampaign(seed, ref.window, ref.words, {});
+        // a successful migration swapped onto a bit-identical twin; a
+        // typed transfer failure kept the source — either way the
+        // campaign outcome is exactly the no-migration outcome
+        EXPECT_EQ(with.diagnosed, without.diagnosed);
+        EXPECT_EQ(with.hostFailure, without.hostFailure);
+        EXPECT_EQ(with.what, without.what);
+        EXPECT_EQ(with.words, without.words);
+        EXPECT_FALSE(with.hostFailure);
+    }
+}
+
+TEST(ChaosMigrateOps, DestCrashMidTransferDegradesGracefully)
+{
+    chaos::Reference ref = chaos::makeReference();
+    chaos::MigrationPlan plan(1);
+    plan[0].atOp = 44;
+    plan[0].crash = chaos::MigrateOp::Crash::Dest;
+    plan[0].crashAfterPercent = 50;
+    const std::uint64_t seed = 2;
+    chaos::CampaignOutcome with = chaos::runCampaign(
+        seed, ref.window, ref.words, {}, 0, nullptr, &plan);
+    chaos::CampaignOutcome without =
+        chaos::runCampaign(seed, ref.window, ref.words, {});
+    // the half-staged image died with the destination; the source
+    // never paused, so the campaign is oblivious
+    EXPECT_EQ(with.diagnosed, without.diagnosed);
+    EXPECT_EQ(with.what, without.what);
+    EXPECT_EQ(with.words, without.words);
+    EXPECT_FALSE(with.hostFailure);
+}
+
+TEST(ChaosMigrateOps, SourceCrashMidTransferIsADeterministicDiagnosis)
+{
+    chaos::Reference ref = chaos::makeReference();
+    chaos::MigrationPlan plan(1);
+    plan[0].atOp = 37;
+    plan[0].crash = chaos::MigrateOp::Crash::Source;
+    plan[0].crashAfterPercent = 40;
+    const std::uint64_t seed = 2;
+    chaos::CampaignOutcome out = chaos::runCampaign(
+        seed, ref.window, ref.words, {}, 0, nullptr, &plan);
+    EXPECT_TRUE(out.diagnosed);
+    EXPECT_FALSE(out.hostFailure);
+    EXPECT_NE(out.what.find(
+                  "source host crashed mid-migration at op 37"),
+              std::string::npos)
+        << out.what;
+    EXPECT_NE(out.what.find("chunks delivered"), std::string::npos)
+        << out.what;
+
+    chaos::CampaignOutcome again = chaos::runCampaign(
+        seed, ref.window, ref.words, {}, 0, nullptr, &plan);
+    EXPECT_EQ(out.what, again.what);
+    EXPECT_EQ(out.failOp, again.failOp);
+}
+
+TEST(ChaosMigrateOps, HostCrashOpIsADeterministicDiagnosis)
+{
+    chaos::Reference ref = chaos::makeReference();
+    chaos::MigrationPlan plan(1);
+    plan[0].kind = chaos::MigrateOp::Kind::HostCrash;
+    plan[0].atOp = 21;
+    const std::uint64_t seed = 2;
+    chaos::CampaignOutcome out = chaos::runCampaign(
+        seed, ref.window, ref.words, {}, 0, nullptr, &plan);
+    EXPECT_TRUE(out.diagnosed);
+    EXPECT_FALSE(out.hostFailure);
+    EXPECT_NE(
+        out.what.find("host crashed under the campaign at op 21"),
+        std::string::npos)
+        << out.what;
+    chaos::CampaignOutcome again = chaos::runCampaign(
+        seed, ref.window, ref.words, {}, 0, nullptr, &plan);
+    EXPECT_EQ(out.what, again.what);
+}
+
+TEST(ChaosMigrateOps, ShrinkerReducesAMigrationFailureToATinyWindow)
+{
+    chaos::Reference ref = chaos::makeReference();
+    chaos::MigrationPlan plan(1);
+    plan[0].atOp = 50;
+    plan[0].crash = chaos::MigrateOp::Crash::Source;
+    plan[0].crashAfterPercent = 35;
+    const std::uint64_t seed = 3;
+
+    chaos::ReproWindow repro = chaos::shrinkCampaign(
+        seed, ref.window, ref.words, {}, 8, &plan);
+    ASSERT_TRUE(repro.found);
+    EXPECT_LE(repro.endOp - repro.startOp, 12u)
+        << "migration failure did not minimize to a tiny window";
+    EXPECT_LE(repro.startOp, 50u);
+    EXPECT_GE(repro.endOp, 50u);
+    EXPECT_NE(repro.failure.find("crashed mid-migration"),
+              std::string::npos)
+        << repro.failure;
+
+    chaos::CampaignOutcome replay =
+        chaos::replayRepro(repro, ref.words);
+    EXPECT_TRUE(replay.diagnosed);
+    EXPECT_EQ(replay.what, repro.failure);
+
+    // round-trip through the crash-consistent repro file
+    std::string path =
+        ::testing::TempDir() + "uexc_migrate_repro.uxsn";
+    chaos::writeReproFile(repro, path);
+    chaos::ReproWindow loaded = chaos::readReproFile(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.seed, repro.seed);
+    EXPECT_EQ(loaded.startOp, repro.startOp);
+    EXPECT_EQ(loaded.endOp, repro.endOp);
+    EXPECT_EQ(loaded.snapshot, repro.snapshot);
+    ASSERT_EQ(loaded.migrations.size(), repro.migrations.size());
+    EXPECT_EQ(loaded.migrations[0].atOp, repro.migrations[0].atOp);
+    EXPECT_EQ(loaded.migrations[0].crash, repro.migrations[0].crash);
+    chaos::CampaignOutcome replay2 =
+        chaos::replayRepro(loaded, ref.words);
+    EXPECT_EQ(replay2.what, repro.failure);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised self-healing fleet
+// ---------------------------------------------------------------------------
+
+apps::fleet::FleetConfig
+supervisedFleet(std::uint64_t seed)
+{
+    apps::fleet::FleetConfig cfg;
+    cfg.seed = seed;
+    cfg.hosts = 3;
+    cfg.guests = 4;
+    cfg.dsmGuests = 1;
+    cfg.targetMigrations = 4;
+    cfg.opsPerTick = 8;
+    cfg.cooldownTicks = 2;
+    cfg.supervise = true;
+    cfg.failEvery = 2;
+    cfg.checkpointEveryTicks = 2;
+    return cfg;
+}
+
+TEST(FleetSupervised, DrilledSoakSelfHealsWithZeroHostFailures)
+{
+    apps::fleet::FleetConfig cfg = supervisedFleet(404);
+    cfg.precopyRounds = 2;
+    apps::fleet::Fleet fleet(cfg);
+    const apps::fleet::FleetStats &s = fleet.run();
+    EXPECT_EQ(s.hostFailures, 0u);
+    for (const std::string &note : s.failureNotes)
+        ADD_FAILURE() << note;
+    EXPECT_GT(s.drillsHostCrash + s.drillsWedge + s.drillsGuestCrash +
+                  s.drillsCorruptImage + s.drillsSourceCrash,
+              0u);
+    EXPECT_GT(s.recoveriesRestart + s.recoveriesRemigrate, 0u);
+
+    const rt::supervise::Supervisor *sup = fleet.supervisor();
+    ASSERT_NE(sup, nullptr);
+    EXPECT_GT(sup->stats().heartbeats, 0u);
+    EXPECT_EQ(sup->stats().recoveries,
+              s.recoveriesRestart + s.recoveriesRemigrate);
+    EXPECT_EQ(sup->stats().mttrTicks.size(),
+              sup->stats().recoveries);
+    EXPECT_GE(sup->stats().mttrTicksPercentile(99),
+              sup->stats().mttrTicksPercentile(50));
+    if (s.drillsCorruptImage != 0) {
+        // every deliberately torn checkpoint was refused by
+        // validation before touching any guest state
+        EXPECT_GE(s.corruptImagesRejected, s.drillsCorruptImage);
+    }
+}
+
+TEST(FleetSupervised, SameSeedYieldsAnIdenticalDecisionLog)
+{
+    apps::fleet::Fleet a(supervisedFleet(505));
+    apps::fleet::Fleet b(supervisedFleet(505));
+    const apps::fleet::FleetStats &sa = a.run();
+    const apps::fleet::FleetStats &sb = b.run();
+    ASSERT_NE(a.supervisor(), nullptr);
+    ASSERT_NE(b.supervisor(), nullptr);
+    EXPECT_EQ(a.supervisor()->decisionLogText(),
+              b.supervisor()->decisionLogText());
+    EXPECT_EQ(a.supervisor()->stats().mttrTicks,
+              b.supervisor()->stats().mttrTicks);
+    EXPECT_EQ(a.supervisor()->stats().mttrCycles,
+              b.supervisor()->stats().mttrCycles);
+    EXPECT_EQ(sa.recoveriesRestart, sb.recoveriesRestart);
+    EXPECT_EQ(sa.recoveriesRemigrate, sb.recoveriesRemigrate);
+    EXPECT_EQ(sa.corruptImagesRejected, sb.corruptImagesRejected);
+    EXPECT_EQ(sa.guestsQuarantined, sb.guestsQuarantined);
+    EXPECT_EQ(sa.chaosOpsRun, sb.chaosOpsRun);
+    EXPECT_EQ(sa.downtimeCycles, sb.downtimeCycles);
+    EXPECT_EQ(sa.hostFailures, sb.hostFailures);
+}
+
+TEST(FleetSupervised, RepeatedFailuresQuarantineWithoutBreakingTheSoak)
+{
+    apps::fleet::FleetConfig cfg = supervisedFleet(666);
+    cfg.supervisor.quarantineAfter = 1; // first failure quarantines
+    apps::fleet::Fleet fleet(cfg);
+    const apps::fleet::FleetStats &s = fleet.run();
+    EXPECT_GT(s.guestsQuarantined, 0u);
+    // quarantined guests are excluded from the convergence oracles;
+    // everyone else still converges
+    EXPECT_EQ(s.hostFailures, 0u);
+    for (const std::string &note : s.failureNotes)
+        ADD_FAILURE() << note;
+}
+
+// The acceptance sweep: 200 seeded supervised soaks under injected
+// host crashes, wedges, guest crashes, torn checkpoints, and
+// mid-transfer source crashes — every non-quarantined guest must end
+// converged and bit-identical to its unfailed reference, with zero
+// torn images accepted.
+constexpr unsigned kFleetFuzzShards = 8;
+constexpr unsigned kFleetSeedsPerShard = 25;
+
+void
+runSupervisedSoakSeed(unsigned seed)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << "supervised fleet seed " << seed);
+    apps::fleet::FleetConfig cfg =
+        supervisedFleet(0x5EED0000ull + seed);
+    cfg.guests = 3;
+    cfg.dsmGuests = 1;
+    cfg.targetMigrations = 3;
+    cfg.cooldownTicks = 1;
+    cfg.precopyRounds = seed % 2 ? 2 : 0; // both migration modes
+    apps::fleet::Fleet fleet(cfg);
+    const apps::fleet::FleetStats &s = fleet.run();
+    EXPECT_EQ(s.hostFailures, 0u);
+    for (const std::string &note : s.failureNotes)
+        ADD_FAILURE() << note;
+    EXPECT_EQ(s.migrationsFailed(),
+              s.migrationsAttempted - s.migrationsSucceeded);
+    if (s.drillsCorruptImage != 0)
+        EXPECT_GE(s.corruptImagesRejected, s.drillsCorruptImage);
+}
+
+class FleetSupervisedFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FleetSupervisedFuzz, EveryNonQuarantinedGuestSelfHeals)
+{
+    const unsigned base = GetParam() * kFleetSeedsPerShard;
+    for (unsigned s = 0; s < kFleetSeedsPerShard; s++) {
+        runSupervisedSoakSeed(base + s);
+        if (::testing::Test::HasNonfatalFailure())
+            break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, FleetSupervisedFuzz,
+                         ::testing::Range(0u, kFleetFuzzShards));
 
 } // namespace
 } // namespace uexc::sim

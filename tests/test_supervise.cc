@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests of the fleet supervisor: the typed failure taxonomy,
+ * heartbeat wedge detection, the recovery policy (restart vs.
+ * re-migrate vs. quarantine), capped exponential backoff with seeded
+ * jitter, MTTR bookkeeping, and the determinism of the decision log.
+ *
+ * Everything here is mechanism-free — no machines, no images — which
+ * is the point: the policy must be a pure function of the seed and
+ * the observed event sequence, so the fleet's self-healing behaviour
+ * is reproducible from its decision log alone.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/supervise.h"
+
+namespace uexc::rt::supervise {
+namespace {
+
+TEST(Supervise, NamesAndDecisionLinesAreStable)
+{
+    EXPECT_STREQ(failureKindName(FailureKind::Wedged), "wedged");
+    EXPECT_STREQ(failureKindName(FailureKind::Crashed), "crashed");
+    EXPECT_STREQ(failureKindName(FailureKind::CorruptedImage),
+                 "corrupted-image");
+    EXPECT_STREQ(failureKindName(FailureKind::Partitioned),
+                 "partitioned");
+    EXPECT_STREQ(failureKindName(FailureKind::HostDown), "host-down");
+    EXPECT_STREQ(actionName(Action::Restart), "restart");
+    EXPECT_STREQ(actionName(Action::Remigrate), "remigrate");
+    EXPECT_STREQ(actionName(Action::Quarantine), "quarantine");
+
+    Decision d;
+    d.tick = 12;
+    d.guest = 3;
+    d.failure = FailureKind::HostDown;
+    d.action = Action::Remigrate;
+    d.consecutiveFailures = 2;
+    d.backoffTicks = 1;
+    EXPECT_EQ(decisionLine(d),
+              "tick 12 guest 3: host-down -> remigrate "
+              "(failure #2, backoff 1 ticks)");
+    d.note = "host 1 crashed";
+    EXPECT_EQ(decisionLine(d),
+              "tick 12 guest 3: host-down -> remigrate "
+              "(failure #2, backoff 1 ticks) — host 1 crashed");
+}
+
+TEST(Supervise, HeartbeatDetectsAWedgeAfterConfiguredBeats)
+{
+    SupervisorConfig cfg;
+    cfg.wedgedAfterBeats = 2;
+    Supervisor sup(cfg);
+    sup.track(0);
+
+    // first beat seeds the baseline; identical counters afterwards
+    // stall, and the second stalled beat crosses the threshold
+    EXPECT_FALSE(sup.heartbeat(0, 1, 100, 7));
+    EXPECT_FALSE(sup.heartbeat(0, 2, 100, 7));
+    EXPECT_TRUE(sup.heartbeat(0, 3, 100, 7));
+    EXPECT_EQ(sup.stats().wedgeDetections, 1u);
+
+    // progress on either counter resets the stall count
+    EXPECT_FALSE(sup.heartbeat(0, 4, 101, 7));
+    EXPECT_FALSE(sup.heartbeat(0, 5, 101, 7));
+    EXPECT_FALSE(sup.heartbeat(0, 6, 101, 8)); // echo alone is life
+    EXPECT_FALSE(sup.heartbeat(0, 7, 101, 8));
+    EXPECT_TRUE(sup.heartbeat(0, 8, 101, 8));
+}
+
+TEST(Supervise, DownAndQuarantinedGuestsDoNotBeat)
+{
+    Supervisor sup;
+    sup.track(0);
+    sup.onFailure(0, 5, 0, FailureKind::Crashed, "");
+    EXPECT_TRUE(sup.down(0));
+    // a down guest never reports wedged (it is already being handled)
+    EXPECT_FALSE(sup.heartbeat(0, 6, 0, 0));
+    EXPECT_FALSE(sup.heartbeat(0, 7, 0, 0));
+    EXPECT_FALSE(sup.heartbeat(0, 8, 0, 0));
+
+    sup.onRecovered(0, 9, 0);
+    EXPECT_FALSE(sup.down(0));
+    // recovery re-seeds the liveness baseline: the first beat after
+    // recovery never compares against pre-outage counters
+    EXPECT_FALSE(sup.heartbeat(0, 10, 0, 0));
+    EXPECT_FALSE(sup.heartbeat(0, 11, 0, 0));
+    EXPECT_TRUE(sup.heartbeat(0, 12, 0, 0));
+}
+
+TEST(Supervise, PolicyMapsFailureKindsToActions)
+{
+    Supervisor sup;
+    for (unsigned g = 0; g < 5; g++)
+        sup.track(g);
+    EXPECT_EQ(sup.onFailure(0, 1, 0, FailureKind::HostDown, "").action,
+              Action::Remigrate);
+    EXPECT_EQ(
+        sup.onFailure(1, 1, 0, FailureKind::Partitioned, "").action,
+        Action::Remigrate);
+    EXPECT_EQ(sup.onFailure(2, 1, 0, FailureKind::Wedged, "").action,
+              Action::Restart);
+    EXPECT_EQ(sup.onFailure(3, 1, 0, FailureKind::Crashed, "").action,
+              Action::Restart);
+    EXPECT_EQ(
+        sup.onFailure(4, 1, 0, FailureKind::CorruptedImage, "").action,
+        Action::Restart);
+    EXPECT_EQ(sup.stats().remigrations, 2u);
+    EXPECT_EQ(sup.stats().restarts, 3u);
+    for (unsigned k = 0; k < kFailureKinds; k++)
+        EXPECT_EQ(sup.stats().failuresByKind[k], 1u);
+}
+
+TEST(Supervise, BackoffDoublesWithJitterAndCaps)
+{
+    SupervisorConfig cfg;
+    cfg.quarantineAfter = 100; // stay on the backoff curve
+    cfg.backoffBaseTicks = 1;
+    cfg.backoffCapTicks = 8;
+    Supervisor sup(cfg);
+    sup.track(0);
+
+    // expected backoff before jitter: 0, 1, 2, 4, 8, 8 (capped), ...
+    const std::uint64_t want[] = {0, 1, 2, 4, 8, 8, 8};
+    std::uint64_t tick = 10;
+    for (unsigned i = 0; i < 7; i++) {
+        Decision d =
+            sup.onFailure(0, tick, 0, FailureKind::Crashed, "");
+        EXPECT_EQ(d.consecutiveFailures, i + 1);
+        if (i == 0) {
+            // the first recovery attempt is immediate
+            EXPECT_EQ(d.backoffTicks, 0u);
+        } else {
+            EXPECT_GE(d.backoffTicks, want[i]);
+            EXPECT_LE(d.backoffTicks, want[i] + 1) << "jitter > 1";
+        }
+        EXPECT_EQ(sup.retryAtTick(0), tick + d.backoffTicks);
+        tick += d.backoffTicks + 1;
+    }
+}
+
+TEST(Supervise, QuarantineAfterKAndRecoveryResetsTheCount)
+{
+    SupervisorConfig cfg;
+    cfg.quarantineAfter = 3;
+    Supervisor sup(cfg);
+    sup.track(0);
+
+    sup.onFailure(0, 1, 0, FailureKind::Crashed, "");
+    sup.onFailure(0, 2, 0, FailureKind::Crashed, "");
+    EXPECT_EQ(sup.consecutiveFailures(0), 2u);
+    sup.onRecovered(0, 3, 0);
+    EXPECT_EQ(sup.consecutiveFailures(0), 0u);
+    EXPECT_FALSE(sup.quarantined(0));
+
+    sup.onFailure(0, 4, 0, FailureKind::Crashed, "");
+    sup.onFailure(0, 5, 0, FailureKind::Crashed, "");
+    Decision d = sup.onFailure(0, 6, 0, FailureKind::Crashed, "");
+    EXPECT_EQ(d.action, Action::Quarantine);
+    EXPECT_TRUE(sup.quarantined(0));
+    EXPECT_EQ(sup.stats().quarantines, 1u);
+    // a quarantined guest is out of the heartbeat rotation
+    EXPECT_FALSE(sup.heartbeat(0, 7, 0, 0));
+}
+
+TEST(Supervise, MttrSamplesAndPercentiles)
+{
+    Supervisor sup;
+    sup.track(0);
+    sup.track(1);
+
+    // guest 0: down from tick 10 / cycle 1000 to tick 14 / cycle 5000
+    sup.onFailure(0, 10, 1000, FailureKind::HostDown, "");
+    // an escalation does NOT move the down-since marker
+    sup.onFailure(0, 12, 3000, FailureKind::Partitioned, "");
+    sup.onRecovered(0, 14, 5000);
+
+    // guest 1: down from tick 20 to tick 21
+    sup.onFailure(1, 20, 9000, FailureKind::Crashed, "");
+    sup.onRecovered(1, 21, 9500);
+
+    ASSERT_EQ(sup.stats().mttrTicks.size(), 2u);
+    EXPECT_EQ(sup.stats().mttrTicks[0], 4u);
+    EXPECT_EQ(sup.stats().mttrTicks[1], 1u);
+    EXPECT_EQ(sup.stats().mttrCycles[0], 4000u);
+    EXPECT_EQ(sup.stats().mttrCycles[1], 500u);
+    EXPECT_EQ(sup.stats().recoveries, 2u);
+
+    // percentiles over {1, 4}: p50 rounds to the upper sample here
+    // (rank 0.5 rounds to index 1), p99 is the max, p0 the min
+    EXPECT_EQ(sup.stats().mttrTicksPercentile(0), 1u);
+    EXPECT_EQ(sup.stats().mttrTicksPercentile(99), 4u);
+    EXPECT_GE(sup.stats().mttrTicksPercentile(99),
+              sup.stats().mttrTicksPercentile(50));
+
+    // a recovery without a preceding failure records nothing
+    sup.onRecovered(1, 30, 9999);
+    EXPECT_EQ(sup.stats().mttrTicks.size(), 2u);
+}
+
+TEST(Supervise, SameSeedSameEventsSameDecisionLog)
+{
+    SupervisorConfig cfg;
+    cfg.seed = 42;
+    cfg.quarantineAfter = 4;
+    Supervisor a(cfg), b(cfg);
+    for (Supervisor *s : {&a, &b}) {
+        s->track(0);
+        s->track(1);
+        s->onFailure(0, 1, 100, FailureKind::HostDown, "host 2 died");
+        s->onFailure(0, 3, 300, FailureKind::Partitioned, "link");
+        s->onRecovered(0, 5, 500);
+        s->onFailure(1, 6, 600, FailureKind::Wedged, "no progress");
+        s->onFailure(1, 7, 700, FailureKind::Crashed, "");
+        s->onFailure(1, 9, 900, FailureKind::Crashed, "");
+    }
+    EXPECT_FALSE(a.decisionLogText().empty());
+    EXPECT_EQ(a.decisionLogText(), b.decisionLogText());
+    ASSERT_EQ(a.decisionLog().size(), b.decisionLog().size());
+    EXPECT_EQ(a.stats().backoffTicksCharged,
+              b.stats().backoffTicksCharged);
+    EXPECT_EQ(a.stats().mttrTicks, b.stats().mttrTicks);
+}
+
+} // namespace
+} // namespace uexc::rt::supervise
